@@ -1,0 +1,35 @@
+//! Criterion benches for the float codecs — the Float rows of Fig. 10c.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datasets::generate;
+use floatcodec::all_codecs;
+
+fn bench_float(c: &mut Criterion) {
+    let values = generate("GM", 20_000).expect("dataset").as_floats();
+    let mut group = c.benchmark_group("float_GM");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.sample_size(30);
+    for codec in all_codecs() {
+        group.bench_function(format!("encode/{}", codec.name()), |b| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                buf.clear();
+                codec.encode(std::hint::black_box(&values), &mut buf);
+            })
+        });
+        let mut buf = Vec::new();
+        codec.encode(&values, &mut buf);
+        group.bench_function(format!("decode/{}", codec.name()), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                let mut pos = 0;
+                codec.decode(std::hint::black_box(&buf), &mut pos, &mut out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_float);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for the general-purpose comparators — the timing
+//! side of Figure 13.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datasets::generate;
+use gpcomp::{ByteCodec, InnerPacker, Lz4Like, LzmaLite, TransformCodec, TransformKind};
+
+fn bench_gp(c: &mut Criterion) {
+    let ints = generate("EE", 10_000).expect("dataset").as_scaled_ints();
+    let mut raw = Vec::with_capacity(ints.len() * 8);
+    for v in &ints {
+        raw.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut group = c.benchmark_group("gp_EE");
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    group.sample_size(20);
+
+    let byte_codecs: Vec<(&str, Box<dyn ByteCodec>)> = vec![
+        ("LZ4", Box::new(Lz4Like::new())),
+        ("LZMA-lite", Box::new(LzmaLite::new())),
+    ];
+    for (name, codec) in &byte_codecs {
+        group.bench_function(format!("compress/{name}"), |b| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                buf.clear();
+                codec.compress(std::hint::black_box(&raw), &mut buf);
+            })
+        });
+    }
+    for kind in [TransformKind::Dct, TransformKind::Fft] {
+        for packer in [InnerPacker::Bp, InnerPacker::BosB] {
+            let codec = TransformCodec::new(kind, packer);
+            group.bench_function(format!("encode/{}", codec.label()), |b| {
+                let mut buf = Vec::new();
+                b.iter(|| {
+                    buf.clear();
+                    codec.encode(std::hint::black_box(&ints), &mut buf);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gp);
+criterion_main!(benches);

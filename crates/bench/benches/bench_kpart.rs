@@ -1,0 +1,23 @@
+//! Criterion benches for the k-part DP — the timing axis of Figure 14.
+
+use bos::kpart::solve_kpart;
+use bos::SortedBlock;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::generate;
+
+fn bench_kpart(c: &mut Criterion) {
+    let ints = generate("VC", 3_396).expect("dataset").as_scaled_ints();
+    let deltas: Vec<i64> = ints.windows(2).map(|w| w[1] - w[0]).collect();
+    let block = SortedBlock::from_values(&deltas[..1024.min(deltas.len())]);
+    let mut group = c.benchmark_group("kpart_1024");
+    group.sample_size(20);
+    for k in [1usize, 2, 3, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("solve", k), &k, |b, &k| {
+            b.iter(|| solve_kpart(std::hint::black_box(&block), k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kpart);
+criterion_main!(benches);

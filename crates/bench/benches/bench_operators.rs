@@ -1,0 +1,41 @@
+//! Criterion benches for every bit-packing operator on a delta block —
+//! the per-operator core of Figures 10c and 11.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datasets::generate;
+use encodings::PackerKind;
+
+fn delta_block(size: usize) -> Vec<i64> {
+    let ints = generate("TF", size * 4 + 1).expect("dataset").as_scaled_ints();
+    ints.windows(2).map(|w| w[1] - w[0]).take(size).collect()
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let block = delta_block(1024);
+    let mut group = c.benchmark_group("operator_1024");
+    group.throughput(Throughput::Elements(1024));
+    for kind in PackerKind::ALL {
+        let packer = kind.build();
+        group.bench_function(format!("encode/{}", kind.label()), |b| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                buf.clear();
+                packer.encode(std::hint::black_box(&block), &mut buf);
+            })
+        });
+        let mut buf = Vec::new();
+        packer.encode(&block, &mut buf);
+        group.bench_function(format!("decode/{}", kind.label()), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                let mut pos = 0;
+                packer.decode(std::hint::black_box(&buf), &mut pos, &mut out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches for the outer×inner pipelines — the timing core of
+//! Figures 10a/10b.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datasets::generate;
+use encodings::{OuterKind, PackerKind, Pipeline};
+
+fn bench_pipelines(c: &mut Criterion) {
+    let ints = generate("MT", 20_000).expect("dataset").as_scaled_ints();
+    let mut group = c.benchmark_group("pipeline_MT");
+    group.throughput(Throughput::Elements(ints.len() as u64));
+    group.sample_size(20);
+    for outer in OuterKind::ALL {
+        for packer in [PackerKind::Bp, PackerKind::FastPfor, PackerKind::BosB, PackerKind::BosM] {
+            let pipeline = Pipeline::new(outer, packer);
+            group.bench_function(format!("encode/{}", pipeline.label()), |b| {
+                let mut buf = Vec::new();
+                b.iter(|| {
+                    buf.clear();
+                    pipeline.encode(std::hint::black_box(&ints), &mut buf);
+                })
+            });
+            let mut buf = Vec::new();
+            pipeline.encode(&ints, &mut buf);
+            group.bench_function(format!("decode/{}", pipeline.label()), |b| {
+                let mut out = Vec::new();
+                b.iter(|| {
+                    out.clear();
+                    let mut pos = 0;
+                    pipeline.decode(std::hint::black_box(&buf), &mut pos, &mut out)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

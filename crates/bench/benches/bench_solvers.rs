@@ -1,0 +1,64 @@
+//! Criterion benches for the three solvers across block sizes — the
+//! microbenchmark behind Figure 15 (compression side).
+
+use bos::{BosCodec, SolverKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datasets::generate;
+
+fn delta_block(size: usize) -> Vec<i64> {
+    let ints = generate("CS", size * 4 + 1).expect("dataset").as_scaled_ints();
+    ints.windows(2).map(|w| w[1] - w[0]).take(size).collect()
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve");
+    for &size in &[256usize, 1024, 4096] {
+        let block = delta_block(size);
+        group.throughput(Throughput::Elements(size as u64));
+        for (name, kind) in [
+            ("BOS-V", SolverKind::Value),
+            ("BOS-B", SolverKind::BitWidth),
+            ("BOS-M", SolverKind::Median),
+        ] {
+            let codec = BosCodec::new(kind);
+            group.bench_with_input(BenchmarkId::new(name, size), &block, |b, block| {
+                b.iter(|| codec.solve(std::hint::black_box(block)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let block = delta_block(1024);
+    let mut group = c.benchmark_group("block_1024");
+    group.throughput(Throughput::Elements(1024));
+    for (name, kind) in [
+        ("encode/BOS-B", SolverKind::BitWidth),
+        ("encode/BOS-M", SolverKind::Median),
+    ] {
+        let codec = BosCodec::new(kind);
+        group.bench_function(name, |b| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                buf.clear();
+                codec.encode(std::hint::black_box(&block), &mut buf);
+            })
+        });
+    }
+    let codec = BosCodec::new(SolverKind::BitWidth);
+    let mut buf = Vec::new();
+    codec.encode(&block, &mut buf);
+    group.bench_function("decode/BOS", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            let mut pos = 0;
+            codec.decode(std::hint::black_box(&buf), &mut pos, &mut out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_encode_decode);
+criterion_main!(benches);

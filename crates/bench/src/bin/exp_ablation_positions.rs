@@ -1,0 +1,7 @@
+//! Regenerates the ablation implemented in
+//! `bos_bench::experiments::ablation_positions`.
+
+fn main() {
+    let cfg = bos_bench::harness::Config::from_env();
+    bos_bench::experiments::ablation_positions::run(&cfg);
+}

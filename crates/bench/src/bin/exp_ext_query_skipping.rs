@@ -1,0 +1,7 @@
+//! Regenerates the extension experiment implemented in
+//! `bos_bench::experiments::ext_query_skipping`.
+
+fn main() {
+    let cfg = bos_bench::harness::Config::from_env();
+    bos_bench::experiments::ext_query_skipping::run(&cfg);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper artifact implemented in
+//! `bos_bench::experiments::fig10b_summary`.
+
+fn main() {
+    let cfg = bos_bench::harness::Config::from_env();
+    bos_bench::experiments::fig10b_summary::run(&cfg);
+}

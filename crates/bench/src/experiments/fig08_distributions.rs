@@ -1,0 +1,53 @@
+//! Figure 8 — value distribution of all datasets after TS2DIFF.
+//!
+//! The paper plots a histogram of each dataset's delta stream to motivate
+//! the median heuristic (most are near-normal) and explain where BOS-M
+//! struggles (skewed TH-Climate). This experiment prints per-dataset delta
+//! statistics and an ASCII histogram, using [`datasets::moments`].
+
+use crate::harness::Config;
+use datasets::all_datasets;
+use datasets::moments::{deltas, histogram, moments};
+
+/// One-line Unicode histogram of the delta stream over `buckets` bins
+/// clipped to ±3σ.
+pub fn ascii_histogram(values: &[i64], buckets: usize) -> String {
+    let d = deltas(values);
+    let counts = histogram(&d, buckets);
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    counts
+        .iter()
+        .map(|&c| {
+            let h = (c * 8) / peak;
+            [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'][h]
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) {
+    super::banner("Figure 8: value distribution of all datasets after TS2DIFF", cfg);
+    let mut table = crate::harness::Table::new([
+        "dataset", "mean", "std", "skew", "%zero", "min", "max",
+        "histogram (±3σ)",
+    ]);
+    for dataset in all_datasets(cfg.n) {
+        let ints = dataset.as_scaled_ints();
+        let d = deltas(&ints);
+        let Some(m) = moments(&d) else { continue };
+        table.row([
+            format!("{} ({})", dataset.name, dataset.abbr),
+            format!("{:.1}", m.mean),
+            format!("{:.1}", m.std),
+            format!("{:+.2}", m.skew),
+            format!("{:.0}%", m.zero_frac * 100.0),
+            m.min.to_string(),
+            m.max.to_string(),
+            ascii_histogram(&ints, 32),
+        ]);
+    }
+    table.print();
+    println!();
+    println!("Near-zero skew → near-normal deltas (the BOS-M regime);");
+    println!("TH-Climate's strong positive skew reproduces the paper's hard case.");
+}

@@ -1,0 +1,66 @@
+//! Figure 10a — compression ratio of every method on every dataset.
+
+use super::grid;
+use crate::harness::{fmt_ratio, Config, Table};
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) {
+    super::banner("Figure 10a: compression ratio on various datasets", cfg);
+    let (abbrs, rows) = grid::compute(cfg);
+
+    let mut headers = vec!["method".to_string()];
+    headers.extend(abbrs.iter().map(|a| a.to_string()));
+    let mut table = Table::new(headers);
+
+    // Track the best ratio per column to flag it like the paper's red.
+    let ncols = abbrs.len();
+    let mut best = vec![0.0f64; ncols];
+    for row in &rows {
+        for (b, cell) in best.iter_mut().zip(&row.cells) {
+            *b = b.max(cell.ratio);
+        }
+    }
+
+    let mut last_group = "";
+    for row in &rows {
+        if row.group != last_group {
+            last_group = row.group;
+            table.row(
+                std::iter::once(format!("-- {} --", row.group))
+                    .chain((0..ncols).map(|_| String::new())),
+            );
+        }
+        table.row(std::iter::once(row.name.clone()).chain(
+            row.cells.iter().enumerate().map(|(i, c)| {
+                if (c.ratio - best[i]).abs() < 1e-9 {
+                    format!("*{}", fmt_ratio(c.ratio))
+                } else {
+                    fmt_ratio(c.ratio)
+                }
+            }),
+        ));
+    }
+    table.print();
+    println!();
+    println!("* = best method for that dataset (the paper's red numbers).");
+
+    // The paper prints BOS-V and BOS-B as one row because their ratios are
+    // identical; verify that here.
+    for outer in ["RLE", "SPRINTZ", "TS2DIFF"] {
+        let v = rows
+            .iter()
+            .find(|r| r.name == format!("{outer}+BOS-V"))
+            .expect("grid row");
+        let b = rows
+            .iter()
+            .find(|r| r.name == format!("{outer}+BOS-B"))
+            .expect("grid row");
+        for (cv, cb) in v.cells.iter().zip(&b.cells) {
+            assert!(
+                (cv.ratio - cb.ratio).abs() < 1e-9,
+                "{outer}: BOS-V and BOS-B ratios differ"
+            );
+        }
+    }
+    println!("Verified: BOS-V and BOS-B produce identical ratios (paper's 'BOS-V / B').");
+}

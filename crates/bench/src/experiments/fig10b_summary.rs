@@ -1,0 +1,46 @@
+//! Figure 10b — average compression ratio vs. average compression time of
+//! every method (the paper's scatter plot, printed as a sorted table).
+
+use super::grid;
+use crate::harness::{fmt_ns, fmt_ratio, Config, Table};
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) {
+    super::banner(
+        "Figure 10b: average compression ratio vs. time (scatter, as a table)",
+        cfg,
+    );
+    let (_, rows) = grid::compute(cfg);
+    let mut summary: Vec<(String, f64, f64)> = rows
+        .iter()
+        .map(|r| (r.name.clone(), r.avg_ratio(), r.avg_comp_ns()))
+        .collect();
+    summary.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    let mut table = Table::new(["method", "avg ratio", "avg comp ns/point"]);
+    for (name, ratio, ns) in &summary {
+        table.row([name.clone(), fmt_ratio(*ratio), fmt_ns(*ns)]);
+    }
+    table.print();
+
+    // The paper's headline: existing methods ≈ 2.75, BOS-B ≈ 3.25.
+    let best_bos = summary
+        .iter()
+        .filter(|(n, _, _)| n.contains("BOS-B") || n.contains("BOS-V"))
+        .map(|(_, r, _)| *r)
+        .fold(0.0f64, f64::max);
+    let best_baseline = summary
+        .iter()
+        .filter(|(n, _, _)| !n.contains("BOS"))
+        .map(|(_, r, _)| *r)
+        .fold(0.0f64, f64::max);
+    println!();
+    println!(
+        "Best BOS average ratio: {best_bos:.2}; best non-BOS baseline: {best_baseline:.2} \
+         (paper: ~3.25 vs ~2.75)."
+    );
+    assert!(
+        best_bos > best_baseline,
+        "BOS must dominate the baselines on average"
+    );
+}

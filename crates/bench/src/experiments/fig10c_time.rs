@@ -1,0 +1,52 @@
+//! Figure 10c — compression and decompression time (ns/point) of every
+//! method on every dataset.
+
+use super::grid;
+use crate::harness::{fmt_ns, Config, Table};
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) {
+    super::banner("Figure 10c: compression and decompression time (ns/point)", cfg);
+    let (abbrs, rows) = grid::compute(cfg);
+
+    for (title, pick) in [
+        ("Compression time (ns/point)", 0usize),
+        ("Decompression time (ns/point)", 1usize),
+    ] {
+        println!("{title}:");
+        let mut headers = vec!["method".to_string()];
+        headers.extend(abbrs.iter().map(|a| a.to_string()));
+        let mut table = Table::new(headers);
+        let mut last_group = "";
+        for row in &rows {
+            if row.group != last_group {
+                last_group = row.group;
+                table.row(
+                    std::iter::once(format!("-- {} --", row.group))
+                        .chain((0..abbrs.len()).map(|_| String::new())),
+                );
+            }
+            table.row(std::iter::once(row.name.clone()).chain(row.cells.iter().map(|c| {
+                fmt_ns(if pick == 0 { c.comp_ns } else { c.decomp_ns })
+            })));
+        }
+        table.print();
+        println!();
+    }
+
+    // Ordering checks matching the paper's qualitative findings.
+    let avg = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.avg_comp_ns())
+            .expect("row present")
+    };
+    let (v, b, m) = (
+        avg("TS2DIFF+BOS-V"),
+        avg("TS2DIFF+BOS-B"),
+        avg("TS2DIFF+BOS-M"),
+    );
+    println!("TS2DIFF compression averages: BOS-V {v:.0}, BOS-B {b:.0}, BOS-M {m:.0} ns/point");
+    assert!(v > b && b > m, "expected BOS-V > BOS-B > BOS-M in time");
+    println!("Verified: BOS-V slower than BOS-B slower than BOS-M (O(n²) vs O(n log n) vs O(n)).");
+}

@@ -1,0 +1,88 @@
+//! Figure 15 — compression and decompression time by block size
+//! (2^6 … 2^13) for BOS-V, BOS-B and BOS-M.
+
+use crate::harness::{time_avg, Config, Table};
+use bos::{BosCodec, SolverKind};
+use datasets::all_datasets;
+
+/// The block sizes of Figure 15.
+pub const SIZES: [usize; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// Average (compression, decompression) ns/block at a given block size.
+pub fn measure(kind: SolverKind, block_size: usize, cfg: &Config) -> (f64, f64) {
+    let codec = BosCodec::new(kind);
+    let sets = all_datasets(cfg.n.min(20_000));
+    let (mut comp, mut decomp, mut blocks) = (0.0, 0.0, 0usize);
+    for dataset in &sets {
+        let ints = dataset.as_scaled_ints();
+        // Delta blocks — what BOS sees inside the encoders.
+        let deltas: Vec<i64> = ints.windows(2).map(|w| w[1].wrapping_sub(w[0])).collect();
+        // Sample a handful of blocks per dataset to keep BOS-V's O(n²)
+        // sweep affordable at 8192-value blocks.
+        for chunk in deltas.chunks(block_size).take(4) {
+            if chunk.len() < block_size {
+                continue;
+            }
+            let mut buf = Vec::new();
+            let (_, cns) = time_avg(cfg.repeats, || {
+                buf.clear();
+                codec.encode(chunk, &mut buf);
+            });
+            let mut out = Vec::new();
+            let (_, dns) = time_avg(cfg.repeats, || {
+                out.clear();
+                let mut pos = 0;
+                codec.decode(&buf, &mut pos, &mut out).expect("decode");
+            });
+            assert_eq!(out, chunk);
+            comp += cns;
+            decomp += dns;
+            blocks += 1;
+        }
+    }
+    let blocks = blocks.max(1) as f64;
+    (comp / blocks, decomp / blocks)
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) {
+    super::banner(
+        "Figure 15: compression/decompression time by block size (ns/block)",
+        cfg,
+    );
+    let kinds = [
+        ("BOS-V", SolverKind::Value),
+        ("BOS-B", SolverKind::BitWidth),
+        ("BOS-M", SolverKind::Median),
+    ];
+    for (title, pick) in [("Compression (ns/block)", 0usize), ("Decompression (ns/block)", 1)] {
+        println!("{title}:");
+        let mut headers = vec!["block".to_string()];
+        headers.extend(kinds.iter().map(|(n, _)| n.to_string()));
+        let mut table = Table::new(headers);
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for &size in &SIZES {
+            let mut row = Vec::new();
+            for &(_, kind) in &kinds {
+                let (c, d) = measure(kind, size, cfg);
+                row.push(if pick == 0 { c } else { d });
+            }
+            rows.push(row.clone());
+            table.row(
+                std::iter::once(size.to_string())
+                    .chain(row.iter().map(|v| format!("{v:.0}"))),
+            );
+        }
+        table.print();
+        println!();
+        if pick == 0 {
+            // At the largest block, the complexity ordering must show:
+            // BOS-V (quadratic) slowest, BOS-M (linear) fastest.
+            let last = rows.last().expect("rows");
+            assert!(last[0] > last[1], "BOS-V must be slower than BOS-B at 8192");
+            assert!(last[1] > last[2], "BOS-B must be slower than BOS-M at 8192");
+        }
+    }
+    println!("BOS-V grows fastest with block size (O(n²)), BOS-B in between");
+    println!("(O(n log n)), BOS-M linear — the paper's scalability finding.");
+}

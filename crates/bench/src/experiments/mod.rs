@@ -1,0 +1,26 @@
+//! One module per reproduced table/figure. Each exposes
+//! `run(&Config)` printing the regenerated artifact to stdout; the
+//! `exp_*` binaries are thin wrappers, and `run_all` chains everything.
+
+pub mod ablation_positions;
+pub mod ext_query_skipping;
+pub mod fig08_distributions;
+pub mod fig09_outlier_pct;
+pub mod fig10a_ratio;
+pub mod fig10b_summary;
+pub mod fig10c_time;
+pub mod fig11_query;
+pub mod fig12_lower_ablation;
+pub mod fig13_gp;
+pub mod fig14_parts;
+pub mod fig15_blocksize;
+pub mod grid;
+pub mod prop4_approx;
+
+/// Prints the standard experiment banner.
+pub fn banner(title: &str, cfg: &crate::harness::Config) {
+    println!();
+    println!("=== {title} ===");
+    println!("(BOS_N = {} values/dataset, BOS_REPEATS = {})", cfg.n, cfg.repeats);
+    println!();
+}

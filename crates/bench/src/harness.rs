@@ -1,0 +1,152 @@
+//! Shared utilities for the experiment binaries.
+
+use std::time::Instant;
+
+/// Experiment configuration, read from the environment:
+///
+/// * `BOS_N` — values per dataset (default 30 000; the paper's datasets
+///   are larger, but ratio is size-independent once headers amortize).
+/// * `BOS_REPEATS` — timing repetitions (default 3; the paper uses 500).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Values per dataset.
+    pub n: usize,
+    /// Timing repetitions.
+    pub repeats: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Config {
+    /// Reads the configuration from the environment.
+    pub fn from_env() -> Self {
+        let n = std::env::var("BOS_N")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30_000);
+        let repeats = std::env::var("BOS_REPEATS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3);
+        Self { n, repeats }
+    }
+}
+
+/// Runs `f` once and returns its result plus elapsed nanoseconds.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_nanos() as f64)
+}
+
+/// Runs `f` `repeats` times and returns the last result plus the average
+/// elapsed nanoseconds.
+pub fn time_avg<T>(repeats: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(repeats >= 1);
+    let mut total = 0.0;
+    let mut last = None;
+    for _ in 0..repeats {
+        let (out, ns) = time_once(&mut f);
+        total += ns;
+        last = Some(out);
+    }
+    (last.expect("repeats >= 1"), total / repeats as f64)
+}
+
+/// A simple fixed-width table printer for experiment output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(row);
+    }
+
+    /// Prints the table with aligned columns (first column left-aligned,
+    /// the rest right-aligned).
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            line
+        };
+        println!("{}", fmt_row(&self.headers));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        println!("{}", "-".repeat(total));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+}
+
+/// Formats a ratio to the paper's 2-decimal convention.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+/// Formats nanoseconds-per-point to the paper's integer convention.
+pub fn fmt_ns(ns: f64) -> String {
+    format!("{ns:.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_aligned() {
+        let mut t = Table::new(["method", "EE", "MT"]);
+        t.row(["GORILLA", "1.67", "2.23"]);
+        t.row(["BOS-B", "3.03", "2.48"]);
+        t.print(); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn timing_returns_positive() {
+        let (v, ns) = time_avg(3, || (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(fmt_ratio(3.14159), "3.14");
+        assert_eq!(fmt_ns(123.7), "124");
+    }
+}

@@ -1,0 +1,137 @@
+//! The outlier-position bitmap of Figure 2.
+//!
+//! Each index of the block gets a variable-length code telling the decoder
+//! which sub-stream the value at that index lives in:
+//!
+//! * `0`  — center value
+//! * `10` — lower outlier
+//! * `11` — upper outlier
+//!
+//! The total cost is exactly `n + nl + nu` bits (every index pays one bit,
+//! outliers pay one more), which is the `+ n` and `+ nl`, `+ nu` terms of
+//! Definition 5.
+
+use crate::bits::{BitReader, BitWriter};
+
+/// Which of the three separated parts a value belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Part {
+    /// Center value (`xl < x < xu`), code `0`.
+    Center,
+    /// Lower outlier (`x ≤ xl`), code `10`.
+    Lower,
+    /// Upper outlier (`x ≥ xu`), code `11`.
+    Upper,
+}
+
+/// Encoder/decoder for the position bitmap.
+#[derive(Debug, Default, Clone)]
+pub struct OutlierBitmap;
+
+impl OutlierBitmap {
+    /// Writes the codes for `parts` into `out`. Returns the number of bits
+    /// written (`n + nl + nu`).
+    pub fn encode(parts: &[Part], out: &mut BitWriter) -> usize {
+        let before = out.len_bits();
+        for &p in parts {
+            match p {
+                Part::Center => out.write_bit(false),
+                Part::Lower => {
+                    out.write_bit(true);
+                    out.write_bit(false);
+                }
+                Part::Upper => {
+                    out.write_bit(true);
+                    out.write_bit(true);
+                }
+            }
+        }
+        out.len_bits() - before
+    }
+
+    /// Reads `n` part codes. Returns `None` on truncation.
+    pub fn decode(reader: &mut BitReader<'_>, n: usize, out: &mut Vec<Part>) -> Option<()> {
+        out.reserve(n);
+        for _ in 0..n {
+            let part = if reader.read_bit()? {
+                if reader.read_bit()? {
+                    Part::Upper
+                } else {
+                    Part::Lower
+                }
+            } else {
+                Part::Center
+            };
+            out.push(part);
+        }
+        Some(())
+    }
+
+    /// Exact encoded size in bits for `n` values of which `nl` are lower and
+    /// `nu` upper outliers.
+    pub fn size_bits(n: usize, nl: usize, nu: usize) -> usize {
+        n + nl + nu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure2_cost() {
+        // A block of n values with nl lower and nu upper outliers costs
+        // exactly n + nl + nu bits.
+        let parts = [
+            Part::Center,
+            Part::Center,
+            Part::Lower,
+            Part::Upper,
+            Part::Center,
+            Part::Upper,
+        ];
+        let mut w = BitWriter::new();
+        let bits = OutlierBitmap::encode(&parts, &mut w);
+        assert_eq!(bits, OutlierBitmap::size_bits(6, 1, 2));
+        assert_eq!(bits, 9);
+    }
+
+    #[test]
+    fn roundtrip_all_combinations() {
+        let mut parts = Vec::new();
+        for i in 0..300 {
+            parts.push(match i % 3 {
+                0 => Part::Center,
+                1 => Part::Lower,
+                _ => Part::Upper,
+            });
+        }
+        let mut w = BitWriter::new();
+        OutlierBitmap::encode(&parts, &mut w);
+        let (buf, _) = w.finish();
+        let mut r = BitReader::new(&buf);
+        let mut out = Vec::new();
+        OutlierBitmap::decode(&mut r, parts.len(), &mut out).unwrap();
+        assert_eq!(out, parts);
+    }
+
+    #[test]
+    fn all_center_is_one_bit_each() {
+        let parts = vec![Part::Center; 64];
+        let mut w = BitWriter::new();
+        let bits = OutlierBitmap::encode(&parts, &mut w);
+        assert_eq!(bits, 64);
+    }
+
+    #[test]
+    fn truncated_stream_is_none() {
+        let parts = vec![Part::Upper; 4];
+        let mut w = BitWriter::new();
+        OutlierBitmap::encode(&parts, &mut w);
+        let (buf, _) = w.finish();
+        // 8 bits fit exactly in 1 byte; ask for more symbols than present.
+        let mut r = BitReader::new(&buf);
+        let mut out = Vec::new();
+        assert!(OutlierBitmap::decode(&mut r, 5, &mut out).is_none());
+    }
+}

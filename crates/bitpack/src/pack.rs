@@ -1,0 +1,162 @@
+//! Classic fixed-width bit-packing of unsigned integer slices.
+//!
+//! This is the operator the paper improves on: every value of a block is
+//! stored with the same width `⌈log2(max − min + 1)⌉` after subtracting the
+//! block minimum (frame of reference).
+
+use crate::bits::{BitReader, BitWriter};
+use crate::width::width;
+use crate::zigzag::{read_varint, write_varint};
+
+/// Packs each value with exactly `w` bits into `out`.
+///
+/// Values must fit in `w` bits (`debug_assert`ed); the caller picks `w`
+/// via [`width::width`](crate::width::width) of the maximum.
+pub fn pack_into(values: &[u64], w: u32, out: &mut BitWriter) {
+    debug_assert!(values.iter().all(|&v| width(v) <= w));
+    for &v in values {
+        out.write_bits(v, w);
+    }
+}
+
+/// Unpacks `n` values of width `w` from the reader. Returns `None` if the
+/// stream is too short.
+pub fn unpack_from(reader: &mut BitReader<'_>, w: u32, n: usize, out: &mut Vec<u64>) -> Option<()> {
+    out.reserve(n);
+    for _ in 0..n {
+        out.push(reader.read_bits(w)?);
+    }
+    Some(())
+}
+
+/// Self-describing frame-of-reference bit-packed block:
+/// `varint n | varint min | byte w | n × w bits payload` (byte aligned at
+/// the end). This is the "BP" operator of the experiments.
+pub fn bp_encode(values: &[u64], out: &mut Vec<u8>) {
+    write_varint(out, values.len() as u64);
+    if values.is_empty() {
+        return;
+    }
+    let min = values.iter().copied().min().expect("non-empty");
+    let max = values.iter().copied().max().expect("non-empty");
+    let w = width(max - min);
+    write_varint(out, min);
+    out.push(w as u8);
+    let mut bw = BitWriter::with_capacity_bits(values.len() * w as usize);
+    for &v in values {
+        bw.write_bits(v - min, w);
+    }
+    out.extend_from_slice(&bw.into_bytes());
+}
+
+/// Decodes a [`bp_encode`] block from `buf[*pos..]`, advancing `pos`.
+pub fn bp_decode(buf: &[u8], pos: &mut usize, out: &mut Vec<u64>) -> Option<()> {
+    let n = read_varint(buf, pos)? as usize;
+    if n == 0 {
+        return Some(());
+    }
+    if n > crate::MAX_BLOCK_VALUES {
+        return None;
+    }
+    let min = read_varint(buf, pos)?;
+    let w = *buf.get(*pos)? as u32;
+    *pos += 1;
+    if w > 64 {
+        return None;
+    }
+    let payload_bytes = (n * w as usize).div_ceil(8);
+    let payload = buf.get(*pos..*pos + payload_bytes)?;
+    *pos += payload_bytes;
+    let mut reader = BitReader::new(payload);
+    out.reserve(n);
+    for _ in 0..n {
+        out.push(min.checked_add(reader.read_bits(w)?)?);
+    }
+    Some(())
+}
+
+/// Exact number of bytes [`bp_encode`] produces for `values`, without
+/// encoding. Used by cost comparisons in benchmarks.
+pub fn bp_encoded_size(values: &[u64]) -> usize {
+    let mut header = Vec::with_capacity(16);
+    write_varint(&mut header, values.len() as u64);
+    if values.is_empty() {
+        return header.len();
+    }
+    let min = values.iter().copied().min().expect("non-empty");
+    let max = values.iter().copied().max().expect("non-empty");
+    write_varint(&mut header, min);
+    header.len() + 1 + (values.len() * width(max - min) as usize).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u64]) {
+        let mut buf = Vec::new();
+        bp_encode(values, &mut buf);
+        assert_eq!(buf.len(), bp_encoded_size(values));
+        let mut pos = 0;
+        let mut out = Vec::new();
+        bp_decode(&buf, &mut pos, &mut out).expect("decode");
+        assert_eq!(out, values);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn roundtrip_basic() {
+        roundtrip(&[3, 2, 4, 5, 3, 2, 0, 8]); // the paper's intro series
+        roundtrip(&[]);
+        roundtrip(&[42]);
+        roundtrip(&[7; 100]); // constant block: zero payload bits
+        roundtrip(&[0, u64::MAX]);
+    }
+
+    #[test]
+    fn constant_block_has_no_payload() {
+        let mut buf = Vec::new();
+        bp_encode(&[9; 1000], &mut buf);
+        // varint n (2 bytes) + varint min (1) + width byte (1), no payload.
+        assert_eq!(buf.len(), 4);
+    }
+
+    #[test]
+    fn pack_unpack_low_level() {
+        let values: Vec<u64> = (0..200).map(|i| i % 31).collect();
+        let mut w = BitWriter::new();
+        pack_into(&values, 5, &mut w);
+        let (buf, bits) = w.finish();
+        assert_eq!(bits, 200 * 5);
+        let mut r = BitReader::new(&buf);
+        let mut out = Vec::new();
+        unpack_from(&mut r, 5, 200, &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let mut buf = Vec::new();
+        bp_encode(&[1, 2, 3, 400], &mut buf);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        assert!(bp_decode(&buf[..buf.len() - 1], &mut pos, &mut out).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_bad_width() {
+        // n=1, min=0, w=65 → invalid
+        let buf = [1u8, 0, 65, 0, 0, 0, 0, 0, 0, 0, 0];
+        let mut pos = 0;
+        let mut out = Vec::new();
+        assert!(bp_decode(&buf, &mut pos, &mut out).is_none());
+    }
+
+    #[test]
+    fn outlier_inflates_bp_size() {
+        // Motivation check: one upper outlier forces every value to 4 bits.
+        let no_outlier = [3u64, 2, 4, 5, 3, 2, 2, 3];
+        let with_outlier = [3u64, 2, 4, 5, 3, 2, 0, 8];
+        assert!(bp_encoded_size(&with_outlier) > bp_encoded_size(&no_outlier));
+    }
+}

@@ -1,0 +1,157 @@
+//! Zigzag signed↔unsigned mapping and LEB128 varints.
+//!
+//! Delta streams produced by TS2DIFF/SPRINTZ are signed and centered near
+//! zero; zigzag folds them into small unsigned integers that bit-packing can
+//! exploit. Block headers (counts, minima) are stored as varints so small
+//! blocks stay small.
+
+/// Maps `i64` to `u64` such that small-magnitude values map to small
+/// unsigned values: 0→0, −1→1, 1→2, −2→3, …
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `buf[*pos..]`, advancing `pos`.
+/// Returns `None` on truncation or a varint longer than 10 bytes.
+#[inline]
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // overflow past 64 bits
+        }
+        out |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Appends a signed value as zigzag varint.
+#[inline]
+pub fn write_varint_i64(out: &mut Vec<u8>, v: i64) {
+    write_varint(out, zigzag_encode(v));
+}
+
+/// Reads a zigzag varint as a signed value.
+#[inline]
+pub fn read_varint_i64(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    read_varint(buf, pos).map(zigzag_decode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_known_values() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_encode(2), 4);
+        assert_eq!(zigzag_encode(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag_encode(i64::MIN), u64::MAX);
+    }
+
+    #[test]
+    fn zigzag_roundtrip_extremes() {
+        for v in [0, 1, -1, i64::MAX, i64::MIN, 42, -42, 1 << 62, -(1 << 62)] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+            u64::MAX - 1,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_sizes() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_varint(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        write_varint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn varint_truncation_is_none() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf[..5], &mut pos), None);
+    }
+
+    #[test]
+    fn varint_overlong_rejected() {
+        // 11 continuation bytes can never be a valid u64 varint.
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn signed_varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0i64, -1, 1, i64::MIN, i64::MAX, -123456789];
+        for &v in &values {
+            write_varint_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint_i64(&buf, &mut pos), Some(v));
+        }
+    }
+}

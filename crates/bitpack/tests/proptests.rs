@@ -1,0 +1,194 @@
+//! Property-based tests for the bit-level substrate.
+
+use bitpack::bits::{BitReader, BitWriter};
+use bitpack::kernels::{pack_words, packed_size, unpack_words};
+use bitpack::bitmap::{OutlierBitmap, Part};
+use bitpack::pack::{bp_decode, bp_encode, bp_encoded_size};
+use bitpack::simple8b;
+use bitpack::width::{range_u64, width, width1};
+use bitpack::zigzag::{
+    read_varint, read_varint_i64, write_varint, write_varint_i64, zigzag_decode, zigzag_encode,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bit_stream_roundtrip(fields in prop::collection::vec((any::<u64>(), 0u32..=64), 0..200)) {
+        let mut w = BitWriter::new();
+        for &(v, wd) in &fields {
+            w.write_bits(v, wd);
+        }
+        let expected_bits: usize = fields.iter().map(|&(_, wd)| wd as usize).sum();
+        let (buf, bits) = w.finish();
+        prop_assert_eq!(bits, expected_bits);
+        let mut r = BitReader::new(&buf);
+        for &(v, wd) in &fields {
+            let masked = if wd == 0 { 0 } else if wd == 64 { v } else { v & ((1u64 << wd) - 1) };
+            prop_assert_eq!(r.read_bits(wd), Some(masked));
+        }
+    }
+
+    #[test]
+    fn kernels_roundtrip_any_width(values in prop::collection::vec(any::<u64>(), 0..300), w in 0u32..=64) {
+        let mask = if w == 0 { 0 } else if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let values: Vec<u64> = values.iter().map(|&v| v & mask).collect();
+        let mut buf = Vec::new();
+        let written = pack_words(&values, w, &mut buf);
+        prop_assert_eq!(written, packed_size(values.len(), w));
+        let mut out = Vec::new();
+        let consumed = unpack_words(&buf, values.len(), w, &mut out);
+        prop_assert_eq!(consumed, Some(written));
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn kernels_match_bitwriter_semantics(values in prop::collection::vec(0u64..(1 << 17), 0..200)) {
+        // Same values, two packers: decoded outputs must agree (the bit
+        // layouts differ by design — LSB-word vs MSB-stream).
+        let w = 17u32;
+        let mut kbuf = Vec::new();
+        pack_words(&values, w, &mut kbuf);
+        let mut kout = Vec::new();
+        unpack_words(&kbuf, values.len(), w, &mut kout).unwrap();
+        let mut bw = BitWriter::new();
+        for &v in &values {
+            bw.write_bits(v, w);
+        }
+        let (bbuf, _) = bw.finish();
+        let mut br = BitReader::new(&bbuf);
+        let bout: Vec<u64> = (0..values.len()).map(|_| br.read_bits(w).unwrap()).collect();
+        prop_assert_eq!(&kout, &values);
+        prop_assert_eq!(&bout, &values);
+    }
+
+    #[test]
+    fn zigzag_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn zigzag_preserves_magnitude_order(a in any::<i32>(), b in any::<i32>()) {
+        // |a| < |b| implies zigzag(a) < zigzag(b) + 1 slack for sign.
+        let (a, b) = (a as i64, b as i64);
+        if a.unsigned_abs() < b.unsigned_abs() {
+            prop_assert!(zigzag_encode(a) < zigzag_encode(b) + 1);
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip(values in prop::collection::vec(any::<u64>(), 0..100)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(read_varint(&buf, &mut pos), Some(v));
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn signed_varint_roundtrip(values in prop::collection::vec(any::<i64>(), 0..100)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(read_varint_i64(&buf, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn bp_roundtrip(values in prop::collection::vec(any::<u64>(), 0..300)) {
+        let mut buf = Vec::new();
+        bp_encode(&values, &mut buf);
+        prop_assert_eq!(buf.len(), bp_encoded_size(&values));
+        let mut pos = 0;
+        let mut out = Vec::new();
+        prop_assert!(bp_decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert_eq!(out, values);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn bp_roundtrip_small_domain(values in prop::collection::vec(0u64..16, 0..300)) {
+        let mut buf = Vec::new();
+        bp_encode(&values, &mut buf);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        prop_assert!(bp_decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn simple8b_roundtrip(values in prop::collection::vec(0u64..(1 << 60), 0..500)) {
+        let mut buf = Vec::new();
+        simple8b::encode(&values, &mut buf).unwrap();
+        let mut pos = 0;
+        let mut out = Vec::new();
+        simple8b::decode(&buf, &mut pos, &mut out).unwrap();
+        prop_assert_eq!(out, values);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn simple8b_sparse_roundtrip(
+        values in prop::collection::vec(prop_oneof![9 => Just(0u64), 1 => (0u64..(1 << 59))], 0..600)
+    ) {
+        let mut buf = Vec::new();
+        simple8b::encode(&values, &mut buf).unwrap();
+        let mut pos = 0;
+        let mut out = Vec::new();
+        simple8b::decode(&buf, &mut pos, &mut out).unwrap();
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn bitmap_roundtrip(codes in prop::collection::vec(0u8..3, 0..400)) {
+        let parts: Vec<Part> = codes
+            .iter()
+            .map(|&c| match c {
+                0 => Part::Center,
+                1 => Part::Lower,
+                _ => Part::Upper,
+            })
+            .collect();
+        let nl = parts.iter().filter(|&&p| p == Part::Lower).count();
+        let nu = parts.iter().filter(|&&p| p == Part::Upper).count();
+        let mut w = BitWriter::new();
+        let bits = OutlierBitmap::encode(&parts, &mut w);
+        prop_assert_eq!(bits, OutlierBitmap::size_bits(parts.len(), nl, nu));
+        let (buf, _) = w.finish();
+        let mut r = BitReader::new(&buf);
+        let mut out = Vec::new();
+        prop_assert!(OutlierBitmap::decode(&mut r, parts.len(), &mut out).is_some());
+        prop_assert_eq!(out, parts);
+    }
+
+    #[test]
+    fn width_monotone(a in any::<u64>(), b in any::<u64>()) {
+        if a <= b {
+            prop_assert!(width(a) <= width(b));
+            prop_assert!(width1(a) <= width1(b));
+        }
+    }
+
+    #[test]
+    fn width_covers_value(v in any::<u64>()) {
+        let w = width(v);
+        if w < 64 {
+            prop_assert!(v < (1u64 << w));
+        }
+        if v > 0 {
+            prop_assert!(v >= (1u64 << (w - 1)));
+        }
+    }
+
+    #[test]
+    fn range_u64_matches_i128(lo in any::<i64>(), hi in any::<i64>()) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        prop_assert_eq!(range_u64(lo, hi) as u128, (hi as i128 - lo as i128) as u128);
+    }
+}

@@ -1,0 +1,534 @@
+//! The on-disk block layout of Section VII (Figure 7).
+//!
+//! A block is self-describing:
+//!
+//! ```text
+//! varint n · mode byte
+//! mode 0 (plain BP):  zigzag xmin · width byte · n×w bit payload
+//! mode 1 (separated): varint nl · varint nu
+//!                     zigzag xmin
+//!                     varint (min Xc − xmin)   [present iff nc > 0]
+//!                     varint (min Xu − xmin)   [present iff nu > 0]
+//!                     bytes α β γ
+//!                     position bitmap (Fig. 2: 0 / 10 / 11, n+nl+nu bits)
+//!                     payload in ORIGINAL order, each value packed with its
+//!                     part's width after subtracting its part's base
+//! ```
+//!
+//! Matching the paper: lower outliers store `ξ(l) = x − xmin` in `α` bits,
+//! center values `ξ(c) = x − min Xc` in `β` bits, upper outliers
+//! `ξ(u) = x − min Xu` in `γ` bits, and decompression is a single scan.
+
+use crate::cost::{Evaluation, Solution, SortedBlock};
+#[cfg(test)]
+use crate::cost::Separation;
+use crate::solver::Solver;
+use bitpack::bitmap::{OutlierBitmap, Part};
+use bitpack::bits::{BitReader, BitWriter};
+use bitpack::width::{range_u64, width};
+use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
+
+/// Mode byte: plain frame-of-reference bit-packing.
+const MODE_PLAIN: u8 = 0;
+/// Mode byte: outlier separation.
+const MODE_SEPARATED: u8 = 1;
+
+/// Encodes one block, choosing plain packing or separation with `solver`.
+pub fn encode_block<S: Solver + ?Sized>(values: &[i64], solver: &S, out: &mut Vec<u8>) {
+    let solution = solver.solve_values(values);
+    encode_block_with_solution(values, &solution, out);
+}
+
+/// Encodes one block with a pre-computed solution (used by tests and by
+/// callers that already ran the solver for cost statistics).
+pub fn encode_block_with_solution(values: &[i64], solution: &Solution, out: &mut Vec<u8>) {
+    write_varint(out, values.len() as u64);
+    if values.is_empty() {
+        return;
+    }
+    match solution.separation() {
+        None => encode_plain(values, out),
+        Some(sep) => {
+            let block = SortedBlock::from_values(values);
+            let eval = block.evaluate(sep);
+            encode_separated(values, &block, &eval, out);
+        }
+    }
+}
+
+fn encode_plain(values: &[i64], out: &mut Vec<u8>) {
+    out.push(MODE_PLAIN);
+    let xmin = values.iter().copied().min().expect("non-empty");
+    let xmax = values.iter().copied().max().expect("non-empty");
+    let w = width(range_u64(xmin, xmax));
+    write_varint_i64(out, xmin);
+    out.push(w as u8);
+    let mut bw = BitWriter::with_capacity_bits(values.len() * w as usize);
+    for &v in values {
+        bw.write_bits(range_u64(xmin, v), w);
+    }
+    out.extend_from_slice(&bw.into_bytes());
+}
+
+fn encode_separated(values: &[i64], block: &SortedBlock, eval: &Evaluation, out: &mut Vec<u8>) {
+    out.push(MODE_SEPARATED);
+    let xmin = block.xmin();
+    write_varint(out, eval.nl as u64);
+    write_varint(out, eval.nu as u64);
+    write_varint_i64(out, xmin);
+    if eval.nc > 0 {
+        write_varint(out, range_u64(xmin, eval.min_xc.expect("nc > 0")));
+    }
+    if eval.nu > 0 {
+        write_varint(out, range_u64(xmin, eval.min_xu.expect("nu > 0")));
+    }
+    out.push(eval.alpha as u8);
+    out.push(eval.beta as u8);
+    out.push(eval.gamma as u8);
+
+    // Classify once; boundaries come from the evaluation so the split is
+    // identical to the one the cost was computed for.
+    let lower_bound = eval.max_xl; // x ≤ max Xl  → lower
+    let upper_bound = eval.min_xu; // x ≥ min Xu  → upper
+    let min_xc = eval.min_xc.unwrap_or(xmin);
+    let min_xu = eval.min_xu.unwrap_or(xmin);
+
+    let mut bits =
+        BitWriter::with_capacity_bits(eval.cost_bits as usize + values.len());
+    // Bitmap first (Fig. 7: bit indicators precede the value payload).
+    for &x in values {
+        match part_of(x, lower_bound, upper_bound) {
+            Part::Center => bits.write_bit(false),
+            Part::Lower => {
+                bits.write_bit(true);
+                bits.write_bit(false);
+            }
+            Part::Upper => {
+                bits.write_bit(true);
+                bits.write_bit(true);
+            }
+        }
+    }
+    // Payload in original order, one width per part.
+    for &x in values {
+        match part_of(x, lower_bound, upper_bound) {
+            Part::Lower => bits.write_bits(range_u64(xmin, x), eval.alpha),
+            Part::Center => bits.write_bits(range_u64(min_xc, x), eval.beta),
+            Part::Upper => bits.write_bits(range_u64(min_xu, x), eval.gamma),
+        }
+    }
+    debug_assert_eq!(
+        bits.len_bits() as u64,
+        eval.cost_bits,
+        "encoder bits must equal the cost model"
+    );
+    out.extend_from_slice(&bits.into_bytes());
+}
+
+#[inline]
+fn part_of(x: i64, lower_bound: Option<i64>, upper_bound: Option<i64>) -> Part {
+    if lower_bound.is_some_and(|b| x <= b) {
+        Part::Lower
+    } else if upper_bound.is_some_and(|b| x >= b) {
+        Part::Upper
+    } else {
+        Part::Center
+    }
+}
+
+/// Header-only summary of one encoded block: enough for zone-map style
+/// block skipping without touching the payload.
+///
+/// `min` is exact (both modes store the block minimum in the header);
+/// `max_bound` is an inclusive upper bound derived from the part bases and
+/// widths (`base + 2^width - 1`). The actual maximum may be smaller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSummary {
+    /// Number of values in the block.
+    pub n: usize,
+    /// Exact minimum and inclusive maximum *bound*; `None` for an empty
+    /// block.
+    pub bounds: Option<(i64, i64)>,
+    /// Whether the block uses outlier separation (vs. plain packing).
+    pub separated: bool,
+    /// Total encoded size in bytes (header + payload).
+    pub encoded_len: usize,
+}
+
+#[inline]
+fn bound_from(base: i64, w: u32) -> i64 {
+    let hi = base as i128 + ((1i128 << w) - 1);
+    hi.min(i64::MAX as i128) as i64
+}
+
+/// Reads one block's header from `buf[*pos..]`, advancing `pos` past the
+/// *entire* block (payload included) without decoding any values.
+/// Returns `None` on corruption or truncation.
+pub fn peek_block(buf: &[u8], pos: &mut usize) -> Option<BlockSummary> {
+    let start = *pos;
+    let n = read_varint(buf, pos)? as usize;
+    if n == 0 {
+        return Some(BlockSummary {
+            n: 0,
+            bounds: None,
+            separated: false,
+            encoded_len: *pos - start,
+        });
+    }
+    if n > bitpack::MAX_BLOCK_VALUES {
+        return None;
+    }
+    let mode = *buf.get(*pos)?;
+    *pos += 1;
+    match mode {
+        MODE_PLAIN => {
+            let xmin = read_varint_i64(buf, pos)?;
+            let w = *buf.get(*pos)? as u32;
+            *pos += 1;
+            if w > 64 {
+                return None;
+            }
+            let payload_bytes = (n * w as usize).div_ceil(8);
+            if buf.len() < *pos + payload_bytes {
+                return None;
+            }
+            *pos += payload_bytes;
+            Some(BlockSummary {
+                n,
+                bounds: Some((xmin, bound_from(xmin, w))),
+                separated: false,
+                encoded_len: *pos - start,
+            })
+        }
+        MODE_SEPARATED => {
+            let nl = read_varint(buf, pos)? as usize;
+            let nu = read_varint(buf, pos)? as usize;
+            let nc = n.checked_sub(nl.checked_add(nu)?)?;
+            let xmin = read_varint_i64(buf, pos)?;
+            let min_xc = if nc > 0 {
+                xmin.checked_add_unsigned(read_varint(buf, pos)?)?
+            } else {
+                xmin
+            };
+            let min_xu = if nu > 0 {
+                xmin.checked_add_unsigned(read_varint(buf, pos)?)?
+            } else {
+                xmin
+            };
+            let alpha = *buf.get(*pos)? as u32;
+            let beta = *buf.get(*pos + 1)? as u32;
+            let gamma = *buf.get(*pos + 2)? as u32;
+            *pos += 3;
+            if alpha > 64 || beta > 64 || gamma > 64 {
+                return None;
+            }
+            // Highest non-empty part gives the max bound.
+            let max_bound = if nu > 0 {
+                bound_from(min_xu, gamma)
+            } else if nc > 0 {
+                bound_from(min_xc, beta)
+            } else {
+                bound_from(xmin, alpha)
+            };
+            let total_bits = OutlierBitmap::size_bits(n, nl, nu)
+                + nl * alpha as usize
+                + nc * beta as usize
+                + nu * gamma as usize;
+            let payload_bytes = total_bits.div_ceil(8);
+            if buf.len() < *pos + payload_bytes {
+                return None;
+            }
+            *pos += payload_bytes;
+            Some(BlockSummary {
+                n,
+                bounds: Some((xmin, max_bound)),
+                separated: true,
+                encoded_len: *pos - start,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Decodes one block from `buf[*pos..]`, appending the values to `out`.
+/// Returns `None` on any structural corruption or truncation.
+pub fn decode_block(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    let n = read_varint(buf, pos)? as usize;
+    if n == 0 {
+        return Some(());
+    }
+    if n > bitpack::MAX_BLOCK_VALUES {
+        return None;
+    }
+    let mode = *buf.get(*pos)?;
+    *pos += 1;
+    match mode {
+        MODE_PLAIN => decode_plain(buf, pos, n, out),
+        MODE_SEPARATED => decode_separated(buf, pos, n, out),
+        _ => None,
+    }
+}
+
+fn decode_plain(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -> Option<()> {
+    let xmin = read_varint_i64(buf, pos)?;
+    let w = *buf.get(*pos)? as u32;
+    *pos += 1;
+    if w > 64 {
+        return None;
+    }
+    let payload_bytes = (n * w as usize).div_ceil(8);
+    let payload = buf.get(*pos..*pos + payload_bytes)?;
+    *pos += payload_bytes;
+    let mut reader = BitReader::new(payload);
+    out.reserve(n);
+    for _ in 0..n {
+        out.push(xmin.wrapping_add(reader.read_bits(w)? as i64));
+    }
+    Some(())
+}
+
+fn decode_separated(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -> Option<()> {
+    let nl = read_varint(buf, pos)? as usize;
+    let nu = read_varint(buf, pos)? as usize;
+    let nc = n.checked_sub(nl.checked_add(nu)?)?;
+    let xmin = read_varint_i64(buf, pos)?;
+    let min_xc = if nc > 0 {
+        xmin.checked_add_unsigned(read_varint(buf, pos)?)?
+    } else {
+        xmin
+    };
+    let min_xu = if nu > 0 {
+        xmin.checked_add_unsigned(read_varint(buf, pos)?)?
+    } else {
+        xmin
+    };
+    let alpha = *buf.get(*pos)? as u32;
+    let beta = *buf.get(*pos + 1)? as u32;
+    let gamma = *buf.get(*pos + 2)? as u32;
+    *pos += 3;
+    if alpha > 64 || beta > 64 || gamma > 64 {
+        return None;
+    }
+
+    let total_bits = OutlierBitmap::size_bits(n, nl, nu)
+        + nl * alpha as usize
+        + nc * beta as usize
+        + nu * gamma as usize;
+    let payload_bytes = total_bits.div_ceil(8);
+    let payload = buf.get(*pos..*pos + payload_bytes)?;
+    *pos += payload_bytes;
+
+    let mut reader = BitReader::new(payload);
+    let mut parts = Vec::with_capacity(n);
+    OutlierBitmap::decode(&mut reader, n, &mut parts)?;
+    // Validate the counts the bitmap claims against the header.
+    let seen_l = parts.iter().filter(|&&p| p == Part::Lower).count();
+    let seen_u = parts.iter().filter(|&&p| p == Part::Upper).count();
+    if seen_l != nl || seen_u != nu {
+        return None;
+    }
+
+    out.reserve(n);
+    for &p in &parts {
+        let v = match p {
+            Part::Lower => xmin.checked_add_unsigned(reader.read_bits(alpha)?)?,
+            Part::Center => min_xc.checked_add_unsigned(reader.read_bits(beta)?)?,
+            Part::Upper => min_xu.checked_add_unsigned(reader.read_bits(gamma)?)?,
+        };
+        out.push(v);
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{BitWidthSolver, MedianSolver, Solver, ValueSolver};
+
+    const INTRO: [i64; 8] = [3, 2, 4, 5, 3, 2, 0, 8];
+
+    fn roundtrip_with<S: Solver>(values: &[i64], solver: &S) -> Vec<u8> {
+        let mut buf = Vec::new();
+        encode_block(values, solver, &mut buf);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        decode_block(&buf, &mut pos, &mut out).expect("decode");
+        assert_eq!(out, values, "roundtrip mismatch for {}", solver.name());
+        assert_eq!(pos, buf.len());
+        buf
+    }
+
+    #[test]
+    fn roundtrip_all_solvers() {
+        let cases: Vec<Vec<i64>> = vec![
+            INTRO.to_vec(),
+            vec![],
+            vec![42],
+            vec![7; 50],
+            (0..300).collect(),
+            vec![i64::MIN, -1, 0, 1, i64::MAX],
+            vec![0, 1, 2, 3, 1 << 40, (1 << 40) + 1],
+            (0..256).map(|i| if i % 37 == 0 { -(1 << 30) } else { i % 17 }).collect(),
+        ];
+        for case in &cases {
+            roundtrip_with(case, &ValueSolver::new());
+            roundtrip_with(case, &BitWidthSolver::new());
+            roundtrip_with(case, &MedianSolver::new());
+            roundtrip_with(case, &ValueSolver::upper_only());
+        }
+    }
+
+    #[test]
+    fn separated_block_is_smaller_for_intro() {
+        // Plain: 4 bits × 8 = 32 payload bits; separated: 24 bits. The
+        // separated block (with its slightly larger header) must still be
+        // no larger, and its payload matches the cost model exactly
+        // (debug_assert inside the encoder).
+        let mut plain = Vec::new();
+        encode_block_with_solution(
+            &INTRO,
+            &Solution::Plain { cost_bits: 32 },
+            &mut plain,
+        );
+        let sep = roundtrip_with(&INTRO, &BitWidthSolver::new());
+        // Both decode identically. At n = 8 the richer separated header
+        // (nl, nu, part bases and three width bytes — 6 bytes more) still
+        // dominates, but the *payload* shrank from 4 bytes (32 bits) to
+        // 3 bytes (24 bits): total 13 vs 8. Headers amortize at real block
+        // sizes; what must hold structurally is the payload saving.
+        assert_eq!(plain.len(), 8);
+        assert_eq!(sep.len(), 13);
+        let plain_payload = plain.len() - 4; // n, mode, xmin, width
+        let sep_payload = sep.len() - 10; // n, mode, nl, nu, xmin, bases, α β γ
+        assert!(sep_payload < plain_payload);
+    }
+
+    #[test]
+    fn forced_separation_roundtrip() {
+        // Force an arbitrary valid separation, even a silly one.
+        let values = [10i64, 20, 30, 40, 50];
+        for sep in [
+            Separation { xl: Some(10), xu: Some(50) },
+            Separation { xl: Some(20), xu: None },
+            Separation { xl: None, xu: Some(30) },
+            Separation { xl: Some(30), xu: Some(40) },
+        ] {
+            let block = SortedBlock::from_values(&values);
+            let eval = block.evaluate(sep);
+            let solution = Solution::Separated { sep, cost_bits: eval.cost_bits };
+            let mut buf = Vec::new();
+            encode_block_with_solution(&values, &solution, &mut buf);
+            let mut pos = 0;
+            let mut out = Vec::new();
+            decode_block(&buf, &mut pos, &mut out).expect("decode");
+            assert_eq!(out, values, "sep {sep:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_inputs_do_not_panic() {
+        let mut buf = Vec::new();
+        encode_block(&INTRO, &BitWidthSolver::new(), &mut buf);
+        // Truncations at every length must fail cleanly or succeed (a
+        // truncation can still contain a full valid block only at full
+        // length).
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            let mut out = Vec::new();
+            assert!(
+                decode_block(&buf[..cut], &mut pos, &mut out).is_none(),
+                "cut at {cut} unexpectedly decoded"
+            );
+        }
+        // Bad mode byte.
+        let mut bad = buf.clone();
+        bad[1] = 99;
+        let mut pos = 0;
+        let mut out = Vec::new();
+        assert!(decode_block(&bad, &mut pos, &mut out).is_none());
+    }
+
+    #[test]
+    fn empty_block_is_one_byte() {
+        let mut buf = Vec::new();
+        encode_block(&[], &ValueSolver::new(), &mut buf);
+        assert_eq!(buf, vec![0]);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        decode_block(&buf, &mut pos, &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_decode() {
+        let cases: Vec<Vec<i64>> = vec![
+            INTRO.to_vec(),
+            vec![],
+            vec![42],
+            vec![7; 50],
+            (0..300).collect(),
+            vec![i64::MIN, -1, 0, 1, i64::MAX],
+            vec![0, 1, 2, 3, 1 << 40, (1 << 40) + 1],
+        ];
+        for case in &cases {
+            for solver_plain in [false, true] {
+                let mut buf = Vec::new();
+                if solver_plain {
+                    let plain = Solution::Plain {
+                        cost_bits: if case.is_empty() {
+                            0
+                        } else {
+                            SortedBlock::from_values(case).plain_cost_bits()
+                        },
+                    };
+                    encode_block_with_solution(case, &plain, &mut buf);
+                } else {
+                    encode_block(case, &BitWidthSolver::new(), &mut buf);
+                }
+                let mut ppos = 0;
+                let summary = peek_block(&buf, &mut ppos).expect("peek");
+                assert_eq!(ppos, buf.len(), "peek must advance past the block");
+                assert_eq!(summary.encoded_len, buf.len());
+                assert_eq!(summary.n, case.len());
+                let mut dpos = 0;
+                let mut out = Vec::new();
+                decode_block(&buf, &mut dpos, &mut out).expect("decode");
+                if let Some((lo, hi)) = summary.bounds {
+                    let actual_min = *out.iter().min().expect("non-empty");
+                    let actual_max = *out.iter().max().expect("non-empty");
+                    assert_eq!(lo, actual_min, "min must be exact");
+                    assert!(hi >= actual_max, "max bound must cover the max");
+                } else {
+                    assert!(out.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peek_rejects_truncation() {
+        let mut buf = Vec::new();
+        encode_block(&INTRO, &BitWidthSolver::new(), &mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(peek_block(&buf[..cut], &mut pos).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn multiple_blocks_in_one_buffer() {
+        let mut buf = Vec::new();
+        encode_block(&INTRO, &BitWidthSolver::new(), &mut buf);
+        encode_block(&[9, 9, 9], &BitWidthSolver::new(), &mut buf);
+        encode_block(&[-5, 1000, -5], &BitWidthSolver::new(), &mut buf);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        decode_block(&buf, &mut pos, &mut out).unwrap();
+        decode_block(&buf, &mut pos, &mut out).unwrap();
+        decode_block(&buf, &mut pos, &mut out).unwrap();
+        assert_eq!(pos, buf.len());
+        let mut expected = INTRO.to_vec();
+        expected.extend([9, 9, 9, -5, 1000, -5]);
+        assert_eq!(out, expected);
+    }
+}

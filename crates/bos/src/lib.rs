@@ -1,0 +1,190 @@
+//! # BOS — Bit-packing with Outlier Separation
+//!
+//! Reproduction of the core contribution of *"BOS: Bit-packing with Outlier
+//! Separation"* (Xiao, Guo, Song — ICDE 2025). Plain bit-packing pays one
+//! fixed width for every value of a block, so a single extreme value
+//! inflates the whole block. BOS splits a block into **lower outliers**,
+//! **center values** and **upper outliers**, stores each part with its own
+//! width, and marks positions with a `0`/`10`/`11` bitmap (Figure 2 of the
+//! paper).
+//!
+//! ```
+//! use bos::{BosCodec, SolverKind};
+//!
+//! // The paper's introductory series: 8 is an upper outlier, 0 a lower one.
+//! let values = [3i64, 2, 4, 5, 3, 2, 0, 8];
+//! let codec = BosCodec::new(SolverKind::BitWidth); // BOS-B, exact, O(n log n)
+//! let mut buf = Vec::new();
+//! codec.encode(&values, &mut buf);
+//!
+//! let mut decoded = Vec::new();
+//! let mut pos = 0;
+//! bos::decode(&buf, &mut pos, &mut decoded).unwrap();
+//! assert_eq!(decoded, values);
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`cost`] — the storage cost model (Definitions 1–6, Formula 7).
+//! * [`solver`] — BOS-V (Alg. 1), BOS-B (Alg. 2) and BOS-M (Alg. 3).
+//! * [`mod@format`] — the self-describing block layout of Section VII (Fig. 7).
+//! * [`kpart`] — the k-part generalization behind Figure 14.
+//! * [`stream`] — block segmentation for long series.
+//! * [`stats`] — per-block separation diagnostics (Figure 9's machinery).
+//! * [`theory`] — the Proposition 4 approximation bound.
+//! * [`positions`] — bitmap vs. index-list position-storage analysis.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod format;
+pub mod kpart;
+pub mod positions;
+pub mod solver;
+pub mod stats;
+pub mod stream;
+pub mod theory;
+
+pub use cost::{Evaluation, Separation, Solution, SortedBlock};
+pub use format::{decode_block as decode, encode_block_with_solution};
+pub use solver::{BitWidthSolver, MedianSolver, Solver, SolverConfig, ValueSolver};
+
+/// Which separation solver a [`BosCodec`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// BOS-V: exact, O(n²) search over value pairs (Algorithm 1).
+    Value,
+    /// BOS-B: exact, O(n log n) search over bit-widths (Algorithm 2).
+    BitWidth,
+    /// BOS-M: approximate, O(n) median/bucket search (Algorithm 3).
+    Median,
+    /// BOS-V restricted to upper outliers (Figure 12 ablation).
+    ValueUpperOnly,
+    /// BOS-B restricted to upper outliers (Figure 12 ablation).
+    BitWidthUpperOnly,
+}
+
+/// A block codec: runs the chosen solver and writes the Section-VII layout.
+///
+/// Every variant decodes with the same [`decode`] function — the stream is
+/// self-describing, so the solver choice only affects how good (and how
+/// fast) compression is, never compatibility.
+#[derive(Debug, Clone, Copy)]
+pub struct BosCodec {
+    kind: SolverKind,
+}
+
+impl BosCodec {
+    /// Creates a codec using the given solver.
+    pub fn new(kind: SolverKind) -> Self {
+        Self { kind }
+    }
+
+    /// The solver this codec runs.
+    pub fn kind(&self) -> SolverKind {
+        self.kind
+    }
+
+    /// Name matching the paper's method labels ("BOS-V", "BOS-B", "BOS-M").
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            SolverKind::Value => "BOS-V",
+            SolverKind::BitWidth => "BOS-B",
+            SolverKind::Median => "BOS-M",
+            SolverKind::ValueUpperOnly => "BOS-V (upper only)",
+            SolverKind::BitWidthUpperOnly => "BOS-B (upper only)",
+        }
+    }
+
+    /// Runs the solver on `values` (without encoding).
+    pub fn solve(&self, values: &[i64]) -> Solution {
+        match self.kind {
+            SolverKind::Value => ValueSolver::new().solve_values(values),
+            SolverKind::BitWidth => BitWidthSolver::new().solve_values(values),
+            SolverKind::Median => MedianSolver::new().solve_values(values),
+            SolverKind::ValueUpperOnly => ValueSolver::upper_only().solve_values(values),
+            SolverKind::BitWidthUpperOnly => BitWidthSolver::upper_only().solve_values(values),
+        }
+    }
+
+    /// Encodes one block of values into `out`.
+    pub fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        let solution = self.solve(values);
+        format::encode_block_with_solution(values, &solution, out);
+    }
+
+    /// Decodes one block from `buf[*pos..]` into `out`. Identical to the
+    /// free function [`decode`]; provided for symmetry.
+    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+        format::decode_block(buf, pos, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_roundtrip_every_kind() {
+        let values: Vec<i64> = (0..500)
+            .map(|i| match i % 43 {
+                0 => 1_000_000 + i,
+                1 => -1_000_000 - i,
+                _ => 500 + (i % 21),
+            })
+            .collect();
+        for kind in [
+            SolverKind::Value,
+            SolverKind::BitWidth,
+            SolverKind::Median,
+            SolverKind::ValueUpperOnly,
+            SolverKind::BitWidthUpperOnly,
+        ] {
+            let codec = BosCodec::new(kind);
+            let mut buf = Vec::new();
+            codec.encode(&values, &mut buf);
+            let mut pos = 0;
+            let mut out = Vec::new();
+            codec.decode(&buf, &mut pos, &mut out).expect("decode");
+            assert_eq!(out, values, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn exact_kinds_agree_on_cost() {
+        let values: Vec<i64> = (0..300).map(|i| (i * i * 31) % 10_007).collect();
+        let v = BosCodec::new(SolverKind::Value).solve(&values);
+        let b = BosCodec::new(SolverKind::BitWidth).solve(&values);
+        assert_eq!(v.cost_bits(), b.cost_bits());
+    }
+
+    #[test]
+    fn bos_b_compresses_better_than_plain_on_outliers() {
+        // The headline behaviour: blocks with outliers shrink.
+        let mut values: Vec<i64> = (0..1000).map(|i| 100 + (i % 16)).collect();
+        values[17] = 1 << 40;
+        values[400] = -(1 << 35);
+        let codec = BosCodec::new(SolverKind::BitWidth);
+        let mut bos_buf = Vec::new();
+        codec.encode(&values, &mut bos_buf);
+        let mut plain_buf = Vec::new();
+        let plain = Solution::Plain {
+            cost_bits: SortedBlock::from_values(&values).plain_cost_bits(),
+        };
+        encode_block_with_solution(&values, &plain, &mut plain_buf);
+        assert!(
+            bos_buf.len() * 4 < plain_buf.len(),
+            "bos {} vs plain {}",
+            bos_buf.len(),
+            plain_buf.len()
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(BosCodec::new(SolverKind::Value).name(), "BOS-V");
+        assert_eq!(BosCodec::new(SolverKind::BitWidth).name(), "BOS-B");
+        assert_eq!(BosCodec::new(SolverKind::Median).name(), "BOS-M");
+    }
+}

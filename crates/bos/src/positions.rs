@@ -1,0 +1,118 @@
+//! Outlier-position storage schemes: bitmap vs. index list.
+//!
+//! The paper (§II-C) criticizes the PFOR family because "bitmap is not
+//! considered to store index of outliers. In some cases, bitmap could save
+//! the index storage." This module makes that design choice explicit and
+//! analyzable:
+//!
+//! * **Bitmap** (Figure 2, what BOS ships): `0`/`10`/`11` per position —
+//!   `n + nl + nu` bits, independent of where the outliers are.
+//! * **Index list** (PFOR-style): each outlier stores its position in
+//!   `⌈log2 n⌉` bits (one bit more distinguishes lower from upper) —
+//!   `(nl + nu) · (⌈log2 n⌉ + 1)` bits, cheap only when outliers are rare.
+//!
+//! The crossover: with `k = nl + nu` outliers out of `n`, the bitmap wins
+//! once `k/n > 1/⌈log2 n⌉` roughly — a couple of percent at the paper's
+//! block sizes, which Figure 9 shows real data easily exceeds. The
+//! `exp_ablation_positions` experiment measures this on the evaluation
+//! datasets.
+
+use bitpack::width::width;
+
+/// Bits the Figure-2 bitmap needs for `n` values with `nl`/`nu` outliers.
+pub fn bitmap_bits(n: usize, nl: usize, nu: usize) -> u64 {
+    (n + nl + nu) as u64
+}
+
+/// Bits a PFOR-style index list needs: per outlier, a `⌈log2 n⌉`-bit
+/// position plus one side bit (lower vs. upper).
+pub fn index_list_bits(n: usize, nl: usize, nu: usize) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let idx_bits = width(n as u64 - 1).max(1) as u64;
+    (nl + nu) as u64 * (idx_bits + 1)
+}
+
+/// Which scheme is smaller for this block shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PositionScheme {
+    /// The `0`/`10`/`11` bitmap.
+    Bitmap,
+    /// The per-outlier index list.
+    IndexList,
+}
+
+/// The cheaper scheme (ties go to the bitmap, which also decodes in one
+/// sequential scan).
+pub fn cheaper(n: usize, nl: usize, nu: usize) -> PositionScheme {
+    if bitmap_bits(n, nl, nu) <= index_list_bits(n, nl, nu) {
+        PositionScheme::Bitmap
+    } else {
+        PositionScheme::IndexList
+    }
+}
+
+/// The outlier fraction above which the bitmap is the cheaper scheme for
+/// blocks of `n` values (assuming outliers split evenly between sides).
+pub fn bitmap_crossover_fraction(n: usize) -> f64 {
+    if n <= 1 {
+        return 1.0;
+    }
+    // n + k ≤ k (idx_bits + 1)  ⇔  k ≥ n / idx_bits.
+    let idx_bits = width(n as u64 - 1).max(1) as f64;
+    1.0 / idx_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_match_definitions() {
+        assert_eq!(bitmap_bits(8, 1, 1), 10); // the intro example: n+nl+nu
+        assert_eq!(index_list_bits(8, 1, 1), 2 * (3 + 1));
+        assert_eq!(index_list_bits(1024, 10, 5), 15 * 11);
+        assert_eq!(index_list_bits(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn sparse_outliers_favor_index_list() {
+        // 2 outliers in 1024 values: list = 2·11 = 22 bits, bitmap = 1026.
+        assert_eq!(cheaper(1024, 1, 1), PositionScheme::IndexList);
+    }
+
+    #[test]
+    fn dense_outliers_favor_bitmap() {
+        // 20 % outliers in 1024 values: list ≈ 2253 bits, bitmap ≈ 1229.
+        assert_eq!(cheaper(1024, 100, 105), PositionScheme::Bitmap);
+    }
+
+    #[test]
+    fn crossover_matches_direct_comparison() {
+        for n in [64usize, 256, 1024, 8192] {
+            let f = bitmap_crossover_fraction(n);
+            let k_below = ((f * 0.5) * n as f64) as usize;
+            let k_above = ((f * 2.0) * n as f64).ceil() as usize;
+            assert_eq!(
+                cheaper(n, k_below / 2, k_below - k_below / 2),
+                if k_below == 0 { PositionScheme::Bitmap } else { PositionScheme::IndexList },
+                "below crossover at n={n}"
+            );
+            assert_eq!(
+                cheaper(n, k_above / 2, k_above - k_above / 2),
+                PositionScheme::Bitmap,
+                "above crossover at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_outliers_tie_to_bitmap() {
+        // Degenerate but defined: with no outliers neither side stores
+        // anything useful; the convention picks the bitmap.
+        assert_eq!(cheaper(0, 0, 0), PositionScheme::Bitmap);
+        // With n > 0 and no outliers the list is 0 bits and wins.
+        assert_eq!(cheaper(100, 0, 0), PositionScheme::IndexList);
+    }
+}

@@ -1,0 +1,147 @@
+//! Adaptive solver: O(n) effort by default, exact effort where it pays.
+//!
+//! Production encoders face a fleet-wide version of the paper's Figure 10b
+//! trade-off: BOS-B buys ~15 % extra ratio over BOS-M at ~10× the CPU.
+//! Most blocks don't need it — BOS-M is near-optimal on the near-normal
+//! deltas of Figure 8 (Proposition 4) — but skewed blocks (TH-Climate
+//! style) lose real bits. This solver runs BOS-M first and escalates to
+//! BOS-B only when the approximate solution left obvious money on the
+//! table, measured against the only free lower bound available:
+//! `n · width(…)` of the center after removing the found outliers is not
+//! available cheaply, so the escalation trigger is the *savings ratio*:
+//! if BOS-M saved less than `escalate_below` of the plain cost, the block
+//! is either incompressible (exact search won't help) or mis-separated
+//! (it will) — and telling those apart is exactly one BOS-B call.
+
+use super::{BitWidthSolver, MedianSolver, Solver, SolverConfig};
+use crate::cost::{Solution, SortedBlock};
+
+/// BOS-M with BOS-B escalation.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveSolver {
+    /// Escalate when BOS-M's cost is at least this fraction of the plain
+    /// cost (default 0.8: escalate when BOS-M saved less than 20 %).
+    /// 0.0 always escalates (pure BOS-B plus a wasted BOS-M pass);
+    /// values > 1.0 would never escalate.
+    pub escalate_below: f64,
+    /// Shared configuration, forwarded to both inner solvers.
+    pub config: SolverConfig,
+}
+
+impl Default for AdaptiveSolver {
+    fn default() -> Self {
+        Self {
+            escalate_below: 0.8,
+            config: SolverConfig::default(),
+        }
+    }
+}
+
+impl AdaptiveSolver {
+    /// Creates the solver with the default escalation threshold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the solver with a custom threshold in `[0, 1]` (see the
+    /// field docs for the semantics of the extremes).
+    pub fn with_threshold(escalate_below: f64) -> Self {
+        assert!((0.0..=1.0).contains(&escalate_below));
+        Self {
+            escalate_below,
+            ..Self::default()
+        }
+    }
+}
+
+impl Solver for AdaptiveSolver {
+    fn name(&self) -> &'static str {
+        "BOS-A"
+    }
+
+    fn solve_values(&self, values: &[i64]) -> Solution {
+        let approx = MedianSolver { config: self.config }.solve_values(values);
+        if values.is_empty() {
+            return approx;
+        }
+        // Cheap plain cost: max/min scan only.
+        let min = values.iter().copied().min().expect("non-empty");
+        let max = values.iter().copied().max().expect("non-empty");
+        let plain = values.len() as u64
+            * bitpack::width(bitpack::width::range_u64(min, max) as u64) as u64;
+        if plain == 0 || (approx.cost_bits() as f64) < self.escalate_below * plain as f64 {
+            return approx;
+        }
+        let exact = BitWidthSolver { config: self.config }
+            .solve(&SortedBlock::from_values(values));
+        if exact.cost_bits() < approx.cost_bits() {
+            exact
+        } else {
+            approx
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{BitWidthSolver, MedianSolver};
+
+    #[test]
+    fn sandwiched_between_exact_and_approx() {
+        let cases: Vec<Vec<i64>> = vec![
+            (0..512).map(|i| (i % 37) - 18).collect(),
+            (0..512).map(|i| if i % 50 == 0 { 1 << 30 } else { i % 8 }).collect(),
+            // Skewed, BOS-M's hard case: cluster of low outliers.
+            (0..512).map(|i| if i % 9 == 0 { -(1000 + i) } else { 5000 + (i % 4) }).collect(),
+            vec![],
+            vec![7; 64],
+        ];
+        let a = AdaptiveSolver::new();
+        let b = BitWidthSolver::new();
+        let m = MedianSolver::new();
+        for case in cases {
+            let ca = a.solve_values(&case).cost_bits();
+            let cb = b.solve_values(&case).cost_bits();
+            let cm = m.solve_values(&case).cost_bits();
+            assert!(ca >= cb, "adaptive beat exact on {case:?}");
+            assert!(ca <= cm, "adaptive worse than approx on {case:?}");
+        }
+    }
+
+    #[test]
+    fn threshold_extremes() {
+        let values: Vec<i64> = (0..256).map(|i| if i % 9 == 0 { -9999 } else { 800 + i % 3 }).collect();
+        // 0.0: the early-return never fires → always escalate → exact.
+        let always = AdaptiveSolver::with_threshold(0.0).solve_values(&values);
+        // 1.0: BOS-M saved something here, so no escalation → approx.
+        let never = AdaptiveSolver::with_threshold(1.0).solve_values(&values);
+        let m = MedianSolver::new().solve_values(&values);
+        let b = BitWidthSolver::new().solve_values(&values);
+        assert_eq!(always.cost_bits(), b.cost_bits());
+        assert_eq!(never.cost_bits(), m.cost_bits());
+    }
+
+    #[test]
+    fn escalates_when_approx_saves_little() {
+        // Uniform data: BOS-M finds nothing (cost == plain), which trips
+        // the default 0.8 threshold; the escalated BOS-B then confirms
+        // plain packing is optimal. The adaptive answer must equal BOS-B's.
+        let values: Vec<i64> = (0..1024).map(|i| i % 512).collect();
+        let a = AdaptiveSolver::new().solve_values(&values).cost_bits();
+        let b = BitWidthSolver::new().solve_values(&values).cost_bits();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrips_through_the_codec_format() {
+        let values: Vec<i64> = (0..700).map(|i| if i % 31 == 0 { 1 << 35 } else { i % 13 }).collect();
+        let sol = AdaptiveSolver::new().solve_values(&values);
+        let mut buf = Vec::new();
+        crate::format::encode_block_with_solution(&values, &sol, &mut buf);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        crate::format::decode_block(&buf, &mut pos, &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+}

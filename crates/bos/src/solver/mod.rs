@@ -1,0 +1,129 @@
+//! The three separation solvers of the paper.
+//!
+//! | Solver | Section | Time | Guarantee |
+//! |--------|---------|------|-----------|
+//! | [`ValueSolver`] (BOS-V) | §IV, Alg. 1 | O(m²) | optimal (Prop. 1) |
+//! | [`BitWidthSolver`] (BOS-B) | §V, Alg. 2 | O(m log m) | optimal (Prop. 2–3) |
+//! | [`MedianSolver`] (BOS-M) | §VI, Alg. 3 | O(n) | approximate (Prop. 4) |
+//!
+//! A fourth, test-only oracle ([`BruteForceSolver`]) sweeps *every*
+//! integer threshold pair to certify Proposition 1 empirically, and
+//! [`AdaptiveSolver`] escalates from BOS-M to BOS-B per block — a
+//! production-style effort policy built from the paper's pieces.
+//!
+//! (`m` = number of distinct values ≤ `n`.) Every solver returns a
+//! [`Solution`] that is *at most* the plain bit-packing cost: when no
+//! separation beats Definition 1, `Solution::Plain` is returned, which the
+//! block format encodes without a position bitmap.
+
+mod adaptive;
+mod bitwidth;
+mod bruteforce;
+mod median;
+mod value;
+
+pub use adaptive::AdaptiveSolver;
+pub use bitwidth::BitWidthSolver;
+pub use bruteforce::BruteForceSolver;
+pub use median::MedianSolver;
+pub use value::ValueSolver;
+
+use crate::cost::Solution;
+#[cfg(test)]
+use crate::cost::SortedBlock;
+
+/// Shared solver configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Only search for upper outliers, like the PFOR family (used by the
+    /// Figure 12 ablation: "terminating the loop early without enumerating
+    /// lower outliers").
+    pub upper_only: bool,
+}
+
+/// A strategy for choosing the separation thresholds of one block.
+///
+/// The entry point takes raw values, not a pre-built
+/// [`SortedBlock`](crate::cost::SortedBlock):
+/// BOS-M's whole point is running in O(n) *without* sorting, so building the
+/// summary is part of each solver's own budget (and of its measured time in
+/// the Figure 10c / 15 experiments).
+pub trait Solver {
+    /// Human-readable name used in experiment output ("BOS-V", …).
+    fn name(&self) -> &'static str;
+
+    /// Chooses a solution for the block. Must return `Solution::Plain` with
+    /// zero cost for empty blocks.
+    fn solve_values(&self, values: &[i64]) -> Solution;
+}
+
+/// Picks the cheaper of the current best and a candidate separation.
+/// Retained as the reference implementation the optimized solver inner
+/// loops are tested against.
+#[cfg(test)]
+pub(crate) fn consider(
+    block: &SortedBlock,
+    sep: crate::cost::Separation,
+    best: &mut Solution,
+) {
+    if !sep.is_valid() {
+        return;
+    }
+    let eval = block.evaluate(sep);
+    if eval.cost_bits < best.cost_bits() {
+        *best = Solution::Separated {
+            sep,
+            cost_bits: eval.cost_bits,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Separation;
+
+    #[test]
+    fn consider_keeps_cheaper() {
+        let block = SortedBlock::from_values(&[3, 2, 4, 5, 3, 2, 0, 8]);
+        let mut best = Solution::Plain {
+            cost_bits: block.plain_cost_bits(),
+        };
+        consider(
+            &block,
+            Separation {
+                xl: Some(0),
+                xu: Some(8),
+            },
+            &mut best,
+        );
+        assert_eq!(best.cost_bits(), 24);
+        // A worse candidate does not replace it.
+        consider(
+            &block,
+            Separation {
+                xl: None,
+                xu: Some(2),
+            },
+            &mut best,
+        );
+        assert_eq!(best.cost_bits(), 24);
+    }
+
+    #[test]
+    fn consider_ignores_invalid() {
+        let block = SortedBlock::from_values(&[1, 2, 3]);
+        let mut best = Solution::Plain {
+            cost_bits: block.plain_cost_bits(),
+        };
+        consider(
+            &block,
+            Separation {
+                xl: Some(5),
+                xu: Some(5),
+            },
+            &mut best,
+        );
+        assert!(matches!(best, Solution::Plain { .. }));
+    }
+}

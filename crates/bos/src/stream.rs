@@ -1,0 +1,248 @@
+//! Streaming block segmentation for long series.
+//!
+//! A [`BosCodec`] works on one block; real series are
+//! millions of values. [`StreamEncoder`] splits a series into fixed-size
+//! blocks (the paper's experiments use 1024 by default, Figure 15 sweeps
+//! 2^6…2^13) and concatenates self-describing block streams so a reader
+//! can decode incrementally without an outer index.
+//!
+//! ```
+//! use bos::stream::{StreamDecoder, StreamEncoder};
+//! use bos::SolverKind;
+//!
+//! let values: Vec<i64> = (0..10_000).map(|i| i % 100).collect();
+//! let mut buf = Vec::new();
+//! StreamEncoder::new(SolverKind::BitWidth, 1024).encode(&values, &mut buf);
+//!
+//! let mut out = Vec::new();
+//! for block in StreamDecoder::new(&buf) {
+//!     out.extend(block.expect("intact stream"));
+//! }
+//! assert_eq!(out, values);
+//! ```
+
+use crate::format;
+use crate::BosCodec;
+use crate::SolverKind;
+use bitpack::zigzag::{read_varint, write_varint};
+
+/// Splits a series into blocks and encodes each with a BOS solver.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamEncoder {
+    codec: BosCodec,
+    block_size: usize,
+}
+
+impl StreamEncoder {
+    /// Creates an encoder with the given solver and block size (≥ 1).
+    pub fn new(kind: SolverKind, block_size: usize) -> Self {
+        assert!(block_size >= 1);
+        Self {
+            codec: BosCodec::new(kind),
+            block_size,
+        }
+    }
+
+    /// The block size values are segmented into.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Encodes the whole series: `varint n_blocks` then the blocks.
+    pub fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        let n_blocks = values.len().div_ceil(self.block_size);
+        write_varint(out, n_blocks as u64);
+        for block in values.chunks(self.block_size) {
+            self.codec.encode(block, out);
+        }
+    }
+
+    /// Parallel variant of [`encode`](Self::encode): blocks are encoded on
+    /// `threads` worker threads and concatenated in order. The output is
+    /// byte-identical to the sequential path (blocks are independent), so
+    /// any reader works on either.
+    pub fn encode_parallel(&self, values: &[i64], threads: usize, out: &mut Vec<u8>) {
+        assert!(threads >= 1);
+        let n_blocks = values.len().div_ceil(self.block_size);
+        write_varint(out, n_blocks as u64);
+        if threads == 1 || n_blocks <= 1 {
+            for block in values.chunks(self.block_size) {
+                self.codec.encode(block, out);
+            }
+            return;
+        }
+        let blocks: Vec<&[i64]> = values.chunks(self.block_size).collect();
+        let chunk = blocks.len().div_ceil(threads);
+        let codec = self.codec;
+        let mut parts: Vec<Vec<u8>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = blocks
+                .chunks(chunk)
+                .map(|group| {
+                    scope.spawn(move || {
+                        let mut buf = Vec::new();
+                        for block in group {
+                            codec.encode(block, &mut buf);
+                        }
+                        buf
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("worker panicked"));
+            }
+        });
+        for part in parts {
+            out.extend_from_slice(&part);
+        }
+    }
+}
+
+/// Iterator over the blocks of a [`StreamEncoder`] stream.
+///
+/// Yields `Ok(values)` per block; a corrupt block yields one `Err(())` and
+/// ends the iteration (the stream cannot be resynchronized past it).
+pub struct StreamDecoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    remaining: u64,
+    failed: bool,
+}
+
+impl<'a> StreamDecoder<'a> {
+    /// Starts decoding at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        let mut pos = 0;
+        match read_varint(buf, &mut pos) {
+            Some(n) => Self {
+                buf,
+                pos,
+                remaining: n,
+                failed: false,
+            },
+            None => Self {
+                buf,
+                pos: 0,
+                remaining: if buf.is_empty() { 0 } else { 1 },
+                failed: !buf.is_empty(),
+            },
+        }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Convenience: decode every block into one vector.
+    pub fn decode_all(buf: &'a [u8]) -> Option<Vec<i64>> {
+        let mut out = Vec::new();
+        for block in StreamDecoder::new(buf) {
+            out.extend(block.ok()?);
+        }
+        Some(out)
+    }
+}
+
+impl Iterator for StreamDecoder<'_> {
+    type Item = Result<Vec<i64>, ()>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.failed {
+            self.remaining = 0;
+            return Some(Err(()));
+        }
+        self.remaining -= 1;
+        let mut block = Vec::new();
+        match format::decode_block(self.buf, &mut self.pos, &mut block) {
+            Some(()) => Some(Ok(block)),
+            None => {
+                self.remaining = 0;
+                Some(Err(()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiblock() {
+        let values: Vec<i64> = (0..5000)
+            .map(|i| if i % 97 == 0 { 1 << 30 } else { i % 50 })
+            .collect();
+        for block_size in [1usize, 7, 256, 1024, 5000, 9999] {
+            let mut buf = Vec::new();
+            StreamEncoder::new(SolverKind::BitWidth, block_size).encode(&values, &mut buf);
+            let decoded = StreamDecoder::decode_all(&buf).expect("intact");
+            assert_eq!(decoded, values, "block_size {block_size}");
+        }
+    }
+
+    #[test]
+    fn parallel_encode_is_byte_identical() {
+        let values: Vec<i64> = (0..20_000)
+            .map(|i| if i % 71 == 0 { -(1 << 33) } else { i % 900 })
+            .collect();
+        let enc = StreamEncoder::new(SolverKind::BitWidth, 512);
+        let mut seq = Vec::new();
+        enc.encode(&values, &mut seq);
+        for threads in [1, 2, 3, 8] {
+            let mut par = Vec::new();
+            enc.encode_parallel(&values, threads, &mut par);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+        assert_eq!(StreamDecoder::decode_all(&seq), Some(values));
+    }
+
+    #[test]
+    fn empty_series() {
+        let mut buf = Vec::new();
+        StreamEncoder::new(SolverKind::Median, 1024).encode(&[], &mut buf);
+        assert_eq!(StreamDecoder::decode_all(&buf), Some(vec![]));
+    }
+
+    #[test]
+    fn block_iteration_matches_chunks() {
+        let values: Vec<i64> = (0..2500).collect();
+        let mut buf = Vec::new();
+        StreamEncoder::new(SolverKind::BitWidth, 1000).encode(&values, &mut buf);
+        let blocks: Vec<Vec<i64>> = StreamDecoder::new(&buf).map(|b| b.unwrap()).collect();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].len(), 1000);
+        assert_eq!(blocks[2].len(), 500);
+        assert_eq!(blocks.concat(), values);
+    }
+
+    #[test]
+    fn truncation_yields_err_not_panic() {
+        let values: Vec<i64> = (0..3000).collect();
+        let mut buf = Vec::new();
+        StreamEncoder::new(SolverKind::BitWidth, 1024).encode(&values, &mut buf);
+        let cut = &buf[..buf.len() / 2];
+        let mut saw_err = false;
+        for block in StreamDecoder::new(cut) {
+            if block.is_err() {
+                saw_err = true;
+            }
+        }
+        assert!(saw_err);
+        assert_eq!(StreamDecoder::decode_all(cut), None);
+    }
+
+    #[test]
+    fn mixed_solver_streams_are_compatible() {
+        // Blocks written with different solvers decode with one decoder.
+        let a: Vec<i64> = (0..1500).collect();
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 2);
+        BosCodec::new(SolverKind::Median).encode(&a[..1000], &mut buf);
+        BosCodec::new(SolverKind::Value).encode(&a[1000..], &mut buf);
+        assert_eq!(StreamDecoder::decode_all(&buf), Some(a));
+    }
+}

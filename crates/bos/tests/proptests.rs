@@ -1,0 +1,221 @@
+//! Property-based verification of the paper's central claims.
+//!
+//! * Proposition 1–3: BOS-B's bit-width search returns exactly the optimal
+//!   cost found by BOS-V's exhaustive value search.
+//! * The cost model (Definition 5 / Formula 7) equals the bits the encoder
+//!   actually writes.
+//! * Every solver produces streams that decode back to the input.
+//! * BOS-M is sandwiched between the optimum and plain bit-packing.
+
+use bos::kpart::{decode_kpart, encode_kpart, solve_kpart};
+use bos::solver::BruteForceSolver;
+use bos::{
+    decode, encode_block_with_solution, BitWidthSolver, BosCodec, MedianSolver, Solution, Solver,
+    SolverKind, SortedBlock, ValueSolver,
+};
+use proptest::prelude::*;
+
+/// Value distributions that stress the solvers: tight centers with rare
+/// huge outliers on both sides, plus fully random blocks.
+fn outlier_blocks() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => 0i64..64,               // center mass
+            1 => -1_000_000i64..0,       // lower tail
+            1 => 1_000_000i64..2_000_000 // upper tail
+        ],
+        0..200,
+    )
+}
+
+fn arbitrary_blocks() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(any::<i64>(), 0..64)
+}
+
+fn small_domain_blocks() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(prop::sample::select(vec![0i64, 1, 2, 7, 8, 100, -100, 1 << 30]), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bosb_equals_bosv_outlier_blocks(values in outlier_blocks()) {
+        let v = ValueSolver::new().solve_values(&values).cost_bits();
+        let b = BitWidthSolver::new().solve_values(&values).cost_bits();
+        prop_assert_eq!(b, v);
+    }
+
+    #[test]
+    fn bosb_equals_bosv_arbitrary(values in arbitrary_blocks()) {
+        let v = ValueSolver::new().solve_values(&values).cost_bits();
+        let b = BitWidthSolver::new().solve_values(&values).cost_bits();
+        prop_assert_eq!(b, v);
+    }
+
+    #[test]
+    fn bosb_equals_bosv_small_domain(values in small_domain_blocks()) {
+        let v = ValueSolver::new().solve_values(&values).cost_bits();
+        let b = BitWidthSolver::new().solve_values(&values).cost_bits();
+        prop_assert_eq!(b, v);
+    }
+
+    #[test]
+    fn proposition1_certified_by_oracle(values in prop::collection::vec(0i64..2000, 1..60)) {
+        // BOS-V searches only thresholds from X; the oracle searches every
+        // integer threshold in the range. Proposition 1 says they agree.
+        let oracle = BruteForceSolver::new().solve_values(&values).cost_bits();
+        let v = ValueSolver::new().solve_values(&values).cost_bits();
+        prop_assert_eq!(v, oracle);
+    }
+
+    #[test]
+    fn upper_only_variants_agree(values in outlier_blocks()) {
+        let v = ValueSolver::upper_only().solve_values(&values).cost_bits();
+        let b = BitWidthSolver::upper_only().solve_values(&values).cost_bits();
+        prop_assert_eq!(b, v);
+    }
+
+    #[test]
+    fn median_between_optimal_and_plain(values in outlier_blocks()) {
+        prop_assume!(!values.is_empty());
+        let opt = BitWidthSolver::new().solve_values(&values).cost_bits();
+        let med = MedianSolver::new().solve_values(&values).cost_bits();
+        let plain = SortedBlock::from_values(&values).plain_cost_bits();
+        prop_assert!(med >= opt);
+        prop_assert!(med <= plain);
+    }
+
+    #[test]
+    fn median_cost_is_exact_for_its_separation(values in outlier_blocks()) {
+        prop_assume!(!values.is_empty());
+        let sol = MedianSolver::new().solve_values(&values);
+        if let Solution::Separated { sep, cost_bits } = sol {
+            let block = SortedBlock::from_values(&values);
+            prop_assert_eq!(block.evaluate(sep).cost_bits, cost_bits);
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_kinds(values in outlier_blocks()) {
+        for kind in [
+            SolverKind::Value,
+            SolverKind::BitWidth,
+            SolverKind::Median,
+            SolverKind::ValueUpperOnly,
+            SolverKind::BitWidthUpperOnly,
+        ] {
+            let codec = BosCodec::new(kind);
+            let mut buf = Vec::new();
+            codec.encode(&values, &mut buf);
+            let mut pos = 0;
+            let mut out = Vec::new();
+            prop_assert!(decode(&buf, &mut pos, &mut out).is_some());
+            prop_assert_eq!(&out, &values);
+            prop_assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_i64(values in arbitrary_blocks()) {
+        let codec = BosCodec::new(SolverKind::BitWidth);
+        let mut buf = Vec::new();
+        codec.encode(&values, &mut buf);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        prop_assert!(decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn every_valid_separation_roundtrips(values in outlier_blocks(), li in 0usize..40, ui in 0usize..40) {
+        prop_assume!(!values.is_empty());
+        let block = SortedBlock::from_values(&values);
+        let d = block.distinct();
+        let xl = d.get(li % d.len()).copied();
+        let xu = d.get(ui % d.len()).copied();
+        let sep = bos::Separation { xl, xu };
+        prop_assume!(sep.is_valid());
+        let eval = block.evaluate(sep);
+        let solution = Solution::Separated { sep, cost_bits: eval.cost_bits };
+        let mut buf = Vec::new();
+        encode_block_with_solution(&values, &solution, &mut buf);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        prop_assert!(decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn truncated_streams_never_panic(values in outlier_blocks(), cut_ratio in 0.0f64..1.0) {
+        let codec = BosCodec::new(SolverKind::BitWidth);
+        let mut buf = Vec::new();
+        codec.encode(&values, &mut buf);
+        let cut = ((buf.len() as f64) * cut_ratio) as usize;
+        let mut pos = 0;
+        let mut out = Vec::new();
+        // Must not panic; may fail or (only at full length) succeed.
+        let _ = decode(&buf[..cut], &mut pos, &mut out);
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let mut pos = 0;
+        let mut out = Vec::new();
+        let _ = decode(&bytes, &mut pos, &mut out);
+        let mut pos2 = 0;
+        let mut out2 = Vec::new();
+        let _ = decode_kpart(&bytes, &mut pos2, &mut out2);
+    }
+
+    #[test]
+    fn kpart_roundtrip(values in outlier_blocks(), k in 1usize..8) {
+        let mut buf = Vec::new();
+        encode_kpart(&values, k, &mut buf);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        prop_assert!(decode_kpart(&buf, &mut pos, &mut out).is_some());
+        prop_assert_eq!(out, values);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn kpart_cost_monotone_in_k(values in outlier_blocks()) {
+        prop_assume!(!values.is_empty());
+        let block = SortedBlock::from_values(&values);
+        let mut last = u64::MAX;
+        for k in 1..=7 {
+            let c = solve_kpart(&block, k).cost_bits;
+            prop_assert!(c <= last, "k={} cost {} > {}", k, c, last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn kpart3_never_worse_than_bos(values in outlier_blocks()) {
+        prop_assume!(!values.is_empty());
+        let block = SortedBlock::from_values(&values);
+        let kp = solve_kpart(&block, 3).cost_bits;
+        let bos = BitWidthSolver::new().solve_values(&values).cost_bits();
+        prop_assert!(kp <= bos);
+    }
+
+    #[test]
+    fn solver_cost_matches_evaluator(values in outlier_blocks()) {
+        prop_assume!(!values.is_empty());
+        let block = SortedBlock::from_values(&values);
+        for sol in [
+            ValueSolver::new().solve_values(&values),
+            BitWidthSolver::new().solve_values(&values),
+        ] {
+            match sol {
+                Solution::Plain { cost_bits } => {
+                    prop_assert_eq!(cost_bits, block.plain_cost_bits())
+                }
+                Solution::Separated { sep, cost_bits } => {
+                    prop_assert_eq!(block.evaluate(sep).cost_bits, cost_bits)
+                }
+            }
+        }
+    }
+}

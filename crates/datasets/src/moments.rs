@@ -1,0 +1,186 @@
+//! Descriptive statistics for series and their delta streams.
+//!
+//! Figure 8 characterizes each dataset by the distribution of its deltas
+//! (mean/spread/skew and the histogram shape); the generators' tests and
+//! the `exp_fig08_distributions` experiment both need the same moments,
+//! so they live here.
+
+/// Summary statistics of an integer series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Skewness (third standardized moment; 0 for symmetric data).
+    pub skew: f64,
+    /// Excess kurtosis (0 for a normal distribution).
+    pub kurtosis: f64,
+    /// Minimum value.
+    pub min: i64,
+    /// Maximum value.
+    pub max: i64,
+    /// Fraction of exact zeros.
+    pub zero_frac: f64,
+}
+
+/// Computes [`Moments`] in one pass (plus one for the centered moments).
+/// Returns `None` for an empty series.
+pub fn moments(values: &[i64]) -> Option<Moments> {
+    if values.is_empty() {
+        return None;
+    }
+    let n = values.len();
+    let nf = n as f64;
+    let mean = values.iter().map(|&v| v as f64).sum::<f64>() / nf;
+    let (mut m2, mut m3, mut m4) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut min, mut max, mut zeros) = (i64::MAX, i64::MIN, 0usize);
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+        if v == 0 {
+            zeros += 1;
+        }
+        let d = v as f64 - mean;
+        let d2 = d * d;
+        m2 += d2;
+        m3 += d2 * d;
+        m4 += d2 * d2;
+    }
+    m2 /= nf;
+    m3 /= nf;
+    m4 /= nf;
+    let std = m2.sqrt();
+    let (skew, kurtosis) = if std > 0.0 {
+        (m3 / (std * std * std), m4 / (m2 * m2) - 3.0)
+    } else {
+        (0.0, 0.0)
+    };
+    Some(Moments {
+        n,
+        mean,
+        std,
+        skew,
+        kurtosis,
+        min,
+        max,
+        zero_frac: zeros as f64 / nf,
+    })
+}
+
+/// First-order delta stream of a series (the Figure 8 transform).
+pub fn deltas(values: &[i64]) -> Vec<i64> {
+    values.windows(2).map(|w| w[1].wrapping_sub(w[0])).collect()
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method.
+/// Returns `None` for an empty series.
+pub fn quantile(values: &[i64], q: f64) -> Option<i64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Histogram over `buckets` equal-width bins clipped to `mean ± 3σ`
+/// (values beyond land in the edge bins — the Figure 8 plotting style).
+pub fn histogram(values: &[i64], buckets: usize) -> Vec<usize> {
+    assert!(buckets >= 1);
+    let Some(m) = moments(values) else {
+        return vec![0; buckets];
+    };
+    let std = m.std.max(1e-9);
+    let lo = m.mean - 3.0 * std;
+    let hi = m.mean + 3.0 * std;
+    let mut counts = vec![0usize; buckets];
+    for &v in values {
+        let t = ((v as f64 - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let b = ((t * buckets as f64) as usize).min(buckets - 1);
+        counts[b] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Synth;
+
+    #[test]
+    fn empty_series() {
+        assert!(moments(&[]).is_none());
+        assert!(quantile(&[], 0.5).is_none());
+        assert_eq!(histogram(&[], 4), vec![0; 4]);
+    }
+
+    #[test]
+    fn constants_have_zero_spread() {
+        let m = moments(&[7; 100]).unwrap();
+        assert_eq!(m.mean, 7.0);
+        assert_eq!(m.std, 0.0);
+        assert_eq!(m.skew, 0.0);
+        assert_eq!((m.min, m.max), (7, 7));
+    }
+
+    #[test]
+    fn known_small_sample() {
+        let m = moments(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.mean, 2.5);
+        assert!((m.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(m.skew, 0.0); // symmetric
+        assert_eq!(m.zero_frac, 0.0);
+    }
+
+    #[test]
+    fn normal_samples_match_theory() {
+        let mut s = Synth::new(5);
+        let values: Vec<i64> = (0..200_000).map(|_| s.gaussian(100.0, 25.0).round() as i64).collect();
+        let m = moments(&values).unwrap();
+        assert!((m.mean - 100.0).abs() < 0.5, "mean {}", m.mean);
+        assert!((m.std - 25.0).abs() < 0.5, "std {}", m.std);
+        assert!(m.skew.abs() < 0.05, "skew {}", m.skew);
+        assert!(m.kurtosis.abs() < 0.1, "kurtosis {}", m.kurtosis);
+    }
+
+    #[test]
+    fn exponential_is_right_skewed() {
+        let mut s = Synth::new(9);
+        let values: Vec<i64> = (0..50_000).map(|_| (s.exponential(50.0)) as i64).collect();
+        let m = moments(&values).unwrap();
+        assert!(m.skew > 1.5, "skew {}", m.skew); // theory: 2
+        assert!(m.kurtosis > 3.0, "kurtosis {}", m.kurtosis); // theory: 6
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let values = [9i64, 1, 8, 2, 7, 3, 6, 4, 5, 10];
+        assert_eq!(quantile(&values, 0.0), Some(1));
+        assert_eq!(quantile(&values, 0.5), Some(5));
+        assert_eq!(quantile(&values, 1.0), Some(10));
+        assert_eq!(quantile(&values, 0.25), Some(3));
+    }
+
+    #[test]
+    fn deltas_match_definition() {
+        assert_eq!(deltas(&[5, 8, 6, 6]), vec![3, -2, 0]);
+        assert!(deltas(&[1]).is_empty());
+        assert_eq!(deltas(&[i64::MIN, i64::MAX]), vec![-1]); // wrapping
+    }
+
+    #[test]
+    fn histogram_buckets_sum_to_n() {
+        let mut s = Synth::new(2);
+        let values: Vec<i64> = (0..10_000).map(|_| s.gaussian(0.0, 10.0) as i64).collect();
+        let h = histogram(&values, 32);
+        assert_eq!(h.iter().sum::<usize>(), values.len());
+        // The mode should be near the center for a bell.
+        let peak = h.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        assert!((12..=20).contains(&peak), "peak at {peak}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Synthesis primitives shared by the dataset generators.
+//!
+//! Everything is seeded and deterministic. Normal sampling uses Box–Muller
+//! (keeping the dependency set to plain `rand`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded generator stream.
+pub struct Synth {
+    rng: StdRng,
+    /// Cached second Box–Muller output.
+    spare: Option<f64>,
+}
+
+impl Synth {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn uniform_int(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        // Avoid ln(0).
+        let u1 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2 = self.rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with mean and standard deviation.
+    pub fn gaussian(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.normal()
+    }
+
+    /// Log-normal: `exp(N(mu, sigma))` — the heavy-tailed spike magnitude.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.gaussian(mu, sigma).exp()
+    }
+
+    /// True with probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Exponentially-distributed positive value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+}
+
+/// Clamps and rounds a float series to integers in `[lo, hi]`.
+pub fn quantize_clamped(values: impl IntoIterator<Item = f64>, lo: i64, hi: i64) -> Vec<i64> {
+    values
+        .into_iter()
+        .map(|v| (v.round() as i64).clamp(lo, hi))
+        .collect()
+}
+
+/// Rounds a float series to `decimals` decimal places (making the `×10^p`
+/// integer scaling of the paper exactly invertible).
+pub fn round_decimals(values: impl IntoIterator<Item = f64>, decimals: u32) -> Vec<f64> {
+    let scale = 10f64.powi(decimals as i32);
+    values
+        .into_iter()
+        .map(|v| (v * scale).round() / scale)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Synth::new(7);
+        let mut b = Synth::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+            assert_eq!(a.normal().to_bits(), b.normal().to_bits());
+        }
+        let mut c = Synth::new(8);
+        let same: usize = (0..100)
+            .filter(|_| Synth::new(7).uniform() == c.uniform())
+            .count();
+        assert!(same < 100);
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut s = Synth::new(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_heavy_tailed() {
+        let mut s = Synth::new(1);
+        let samples: Vec<f64> = (0..10_000).map(|_| s.lognormal(0.0, 2.0)).collect();
+        assert!(samples.iter().all(|&v| v > 0.0));
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        let median = {
+            let mut v = samples.clone();
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        assert!(max > 50.0 * median, "max {max} median {median}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut s = Synth::new(3);
+        let hits = (0..100_000).filter(|_| s.bernoulli(0.1)).count();
+        assert!((hits as f64 - 10_000.0).abs() < 600.0, "{hits}");
+    }
+
+    #[test]
+    fn quantize_respects_bounds() {
+        let q = quantize_clamped([1.4, -5.9, 1e12, f64::from(-1e9f32)], 0, 100);
+        assert_eq!(q, vec![1, 0, 100, 0]);
+    }
+
+    #[test]
+    fn round_decimals_is_exactly_invertible() {
+        let r = round_decimals([1.23456, -9.87654], 2);
+        assert_eq!(r, vec![1.23, -9.88]);
+        for &v in &r {
+            assert_eq!((v * 100.0).round() / 100.0, v);
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut s = Synth::new(11);
+        let n = 100_000;
+        let mean = (0..n).map(|_| s.exponential(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "{mean}");
+    }
+}

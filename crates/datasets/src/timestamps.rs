@@ -1,0 +1,105 @@
+//! Timestamp-column generators.
+//!
+//! Time-series stores keep a timestamp column next to every value column
+//! (Apache TsFile pages are (time, value) pairs). Real timestamp columns
+//! come in three shapes, all generated here for the `tsfile` timed-series
+//! paths and their tests: strictly regular, regular-with-jitter, and
+//! bursty (gaps between acquisition sessions).
+
+use crate::synth::Synth;
+
+/// Strictly periodic timestamps: `start, start+period, …` — the case where
+/// second-order differencing stores ~0 bits per point.
+pub fn regular(start: i64, period: i64, n: usize) -> Vec<i64> {
+    assert!(period > 0);
+    (0..n as i64).map(|i| start + i * period).collect()
+}
+
+/// Periodic timestamps with bounded jitter (e.g. network/OS scheduling
+/// noise): monotonicity is preserved as long as `jitter < period / 2`.
+pub fn jittered(start: i64, period: i64, jitter: i64, n: usize, seed: u64) -> Vec<i64> {
+    assert!(period > 0 && jitter >= 0 && jitter < period / 2 + 1);
+    let mut s = Synth::new(seed);
+    (0..n as i64)
+        .map(|i| start + i * period + s.uniform_int(-jitter, jitter + 1))
+        .collect()
+}
+
+/// Bursty acquisition: sessions of `burst_len` regular samples separated
+/// by much longer gaps — the delta stream is near-constant with rare huge
+/// upper outliers, i.e. exactly BOS's target shape on the *time* column.
+pub fn bursty(
+    start: i64,
+    period: i64,
+    burst_len: usize,
+    gap_mean: f64,
+    n: usize,
+    seed: u64,
+) -> Vec<i64> {
+    assert!(period > 0 && burst_len >= 1);
+    let mut s = Synth::new(seed);
+    let mut t = start;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        for _ in 0..burst_len.min(n - out.len()) {
+            out.push(t);
+            t += period;
+        }
+        t += (s.exponential(gap_mean)) as i64 + period;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::deltas;
+
+    #[test]
+    fn regular_is_arithmetic() {
+        let t = regular(1000, 50, 10);
+        assert_eq!(t.len(), 10);
+        assert!(deltas(&t).iter().all(|&d| d == 50));
+    }
+
+    #[test]
+    fn jittered_stays_monotonic_and_near_period() {
+        let t = jittered(0, 1000, 400, 10_000, 7);
+        assert!(t.windows(2).all(|w| w[1] > w[0]), "non-monotonic");
+        let d = deltas(&t);
+        assert!(d.iter().all(|&x| (200..=1800).contains(&x)));
+        let mean = d.iter().sum::<i64>() as f64 / d.len() as f64;
+        assert!((mean - 1000.0).abs() < 20.0, "mean {mean}");
+    }
+
+    #[test]
+    fn bursty_has_outlier_gaps() {
+        let t = bursty(0, 100, 500, 1e7, 20_000, 3);
+        assert_eq!(t.len(), 20_000);
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+        let d = deltas(&t);
+        let gaps = d.iter().filter(|&&x| x > 100_000).count();
+        let regulars = d.iter().filter(|&&x| x == 100).count();
+        assert!(gaps >= 30, "gaps {gaps}");
+        assert!(regulars as f64 > 0.95 * d.len() as f64);
+    }
+
+    #[test]
+    fn bursty_time_column_is_bos_friendly() {
+        // The gap deltas are upper outliers: BOS should crush the column
+        // relative to plain bit-packing.
+        use bos::{BitWidthSolver, Solver, SortedBlock};
+        let t = bursty(0, 100, 500, 1e9, 4_096, 11);
+        let d = deltas(&t);
+        let block = SortedBlock::from_values(&d[..1024]);
+        let plain = block.plain_cost_bits();
+        let bos = BitWidthSolver::new().solve(&block).cost_bits();
+        assert!(bos * 3 < plain, "bos {bos} vs plain {plain}");
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(jittered(0, 10, 3, 100, 5), jittered(0, 10, 3, 100, 5));
+        assert_ne!(jittered(0, 10, 3, 100, 5), jittered(0, 10, 3, 100, 6));
+    }
+}

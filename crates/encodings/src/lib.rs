@@ -1,0 +1,227 @@
+//! Outer time-series encoders parameterized by an inner integer packer.
+//!
+//! The paper's experiments form a grid: an *outer* encoding (RLE, TS2DIFF,
+//! SPRINTZ) that transforms the series, times an *inner* bit-packing
+//! operator (BP, the PFOR family, or BOS) that stores the transformed
+//! integers. "RLE+BOS-B" etc. in Figure 10 are exactly these combinations;
+//! swapping the operator is the whole point of BOS being a drop-in
+//! replacement for bit-packing.
+//!
+//! * [`IntPacker`] — the operator interface; implemented by every
+//!   [`pfor::Codec`] and by [`BosPacker`].
+//! * [`rle::RleEncoding`] — hybrid run-length / literal-block encoding.
+//! * [`ts2diff::Ts2DiffEncoding`] — delta encoding (IoTDB TS2DIFF),
+//!   first- or second-order ([`diff`] holds the order-k transform).
+//! * [`sprintz::SprintzEncoding`] — delta prediction with zero-block
+//!   run-length skipping (SPRINTZ).
+//! * [`floatint`] — the `×10^p` float↔int scaling used to run integer
+//!   encoders on float datasets.
+//! * [`pipeline`] — one-call composition of outer × inner with names
+//!   matching the paper's tables.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod floatint;
+pub mod pipeline;
+pub mod rle;
+pub mod sprintz;
+pub mod ts2diff;
+
+pub use pipeline::{OuterKind, Pipeline};
+
+use bos::{BosCodec, SolverKind};
+
+/// The inner bit-packing operator interface: a self-describing block codec
+/// over `i64` values.
+pub trait IntPacker {
+    /// Operator label used in experiment tables ("BP", "PFOR", "BOS-B", …).
+    fn name(&self) -> &'static str;
+
+    /// Appends one encoded block to `out`.
+    fn encode(&self, values: &[i64], out: &mut Vec<u8>);
+
+    /// Decodes one block from `buf[*pos..]`, appending values to `out`.
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()>;
+}
+
+/// Boxed operators are operators (lets [`PackerKind::build`] results plug
+/// into the generic encoders directly).
+impl IntPacker for Box<dyn IntPacker> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        self.as_ref().encode(values, out)
+    }
+
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+        self.as_ref().decode(buf, pos, out)
+    }
+}
+
+/// Borrowed operators are operators.
+impl IntPacker for &dyn IntPacker {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        (**self).encode(values, out)
+    }
+
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+        (**self).decode(buf, pos, out)
+    }
+}
+
+/// Any PFOR-family codec as an operator.
+#[derive(Debug, Clone, Copy)]
+pub struct PforPacker<T: pfor::Codec>(pub T);
+
+impl<T: pfor::Codec> IntPacker for PforPacker<T> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        self.0.encode(values, out)
+    }
+
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+        self.0.decode(buf, pos, out)
+    }
+}
+
+/// BOS as an operator (wraps [`bos::BosCodec`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BosPacker(pub BosCodec);
+
+impl BosPacker {
+    /// BOS with the given solver.
+    pub fn new(kind: SolverKind) -> Self {
+        Self(BosCodec::new(kind))
+    }
+}
+
+impl IntPacker for BosPacker {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        self.0.encode(values, out)
+    }
+
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+        self.0.decode(buf, pos, out)
+    }
+}
+
+/// All inner operators of the Figure 10 grid, for experiment drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PackerKind {
+    /// Plain bit-packing (Definition 1).
+    Bp,
+    /// Classic PFOR.
+    Pfor,
+    /// NewPFOR / NewPFD.
+    NewPfor,
+    /// OptPFOR / OptPFD.
+    OptPfor,
+    /// FastPFOR.
+    FastPfor,
+    /// BOS with exact value separation (Algorithm 1).
+    BosV,
+    /// BOS with exact bit-width separation (Algorithm 2).
+    BosB,
+    /// BOS with approximate median separation (Algorithm 3).
+    BosM,
+}
+
+impl PackerKind {
+    /// Every operator, in the paper's table order.
+    pub const ALL: [PackerKind; 8] = [
+        PackerKind::Bp,
+        PackerKind::Pfor,
+        PackerKind::NewPfor,
+        PackerKind::OptPfor,
+        PackerKind::FastPfor,
+        PackerKind::BosV,
+        PackerKind::BosB,
+        PackerKind::BosM,
+    ];
+
+    /// Instantiates the operator.
+    pub fn build(self) -> Box<dyn IntPacker> {
+        match self {
+            PackerKind::Bp => Box::new(PforPacker(pfor::BpCodec::new())),
+            PackerKind::Pfor => Box::new(PforPacker(pfor::PforCodec::new())),
+            PackerKind::NewPfor => Box::new(PforPacker(pfor::NewPforCodec::new())),
+            PackerKind::OptPfor => Box::new(PforPacker(pfor::OptPforCodec::new())),
+            PackerKind::FastPfor => Box::new(PforPacker(pfor::FastPforCodec::new())),
+            PackerKind::BosV => Box::new(BosPacker::new(SolverKind::Value)),
+            PackerKind::BosB => Box::new(BosPacker::new(SolverKind::BitWidth)),
+            PackerKind::BosM => Box::new(BosPacker::new(SolverKind::Median)),
+        }
+    }
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PackerKind::Bp => "BP",
+            PackerKind::Pfor => "PFOR",
+            PackerKind::NewPfor => "NEWPFOR",
+            PackerKind::OptPfor => "OPTPFOR",
+            PackerKind::FastPfor => "FASTPFOR",
+            PackerKind::BosV => "BOS-V",
+            PackerKind::BosB => "BOS-B",
+            PackerKind::BosM => "BOS-M",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packer_registry_roundtrips() {
+        let values: Vec<i64> = (0..500)
+            .map(|i| if i % 41 == 0 { 1 << 35 } else { i % 19 })
+            .collect();
+        for kind in PackerKind::ALL {
+            let packer = kind.build();
+            let mut buf = Vec::new();
+            packer.encode(&values, &mut buf);
+            let mut pos = 0;
+            let mut out = Vec::new();
+            packer.decode(&buf, &mut pos, &mut out).expect(packer.name());
+            assert_eq!(out, values, "{}", packer.name());
+            assert_eq!(kind.label(), packer.name());
+        }
+    }
+
+    #[test]
+    fn bos_packers_beat_bp_on_two_sided_outliers() {
+        let values: Vec<i64> = (0..2048)
+            .map(|i| match i % 64 {
+                0 => 1 << 38,
+                1 => -(1 << 38),
+                _ => 1000 + (i % 10),
+            })
+            .collect();
+        let size = |kind: PackerKind| {
+            let mut buf = Vec::new();
+            kind.build().encode(&values, &mut buf);
+            buf.len()
+        };
+        let bp = size(PackerKind::Bp);
+        let bos = size(PackerKind::BosB);
+        let pf = size(PackerKind::Pfor);
+        assert!(bos < pf, "bos {bos} pfor {pf}");
+        assert!(bos * 3 < bp, "bos {bos} bp {bp}");
+    }
+}

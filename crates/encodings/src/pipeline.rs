@@ -1,0 +1,203 @@
+//! One-call outer × inner pipelines with the paper's method names.
+//!
+//! A [`Pipeline`] bundles an outer encoding (RLE / TS2DIFF / SPRINTZ) with
+//! an inner operator ([`PackerKind`]) and optionally the float scaling of
+//! `floatint` module, producing exactly the method grid of
+//! Figure 10 ("RLE+BOS-B", "TS2DIFF+FASTPFOR", …).
+
+use crate::rle::RleEncoding;
+use crate::sprintz::SprintzEncoding;
+use crate::ts2diff::Ts2DiffEncoding;
+use crate::{floatint, IntPacker, PackerKind};
+
+/// The outer transform of a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OuterKind {
+    /// Hybrid run-length encoding.
+    Rle,
+    /// Delta encoding.
+    Ts2Diff,
+    /// Delta prediction with zero-block skipping.
+    Sprintz,
+}
+
+impl OuterKind {
+    /// All outer encodings in the paper's table order.
+    pub const ALL: [OuterKind; 3] = [OuterKind::Rle, OuterKind::Sprintz, OuterKind::Ts2Diff];
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OuterKind::Rle => "RLE",
+            OuterKind::Ts2Diff => "TS2DIFF",
+            OuterKind::Sprintz => "SPRINTZ",
+        }
+    }
+}
+
+/// An outer encoding combined with an inner operator.
+pub struct Pipeline {
+    outer: OuterKind,
+    packer_kind: PackerKind,
+    block_size: usize,
+}
+
+impl Pipeline {
+    /// Default block size shared with the individual encoders.
+    pub const DEFAULT_BLOCK: usize = 1024;
+
+    /// Creates a pipeline with the default block size.
+    pub fn new(outer: OuterKind, packer: PackerKind) -> Self {
+        Self::with_block_size(outer, packer, Self::DEFAULT_BLOCK)
+    }
+
+    /// Creates a pipeline with a custom block size.
+    pub fn with_block_size(outer: OuterKind, packer: PackerKind, block_size: usize) -> Self {
+        Self {
+            outer,
+            packer_kind: packer,
+            block_size,
+        }
+    }
+
+    /// "OUTER+OPERATOR" label, e.g. "TS2DIFF+BOS-B".
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.outer.label(), self.packer_kind.label())
+    }
+
+    /// The outer transform.
+    pub fn outer(&self) -> OuterKind {
+        self.outer
+    }
+
+    /// The inner operator.
+    pub fn packer_kind(&self) -> PackerKind {
+        self.packer_kind
+    }
+
+    /// Encodes an integer series.
+    pub fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        let packer = self.packer_kind.build();
+        self.encode_with(packer.as_ref(), values, out);
+    }
+
+    fn encode_with(&self, packer: &dyn IntPacker, values: &[i64], out: &mut Vec<u8>) {
+        match self.outer {
+            OuterKind::Rle => {
+                RleEncoding::with_block_size(packer, self.block_size)
+                    .encode(values, out);
+            }
+            OuterKind::Ts2Diff => {
+                Ts2DiffEncoding::with_block_size(packer, self.block_size)
+                    .encode(values, out);
+            }
+            OuterKind::Sprintz => {
+                SprintzEncoding::with_block_size(packer, self.block_size)
+                    .encode(values, out);
+            }
+        }
+    }
+
+    /// Decodes an integer series.
+    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+        let packer = self.packer_kind.build();
+        match self.outer {
+            OuterKind::Rle => RleEncoding::with_block_size(packer.as_ref(), self.block_size)
+                .decode(buf, pos, out),
+            OuterKind::Ts2Diff => {
+                Ts2DiffEncoding::with_block_size(packer.as_ref(), self.block_size)
+                    .decode(buf, pos, out)
+            }
+            OuterKind::Sprintz => {
+                SprintzEncoding::with_block_size(packer.as_ref(), self.block_size)
+                    .decode(buf, pos, out)
+            }
+        }
+    }
+
+    /// Encodes a float series via `×10^p` scaling. The precision byte is
+    /// stored in the stream. Returns `None` when the series has no exact
+    /// decimal scaling (see [`floatint::infer_precision`]).
+    pub fn encode_f64(&self, values: &[f64], out: &mut Vec<u8>) -> Option<()> {
+        let p = floatint::infer_precision(values)?;
+        let ints = floatint::floats_to_ints(values, p)?;
+        out.push(p as u8);
+        self.encode(&ints, out);
+        Some(())
+    }
+
+    /// Decodes a float series produced by [`encode_f64`](Self::encode_f64).
+    pub fn decode_f64(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> Option<()> {
+        let p = *buf.get(*pos)? as u32;
+        *pos += 1;
+        if p > floatint::MAX_PRECISION {
+            return None;
+        }
+        let mut ints = Vec::new();
+        self.decode(buf, pos, &mut ints)?;
+        out.extend(floatint::ints_to_floats(&ints, p));
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_roundtrips() {
+        let values: Vec<i64> = (0..2500)
+            .map(|i| 10_000 + (i % 13) * 7 + if i % 59 == 0 { 80_000 } else { 0 })
+            .collect();
+        for outer in OuterKind::ALL {
+            for packer in PackerKind::ALL {
+                let p = Pipeline::new(outer, packer);
+                let mut buf = Vec::new();
+                p.encode(&values, &mut buf);
+                let mut pos = 0;
+                let mut out = Vec::new();
+                p.decode(&buf, &mut pos, &mut out).expect("decode");
+                assert_eq!(out, values, "{}", p.label());
+                assert_eq!(pos, buf.len(), "{}", p.label());
+            }
+        }
+    }
+
+    #[test]
+    fn float_pipeline_roundtrips() {
+        // 2-decimal sensor readings.
+        let values: Vec<f64> = (0..2000)
+            .map(|i| ((i as f64 * 0.07).sin() * 500.0 * 100.0).round() / 100.0)
+            .collect();
+        let p = Pipeline::new(OuterKind::Ts2Diff, PackerKind::BosB);
+        let mut buf = Vec::new();
+        p.encode_f64(&values, &mut buf).expect("representable");
+        let mut pos = 0;
+        let mut out = Vec::new();
+        p.decode_f64(&buf, &mut pos, &mut out).expect("decode");
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(
+            Pipeline::new(OuterKind::Rle, PackerKind::BosV).label(),
+            "RLE+BOS-V"
+        );
+        assert_eq!(
+            Pipeline::new(OuterKind::Ts2Diff, PackerKind::FastPfor).label(),
+            "TS2DIFF+FASTPFOR"
+        );
+        assert_eq!(
+            Pipeline::new(OuterKind::Sprintz, PackerKind::Bp).label(),
+            "SPRINTZ+BP"
+        );
+    }
+
+    #[test]
+    fn unrepresentable_floats_are_rejected() {
+        let p = Pipeline::new(OuterKind::Ts2Diff, PackerKind::Bp);
+        let mut buf = Vec::new();
+        assert!(p.encode_f64(&[std::f64::consts::E], &mut buf).is_none());
+    }
+}

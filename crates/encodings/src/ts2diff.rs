@@ -1,0 +1,256 @@
+//! TS2DIFF — delta encoding (Apache IoTDB's `TS_2DIFF` family).
+//!
+//! Per block: apply order-k differencing (k = 1 by default; k = 2, the
+//! "2" in `TS_2DIFF`, collapses linear trends such as timestamps), store
+//! the k head values, and hand the difference stream to the inner
+//! operator. The operator's own frame-of-reference (min subtraction)
+//! takes the role of IoTDB's "subtract the minimum delta" step, so
+//! negative differences need no zigzag here.
+//!
+//! Layout: `varint n · u8 order · blocks…`, each block being
+//! `order × zigzag heads · operator block(differences)`. An empty series
+//! is a single `varint 0`. The order is in the stream, so any
+//! `Ts2DiffEncoding` decodes any other's output.
+
+use crate::diff::{diff_in_place, undiff_in_place};
+use crate::IntPacker;
+use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
+
+/// Highest differencing order the format accepts.
+pub const MAX_ORDER: usize = 8;
+
+/// Delta encoding over an inner operator.
+pub struct Ts2DiffEncoding<P: IntPacker> {
+    packer: P,
+    block_size: usize,
+    order: usize,
+}
+
+impl<P: IntPacker> Ts2DiffEncoding<P> {
+    /// Default block size used by the experiments (values per block).
+    pub const DEFAULT_BLOCK: usize = 1024;
+
+    /// Creates the encoding with the default block size and first-order
+    /// differencing.
+    pub fn new(packer: P) -> Self {
+        Self::with_options(packer, Self::DEFAULT_BLOCK, 1)
+    }
+
+    /// Creates a second-order (delta-of-delta) encoding — best for series
+    /// with strong linear trends.
+    pub fn second_order(packer: P) -> Self {
+        Self::with_options(packer, Self::DEFAULT_BLOCK, 2)
+    }
+
+    /// Creates the encoding with a custom block size (≥ 2).
+    pub fn with_block_size(packer: P, block_size: usize) -> Self {
+        Self::with_options(packer, block_size, 1)
+    }
+
+    /// Full constructor: block size ≥ 2, differencing order ≤ MAX_ORDER.
+    pub fn with_options(packer: P, block_size: usize, order: usize) -> Self {
+        assert!(block_size >= 2, "block size must be at least 2");
+        assert!(order <= MAX_ORDER, "order must be at most {MAX_ORDER}");
+        Self {
+            packer,
+            block_size,
+            order,
+        }
+    }
+
+    /// "TS2DIFF+\<operator\>" label.
+    pub fn label(&self) -> String {
+        format!("TS2DIFF+{}", self.packer.name())
+    }
+
+    /// Encodes the whole series.
+    pub fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        write_varint(out, values.len() as u64);
+        if values.is_empty() {
+            return;
+        }
+        out.push(self.order as u8);
+        let mut scratch = Vec::with_capacity(self.block_size);
+        for block in values.chunks(self.block_size) {
+            scratch.clear();
+            scratch.extend_from_slice(block);
+            diff_in_place(&mut scratch, self.order);
+            let heads = self.order.min(block.len());
+            for &h in &scratch[..heads] {
+                write_varint_i64(out, h);
+            }
+            self.packer.encode(&scratch[heads..], out);
+        }
+    }
+
+    /// Decodes a series produced by [`encode`](Self::encode) (any order).
+    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+        let n = read_varint(buf, pos)? as usize;
+        if n > bitpack::MAX_BLOCK_VALUES {
+            return None;
+        }
+        if n == 0 {
+            return Some(());
+        }
+        let order = *buf.get(*pos)? as usize;
+        *pos += 1;
+        if order > MAX_ORDER {
+            return None;
+        }
+        out.reserve(n);
+        let mut scratch = Vec::new();
+        let mut produced = 0usize;
+        while produced < n {
+            let len = (n - produced).min(self.block_size);
+            let heads = order.min(len);
+            scratch.clear();
+            for _ in 0..heads {
+                scratch.push(read_varint_i64(buf, pos)?);
+            }
+            self.packer.decode(buf, pos, &mut scratch)?;
+            if scratch.len() != len {
+                return None;
+            }
+            undiff_in_place(&mut scratch, order);
+            out.extend_from_slice(&scratch);
+            produced += len;
+        }
+        Some(())
+    }
+
+    /// The delta (intermediate) series the paper histograms in Figure 8.
+    pub fn deltas(values: &[i64]) -> Vec<i64> {
+        values
+            .windows(2)
+            .map(|w| w[1].wrapping_sub(w[0]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PackerKind, PforPacker};
+
+    fn roundtrip_kind(values: &[i64], kind: PackerKind, block: usize) -> usize {
+        roundtrip_order(values, kind, block, 1)
+    }
+
+    fn roundtrip_order(values: &[i64], kind: PackerKind, block: usize, order: usize) -> usize {
+        let enc = Ts2DiffEncoding::with_options(kind.build(), block, order);
+        let mut buf = Vec::new();
+        enc.encode(values, &mut buf);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        enc.decode(&buf, &mut pos, &mut out).expect("decode");
+        assert_eq!(out, values, "{} block={block} order={order}", enc.label());
+        assert_eq!(pos, buf.len());
+        buf.len()
+    }
+
+    #[test]
+    fn roundtrip_all_operators() {
+        let values: Vec<i64> = (0..3000)
+            .map(|i| 100_000 + i * 3 + (i % 7) - 3 + if i % 97 == 0 { 5000 } else { 0 })
+            .collect();
+        for kind in PackerKind::ALL {
+            roundtrip_kind(&values, kind, 1024);
+        }
+    }
+
+    #[test]
+    fn roundtrip_odd_block_sizes() {
+        let values: Vec<i64> = (0..515).map(|i| i * i % 1000).collect();
+        for block in [2, 3, 64, 513, 515, 1000] {
+            roundtrip_kind(&values, PackerKind::BosB, block);
+        }
+    }
+
+    #[test]
+    fn roundtrip_edge_series() {
+        for values in [
+            vec![],
+            vec![5],
+            vec![5, 5],
+            vec![i64::MAX, i64::MIN, i64::MAX],
+            vec![0; 5000],
+        ] {
+            roundtrip_kind(&values, PackerKind::Bp, 1024);
+            roundtrip_kind(&values, PackerKind::BosB, 1024);
+            roundtrip_order(&values, PackerKind::BosB, 1024, 2);
+        }
+    }
+
+    #[test]
+    fn linear_trend_compresses_brutally() {
+        // A pure trend has constant deltas: near-zero payload.
+        let values: Vec<i64> = (0..10_000).map(|i| 7 * i + 1_000_000).collect();
+        let size = roundtrip_kind(&values, PackerKind::Bp, 1024);
+        assert!(size < 200, "got {size}");
+    }
+
+    #[test]
+    fn second_order_wins_on_drifting_slopes() {
+        // A constant slope is already removed by the operator's
+        // frame-of-reference; second order pays off when the slope itself
+        // drifts (acceleration), because first-order deltas then span a
+        // wide range within each block while second-order ones are tiny.
+        let values: Vec<i64> = (0..20_000i64)
+            .map(|i| i * i / 2 + (i % 3) - 1)
+            .collect();
+        let first = roundtrip_order(&values, PackerKind::Bp, 1024, 1);
+        let second = roundtrip_order(&values, PackerKind::Bp, 1024, 2);
+        assert!(second * 2 < first, "order2 {second} vs order1 {first}");
+    }
+
+    #[test]
+    fn all_orders_roundtrip() {
+        let values: Vec<i64> = (0..777).map(|i| (i * i) % 5000 - 2500).collect();
+        for order in 0..=4 {
+            roundtrip_order(&values, PackerKind::BosM, 256, order);
+        }
+    }
+
+    #[test]
+    fn delta_outliers_favor_bos() {
+        // Smooth signal with occasional level shifts in BOTH directions:
+        // the delta stream has two-sided outliers, BOS's target case.
+        let mut values = Vec::new();
+        let mut level = 0i64;
+        for i in 0..8000i64 {
+            if i % 500 == 250 {
+                level += 60_000;
+            }
+            if i % 500 == 499 {
+                level -= 60_000;
+            }
+            values.push(level + (i % 5));
+        }
+        let bp = roundtrip_kind(&values, PackerKind::Bp, 1024);
+        let bos = roundtrip_kind(&values, PackerKind::BosB, 1024);
+        assert!(bos * 2 < bp, "bos {bos} vs bp {bp}");
+    }
+
+    #[test]
+    fn deltas_helper_matches_figure8_definition() {
+        assert_eq!(
+            Ts2DiffEncoding::<PforPacker<pfor::BpCodec>>::deltas(&[5, 8, 6, 6]),
+            vec![3, -2, 0]
+        );
+        assert!(Ts2DiffEncoding::<PforPacker<pfor::BpCodec>>::deltas(&[42]).is_empty());
+    }
+
+    #[test]
+    fn order_is_self_describing() {
+        // A stream written at order 2 decodes through an order-1 handle.
+        let values: Vec<i64> = (0..3000).map(|i| i * 13).collect();
+        let writer = Ts2DiffEncoding::second_order(PackerKind::BosB.build());
+        let mut buf = Vec::new();
+        writer.encode(&values, &mut buf);
+        let reader = Ts2DiffEncoding::new(PackerKind::BosB.build());
+        let mut out = Vec::new();
+        let mut pos = 0;
+        reader.decode(&buf, &mut pos, &mut out).expect("decode");
+        assert_eq!(out, values);
+    }
+}

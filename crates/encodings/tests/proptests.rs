@@ -1,0 +1,155 @@
+//! Property-based tests for the outer encoders and float scaling.
+
+use encodings::diff::{diff, diff_in_place, undiff_in_place};
+use encodings::rle::RleEncoding;
+use encodings::sprintz::SprintzEncoding;
+use encodings::ts2diff::Ts2DiffEncoding;
+use encodings::{floatint, OuterKind, PackerKind, Pipeline};
+use proptest::prelude::*;
+
+/// Sensor-flavoured series: runs, drifts and spikes mixed.
+fn sensor_series() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => Just(0i64),                 // repeats (after cumsum: runs)
+            4 => -5i64..5,                   // drift
+            1 => -100_000i64..100_000        // spikes
+        ],
+        0..1500,
+    )
+    .prop_map(|deltas| {
+        let mut level = 10_000i64;
+        deltas
+            .iter()
+            .map(|&d| {
+                level = level.wrapping_add(d);
+                level
+            })
+            .collect()
+    })
+}
+
+fn some_packers() -> Vec<PackerKind> {
+    vec![
+        PackerKind::Bp,
+        PackerKind::Pfor,
+        PackerKind::FastPfor,
+        PackerKind::BosB,
+        PackerKind::BosM,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn pipelines_roundtrip_sensor_series(values in sensor_series()) {
+        for outer in OuterKind::ALL {
+            for packer in some_packers() {
+                let p = Pipeline::new(outer, packer);
+                let mut buf = Vec::new();
+                p.encode(&values, &mut buf);
+                let mut out = Vec::new();
+                let mut pos = 0;
+                prop_assert!(p.decode(&buf, &mut pos, &mut out).is_some(), "{}", p.label());
+                prop_assert_eq!(&out, &values, "{}", p.label());
+                prop_assert_eq!(pos, buf.len(), "{}", p.label());
+            }
+        }
+    }
+
+    #[test]
+    fn pipelines_roundtrip_arbitrary_i64(values in prop::collection::vec(any::<i64>(), 0..200)) {
+        for outer in OuterKind::ALL {
+            let p = Pipeline::new(outer, PackerKind::BosB);
+            let mut buf = Vec::new();
+            p.encode(&values, &mut buf);
+            let mut out = Vec::new();
+            let mut pos = 0;
+            prop_assert!(p.decode(&buf, &mut pos, &mut out).is_some(), "{}", p.label());
+            prop_assert_eq!(&out, &values, "{}", p.label());
+        }
+    }
+
+    #[test]
+    fn ts2diff_all_orders_roundtrip(
+        values in prop::collection::vec(any::<i64>(), 0..500),
+        order in 0usize..5,
+        block in 2usize..700,
+    ) {
+        let enc = Ts2DiffEncoding::with_options(PackerKind::BosM.build(), block, order);
+        let mut buf = Vec::new();
+        enc.encode(&values, &mut buf);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        prop_assert!(enc.decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn rle_and_sprintz_roundtrip_run_heavy(
+        runs in prop::collection::vec((any::<i16>(), 1usize..60), 0..60)
+    ) {
+        let values: Vec<i64> = runs
+            .iter()
+            .flat_map(|&(v, len)| std::iter::repeat(v as i64).take(len))
+            .collect();
+        let rle = RleEncoding::new(PackerKind::BosB.build());
+        let mut buf = Vec::new();
+        rle.encode(&values, &mut buf);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        prop_assert!(rle.decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert_eq!(&out, &values);
+
+        let spz = SprintzEncoding::new(PackerKind::BosB.build());
+        let mut buf2 = Vec::new();
+        spz.encode(&values, &mut buf2);
+        let mut out2 = Vec::new();
+        let mut pos2 = 0;
+        prop_assert!(spz.decode(&buf2, &mut pos2, &mut out2).is_some());
+        prop_assert_eq!(&out2, &values);
+    }
+
+    #[test]
+    fn diff_roundtrips_any_order(values in prop::collection::vec(any::<i64>(), 0..300), order in 0usize..6) {
+        let mut v = values.clone();
+        diff_in_place(&mut v, order);
+        undiff_in_place(&mut v, order);
+        prop_assert_eq!(v, values);
+    }
+
+    #[test]
+    fn diff_head_is_preserved(values in prop::collection::vec(any::<i64>(), 1..100), order in 1usize..4) {
+        let d = diff(&values, order);
+        prop_assert_eq!(d[0], values[0]);
+    }
+
+    #[test]
+    fn float_scaling_roundtrips_cent_values(cents in prop::collection::vec(-1_000_000i64..1_000_000, 0..300)) {
+        let values: Vec<f64> = cents.iter().map(|&c| c as f64 / 100.0).collect();
+        if let Some(p) = floatint::infer_precision(&values) {
+            let ints = floatint::floats_to_ints(&values, p).expect("fits");
+            let back = floatint::ints_to_floats(&ints, p);
+            for (a, b) in values.iter().zip(&back) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        } else {
+            // infer_precision must succeed on 2-decimal data unless empty.
+            prop_assert!(values.is_empty() || values.iter().any(|v| !v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn pipeline_decode_of_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        for outer in OuterKind::ALL {
+            let p = Pipeline::new(outer, PackerKind::BosB);
+            let mut out = Vec::new();
+            let mut pos = 0;
+            let _ = p.decode(&bytes, &mut pos, &mut out);
+            let mut fout = Vec::new();
+            let mut fpos = 0;
+            let _ = p.decode_f64(&bytes, &mut fpos, &mut fout);
+        }
+    }
+}

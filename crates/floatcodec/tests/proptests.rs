@@ -1,0 +1,90 @@
+//! Property-based bit-exactness for every float codec.
+
+use floatcodec::{all_codecs, Chimp128Codec, FloatCodec};
+use proptest::prelude::*;
+
+fn all_plus_extensions() -> Vec<Box<dyn FloatCodec>> {
+    let mut v = all_codecs();
+    v.push(Box::new(Chimp128Codec::new()));
+    v
+}
+
+fn roundtrip(codec: &dyn FloatCodec, values: &[f64]) {
+    let mut buf = Vec::new();
+    codec.encode(values, &mut buf);
+    let mut pos = 0;
+    let mut out = Vec::new();
+    codec
+        .decode(&buf, &mut pos, &mut out)
+        .unwrap_or_else(|| panic!("{} decode failed", codec.name()));
+    assert_eq!(out.len(), values.len(), "{}", codec.name());
+    for (&a, &b) in values.iter().zip(&out) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{}: {a} vs {b}", codec.name());
+    }
+    assert_eq!(pos, buf.len(), "{}", codec.name());
+}
+
+/// Sensor-like floats: limited decimals, slowly varying.
+fn sensor_series() -> impl Strategy<Value = Vec<f64>> {
+    (0i64..2_000_000, prop::collection::vec(-500i64..500, 0..300)).prop_map(|(start, steps)| {
+        let mut level = start as f64 / 100.0;
+        steps
+            .iter()
+            .map(|&s| {
+                level += s as f64 / 100.0;
+                (level * 100.0).round() / 100.0
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_arbitrary_bit_patterns(patterns in prop::collection::vec(any::<u64>(), 0..150)) {
+        // Every possible f64 bit pattern, including NaN payloads and
+        // subnormals, must survive all codecs bit-exactly.
+        let values: Vec<f64> = patterns.iter().map(|&b| f64::from_bits(b)).collect();
+        for codec in all_plus_extensions() {
+            roundtrip(codec.as_ref(), &values);
+        }
+    }
+
+    #[test]
+    fn roundtrip_sensor_series(values in sensor_series()) {
+        for codec in all_plus_extensions() {
+            roundtrip(codec.as_ref(), &values);
+        }
+    }
+
+    #[test]
+    fn roundtrip_finite_floats(values in prop::collection::vec(-1e12f64..1e12, 0..200)) {
+        for codec in all_plus_extensions() {
+            roundtrip(codec.as_ref(), &values);
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        for codec in all_plus_extensions() {
+            let mut pos = 0;
+            let mut out = Vec::new();
+            let _ = codec.decode(&bytes, &mut pos, &mut out);
+        }
+    }
+
+    #[test]
+    fn blocks_concatenate(a in sensor_series(), b in sensor_series()) {
+        for codec in all_plus_extensions() {
+            let mut buf = Vec::new();
+            codec.encode(&a, &mut buf);
+            codec.encode(&b, &mut buf);
+            let mut pos = 0;
+            let mut out = Vec::new();
+            prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_some());
+            prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_some());
+            prop_assert_eq!(out.len(), a.len() + b.len());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based roundtrips for the general-purpose comparators.
+
+use gpcomp::{ByteCodec, InnerPacker, Lz4Like, LzmaLite, TransformCodec, TransformKind};
+use proptest::prelude::*;
+
+fn byte_codecs() -> Vec<Box<dyn ByteCodec>> {
+    vec![Box::new(Lz4Like::new()), Box::new(LzmaLite::new())]
+}
+
+fn roundtrip_bytes(codec: &dyn ByteCodec, data: &[u8]) {
+    let mut buf = Vec::new();
+    codec.compress(data, &mut buf);
+    let mut pos = 0;
+    let mut out = Vec::new();
+    codec
+        .decompress(&buf, &mut pos, &mut out)
+        .unwrap_or_else(|| panic!("{} decode failed", codec.name()));
+    assert_eq!(out, data, "{}", codec.name());
+    assert_eq!(pos, buf.len(), "{}", codec.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bytes_roundtrip_random(data in prop::collection::vec(any::<u8>(), 0..5000)) {
+        for codec in byte_codecs() {
+            roundtrip_bytes(codec.as_ref(), &data);
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip_repetitive(
+        seedlen in 1usize..40,
+        reps in 1usize..200,
+        seed in prop::collection::vec(any::<u8>(), 1..40)
+    ) {
+        let pattern = &seed[..seedlen.min(seed.len())];
+        let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * reps).copied().collect();
+        for codec in byte_codecs() {
+            roundtrip_bytes(codec.as_ref(), &data);
+        }
+    }
+
+    #[test]
+    fn bytes_random_input_never_panics(data in prop::collection::vec(any::<u8>(), 0..400)) {
+        for codec in byte_codecs() {
+            let mut pos = 0;
+            let mut out = Vec::new();
+            let _ = codec.decompress(&data, &mut pos, &mut out);
+        }
+    }
+
+    #[test]
+    fn transforms_roundtrip(values in prop::collection::vec(-1_000_000i64..1_000_000, 0..600)) {
+        for kind in [TransformKind::Dct, TransformKind::Fft] {
+            for packer in [InnerPacker::Bp, InnerPacker::BosB] {
+                let codec = TransformCodec::new(kind, packer);
+                let mut buf = Vec::new();
+                codec.encode(&values, &mut buf);
+                let mut pos = 0;
+                let mut out = Vec::new();
+                prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_some());
+                prop_assert_eq!(&out, &values, "{}", codec.label());
+            }
+        }
+    }
+
+    #[test]
+    fn transforms_roundtrip_big_magnitudes(values in prop::collection::vec(-(1i64 << 40)..(1i64 << 40), 0..300)) {
+        let codec = TransformCodec::new(TransformKind::Dct, InnerPacker::BosB);
+        let mut buf = Vec::new();
+        codec.encode(&values, &mut buf);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert_eq!(out, values);
+    }
+}

@@ -1,0 +1,109 @@
+//! Plain frame-of-reference bit-packing — the "BP" operator.
+//!
+//! This is exactly the baseline of Definition 1: subtract the block
+//! minimum, pack every value with `width(xmax − xmin)` bits. It is what
+//! RLE/SPRINTZ/TS2DIFF use by default in the paper's experiments
+//! ("RLE+BP" etc.).
+
+use crate::{for_restore, for_transform, Codec};
+use bitpack::kernels::{pack_words, packed_size, unpack_words};
+use bitpack::width::width;
+use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
+
+/// Plain bit-packing codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BpCodec;
+
+impl BpCodec {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Codec for BpCodec {
+    fn name(&self) -> &'static str {
+        "BP"
+    }
+
+    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        write_varint(out, values.len() as u64);
+        if values.is_empty() {
+            return;
+        }
+        let (min, shifted) = for_transform(values);
+        let w = width(shifted.iter().copied().max().expect("non-empty"));
+        write_varint_i64(out, min);
+        out.push(w as u8);
+        pack_words(&shifted, w, out);
+    }
+
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+        let n = read_varint(buf, pos)? as usize;
+        if n == 0 {
+            return Some(());
+        }
+        if n > bitpack::MAX_BLOCK_VALUES {
+            return None;
+        }
+        let min = read_varint_i64(buf, pos)?;
+        let w = *buf.get(*pos)? as u32;
+        *pos += 1;
+        if w > 64 {
+            return None;
+        }
+        let mut shifted = Vec::new();
+        let consumed = unpack_words(buf.get(*pos..)?, n, w, &mut shifted)?;
+        *pos += consumed;
+        debug_assert_eq!(consumed, packed_size(n, w));
+        out.reserve(n);
+        out.extend(shifted.into_iter().map(|v| for_restore(min, v)));
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{roundtrip, standard_cases};
+
+    #[test]
+    fn roundtrip_standard() {
+        let codec = BpCodec::new();
+        for case in standard_cases() {
+            roundtrip(&codec, &case);
+        }
+    }
+
+    #[test]
+    fn constant_block_is_header_only() {
+        let codec = BpCodec::new();
+        let size = roundtrip(&codec, &vec![123_456; 10_000]);
+        // varint n + varint min + width byte, zero payload.
+        assert!(size <= 8, "got {size}");
+    }
+
+    #[test]
+    fn outlier_inflates_size() {
+        let codec = BpCodec::new();
+        let tight: Vec<i64> = (0..1024).map(|i| i % 8).collect();
+        let mut loose = tight.clone();
+        loose[7] = 1 << 40;
+        let a = roundtrip(&codec, &tight);
+        let b = roundtrip(&codec, &loose);
+        // One outlier forces 41-bit slots instead of 3-bit ones.
+        assert!(b > a * 10, "{b} vs {a}");
+    }
+
+    #[test]
+    fn truncation_fails_cleanly() {
+        let codec = BpCodec::new();
+        let mut buf = Vec::new();
+        codec.encode(&(0..100).collect::<Vec<i64>>(), &mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            let mut out = Vec::new();
+            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_none());
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! FastPFOR (Lemire & Boytsov — Software: Practice & Experience 2015).
+//!
+//! Works in sub-blocks of 128 values. Each sub-block picks a slot width
+//! `b` by cost minimization; exception *high bits* (`v >> b`) are not kept
+//! per block but appended to shared per-width buffers ("FastPFOR
+//! classifies outliers according to the length of their high bits"), which
+//! are bit-packed once at the end of the stream. Exception positions are
+//! single bytes (< 128).
+//!
+//! Layout:
+//! `varint n · zigzag min ·
+//!  per sub-block [u8 b · u8 maxbits · u8 n_exc · n_exc position bytes ·
+//!                 len×b slot bits] ·
+//!  per width w ∈ 1..=64 with data [u8 w · varint count · count×w bits] ·
+//!  u8 0 terminator`.
+
+use crate::{for_restore, for_transform, Codec};
+use bitpack::bits::{BitReader, BitWriter};
+use bitpack::width::width;
+use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
+
+/// Values per sub-block, as in the original.
+pub const SUB_BLOCK: usize = 128;
+
+/// The FastPFOR codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastPforCodec;
+
+impl FastPforCodec {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Cost-minimizing slot width for one sub-block: slot bits + per
+    /// exception (high bits + one position byte).
+    fn choose_b(block: &[u64]) -> (u32, u32) {
+        let maxbits = block.iter().map(|&v| width(v)).max().unwrap_or(0);
+        let mut hist = [0usize; 66];
+        for &v in block {
+            hist[width(v) as usize] += 1;
+        }
+        let mut best_b = maxbits;
+        let mut best_cost = block.len() as u64 * maxbits as u64;
+        let mut exceeding = 0usize;
+        for b in (0..maxbits).rev() {
+            exceeding += hist[b as usize + 1];
+            let cost = block.len() as u64 * b as u64
+                + exceeding as u64 * ((maxbits - b) as u64 + 8);
+            if cost < best_cost {
+                best_cost = cost;
+                best_b = b;
+            }
+        }
+        (best_b, maxbits)
+    }
+}
+
+impl Codec for FastPforCodec {
+    fn name(&self) -> &'static str {
+        "FASTPFOR"
+    }
+
+    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        write_varint(out, values.len() as u64);
+        if values.is_empty() {
+            return;
+        }
+        let (min, shifted) = for_transform(values);
+        write_varint_i64(out, min);
+
+        // Per-width exception buffers shared by all sub-blocks.
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); 65];
+
+        for block in shifted.chunks(SUB_BLOCK) {
+            let (b, maxbits) = Self::choose_b(block);
+            let mask = if b == 64 { u64::MAX } else { (1u64 << b) - 1 };
+            out.push(b as u8);
+            out.push(maxbits as u8);
+            let exc_at = out.len();
+            out.push(0); // n_exc patched below
+            let mut n_exc = 0u8;
+            for (i, &v) in block.iter().enumerate() {
+                if width(v) > b {
+                    out.push(i as u8);
+                    n_exc += 1;
+                }
+            }
+            out[exc_at] = n_exc;
+            let mut bits = BitWriter::with_capacity_bits(block.len() * b as usize);
+            for &v in block {
+                bits.write_bits(v & mask, b);
+                if width(v) > b {
+                    buckets[(maxbits - b) as usize].push(v >> b);
+                }
+            }
+            out.extend_from_slice(&bits.into_bytes());
+        }
+
+        // Exception pages: one per populated width.
+        for (w, bucket) in buckets.iter().enumerate().skip(1) {
+            if bucket.is_empty() {
+                continue;
+            }
+            out.push(w as u8);
+            write_varint(out, bucket.len() as u64);
+            let mut bits = BitWriter::with_capacity_bits(bucket.len() * w);
+            for &v in bucket {
+                bits.write_bits(v, w as u32);
+            }
+            out.extend_from_slice(&bits.into_bytes());
+        }
+        out.push(0); // terminator
+    }
+
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+        let n = read_varint(buf, pos)? as usize;
+        if n == 0 {
+            return Some(());
+        }
+        if n > bitpack::MAX_BLOCK_VALUES {
+            return None;
+        }
+        let min = read_varint_i64(buf, pos)?;
+        let start = out.len();
+        out.reserve(n);
+
+        // (global index, shift b, width of high bits) per exception, in
+        // stream order.
+        let mut pending: Vec<(usize, u32, u32)> = Vec::new();
+        let mut remaining = n;
+        let mut base = 0usize;
+        while remaining > 0 {
+            let len = remaining.min(SUB_BLOCK);
+            let b = *buf.get(*pos)? as u32;
+            let maxbits = *buf.get(*pos + 1)? as u32;
+            let n_exc = *buf.get(*pos + 2)? as usize;
+            *pos += 3;
+            if b > 64 || maxbits > 64 || maxbits < b || n_exc > len {
+                return None;
+            }
+            for _ in 0..n_exc {
+                let p = *buf.get(*pos)? as usize;
+                *pos += 1;
+                if p >= len || b >= 64 {
+                    return None;
+                }
+                pending.push((base + p, b, maxbits - b));
+            }
+            let bytes = (len * b as usize).div_ceil(8);
+            let payload = buf.get(*pos..*pos + bytes)?;
+            *pos += bytes;
+            let mut reader = BitReader::new(payload);
+            for _ in 0..len {
+                out.push(for_restore(min, reader.read_bits(b)?));
+            }
+            base += len;
+            remaining -= len;
+        }
+
+        // Exception pages into per-width queues.
+        let mut queues: Vec<std::collections::VecDeque<u64>> =
+            (0..65).map(|_| std::collections::VecDeque::new()).collect();
+        loop {
+            let w = *buf.get(*pos)? as usize;
+            *pos += 1;
+            if w == 0 {
+                break;
+            }
+            if w > 64 {
+                return None;
+            }
+            let count = read_varint(buf, pos)? as usize;
+            if count > n {
+                return None;
+            }
+            let bytes = (count * w).div_ceil(8);
+            let payload = buf.get(*pos..*pos + bytes)?;
+            *pos += bytes;
+            let mut reader = BitReader::new(payload);
+            for _ in 0..count {
+                queues[w].push_back(reader.read_bits(w as u32)?);
+            }
+        }
+
+        // Patch in stream order: each exception pops from its width queue.
+        for (idx, b, w) in pending {
+            let h = queues[w as usize].pop_front()?;
+            let low = out[start + idx].wrapping_sub(min) as u64;
+            out[start + idx] = for_restore(min, low | (h << b));
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{roundtrip, standard_cases};
+    use crate::BpCodec;
+
+    #[test]
+    fn roundtrip_standard() {
+        let codec = FastPforCodec::new();
+        for case in standard_cases() {
+            roundtrip(&codec, &case);
+        }
+    }
+
+    #[test]
+    fn beats_bp_on_outliers() {
+        let values: Vec<i64> = (0..4096)
+            .map(|i| if i % 50 == 0 { (1 << 44) + i } else { i % 12 })
+            .collect();
+        let fp = roundtrip(&FastPforCodec::new(), &values);
+        let bp = roundtrip(&BpCodec::new(), &values);
+        assert!(fp * 3 < bp, "{fp} vs {bp}");
+    }
+
+    #[test]
+    fn mixed_width_blocks_share_buckets() {
+        // Different sub-blocks produce exceptions of different high-bit
+        // widths, exercising multiple pages.
+        let mut values = Vec::new();
+        for i in 0..SUB_BLOCK as i64 {
+            values.push(if i == 3 { 1 << 20 } else { i % 4 });
+        }
+        for i in 0..SUB_BLOCK as i64 {
+            values.push(if i == 60 { 1 << 50 } else { i % 4 });
+        }
+        for i in 0..40i64 {
+            values.push(if i == 10 { 1 << 35 } else { i % 4 });
+        }
+        roundtrip(&FastPforCodec::new(), &values);
+    }
+
+    #[test]
+    fn exceptions_in_partial_tail_block() {
+        let mut values: Vec<i64> = (0..SUB_BLOCK as i64 + 5).map(|i| i % 3).collect();
+        let n = values.len();
+        values[n - 1] = 1 << 30;
+        roundtrip(&FastPforCodec::new(), &values);
+    }
+
+    #[test]
+    fn truncation_fails_cleanly() {
+        let codec = FastPforCodec::new();
+        let values: Vec<i64> = (0..400).map(|i| if i % 37 == 0 { 1 << 41 } else { i % 9 }).collect();
+        let mut buf = Vec::new();
+        codec.encode(&values, &mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            let mut out = Vec::new();
+            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_none());
+        }
+    }
+}

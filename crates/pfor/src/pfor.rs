@@ -1,0 +1,258 @@
+//! Classic PFOR (Zukowski, Héman, Nes, Boncz — ICDE 2006).
+//!
+//! Every value gets a `b`-bit slot. Values that fit are stored directly;
+//! values that do not ("exceptions") keep their full-width representation
+//! in a separate uncompressed array, while their slot stores the distance
+//! to the *next* exception, forming a linked list through the block. When
+//! two consecutive exceptions are further apart than the list can express
+//! (`2^b` slots), a **compulsory exception** is inserted in between — the
+//! flaw the paper highlights ("this solution may introduce a large number
+//! of compulsory outliers").
+//!
+//! Layout: `varint n · zigzag min · w_full · b · varint n_exc ·
+//! [varint first_exc] · n×b slot bits · n_exc×w_full exception bits`.
+
+use crate::{for_restore, for_transform, Codec};
+use bitpack::bits::{BitReader, BitWriter};
+use bitpack::width::width;
+use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
+
+/// The original patched frame-of-reference codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PforCodec;
+
+impl PforCodec {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Picks the slot width by minimizing the estimated size over a width
+    /// histogram (compulsory exceptions are ignored in the estimate, as in
+    /// the original heuristic).
+    fn choose_b(shifted: &[u64], w_full: u32) -> u32 {
+        let mut hist = [0usize; 65];
+        for &v in shifted {
+            hist[width(v) as usize] += 1;
+        }
+        let n = shifted.len();
+        let mut best_b = w_full;
+        let mut best_cost = n as u64 * w_full as u64;
+        // exceeding[b] = number of values with width > b.
+        let mut exceeding = 0usize;
+        for b in (0..w_full).rev() {
+            exceeding += hist[b as usize + 1];
+            if b == 0 && exceeding > 0 {
+                continue; // zero-width slots cannot hold the offset chain
+            }
+            let cost = n as u64 * b as u64 + exceeding as u64 * w_full as u64;
+            if cost < best_cost {
+                best_cost = cost;
+                best_b = b;
+            }
+        }
+        best_b
+    }
+
+    /// Exception indices for slot width `b`, including compulsory ones.
+    fn exception_positions(shifted: &[u64], b: u32) -> Vec<usize> {
+        let max_gap = 1u128 << b;
+        let mut exceptions = Vec::new();
+        let mut last: Option<usize> = None;
+        for (i, &v) in shifted.iter().enumerate() {
+            if width(v) > b {
+                // Chain compulsory exceptions until `i` is reachable.
+                while let Some(l) = last {
+                    if (i - l) as u128 <= max_gap {
+                        break;
+                    }
+                    let c = l + max_gap as usize;
+                    exceptions.push(c);
+                    last = Some(c);
+                }
+                exceptions.push(i);
+                last = Some(i);
+            }
+        }
+        exceptions
+    }
+}
+
+impl Codec for PforCodec {
+    fn name(&self) -> &'static str {
+        "PFOR"
+    }
+
+    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        write_varint(out, values.len() as u64);
+        if values.is_empty() {
+            return;
+        }
+        let (min, shifted) = for_transform(values);
+        let w_full = width(shifted.iter().copied().max().expect("non-empty"));
+        let b = Self::choose_b(&shifted, w_full);
+        let exceptions = Self::exception_positions(&shifted, b);
+
+        write_varint_i64(out, min);
+        out.push(w_full as u8);
+        out.push(b as u8);
+        write_varint(out, exceptions.len() as u64);
+        if let Some(&first) = exceptions.first() {
+            write_varint(out, first as u64);
+        }
+
+        let mut bits = BitWriter::with_capacity_bits(
+            shifted.len() * b as usize + exceptions.len() * w_full as usize,
+        );
+        // Slots: value, or offset-to-next-exception-minus-1 for exceptions.
+        let mut next_exc = exceptions.iter().copied().peekable();
+        let mut exc_iter = exceptions.iter().copied().peekable();
+        for (i, &v) in shifted.iter().enumerate() {
+            if next_exc.peek() == Some(&i) {
+                next_exc.next();
+                let gap = match next_exc.peek() {
+                    Some(&nx) => (nx - i - 1) as u64,
+                    None => 0,
+                };
+                bits.write_bits(gap, b);
+            } else {
+                bits.write_bits(v, b);
+            }
+        }
+        // Exception values at full width, in chain order.
+        while let Some(i) = exc_iter.next() {
+            bits.write_bits(shifted[i], w_full);
+        }
+        out.extend_from_slice(&bits.into_bytes());
+    }
+
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+        let n = read_varint(buf, pos)? as usize;
+        if n == 0 {
+            return Some(());
+        }
+        if n > bitpack::MAX_BLOCK_VALUES {
+            return None;
+        }
+        let min = read_varint_i64(buf, pos)?;
+        let w_full = *buf.get(*pos)? as u32;
+        let b = *buf.get(*pos + 1)? as u32;
+        *pos += 2;
+        if w_full > 64 || b > 64 {
+            return None;
+        }
+        let n_exc = read_varint(buf, pos)? as usize;
+        if n_exc > n {
+            return None;
+        }
+        let first_exc = if n_exc > 0 {
+            let f = read_varint(buf, pos)? as usize;
+            if f >= n {
+                return None;
+            }
+            Some(f)
+        } else {
+            None
+        };
+        let total_bits = n * b as usize + n_exc * w_full as usize;
+        let bytes = total_bits.div_ceil(8);
+        let payload = buf.get(*pos..*pos + bytes)?;
+        *pos += bytes;
+
+        let mut reader = BitReader::new(payload);
+        let start = out.len();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(for_restore(min, reader.read_bits(b)?));
+        }
+        // Patch the exception chain.
+        let mut cur = first_exc;
+        for _ in 0..n_exc {
+            let i = cur?;
+            let slot = (out[start + i].wrapping_sub(min)) as u64;
+            let value = reader.read_bits(w_full)?;
+            out[start + i] = for_restore(min, value);
+            let nxt = i + 1 + slot as usize;
+            cur = if nxt < n { Some(nxt) } else { None };
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{roundtrip, standard_cases};
+
+    #[test]
+    fn roundtrip_standard() {
+        let codec = PforCodec::new();
+        for case in standard_cases() {
+            roundtrip(&codec, &case);
+        }
+    }
+
+    #[test]
+    fn exceptions_reduce_size() {
+        // 1 % huge outliers: PFOR must beat plain BP clearly.
+        let values: Vec<i64> = (0..4096)
+            .map(|i| if i % 100 == 0 { 1 << 40 } else { i % 16 })
+            .collect();
+        let pfor = roundtrip(&PforCodec::new(), &values);
+        let bp = roundtrip(&crate::BpCodec::new(), &values);
+        assert!(pfor * 3 < bp, "pfor {pfor} vs bp {bp}");
+    }
+
+    #[test]
+    fn compulsory_exceptions_chain_works() {
+        // Two outliers separated by far more than 2^b slots with tiny b:
+        // the encoder must insert compulsory links.
+        let mut values = vec![0i64; 5000];
+        values[1] = 1 << 50;
+        values[4998] = 1 << 50;
+        roundtrip(&PforCodec::new(), &values);
+    }
+
+    #[test]
+    fn exception_at_first_and_last() {
+        let mut values: Vec<i64> = (0..256).map(|i| i % 4).collect();
+        values[0] = 1 << 30;
+        values[255] = 1 << 30;
+        roundtrip(&PforCodec::new(), &values);
+    }
+
+    #[test]
+    fn all_values_are_exceptions() {
+        // When every value is wide, choose_b should fall back to b = w_full
+        // (no exceptions at all).
+        let values: Vec<i64> = (0..64).map(|i| (1 << 40) + i).collect();
+        roundtrip(&PforCodec::new(), &values);
+    }
+
+    #[test]
+    fn chain_positions_match_exception_count() {
+        let shifted: Vec<u64> = (0..100u64)
+            .map(|i| if i % 10 == 0 { 1 << 20 } else { i % 10 })
+            .collect();
+        let exc = PforCodec::exception_positions(&shifted, 4);
+        // Natural exceptions every 10 values, gap 10 ≤ 2^4 = 16: no
+        // compulsory ones needed.
+        assert_eq!(exc.len(), 10);
+        let exc2 = PforCodec::exception_positions(&shifted, 2);
+        // Gap 10 > 2^2 = 4: compulsory links appear.
+        assert!(exc2.len() > 10);
+    }
+
+    #[test]
+    fn truncation_fails_cleanly() {
+        let codec = PforCodec::new();
+        let values: Vec<i64> = (0..500).map(|i| if i % 31 == 0 { 1 << 45 } else { i % 13 }).collect();
+        let mut buf = Vec::new();
+        codec.encode(&values, &mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            let mut out = Vec::new();
+            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_none());
+        }
+    }
+}

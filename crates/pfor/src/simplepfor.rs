@@ -1,0 +1,217 @@
+//! SimplePFOR (Lemire & Boytsov — Software: Practice & Experience 2015).
+//!
+//! FastPFOR's sibling: instead of classifying exception high bits into
+//! per-width pages, SimplePFOR "compresses them together using Simple-8b"
+//! (paper §II-C). Same sub-block structure and width selection as
+//! FastPFOR, one shared Simple8b stream for all exception high bits.
+//!
+//! Layout: `varint n · zigzag min ·
+//! per sub-block [u8 b · u8 n_exc · n_exc position bytes · len×b bits] ·
+//! simple8b(all high bits, in stream order)`.
+
+use crate::{for_restore, for_transform, Codec};
+use bitpack::bits::{BitReader, BitWriter};
+use bitpack::simple8b;
+use bitpack::width::width;
+use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
+
+/// Values per sub-block, as in FastPFOR.
+pub const SUB_BLOCK: usize = 128;
+
+/// Simple8b payload limit: high bits wider than 60 cannot be stored, so
+/// the chosen `b` must satisfy `maxbits − b ≤ 60`.
+const MAX_HIGH_BITS: u32 = 60;
+
+/// The SimplePFOR codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimplePforCodec;
+
+impl SimplePforCodec {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Cost-minimizing slot width for one sub-block (same estimator as
+    /// FastPFOR, restricted so the high bits fit Simple8b).
+    fn choose_b(block: &[u64]) -> u32 {
+        let maxbits = block.iter().map(|&v| width(v)).max().unwrap_or(0);
+        let mut hist = [0usize; 66];
+        for &v in block {
+            hist[width(v) as usize] += 1;
+        }
+        let b_min = maxbits.saturating_sub(MAX_HIGH_BITS);
+        let mut best_b = maxbits;
+        let mut best_cost = block.len() as u64 * maxbits as u64;
+        let mut exceeding = 0usize;
+        for b in (0..maxbits).rev() {
+            exceeding += hist[b as usize + 1];
+            if b < b_min {
+                break;
+            }
+            let cost = block.len() as u64 * b as u64
+                + exceeding as u64 * ((maxbits - b) as u64 + 8);
+            if cost < best_cost {
+                best_cost = cost;
+                best_b = b;
+            }
+        }
+        best_b
+    }
+}
+
+impl Codec for SimplePforCodec {
+    fn name(&self) -> &'static str {
+        "SIMPLEPFOR"
+    }
+
+    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        write_varint(out, values.len() as u64);
+        if values.is_empty() {
+            return;
+        }
+        let (min, shifted) = for_transform(values);
+        write_varint_i64(out, min);
+        let mut highs = Vec::new();
+        for block in shifted.chunks(SUB_BLOCK) {
+            let b = Self::choose_b(block);
+            let mask = if b == 64 { u64::MAX } else { (1u64 << b) - 1 };
+            out.push(b as u8);
+            let exc_at = out.len();
+            out.push(0);
+            let mut n_exc = 0u8;
+            for (i, &v) in block.iter().enumerate() {
+                if width(v) > b {
+                    out.push(i as u8);
+                    n_exc += 1;
+                    highs.push(v >> b);
+                }
+            }
+            out[exc_at] = n_exc;
+            let mut bits = BitWriter::with_capacity_bits(block.len() * b as usize);
+            for &v in block {
+                bits.write_bits(v & mask, b);
+            }
+            out.extend_from_slice(&bits.into_bytes());
+        }
+        simple8b::encode(&highs, out).expect("high bits bounded by 60");
+    }
+
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+        let n = read_varint(buf, pos)? as usize;
+        if n == 0 {
+            return Some(());
+        }
+        if n > bitpack::MAX_BLOCK_VALUES {
+            return None;
+        }
+        let min = read_varint_i64(buf, pos)?;
+        let start = out.len();
+        out.reserve(n);
+        let mut pending: Vec<(usize, u32)> = Vec::new(); // (global index, b)
+        let mut remaining = n;
+        let mut base = 0usize;
+        while remaining > 0 {
+            let len = remaining.min(SUB_BLOCK);
+            let b = *buf.get(*pos)? as u32;
+            let n_exc = *buf.get(*pos + 1)? as usize;
+            *pos += 2;
+            if b > 64 || n_exc > len {
+                return None;
+            }
+            for _ in 0..n_exc {
+                let p = *buf.get(*pos)? as usize;
+                *pos += 1;
+                if p >= len || b >= 64 {
+                    return None;
+                }
+                pending.push((base + p, b));
+            }
+            let bytes = (len * b as usize).div_ceil(8);
+            let payload = buf.get(*pos..*pos + bytes)?;
+            *pos += bytes;
+            let mut reader = BitReader::new(payload);
+            for _ in 0..len {
+                out.push(for_restore(min, reader.read_bits(b)?));
+            }
+            base += len;
+            remaining -= len;
+        }
+        let mut highs = Vec::new();
+        simple8b::decode(buf, pos, &mut highs).ok()?;
+        if highs.len() != pending.len() {
+            return None;
+        }
+        for ((idx, b), h) in pending.into_iter().zip(highs) {
+            let low = out[start + idx].wrapping_sub(min) as u64;
+            out[start + idx] = for_restore(min, low | (h << b));
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{roundtrip, standard_cases};
+    use crate::{BpCodec, FastPforCodec};
+
+    #[test]
+    fn roundtrip_standard() {
+        let codec = SimplePforCodec::new();
+        for case in standard_cases() {
+            roundtrip(&codec, &case);
+        }
+    }
+
+    #[test]
+    fn beats_bp_on_outliers() {
+        let values: Vec<i64> = (0..4096)
+            .map(|i| if i % 60 == 0 { 1 << 41 } else { i % 11 })
+            .collect();
+        let sp = roundtrip(&SimplePforCodec::new(), &values);
+        let bp = roundtrip(&BpCodec::new(), &values);
+        assert!(sp * 3 < bp, "{sp} vs {bp}");
+    }
+
+    #[test]
+    fn close_to_fastpfor() {
+        // Same architecture, different exception storage: sizes should be
+        // within ~30 % of each other on mixed data.
+        let values: Vec<i64> = (0..4096)
+            .map(|i| if i % 45 == 0 { (1 << 38) + i } else { i % 200 })
+            .collect();
+        let sp = roundtrip(&SimplePforCodec::new(), &values) as f64;
+        let fp = roundtrip(&FastPforCodec::new(), &values) as f64;
+        assert!(sp < fp * 1.3 && fp < sp * 1.3, "{sp} vs {fp}");
+    }
+
+    #[test]
+    fn exceptions_across_multiple_blocks() {
+        let mut values = Vec::new();
+        for b in 0..5i64 {
+            for i in 0..SUB_BLOCK as i64 {
+                values.push(if i == b * 20 { 1 << (30 + b) } else { i % 9 });
+            }
+        }
+        roundtrip(&SimplePforCodec::new(), &values);
+    }
+
+    #[test]
+    fn truncation_fails_cleanly() {
+        let codec = SimplePforCodec::new();
+        let values: Vec<i64> = (0..300).map(|i| if i % 29 == 0 { 1 << 33 } else { i % 7 }).collect();
+        let mut buf = Vec::new();
+        codec.encode(&values, &mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            let mut out = Vec::new();
+            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_none());
+        }
+    }
+
+    #[test]
+    fn extreme_domain() {
+        roundtrip(&SimplePforCodec::new(), &[i64::MIN, i64::MAX, 0, -1, 1]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based roundtrips and cross-codec invariants for the PFOR family.
+
+use pfor::{BpCodec, Codec, FastPforCodec, NewPforCodec, OptPforCodec, PforCodec, SimplePforCodec};
+use proptest::prelude::*;
+
+fn all_codecs() -> Vec<Box<dyn Codec>> {
+    vec![
+        Box::new(BpCodec::new()),
+        Box::new(PforCodec::new()),
+        Box::new(NewPforCodec::new()),
+        Box::new(OptPforCodec::new()),
+        Box::new(FastPforCodec::new()),
+        Box::new(SimplePforCodec::new()),
+    ]
+}
+
+fn roundtrip(codec: &dyn Codec, values: &[i64]) -> usize {
+    let mut buf = Vec::new();
+    codec.encode(values, &mut buf);
+    let mut pos = 0;
+    let mut out = Vec::new();
+    codec
+        .decode(&buf, &mut pos, &mut out)
+        .unwrap_or_else(|| panic!("{} decode failed", codec.name()));
+    assert_eq!(out, values, "{}", codec.name());
+    assert_eq!(pos, buf.len(), "{}", codec.name());
+    buf.len()
+}
+
+fn outlier_blocks() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => 0i64..256,
+            1 => (1i64 << 30)..(1i64 << 45),
+            1 => -(1i64 << 40)..0
+        ],
+        0..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_outlier_blocks(values in outlier_blocks()) {
+        for codec in all_codecs() {
+            roundtrip(codec.as_ref(), &values);
+        }
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_i64(values in prop::collection::vec(any::<i64>(), 0..150)) {
+        for codec in all_codecs() {
+            roundtrip(codec.as_ref(), &values);
+        }
+    }
+
+    #[test]
+    fn roundtrip_tight_blocks(values in prop::collection::vec(-8i64..8, 0..300)) {
+        for codec in all_codecs() {
+            roundtrip(codec.as_ref(), &values);
+        }
+    }
+
+    #[test]
+    fn optpfor_never_larger_than_newpfor(values in outlier_blocks()) {
+        let opt = roundtrip(&OptPforCodec::new(), &values);
+        let new = roundtrip(&NewPforCodec::new(), &values);
+        prop_assert!(opt <= new, "opt {} > new {}", opt, new);
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        for codec in all_codecs() {
+            let mut pos = 0;
+            let mut out = Vec::new();
+            let _ = codec.decode(&bytes, &mut pos, &mut out);
+        }
+    }
+
+    #[test]
+    fn blocks_concatenate(a in outlier_blocks(), b in outlier_blocks()) {
+        for codec in all_codecs() {
+            let mut buf = Vec::new();
+            codec.encode(&a, &mut buf);
+            codec.encode(&b, &mut buf);
+            let mut pos = 0;
+            let mut out = Vec::new();
+            prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_some());
+            prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_some());
+            let mut expected = a.clone();
+            expected.extend_from_slice(&b);
+            prop_assert_eq!(&out, &expected);
+            prop_assert_eq!(pos, buf.len());
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! `boscli` — command-line tool for TsFile-lite archives.
+//!
+//! ```text
+//! boscli pack   <out.tsf> <name=path.csv> [...]   pack CSV series (auto encoding)
+//! boscli info   <file.tsf>                        list series, sizes, encodings
+//! boscli unpack <file.tsf> <series> [out.csv]     extract one series to CSV
+//! boscli bench  <path.csv>                        compare operators on a CSV series
+//! boscli demo   <out.tsf>                         pack the 12 synthetic datasets
+//! ```
+
+use datasets::csv;
+use encodings::{OuterKind, PackerKind, Pipeline};
+use std::path::Path;
+use std::process::ExitCode;
+use tsfile::{EncodingChoice, TsFileReader, TsFileWriter};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("pack") => cmd_pack(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("unpack") => cmd_unpack(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        _ => {
+            eprintln!("usage: boscli <pack|info|unpack|bench|demo> ...");
+            eprintln!("  pack   <out.tsf> <name=path.csv> [...]");
+            eprintln!("  info   <file.tsf>");
+            eprintln!("  unpack <file.tsf> <series> [out.csv]");
+            eprintln!("  bench  <path.csv>");
+            eprintln!("  demo   <out.tsf>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("boscli: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), String>;
+
+/// Loads a CSV column, preferring the integer parse.
+fn load_series(path: &Path) -> Result<(Option<Vec<i64>>, Option<Vec<f64>>), String> {
+    if let Ok(ints) = csv::load_ints(path) {
+        return Ok((Some(ints), None));
+    }
+    let floats = csv::load_floats(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok((None, Some(floats)))
+}
+
+fn cmd_pack(args: &[String]) -> CliResult {
+    let [out, rest @ ..] = args else {
+        return Err("pack needs <out.tsf> and at least one <name=path.csv>".into());
+    };
+    if rest.is_empty() {
+        return Err("pack needs at least one <name=path.csv>".into());
+    }
+    let mut writer = TsFileWriter::new();
+    let mut raw_total = 0usize;
+    for spec in rest {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad series spec {spec:?}, expected name=path.csv"))?;
+        match load_series(Path::new(path))? {
+            (Some(ints), _) => {
+                raw_total += ints.len() * 8;
+                let choice = EncodingChoice::auto_for(&ints);
+                println!("{name}: {} integers, encoding {}", ints.len(), choice.label());
+                writer
+                    .add_int_series(name, &ints, choice)
+                    .map_err(|e| e.to_string())?;
+            }
+            (_, Some(floats)) => {
+                raw_total += floats.len() * 8;
+                println!(
+                    "{name}: {} floats, encoding {}",
+                    floats.len(),
+                    EncodingChoice::TS2DIFF_BOS.label()
+                );
+                writer
+                    .add_float_series(name, &floats, EncodingChoice::TS2DIFF_BOS)
+                    .map_err(|e| e.to_string())?;
+            }
+            _ => unreachable!("load_series always fills one side"),
+        }
+    }
+    let bytes = writer.finish();
+    std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out}: {} bytes ({}x vs raw {} bytes)",
+        bytes.len(),
+        format_ratio(raw_total as f64 / bytes.len() as f64),
+        raw_total
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> CliResult {
+    let [path] = args else {
+        return Err("info needs <file.tsf>".into());
+    };
+    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let reader = TsFileReader::open(&data).map_err(|e| e.to_string())?;
+    println!("{path}: {} bytes, {} series", data.len(), reader.series().len());
+    println!("{:<28} {:>10} {:>7} {:<18} {:>10}", "series", "values", "type", "encoding", "offset");
+    for s in reader.series() {
+        println!(
+            "{:<28} {:>10} {:>7} {:<18} {:>10}",
+            s.name,
+            s.count,
+            if s.is_float { "float" } else { "int" },
+            s.encoding.label(),
+            s.offset
+        );
+    }
+    Ok(())
+}
+
+fn cmd_unpack(args: &[String]) -> CliResult {
+    let (path, series, out) = match args {
+        [p, s] => (p, s, None),
+        [p, s, o] => (p, s, Some(o)),
+        _ => return Err("unpack needs <file.tsf> <series> [out.csv]".into()),
+    };
+    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let reader = TsFileReader::open(&data).map_err(|e| e.to_string())?;
+    let info = reader.info(series).map_err(|e| e.to_string())?;
+    if info.is_float {
+        let values = reader.read_floats(series).map_err(|e| e.to_string())?;
+        match out {
+            Some(o) => {
+                csv::save_floats(Path::new(o), &values).map_err(|e| format!("{o}: {e}"))?;
+                println!("wrote {} floats to {o}", values.len());
+            }
+            None => {
+                for v in values {
+                    println!("{v}");
+                }
+            }
+        }
+    } else {
+        let values = reader.read_ints(series).map_err(|e| e.to_string())?;
+        match out {
+            Some(o) => {
+                csv::save_ints(Path::new(o), &values).map_err(|e| format!("{o}: {e}"))?;
+                println!("wrote {} integers to {o}", values.len());
+            }
+            None => {
+                for v in values {
+                    println!("{v}");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> CliResult {
+    let [path] = args else {
+        return Err("bench needs <path.csv>".into());
+    };
+    let (ints, floats) = load_series(Path::new(path))?;
+    let ints = match (ints, floats) {
+        (Some(i), _) => i,
+        (_, Some(f)) => {
+            let p = encodings::floatint::infer_precision(&f)
+                .ok_or("floats have no exact decimal scaling")?;
+            encodings::floatint::floats_to_ints(&f, p).ok_or("scaling overflow")?
+        }
+        _ => unreachable!(),
+    };
+    println!(
+        "{}: {} values, raw {} bytes",
+        path,
+        ints.len(),
+        ints.len() * 8
+    );
+    println!("{:<20} {:>8} {:>12}", "method", "ratio", "bytes");
+    for outer in OuterKind::ALL {
+        for packer in [PackerKind::Bp, PackerKind::FastPfor, PackerKind::BosB, PackerKind::BosM] {
+            let pipeline = Pipeline::new(outer, packer);
+            let mut buf = Vec::new();
+            pipeline.encode(&ints, &mut buf);
+            println!(
+                "{:<20} {:>8} {:>12}",
+                pipeline.label(),
+                format_ratio(ints.len() as f64 * 8.0 / buf.len() as f64),
+                buf.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> CliResult {
+    let [out] = args else {
+        return Err("demo needs <out.tsf>".into());
+    };
+    let mut writer = TsFileWriter::new();
+    let mut raw = 0usize;
+    for dataset in datasets::all_datasets(20_000) {
+        let ints = dataset.as_scaled_ints();
+        raw += ints.len() * 8;
+        let choice = EncodingChoice::auto_for(&ints);
+        println!(
+            "{:<18} {:>7} values  {}",
+            dataset.abbr,
+            ints.len(),
+            choice.label()
+        );
+        writer
+            .add_int_series(dataset.name, &ints, choice)
+            .map_err(|e| e.to_string())?;
+    }
+    let bytes = writer.finish();
+    std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out}: {} bytes, ratio {} vs raw",
+        bytes.len(),
+        format_ratio(raw as f64 / bytes.len() as f64)
+    );
+    Ok(())
+}
+
+fn format_ratio(r: f64) -> String {
+    format!("{r:.2}")
+}

@@ -1,0 +1,699 @@
+//! TsFile-lite — a small columnar time-series container.
+//!
+//! The paper deploys BOS inside Apache TsFile (§VII). This crate provides
+//! the equivalent substrate in miniature: a single-file columnar format
+//! holding many named series, each compressed with a per-series encoding
+//! choice (any outer × operator pipeline, BOS included), with CRC-32
+//! integrity on every chunk and a footer index for random access by name.
+//!
+//! ```text
+//! file := magic
+//!         chunk*                      one per series, written in order
+//!         footer                      name → (offset, count, …) index
+//!         u32 footer_crc · u64 footer_offset · magic
+//!
+//! chunk := u8 0x01 · varint name_len · name
+//!          u8 value_type (0 int | 1 float) · [u8 decimals]
+//!          u8 outer · u8 packer       encoding ids
+//!          varint count · varint payload_len · payload · u32 payload_crc
+//! ```
+//!
+//! ```
+//! use tsfile::{EncodingChoice, TsFileReader, TsFileWriter};
+//!
+//! let mut w = TsFileWriter::new();
+//! w.add_int_series("s1.temperature", &[20, 21, 21, 35, 20], EncodingChoice::TS2DIFF_BOS)
+//!     .unwrap();
+//! let bytes = w.finish();
+//! let r = TsFileReader::open(&bytes).unwrap();
+//! assert_eq!(r.read_ints("s1.temperature").unwrap(), vec![20, 21, 21, 35, 20]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod crc;
+
+use bitpack::zigzag::{read_varint, write_varint};
+use crc::crc32;
+use encodings::{OuterKind, PackerKind, Pipeline};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// File magic, 8 bytes (version byte last).
+pub const MAGIC: &[u8; 8] = b"BOSTSF\x00\x01";
+
+/// Errors returned by the reader/writer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsFileError {
+    /// The file does not start/end with the magic or is structurally
+    /// invalid.
+    Corrupt(&'static str),
+    /// A chunk or footer checksum mismatched.
+    ChecksumMismatch {
+        /// Which series (empty for the footer).
+        series: String,
+    },
+    /// The requested series does not exist.
+    NoSuchSeries(String),
+    /// The series exists but holds the other value type.
+    WrongType(String),
+    /// A series with this name was already added.
+    DuplicateSeries(String),
+    /// The float series has no exact `×10^p` representation.
+    UnrepresentableFloats(String),
+}
+
+impl fmt::Display for TsFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Corrupt(what) => write!(f, "corrupt tsfile: {what}"),
+            Self::ChecksumMismatch { series } if series.is_empty() => {
+                write!(f, "footer checksum mismatch")
+            }
+            Self::ChecksumMismatch { series } => {
+                write!(f, "checksum mismatch in series {series:?}")
+            }
+            Self::NoSuchSeries(name) => write!(f, "no such series: {name:?}"),
+            Self::WrongType(name) => write!(f, "series {name:?} has the other value type"),
+            Self::DuplicateSeries(name) => write!(f, "series {name:?} already added"),
+            Self::UnrepresentableFloats(name) => write!(
+                f,
+                "series {name:?} has no exact decimal scaling; store pre-scaled integers instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TsFileError {}
+
+/// Per-series encoding choice: an outer transform plus an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodingChoice {
+    /// The outer encoding.
+    pub outer: OuterKind,
+    /// The inner bit-packing operator.
+    pub packer: PackerKind,
+}
+
+impl EncodingChoice {
+    /// The production default of the paper's deployment: TS2DIFF + BOS-B.
+    pub const TS2DIFF_BOS: EncodingChoice = EncodingChoice {
+        outer: OuterKind::Ts2Diff,
+        packer: PackerKind::BosB,
+    };
+
+    /// The pre-BOS default: TS2DIFF + plain bit-packing.
+    pub const TS2DIFF_BP: EncodingChoice = EncodingChoice {
+        outer: OuterKind::Ts2Diff,
+        packer: PackerKind::Bp,
+    };
+
+    /// Tries a small portfolio (TS2DIFF/RLE/SPRINTZ × BOS-B) and keeps
+    /// whichever encodes `values` smallest — a pragmatic "auto" mode.
+    pub fn auto_for(values: &[i64]) -> EncodingChoice {
+        let candidates = [
+            EncodingChoice { outer: OuterKind::Ts2Diff, packer: PackerKind::BosB },
+            EncodingChoice { outer: OuterKind::Rle, packer: PackerKind::BosB },
+            EncodingChoice { outer: OuterKind::Sprintz, packer: PackerKind::BosB },
+        ];
+        let mut best = candidates[0];
+        let mut best_size = usize::MAX;
+        let mut buf = Vec::new();
+        for c in candidates {
+            buf.clear();
+            c.pipeline().encode(values, &mut buf);
+            if buf.len() < best_size {
+                best_size = buf.len();
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn pipeline(&self) -> Pipeline {
+        Pipeline::new(self.outer, self.packer)
+    }
+
+    fn outer_id(&self) -> u8 {
+        match self.outer {
+            OuterKind::Rle => 0,
+            OuterKind::Ts2Diff => 1,
+            OuterKind::Sprintz => 2,
+        }
+    }
+
+    fn packer_id(&self) -> u8 {
+        match self.packer {
+            PackerKind::Bp => 0,
+            PackerKind::Pfor => 1,
+            PackerKind::NewPfor => 2,
+            PackerKind::OptPfor => 3,
+            PackerKind::FastPfor => 4,
+            PackerKind::BosV => 5,
+            PackerKind::BosB => 6,
+            PackerKind::BosM => 7,
+        }
+    }
+
+    fn from_ids(outer: u8, packer: u8) -> Option<EncodingChoice> {
+        let outer = match outer {
+            0 => OuterKind::Rle,
+            1 => OuterKind::Ts2Diff,
+            2 => OuterKind::Sprintz,
+            _ => return None,
+        };
+        let packer = match packer {
+            0 => PackerKind::Bp,
+            1 => PackerKind::Pfor,
+            2 => PackerKind::NewPfor,
+            3 => PackerKind::OptPfor,
+            4 => PackerKind::FastPfor,
+            5 => PackerKind::BosV,
+            6 => PackerKind::BosB,
+            7 => PackerKind::BosM,
+            _ => return None,
+        };
+        Some(EncodingChoice { outer, packer })
+    }
+
+    /// Human-readable label, e.g. "TS2DIFF+BOS-B".
+    pub fn label(&self) -> String {
+        self.pipeline().label()
+    }
+}
+
+const TYPE_INT: u8 = 0;
+const TYPE_FLOAT: u8 = 1;
+const CHUNK_TAG: u8 = 0x01;
+
+/// Builds a TsFile in memory.
+#[derive(Default)]
+pub struct TsFileWriter {
+    body: Vec<u8>,
+    index: Vec<IndexEntry>,
+    names: BTreeMap<String, ()>,
+}
+
+struct IndexEntry {
+    name: String,
+    offset: u64,
+    count: u64,
+    is_float: bool,
+    encoding: EncodingChoice,
+}
+
+impl TsFileWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self {
+            body: MAGIC.to_vec(),
+            index: Vec::new(),
+            names: BTreeMap::new(),
+        }
+    }
+
+    fn check_name(&mut self, name: &str) -> Result<(), TsFileError> {
+        if self.names.insert(name.to_string(), ()).is_some() {
+            return Err(TsFileError::DuplicateSeries(name.to_string()));
+        }
+        Ok(())
+    }
+
+    fn add_chunk(
+        &mut self,
+        name: &str,
+        value_type: u8,
+        decimals: Option<u8>,
+        encoding: EncodingChoice,
+        count: usize,
+        payload: &[u8],
+    ) {
+        let offset = self.body.len() as u64;
+        self.body.push(CHUNK_TAG);
+        write_varint(&mut self.body, name.len() as u64);
+        self.body.extend_from_slice(name.as_bytes());
+        self.body.push(value_type);
+        if let Some(d) = decimals {
+            self.body.push(d);
+        }
+        self.body.push(encoding.outer_id());
+        self.body.push(encoding.packer_id());
+        write_varint(&mut self.body, count as u64);
+        write_varint(&mut self.body, payload.len() as u64);
+        self.body.extend_from_slice(payload);
+        self.body.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.index.push(IndexEntry {
+            name: name.to_string(),
+            offset,
+            count: count as u64,
+            is_float: value_type == TYPE_FLOAT,
+            encoding,
+        });
+    }
+
+    /// Adds an integer series compressed with `encoding`.
+    pub fn add_int_series(
+        &mut self,
+        name: &str,
+        values: &[i64],
+        encoding: EncodingChoice,
+    ) -> Result<(), TsFileError> {
+        self.check_name(name)?;
+        let mut payload = Vec::new();
+        encoding.pipeline().encode(values, &mut payload);
+        self.add_chunk(name, TYPE_INT, None, encoding, values.len(), &payload);
+        Ok(())
+    }
+
+    /// Adds a float series (must have an exact `×10^p` representation —
+    /// fixed-decimal telemetry does; free-form doubles may not).
+    pub fn add_float_series(
+        &mut self,
+        name: &str,
+        values: &[f64],
+        encoding: EncodingChoice,
+    ) -> Result<(), TsFileError> {
+        self.check_name(name)?;
+        let p = encodings::floatint::infer_precision(values)
+            .ok_or_else(|| TsFileError::UnrepresentableFloats(name.to_string()))?;
+        let ints = encodings::floatint::floats_to_ints(values, p)
+            .ok_or_else(|| TsFileError::UnrepresentableFloats(name.to_string()))?;
+        let mut payload = Vec::new();
+        encoding.pipeline().encode(&ints, &mut payload);
+        self.add_chunk(
+            name,
+            TYPE_FLOAT,
+            Some(p as u8),
+            encoding,
+            values.len(),
+            &payload,
+        );
+        Ok(())
+    }
+
+    /// Adds a timestamped integer series: the timestamp column is stored
+    /// as its own chunk (`<name>/time`) with second-order differencing —
+    /// regular timestamps collapse to almost nothing — and values as
+    /// `<name>/value` with `encoding`. This mirrors how Apache TsFile
+    /// stores (time, value) pages.
+    pub fn add_timed_series(
+        &mut self,
+        name: &str,
+        points: &[(i64, i64)],
+        encoding: EncodingChoice,
+    ) -> Result<(), TsFileError> {
+        let times: Vec<i64> = points.iter().map(|&(t, _)| t).collect();
+        let values: Vec<i64> = points.iter().map(|&(_, v)| v).collect();
+        // Timestamps: second-order TS2DIFF + BOS-B, independent of the
+        // value encoding choice.
+        let time_name = format!("{name}/time");
+        let value_name = format!("{name}/value");
+        self.check_name(&time_name)?;
+        self.check_name(&value_name)?;
+        let mut payload = Vec::new();
+        encodings::ts2diff::Ts2DiffEncoding::second_order(
+            encodings::BosPacker::new(bos::SolverKind::BitWidth),
+        )
+        .encode(&times, &mut payload);
+        // Timestamp chunks reuse the TS2DIFF+BOS-B encoding id; the order
+        // byte inside the payload makes the stream self-describing.
+        self.add_chunk(
+            &time_name,
+            TYPE_INT,
+            None,
+            EncodingChoice::TS2DIFF_BOS,
+            times.len(),
+            &payload,
+        );
+        let mut vpayload = Vec::new();
+        encoding.pipeline().encode(&values, &mut vpayload);
+        self.add_chunk(&value_name, TYPE_INT, None, encoding, values.len(), &vpayload);
+        Ok(())
+    }
+
+    /// Finalizes the file: footer index, footer CRC, trailer.
+    pub fn finish(mut self) -> Vec<u8> {
+        let footer_offset = self.body.len() as u64;
+        let mut footer = Vec::new();
+        write_varint(&mut footer, self.index.len() as u64);
+        for e in &self.index {
+            write_varint(&mut footer, e.name.len() as u64);
+            footer.extend_from_slice(e.name.as_bytes());
+            write_varint(&mut footer, e.offset);
+            write_varint(&mut footer, e.count);
+            footer.push(e.is_float as u8);
+            footer.push(e.encoding.outer_id());
+            footer.push(e.encoding.packer_id());
+        }
+        let footer_crc = crc32(&footer);
+        self.body.extend_from_slice(&footer);
+        self.body.extend_from_slice(&footer_crc.to_le_bytes());
+        self.body.extend_from_slice(&footer_offset.to_le_bytes());
+        self.body.extend_from_slice(MAGIC);
+        self.body
+    }
+}
+
+/// Metadata of one series, from the footer index.
+#[derive(Debug, Clone)]
+pub struct SeriesInfo {
+    /// Series name.
+    pub name: String,
+    /// Number of values.
+    pub count: u64,
+    /// Whether the series holds floats.
+    pub is_float: bool,
+    /// The encoding it was written with.
+    pub encoding: EncodingChoice,
+    /// Byte offset of its chunk.
+    pub offset: u64,
+}
+
+/// Reads a TsFile from a byte buffer.
+pub struct TsFileReader<'a> {
+    data: &'a [u8],
+    series: Vec<SeriesInfo>,
+}
+
+impl<'a> TsFileReader<'a> {
+    /// Parses the footer index and validates the envelope.
+    pub fn open(data: &'a [u8]) -> Result<Self, TsFileError> {
+        let min = MAGIC.len() * 2 + 12;
+        if data.len() < min || &data[..8] != MAGIC || &data[data.len() - 8..] != MAGIC {
+            return Err(TsFileError::Corrupt("bad magic"));
+        }
+        let tail = data.len() - 8;
+        let footer_offset =
+            u64::from_le_bytes(data[tail - 8..tail].try_into().expect("8 bytes")) as usize;
+        if footer_offset < 8 || footer_offset >= tail.saturating_sub(12) {
+            return Err(TsFileError::Corrupt("bad footer offset"));
+        }
+        let footer = &data[footer_offset..tail - 12];
+        let stored_crc =
+            u32::from_le_bytes(data[tail - 12..tail - 8].try_into().expect("4 bytes"));
+        if crc32(footer) != stored_crc {
+            return Err(TsFileError::ChecksumMismatch {
+                series: String::new(),
+            });
+        }
+        let mut pos = 0usize;
+        let count =
+            read_varint(footer, &mut pos).ok_or(TsFileError::Corrupt("footer count"))? as usize;
+        if count > 1 << 20 {
+            return Err(TsFileError::Corrupt("footer count"));
+        }
+        let mut series = Vec::with_capacity(count);
+        for _ in 0..count {
+            let nlen = read_varint(footer, &mut pos).ok_or(TsFileError::Corrupt("name len"))?
+                as usize;
+            let name_bytes = footer
+                .get(pos..pos + nlen)
+                .ok_or(TsFileError::Corrupt("name bytes"))?;
+            pos += nlen;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| TsFileError::Corrupt("name utf8"))?
+                .to_string();
+            let offset = read_varint(footer, &mut pos).ok_or(TsFileError::Corrupt("offset"))?;
+            let vcount = read_varint(footer, &mut pos).ok_or(TsFileError::Corrupt("count"))?;
+            let flags = footer
+                .get(pos..pos + 3)
+                .ok_or(TsFileError::Corrupt("flags"))?;
+            pos += 3;
+            let encoding = EncodingChoice::from_ids(flags[1], flags[2])
+                .ok_or(TsFileError::Corrupt("encoding id"))?;
+            series.push(SeriesInfo {
+                name,
+                count: vcount,
+                is_float: flags[0] == 1,
+                encoding,
+                offset,
+            });
+        }
+        Ok(Self { data, series })
+    }
+
+    /// Index of all series in write order.
+    pub fn series(&self) -> &[SeriesInfo] {
+        &self.series
+    }
+
+    /// Looks up a series by name.
+    pub fn info(&self, name: &str) -> Result<&SeriesInfo, TsFileError> {
+        self.series
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| TsFileError::NoSuchSeries(name.to_string()))
+    }
+
+    /// Parses a chunk at `info.offset`, verifying its CRC. Returns the
+    /// decimals (floats only) and decoded integers.
+    fn read_chunk(&self, info: &SeriesInfo) -> Result<(Option<u8>, Vec<i64>), TsFileError> {
+        let data = self.data;
+        let mut pos = info.offset as usize;
+        let corrupt = TsFileError::Corrupt("chunk header");
+        if *data.get(pos).ok_or(corrupt.clone())? != CHUNK_TAG {
+            return Err(corrupt);
+        }
+        pos += 1;
+        let nlen = read_varint(data, &mut pos).ok_or(corrupt.clone())? as usize;
+        let name = data.get(pos..pos + nlen).ok_or(corrupt.clone())?;
+        pos += nlen;
+        if name != info.name.as_bytes() {
+            return Err(TsFileError::Corrupt("index/chunk name mismatch"));
+        }
+        let vtype = *data.get(pos).ok_or(corrupt.clone())?;
+        pos += 1;
+        let decimals = if vtype == TYPE_FLOAT {
+            let d = *data.get(pos).ok_or(corrupt.clone())?;
+            pos += 1;
+            Some(d)
+        } else {
+            None
+        };
+        let outer = *data.get(pos).ok_or(corrupt.clone())?;
+        let packer = *data.get(pos + 1).ok_or(corrupt.clone())?;
+        pos += 2;
+        let encoding =
+            EncodingChoice::from_ids(outer, packer).ok_or(TsFileError::Corrupt("encoding id"))?;
+        let count = read_varint(data, &mut pos).ok_or(corrupt.clone())? as usize;
+        let plen = read_varint(data, &mut pos).ok_or(corrupt.clone())? as usize;
+        let payload = data.get(pos..pos + plen).ok_or(corrupt.clone())?;
+        pos += plen;
+        let stored = data.get(pos..pos + 4).ok_or(corrupt.clone())?;
+        let stored_crc = u32::from_le_bytes(stored.try_into().expect("4 bytes"));
+        if crc32(payload) != stored_crc {
+            return Err(TsFileError::ChecksumMismatch {
+                series: info.name.clone(),
+            });
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut ppos = 0;
+        encoding
+            .pipeline()
+            .decode(payload, &mut ppos, &mut out)
+            .ok_or(TsFileError::Corrupt("payload decode"))?;
+        if out.len() != count {
+            return Err(TsFileError::Corrupt("value count mismatch"));
+        }
+        Ok((decimals, out))
+    }
+
+    /// Reads an integer series by name.
+    pub fn read_ints(&self, name: &str) -> Result<Vec<i64>, TsFileError> {
+        let info = self.info(name)?.clone();
+        if info.is_float {
+            return Err(TsFileError::WrongType(name.to_string()));
+        }
+        Ok(self.read_chunk(&info)?.1)
+    }
+
+    /// Reads a timestamped series written by
+    /// [`TsFileWriter::add_timed_series`].
+    pub fn read_timed_series(&self, name: &str) -> Result<Vec<(i64, i64)>, TsFileError> {
+        let time_name = format!("{name}/time");
+        let value_name = format!("{name}/value");
+        let tinfo = self.info(&time_name)?.clone();
+        let (_, payload_times) = self.read_chunk_raw(&tinfo)?;
+        let values = self.read_ints(&value_name)?;
+        if payload_times.len() != values.len() {
+            return Err(TsFileError::Corrupt("time/value length mismatch"));
+        }
+        Ok(payload_times.into_iter().zip(values).collect())
+    }
+
+    /// Reads a chunk as raw integers, decoding timestamp chunks with the
+    /// self-describing TS2DIFF path.
+    fn read_chunk_raw(&self, info: &SeriesInfo) -> Result<(Option<u8>, Vec<i64>), TsFileError> {
+        self.read_chunk(info)
+    }
+
+    /// Reads a float series by name.
+    pub fn read_floats(&self, name: &str) -> Result<Vec<f64>, TsFileError> {
+        let info = self.info(name)?.clone();
+        if !info.is_float {
+            return Err(TsFileError::WrongType(name.to_string()));
+        }
+        let (decimals, ints) = self.read_chunk(&info)?;
+        let p = decimals.ok_or(TsFileError::Corrupt("missing decimals"))? as u32;
+        Ok(encodings::floatint::ints_to_floats(&ints, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_multiple_series() {
+        let mut w = TsFileWriter::new();
+        let temps: Vec<i64> = (0..5000).map(|i| 200 + (i % 15)).collect();
+        let loads: Vec<f64> = (0..3000).map(|i| (i % 97) as f64 / 10.0).collect();
+        w.add_int_series("plant1.temp", &temps, EncodingChoice::TS2DIFF_BOS)
+            .unwrap();
+        w.add_float_series("plant1.load", &loads, EncodingChoice::TS2DIFF_BOS)
+            .unwrap();
+        w.add_int_series("plant1.rpm", &[0; 100], EncodingChoice::TS2DIFF_BP)
+            .unwrap();
+        let bytes = w.finish();
+        let r = TsFileReader::open(&bytes).unwrap();
+        assert_eq!(r.series().len(), 3);
+        assert_eq!(r.read_ints("plant1.temp").unwrap(), temps);
+        assert_eq!(r.read_floats("plant1.load").unwrap(), loads);
+        assert_eq!(r.read_ints("plant1.rpm").unwrap(), vec![0; 100]);
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut w = TsFileWriter::new();
+        w.add_int_series("a", &[1, 2, 3], EncodingChoice::TS2DIFF_BOS)
+            .unwrap();
+        assert_eq!(
+            w.add_int_series("a", &[4], EncodingChoice::TS2DIFF_BOS),
+            Err(TsFileError::DuplicateSeries("a".into()))
+        );
+        assert_eq!(
+            w.add_float_series("pi", &[std::f64::consts::PI], EncodingChoice::TS2DIFF_BOS),
+            Err(TsFileError::UnrepresentableFloats("pi".into()))
+        );
+        let bytes = w.finish();
+        let r = TsFileReader::open(&bytes).unwrap();
+        assert!(matches!(
+            r.read_ints("missing"),
+            Err(TsFileError::NoSuchSeries(_))
+        ));
+        assert!(matches!(r.read_floats("a"), Err(TsFileError::WrongType(_))));
+    }
+
+    #[test]
+    fn payload_corruption_is_detected() {
+        let mut w = TsFileWriter::new();
+        // Incompressible-ish values so the payload is comfortably larger
+        // than the headers and the flipped byte lands inside it.
+        let values: Vec<i64> = (0..2000).map(|i| (i * i * 37) % 10_007).collect();
+        w.add_int_series("s", &values, EncodingChoice::TS2DIFF_BOS)
+            .unwrap();
+        let mut bytes = w.finish();
+        assert!(bytes.len() > 500);
+        bytes[200] ^= 0x40; // inside the chunk payload
+        let r = TsFileReader::open(&bytes).unwrap();
+        assert!(matches!(
+            r.read_ints("s"),
+            Err(TsFileError::ChecksumMismatch { .. }) | Err(TsFileError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn footer_corruption_is_detected() {
+        let mut w = TsFileWriter::new();
+        w.add_int_series("s", &[1, 2, 3], EncodingChoice::TS2DIFF_BOS)
+            .unwrap();
+        let mut bytes = w.finish();
+        let footer_byte = bytes.len() - 20; // inside the footer
+        bytes[footer_byte] ^= 0xFF;
+        assert!(TsFileReader::open(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_and_garbage_files() {
+        assert!(TsFileReader::open(b"").is_err());
+        assert!(TsFileReader::open(b"not a tsfile at all").is_err());
+        let mut w = TsFileWriter::new();
+        w.add_int_series("s", &[1], EncodingChoice::TS2DIFF_BP).unwrap();
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let _ = TsFileReader::open(&bytes[..cut]); // must not panic
+        }
+    }
+
+    #[test]
+    fn timed_series_roundtrip() {
+        // Regular 1 Hz timestamps with small jitter + a value channel.
+        let points: Vec<(i64, i64)> = (0..20_000i64)
+            .map(|i| (1_700_000_000_000 + i * 1000 + (i % 3), 500 + (i % 12)))
+            .collect();
+        let mut w = TsFileWriter::new();
+        w.add_timed_series("engine.rpm", &points, EncodingChoice::TS2DIFF_BOS)
+            .unwrap();
+        let bytes = w.finish();
+        let r = TsFileReader::open(&bytes).unwrap();
+        assert_eq!(r.read_timed_series("engine.rpm").unwrap(), points);
+        // Both columns appear in the index.
+        assert!(r.info("engine.rpm/time").is_ok());
+        assert!(r.info("engine.rpm/value").is_ok());
+        // Second-order differencing makes the timestamp column tiny:
+        // well under 1 bit per point for near-regular stamps.
+        let tinfo = r.info("engine.rpm/time").unwrap();
+        let vinfo = r.info("engine.rpm/value").unwrap();
+        let time_bytes = (vinfo.offset - tinfo.offset) as usize;
+        assert!(time_bytes < points.len() / 2, "time column {time_bytes} bytes");
+    }
+
+    #[test]
+    fn timed_series_name_collisions() {
+        let mut w = TsFileWriter::new();
+        w.add_int_series("a/time", &[1], EncodingChoice::TS2DIFF_BP).unwrap();
+        assert!(matches!(
+            w.add_timed_series("a", &[(1, 2)], EncodingChoice::TS2DIFF_BOS),
+            Err(TsFileError::DuplicateSeries(_))
+        ));
+    }
+
+    #[test]
+    fn auto_encoding_picks_sensibly() {
+        // Highly repetitive data → RLE should win.
+        let runs: Vec<i64> = (0..4000).map(|i| (i / 500) % 3).collect();
+        let choice = EncodingChoice::auto_for(&runs);
+        assert_eq!(choice.outer, OuterKind::Rle, "got {}", choice.label());
+        // Smooth trending data → a delta encoding should win.
+        let smooth: Vec<i64> = (0..4000).map(|i| i * 7 + (i % 3)).collect();
+        let choice = EncodingChoice::auto_for(&smooth);
+        assert_ne!(choice.outer, OuterKind::Rle, "got {}", choice.label());
+    }
+
+    #[test]
+    fn bos_shrinks_the_file() {
+        let mut values: Vec<i64> = (0..20_000).map(|i| 1000 + (i % 12)).collect();
+        for i in (0..values.len()).step_by(300) {
+            values[i] = 1 << 35;
+        }
+        let size_with = {
+            let mut w = TsFileWriter::new();
+            w.add_int_series("s", &values, EncodingChoice::TS2DIFF_BOS).unwrap();
+            w.finish().len()
+        };
+        let size_without = {
+            let mut w = TsFileWriter::new();
+            w.add_int_series("s", &values, EncodingChoice::TS2DIFF_BP).unwrap();
+            w.finish().len()
+        };
+        assert!(size_with * 2 < size_without, "{size_with} vs {size_without}");
+    }
+
+    #[test]
+    fn empty_file_roundtrips() {
+        let bytes = TsFileWriter::new().finish();
+        let r = TsFileReader::open(&bytes).unwrap();
+        assert!(r.series().is_empty());
+    }
+}

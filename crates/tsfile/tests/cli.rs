@@ -1,0 +1,87 @@
+//! Integration tests driving the `boscli` binary end-to-end.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn boscli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_boscli"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("boscli_test_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    dir
+}
+
+#[test]
+fn pack_info_unpack_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let csv = dir.join("temps.csv");
+    let values: Vec<i64> = (0..5000).map(|i| 200 + (i % 17) + if i % 97 == 0 { 9000 } else { 0 }).collect();
+    datasets::csv::save_ints(&csv, &values).unwrap();
+
+    let tsf = dir.join("out.tsf");
+    let out = boscli()
+        .args(["pack", tsf.to_str().unwrap(), &format!("temps={}", csv.display())])
+        .output()
+        .expect("run pack");
+    assert!(out.status.success(), "pack failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = boscli()
+        .args(["info", tsf.to_str().unwrap()])
+        .output()
+        .expect("run info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("temps"), "info output: {text}");
+    assert!(text.contains("5000"), "info output: {text}");
+
+    let back = dir.join("back.csv");
+    let out = boscli()
+        .args(["unpack", tsf.to_str().unwrap(), "temps", back.to_str().unwrap()])
+        .output()
+        .expect("run unpack");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(datasets::csv::load_ints(&back).unwrap(), values);
+}
+
+#[test]
+fn bench_prints_method_table() {
+    let dir = tmpdir("bench");
+    let csv = dir.join("series.csv");
+    let values: Vec<i64> = (0..3000).map(|i| i % 250).collect();
+    datasets::csv::save_ints(&csv, &values).unwrap();
+    let out = boscli()
+        .args(["bench", csv.to_str().unwrap()])
+        .output()
+        .expect("run bench");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("TS2DIFF+BOS-B"), "bench output: {text}");
+    assert!(text.contains("RLE+BP"), "bench output: {text}");
+}
+
+#[test]
+fn float_csv_is_packed_losslessly() {
+    let dir = tmpdir("floats");
+    let csv = dir.join("load.csv");
+    let values: Vec<f64> = (0..2000).map(|i| (i % 331) as f64 / 10.0).collect();
+    datasets::csv::save_floats(&csv, &values).unwrap();
+    let tsf = dir.join("f.tsf");
+    let out = boscli()
+        .args(["pack", tsf.to_str().unwrap(), &format!("load={}", csv.display())])
+        .output()
+        .expect("run pack");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let data = std::fs::read(&tsf).unwrap();
+    let reader = tsfile::TsFileReader::open(&data).unwrap();
+    assert_eq!(reader.read_floats("load").unwrap(), values);
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    assert!(!boscli().output().unwrap().status.success());
+    assert!(!boscli().args(["info", "/nonexistent/file.tsf"]).output().unwrap().status.success());
+    assert!(!boscli().args(["unpack"]).output().unwrap().status.success());
+}

@@ -1,0 +1,49 @@
+//! An IoT ingestion pipeline: delta-encode sensor series and compare the
+//! bit-packing operators, the way Apache IoTDB uses BOS in production.
+//!
+//! Run with: `cargo run --release --example iot_pipeline`
+
+use bos_repro::datasets::{generate, Dataset};
+use bos_repro::encodings::{OuterKind, PackerKind, Pipeline};
+
+fn ratio(pipeline: &Pipeline, dataset: &Dataset) -> f64 {
+    let ints = dataset.as_scaled_ints();
+    let mut buf = Vec::new();
+    pipeline.encode(&ints, &mut buf);
+    // Verify losslessness before reporting anything.
+    let mut out = Vec::new();
+    let mut pos = 0;
+    pipeline.decode(&buf, &mut pos, &mut out).expect("decode");
+    assert_eq!(out, ints, "{} lost data", pipeline.label());
+    dataset.uncompressed_bytes() as f64 / buf.len() as f64
+}
+
+fn main() {
+    // Two archetypes: a frozen-with-recalibrations channel (CS) where BOS
+    // shines, and a smooth drive signal (TT).
+    for abbr in ["CS", "TT", "TF"] {
+        let dataset = generate(abbr, 50_000).expect("known dataset");
+        println!(
+            "\n{} ({}, {} values, {} KiB raw)",
+            dataset.name,
+            abbr,
+            dataset.len(),
+            dataset.uncompressed_bytes() / 1024
+        );
+        println!("  {:<22} {:>8}", "method", "ratio");
+        for packer in [
+            PackerKind::Bp,
+            PackerKind::Pfor,
+            PackerKind::OptPfor,
+            PackerKind::FastPfor,
+            PackerKind::BosB,
+            PackerKind::BosM,
+        ] {
+            let pipeline = Pipeline::new(OuterKind::Ts2Diff, packer);
+            println!("  {:<22} {:>8.2}", pipeline.label(), ratio(&pipeline, &dataset));
+        }
+    }
+
+    println!("\nBOS-B is a drop-in replacement: the stream stays self-describing,");
+    println!("so readers decode it without knowing which solver produced it.");
+}

@@ -1,0 +1,30 @@
+//! Umbrella crate for the BOS reproduction.
+//!
+//! Re-exports every component so examples and integration tests can depend
+//! on one crate:
+//!
+//! * [`bos`] — the paper's contribution: BOS-V / BOS-B / BOS-M solvers,
+//!   the cost model, the block format, the k-part generalization.
+//! * [`bitpack`] — bit-level substrate (bit IO, widths, varints, bitmap,
+//!   Simple8b).
+//! * [`pfor`] — PFOR / NewPFOR / OptPFOR / FastPFOR / BP baselines.
+//! * [`encodings`] — RLE / TS2DIFF / SPRINTZ outer encoders × operator
+//!   grid, float scaling.
+//! * [`floatcodec`] — Gorilla / Chimp / Elf / BUFF float baselines.
+//! * [`gpcomp`] — LZ4-style, LZMA-lite, DCT/FFT comparators.
+//! * [`datasets`] — the twelve synthetic evaluation datasets.
+//! * [`tsfile`] — TsFile-lite columnar container (paper §VII deployment).
+//! * [`query`] — scan/aggregate engine with compressed-block skipping.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use bitpack;
+pub use bos;
+pub use datasets;
+pub use encodings;
+pub use floatcodec;
+pub use gpcomp;
+pub use pfor;
+pub use query;
+pub use tsfile;

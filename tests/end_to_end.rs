@@ -1,0 +1,137 @@
+//! End-to-end integration: every dataset through every pipeline, losslessly.
+
+use bos_repro::datasets::{all_datasets, DataType, SeriesData};
+use bos_repro::encodings::{OuterKind, PackerKind, Pipeline};
+use bos_repro::floatcodec::all_codecs;
+
+const N: usize = 8_000;
+
+#[test]
+fn every_pipeline_roundtrips_every_dataset() {
+    for dataset in all_datasets(N) {
+        let ints = dataset.as_scaled_ints();
+        for outer in OuterKind::ALL {
+            for packer in PackerKind::ALL {
+                // BOS-V is O(n²); keep runtime sane by skipping it for the
+                // quadratic-cost combinations here (covered in bos tests).
+                if packer == PackerKind::BosV {
+                    continue;
+                }
+                let pipeline = Pipeline::new(outer, packer);
+                let mut buf = Vec::new();
+                pipeline.encode(&ints, &mut buf);
+                let mut out = Vec::new();
+                let mut pos = 0;
+                pipeline
+                    .decode(&buf, &mut pos, &mut out)
+                    .unwrap_or_else(|| panic!("{} on {}", pipeline.label(), dataset.abbr));
+                assert_eq!(out, ints, "{} on {}", pipeline.label(), dataset.abbr);
+                assert_eq!(pos, buf.len(), "{} on {}", pipeline.label(), dataset.abbr);
+            }
+        }
+    }
+}
+
+#[test]
+fn float_codecs_roundtrip_float_datasets_bit_exactly() {
+    for dataset in all_datasets(N) {
+        if dataset.kind != DataType::Float {
+            continue;
+        }
+        let SeriesData::Floats { values, .. } = &dataset.data else {
+            unreachable!()
+        };
+        for codec in all_codecs() {
+            let mut buf = Vec::new();
+            codec.encode(values, &mut buf);
+            let mut out = Vec::new();
+            let mut pos = 0;
+            codec
+                .decode(&buf, &mut pos, &mut out)
+                .unwrap_or_else(|| panic!("{} on {}", codec.name(), dataset.abbr));
+            assert_eq!(out.len(), values.len());
+            for (a, b) in values.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} on {}", codec.name(), dataset.abbr);
+            }
+        }
+    }
+}
+
+#[test]
+fn float_scaling_pipeline_is_lossless_on_float_datasets() {
+    for dataset in all_datasets(N) {
+        if dataset.kind != DataType::Float {
+            continue;
+        }
+        let SeriesData::Floats { values, .. } = &dataset.data else {
+            unreachable!()
+        };
+        let pipeline = Pipeline::new(OuterKind::Ts2Diff, PackerKind::BosB);
+        let mut buf = Vec::new();
+        pipeline
+            .encode_f64(values, &mut buf)
+            .unwrap_or_else(|| panic!("{} has no exact decimal scaling", dataset.abbr));
+        let mut out = Vec::new();
+        let mut pos = 0;
+        pipeline.decode_f64(&buf, &mut pos, &mut out).expect("decode");
+        assert_eq!(&out, values, "{}", dataset.abbr);
+    }
+}
+
+#[test]
+fn bos_b_never_loses_to_bp_by_more_than_headers() {
+    // Per-block optimality means TS2DIFF+BOS-B can only lose to
+    // TS2DIFF+BP by per-block header overhead (a few bytes per 1024
+    // values), never by payload.
+    for dataset in all_datasets(N) {
+        let ints = dataset.as_scaled_ints();
+        let size = |packer: PackerKind| {
+            let mut buf = Vec::new();
+            Pipeline::new(OuterKind::Ts2Diff, packer).encode(&ints, &mut buf);
+            buf.len()
+        };
+        let bp = size(PackerKind::Bp);
+        let bos = size(PackerKind::BosB);
+        let blocks = ints.len().div_ceil(1024).max(1);
+        assert!(
+            bos <= bp + blocks * 16,
+            "{}: bos {} vs bp {}",
+            dataset.abbr,
+            bos,
+            bp
+        );
+    }
+}
+
+#[test]
+fn bos_b_beats_every_baseline_on_average() {
+    // The headline claim (Figure 10b): averaged over the datasets,
+    // TS2DIFF+BOS-B has the best compression ratio of the operator grid.
+    let mut totals: Vec<(PackerKind, f64)> = PackerKind::ALL
+        .iter()
+        .filter(|&&p| p != PackerKind::BosV) // identical to BosB, and slow
+        .map(|&p| (p, 0.0))
+        .collect();
+    for dataset in all_datasets(N) {
+        let ints = dataset.as_scaled_ints();
+        let raw = dataset.uncompressed_bytes() as f64;
+        for (packer, acc) in totals.iter_mut() {
+            let mut buf = Vec::new();
+            Pipeline::new(OuterKind::Ts2Diff, *packer).encode(&ints, &mut buf);
+            *acc += raw / buf.len() as f64;
+        }
+    }
+    let bos = totals
+        .iter()
+        .find(|(p, _)| *p == PackerKind::BosB)
+        .expect("present")
+        .1;
+    for (packer, total) in &totals {
+        if *packer != PackerKind::BosB {
+            assert!(
+                bos >= *total,
+                "BOS-B ({bos:.2}) lost to {packer:?} ({total:.2}) on average"
+            );
+        }
+    }
+}

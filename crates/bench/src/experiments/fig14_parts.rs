@@ -22,7 +22,7 @@ pub fn encode_series(values: &[i64], k: usize, out: &mut Vec<u8>) {
 }
 
 /// Decoder counterpart of [`encode_series`].
-pub fn decode_series(buf: &[u8], n: usize, out: &mut Vec<i64>) -> Option<()> {
+pub fn decode_series(buf: &[u8], n: usize, out: &mut Vec<i64>) -> bitpack::DecodeResult<()> {
     let mut pos = 0;
     let mut produced = 0;
     let mut deltas = Vec::new();
@@ -39,7 +39,7 @@ pub fn decode_series(buf: &[u8], n: usize, out: &mut Vec<i64>) -> Option<()> {
         }
         produced += deltas.len();
     }
-    Some(())
+    Ok(())
 }
 
 /// Runs the experiment.
@@ -84,4 +84,32 @@ pub fn run(cfg: &Config) {
         gain_37 < gain_13,
         "the marginal gain beyond 3 parts must be smaller than the 1→3 jump"
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_roundtrip_all_k() {
+        let values: Vec<i64> = (0..3000)
+            .map(|i| 40 * i + if i % 57 == 0 { 1 << 22 } else { i % 13 })
+            .collect();
+        for k in 1..=7usize {
+            let mut buf = Vec::new();
+            encode_series(&values, k, &mut buf);
+            let mut out = Vec::new();
+            decode_series(&buf, values.len(), &mut out).expect("decode");
+            assert_eq!(out, values, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn series_decode_rejects_truncation() {
+        let values: Vec<i64> = (0..2048).map(|i| i * 3).collect();
+        let mut buf = Vec::new();
+        encode_series(&values, 3, &mut buf);
+        let mut out = Vec::new();
+        assert!(decode_series(&buf[..buf.len() / 2], values.len(), &mut out).is_err());
+    }
 }

@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn formats() {
-        assert_eq!(fmt_ratio(3.14159), "3.14");
+        assert_eq!(fmt_ratio(3.144), "3.14");
         assert_eq!(fmt_ns(123.7), "124");
     }
 }

@@ -12,6 +12,7 @@
 //! Definition 5.
 
 use crate::bits::{BitReader, BitWriter};
+use crate::error::DecodeResult;
 
 /// Which of the three separated parts a value belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,8 +50,10 @@ impl OutlierBitmap {
         out.len_bits() - before
     }
 
-    /// Reads `n` part codes. Returns `None` on truncation.
-    pub fn decode(reader: &mut BitReader<'_>, n: usize, out: &mut Vec<Part>) -> Option<()> {
+    /// Reads `n` part codes. Fails with
+    /// [`DecodeError::Truncated`](crate::DecodeError::Truncated) on a short
+    /// stream.
+    pub fn decode(reader: &mut BitReader<'_>, n: usize, out: &mut Vec<Part>) -> DecodeResult<()> {
         out.reserve(n);
         for _ in 0..n {
             let part = if reader.read_bit()? {
@@ -64,7 +67,7 @@ impl OutlierBitmap {
             };
             out.push(part);
         }
-        Some(())
+        Ok(())
     }
 
     /// Exact encoded size in bits for `n` values of which `nl` are lower and
@@ -132,6 +135,6 @@ mod tests {
         // 8 bits fit exactly in 1 byte; ask for more symbols than present.
         let mut r = BitReader::new(&buf);
         let mut out = Vec::new();
-        assert!(OutlierBitmap::decode(&mut r, 5, &mut out).is_none());
+        assert!(OutlierBitmap::decode(&mut r, 5, &mut out).is_err());
     }
 }

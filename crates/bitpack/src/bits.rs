@@ -9,6 +9,8 @@
 //! conventional on-disk layout of IoTDB's bit-packing and making hex dumps
 //! human-readable.
 
+use crate::error::{DecodeError, DecodeResult};
+
 /// Appends bits to a growable byte buffer, MSB-first.
 ///
 /// ```
@@ -19,8 +21,8 @@
 /// let (buf, bits) = w.finish();
 /// assert_eq!(bits, 11);
 /// let mut r = BitReader::new(&buf);
-/// assert_eq!(r.read_bits(3), Some(0b101));
-/// assert_eq!(r.read_bits(8), Some(0xFF));
+/// assert_eq!(r.read_bits(3), Ok(0b101));
+/// assert_eq!(r.read_bits(8), Ok(0xFF));
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
@@ -74,13 +76,14 @@ impl BitWriter {
             if bit_pos == 0 {
                 self.buf.push(0);
             }
-            let byte = self.buf.last_mut().expect("buffer non-empty");
             let avail = 8 - bit_pos as u32;
             let take = avail.min(remaining);
             // The `take` bits we emit are the most significant of the
             // `remaining` bits still pending.
             let chunk = (value >> (remaining - take)) & ((1u64 << take) - 1);
-            *byte |= (chunk as u8) << (avail - take);
+            if let Some(byte) = self.buf.last_mut() {
+                *byte |= (chunk as u8) << (avail - take);
+            }
             self.len_bits += take as usize;
             remaining -= take;
         }
@@ -95,14 +98,14 @@ impl BitWriter {
     /// Appends the full content of another writer, preserving bit alignment.
     pub fn append(&mut self, other: &BitWriter) {
         let mut remaining = other.len_bits;
-        let mut idx = 0;
+        let mut bytes = other.buf.iter().copied();
         while remaining >= 8 {
-            self.write_bits(other.buf[idx] as u64, 8);
-            idx += 1;
+            let byte = bytes.next().unwrap_or(0);
+            self.write_bits(byte as u64, 8);
             remaining -= 8;
         }
         if remaining > 0 {
-            let byte = other.buf[idx];
+            let byte = bytes.next().unwrap_or(0);
             self.write_bits((byte >> (8 - remaining)) as u64, remaining as u32);
         }
     }
@@ -149,21 +152,25 @@ impl<'a> BitReader<'a> {
         self.buf.len() * 8 - self.pos_bits
     }
 
-    /// Reads `width` (0..=64) bits; returns `None` if the buffer is
-    /// exhausted before `width` bits are available.
+    /// Reads `width` (0..=64) bits; fails with [`DecodeError::Truncated`]
+    /// if the buffer is exhausted before `width` bits are available.
     #[inline]
-    pub fn read_bits(&mut self, width: u32) -> Option<u64> {
+    pub fn read_bits(&mut self, width: u32) -> DecodeResult<u64> {
         debug_assert!(width <= 64);
         if width == 0 {
-            return Some(0);
+            return Ok(0);
         }
         if self.remaining_bits() < width as usize {
-            return None;
+            return Err(DecodeError::Truncated);
         }
         let mut out = 0u64;
         let mut remaining = width;
         while remaining > 0 {
-            let byte = self.buf[self.pos_bits >> 3];
+            let byte = self
+                .buf
+                .get(self.pos_bits >> 3)
+                .copied()
+                .ok_or(DecodeError::Truncated)?;
             let bit_pos = (self.pos_bits & 7) as u32;
             let avail = 8 - bit_pos;
             let take = avail.min(remaining);
@@ -172,12 +179,12 @@ impl<'a> BitReader<'a> {
             self.pos_bits += take as usize;
             remaining -= take;
         }
-        Some(out)
+        Ok(out)
     }
 
     /// Reads a single bit.
     #[inline]
-    pub fn read_bit(&mut self) -> Option<bool> {
+    pub fn read_bit(&mut self) -> DecodeResult<bool> {
         self.read_bits(1).map(|b| b != 0)
     }
 
@@ -189,20 +196,21 @@ impl<'a> BitReader<'a> {
         }
     }
 
-    /// Skips `width` bits; returns `None` on underflow.
-    pub fn skip_bits(&mut self, width: usize) -> Option<()> {
+    /// Skips `width` bits; fails with [`DecodeError::Truncated`] on
+    /// underflow.
+    pub fn skip_bits(&mut self, width: usize) -> DecodeResult<()> {
         if self.remaining_bits() < width {
-            return None;
+            return Err(DecodeError::Truncated);
         }
         self.pos_bits += width;
-        Some(())
+        Ok(())
     }
 
     /// Returns the rest of the buffer starting from the current byte
     /// boundary (aligning first).
     pub fn remaining_bytes(&mut self) -> &'a [u8] {
         self.align_to_byte();
-        &self.buf[self.pos_bits >> 3..]
+        self.buf.get(self.pos_bits >> 3..).unwrap_or(&[])
     }
 }
 
@@ -221,11 +229,11 @@ mod tests {
         let (buf, bits) = w.finish();
         assert_eq!(bits, 1 + 4 + 64 + 17);
         let mut r = BitReader::new(&buf);
-        assert_eq!(r.read_bits(1), Some(1));
-        assert_eq!(r.read_bits(4), Some(0b0110));
-        assert_eq!(r.read_bits(64), Some(u64::MAX));
-        assert_eq!(r.read_bits(0), Some(0));
-        assert_eq!(r.read_bits(17), Some(12345));
+        assert_eq!(r.read_bits(1), Ok(1));
+        assert_eq!(r.read_bits(4), Ok(0b0110));
+        assert_eq!(r.read_bits(64), Ok(u64::MAX));
+        assert_eq!(r.read_bits(0), Ok(0));
+        assert_eq!(r.read_bits(17), Ok(12345));
     }
 
     #[test]
@@ -234,14 +242,14 @@ mod tests {
         w.write_bits(0xFFFF_FFFF_FFFF_FFFF, 3);
         let (buf, _) = w.finish();
         let mut r = BitReader::new(&buf);
-        assert_eq!(r.read_bits(3), Some(0b111));
+        assert_eq!(r.read_bits(3), Ok(0b111));
     }
 
     #[test]
     fn underflow_returns_none() {
         let mut r = BitReader::new(&[0xAB]);
-        assert_eq!(r.read_bits(8), Some(0xAB));
-        assert_eq!(r.read_bits(1), None);
+        assert_eq!(r.read_bits(8), Ok(0xAB));
+        assert_eq!(r.read_bits(1), Err(DecodeError::Truncated));
     }
 
     #[test]
@@ -253,7 +261,7 @@ mod tests {
         let (buf, _) = w.finish();
         let mut r = BitReader::new(&buf);
         for i in 0..100u64 {
-            assert_eq!(r.read_bits(7), Some(i));
+            assert_eq!(r.read_bits(7), Ok(i));
         }
     }
 
@@ -267,7 +275,7 @@ mod tests {
         let (buf, bits) = w.finish();
         assert_eq!(bits, 24);
         let mut r = BitReader::new(&buf);
-        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(3), Ok(0b101));
         assert_eq!(r.remaining_bytes(), &[0xDE, 0xAD]);
     }
 
@@ -282,9 +290,9 @@ mod tests {
         let (buf, bits) = a.finish();
         assert_eq!(bits, 16);
         let mut r = BitReader::new(&buf);
-        assert_eq!(r.read_bits(2), Some(0b11));
-        assert_eq!(r.read_bits(13), Some(0x1234));
-        assert_eq!(r.read_bits(1), Some(1));
+        assert_eq!(r.read_bits(2), Ok(0b11));
+        assert_eq!(r.read_bits(13), Ok(0x1234));
+        assert_eq!(r.read_bits(1), Ok(1));
     }
 
     #[test]
@@ -295,8 +303,8 @@ mod tests {
         let (buf, _) = w.finish();
         let mut r = BitReader::new(&buf);
         r.skip_bits(16).unwrap();
-        assert_eq!(r.read_bits(4), Some(0b1010));
-        assert!(r.skip_bits(5).is_none());
+        assert_eq!(r.read_bits(4), Ok(0b1010));
+        assert!(r.skip_bits(5).is_err());
     }
 
     #[test]
@@ -310,7 +318,7 @@ mod tests {
         assert_eq!(bits, pattern.len());
         let mut r = BitReader::new(&buf);
         for &b in &pattern {
-            assert_eq!(r.read_bit(), Some(b));
+            assert_eq!(r.read_bit(), Ok(b));
         }
     }
 

@@ -14,6 +14,7 @@
 //! MSB-first `BitWriter` stream. Each kernel pair is self-consistent; the
 //! equivalence test compares decoded values, not raw bytes.
 
+use crate::error::{DecodeError, DecodeResult};
 use crate::width::width;
 
 /// Packs `values` with fixed `w` bits each into little-endian 64-bit
@@ -64,18 +65,19 @@ pub fn packed_size(n: usize, w: u32) -> usize {
 }
 
 /// Unpacks `n` values of width `w` from `buf`, appending to `out`.
-/// Returns the number of bytes consumed, or `None` if `buf` is too short.
-pub fn unpack_words(buf: &[u8], n: usize, w: u32, out: &mut Vec<u64>) -> Option<usize> {
+/// Returns the number of bytes consumed; fails with
+/// [`DecodeError::Truncated`] if `buf` is too short.
+pub fn unpack_words(buf: &[u8], n: usize, w: u32, out: &mut Vec<u64>) -> DecodeResult<usize> {
     debug_assert!(w <= 64);
     if w == 0 {
-        out.extend(std::iter::repeat(0).take(n));
-        return Some(0);
+        out.extend(std::iter::repeat_n(0, n));
+        return Ok(0);
     }
     if n == 0 {
-        return Some(0);
+        return Ok(0);
     }
     let bytes = packed_size(n, w);
-    let payload = buf.get(..bytes)?;
+    let payload = buf.get(..bytes).ok_or(DecodeError::Truncated)?;
     out.reserve(n);
     let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
     let mut word_idx = 0usize;
@@ -107,15 +109,15 @@ pub fn unpack_words(buf: &[u8], n: usize, w: u32, out: &mut Vec<u64>) -> Option<
             avail = 64;
         }
     }
-    Some(bytes)
+    Ok(bytes)
 }
 
 #[inline]
 fn read_word(payload: &[u8], idx: usize) -> u64 {
     let start = idx * 8;
-    match payload.get(start..start + 8) {
-        Some(b) => u64::from_le_bytes(b.try_into().expect("8 bytes")),
-        None => 0,
+    match payload.get(start..start + 8).map(<[u8; 8]>::try_from) {
+        Some(Ok(b)) => u64::from_le_bytes(b),
+        _ => 0,
     }
 }
 
@@ -168,7 +170,7 @@ mod tests {
         assert_eq!(pack_words(&[0, 0, 0], 0, &mut buf), 0);
         assert!(buf.is_empty());
         let mut out = Vec::new();
-        assert_eq!(unpack_words(&[], 3, 0, &mut out), Some(0));
+        assert_eq!(unpack_words(&[], 3, 0, &mut out), Ok(0));
         assert_eq!(out, vec![0, 0, 0]);
     }
 
@@ -177,7 +179,7 @@ mod tests {
         let mut buf = Vec::new();
         pack_words(&[1, 2, 3], 33, &mut buf);
         let mut out = Vec::new();
-        assert!(unpack_words(&buf[..buf.len() - 1], 3, 33, &mut out).is_none());
+        assert!(unpack_words(&buf[..buf.len() - 1], 3, 33, &mut out).is_err());
     }
 
     #[test]

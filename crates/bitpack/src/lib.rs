@@ -15,13 +15,17 @@
 //!   exception streams (stand-in for Simple16; see DESIGN.md §2).
 //!
 //! All codecs are lossless and panic-free on untrusted input lengths: readers
-//! return `None` / errors instead of reading out of bounds.
+//! return `Err(`[`DecodeError`]`)` instead of reading out of bounds. The
+//! [`error`] module defines that single shared error enum; every decoder in
+//! the workspace (bos, pfor, encodings, floatcodec, gpcomp, tsfile, query)
+//! propagates it unchanged.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bitmap;
 pub mod bits;
+pub mod error;
 pub mod kernels;
 pub mod pack;
 pub mod simple8b;
@@ -30,6 +34,7 @@ pub mod zigzag;
 
 pub use bitmap::{OutlierBitmap, Part};
 pub use bits::{BitReader, BitWriter};
+pub use error::{DecodeError, DecodeResult};
 pub use width::{bit_width, width, width1};
 pub use zigzag::{zigzag_decode, zigzag_encode};
 

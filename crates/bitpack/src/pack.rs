@@ -5,6 +5,7 @@
 //! block minimum (frame of reference).
 
 use crate::bits::{BitReader, BitWriter};
+use crate::error::{DecodeError, DecodeResult};
 use crate::width::width;
 use crate::zigzag::{read_varint, write_varint};
 
@@ -19,14 +20,19 @@ pub fn pack_into(values: &[u64], w: u32, out: &mut BitWriter) {
     }
 }
 
-/// Unpacks `n` values of width `w` from the reader. Returns `None` if the
-/// stream is too short.
-pub fn unpack_from(reader: &mut BitReader<'_>, w: u32, n: usize, out: &mut Vec<u64>) -> Option<()> {
+/// Unpacks `n` values of width `w` from the reader. Fails with
+/// [`DecodeError::Truncated`] if the stream is too short.
+pub fn unpack_from(
+    reader: &mut BitReader<'_>,
+    w: u32,
+    n: usize,
+    out: &mut Vec<u64>,
+) -> DecodeResult<()> {
     out.reserve(n);
     for _ in 0..n {
         out.push(reader.read_bits(w)?);
     }
-    Some(())
+    Ok(())
 }
 
 /// Self-describing frame-of-reference bit-packed block:
@@ -37,8 +43,8 @@ pub fn bp_encode(values: &[u64], out: &mut Vec<u8>) {
     if values.is_empty() {
         return;
     }
-    let min = values.iter().copied().min().expect("non-empty");
-    let max = values.iter().copied().max().expect("non-empty");
+    let min = values.iter().copied().min().unwrap_or(0);
+    let max = values.iter().copied().max().unwrap_or(0);
     let w = width(max - min);
     write_varint(out, min);
     out.push(w as u8);
@@ -50,29 +56,34 @@ pub fn bp_encode(values: &[u64], out: &mut Vec<u8>) {
 }
 
 /// Decodes a [`bp_encode`] block from `buf[*pos..]`, advancing `pos`.
-pub fn bp_decode(buf: &[u8], pos: &mut usize, out: &mut Vec<u64>) -> Option<()> {
+pub fn bp_decode(buf: &[u8], pos: &mut usize, out: &mut Vec<u64>) -> DecodeResult<()> {
     let n = read_varint(buf, pos)? as usize;
     if n == 0 {
-        return Some(());
+        return Ok(());
     }
     if n > crate::MAX_BLOCK_VALUES {
-        return None;
+        return Err(DecodeError::CountOverflow { claimed: n as u64 });
     }
     let min = read_varint(buf, pos)?;
-    let w = *buf.get(*pos)? as u32;
+    let w = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
     *pos += 1;
     if w > 64 {
-        return None;
+        return Err(DecodeError::WidthOverflow { width: w });
     }
     let payload_bytes = (n * w as usize).div_ceil(8);
-    let payload = buf.get(*pos..*pos + payload_bytes)?;
+    let payload = buf
+        .get(*pos..*pos + payload_bytes)
+        .ok_or(DecodeError::Truncated)?;
     *pos += payload_bytes;
     let mut reader = BitReader::new(payload);
     out.reserve(n);
     for _ in 0..n {
-        out.push(min.checked_add(reader.read_bits(w)?)?);
+        out.push(
+            min.checked_add(reader.read_bits(w)?)
+                .ok_or(DecodeError::ValueOverflow)?,
+        );
     }
-    Some(())
+    Ok(())
 }
 
 /// Exact number of bytes [`bp_encode`] produces for `values`, without
@@ -83,8 +94,8 @@ pub fn bp_encoded_size(values: &[u64]) -> usize {
     if values.is_empty() {
         return header.len();
     }
-    let min = values.iter().copied().min().expect("non-empty");
-    let max = values.iter().copied().max().expect("non-empty");
+    let min = values.iter().copied().min().unwrap_or(0);
+    let max = values.iter().copied().max().unwrap_or(0);
     write_varint(&mut header, min);
     header.len() + 1 + (values.len() * width(max - min) as usize).div_ceil(8)
 }
@@ -140,7 +151,7 @@ mod tests {
         bp_encode(&[1, 2, 3, 400], &mut buf);
         let mut out = Vec::new();
         let mut pos = 0;
-        assert!(bp_decode(&buf[..buf.len() - 1], &mut pos, &mut out).is_none());
+        assert!(bp_decode(&buf[..buf.len() - 1], &mut pos, &mut out).is_err());
     }
 
     #[test]
@@ -149,7 +160,7 @@ mod tests {
         let buf = [1u8, 0, 65, 0, 0, 0, 0, 0, 0, 0, 0];
         let mut pos = 0;
         let mut out = Vec::new();
-        assert!(bp_decode(&buf, &mut pos, &mut out).is_none());
+        assert!(bp_decode(&buf, &mut pos, &mut out).is_err());
     }
 
     #[test]

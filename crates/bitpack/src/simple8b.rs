@@ -9,6 +9,7 @@
 //! [`Simple8bError::ValueTooLarge`]. The PFOR callers guarantee this by
 //! construction (exception high-bits are at most `64 − b` wide with `b ≥ 4`).
 
+use crate::error::{DecodeError, DecodeResult};
 use crate::width::width;
 use crate::zigzag::{read_varint, write_varint};
 
@@ -35,20 +36,18 @@ pub const SELECTORS: [(usize, u32); 16] = [
     (1, 60),
 ];
 
-/// Errors produced by the Simple8b codec.
+/// Encode-side errors of the Simple8b codec. Decode failures use the
+/// workspace-wide [`DecodeError`] instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Simple8bError {
     /// An input value does not fit in the 60-bit payload.
     ValueTooLarge(u64),
-    /// The encoded stream is truncated or structurally invalid.
-    Corrupt,
 }
 
 impl std::fmt::Display for Simple8bError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::ValueTooLarge(v) => write!(f, "simple8b: value {v} exceeds 2^60 - 1"),
-            Self::Corrupt => write!(f, "simple8b: corrupt stream"),
         }
     }
 }
@@ -60,7 +59,7 @@ pub fn encode(values: &[u64], out: &mut Vec<u8>) -> Result<(), Simple8bError> {
     write_varint(out, values.len() as u64);
     let mut i = 0;
     while i < values.len() {
-        let (word, taken) = pack_one_word(&values[i..])?;
+        let (word, taken) = pack_one_word(values.get(i..).unwrap_or(&[]))?;
         i += taken;
         out.extend_from_slice(&word.to_le_bytes());
     }
@@ -74,15 +73,16 @@ fn pack_one_word(rest: &[u64]) -> Result<(u64, usize), Simple8bError> {
     debug_assert!(!rest.is_empty());
     for (sel, &(count, bits)) in SELECTORS.iter().enumerate() {
         let take = count.min(rest.len());
+        let head = rest.get(..take).unwrap_or(rest);
         let fits = if bits == 0 {
-            rest[..take].iter().all(|&v| v == 0)
+            head.iter().all(|&v| v == 0)
         } else {
-            rest[..take].iter().all(|&v| width(v) <= bits)
+            head.iter().all(|&v| width(v) <= bits)
         };
         if fits {
             let mut word = (sel as u64) << 60;
             if bits > 0 {
-                for (j, &v) in rest[..take].iter().enumerate() {
+                for (j, &v) in head.iter().enumerate() {
                     word |= v << (j as u32 * bits);
                 }
             }
@@ -95,24 +95,27 @@ fn pack_one_word(rest: &[u64]) -> Result<(u64, usize), Simple8bError> {
 
 /// Decodes a stream produced by [`encode`] from `buf[*pos..]`, advancing
 /// `pos`.
-pub fn decode(buf: &[u8], pos: &mut usize, out: &mut Vec<u64>) -> Result<(), Simple8bError> {
-    let n = read_varint(buf, pos).ok_or(Simple8bError::Corrupt)? as usize;
+pub fn decode(buf: &[u8], pos: &mut usize, out: &mut Vec<u64>) -> DecodeResult<()> {
+    let n = read_varint(buf, pos)? as usize;
     if n > crate::MAX_BLOCK_VALUES {
-        return Err(Simple8bError::Corrupt);
+        return Err(DecodeError::CountOverflow { claimed: n as u64 });
     }
     out.reserve(n);
     let mut remaining = n;
     while remaining > 0 {
-        let bytes = buf
-            .get(*pos..*pos + 8)
-            .ok_or(Simple8bError::Corrupt)?;
+        let word = match buf.get(*pos..*pos + 8).map(<[u8; 8]>::try_from) {
+            Some(Ok(b)) => u64::from_le_bytes(b),
+            _ => return Err(DecodeError::Truncated),
+        };
         *pos += 8;
-        let word = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
         let sel = (word >> 60) as usize;
-        let (count, bits) = SELECTORS[sel];
+        let (count, bits) = SELECTORS
+            .get(sel)
+            .copied()
+            .ok_or(DecodeError::BadModeByte { mode: sel as u8 })?;
         let take = count.min(remaining);
         if bits == 0 {
-            out.extend(std::iter::repeat(0).take(take));
+            out.extend(std::iter::repeat_n(0, take));
         } else {
             let mask = (1u64 << bits) - 1;
             for j in 0..take {
@@ -179,7 +182,7 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(
             decode(&buf[..buf.len() - 1], &mut pos, &mut out),
-            Err(Simple8bError::Corrupt)
+            Err(DecodeError::Truncated)
         );
     }
 

@@ -74,7 +74,7 @@ mod tests {
             if x == 0 {
                 assert_eq!(w, 0);
             } else {
-                assert!(x <= (1u128 << w) as u64 - 1);
+                assert!(u128::from(x) < (1u128 << w));
                 assert!(x > (1u128 << (w - 1)) as u64 - 1);
             }
         }

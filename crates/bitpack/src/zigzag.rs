@@ -5,6 +5,8 @@
 //! exploit. Block headers (counts, minima) are stored as varints so small
 //! blocks stay small.
 
+use crate::error::{DecodeError, DecodeResult};
+
 /// Maps `i64` to `u64` such that small-magnitude values map to small
 /// unsigned values: 0→0, −1→1, 1→2, −2→3, …
 #[inline]
@@ -33,24 +35,26 @@ pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Reads an LEB128 varint from `buf[*pos..]`, advancing `pos`.
-/// Returns `None` on truncation or a varint longer than 10 bytes.
+///
+/// Fails with [`DecodeError::Truncated`] if the buffer ends mid-varint and
+/// [`DecodeError::VarintOverflow`] if the encoding runs past 64 bits.
 #[inline]
-pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> DecodeResult<u64> {
     let mut out = 0u64;
     let mut shift = 0u32;
     loop {
-        let byte = *buf.get(*pos)?;
+        let byte = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
         *pos += 1;
         if shift == 63 && byte > 1 {
-            return None; // overflow past 64 bits
+            return Err(DecodeError::VarintOverflow);
         }
         out |= ((byte & 0x7F) as u64) << shift;
         if byte & 0x80 == 0 {
-            return Some(out);
+            return Ok(out);
         }
         shift += 7;
         if shift > 63 {
-            return None;
+            return Err(DecodeError::VarintOverflow);
         }
     }
 }
@@ -63,7 +67,7 @@ pub fn write_varint_i64(out: &mut Vec<u8>, v: i64) {
 
 /// Reads a zigzag varint as a signed value.
 #[inline]
-pub fn read_varint_i64(buf: &[u8], pos: &mut usize) -> Option<i64> {
+pub fn read_varint_i64(buf: &[u8], pos: &mut usize) -> DecodeResult<i64> {
     read_varint(buf, pos).map(zigzag_decode)
 }
 
@@ -108,7 +112,7 @@ mod tests {
         }
         let mut pos = 0;
         for &v in &values {
-            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(read_varint(&buf, &mut pos), Ok(v));
         }
         assert_eq!(pos, buf.len());
     }
@@ -131,7 +135,7 @@ mod tests {
         let mut buf = Vec::new();
         write_varint(&mut buf, u64::MAX);
         let mut pos = 0;
-        assert_eq!(read_varint(&buf[..5], &mut pos), None);
+        assert_eq!(read_varint(&buf[..5], &mut pos), Err(DecodeError::Truncated));
     }
 
     #[test]
@@ -139,7 +143,7 @@ mod tests {
         // 11 continuation bytes can never be a valid u64 varint.
         let buf = [0x80u8; 11];
         let mut pos = 0;
-        assert_eq!(read_varint(&buf, &mut pos), None);
+        assert_eq!(read_varint(&buf, &mut pos), Err(DecodeError::VarintOverflow));
     }
 
     #[test]
@@ -151,7 +155,7 @@ mod tests {
         }
         let mut pos = 0;
         for &v in &values {
-            assert_eq!(read_varint_i64(&buf, &mut pos), Some(v));
+            assert_eq!(read_varint_i64(&buf, &mut pos), Ok(v));
         }
     }
 }

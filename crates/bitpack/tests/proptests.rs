@@ -24,7 +24,7 @@ proptest! {
         let mut r = BitReader::new(&buf);
         for &(v, wd) in &fields {
             let masked = if wd == 0 { 0 } else if wd == 64 { v } else { v & ((1u64 << wd) - 1) };
-            prop_assert_eq!(r.read_bits(wd), Some(masked));
+            prop_assert_eq!(r.read_bits(wd), Ok(masked));
         }
     }
 
@@ -37,7 +37,7 @@ proptest! {
         prop_assert_eq!(written, packed_size(values.len(), w));
         let mut out = Vec::new();
         let consumed = unpack_words(&buf, values.len(), w, &mut out);
-        prop_assert_eq!(consumed, Some(written));
+        prop_assert_eq!(consumed, Ok(written));
         prop_assert_eq!(out, values);
     }
 
@@ -83,7 +83,7 @@ proptest! {
         }
         let mut pos = 0;
         for &v in &values {
-            prop_assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            prop_assert_eq!(read_varint(&buf, &mut pos), Ok(v));
         }
         prop_assert_eq!(pos, buf.len());
     }
@@ -96,7 +96,7 @@ proptest! {
         }
         let mut pos = 0;
         for &v in &values {
-            prop_assert_eq!(read_varint_i64(&buf, &mut pos), Some(v));
+            prop_assert_eq!(read_varint_i64(&buf, &mut pos), Ok(v));
         }
     }
 
@@ -107,7 +107,7 @@ proptest! {
         prop_assert_eq!(buf.len(), bp_encoded_size(&values));
         let mut pos = 0;
         let mut out = Vec::new();
-        prop_assert!(bp_decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert!(bp_decode(&buf, &mut pos, &mut out).is_ok());
         prop_assert_eq!(out, values);
         prop_assert_eq!(pos, buf.len());
     }
@@ -118,7 +118,7 @@ proptest! {
         bp_encode(&values, &mut buf);
         let mut pos = 0;
         let mut out = Vec::new();
-        prop_assert!(bp_decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert!(bp_decode(&buf, &mut pos, &mut out).is_ok());
         prop_assert_eq!(out, values);
     }
 
@@ -135,7 +135,7 @@ proptest! {
 
     #[test]
     fn simple8b_sparse_roundtrip(
-        values in prop::collection::vec(prop_oneof![9 => Just(0u64), 1 => (0u64..(1 << 59))], 0..600)
+        values in prop::collection::vec(prop_oneof![9 => Just(0u64), 1 => 0u64..(1 << 59)], 0..600)
     ) {
         let mut buf = Vec::new();
         simple8b::encode(&values, &mut buf).unwrap();
@@ -163,7 +163,7 @@ proptest! {
         let (buf, _) = w.finish();
         let mut r = BitReader::new(&buf);
         let mut out = Vec::new();
-        prop_assert!(OutlierBitmap::decode(&mut r, parts.len(), &mut out).is_some());
+        prop_assert!(OutlierBitmap::decode(&mut r, parts.len(), &mut out).is_ok());
         prop_assert_eq!(out, parts);
     }
 

@@ -272,6 +272,19 @@ impl SortedBlock {
             _ => 0,
         };
 
+        // Definition 5 sanity: the three parts partition the block, widths
+        // fit i64 ranges, and a part collapsed onto its anchor (max Xl =
+        // xmin, min Xu = xmax, or a single-point center) still pays exactly
+        // one bit per value — the special cases spelled out after Def. 5.
+        debug_assert_eq!(nl + nc + nu, n, "parts must partition the block");
+        debug_assert!(alpha <= 64 && beta <= 64 && gamma <= 64);
+        debug_assert!(max_xl != Some(xmin) || alpha == 1, "max Xl = xmin must give α = 1");
+        debug_assert!(min_xu != Some(xmax) || gamma == 1, "min Xu = xmax must give γ = 1");
+        debug_assert!(
+            nc == 0 || min_xc != max_xc || beta == 1,
+            "a single-point center must give β = 1"
+        );
+
         let cost_bits = nl as u64 * (alpha as u64 + 1)
             + nu as u64 * (gamma as u64 + 1)
             + nc as u64 * beta as u64

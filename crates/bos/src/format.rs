@@ -25,6 +25,7 @@ use crate::cost::Separation;
 use crate::solver::Solver;
 use bitpack::bitmap::{OutlierBitmap, Part};
 use bitpack::bits::{BitReader, BitWriter};
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::width::{range_u64, width};
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
@@ -58,8 +59,8 @@ pub fn encode_block_with_solution(values: &[i64], solution: &Solution, out: &mut
 
 fn encode_plain(values: &[i64], out: &mut Vec<u8>) {
     out.push(MODE_PLAIN);
-    let xmin = values.iter().copied().min().expect("non-empty");
-    let xmax = values.iter().copied().max().expect("non-empty");
+    let xmin = values.iter().copied().min().unwrap_or(0);
+    let xmax = values.iter().copied().max().unwrap_or(0);
     let w = width(range_u64(xmin, xmax));
     write_varint_i64(out, xmin);
     out.push(w as u8);
@@ -76,11 +77,11 @@ fn encode_separated(values: &[i64], block: &SortedBlock, eval: &Evaluation, out:
     write_varint(out, eval.nl as u64);
     write_varint(out, eval.nu as u64);
     write_varint_i64(out, xmin);
-    if eval.nc > 0 {
-        write_varint(out, range_u64(xmin, eval.min_xc.expect("nc > 0")));
+    if let (true, Some(min_xc)) = (eval.nc > 0, eval.min_xc) {
+        write_varint(out, range_u64(xmin, min_xc));
     }
-    if eval.nu > 0 {
-        write_varint(out, range_u64(xmin, eval.min_xu.expect("nu > 0")));
+    if let (true, Some(min_xu)) = (eval.nu > 0, eval.min_xu) {
+        write_varint(out, range_u64(xmin, min_xu));
     }
     out.push(eval.alpha as u8);
     out.push(eval.beta as u8);
@@ -163,12 +164,12 @@ fn bound_from(base: i64, w: u32) -> i64 {
 
 /// Reads one block's header from `buf[*pos..]`, advancing `pos` past the
 /// *entire* block (payload included) without decoding any values.
-/// Returns `None` on corruption or truncation.
-pub fn peek_block(buf: &[u8], pos: &mut usize) -> Option<BlockSummary> {
+/// Fails with a [`DecodeError`] on corruption or truncation.
+pub fn peek_block(buf: &[u8], pos: &mut usize) -> DecodeResult<BlockSummary> {
     let start = *pos;
     let n = read_varint(buf, pos)? as usize;
     if n == 0 {
-        return Some(BlockSummary {
+        return Ok(BlockSummary {
             n: 0,
             bounds: None,
             separated: false,
@@ -176,24 +177,24 @@ pub fn peek_block(buf: &[u8], pos: &mut usize) -> Option<BlockSummary> {
         });
     }
     if n > bitpack::MAX_BLOCK_VALUES {
-        return None;
+        return Err(DecodeError::CountOverflow { claimed: n as u64 });
     }
-    let mode = *buf.get(*pos)?;
+    let mode = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
     *pos += 1;
     match mode {
         MODE_PLAIN => {
             let xmin = read_varint_i64(buf, pos)?;
-            let w = *buf.get(*pos)? as u32;
+            let w = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
             *pos += 1;
             if w > 64 {
-                return None;
+                return Err(DecodeError::WidthOverflow { width: w });
             }
             let payload_bytes = (n * w as usize).div_ceil(8);
             if buf.len() < *pos + payload_bytes {
-                return None;
+                return Err(DecodeError::Truncated);
             }
             *pos += payload_bytes;
-            Some(BlockSummary {
+            Ok(BlockSummary {
                 n,
                 bounds: Some((xmin, bound_from(xmin, w))),
                 separated: false,
@@ -201,27 +202,19 @@ pub fn peek_block(buf: &[u8], pos: &mut usize) -> Option<BlockSummary> {
             })
         }
         MODE_SEPARATED => {
-            let nl = read_varint(buf, pos)? as usize;
-            let nu = read_varint(buf, pos)? as usize;
-            let nc = n.checked_sub(nl.checked_add(nu)?)?;
+            let (nl, nu, nc) = read_part_counts(buf, pos, n)?;
             let xmin = read_varint_i64(buf, pos)?;
             let min_xc = if nc > 0 {
-                xmin.checked_add_unsigned(read_varint(buf, pos)?)?
+                read_part_base(buf, pos, xmin)?
             } else {
                 xmin
             };
             let min_xu = if nu > 0 {
-                xmin.checked_add_unsigned(read_varint(buf, pos)?)?
+                read_part_base(buf, pos, xmin)?
             } else {
                 xmin
             };
-            let alpha = *buf.get(*pos)? as u32;
-            let beta = *buf.get(*pos + 1)? as u32;
-            let gamma = *buf.get(*pos + 2)? as u32;
-            *pos += 3;
-            if alpha > 64 || beta > 64 || gamma > 64 {
-                return None;
-            }
+            let (alpha, beta, gamma) = read_part_widths(buf, pos)?;
             // Highest non-empty part gives the max bound.
             let max_bound = if nu > 0 {
                 bound_from(min_xu, gamma)
@@ -236,86 +229,116 @@ pub fn peek_block(buf: &[u8], pos: &mut usize) -> Option<BlockSummary> {
                 + nu * gamma as usize;
             let payload_bytes = total_bits.div_ceil(8);
             if buf.len() < *pos + payload_bytes {
-                return None;
+                return Err(DecodeError::Truncated);
             }
             *pos += payload_bytes;
-            Some(BlockSummary {
+            Ok(BlockSummary {
                 n,
                 bounds: Some((xmin, max_bound)),
                 separated: true,
                 encoded_len: *pos - start,
             })
         }
-        _ => None,
+        mode => Err(DecodeError::BadModeByte { mode }),
     }
 }
 
+/// Reads the `nl`/`nu` header varints and derives `nc`, rejecting counts
+/// that do not sum to `n`.
+fn read_part_counts(buf: &[u8], pos: &mut usize, n: usize) -> DecodeResult<(usize, usize, usize)> {
+    let nl = read_varint(buf, pos)? as usize;
+    let nu = read_varint(buf, pos)? as usize;
+    let outliers = nl
+        .checked_add(nu)
+        .ok_or(DecodeError::CountOverflow { claimed: u64::MAX })?;
+    let nc = n
+        .checked_sub(outliers)
+        .ok_or(DecodeError::CountOverflow { claimed: outliers as u64 })?;
+    Ok((nl, nu, nc))
+}
+
+/// Reads a part base stored as an unsigned offset from `xmin`.
+fn read_part_base(buf: &[u8], pos: &mut usize, xmin: i64) -> DecodeResult<i64> {
+    xmin.checked_add_unsigned(read_varint(buf, pos)?)
+        .ok_or(DecodeError::ValueOverflow)
+}
+
+/// Reads the three per-part width bytes `α β γ`, rejecting widths over 64.
+fn read_part_widths(buf: &[u8], pos: &mut usize) -> DecodeResult<(u32, u32, u32)> {
+    let alpha = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
+    let beta = *buf.get(*pos + 1).ok_or(DecodeError::Truncated)? as u32;
+    let gamma = *buf.get(*pos + 2).ok_or(DecodeError::Truncated)? as u32;
+    *pos += 3;
+    for w in [alpha, beta, gamma] {
+        if w > 64 {
+            return Err(DecodeError::WidthOverflow { width: w });
+        }
+    }
+    Ok((alpha, beta, gamma))
+}
+
 /// Decodes one block from `buf[*pos..]`, appending the values to `out`.
-/// Returns `None` on any structural corruption or truncation.
-pub fn decode_block(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+/// Fails with a [`DecodeError`] on any structural corruption or truncation.
+pub fn decode_block(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
     let n = read_varint(buf, pos)? as usize;
     if n == 0 {
-        return Some(());
+        return Ok(());
     }
     if n > bitpack::MAX_BLOCK_VALUES {
-        return None;
+        return Err(DecodeError::CountOverflow { claimed: n as u64 });
     }
-    let mode = *buf.get(*pos)?;
+    let mode = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
     *pos += 1;
     match mode {
         MODE_PLAIN => decode_plain(buf, pos, n, out),
         MODE_SEPARATED => decode_separated(buf, pos, n, out),
-        _ => None,
+        mode => Err(DecodeError::BadModeByte { mode }),
     }
 }
 
-fn decode_plain(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -> Option<()> {
+fn decode_plain(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -> DecodeResult<()> {
     let xmin = read_varint_i64(buf, pos)?;
-    let w = *buf.get(*pos)? as u32;
+    let w = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
     *pos += 1;
     if w > 64 {
-        return None;
+        return Err(DecodeError::WidthOverflow { width: w });
     }
     let payload_bytes = (n * w as usize).div_ceil(8);
-    let payload = buf.get(*pos..*pos + payload_bytes)?;
+    let payload = buf
+        .get(*pos..*pos + payload_bytes)
+        .ok_or(DecodeError::Truncated)?;
     *pos += payload_bytes;
     let mut reader = BitReader::new(payload);
     out.reserve(n);
     for _ in 0..n {
         out.push(xmin.wrapping_add(reader.read_bits(w)? as i64));
     }
-    Some(())
+    Ok(())
 }
 
-fn decode_separated(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -> Option<()> {
-    let nl = read_varint(buf, pos)? as usize;
-    let nu = read_varint(buf, pos)? as usize;
-    let nc = n.checked_sub(nl.checked_add(nu)?)?;
+fn decode_separated(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -> DecodeResult<()> {
+    let (nl, nu, nc) = read_part_counts(buf, pos, n)?;
     let xmin = read_varint_i64(buf, pos)?;
     let min_xc = if nc > 0 {
-        xmin.checked_add_unsigned(read_varint(buf, pos)?)?
+        read_part_base(buf, pos, xmin)?
     } else {
         xmin
     };
     let min_xu = if nu > 0 {
-        xmin.checked_add_unsigned(read_varint(buf, pos)?)?
+        read_part_base(buf, pos, xmin)?
     } else {
         xmin
     };
-    let alpha = *buf.get(*pos)? as u32;
-    let beta = *buf.get(*pos + 1)? as u32;
-    let gamma = *buf.get(*pos + 2)? as u32;
-    *pos += 3;
-    if alpha > 64 || beta > 64 || gamma > 64 {
-        return None;
-    }
+    let (alpha, beta, gamma) = read_part_widths(buf, pos)?;
 
     let total_bits = OutlierBitmap::size_bits(n, nl, nu)
         + nl * alpha as usize
         + nc * beta as usize
         + nu * gamma as usize;
     let payload_bytes = total_bits.div_ceil(8);
-    let payload = buf.get(*pos..*pos + payload_bytes)?;
+    let payload = buf
+        .get(*pos..*pos + payload_bytes)
+        .ok_or(DecodeError::Truncated)?;
     *pos += payload_bytes;
 
     let mut reader = BitReader::new(payload);
@@ -325,19 +348,25 @@ fn decode_separated(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -
     let seen_l = parts.iter().filter(|&&p| p == Part::Lower).count();
     let seen_u = parts.iter().filter(|&&p| p == Part::Upper).count();
     if seen_l != nl || seen_u != nu {
-        return None;
+        return Err(DecodeError::BitmapCountMismatch {
+            header_lower: nl,
+            header_upper: nu,
+            bitmap_lower: seen_l,
+            bitmap_upper: seen_u,
+        });
     }
 
     out.reserve(n);
     for &p in &parts {
         let v = match p {
-            Part::Lower => xmin.checked_add_unsigned(reader.read_bits(alpha)?)?,
-            Part::Center => min_xc.checked_add_unsigned(reader.read_bits(beta)?)?,
-            Part::Upper => min_xu.checked_add_unsigned(reader.read_bits(gamma)?)?,
-        };
+            Part::Lower => xmin.checked_add_unsigned(reader.read_bits(alpha)?),
+            Part::Center => min_xc.checked_add_unsigned(reader.read_bits(beta)?),
+            Part::Upper => min_xu.checked_add_unsigned(reader.read_bits(gamma)?),
+        }
+        .ok_or(DecodeError::ValueOverflow)?;
         out.push(v);
     }
-    Some(())
+    Ok(())
 }
 
 #[cfg(test)]
@@ -436,7 +465,7 @@ mod tests {
             let mut pos = 0;
             let mut out = Vec::new();
             assert!(
-                decode_block(&buf[..cut], &mut pos, &mut out).is_none(),
+                decode_block(&buf[..cut], &mut pos, &mut out).is_err(),
                 "cut at {cut} unexpectedly decoded"
             );
         }
@@ -445,7 +474,10 @@ mod tests {
         bad[1] = 99;
         let mut pos = 0;
         let mut out = Vec::new();
-        assert!(decode_block(&bad, &mut pos, &mut out).is_none());
+        assert_eq!(
+            decode_block(&bad, &mut pos, &mut out),
+            Err(DecodeError::BadModeByte { mode: 99 })
+        );
     }
 
     #[test]
@@ -511,7 +543,7 @@ mod tests {
         encode_block(&INTRO, &BitWidthSolver::new(), &mut buf);
         for cut in 0..buf.len() {
             let mut pos = 0;
-            assert!(peek_block(&buf[..cut], &mut pos).is_none(), "cut {cut}");
+            assert!(peek_block(&buf[..cut], &mut pos).is_err(), "cut {cut}");
         }
     }
 

@@ -18,6 +18,7 @@
 
 use crate::cost::SortedBlock;
 use bitpack::bits::{BitReader, BitWriter};
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::width::{range_u64, width, width1};
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
@@ -126,11 +127,12 @@ pub fn solve_kpart(block: &SortedBlock, k: usize) -> KPartSolution {
             for j in q..=m {
                 let mut local = INF;
                 let mut arg = 0;
-                for i in (q - 1)..j {
-                    if layer[q - 1][i] >= INF {
+                let prev_row = &layer[q - 1];
+                for (i, &reach) in prev_row.iter().enumerate().take(j).skip(q - 1) {
+                    if reach >= INF {
                         continue;
                     }
-                    let c = layer[q - 1][i] + seg_cost(i, j);
+                    let c = reach + seg_cost(i, j);
                     if c < local {
                         local = c;
                         arg = i;
@@ -244,39 +246,44 @@ pub fn encode_kpart(values: &[i64], k: usize, out: &mut Vec<u8>) {
 }
 
 /// Decodes a block produced by [`encode_kpart`].
-pub fn decode_kpart(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+pub fn decode_kpart(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
     let n = read_varint(buf, pos)? as usize;
     if n == 0 {
-        return Some(());
+        return Ok(());
     }
     if n > bitpack::MAX_BLOCK_VALUES {
-        return None;
+        return Err(DecodeError::CountOverflow { claimed: n as u64 });
     }
-    let p = *buf.get(*pos)? as usize;
+    let p = *buf.get(*pos).ok_or(DecodeError::Truncated)? as usize;
     *pos += 1;
     if p == 0 {
-        return None;
+        return Err(DecodeError::CountOverflow { claimed: 0 });
     }
     if p == 1 {
         let min = read_varint_i64(buf, pos)?;
-        let w = *buf.get(*pos)? as u32;
+        let w = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
         *pos += 1;
         if w > 64 {
-            return None;
+            return Err(DecodeError::WidthOverflow { width: w });
         }
         let bytes = (n * w as usize).div_ceil(8);
-        let payload = buf.get(*pos..*pos + bytes)?;
+        let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
         *pos += bytes;
         let mut reader = BitReader::new(payload);
         for _ in 0..n {
-            out.push(min.checked_add_unsigned(reader.read_bits(w)?)?);
+            out.push(
+                min.checked_add_unsigned(reader.read_bits(w)?)
+                    .ok_or(DecodeError::ValueOverflow)?,
+            );
         }
-        return Some(());
+        return Ok(());
     }
-    let median_part = *buf.get(*pos)? as usize;
+    let median_part = *buf.get(*pos).ok_or(DecodeError::Truncated)? as usize;
     *pos += 1;
     if median_part >= p {
-        return None;
+        return Err(DecodeError::CountOverflow {
+            claimed: median_part as u64,
+        });
     }
     let mut mins = Vec::with_capacity(p);
     let mut widths = Vec::with_capacity(p);
@@ -284,16 +291,20 @@ pub fn decode_kpart(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<(
     let mut total_bits = 0usize;
     for _ in 0..p {
         mins.push(read_varint_i64(buf, pos)?);
-        let w = *buf.get(*pos)? as u32;
+        let w = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
         *pos += 1;
         if w > 64 {
-            return None;
+            return Err(DecodeError::WidthOverflow { width: w });
         }
         widths.push(w);
         counts.push(read_varint(buf, pos)? as usize);
     }
-    if counts.iter().sum::<usize>() != n {
-        return None;
+    let total: usize = counts.iter().sum();
+    if total != n {
+        return Err(DecodeError::LengthMismatch {
+            expected: n,
+            got: total,
+        });
     }
     let cw = code_width(p);
     for (idx, (&c, &w)) in counts.iter().zip(&widths).enumerate() {
@@ -301,30 +312,35 @@ pub fn decode_kpart(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<(
         total_bits += c * (ind + w as usize);
     }
     let bytes = total_bits.div_ceil(8);
-    let payload = buf.get(*pos..*pos + bytes)?;
+    let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
     *pos += bytes;
 
     // Map index codes back to group ids.
-    let mut code_to_part = vec![usize::MAX; p];
-    let mut next = 0usize;
-    for idx in 0..p {
-        if idx != median_part {
-            code_to_part[next] = idx;
-            next += 1;
-        }
-    }
+    let mut code_to_part: Vec<usize> = (0..p).filter(|&idx| idx != median_part).collect();
+    code_to_part.push(usize::MAX); // out-of-range codes fall through to the error arm
+
     let mut reader = BitReader::new(payload);
     out.reserve(n);
     for _ in 0..n {
         let pi = if reader.read_bit()? {
             let code = reader.read_bits(cw)? as usize;
-            *code_to_part.get(code).filter(|&&x| x != usize::MAX)?
+            *code_to_part
+                .get(code)
+                .filter(|&&x| x != usize::MAX)
+                .ok_or(DecodeError::CountOverflow { claimed: code as u64 })?
         } else {
             median_part
         };
-        out.push(mins[pi].checked_add_unsigned(reader.read_bits(widths[pi])?)?);
+        let (base, w) = match (mins.get(pi), widths.get(pi)) {
+            (Some(&base), Some(&w)) => (base, w),
+            _ => return Err(DecodeError::Truncated),
+        };
+        out.push(
+            base.checked_add_unsigned(reader.read_bits(w)?)
+                .ok_or(DecodeError::ValueOverflow)?,
+        );
     }
-    Some(())
+    Ok(())
 }
 
 #[cfg(test)]
@@ -452,7 +468,7 @@ mod tests {
         for cut in 0..buf.len() {
             let mut pos = 0;
             let mut out = Vec::new();
-            assert!(decode_kpart(&buf[..cut], &mut pos, &mut out).is_none());
+            assert!(decode_kpart(&buf[..cut], &mut pos, &mut out).is_err());
         }
     }
 

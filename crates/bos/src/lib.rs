@@ -116,7 +116,12 @@ impl BosCodec {
 
     /// Decodes one block from `buf[*pos..]` into `out`. Identical to the
     /// free function [`decode`]; provided for symmetry.
-    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    pub fn decode(
+        &self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<i64>,
+    ) -> bitpack::DecodeResult<()> {
         format::decode_block(buf, pos, out)
     }
 }

@@ -84,8 +84,12 @@ impl BitWidthSolver {
                 // because vals[cidx − 1] = xl < xu.
                 (vals.partition_point(|&x| x < xu), Some(xu))
             };
+            // Prop. 2/3 candidates always sit above the fixed lower
+            // threshold, so the center count can never underflow.
+            debug_assert!(k >= cidx, "candidate xu fell below xl");
             let count_lt = if k > 0 { cum[k - 1] as u64 } else { 0 };
             let nu = n - count_lt;
+            debug_assert!(count_lt >= nl, "lower part leaked past xu");
             let nc = count_lt - nl;
             let gamma = if k < m {
                 width1(range_u64(vals[k], xmax)) as u64
@@ -110,6 +114,13 @@ impl BitWidthSolver {
         // Proposition 2 family: xu = min Xc + 2^β for every feasible
         // center width; the last iteration reaches "no upper outliers".
         let max_beta = width1(range_u64(min_xc, xmax));
+        // Completeness (Prop. 2): the widest feasible β must swallow the
+        // whole remainder, i.e. the family provably ends at the
+        // no-upper-outlier candidate rather than stopping short.
+        debug_assert!(
+            min_xc as i128 + (1i128 << max_beta) > xmax as i128,
+            "Prop. 2 candidate family stops before the no-outlier case"
+        );
         for beta in 1..=max_beta {
             try_xu(min_xc as i128 + (1i128 << beta), best);
         }

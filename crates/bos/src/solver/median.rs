@@ -142,16 +142,16 @@ impl Solver for MedianSolver {
                 (i64::MAX, i64::MIN)
             };
             let low_limit = if self.config.upper_only { 64 } else { beta as usize };
-            for b in 1..=low_limit {
-                if low[b].count > 0 {
-                    cmin = cmin.min(low[b].min);
-                    cmax = cmax.max(low[b].max);
+            for bucket in low.iter().take(low_limit + 1).skip(1) {
+                if bucket.count > 0 {
+                    cmin = cmin.min(bucket.min);
+                    cmax = cmax.max(bucket.max);
                 }
             }
-            for b in 1..=beta as usize {
-                if high[b].count > 0 {
-                    cmin = cmin.min(high[b].min);
-                    cmax = cmax.max(high[b].max);
+            for bucket in high.iter().take(beta as usize + 1).skip(1) {
+                if bucket.count > 0 {
+                    cmin = cmin.min(bucket.min);
+                    cmax = cmax.max(bucket.max);
                 }
             }
 

@@ -24,6 +24,7 @@
 use crate::format;
 use crate::BosCodec;
 use crate::SolverKind;
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::zigzag::{read_varint, write_varint};
 
 /// Splits a series into blocks and encodes each with a BOS solver.
@@ -61,7 +62,7 @@ impl StreamEncoder {
     /// `threads` worker threads and concatenated in order. The output is
     /// byte-identical to the sequential path (blocks are independent), so
     /// any reader works on either.
-    pub fn encode_parallel(&self, values: &[i64], threads: usize, out: &mut Vec<u8>) {
+    pub fn encode_parallel(&self, values: &[i64], threads: usize, out: &mut Vec<u8>) { // lint:allow(encode-decode-pairing): byte-identical to `encode`, read back by `decode_all`; roundtrip covered by stream tests
         assert!(threads >= 1);
         let n_blocks = values.len().div_ceil(self.block_size);
         write_varint(out, n_blocks as u64);
@@ -89,7 +90,7 @@ impl StreamEncoder {
                 })
                 .collect();
             for h in handles {
-                parts.push(h.join().expect("worker panicked"));
+                parts.push(h.join().expect("worker panicked")); // lint:allow(no-panic): encode-side thread pool; re-raising a worker panic is the only sane option
             }
         });
         for part in parts {
@@ -100,13 +101,14 @@ impl StreamEncoder {
 
 /// Iterator over the blocks of a [`StreamEncoder`] stream.
 ///
-/// Yields `Ok(values)` per block; a corrupt block yields one `Err(())` and
-/// ends the iteration (the stream cannot be resynchronized past it).
+/// Yields `Ok(values)` per block; a corrupt block yields one
+/// `Err(DecodeError)` and ends the iteration (the stream cannot be
+/// resynchronized past it).
 pub struct StreamDecoder<'a> {
     buf: &'a [u8],
     pos: usize,
     remaining: u64,
-    failed: bool,
+    failed: Option<DecodeError>,
 }
 
 impl<'a> StreamDecoder<'a> {
@@ -114,17 +116,17 @@ impl<'a> StreamDecoder<'a> {
     pub fn new(buf: &'a [u8]) -> Self {
         let mut pos = 0;
         match read_varint(buf, &mut pos) {
-            Some(n) => Self {
+            Ok(n) => Self {
                 buf,
                 pos,
                 remaining: n,
-                failed: false,
+                failed: None,
             },
-            None => Self {
+            Err(e) => Self {
                 buf,
                 pos: 0,
                 remaining: if buf.is_empty() { 0 } else { 1 },
-                failed: !buf.is_empty(),
+                failed: if buf.is_empty() { None } else { Some(e) },
             },
         }
     }
@@ -135,33 +137,33 @@ impl<'a> StreamDecoder<'a> {
     }
 
     /// Convenience: decode every block into one vector.
-    pub fn decode_all(buf: &'a [u8]) -> Option<Vec<i64>> {
+    pub fn decode_all(buf: &'a [u8]) -> DecodeResult<Vec<i64>> {
         let mut out = Vec::new();
         for block in StreamDecoder::new(buf) {
-            out.extend(block.ok()?);
+            out.extend(block?);
         }
-        Some(out)
+        Ok(out)
     }
 }
 
 impl Iterator for StreamDecoder<'_> {
-    type Item = Result<Vec<i64>, ()>;
+    type Item = DecodeResult<Vec<i64>>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.remaining == 0 {
             return None;
         }
-        if self.failed {
+        if let Some(e) = self.failed {
             self.remaining = 0;
-            return Some(Err(()));
+            return Some(Err(e));
         }
         self.remaining -= 1;
         let mut block = Vec::new();
         match format::decode_block(self.buf, &mut self.pos, &mut block) {
-            Some(()) => Some(Ok(block)),
-            None => {
+            Ok(()) => Some(Ok(block)),
+            Err(e) => {
                 self.remaining = 0;
-                Some(Err(()))
+                Some(Err(e))
             }
         }
     }
@@ -197,14 +199,14 @@ mod tests {
             enc.encode_parallel(&values, threads, &mut par);
             assert_eq!(par, seq, "threads = {threads}");
         }
-        assert_eq!(StreamDecoder::decode_all(&seq), Some(values));
+        assert_eq!(StreamDecoder::decode_all(&seq), Ok(values));
     }
 
     #[test]
     fn empty_series() {
         let mut buf = Vec::new();
         StreamEncoder::new(SolverKind::Median, 1024).encode(&[], &mut buf);
-        assert_eq!(StreamDecoder::decode_all(&buf), Some(vec![]));
+        assert_eq!(StreamDecoder::decode_all(&buf), Ok(vec![]));
     }
 
     #[test]
@@ -232,7 +234,7 @@ mod tests {
             }
         }
         assert!(saw_err);
-        assert_eq!(StreamDecoder::decode_all(cut), None);
+        assert!(StreamDecoder::decode_all(cut).is_err());
     }
 
     #[test]
@@ -243,6 +245,6 @@ mod tests {
         write_varint(&mut buf, 2);
         BosCodec::new(SolverKind::Median).encode(&a[..1000], &mut buf);
         BosCodec::new(SolverKind::Value).encode(&a[1000..], &mut buf);
-        assert_eq!(StreamDecoder::decode_all(&buf), Some(a));
+        assert_eq!(StreamDecoder::decode_all(&buf), Ok(a));
     }
 }

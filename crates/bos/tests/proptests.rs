@@ -110,7 +110,7 @@ proptest! {
             codec.encode(&values, &mut buf);
             let mut pos = 0;
             let mut out = Vec::new();
-            prop_assert!(decode(&buf, &mut pos, &mut out).is_some());
+            prop_assert!(decode(&buf, &mut pos, &mut out).is_ok());
             prop_assert_eq!(&out, &values);
             prop_assert_eq!(pos, buf.len());
         }
@@ -123,7 +123,7 @@ proptest! {
         codec.encode(&values, &mut buf);
         let mut pos = 0;
         let mut out = Vec::new();
-        prop_assert!(decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert!(decode(&buf, &mut pos, &mut out).is_ok());
         prop_assert_eq!(out, values);
     }
 
@@ -142,7 +142,7 @@ proptest! {
         encode_block_with_solution(&values, &solution, &mut buf);
         let mut pos = 0;
         let mut out = Vec::new();
-        prop_assert!(decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert!(decode(&buf, &mut pos, &mut out).is_ok());
         prop_assert_eq!(out, values);
     }
 
@@ -174,7 +174,7 @@ proptest! {
         encode_kpart(&values, k, &mut buf);
         let mut pos = 0;
         let mut out = Vec::new();
-        prop_assert!(decode_kpart(&buf, &mut pos, &mut out).is_some());
+        prop_assert!(decode_kpart(&buf, &mut pos, &mut out).is_ok());
         prop_assert_eq!(out, values);
         prop_assert_eq!(pos, buf.len());
     }

@@ -88,7 +88,7 @@ mod tests {
     fn bursty_time_column_is_bos_friendly() {
         // The gap deltas are upper outliers: BOS should crush the column
         // relative to plain bit-packing.
-        use bos::{BitWidthSolver, Solver, SortedBlock};
+        use bos::{BitWidthSolver, SortedBlock};
         let t = bursty(0, 100, 500, 1e9, 4_096, 11);
         let d = deltas(&t);
         let block = SortedBlock::from_values(&d[..1024]);

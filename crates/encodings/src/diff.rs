@@ -20,9 +20,15 @@ pub fn diff_in_place(values: &mut [i64], order: usize) {
         if values.len() <= round + 1 {
             continue; // nothing to difference at this depth
         }
-        // Difference from the back so earlier values stay intact.
-        for i in (round + 1..values.len()).rev() {
-            values[i] = values[i].wrapping_sub(values[i - 1]);
+        // Forward pass carrying the pre-difference predecessor; equivalent
+        // to differencing from the back, without re-reading updated slots.
+        let mut iter = values.iter_mut().skip(round);
+        let Some(first) = iter.next() else { continue };
+        let mut prev = *first;
+        for v in iter {
+            let cur = *v;
+            *v = cur.wrapping_sub(prev);
+            prev = cur;
         }
     }
 }
@@ -33,8 +39,13 @@ pub fn undiff_in_place(values: &mut [i64], order: usize) {
         if values.len() <= round + 1 {
             continue; // rounds below this depth still apply
         }
-        for i in round + 1..values.len() {
-            values[i] = values[i].wrapping_add(values[i - 1]);
+        // Running prefix sum seeded by the head value of this round.
+        let mut iter = values.iter_mut().skip(round);
+        let Some(first) = iter.next() else { continue };
+        let mut acc = *first;
+        for v in iter {
+            acc = acc.wrapping_add(*v);
+            *v = acc;
         }
     }
 }

@@ -31,6 +31,7 @@ pub mod ts2diff;
 
 pub use pipeline::{OuterKind, Pipeline};
 
+use bitpack::error::DecodeResult;
 use bos::{BosCodec, SolverKind};
 
 /// The inner bit-packing operator interface: a self-describing block codec
@@ -43,7 +44,8 @@ pub trait IntPacker {
     fn encode(&self, values: &[i64], out: &mut Vec<u8>);
 
     /// Decodes one block from `buf[*pos..]`, appending values to `out`.
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()>;
+    /// Fails with a [`bitpack::DecodeError`] on corrupt input.
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()>;
 }
 
 /// Boxed operators are operators (lets [`PackerKind::build`] results plug
@@ -57,7 +59,7 @@ impl IntPacker for Box<dyn IntPacker> {
         self.as_ref().encode(values, out)
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         self.as_ref().decode(buf, pos, out)
     }
 }
@@ -72,7 +74,7 @@ impl IntPacker for &dyn IntPacker {
         (**self).encode(values, out)
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         (**self).decode(buf, pos, out)
     }
 }
@@ -90,7 +92,7 @@ impl<T: pfor::Codec> IntPacker for PforPacker<T> {
         self.0.encode(values, out)
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         self.0.decode(buf, pos, out)
     }
 }
@@ -115,7 +117,7 @@ impl IntPacker for BosPacker {
         self.0.encode(values, out)
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         self.0.decode(buf, pos, out)
     }
 }
@@ -198,7 +200,8 @@ mod tests {
             packer.encode(&values, &mut buf);
             let mut pos = 0;
             let mut out = Vec::new();
-            packer.decode(&buf, &mut pos, &mut out).expect(packer.name());
+            packer.decode(&buf, &mut pos, &mut out)
+                .unwrap_or_else(|e| panic!("{} decode failed: {e}", packer.name()));
             assert_eq!(out, values, "{}", packer.name());
             assert_eq!(kind.label(), packer.name());
         }

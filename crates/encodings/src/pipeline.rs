@@ -5,6 +5,7 @@
 //! `floatint` module, producing exactly the method grid of
 //! Figure 10 ("RLE+BOS-B", "TS2DIFF+FASTPFOR", …).
 
+use bitpack::error::{DecodeError, DecodeResult};
 use crate::rle::RleEncoding;
 use crate::sprintz::SprintzEncoding;
 use crate::ts2diff::Ts2DiffEncoding;
@@ -99,7 +100,7 @@ impl Pipeline {
     }
 
     /// Decodes an integer series.
-    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         let packer = self.packer_kind.build();
         match self.outer {
             OuterKind::Rle => RleEncoding::with_block_size(packer.as_ref(), self.block_size)
@@ -127,16 +128,16 @@ impl Pipeline {
     }
 
     /// Decodes a float series produced by [`encode_f64`](Self::encode_f64).
-    pub fn decode_f64(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> Option<()> {
-        let p = *buf.get(*pos)? as u32;
+    pub fn decode_f64(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> DecodeResult<()> {
+        let p = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
         *pos += 1;
         if p > floatint::MAX_PRECISION {
-            return None;
+            return Err(DecodeError::BadModeByte { mode: p as u8 });
         }
         let mut ints = Vec::new();
         self.decode(buf, pos, &mut ints)?;
         out.extend(floatint::ints_to_floats(&ints, p));
-        Some(())
+        Ok(())
     }
 }
 

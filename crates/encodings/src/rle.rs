@@ -10,6 +10,7 @@
 //! `varint (len << 1 | is_run)` followed by `zigzag value` for runs or an
 //! operator block for literals.
 
+use bitpack::error::{DecodeError, DecodeResult};
 use crate::IntPacker;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
@@ -56,10 +57,9 @@ impl<P: IntPacker> RleEncoding<P> {
         let mut segments: Vec<(usize, usize, bool)> = Vec::new(); // (start, len, is_run)
         let mut i = 0;
         let mut literal_start = 0;
-        while i < values.len() {
+        while let Some(&v) = values.get(i) {
             let run_start = i;
-            let v = values[i];
-            while i < values.len() && values[i] == v {
+            while values.get(i) == Some(&v) {
                 i += 1;
             }
             let run_len = i - run_start;
@@ -89,25 +89,27 @@ impl<P: IntPacker> RleEncoding<P> {
         for &(start, len, is_run) in &segments {
             write_varint(out, ((len as u64) << 1) | is_run as u64);
             if is_run {
-                write_varint_i64(out, values[start]);
+                write_varint_i64(out, values.get(start).copied().unwrap_or(0));
             } else {
-                self.packer.encode(&values[start..start + len], out);
+                self.packer.encode(values.get(start..start + len).unwrap_or(&[]), out);
             }
         }
     }
 
     /// Decodes a series produced by [`encode`](Self::encode).
-    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         let n_segments = read_varint(buf, pos)? as usize;
         if n_segments > n {
-            return None;
+            return Err(DecodeError::CountOverflow {
+                claimed: n_segments as u64,
+            });
         }
         out.reserve(n);
         let mut produced = 0usize;
@@ -116,24 +118,30 @@ impl<P: IntPacker> RleEncoding<P> {
             let len = (head >> 1) as usize;
             let is_run = head & 1 == 1;
             if produced + len > n {
-                return None;
+                return Err(DecodeError::CountOverflow { claimed: len as u64 });
             }
             if is_run {
                 let v = read_varint_i64(buf, pos)?;
-                out.extend(std::iter::repeat(v).take(len));
+                out.extend(std::iter::repeat_n(v, len));
             } else {
                 let before = out.len();
                 self.packer.decode(buf, pos, out)?;
                 if out.len() - before != len {
-                    return None;
+                    return Err(DecodeError::LengthMismatch {
+                        expected: len,
+                        got: out.len() - before,
+                    });
                 }
             }
             produced += len;
         }
         if produced != n {
-            return None;
+            return Err(DecodeError::LengthMismatch {
+                expected: n,
+                got: produced,
+            });
         }
-        Some(())
+        Ok(())
     }
 }
 

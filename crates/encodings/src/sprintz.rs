@@ -12,6 +12,7 @@
 //! operator block(residuals)`), tag = k > 0: k consecutive all-constant
 //! blocks (values equal to the running predictor).
 
+use bitpack::error::{DecodeError, DecodeResult};
 use crate::IntPacker;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
@@ -81,10 +82,10 @@ impl<P: IntPacker> SprintzEncoding<P> {
     }
 
     /// Decodes a series produced by [`encode`](Self::encode).
-    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         out.reserve(n);
         let mut produced = 0usize;
@@ -94,13 +95,13 @@ impl<P: IntPacker> SprintzEncoding<P> {
             let tag = read_varint(buf, pos)? as usize;
             if tag > 0 {
                 // `tag` silent blocks: repeat the carried predictor.
-                let p = prev_last?;
+                let p = prev_last.ok_or(DecodeError::Truncated)?;
                 for _ in 0..tag {
                     let len = self.block_size.min(n - produced);
                     if len == 0 {
-                        return None;
+                        return Err(DecodeError::CountOverflow { claimed: tag as u64 });
                     }
-                    out.extend(std::iter::repeat(p).take(len));
+                    out.extend(std::iter::repeat_n(p, len));
                     produced += len;
                 }
             } else {
@@ -110,7 +111,9 @@ impl<P: IntPacker> SprintzEncoding<P> {
                 residuals.clear();
                 self.packer.decode(buf, pos, &mut residuals)?;
                 if produced + residuals.len() > n {
-                    return None;
+                    return Err(DecodeError::CountOverflow {
+                        claimed: residuals.len() as u64,
+                    });
                 }
                 let mut prev = first;
                 for &d in &residuals {
@@ -121,7 +124,7 @@ impl<P: IntPacker> SprintzEncoding<P> {
                 prev_last = Some(prev);
             }
         }
-        Some(())
+        Ok(())
     }
 }
 

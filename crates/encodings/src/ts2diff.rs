@@ -12,6 +12,7 @@
 //! is a single `varint 0`. The order is in the stream, so any
 //! `Ts2DiffEncoding` decodes any other's output.
 
+use bitpack::error::{DecodeError, DecodeResult};
 use crate::diff::{diff_in_place, undiff_in_place};
 use crate::IntPacker;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
@@ -84,18 +85,18 @@ impl<P: IntPacker> Ts2DiffEncoding<P> {
     }
 
     /// Decodes a series produced by [`encode`](Self::encode) (any order).
-    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
-        let order = *buf.get(*pos)? as usize;
+        let order = *buf.get(*pos).ok_or(DecodeError::Truncated)? as usize;
         *pos += 1;
         if order > MAX_ORDER {
-            return None;
+            return Err(DecodeError::BadModeByte { mode: order as u8 });
         }
         out.reserve(n);
         let mut scratch = Vec::new();
@@ -109,13 +110,16 @@ impl<P: IntPacker> Ts2DiffEncoding<P> {
             }
             self.packer.decode(buf, pos, &mut scratch)?;
             if scratch.len() != len {
-                return None;
+                return Err(DecodeError::LengthMismatch {
+                    expected: len,
+                    got: scratch.len(),
+                });
             }
             undiff_in_place(&mut scratch, order);
             out.extend_from_slice(&scratch);
             produced += len;
         }
-        Some(())
+        Ok(())
     }
 
     /// The delta (intermediate) series the paper histograms in Figure 8.

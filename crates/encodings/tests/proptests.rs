@@ -51,7 +51,7 @@ proptest! {
                 p.encode(&values, &mut buf);
                 let mut out = Vec::new();
                 let mut pos = 0;
-                prop_assert!(p.decode(&buf, &mut pos, &mut out).is_some(), "{}", p.label());
+                prop_assert!(p.decode(&buf, &mut pos, &mut out).is_ok(), "{}", p.label());
                 prop_assert_eq!(&out, &values, "{}", p.label());
                 prop_assert_eq!(pos, buf.len(), "{}", p.label());
             }
@@ -66,7 +66,7 @@ proptest! {
             p.encode(&values, &mut buf);
             let mut out = Vec::new();
             let mut pos = 0;
-            prop_assert!(p.decode(&buf, &mut pos, &mut out).is_some(), "{}", p.label());
+            prop_assert!(p.decode(&buf, &mut pos, &mut out).is_ok(), "{}", p.label());
             prop_assert_eq!(&out, &values, "{}", p.label());
         }
     }
@@ -82,7 +82,7 @@ proptest! {
         enc.encode(&values, &mut buf);
         let mut out = Vec::new();
         let mut pos = 0;
-        prop_assert!(enc.decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert!(enc.decode(&buf, &mut pos, &mut out).is_ok());
         prop_assert_eq!(out, values);
     }
 
@@ -92,14 +92,14 @@ proptest! {
     ) {
         let values: Vec<i64> = runs
             .iter()
-            .flat_map(|&(v, len)| std::iter::repeat(v as i64).take(len))
+            .flat_map(|&(v, len)| std::iter::repeat_n(v as i64, len))
             .collect();
         let rle = RleEncoding::new(PackerKind::BosB.build());
         let mut buf = Vec::new();
         rle.encode(&values, &mut buf);
         let mut out = Vec::new();
         let mut pos = 0;
-        prop_assert!(rle.decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert!(rle.decode(&buf, &mut pos, &mut out).is_ok());
         prop_assert_eq!(&out, &values);
 
         let spz = SprintzEncoding::new(PackerKind::BosB.build());
@@ -107,7 +107,7 @@ proptest! {
         spz.encode(&values, &mut buf2);
         let mut out2 = Vec::new();
         let mut pos2 = 0;
-        prop_assert!(spz.decode(&buf2, &mut pos2, &mut out2).is_some());
+        prop_assert!(spz.decode(&buf2, &mut pos2, &mut out2).is_ok());
         prop_assert_eq!(&out2, &values);
     }
 

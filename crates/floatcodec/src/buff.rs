@@ -18,6 +18,7 @@
 
 use crate::FloatCodec;
 use bitpack::bits::{BitReader, BitWriter};
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::width::width;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
@@ -72,14 +73,17 @@ impl FloatCodec for BuffCodec {
         out.push(p as u8);
         let scale = 10f64.powi(p as i32);
         let ints: Vec<i64> = values.iter().map(|&v| (v * scale).round() as i64).collect();
-        let min = ints.iter().copied().min().expect("non-empty");
+        let min = ints.iter().copied().min().unwrap_or(0);
         let shifted: Vec<u64> = ints.iter().map(|&v| v.wrapping_sub(min) as u64).collect();
-        let w_full = width(shifted.iter().copied().max().expect("non-empty"));
+        let w_full = width(shifted.iter().copied().max().unwrap_or(0));
 
         // Frequency-based bound: the narrowest width covering ≥ 99 %.
         let mut hist = [0usize; 65];
         for &v in &shifted {
-            hist[width(v) as usize] += 1;
+            // `width` never exceeds 64 and `hist` has 65 slots.
+            if let Some(slot) = hist.get_mut(width(v) as usize) {
+                *slot += 1;
+            }
         }
         let need = shifted.len() - shifted.len() / 100;
         let mut cum = 0usize;
@@ -117,56 +121,76 @@ impl FloatCodec for BuffCodec {
         out.extend_from_slice(&bits.into_bytes());
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> Option<()> {
+    fn decode(
+        &self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<f64>,
+    ) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
-        let mode = *buf.get(*pos)?;
+        let mode = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
         *pos += 1;
         match mode {
             0 => {
                 out.reserve(n);
                 for _ in 0..n {
-                    let bytes = buf.get(*pos..*pos + 8)?;
+                    let bytes = buf
+                        .get(*pos..*pos + 8)
+                        .ok_or(DecodeError::Truncated)?;
                     *pos += 8;
-                    out.push(f64::from_bits(u64::from_le_bytes(
-                        bytes.try_into().expect("8 bytes"),
-                    )));
+                    let word = match <[u8; 8]>::try_from(bytes) {
+                        Ok(b) => u64::from_le_bytes(b),
+                        Err(_) => return Err(DecodeError::Truncated),
+                    };
+                    out.push(f64::from_bits(word));
                 }
-                Some(())
+                Ok(())
             }
             1 => {
-                let p = *buf.get(*pos)? as u32;
+                let p = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
                 *pos += 1;
                 if p > MAX_PRECISION {
-                    return None;
+                    return Err(DecodeError::BadModeByte { mode: p as u8 });
                 }
                 let min = read_varint_i64(buf, pos)?;
-                let w_normal = *buf.get(*pos)? as u32;
-                let w_full = *buf.get(*pos + 1)? as u32;
+                let w_normal = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
+                let w_full = *buf.get(*pos + 1).ok_or(DecodeError::Truncated)? as u32;
                 *pos += 2;
-                if w_normal > 64 || w_full > 64 {
-                    return None;
+                if w_normal > 64 {
+                    return Err(DecodeError::WidthOverflow { width: w_normal });
+                }
+                if w_full > 64 {
+                    return Err(DecodeError::WidthOverflow { width: w_full });
                 }
                 let n_out = read_varint(buf, pos)? as usize;
                 if n_out > n {
-                    return None;
+                    return Err(DecodeError::CountOverflow { claimed: n_out as u64 });
                 }
                 let total_bits =
                     n + (n - n_out) * w_normal as usize + n_out * w_full as usize;
-                let payload = buf.get(*pos..*pos + total_bits.div_ceil(8))?;
+                let payload = buf
+                    .get(*pos..*pos + total_bits.div_ceil(8))
+                    .ok_or(DecodeError::Truncated)?;
                 *pos += total_bits.div_ceil(8);
                 let mut reader = BitReader::new(payload);
                 let mut flags = Vec::with_capacity(n);
                 for _ in 0..n {
                     flags.push(reader.read_bit()?);
                 }
-                if flags.iter().filter(|&&f| f).count() != n_out {
-                    return None;
+                let bitmap_out = flags.iter().filter(|&&f| f).count();
+                if bitmap_out != n_out {
+                    return Err(DecodeError::BitmapCountMismatch {
+                        header_lower: 0,
+                        header_upper: n_out,
+                        bitmap_lower: 0,
+                        bitmap_upper: bitmap_out,
+                    });
                 }
                 let mut normals = Vec::with_capacity(n - n_out);
                 for _ in 0..n - n_out {
@@ -177,24 +201,18 @@ impl FloatCodec for BuffCodec {
                     outs.push(reader.read_bits(w_full)?);
                 }
                 let scale = 10f64.powi(p as i32);
-                let (mut ni, mut oi) = (0usize, 0usize);
+                let mut normals_it = normals.iter();
+                let mut outs_it = outs.iter();
                 out.reserve(n);
                 for &f in &flags {
-                    let shifted = if f {
-                        let v = outs[oi];
-                        oi += 1;
-                        v
-                    } else {
-                        let v = normals[ni];
-                        ni += 1;
-                        v
-                    };
+                    let shifted = if f { outs_it.next() } else { normals_it.next() };
+                    let shifted = *shifted.ok_or(DecodeError::Truncated)?;
                     let int = min.wrapping_add(shifted as i64);
                     out.push(int as f64 / scale);
                 }
-                Some(())
+                Ok(())
             }
-            _ => None,
+            _ => Err(DecodeError::BadModeByte { mode }),
         }
     }
 }
@@ -261,7 +279,7 @@ mod tests {
         for cut in 0..buf.len() {
             let mut pos = 0;
             let mut out = Vec::new();
-            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_none());
+            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_err());
         }
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::FloatCodec;
 use bitpack::bits::{BitReader, BitWriter};
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::zigzag::{read_varint, write_varint};
 
 /// Leading-zero level table (values representable in 3 bits).
@@ -21,10 +22,15 @@ const LEVELS: [u32; 8] = [0, 8, 12, 16, 18, 20, 22, 24];
 
 /// Rounds a leading-zero count down to its level index.
 fn level_of(lead: u32) -> usize {
-    LEVELS
-        .iter()
-        .rposition(|&l| l <= lead)
-        .expect("level 0 always matches")
+    // `LEVELS[0] == 0`, so some level always matches.
+    LEVELS.iter().rposition(|&l| l <= lead).unwrap_or(0)
+}
+
+/// Width for a 3-bit level index. The field is 3 bits wide, so the index
+/// is always in range; `unwrap_or` keeps the lookup panic-free anyway.
+#[inline]
+fn level_width(level: usize) -> u32 {
+    LEVELS.get(level).copied().unwrap_or(0)
 }
 
 /// The Chimp codec.
@@ -49,10 +55,10 @@ impl FloatCodec for ChimpCodec {
             return;
         }
         let mut bits = BitWriter::with_capacity_bits(values.len() * 20);
-        let mut prev = values[0].to_bits();
+        let mut prev = values.first().map_or(0, |v| v.to_bits());
         bits.write_bits(prev, 64);
         let mut prev_level = 0usize;
-        for &v in &values[1..] {
+        for &v in values.get(1..).unwrap_or(&[]) {
             let b = v.to_bits();
             let xor = b ^ prev;
             if xor == 0 {
@@ -60,7 +66,7 @@ impl FloatCodec for ChimpCodec {
             } else {
                 let lead = xor.leading_zeros();
                 let level = level_of(lead);
-                let lead_r = LEVELS[level];
+                let lead_r = level_width(level);
                 let trail = xor.trailing_zeros();
                 if trail > 6 {
                     // '01': center bits only (both ends trimmed).
@@ -85,15 +91,20 @@ impl FloatCodec for ChimpCodec {
         out.extend_from_slice(&bits.into_bytes());
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> Option<()> {
+    fn decode(
+        &self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<f64>,
+    ) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
-        let payload = buf.get(*pos..)?;
+        let payload = buf.get(*pos..).ok_or(DecodeError::Truncated)?;
         let mut reader = BitReader::new(payload);
         let mut prev = reader.read_bits(64)?;
         out.reserve(n);
@@ -106,25 +117,26 @@ impl FloatCodec for ChimpCodec {
                 0b01 => {
                     let level = reader.read_bits(3)? as usize;
                     let center = reader.read_bits(6)? as u32;
-                    if center == 0 || LEVELS[level] + center > 64 {
-                        return None;
+                    let lead_r = level_width(level);
+                    if center == 0 || lead_r + center > 64 {
+                        return Err(DecodeError::WidthOverflow { width: lead_r + center });
                     }
-                    let trail = 64 - LEVELS[level] - center;
+                    let trail = 64 - lead_r - center;
                     prev_level = level;
                     reader.read_bits(center)? << trail
                 }
-                0b10 => reader.read_bits(64 - LEVELS[prev_level])?,
+                0b10 => reader.read_bits(64 - level_width(prev_level))?,
                 _ => {
                     let level = reader.read_bits(3)? as usize;
                     prev_level = level;
-                    reader.read_bits(64 - LEVELS[level])?
+                    reader.read_bits(64 - level_width(level))?
                 }
             };
             prev ^= xor;
             out.push(f64::from_bits(prev));
         }
         *pos += reader.position_bits().div_ceil(8);
-        Some(())
+        Ok(())
     }
 }
 

@@ -21,6 +21,7 @@
 
 use crate::FloatCodec;
 use bitpack::bits::{BitReader, BitWriter};
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::zigzag::{read_varint, write_varint};
 
 /// Window size (and the meaning of "128" in the name).
@@ -31,7 +32,28 @@ const KEY_BITS: u32 = 14;
 const LEVELS: [u32; 8] = [0, 8, 12, 16, 18, 20, 22, 24];
 
 fn level_of(lead: u32) -> usize {
-    LEVELS.iter().rposition(|&l| l <= lead).expect("level 0")
+    // `LEVELS[0] == 0`, so some level always matches.
+    LEVELS.iter().rposition(|&l| l <= lead).unwrap_or(0)
+}
+
+/// Width for a 3-bit level index (always in range: the field is 3 bits).
+#[inline]
+fn level_width(level: usize) -> u32 {
+    LEVELS.get(level).copied().unwrap_or(0)
+}
+
+/// Panic-free ring-buffer read; `i` is reduced modulo [`WINDOW`].
+#[inline]
+fn ring_get(ring: &[u64; WINDOW], i: usize) -> u64 {
+    ring.get(i % WINDOW).copied().unwrap_or(0)
+}
+
+/// Panic-free ring-buffer write; `i` is reduced modulo [`WINDOW`].
+#[inline]
+fn ring_set(ring: &mut [u64; WINDOW], i: usize, v: u64) {
+    if let Some(slot) = ring.get_mut(i % WINDOW) {
+        *slot = v;
+    }
 }
 
 /// The Chimp128 codec.
@@ -67,27 +89,31 @@ impl FloatCodec for Chimp128Codec {
         };
         let mut prev_level = 0usize;
 
-        let first = values[0].to_bits();
+        let first = values.first().map_or(0, |v| v.to_bits());
         bits.write_bits(first, 64);
-        ring[0] = first;
-        table[(first & ((1 << KEY_BITS) - 1)) as usize] = 0;
-        exact[hash64(first)] = 0;
+        ring_set(&mut ring, 0, first);
+        if let Some(slot) = table.get_mut((first & ((1 << KEY_BITS) - 1)) as usize) {
+            *slot = 0;
+        }
+        if let Some(slot) = exact.get_mut(hash64(first)) {
+            *slot = 0;
+        }
 
         for (i, &v) in values.iter().enumerate().skip(1) {
             let b = v.to_bits();
             let key = (b & ((1 << KEY_BITS) - 1)) as usize;
-            let prev = ring[(i - 1) % WINDOW];
+            let prev = ring_get(&ring, i - 1);
 
             let in_window = |cand: usize| cand != usize::MAX && cand < i && i - cand <= WINDOW.min(i);
             // Prefer an exact repeat; fall back to the low-bit candidate.
-            let ecand = exact[hash64(b)];
-            let cand = if in_window(ecand) && ring[ecand % WINDOW] == b {
+            let ecand = exact.get(hash64(b)).copied().unwrap_or(usize::MAX);
+            let cand = if in_window(ecand) && ring_get(&ring, ecand) == b {
                 ecand
             } else {
-                table[key]
+                table.get(key).copied().unwrap_or(usize::MAX)
             };
             let indexed = if in_window(cand) {
-                Some((cand % WINDOW, ring[cand % WINDOW]))
+                Some((cand % WINDOW, ring_get(&ring, cand)))
             } else {
                 None
             };
@@ -103,7 +129,7 @@ impl FloatCodec for Chimp128Codec {
                     let lead = xor.leading_zeros();
                     let level = level_of(lead);
                     let trail = xor.trailing_zeros();
-                    let center = 64 - LEVELS[level] - trail;
+                    let center = 64 - level_width(level) - trail;
                     bits.write_bits(0b01, 2);
                     bits.write_bits(slot as u64, 7);
                     bits.write_bits(level as u64, 3);
@@ -119,70 +145,80 @@ impl FloatCodec for Chimp128Codec {
                 let level = level_of(lead);
                 if level == prev_level {
                     bits.write_bits(0b10, 2);
-                    bits.write_bits(xor, 64 - LEVELS[level]);
+                    bits.write_bits(xor, 64 - level_width(level));
                 } else {
                     bits.write_bits(0b11, 2);
                     bits.write_bits(level as u64, 3);
-                    bits.write_bits(xor, 64 - LEVELS[level]);
+                    bits.write_bits(xor, 64 - level_width(level));
                 }
                 prev_level = level;
             }
-            ring[i % WINDOW] = b;
-            table[key] = i;
-            exact[hash64(b)] = i;
+            ring_set(&mut ring, i, b);
+            if let Some(slot) = table.get_mut(key) {
+                *slot = i;
+            }
+            if let Some(slot) = exact.get_mut(hash64(b)) {
+                *slot = i;
+            }
         }
         out.extend_from_slice(&bits.into_bytes());
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> Option<()> {
+    fn decode(
+        &self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<f64>,
+    ) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
-        let payload = buf.get(*pos..)?;
+        let payload = buf.get(*pos..).ok_or(DecodeError::Truncated)?;
         let mut reader = BitReader::new(payload);
         let mut ring = [0u64; WINDOW];
         let mut prev_level = 0usize;
         out.reserve(n);
 
         let first = reader.read_bits(64)?;
-        ring[0] = first;
+        ring_set(&mut ring, 0, first);
         out.push(f64::from_bits(first));
 
         for i in 1..n {
-            let prev = ring[(i - 1) % WINDOW];
+            let prev = ring_get(&ring, i - 1);
             let tag = reader.read_bits(2)?;
             let b = match tag {
                 0b00 => {
                     let slot = reader.read_bits(7)? as usize;
-                    ring[slot]
+                    ring_get(&ring, slot)
                 }
                 0b01 => {
                     let slot = reader.read_bits(7)? as usize;
                     let level = reader.read_bits(3)? as usize;
                     let center = reader.read_bits(6)? as u32;
-                    if center == 0 || LEVELS[level] + center > 64 {
-                        return None;
+                    let lead_r = level_width(level);
+                    if center == 0 || lead_r + center > 64 {
+                        return Err(DecodeError::WidthOverflow { width: lead_r + center });
                     }
-                    let trail = 64 - LEVELS[level] - center;
+                    let trail = 64 - lead_r - center;
                     prev_level = level;
-                    ring[slot] ^ (reader.read_bits(center)? << trail)
+                    ring_get(&ring, slot) ^ (reader.read_bits(center)? << trail)
                 }
-                0b10 => prev ^ reader.read_bits(64 - LEVELS[prev_level])?,
+                0b10 => prev ^ reader.read_bits(64 - level_width(prev_level))?,
                 _ => {
                     let level = reader.read_bits(3)? as usize;
                     prev_level = level;
-                    prev ^ reader.read_bits(64 - LEVELS[level])?
+                    prev ^ reader.read_bits(64 - level_width(level))?
                 }
             };
-            ring[i % WINDOW] = b;
+            ring_set(&mut ring, i, b);
             out.push(f64::from_bits(b));
         }
         *pos += reader.position_bits().div_ceil(8);
-        Some(())
+        Ok(())
     }
 }
 

@@ -15,6 +15,7 @@
 use crate::gorilla::{xor_decode_one, xor_encode_one};
 use crate::FloatCodec;
 use bitpack::bits::{BitReader, BitWriter};
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::zigzag::{read_varint, write_varint};
 
 /// Largest decimal precision the 5-bit α field stores.
@@ -84,19 +85,17 @@ impl FloatCodec for ElfCodec {
         let mut prev = 0u64; // XOR chain primed with 0, first value included
         let mut window = (64u32, 64u32);
         for &v in values {
-            match decimal_precision(v) {
-                Some(alpha) => {
-                    let erased = erase(v, alpha);
-                    if erased != v.to_bits() {
-                        bits.write_bit(true);
-                        bits.write_bits(alpha as u64, 5);
-                        xor_encode_one(erased, prev, &mut window, &mut bits);
-                        prev = erased;
-                        continue;
-                    }
-                    // Nothing to erase: exact path is cheaper (no α field).
+            if let Some(alpha) = decimal_precision(v) {
+                let erased = erase(v, alpha);
+                // When nothing is erased, the exact path below is cheaper
+                // (no α field).
+                if erased != v.to_bits() {
+                    bits.write_bit(true);
+                    bits.write_bits(alpha as u64, 5);
+                    xor_encode_one(erased, prev, &mut window, &mut bits);
+                    prev = erased;
+                    continue;
                 }
-                None => {}
             }
             bits.write_bit(false);
             let b = v.to_bits();
@@ -106,15 +105,20 @@ impl FloatCodec for ElfCodec {
         out.extend_from_slice(&bits.into_bytes());
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> Option<()> {
+    fn decode(
+        &self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<f64>,
+    ) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
-        let payload = buf.get(*pos..)?;
+        let payload = buf.get(*pos..).ok_or(DecodeError::Truncated)?;
         let mut reader = BitReader::new(payload);
         let mut prev = 0u64;
         let mut window = (64u32, 64u32);
@@ -124,7 +128,8 @@ impl FloatCodec for ElfCodec {
             if erased_flag {
                 let alpha = reader.read_bits(5)? as u32;
                 if alpha > MAX_ALPHA {
-                    return None;
+                    // 5-bit α fields above 17 are never written by the encoder.
+                    return Err(DecodeError::BadModeByte { mode: alpha as u8 });
                 }
                 prev = xor_decode_one(prev, &mut window, &mut reader)?;
                 out.push(round_dec(f64::from_bits(prev), alpha));
@@ -134,7 +139,7 @@ impl FloatCodec for ElfCodec {
             }
         }
         *pos += reader.position_bits().div_ceil(8);
-        Some(())
+        Ok(())
     }
 }
 

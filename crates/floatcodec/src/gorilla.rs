@@ -11,6 +11,7 @@
 
 use crate::FloatCodec;
 use bitpack::bits::{BitReader, BitWriter};
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::zigzag::{read_varint, write_varint};
 
 /// The Gorilla XOR codec.
@@ -62,14 +63,15 @@ pub(crate) fn xor_decode_one(
     prev: u64,
     window: &mut (u32, u32),
     reader: &mut BitReader<'_>,
-) -> Option<u64> {
+) -> DecodeResult<u64> {
     if !reader.read_bit()? {
-        return Some(prev);
+        return Ok(prev);
     }
     let xor = if !reader.read_bit()? {
         let (wl, wt) = *window;
         if wl + wt >= 64 {
-            return None; // control bit claims a window that never existed
+            // Control bit claims a window that never existed.
+            return Err(DecodeError::WidthOverflow { width: wl + wt });
         }
         let mlen = 64 - wl - wt;
         reader.read_bits(mlen)? << wt
@@ -77,13 +79,13 @@ pub(crate) fn xor_decode_one(
         let lead = reader.read_bits(5)? as u32;
         let mlen = reader.read_bits(6)? as u32 + 1;
         if lead + mlen > 64 {
-            return None;
+            return Err(DecodeError::WidthOverflow { width: lead + mlen });
         }
         let trail = 64 - lead - mlen;
         *window = (lead, trail);
         reader.read_bits(mlen)? << trail
     };
-    Some(prev ^ xor)
+    Ok(prev ^ xor)
 }
 
 impl FloatCodec for GorillaCodec {
@@ -97,10 +99,10 @@ impl FloatCodec for GorillaCodec {
             return;
         }
         let mut bits = BitWriter::with_capacity_bits(values.len() * 16);
-        let mut prev = values[0].to_bits();
+        let mut prev = values.first().map_or(0, |v| v.to_bits());
         bits.write_bits(prev, 64);
         let mut window = (64u32, 64u32);
-        for &v in &values[1..] {
+        for &v in values.get(1..).unwrap_or(&[]) {
             let b = v.to_bits();
             xor_encode_one(b, prev, &mut window, &mut bits);
             prev = b;
@@ -108,15 +110,20 @@ impl FloatCodec for GorillaCodec {
         out.extend_from_slice(&bits.into_bytes());
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> Option<()> {
+    fn decode(
+        &self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<f64>,
+    ) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
-        let payload = buf.get(*pos..)?;
+        let payload = buf.get(*pos..).ok_or(DecodeError::Truncated)?;
         let mut reader = BitReader::new(payload);
         let mut prev = reader.read_bits(64)?;
         out.reserve(n);
@@ -128,7 +135,7 @@ impl FloatCodec for GorillaCodec {
         }
         // Consume the used bytes (bit stream is byte-padded).
         *pos += reader.position_bits().div_ceil(8);
-        Some(())
+        Ok(())
     }
 }
 
@@ -192,7 +199,7 @@ mod tests {
             let mut pos = 0;
             let mut out = Vec::new();
             assert!(
-                codec.decode(&buf[..cut], &mut pos, &mut out).is_none(),
+                codec.decode(&buf[..cut], &mut pos, &mut out).is_err(),
                 "cut {cut}"
             );
         }

@@ -39,8 +39,14 @@ pub trait FloatCodec {
     fn encode(&self, values: &[f64], out: &mut Vec<u8>);
 
     /// Decodes one block from `buf[*pos..]`, appending values to `out`.
-    /// Returns `None` on corrupt/truncated input.
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> Option<()>;
+    /// Returns `Err(`[`bitpack::DecodeError`]`)` on corrupt/truncated input;
+    /// never panics.
+    fn decode(
+        &self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<f64>,
+    ) -> bitpack::DecodeResult<()>;
 }
 
 /// All four float codecs for the experiment grid.
@@ -65,7 +71,7 @@ pub(crate) mod testutil {
         let mut out = Vec::new();
         codec
             .decode(&buf, &mut pos, &mut out)
-            .unwrap_or_else(|| panic!("{} decode failed", codec.name()));
+            .unwrap_or_else(|e| panic!("{} decode failed: {e}", codec.name()));
         assert_eq!(out.len(), values.len(), "{} length", codec.name());
         for (i, (&a, &b)) in values.iter().zip(&out).enumerate() {
             assert_eq!(

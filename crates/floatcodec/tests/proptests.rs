@@ -16,7 +16,7 @@ fn roundtrip(codec: &dyn FloatCodec, values: &[f64]) {
     let mut out = Vec::new();
     codec
         .decode(&buf, &mut pos, &mut out)
-        .unwrap_or_else(|| panic!("{} decode failed", codec.name()));
+        .unwrap_or_else(|e| panic!("{} decode failed: {e}", codec.name()));
     assert_eq!(out.len(), values.len(), "{}", codec.name());
     for (&a, &b) in values.iter().zip(&out) {
         assert_eq!(a.to_bits(), b.to_bits(), "{}: {a} vs {b}", codec.name());
@@ -82,8 +82,8 @@ proptest! {
             codec.encode(&b, &mut buf);
             let mut pos = 0;
             let mut out = Vec::new();
-            prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_some());
-            prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_some());
+            prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_ok());
+            prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_ok());
             prop_assert_eq!(out.len(), a.len() + b.len());
         }
     }

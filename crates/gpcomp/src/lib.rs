@@ -32,8 +32,14 @@ pub trait ByteCodec {
     fn compress(&self, data: &[u8], out: &mut Vec<u8>);
 
     /// Decompresses one frame from `buf[*pos..]`, appending bytes to
-    /// `out`. Returns `None` on corrupt/truncated input.
-    fn decompress(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> Option<()>;
+    /// `out`. Returns `Err(`[`bitpack::DecodeError`]`)` on corrupt or
+    /// truncated input; never panics.
+    fn decompress(
+        &self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<u8>,
+    ) -> bitpack::DecodeResult<()>;
 }
 
 #[cfg(test)]
@@ -48,7 +54,7 @@ pub(crate) mod testutil {
         let mut out = Vec::new();
         codec
             .decompress(&buf, &mut pos, &mut out)
-            .unwrap_or_else(|| panic!("{} decode failed", codec.name()));
+            .unwrap_or_else(|e| panic!("{} decode failed: {e}", codec.name()));
         assert_eq!(out, data, "{} roundtrip mismatch", codec.name());
         assert_eq!(pos, buf.len(), "{} trailing bytes", codec.name());
         buf.len()

@@ -8,6 +8,7 @@
 //! sequence is literals-only.
 
 use crate::ByteCodec;
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::zigzag::{read_varint, write_varint};
 
 /// Minimum match length (as in LZ4).
@@ -30,7 +31,11 @@ impl Lz4Like {
 
 #[inline]
 fn hash4(data: &[u8]) -> usize {
-    let v = u32::from_le_bytes(data[..4].try_into().expect("4 bytes"));
+    // Callers guarantee 4 bytes; a short slice hashes as zero.
+    let v = match data.get(..4).map(<[u8; 4]>::try_from) {
+        Some(Ok(b)) => u32::from_le_bytes(b),
+        _ => 0,
+    };
     (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
 }
 
@@ -44,14 +49,14 @@ fn write_len_ext(mut len: usize, out: &mut Vec<u8>) {
     out.push(len as u8);
 }
 
-fn read_len_ext(buf: &[u8], pos: &mut usize) -> Option<usize> {
+fn read_len_ext(buf: &[u8], pos: &mut usize) -> DecodeResult<usize> {
     let mut len = 0usize;
     loop {
-        let b = *buf.get(*pos)?;
+        let b = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
         *pos += 1;
         len += b as usize;
         if b != 255 {
-            return Some(len);
+            return Ok(len);
         }
     }
 }
@@ -72,19 +77,24 @@ impl ByteCodec for Lz4Like {
         // Leave room so the 4-byte hash read never overruns.
         let end = data.len().saturating_sub(MIN_MATCH);
         while i < end {
-            let h = hash4(&data[i..]);
-            let cand = table[h];
-            table[h] = i;
+            let h = hash4(data.get(i..).unwrap_or(&[]));
+            let cand = table.get(h).copied().unwrap_or(usize::MAX);
+            if let Some(slot) = table.get_mut(h) {
+                *slot = i;
+            }
             let matched = cand != usize::MAX
                 && i - cand <= MAX_OFFSET
-                && data[cand..cand + MIN_MATCH] == data[i..i + MIN_MATCH];
+                && matches!(
+                    (data.get(cand..cand + MIN_MATCH), data.get(i..i + MIN_MATCH)),
+                    (Some(a), Some(b)) if a == b
+                );
             if !matched {
                 i += 1;
                 continue;
             }
             // Extend the match.
             let mut mlen = MIN_MATCH;
-            while i + mlen < data.len() && data[cand + mlen] == data[i + mlen] {
+            while i + mlen < data.len() && data.get(cand + mlen) == data.get(i + mlen) {
                 mlen += 1;
             }
             // Emit sequence: literals [literal_start..i), match (offset, mlen).
@@ -95,7 +105,7 @@ impl ByteCodec for Lz4Like {
             if tok_lit == 15 {
                 write_len_ext(lit_len - 15, out);
             }
-            out.extend_from_slice(&data[literal_start..i]);
+            out.extend_from_slice(data.get(literal_start..i).unwrap_or(&[]));
             out.extend_from_slice(&((i - cand) as u16).to_le_bytes());
             if tok_match == 15 {
                 write_len_ext(mlen - MIN_MATCH - 15, out);
@@ -104,7 +114,10 @@ impl ByteCodec for Lz4Like {
             let step = (mlen / 8).max(1);
             let mut j = i + 1;
             while j + MIN_MATCH <= data.len() && j < i + mlen {
-                table[hash4(&data[j..])] = j;
+                let h = hash4(data.get(j..).unwrap_or(&[]));
+                if let Some(slot) = table.get_mut(h) {
+                    *slot = j;
+                }
                 j += step;
             }
             i += mlen;
@@ -119,55 +132,75 @@ impl ByteCodec for Lz4Like {
             if tok_lit == 15 {
                 write_len_ext(lit_len - 15, out);
             }
-            out.extend_from_slice(&data[literal_start..]);
+            out.extend_from_slice(data.get(literal_start..).unwrap_or(&[]));
         }
     }
 
-    fn decompress(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> Option<()> {
+    fn decompress(
+        &self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<u8>,
+    ) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         if n > bitpack::MAX_BLOCK_VALUES * 8 {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         let start = out.len();
         out.reserve(n);
         while out.len() - start < n {
-            let token = *buf.get(*pos)?;
+            let token = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
             *pos += 1;
             let mut lit_len = (token >> 4) as usize;
             if lit_len == 15 {
                 lit_len += read_len_ext(buf, pos)?;
             }
-            let lits = buf.get(*pos..*pos + lit_len)?;
+            let lits = buf
+                .get(*pos..*pos + lit_len)
+                .ok_or(DecodeError::Truncated)?;
             *pos += lit_len;
             out.extend_from_slice(lits);
             if out.len() - start == n {
                 break; // final sequence has no match part
             }
             if out.len() - start > n {
-                return None;
+                return Err(DecodeError::LengthMismatch {
+                    expected: n,
+                    got: out.len() - start,
+                });
             }
-            let off_bytes = buf.get(*pos..*pos + 2)?;
+            let off_bytes = buf.get(*pos..*pos + 2).ok_or(DecodeError::Truncated)?;
             *pos += 2;
-            let offset = u16::from_le_bytes(off_bytes.try_into().expect("2 bytes")) as usize;
+            let offset = match <[u8; 2]>::try_from(off_bytes) {
+                Ok(b) => u16::from_le_bytes(b) as usize,
+                Err(_) => return Err(DecodeError::Truncated),
+            };
             let mut mlen = (token & 0x0F) as usize;
             if mlen == 15 {
                 mlen += read_len_ext(buf, pos)?;
             }
             mlen += MIN_MATCH;
-            if offset == 0 || offset > out.len() - start || out.len() - start + mlen > n {
-                return None;
+            if offset == 0 || offset > out.len() - start {
+                // A match may not reach back before this frame's output.
+                return Err(DecodeError::CountOverflow { claimed: offset as u64 });
+            }
+            if out.len() - start + mlen > n {
+                return Err(DecodeError::LengthMismatch {
+                    expected: n,
+                    got: out.len() - start + mlen,
+                });
             }
             // Overlapping copy, byte by byte (RLE-style matches).
             let from = out.len() - offset;
             for k in 0..mlen {
-                let b = out[from + k];
+                let b = out.get(from + k).copied().ok_or(DecodeError::Truncated)?;
                 out.push(b);
             }
         }
-        Some(())
+        Ok(())
     }
 }
 
@@ -243,7 +276,7 @@ mod tests {
         for cut in (0..buf.len()).step_by(7) {
             let mut pos = 0;
             let mut out = Vec::new();
-            assert!(codec.decompress(&buf[..cut], &mut pos, &mut out).is_none());
+            assert!(codec.decompress(&buf[..cut], &mut pos, &mut out).is_err());
         }
     }
 }

@@ -11,6 +11,7 @@
 //! shift-5 adaptation).
 
 use crate::ByteCodec;
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::zigzag::{read_varint, write_varint};
 
 /// Probability precision (LZMA uses 11 bits).
@@ -95,17 +96,14 @@ struct RangeDecoder<'a> {
 }
 
 impl<'a> RangeDecoder<'a> {
-    fn new(buf: &'a [u8]) -> Option<Self> {
+    fn new(buf: &'a [u8]) -> DecodeResult<Self> {
         // The first output byte of the encoder is always the initial cache
         // (0); then 4 code bytes.
         let mut code = 0u32;
-        if buf.len() < 5 {
-            return None;
-        }
-        for &b in &buf[1..5] {
+        for &b in buf.get(1..5).ok_or(DecodeError::Truncated)? {
             code = (code << 8) | b as u32;
         }
-        Some(Self {
+        Ok(Self {
             code,
             range: u32::MAX,
             buf,
@@ -279,16 +277,23 @@ impl ByteCodec for LzmaLite {
         out.extend_from_slice(&payload);
     }
 
-    fn decompress(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> Option<()> {
+    fn decompress(
+        &self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<u8>,
+    ) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         if n > bitpack::MAX_BLOCK_VALUES * 8 {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         let plen = read_varint(buf, pos)? as usize;
-        let payload = buf.get(*pos..*pos + plen)?;
+        let payload = buf
+            .get(*pos..*pos + plen)
+            .ok_or(DecodeError::Truncated)?;
         *pos += plen;
         let mut model = Model::new();
         let mut dec = RangeDecoder::new(payload)?;
@@ -299,26 +304,32 @@ impl ByteCodec for LzmaLite {
             if dec.decode_bit(&mut model.is_match) {
                 let mlen = model.len.decode(&mut dec) as usize;
                 let mdist = model.dist.decode(&mut dec) as usize;
-                if mlen < MIN_MATCH
-                    || mdist == 0
-                    || mdist > out.len() - start
-                    || out.len() - start + mlen > n
-                {
-                    return None;
+                if mlen < MIN_MATCH || mdist == 0 || mdist > out.len() - start {
+                    return Err(DecodeError::CountOverflow { claimed: mdist as u64 });
+                }
+                if out.len() - start + mlen > n {
+                    return Err(DecodeError::LengthMismatch {
+                        expected: n,
+                        got: out.len() - start + mlen,
+                    });
                 }
                 let from = out.len() - mdist;
                 for k in 0..mlen {
-                    let b = out[from + k];
+                    let b = out.get(from + k).copied().ok_or(DecodeError::Truncated)?;
                     out.push(b);
                 }
-                prev_byte = *out.last().expect("non-empty");
+                prev_byte = out.last().copied().unwrap_or(0);
             } else {
-                let b = model.literals[prev_byte as usize].decode(&mut dec) as u8;
+                let tree = model
+                    .literals
+                    .get_mut(prev_byte as usize)
+                    .ok_or(DecodeError::Truncated)?;
+                let b = tree.decode(&mut dec) as u8;
                 out.push(b);
                 prev_byte = b;
             }
         }
-        Some(())
+        Ok(())
     }
 }
 

@@ -17,6 +17,7 @@
 //! Both ends run the same `f64` code on the same inputs, so the
 //! reconstruction is bit-identical and the residual correction is exact.
 
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::zigzag::{read_varint, write_varint};
 use bos::{BosCodec, SolverKind};
 use pfor::Codec as _;
@@ -81,7 +82,7 @@ impl TransformCodec {
         }
     }
 
-    fn unpack(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    fn unpack(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         // Both operators write self-describing blocks decodable by their
         // own decoders; dispatch on the packer we were built with.
         match self.packer {
@@ -121,10 +122,15 @@ impl TransformCodec {
     }
 
     /// Decodes a series.
-    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    pub fn decode(
+        &self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<i64>,
+    ) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         out.reserve(n);
         let mut produced = 0usize;
@@ -135,18 +141,24 @@ impl TransformCodec {
             let mut residuals = Vec::new();
             self.unpack(buf, pos, &mut residuals)?;
             if residuals.len() != len {
-                return None;
+                return Err(DecodeError::LengthMismatch {
+                    expected: len,
+                    got: residuals.len(),
+                });
             }
             let recon = self.reconstruct(&quantized, len);
             if recon.len() != len {
-                return None;
+                return Err(DecodeError::LengthMismatch {
+                    expected: len,
+                    got: recon.len(),
+                });
             }
             for (r, d) in recon.iter().zip(&residuals) {
                 out.push(r.wrapping_add(*d));
             }
             produced += len;
         }
-        Some(())
+        Ok(())
     }
 }
 

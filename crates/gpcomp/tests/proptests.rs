@@ -14,7 +14,7 @@ fn roundtrip_bytes(codec: &dyn ByteCodec, data: &[u8]) {
     let mut out = Vec::new();
     codec
         .decompress(&buf, &mut pos, &mut out)
-        .unwrap_or_else(|| panic!("{} decode failed", codec.name()));
+        .unwrap_or_else(|_e| panic!("{} decode failed", codec.name()));
     assert_eq!(out, data, "{}", codec.name());
     assert_eq!(pos, buf.len(), "{}", codec.name());
 }
@@ -60,7 +60,7 @@ proptest! {
                 codec.encode(&values, &mut buf);
                 let mut pos = 0;
                 let mut out = Vec::new();
-                prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_some());
+                prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_ok());
                 prop_assert_eq!(&out, &values, "{}", codec.label());
             }
         }
@@ -73,7 +73,7 @@ proptest! {
         codec.encode(&values, &mut buf);
         let mut pos = 0;
         let mut out = Vec::new();
-        prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_some());
+        prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_ok());
         prop_assert_eq!(out, values);
     }
 }

@@ -6,6 +6,7 @@
 //! ("RLE+BP" etc.).
 
 use crate::{for_restore, for_transform, Codec};
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::kernels::{pack_words, packed_size, unpack_words};
 use bitpack::width::width;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
@@ -32,33 +33,33 @@ impl Codec for BpCodec {
             return;
         }
         let (min, shifted) = for_transform(values);
-        let w = width(shifted.iter().copied().max().expect("non-empty"));
+        let w = width(shifted.iter().copied().max().unwrap_or(0));
         write_varint_i64(out, min);
         out.push(w as u8);
         pack_words(&shifted, w, out);
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         let min = read_varint_i64(buf, pos)?;
-        let w = *buf.get(*pos)? as u32;
+        let w = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
         *pos += 1;
         if w > 64 {
-            return None;
+            return Err(DecodeError::WidthOverflow { width: w });
         }
         let mut shifted = Vec::new();
-        let consumed = unpack_words(buf.get(*pos..)?, n, w, &mut shifted)?;
+        let consumed = unpack_words(buf.get(*pos..).ok_or(DecodeError::Truncated)?, n, w, &mut shifted)?;
         *pos += consumed;
         debug_assert_eq!(consumed, packed_size(n, w));
         out.reserve(n);
         out.extend(shifted.into_iter().map(|v| for_restore(min, v)));
-        Some(())
+        Ok(())
     }
 }
 
@@ -103,7 +104,7 @@ mod tests {
         for cut in 0..buf.len() {
             let mut pos = 0;
             let mut out = Vec::new();
-            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_none());
+            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_err());
         }
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::{for_restore, for_transform, Codec};
 use bitpack::bits::{BitReader, BitWriter};
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::width::width;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
@@ -113,13 +114,13 @@ impl Codec for FastPforCodec {
         out.push(0); // terminator
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         let min = read_varint_i64(buf, pos)?;
         let start = out.len();
@@ -132,23 +133,26 @@ impl Codec for FastPforCodec {
         let mut base = 0usize;
         while remaining > 0 {
             let len = remaining.min(SUB_BLOCK);
-            let b = *buf.get(*pos)? as u32;
-            let maxbits = *buf.get(*pos + 1)? as u32;
-            let n_exc = *buf.get(*pos + 2)? as usize;
+            let b = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
+            let maxbits = *buf.get(*pos + 1).ok_or(DecodeError::Truncated)? as u32;
+            let n_exc = *buf.get(*pos + 2).ok_or(DecodeError::Truncated)? as usize;
             *pos += 3;
-            if b > 64 || maxbits > 64 || maxbits < b || n_exc > len {
-                return None;
+            if b > 64 || maxbits > 64 {
+                return Err(DecodeError::WidthOverflow { width: b.max(maxbits) });
+            }
+            if maxbits < b || n_exc > len {
+                return Err(DecodeError::CountOverflow { claimed: n_exc as u64 });
             }
             for _ in 0..n_exc {
-                let p = *buf.get(*pos)? as usize;
+                let p = *buf.get(*pos).ok_or(DecodeError::Truncated)? as usize;
                 *pos += 1;
                 if p >= len || b >= 64 {
-                    return None;
+                    return Err(DecodeError::CountOverflow { claimed: p as u64 });
                 }
                 pending.push((base + p, b, maxbits - b));
             }
             let bytes = (len * b as usize).div_ceil(8);
-            let payload = buf.get(*pos..*pos + bytes)?;
+            let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
             *pos += bytes;
             let mut reader = BitReader::new(payload);
             for _ in 0..len {
@@ -162,34 +166,43 @@ impl Codec for FastPforCodec {
         let mut queues: Vec<std::collections::VecDeque<u64>> =
             (0..65).map(|_| std::collections::VecDeque::new()).collect();
         loop {
-            let w = *buf.get(*pos)? as usize;
+            let w = *buf.get(*pos).ok_or(DecodeError::Truncated)? as usize;
             *pos += 1;
             if w == 0 {
                 break;
             }
             if w > 64 {
-                return None;
+                return Err(DecodeError::WidthOverflow { width: w as u32 });
             }
             let count = read_varint(buf, pos)? as usize;
             if count > n {
-                return None;
+                return Err(DecodeError::CountOverflow { claimed: count as u64 });
             }
             let bytes = (count * w).div_ceil(8);
-            let payload = buf.get(*pos..*pos + bytes)?;
+            let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
             *pos += bytes;
             let mut reader = BitReader::new(payload);
+            let queue = queues
+                .get_mut(w)
+                .ok_or(DecodeError::WidthOverflow { width: w as u32 })?;
             for _ in 0..count {
-                queues[w].push_back(reader.read_bits(w as u32)?);
+                queue.push_back(reader.read_bits(w as u32)?);
             }
         }
 
         // Patch in stream order: each exception pops from its width queue.
         for (idx, b, w) in pending {
-            let h = queues[w as usize].pop_front()?;
-            let low = out[start + idx].wrapping_sub(min) as u64;
-            out[start + idx] = for_restore(min, low | (h << b));
+            let h = queues
+                .get_mut(w as usize)
+                .and_then(|q| q.pop_front())
+                .ok_or(DecodeError::Truncated)?;
+            let slot = out
+                .get_mut(start + idx)
+                .ok_or(DecodeError::CountOverflow { claimed: idx as u64 })?;
+            let low = slot.wrapping_sub(min) as u64;
+            *slot = for_restore(min, low | (h << b));
         }
-        Some(())
+        Ok(())
     }
 }
 
@@ -251,7 +264,7 @@ mod tests {
         for cut in 0..buf.len() {
             let mut pos = 0;
             let mut out = Vec::new();
-            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_none());
+            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_err());
         }
     }
 }

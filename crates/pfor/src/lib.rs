@@ -22,8 +22,8 @@
 //! All codecs accept `i64` values: a frame-of-reference transform
 //! (subtracting the block minimum) maps them to `u64` first, which also
 //! handles negative deltas without zigzag. All streams are self-describing
-//! and length-prefixed, and decoders fail (return `None`) instead of
-//! panicking on corrupt input.
+//! and length-prefixed, and decoders fail (return
+//! `Err(bitpack::DecodeError)`) instead of panicking on corrupt input.
 //!
 //! Shared trait: [`Codec`].
 
@@ -44,6 +44,8 @@ pub use optpfor::OptPforCodec;
 pub use pfor::PforCodec;
 pub use simplepfor::SimplePforCodec;
 
+use bitpack::error::DecodeResult;
+
 /// A self-describing integer block codec.
 pub trait Codec {
     /// Method label used in experiment tables ("PFOR", "NEWPFOR", …).
@@ -53,8 +55,8 @@ pub trait Codec {
     fn encode(&self, values: &[i64], out: &mut Vec<u8>);
 
     /// Decodes one block from `buf[*pos..]`, appending values to `out`.
-    /// Returns `None` on corrupt or truncated input.
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()>;
+    /// Fails with a [`bitpack::DecodeError`] on corrupt or truncated input.
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()>;
 }
 
 /// Frame-of-reference transform: `(min, values − min)`.
@@ -85,7 +87,7 @@ pub(crate) mod testutil {
         let mut out = Vec::new();
         codec
             .decode(&buf, &mut pos, &mut out)
-            .unwrap_or_else(|| panic!("{} failed to decode", codec.name()));
+            .unwrap_or_else(|e| panic!("{} failed to decode: {e}", codec.name()));
         assert_eq!(out, values, "{} roundtrip mismatch", codec.name());
         assert_eq!(pos, buf.len(), "{} trailing bytes", codec.name());
         buf.len()

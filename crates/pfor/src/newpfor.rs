@@ -14,6 +14,7 @@
 
 use crate::{for_restore, for_transform, Codec};
 use bitpack::bits::{BitReader, BitWriter};
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::simple8b;
 use bitpack::width::width;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
@@ -27,7 +28,7 @@ const MAX_HIGH_BITS: u32 = 60;
 pub(crate) fn encode_pfd(values: &[i64], b: u32, out: &mut Vec<u8>) {
     debug_assert!(!values.is_empty());
     let (min, shifted) = for_transform(values);
-    let w_full = width(shifted.iter().copied().max().expect("non-empty"));
+    let w_full = width(shifted.iter().copied().max().unwrap_or(0));
     debug_assert!(b <= w_full || w_full == 0);
     debug_assert!(w_full.saturating_sub(b) <= MAX_HIGH_BITS);
 
@@ -47,21 +48,21 @@ pub(crate) fn encode_pfd(values: &[i64], b: u32, out: &mut Vec<u8>) {
         }
     }
     out.extend_from_slice(&bits.into_bytes());
-    simple8b::encode(&positions, out).expect("positions fit 60 bits");
-    simple8b::encode(&highs, out).expect("high bits bounded by MAX_HIGH_BITS");
+    simple8b::encode(&positions, out).expect("positions fit 60 bits"); // lint:allow(no-panic): encode-side invariant, i < MAX_BLOCK_VALUES < 2^60
+    simple8b::encode(&highs, out).expect("high bits bounded by MAX_HIGH_BITS"); // lint:allow(no-panic): encode-side invariant, v >> b has <= MAX_HIGH_BITS <= 32 bits
 }
 
 /// Decodes the shared NewPFD layout.
-pub(crate) fn decode_pfd(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -> Option<()> {
+pub(crate) fn decode_pfd(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -> DecodeResult<()> {
     let min = read_varint_i64(buf, pos)?;
-    let w_full = *buf.get(*pos)? as u32;
-    let b = *buf.get(*pos + 1)? as u32;
+    let w_full = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
+    let b = *buf.get(*pos + 1).ok_or(DecodeError::Truncated)? as u32;
     *pos += 2;
     if w_full > 64 || b > 64 {
-        return None;
+        return Err(DecodeError::WidthOverflow { width: w_full.max(b) });
     }
     let bytes = (n * b as usize).div_ceil(8);
-    let payload = buf.get(*pos..*pos + bytes)?;
+    let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
     *pos += bytes;
     let mut reader = BitReader::new(payload);
     let start = out.len();
@@ -70,24 +71,29 @@ pub(crate) fn decode_pfd(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i6
         out.push(for_restore(min, reader.read_bits(b)?));
     }
     let mut positions = Vec::new();
-    simple8b::decode(buf, pos, &mut positions).ok()?;
+    simple8b::decode(buf, pos, &mut positions)?;
     let mut highs = Vec::new();
-    simple8b::decode(buf, pos, &mut highs).ok()?;
+    simple8b::decode(buf, pos, &mut highs)?;
     if positions.len() != highs.len() {
-        return None;
+        return Err(DecodeError::LengthMismatch {
+            expected: positions.len(),
+            got: highs.len(),
+        });
     }
     for (&p, &h) in positions.iter().zip(&highs) {
         let i = p as usize;
         // b = 64 slots already hold full values; exceptions there can only
         // come from corrupt input.
         if i >= n || b >= 64 {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: p });
         }
-        let low = out[start + i].wrapping_sub(min) as u64;
-        let v = low | (h << b);
-        out[start + i] = for_restore(min, v);
+        let slot = out
+            .get_mut(start + i)
+            .ok_or(DecodeError::CountOverflow { claimed: p })?;
+        let low = slot.wrapping_sub(min) as u64;
+        *slot = for_restore(min, low | (h << b));
     }
-    Some(())
+    Ok(())
 }
 
 /// Number of values whose width exceeds each candidate `b`, via one
@@ -142,18 +148,18 @@ impl Codec for NewPforCodec {
             return;
         }
         let (_, shifted) = for_transform(values);
-        let w_full = width(shifted.iter().copied().max().expect("non-empty"));
+        let w_full = width(shifted.iter().copied().max().unwrap_or(0));
         let b = Self::choose_b(&shifted, w_full);
         encode_pfd(values, b, out);
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         decode_pfd(buf, pos, n, out)
     }
@@ -217,7 +223,7 @@ mod tests {
         for cut in 0..buf.len() {
             let mut pos = 0;
             let mut out = Vec::new();
-            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_none());
+            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_err());
         }
     }
 }

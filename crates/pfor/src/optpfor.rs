@@ -8,6 +8,7 @@
 
 use crate::newpfor::{decode_pfd, encode_pfd, exceeding_counts};
 use crate::{for_transform, Codec};
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::width::width;
 use bitpack::zigzag::{read_varint, write_varint};
 
@@ -36,7 +37,7 @@ impl Codec for OptPforCodec {
             return;
         }
         let (_, shifted) = for_transform(values);
-        let w_full = width(shifted.iter().copied().max().expect("non-empty"));
+        let w_full = width(shifted.iter().copied().max().unwrap_or(0));
         let exceeding = exceeding_counts(&shifted);
         let b_min = w_full.saturating_sub(MAX_HIGH_BITS);
 
@@ -59,16 +60,16 @@ impl Codec for OptPforCodec {
                 best = Some(scratch.clone());
             }
         }
-        out.extend_from_slice(&best.expect("at least one candidate"));
+        out.extend_from_slice(&best.unwrap_or_default());
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         decode_pfd(buf, pos, n, out)
     }

@@ -14,6 +14,7 @@
 
 use crate::{for_restore, for_transform, Codec};
 use bitpack::bits::{BitReader, BitWriter};
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::width::width;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
@@ -89,7 +90,7 @@ impl Codec for PforCodec {
             return;
         }
         let (min, shifted) = for_transform(values);
-        let w_full = width(shifted.iter().copied().max().expect("non-empty"));
+        let w_full = width(shifted.iter().copied().max().unwrap_or(0));
         let b = Self::choose_b(&shifted, w_full);
         let exceptions = Self::exception_positions(&shifted, b);
 
@@ -106,7 +107,7 @@ impl Codec for PforCodec {
         );
         // Slots: value, or offset-to-next-exception-minus-1 for exceptions.
         let mut next_exc = exceptions.iter().copied().peekable();
-        let mut exc_iter = exceptions.iter().copied().peekable();
+        let exc_iter = exceptions.iter().copied();
         for (i, &v) in shifted.iter().enumerate() {
             if next_exc.peek() == Some(&i) {
                 next_exc.next();
@@ -120,35 +121,35 @@ impl Codec for PforCodec {
             }
         }
         // Exception values at full width, in chain order.
-        while let Some(i) = exc_iter.next() {
+        for i in exc_iter {
             bits.write_bits(shifted[i], w_full);
         }
         out.extend_from_slice(&bits.into_bytes());
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         let min = read_varint_i64(buf, pos)?;
-        let w_full = *buf.get(*pos)? as u32;
-        let b = *buf.get(*pos + 1)? as u32;
+        let w_full = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
+        let b = *buf.get(*pos + 1).ok_or(DecodeError::Truncated)? as u32;
         *pos += 2;
         if w_full > 64 || b > 64 {
-            return None;
+            return Err(DecodeError::WidthOverflow { width: w_full.max(b) });
         }
         let n_exc = read_varint(buf, pos)? as usize;
         if n_exc > n {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n_exc as u64 });
         }
         let first_exc = if n_exc > 0 {
             let f = read_varint(buf, pos)? as usize;
             if f >= n {
-                return None;
+                return Err(DecodeError::CountOverflow { claimed: f as u64 });
             }
             Some(f)
         } else {
@@ -156,7 +157,7 @@ impl Codec for PforCodec {
         };
         let total_bits = n * b as usize + n_exc * w_full as usize;
         let bytes = total_bits.div_ceil(8);
-        let payload = buf.get(*pos..*pos + bytes)?;
+        let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
         *pos += bytes;
 
         let mut reader = BitReader::new(payload);
@@ -167,15 +168,21 @@ impl Codec for PforCodec {
         }
         // Patch the exception chain.
         let mut cur = first_exc;
-        for _ in 0..n_exc {
-            let i = cur?;
-            let slot = (out[start + i].wrapping_sub(min)) as u64;
+        for patched in 0..n_exc {
+            let i = cur.ok_or(DecodeError::LengthMismatch {
+                expected: n_exc,
+                got: patched,
+            })?;
+            let slot_ref = out
+                .get_mut(start + i)
+                .ok_or(DecodeError::CountOverflow { claimed: i as u64 })?;
+            let slot = (slot_ref.wrapping_sub(min)) as u64;
             let value = reader.read_bits(w_full)?;
-            out[start + i] = for_restore(min, value);
+            *slot_ref = for_restore(min, value);
             let nxt = i + 1 + slot as usize;
             cur = if nxt < n { Some(nxt) } else { None };
         }
-        Some(())
+        Ok(())
     }
 }
 
@@ -252,7 +259,7 @@ mod tests {
         for cut in 0..buf.len() {
             let mut pos = 0;
             let mut out = Vec::new();
-            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_none());
+            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_err());
         }
     }
 }

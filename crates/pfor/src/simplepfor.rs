@@ -11,6 +11,7 @@
 
 use crate::{for_restore, for_transform, Codec};
 use bitpack::bits::{BitReader, BitWriter};
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::simple8b;
 use bitpack::width::width;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
@@ -94,16 +95,16 @@ impl Codec for SimplePforCodec {
             }
             out.extend_from_slice(&bits.into_bytes());
         }
-        simple8b::encode(&highs, out).expect("high bits bounded by 60");
+        simple8b::encode(&highs, out).expect("high bits bounded by 60"); // lint:allow(no-panic): encode-side invariant, highs are (v >> b) < 2^60
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
-            return Some(());
+            return Ok(());
         }
         if n > bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         let min = read_varint_i64(buf, pos)?;
         let start = out.len();
@@ -113,22 +114,25 @@ impl Codec for SimplePforCodec {
         let mut base = 0usize;
         while remaining > 0 {
             let len = remaining.min(SUB_BLOCK);
-            let b = *buf.get(*pos)? as u32;
-            let n_exc = *buf.get(*pos + 1)? as usize;
+            let b = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
+            let n_exc = *buf.get(*pos + 1).ok_or(DecodeError::Truncated)? as usize;
             *pos += 2;
-            if b > 64 || n_exc > len {
-                return None;
+            if b > 64 {
+                return Err(DecodeError::WidthOverflow { width: b });
+            }
+            if n_exc > len {
+                return Err(DecodeError::CountOverflow { claimed: n_exc as u64 });
             }
             for _ in 0..n_exc {
-                let p = *buf.get(*pos)? as usize;
+                let p = *buf.get(*pos).ok_or(DecodeError::Truncated)? as usize;
                 *pos += 1;
                 if p >= len || b >= 64 {
-                    return None;
+                    return Err(DecodeError::CountOverflow { claimed: p as u64 });
                 }
                 pending.push((base + p, b));
             }
             let bytes = (len * b as usize).div_ceil(8);
-            let payload = buf.get(*pos..*pos + bytes)?;
+            let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
             *pos += bytes;
             let mut reader = BitReader::new(payload);
             for _ in 0..len {
@@ -138,15 +142,21 @@ impl Codec for SimplePforCodec {
             remaining -= len;
         }
         let mut highs = Vec::new();
-        simple8b::decode(buf, pos, &mut highs).ok()?;
+        simple8b::decode(buf, pos, &mut highs)?;
         if highs.len() != pending.len() {
-            return None;
+            return Err(DecodeError::LengthMismatch {
+                expected: pending.len(),
+                got: highs.len(),
+            });
         }
         for ((idx, b), h) in pending.into_iter().zip(highs) {
-            let low = out[start + idx].wrapping_sub(min) as u64;
-            out[start + idx] = for_restore(min, low | (h << b));
+            let slot = out
+                .get_mut(start + idx)
+                .ok_or(DecodeError::CountOverflow { claimed: idx as u64 })?;
+            let low = slot.wrapping_sub(min) as u64;
+            *slot = for_restore(min, low | (h << b));
         }
-        Some(())
+        Ok(())
     }
 }
 
@@ -206,7 +216,7 @@ mod tests {
         for cut in 0..buf.len() {
             let mut pos = 0;
             let mut out = Vec::new();
-            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_none());
+            assert!(codec.decode(&buf[..cut], &mut pos, &mut out).is_err());
         }
     }
 

@@ -21,7 +21,7 @@ fn roundtrip(codec: &dyn Codec, values: &[i64]) -> usize {
     let mut out = Vec::new();
     codec
         .decode(&buf, &mut pos, &mut out)
-        .unwrap_or_else(|| panic!("{} decode failed", codec.name()));
+        .unwrap_or_else(|e| panic!("{} decode failed: {e}", codec.name()));
     assert_eq!(out, values, "{}", codec.name());
     assert_eq!(pos, buf.len(), "{}", codec.name());
     buf.len()
@@ -86,8 +86,8 @@ proptest! {
             codec.encode(&b, &mut buf);
             let mut pos = 0;
             let mut out = Vec::new();
-            prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_some());
-            prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_some());
+            prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_ok());
+            prop_assert!(codec.decode(&buf, &mut pos, &mut out).is_ok());
             let mut expected = a.clone();
             expected.extend_from_slice(&b);
             prop_assert_eq!(&out, &expected);

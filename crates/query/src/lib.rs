@@ -24,19 +24,31 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use bitpack::error::DecodeError;
 use bitpack::zigzag::read_varint;
 use bos::format::{decode_block, peek_block, BlockSummary};
 
 /// Errors from the scanner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryError {
-    /// The stream is structurally invalid or truncated.
+    /// The stream is structurally invalid (a zone-map-level check failed).
     Corrupt,
+    /// A block failed to decode; carries the typed decoder error.
+    Decode(DecodeError),
+}
+
+impl From<DecodeError> for QueryError {
+    fn from(e: DecodeError) -> Self {
+        QueryError::Decode(e)
+    }
 }
 
 impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "corrupt block stream")
+        match self {
+            QueryError::Corrupt => write!(f, "corrupt block stream"),
+            QueryError::Decode(e) => write!(f, "corrupt block stream: {e}"),
+        }
     }
 }
 
@@ -70,14 +82,14 @@ impl<'a> Scanner<'a> {
     /// decoding).
     pub fn open(stream: &'a [u8]) -> Result<Self, QueryError> {
         let mut pos = 0usize;
-        let n_blocks = read_varint(stream, &mut pos).ok_or(QueryError::Corrupt)? as usize;
+        let n_blocks = read_varint(stream, &mut pos)? as usize;
         if n_blocks > stream.len() + 1 {
             return Err(QueryError::Corrupt);
         }
         let mut zones = Vec::with_capacity(n_blocks);
         for _ in 0..n_blocks {
             let offset = pos;
-            let summary = peek_block(stream, &mut pos).ok_or(QueryError::Corrupt)?;
+            let summary = peek_block(stream, &mut pos)?;
             zones.push(Zone { summary, offset });
         }
         Ok(Self { data: stream, zones })
@@ -100,7 +112,8 @@ impl<'a> Scanner<'a> {
 
     fn decode_zone(&self, zone: &Zone, out: &mut Vec<i64>) -> Result<(), QueryError> {
         let mut pos = zone.offset;
-        decode_block(self.data, &mut pos, out).ok_or(QueryError::Corrupt)
+        decode_block(self.data, &mut pos, out)?;
+        Ok(())
     }
 
     /// Exact global minimum — header-only, O(#blocks), zero decoding
@@ -122,7 +135,11 @@ impl<'a> Scanner<'a> {
         let mut best: Option<i64> = None;
         let mut scratch = Vec::new();
         for zone in order {
-            let (_, hi) = zone.summary.bounds.expect("non-empty zone");
+            // `order` holds only `n > 0` zones, whose bounds are present.
+            let Some((_, hi)) = zone.summary.bounds else {
+                stats.blocks_skipped += 1;
+                continue;
+            };
             if best.is_some_and(|b| hi <= b) {
                 stats.blocks_skipped += 1;
                 continue;
@@ -130,7 +147,12 @@ impl<'a> Scanner<'a> {
             scratch.clear();
             self.decode_zone(zone, &mut scratch)?;
             stats.blocks_decoded += 1;
-            let block_max = scratch.iter().copied().max().expect("non-empty block");
+            let block_max = scratch.iter().copied().max().ok_or(QueryError::Decode(
+                DecodeError::LengthMismatch {
+                    expected: zone.summary.n,
+                    got: 0,
+                },
+            ))?;
             best = Some(best.map_or(block_max, |b| b.max(block_max)));
         }
         Ok((best, stats))

@@ -43,8 +43,12 @@ fn main() -> ExitCode {
 
 type CliResult = Result<(), String>;
 
+/// A parsed CSV column: integer series when the parse succeeds, float
+/// series otherwise.
+type LoadedSeries = (Option<Vec<i64>>, Option<Vec<f64>>);
+
 /// Loads a CSV column, preferring the integer parse.
-fn load_series(path: &Path) -> Result<(Option<Vec<i64>>, Option<Vec<f64>>), String> {
+fn load_series(path: &Path) -> Result<LoadedSeries, String> {
     if let Ok(ints) = csv::load_ints(path) {
         return Ok((Some(ints), None));
     }

@@ -34,6 +34,7 @@
 
 pub mod crc;
 
+use bitpack::error::DecodeError;
 use bitpack::zigzag::{read_varint, write_varint};
 use crc::crc32;
 use encodings::{OuterKind, PackerKind, Pipeline};
@@ -62,6 +63,15 @@ pub enum TsFileError {
     DuplicateSeries(String),
     /// The float series has no exact `×10^p` representation.
     UnrepresentableFloats(String),
+    /// A header field or chunk payload failed to decode; carries the
+    /// typed decoder error from the codec stack unchanged.
+    Decode(DecodeError),
+}
+
+impl From<DecodeError> for TsFileError {
+    fn from(e: DecodeError) -> Self {
+        TsFileError::Decode(e)
+    }
 }
 
 impl fmt::Display for TsFileError {
@@ -81,6 +91,7 @@ impl fmt::Display for TsFileError {
                 f,
                 "series {name:?} has no exact decimal scaling; store pre-scaled integers instead"
             ),
+            Self::Decode(e) => write!(f, "decode failed: {e}"),
         }
     }
 }
@@ -112,12 +123,13 @@ impl EncodingChoice {
     /// Tries a small portfolio (TS2DIFF/RLE/SPRINTZ × BOS-B) and keeps
     /// whichever encodes `values` smallest — a pragmatic "auto" mode.
     pub fn auto_for(values: &[i64]) -> EncodingChoice {
+        let default = EncodingChoice { outer: OuterKind::Ts2Diff, packer: PackerKind::BosB };
         let candidates = [
-            EncodingChoice { outer: OuterKind::Ts2Diff, packer: PackerKind::BosB },
+            default,
             EncodingChoice { outer: OuterKind::Rle, packer: PackerKind::BosB },
             EncodingChoice { outer: OuterKind::Sprintz, packer: PackerKind::BosB },
         ];
-        let mut best = candidates[0];
+        let mut best = default;
         let mut best_size = usize::MAX;
         let mut buf = Vec::new();
         for c in candidates {
@@ -380,33 +392,46 @@ impl<'a> TsFileReader<'a> {
     /// Parses the footer index and validates the envelope.
     pub fn open(data: &'a [u8]) -> Result<Self, TsFileError> {
         let min = MAGIC.len() * 2 + 12;
-        if data.len() < min || &data[..8] != MAGIC || &data[data.len() - 8..] != MAGIC {
+        if data.len() < min
+            || data.get(..8).is_none_or(|m| m != MAGIC)
+            || data.get(data.len() - 8..).is_none_or(|m| m != MAGIC)
+        {
             return Err(TsFileError::Corrupt("bad magic"));
         }
         let tail = data.len() - 8;
-        let footer_offset =
-            u64::from_le_bytes(data[tail - 8..tail].try_into().expect("8 bytes")) as usize;
+        let off_bytes = data
+            .get(tail - 8..tail)
+            .ok_or(TsFileError::Corrupt("bad footer offset"))?;
+        let footer_offset = match <[u8; 8]>::try_from(off_bytes) {
+            Ok(b) => u64::from_le_bytes(b) as usize,
+            Err(_) => return Err(TsFileError::Corrupt("bad footer offset")),
+        };
         if footer_offset < 8 || footer_offset >= tail.saturating_sub(12) {
             return Err(TsFileError::Corrupt("bad footer offset"));
         }
-        let footer = &data[footer_offset..tail - 12];
-        let stored_crc =
-            u32::from_le_bytes(data[tail - 12..tail - 8].try_into().expect("4 bytes"));
+        let footer = data
+            .get(footer_offset..tail - 12)
+            .ok_or(TsFileError::Corrupt("bad footer offset"))?;
+        let crc_bytes = data
+            .get(tail - 12..tail - 8)
+            .ok_or(TsFileError::Corrupt("bad footer offset"))?;
+        let stored_crc = match <[u8; 4]>::try_from(crc_bytes) {
+            Ok(b) => u32::from_le_bytes(b),
+            Err(_) => return Err(TsFileError::Corrupt("bad footer offset")),
+        };
         if crc32(footer) != stored_crc {
             return Err(TsFileError::ChecksumMismatch {
                 series: String::new(),
             });
         }
         let mut pos = 0usize;
-        let count =
-            read_varint(footer, &mut pos).ok_or(TsFileError::Corrupt("footer count"))? as usize;
+        let count = read_varint(footer, &mut pos)? as usize;
         if count > 1 << 20 {
             return Err(TsFileError::Corrupt("footer count"));
         }
         let mut series = Vec::with_capacity(count);
         for _ in 0..count {
-            let nlen = read_varint(footer, &mut pos).ok_or(TsFileError::Corrupt("name len"))?
-                as usize;
+            let nlen = read_varint(footer, &mut pos)? as usize;
             let name_bytes = footer
                 .get(pos..pos + nlen)
                 .ok_or(TsFileError::Corrupt("name bytes"))?;
@@ -414,18 +439,19 @@ impl<'a> TsFileReader<'a> {
             let name = std::str::from_utf8(name_bytes)
                 .map_err(|_| TsFileError::Corrupt("name utf8"))?
                 .to_string();
-            let offset = read_varint(footer, &mut pos).ok_or(TsFileError::Corrupt("offset"))?;
-            let vcount = read_varint(footer, &mut pos).ok_or(TsFileError::Corrupt("count"))?;
-            let flags = footer
-                .get(pos..pos + 3)
-                .ok_or(TsFileError::Corrupt("flags"))?;
+            let offset = read_varint(footer, &mut pos)?;
+            let vcount = read_varint(footer, &mut pos)?;
+            let (is_float, outer, packer) = match footer.get(pos..pos + 3) {
+                Some([a, b, c]) => (*a, *b, *c),
+                _ => return Err(TsFileError::Corrupt("flags")),
+            };
             pos += 3;
-            let encoding = EncodingChoice::from_ids(flags[1], flags[2])
+            let encoding = EncodingChoice::from_ids(outer, packer)
                 .ok_or(TsFileError::Corrupt("encoding id"))?;
             series.push(SeriesInfo {
                 name,
                 count: vcount,
-                is_float: flags[0] == 1,
+                is_float: is_float == 1,
                 encoding,
                 offset,
             });
@@ -456,7 +482,7 @@ impl<'a> TsFileReader<'a> {
             return Err(corrupt);
         }
         pos += 1;
-        let nlen = read_varint(data, &mut pos).ok_or(corrupt.clone())? as usize;
+        let nlen = read_varint(data, &mut pos)? as usize;
         let name = data.get(pos..pos + nlen).ok_or(corrupt.clone())?;
         pos += nlen;
         if name != info.name.as_bytes() {
@@ -476,12 +502,20 @@ impl<'a> TsFileReader<'a> {
         pos += 2;
         let encoding =
             EncodingChoice::from_ids(outer, packer).ok_or(TsFileError::Corrupt("encoding id"))?;
-        let count = read_varint(data, &mut pos).ok_or(corrupt.clone())? as usize;
-        let plen = read_varint(data, &mut pos).ok_or(corrupt.clone())? as usize;
+        let count = read_varint(data, &mut pos)? as usize;
+        if count > bitpack::MAX_BLOCK_VALUES {
+            return Err(TsFileError::Decode(DecodeError::CountOverflow {
+                claimed: count as u64,
+            }));
+        }
+        let plen = read_varint(data, &mut pos)? as usize;
         let payload = data.get(pos..pos + plen).ok_or(corrupt.clone())?;
         pos += plen;
         let stored = data.get(pos..pos + 4).ok_or(corrupt.clone())?;
-        let stored_crc = u32::from_le_bytes(stored.try_into().expect("4 bytes"));
+        let stored_crc = match <[u8; 4]>::try_from(stored) {
+            Ok(b) => u32::from_le_bytes(b),
+            Err(_) => return Err(corrupt),
+        };
         if crc32(payload) != stored_crc {
             return Err(TsFileError::ChecksumMismatch {
                 series: info.name.clone(),
@@ -489,10 +523,7 @@ impl<'a> TsFileReader<'a> {
         }
         let mut out = Vec::with_capacity(count);
         let mut ppos = 0;
-        encoding
-            .pipeline()
-            .decode(payload, &mut ppos, &mut out)
-            .ok_or(TsFileError::Corrupt("payload decode"))?;
+        encoding.pipeline().decode(payload, &mut ppos, &mut out)?;
         if out.len() != count {
             return Err(TsFileError::Corrupt("value count mismatch"));
         }

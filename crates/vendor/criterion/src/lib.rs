@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the workspace benches use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups, `Throughput`,
+//! `BenchmarkId`, and `Bencher::iter` — with plain wall-clock timing and a
+//! median-of-samples report printed to stdout. No statistical regression
+//! analysis, no HTML reports, no command-line filtering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units processed per iteration, used to derive a rate in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// A `function-name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name with a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-per-iteration used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed samples to take (upstream default is 100; this
+    /// stub defaults to 10 to keep `cargo bench` quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f`, which receives a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Display, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; the stub prints as it
+    /// goes, so this is a no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let median = b.median_iter_time();
+        let rate = match (self.throughput, median) {
+            (Some(Throughput::Bytes(n)), Some(t)) if t > 0.0 => {
+                format!("  {:>10.1} MiB/s", n as f64 / t / (1024.0 * 1024.0))
+            }
+            (Some(Throughput::Elements(n)), Some(t)) if t > 0.0 => {
+                format!("  {:>10.1} Melem/s", n as f64 / t / 1.0e6)
+            }
+            _ => String::new(),
+        };
+        match median {
+            Some(t) => println!(
+                "bench {:<40} {:>12.3} µs/iter{rate}",
+                format!("{}/{}", self.name, id),
+                t * 1.0e6
+            ),
+            None => println!("bench {:<40} (no samples)", format!("{}/{}", self.name, id)),
+        }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Runs `f` repeatedly, recording wall-clock samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: aim for samples of at least ~2ms so Instant resolution
+        // doesn't dominate, capped to keep total time bounded.
+        let probe = Instant::now();
+        std_black_box(f());
+        let once = probe.elapsed().max(Duration::from_nanos(50));
+        let target = Duration::from_millis(2);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed / iters as f64);
+        }
+    }
+
+    fn median_iter_time(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+/// Declares the function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(64));
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sum_to", 64u64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

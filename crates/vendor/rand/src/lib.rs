@@ -1,0 +1,254 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the tiny slice of `rand`'s API it actually uses: a seedable
+//! generator ([`rngs::StdRng`]), the [`SeedableRng`] constructor, and the
+//! [`Rng`] sampling methods (`gen`, `gen_range`, `gen_bool`). The generator
+//! is xoshiro256** seeded through SplitMix64 — statistically strong enough
+//! for synthetic data generation and deterministic across platforms, which
+//! is all the `datasets` crate needs.
+//!
+//! This is NOT a cryptographic RNG and makes no stability promise about the
+//! exact stream matching upstream `rand`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// A seedable pseudo-random generator (xoshiro256**).
+    ///
+    /// Stand-in for `rand::rngs::StdRng`; deterministic given a seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Seed-based construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed into the 256-bit state,
+        // as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        // All-zero state is the one forbidden xoshiro state; seed 0 via
+        // SplitMix64 never produces it, but guard anyway.
+        let s = if s == [0; 4] { [1, 2, 3, 4] } else { s };
+        StdRng { s }
+    }
+}
+
+impl StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** by Blackman & Vigna (public domain).
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type that [`Rng::gen`] can produce from uniform random bits.
+pub trait Standard: Sized {
+    /// Samples one value from the generator's next bits.
+    fn from_rng(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_rng(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn from_rng(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the `rand` convention).
+    #[inline]
+    fn from_rng(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn from_rng(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                // Unbiased enough for synthetic data: 64-bit modulo of a
+                // full-width draw; bias is < 2^-32 for the spans used here.
+                let draw = if span == 0 { rng.next_u64() as $u } else { (rng.next_u64() as $u) % span };
+                (self.start as $u).wrapping_add(draw) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as $u).wrapping_sub(start as $u).wrapping_add(1);
+                let draw = if span == 0 { rng.next_u64() as $u } else { (rng.next_u64() as $u) % span };
+                (start as $u).wrapping_add(draw) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64
+);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let unit = f64::from_rng(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let unit = f32::from_rng(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Sampling methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Samples a value of type `T` from uniform random bits.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        f64::from_rng(self) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let u: u32 = rng.gen_range(3u32..=9);
+            assert!((3..=9).contains(&u));
+            let f: f64 = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits {hits}");
+    }
+}

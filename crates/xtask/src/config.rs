@@ -1,0 +1,150 @@
+//! `lint.toml` parser.
+//!
+//! The gate is std-only, so this reads the small TOML subset the config
+//! actually uses: `[section]` headers and `key = [ "..." , ... ]` string
+//! arrays (single- or multi-line). Unknown sections or keys are errors —
+//! a typo in the allowlist must not silently disable a rule.
+
+use std::collections::BTreeSet;
+
+/// Parsed lint configuration.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Files whose shipping code must be free of `unwrap`/`expect`/
+    /// `panic!`-family macros.
+    pub no_panic: Vec<String>,
+    /// Files whose shipping code must be free of unchecked indexing.
+    pub no_indexing: Vec<String>,
+    /// Files whose shipping code must be free of narrowing `as` casts.
+    pub no_narrowing_casts: Vec<String>,
+    /// Crate source roots (e.g. `crates/bos`) whose public `encode_*`
+    /// functions must have decode counterparts and roundtrip tests.
+    pub pairing_crates: Vec<String>,
+}
+
+impl Config {
+    /// Parses the configuration, validating section and key names.
+    pub fn parse(raw: &str) -> Result<Config, String> {
+        let known: BTreeSet<&str> = [
+            "no-panic",
+            "no-indexing",
+            "no-narrowing-casts",
+            "encode-decode-pairing",
+        ]
+        .into();
+        let mut config = Config::default();
+        let mut section = String::new();
+        let mut lines = raw.lines().enumerate().peekable();
+        while let Some((lno, line)) = lines.next() {
+            let line = strip_toml_comment(line).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                if !known.contains(name) {
+                    return Err(format!("line {}: unknown section [{name}]", lno + 1));
+                }
+                section = name.to_string();
+                continue;
+            }
+            let Some((key, mut rest)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = [...]`", lno + 1));
+            };
+            let key = key.trim();
+            let expected_key = match section.as_str() {
+                "encode-decode-pairing" => "crates",
+                _ => "files",
+            };
+            if section.is_empty() || key != expected_key {
+                return Err(format!(
+                    "line {}: unknown key {key:?} (expected {expected_key:?} in a section)",
+                    lno + 1
+                ));
+            }
+            // Collect the array body, possibly spanning lines.
+            let mut body = String::new();
+            loop {
+                body.push_str(strip_toml_comment(rest.trim_start_matches('=')).trim());
+                if body.contains(']') {
+                    break;
+                }
+                match lines.next() {
+                    Some((_, l)) => rest = l,
+                    None => return Err(format!("line {}: unterminated array", lno + 1)),
+                }
+            }
+            let inner = body
+                .trim()
+                .strip_prefix('[')
+                .and_then(|b| b.strip_suffix(']'))
+                .ok_or_else(|| format!("line {}: expected a string array", lno + 1))?;
+            let mut values = Vec::new();
+            for item in inner.split(',') {
+                let item = item.trim();
+                if item.is_empty() {
+                    continue;
+                }
+                let v = item
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {}: expected quoted string, got {item:?}", lno + 1))?;
+                values.push(v.to_string());
+            }
+            match section.as_str() {
+                "no-panic" => config.no_panic = values,
+                "no-indexing" => config.no_indexing = values,
+                "no-narrowing-casts" => config.no_narrowing_casts = values,
+                "encode-decode-pairing" => config.pairing_crates = values,
+                _ => unreachable!("section validated above"),
+            }
+        }
+        Ok(config)
+    }
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // Good enough for this config: no `#` inside the quoted paths.
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multiline_arrays() {
+        let raw = r#"
+# the gate
+[no-panic]
+files = [
+    "a/b.rs",  # decode hot path
+    "c/d.rs",
+]
+
+[no-indexing]
+files = ["a/b.rs"]
+
+[no-narrowing-casts]
+files = []
+
+[encode-decode-pairing]
+crates = ["crates/bos"]
+"#;
+        let c = Config::parse(raw).expect("parses");
+        assert_eq!(c.no_panic, vec!["a/b.rs", "c/d.rs"]);
+        assert_eq!(c.no_indexing, vec!["a/b.rs"]);
+        assert!(c.no_narrowing_casts.is_empty());
+        assert_eq!(c.pairing_crates, vec!["crates/bos"]);
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_keys() {
+        assert!(Config::parse("[no-panics]\nfiles = []").is_err());
+        assert!(Config::parse("[no-panic]\npaths = []").is_err());
+        assert!(Config::parse("[no-panic]\nfiles = [unquoted]").is_err());
+        assert!(Config::parse("[no-panic]\nfiles = [\n  \"x.rs\",").is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Workspace task runner. Currently one task: `lint`.
+//!
+//! ```text
+//! cargo run -p xtask -- lint
+//! ```
+//!
+//! `lint` is the custom static-analysis gate for this repository. It reads
+//! `lint.toml` at the workspace root and enforces three rules over the
+//! files listed there (see DESIGN.md, "Correctness tooling"):
+//!
+//! 1. **no-panic / no-indexing** — decode modules must not contain
+//!    `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!`,
+//!    `unimplemented!`, or unchecked slice/array indexing outside
+//!    `#[cfg(test)]` code. Decoders see untrusted bytes; every failure
+//!    must surface as `Err(DecodeError)`, never as a panic.
+//! 2. **no-narrowing-casts** — width/cost arithmetic must not use bare
+//!    `as` casts to narrower integer types (`as u8/u16/u32/i8/i16/i32`);
+//!    a silently truncated bit-width corrupts the cost model.
+//! 3. **encode-decode-pairing** — every `pub fn encode_*` needs a
+//!    matching `decode_*` (stems unify at `_` boundaries) and a test
+//!    that references both names.
+//!
+//! Opting a single line out requires a written justification:
+//!
+//! ```text
+//! foo[i] // lint:allow(no-indexing): i < len established two lines up
+//! ```
+//!
+//! An empty justification is itself an error. Exit status: 0 clean,
+//! 1 findings, 2 configuration/IO problems.
+
+mod config;
+mod rules;
+mod strip;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ -> crates/ -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown task {other:?}; available tasks: lint");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let config_path = root.join("lint.toml");
+    let raw = match std::fs::read_to_string(&config_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match config::Config::parse(&raw) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match rules::run(&root, &config) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            }
+            println!("xtask lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! The three lint rules and the `lint:allow` opt-out machinery.
+//!
+//! All rules operate on [`crate::strip`]-preprocessed source: comments,
+//! strings, and char literals are blanked and the trailing `#[cfg(test)]`
+//! region is exempt, so findings can only come from shipping code.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::strip;
+
+/// One diagnostic, printed as `{file}:{line}: [{rule}] {message}`.
+#[derive(Debug)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// Runs every configured rule; findings are sorted by file and line.
+pub fn run(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for rel in &config.no_panic {
+        scan_file(root, rel, Rule::Panic, &mut findings)?;
+    }
+    for rel in &config.no_indexing {
+        scan_file(root, rel, Rule::Indexing, &mut findings)?;
+    }
+    for rel in &config.no_narrowing_casts {
+        scan_file(root, rel, Rule::NarrowingCasts, &mut findings)?;
+    }
+    pairing(root, config, &mut findings)?;
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+#[derive(Clone, Copy)]
+enum Rule {
+    Panic,
+    Indexing,
+    NarrowingCasts,
+}
+
+impl Rule {
+    fn name(self) -> &'static str {
+        match self {
+            Rule::Panic => "no-panic",
+            Rule::Indexing => "no-indexing",
+            Rule::NarrowingCasts => "no-narrowing-casts",
+        }
+    }
+}
+
+/// Tokens forbidden by `no-panic`. `.unwrap()` is matched with its parens
+/// so `unwrap_or` / `unwrap_or_else` stay legal; macros get a word-boundary
+/// check so `debug_assert!` never trips on nothing.
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn scan_file(
+    root: &Path,
+    rel: &str,
+    rule: Rule,
+    findings: &mut Vec<Finding>,
+) -> Result<(), String> {
+    let path = root.join(rel);
+    let src = fs::read_to_string(&path)
+        .map_err(|e| format!("lint.toml lists {rel}, but it cannot be read: {e}"))?;
+    let stripped = strip::strip(&src);
+    let end = strip::test_region_start(&stripped).unwrap_or(stripped.len());
+    let region = &stripped.as_bytes()[..end];
+    let src_lines: Vec<&str> = src.lines().collect();
+
+    let mut hits: Vec<(usize, String)> = Vec::new(); // (byte offset, message)
+    match rule {
+        Rule::Panic => {
+            for token in PANIC_TOKENS {
+                let tb = token.as_bytes();
+                let mut from = 0usize;
+                while let Some(pos) = find_from(region, tb, from) {
+                    from = pos + 1;
+                    // Word boundary on the left for macro names.
+                    if !token.starts_with('.') && pos > 0 && is_ident(region[pos - 1]) {
+                        continue;
+                    }
+                    hits.push((pos, format!("forbidden in decode modules: `{token}`")));
+                }
+            }
+        }
+        Rule::Indexing => {
+            for (pos, &c) in region.iter().enumerate() {
+                if c != b'[' || pos == 0 {
+                    continue;
+                }
+                let prev = region[pos - 1];
+                if is_ident(prev) || prev == b')' || prev == b']' {
+                    hits.push((
+                        pos,
+                        "unchecked indexing in a decode module; use `.get(..)` and map \
+                         `None` to `DecodeError`"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        Rule::NarrowingCasts => {
+            let mut from = 0usize;
+            while let Some(pos) = find_from(region, b"as", from) {
+                from = pos + 2;
+                let left_ok = pos == 0 || !is_ident(region[pos - 1]);
+                let right = &region[pos + 2..];
+                if !left_ok || right.first() != Some(&b' ') {
+                    continue;
+                }
+                let word_start = right.iter().position(|&c| c != b' ').unwrap_or(0);
+                let word = &right[word_start..];
+                for target in NARROW_TARGETS {
+                    let tb = target.as_bytes();
+                    if word.starts_with(tb)
+                        && word.get(tb.len()).is_none_or(|&c| !is_ident(c))
+                    {
+                        hits.push((
+                            pos,
+                            format!(
+                                "bare narrowing cast `as {target}`; use `try_from` or a \
+                                 checked helper so width arithmetic cannot truncate"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    for (pos, message) in hits {
+        let line = line_of(region, pos);
+        match allow_on_line(&src_lines, line, rule.name()) {
+            Allow::Yes => {}
+            Allow::EmptyJustification => findings.push(Finding {
+                file: rel.to_string(),
+                line,
+                rule: rule.name(),
+                message: "lint:allow requires a non-empty justification".to_string(),
+            }),
+            Allow::No => findings.push(Finding {
+                file: rel.to_string(),
+                line,
+                rule: rule.name(),
+                message,
+            }),
+        }
+    }
+    Ok(())
+}
+
+fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() || needle.is_empty() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+fn line_of(region: &[u8], pos: usize) -> usize {
+    1 + region.iter().take(pos).filter(|&&c| c == b'\n').count()
+}
+
+enum Allow {
+    Yes,
+    No,
+    EmptyJustification,
+}
+
+/// Checks the *original* source line for `// lint:allow(rule): reason`.
+fn allow_on_line(src_lines: &[&str], line: usize, rule: &str) -> Allow {
+    let Some(text) = src_lines.get(line.saturating_sub(1)) else {
+        return Allow::No;
+    };
+    let Some(idx) = text.find("lint:allow(") else {
+        return Allow::No;
+    };
+    let rest = &text[idx + "lint:allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return Allow::No;
+    };
+    if rest[..close].trim() != rule {
+        return Allow::No;
+    }
+    let after = rest[close + 1..].trim_start();
+    match after.strip_prefix(':') {
+        Some(justification) if !justification.trim().is_empty() => Allow::Yes,
+        _ => Allow::EmptyJustification,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// encode/decode pairing
+// ---------------------------------------------------------------------------
+
+struct PubFn {
+    name: String,
+    file: String,
+    line: usize,
+    allow: Allow,
+}
+
+/// Rule 3: every `pub fn encode_*` in a configured crate needs a decode
+/// counterpart (stems unify at `_` boundaries, so `encode_block_with_solution`
+/// pairs with `decode_block`) and a `#[test]` that references both names.
+fn pairing(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Result<(), String> {
+    for crate_rel in &config.pairing_crates {
+        let crate_dir = root.join(crate_rel);
+        let mut sources = Vec::new();
+        collect_rs(&crate_dir, &mut sources)
+            .map_err(|e| format!("walking {crate_rel}: {e}"))?;
+        if sources.is_empty() {
+            return Err(format!(
+                "lint.toml pairing crate {crate_rel} has no Rust sources"
+            ));
+        }
+        // Test corpus: the crate's own files plus the workspace-level tests/.
+        let mut corpus = sources.clone();
+        let _ = collect_rs(&root.join("tests"), &mut corpus);
+
+        let mut encodes: Vec<PubFn> = Vec::new();
+        let mut decodes: BTreeSet<String> = BTreeSet::new();
+        for path in &sources {
+            let src = fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let stripped = strip::strip(&src);
+            let end = strip::test_region_start(&stripped).unwrap_or(stripped.len());
+            let region = &stripped[..end];
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .into_owned();
+            let src_lines: Vec<&str> = src.lines().collect();
+            for (name, pos) in pub_fns(region, "encode_") {
+                let line = line_of(region.as_bytes(), pos);
+                let allow = allow_on_line(&src_lines, line, "encode-decode-pairing");
+                encodes.push(PubFn {
+                    name,
+                    file: rel.clone(),
+                    line,
+                    allow,
+                });
+            }
+            for (name, _) in pub_fns(region, "decode_") {
+                decodes.insert(name);
+            }
+        }
+
+        let corpus_text: Vec<String> = corpus
+            .iter()
+            .filter_map(|p| fs::read_to_string(p).ok())
+            .collect();
+
+        for e in &encodes {
+            match e.allow {
+                Allow::Yes => continue,
+                Allow::EmptyJustification => {
+                    findings.push(Finding {
+                        file: e.file.clone(),
+                        line: e.line,
+                        rule: "encode-decode-pairing",
+                        message: "lint:allow requires a non-empty justification".to_string(),
+                    });
+                    continue;
+                }
+                Allow::No => {}
+            }
+            let stem = e.name.trim_start_matches("encode_");
+            let partner = decodes.iter().find(|d| {
+                let ds = d.trim_start_matches("decode_");
+                ds == stem
+                    || stem.strip_prefix(ds).is_some_and(|r| r.starts_with('_'))
+                    || ds.strip_prefix(stem).is_some_and(|r| r.starts_with('_'))
+            });
+            let Some(partner) = partner else {
+                findings.push(Finding {
+                    file: e.file.clone(),
+                    line: e.line,
+                    rule: "encode-decode-pairing",
+                    message: format!(
+                        "`{}` has no matching `decode_{stem}` in {crate_rel}",
+                        e.name
+                    ),
+                });
+                continue;
+            };
+            let tested = corpus_text.iter().any(|text| {
+                text.contains("#[test]") && text.contains(&e.name) && text.contains(partner)
+            });
+            if !tested {
+                findings.push(Finding {
+                    file: e.file.clone(),
+                    line: e.line,
+                    rule: "encode-decode-pairing",
+                    message: format!(
+                        "no roundtrip test references both `{}` and `{partner}`",
+                        e.name
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Finds `pub fn <prefix>*` declarations, returning (name, byte offset).
+/// `pub(crate)` and friends are declared internal API and are not required
+/// to pair.
+fn pub_fns(region: &str, prefix: &str) -> Vec<(String, usize)> {
+    let b = region.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = find_from(b, b"pub fn ", from) {
+        from = pos + 1;
+        if pos > 0 && is_ident(b[pos - 1]) {
+            continue;
+        }
+        let name_start = pos + "pub fn ".len();
+        let name_end = b[name_start..]
+            .iter()
+            .position(|&c| !is_ident(c))
+            .map_or(b.len(), |p| name_start + p);
+        let name = &region[name_start..name_end];
+        if name.starts_with(prefix) {
+            out.push((name.to_string(), pos));
+        }
+    }
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_str(src: &str, rule: Rule) -> Vec<(usize, String)> {
+        // Mirror scan_file on an in-memory source.
+        let dir = std::env::temp_dir().join(format!(
+            "xtask-rule-test-{}-{}",
+            std::process::id(),
+            src.len()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let file = dir.join("probe.rs");
+        std::fs::write(&file, src).expect("write");
+        let mut findings = Vec::new();
+        scan_file(&dir, "probe.rs", rule, &mut findings).expect("scan");
+        findings.into_iter().map(|f| (f.line, f.message)).collect()
+    }
+
+    #[test]
+    fn no_panic_flags_unwrap_but_not_unwrap_or() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    let _ = x.unwrap();\n    x.unwrap_or(0)\n}\n";
+        let hits = scan_str(src, Rule::Panic);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 2);
+    }
+
+    #[test]
+    fn no_panic_ignores_tests_comments_and_debug_assert() {
+        let src = "fn f() { debug_assert!(true); } // x.unwrap()\n\
+                   #[cfg(test)]\nmod tests { fn g() { panic!(); } }\n";
+        assert!(scan_str(src, Rule::Panic).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_needs_justification() {
+        let ok = "fn f(v: &[u8]) { let _ = v.first().expect(\"x\"); // lint:allow(no-panic): len checked above\n}\n";
+        assert!(scan_str(ok, Rule::Panic).is_empty());
+        let empty = "fn f(v: &[u8]) { let _ = v.first().expect(\"x\"); // lint:allow(no-panic):\n}\n";
+        let hits = scan_str(empty, Rule::Panic);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].1.contains("justification"), "{hits:?}");
+    }
+
+    #[test]
+    fn no_indexing_flags_subscripts_not_types() {
+        let src = "fn f(v: &[u8], a: [u8; 4]) -> u8 {\n    let _t: Vec<[u8; 2]> = vec![];\n    v[0]\n}\n";
+        let hits = scan_str(src, Rule::Indexing);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 3);
+    }
+
+    #[test]
+    fn narrowing_casts_flagged_widening_allowed() {
+        let src = "fn f(x: u64) -> u32 {\n    let _w = x as u128;\n    x as u32\n}\n";
+        let hits = scan_str(src, Rule::NarrowingCasts);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 3);
+        assert!(hits[0].1.contains("as u32"));
+    }
+
+    #[test]
+    fn pub_fn_extraction() {
+        let region = "pub fn encode_block(x: u8) {}\nfn decode_block() {}\npub fn decode_block2() {}\n";
+        let enc = pub_fns(region, "encode_");
+        assert_eq!(enc.len(), 1);
+        assert_eq!(enc[0].0, "encode_block");
+        let dec = pub_fns(region, "decode_");
+        assert_eq!(dec.len(), 1);
+        assert_eq!(dec[0].0, "decode_block2");
+    }
+}

@@ -1,0 +1,250 @@
+//! Source preprocessing for the lint rules.
+//!
+//! The rules are textual, so they must not fire inside comments, string
+//! literals, or `#[cfg(test)]` code. [`strip`] blanks comments and
+//! literals (preserving byte offsets and line structure), and
+//! [`test_region_start`] finds where the trailing test module begins.
+
+/// Replaces comments, string literals, char literals, and raw strings
+/// with spaces, byte for byte (newlines are kept so line numbers survive).
+///
+/// Doc comments are comments, so doctest bodies disappear too — exactly
+/// right for rules that must only see shipping code.
+pub fn strip(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    // Keep newlines for line accounting.
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            out[i] = b'\n';
+        }
+    }
+    let mut i = 0usize;
+    let n = b.len();
+    let keep = |out: &mut Vec<u8>, i: usize| {
+        out[i] = b[i];
+    };
+    while i < n {
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                // Line comment: skip to newline.
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                // Block comment, nesting like Rust.
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                i = skip_raw_string(b, i);
+            }
+            b'"' => {
+                keep(&mut out, i);
+                i += 1;
+                while i < n {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        keep(&mut out, i);
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime. A char literal closes within a
+                // few bytes or starts with a backslash; a lifetime does
+                // neither.
+                if i + 1 < n && b[i + 1] == b'\\' {
+                    keep(&mut out, i);
+                    i += 2;
+                    while i < n && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < n && b[i + 2] == b'\'' {
+                    keep(&mut out, i);
+                    i += 3;
+                } else {
+                    // Lifetime: copy the quote and the identifier after it.
+                    keep(&mut out, i);
+                    i += 1;
+                }
+            }
+            _ => {
+                keep(&mut out, i);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    // r"..."  r#"..."#  br"..."  b"... (b" handled by '"' arm via lookahead
+    // here: only treat as raw when an r prefix is present).
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+fn skip_raw_string(b: &[u8], mut i: usize) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // 'r'
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Byte offset where the trailing `#[cfg(test)]` test *module* starts.
+///
+/// Test modules in this workspace are trailing by convention (rustfmt
+/// keeps them there); everything from the attribute on is test code and
+/// exempt from the shipping-code rules. A `#[cfg(test)]` guarding a lone
+/// `use` or `fn` earlier in the file does NOT open the region — only one
+/// followed (past whitespace and further attributes) by `mod` does.
+pub fn test_region_start(stripped: &str) -> Option<usize> {
+    const ATTR: &str = "#[cfg(test)]";
+    let b = stripped.as_bytes();
+    let mut from = 0usize;
+    while let Some(rel) = stripped.get(from..).and_then(|s| s.find(ATTR)) {
+        let start = from + rel;
+        from = start + ATTR.len();
+        let mut j = from;
+        // Skip whitespace and any further attributes between the cfg and
+        // the item it guards.
+        loop {
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if b.get(j) == Some(&b'#') && b.get(j + 1) == Some(&b'[') {
+                while j < b.len() && b[j] != b']' {
+                    j += 1;
+                }
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        if stripped.get(j..).is_some_and(|s| s.starts_with("mod ")) {
+            return Some(start);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = 1; // foo.unwrap()\nlet s = \"a.unwrap()\";\n/* p[0] */ let y = 2;";
+        let out = strip(src);
+        assert!(!out.contains("foo.unwrap"));
+        assert!(!out.contains("a.unwrap"));
+        assert!(!out.contains("p[0]"));
+        assert!(out.contains("let x = 1;"));
+        assert!(out.contains("let y = 2;"));
+        assert_eq!(out.len(), src.len());
+        assert_eq!(out.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn strips_raw_and_byte_strings() {
+        let src = r##"let a = r#"x[0]"#; let b = b"y.unwrap()"; let c = br"z[1]";"##;
+        let out = strip(src);
+        assert!(!out.contains("x[0]"));
+        assert!(!out.contains("y.unwrap"));
+        assert!(!out.contains("z[1]"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a [u8]) -> char { let c = '\\''; let d = '['; c.max(d) }";
+        let out = strip(src);
+        assert!(out.contains("fn f<'a>(x: &'a [u8])"));
+        assert!(!out.contains("'['"));
+    }
+
+    #[test]
+    fn doc_comments_vanish() {
+        let src = "/// assert_eq!(r.read_bits(3).unwrap(), 1);\nfn f() {}";
+        let out = strip(src);
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("fn f() {}"));
+    }
+
+    #[test]
+    fn finds_test_region() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {}\n";
+        let stripped = strip(src);
+        let start = test_region_start(&stripped).expect("has test region");
+        assert!(stripped[..start].contains("fn a"));
+        assert!(!stripped[..start].contains("mod tests"));
+        assert_eq!(test_region_start("fn b() {}"), None);
+    }
+
+    #[test]
+    fn cfg_test_on_use_or_fn_does_not_open_the_region() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn shipping() {}\n#[cfg(test)]\nmod tests {}\n";
+        let start = test_region_start(src).expect("has test module");
+        assert!(src[..start].contains("fn shipping"));
+        assert!(src[start..].contains("mod tests"));
+        // Guarded fn only: no module, so no region at all.
+        assert_eq!(test_region_start("#[cfg(test)]\nfn helper() {}\n"), None);
+        // Extra attributes between cfg and mod still count.
+        let src2 = "fn a() {}\n#[cfg(test)]\n#[allow(dead_code)]\nmod tests {}\n";
+        assert!(test_region_start(src2).is_some());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner.unwrap() */ still */ fn g() {}";
+        let out = strip(src);
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("fn g() {}"));
+    }
+}

@@ -32,16 +32,21 @@ impl IntPacker for VarintPacker {
         }
     }
 
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Option<()> {
+    fn decode(
+        &self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<i64>,
+    ) -> bos_repro::bitpack::DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n > bos_repro::bitpack::MAX_BLOCK_VALUES {
-            return None;
+            return Err(bos_repro::bitpack::DecodeError::CountOverflow { claimed: n as u64 });
         }
         out.reserve(n);
         for _ in 0..n {
             out.push(zigzag_decode(read_varint(buf, pos)?));
         }
-        Some(())
+        Ok(())
     }
 }
 

@@ -14,7 +14,7 @@ fn main() {
     // Write every dataset as one series, letting `auto_for` choose the
     // outer encoding per series (BOS-B inside each).
     let mut writer = TsFileWriter::new();
-    println!("{:<20} {:>8}  {}", "series", "values", "chosen encoding");
+    println!("{:<20} {:>8}  chosen encoding", "series", "values");
     for dataset in &sets {
         let ints = dataset.as_scaled_ints();
         let choice = EncodingChoice::auto_for(&ints);

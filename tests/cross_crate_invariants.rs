@@ -9,7 +9,7 @@ use bos_repro::bos::{
 use bos_repro::bos::BosCodec;
 use bos_repro::datasets::all_datasets;
 use bos_repro::encodings::ts2diff::Ts2DiffEncoding;
-use bos_repro::encodings::{PackerKind, PforPacker};
+use bos_repro::encodings::PforPacker;
 
 const N: usize = 6_000;
 const BLOCK: usize = 512;

@@ -24,7 +24,7 @@ fn every_pipeline_roundtrips_every_dataset() {
                 let mut pos = 0;
                 pipeline
                     .decode(&buf, &mut pos, &mut out)
-                    .unwrap_or_else(|| panic!("{} on {}", pipeline.label(), dataset.abbr));
+                    .unwrap_or_else(|_e| panic!("{} on {}", pipeline.label(), dataset.abbr));
                 assert_eq!(out, ints, "{} on {}", pipeline.label(), dataset.abbr);
                 assert_eq!(pos, buf.len(), "{} on {}", pipeline.label(), dataset.abbr);
             }
@@ -48,7 +48,7 @@ fn float_codecs_roundtrip_float_datasets_bit_exactly() {
             let mut pos = 0;
             codec
                 .decode(&buf, &mut pos, &mut out)
-                .unwrap_or_else(|| panic!("{} on {}", codec.name(), dataset.abbr));
+                .unwrap_or_else(|_e| panic!("{} on {}", codec.name(), dataset.abbr));
             assert_eq!(out.len(), values.len());
             for (a, b) in values.iter().zip(&out) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{} on {}", codec.name(), dataset.abbr);

@@ -1,0 +1,7 @@
+//! Regenerates the throughput baseline implemented in
+//! `bos_bench::experiments::throughput` (writes `BENCH_PR2.json`).
+
+fn main() {
+    let cfg = bos_bench::harness::Config::from_env();
+    bos_bench::experiments::throughput::run(&cfg);
+}

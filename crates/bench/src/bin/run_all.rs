@@ -19,5 +19,6 @@ fn main() {
     exp::prop4_approx::run(&cfg);
     exp::ablation_positions::run(&cfg);
     exp::ext_query_skipping::run(&cfg);
+    exp::throughput::run(&cfg);
     println!("\nAll experiments completed.");
 }

@@ -44,8 +44,12 @@ pub fn run(cfg: &Config) {
     println!();
     println!("* = best method for that dataset (the paper's red numbers).");
 
-    // The paper prints BOS-V and BOS-B as one row because their ratios are
-    // identical; verify that here.
+    // The paper prints BOS-V and BOS-B as one row because their *bit costs*
+    // are identical (both solvers are optimal; unit tests assert cost
+    // equality exactly). Stored blocks word-pad each separated sub-stream
+    // (DESIGN.md §8), so equal-cost ties broken differently may differ by a
+    // few padding bytes per block — verify the ratios agree to within that
+    // bound.
     for outer in ["RLE", "SPRINTZ", "TS2DIFF"] {
         let v = rows
             .iter()
@@ -56,11 +60,18 @@ pub fn run(cfg: &Config) {
             .find(|r| r.name == format!("{outer}+BOS-B"))
             .expect("grid row");
         for (cv, cb) in v.cells.iter().zip(&b.cells) {
+            let rel = (cv.ratio - cb.ratio).abs() / cv.ratio.max(cb.ratio);
             assert!(
-                (cv.ratio - cb.ratio).abs() < 1e-9,
-                "{outer}: BOS-V and BOS-B ratios differ"
+                rel < 5e-3,
+                "{outer}: BOS-V and BOS-B ratios differ beyond word padding \
+                 ({} vs {})",
+                cv.ratio,
+                cb.ratio
             );
         }
     }
-    println!("Verified: BOS-V and BOS-B produce identical ratios (paper's 'BOS-V / B').");
+    println!(
+        "Verified: BOS-V and BOS-B ratios agree to within word padding \
+         (paper's 'BOS-V / B'; bit costs are identical by the solver tests)."
+    );
 }

@@ -77,10 +77,16 @@ pub fn run(cfg: &Config) {
         println!();
         if pick == 0 {
             // At the largest block, the complexity ordering must show:
-            // BOS-V (quadratic) slowest, BOS-M (linear) fastest.
+            // BOS-V (quadratic) slowest, BOS-M (linear) fastest. A tiny
+            // BOS_N yields no full 8192-value block at all (measure()
+            // reports 0 ns/block); the ordering check needs real data.
             let last = rows.last().expect("rows");
-            assert!(last[0] > last[1], "BOS-V must be slower than BOS-B at 8192");
-            assert!(last[1] > last[2], "BOS-B must be slower than BOS-M at 8192");
+            if last.iter().all(|&v| v > 0.0) {
+                assert!(last[0] > last[1], "BOS-V must be slower than BOS-B at 8192");
+                assert!(last[1] > last[2], "BOS-B must be slower than BOS-M at 8192");
+            } else {
+                println!("(BOS_N too small for a full 8192-value block; ordering check skipped)");
+            }
         }
     }
     println!("BOS-V grows fastest with block size (O(n²)), BOS-B in between");

@@ -16,6 +16,7 @@ pub mod fig14_parts;
 pub mod fig15_blocksize;
 pub mod grid;
 pub mod prop4_approx;
+pub mod throughput;
 
 /// Prints the standard experiment banner.
 pub fn banner(title: &str, cfg: &crate::harness::Config) {

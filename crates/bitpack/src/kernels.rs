@@ -55,12 +55,17 @@ pub fn pack_words(values: &[u64], w: u32, out: &mut Vec<u8>) -> usize {
     out.len() - before
 }
 
-/// Exact byte size [`pack_words`] produces for `n` values of width `w`.
-pub fn packed_size(n: usize, w: u32) -> usize {
+/// Exact byte size [`pack_words`] produces for `n` values of width `w`, or
+/// `None` if `n · w` overflows `usize` (possible on 32-bit targets or with
+/// an adversarial decoded count — decoders map this to
+/// [`DecodeError::CountOverflow`]).
+pub fn packed_size(n: usize, w: u32) -> Option<usize> {
     if w == 0 || n == 0 {
-        0
+        Some(0)
     } else {
-        (n * w as usize).div_ceil(64) * 8
+        n.checked_mul(w as usize)
+            .map(|bits| bits.div_ceil(64))
+            .and_then(|words| words.checked_mul(8))
     }
 }
 
@@ -76,12 +81,12 @@ pub fn unpack_words(buf: &[u8], n: usize, w: u32, out: &mut Vec<u64>) -> DecodeR
     if n == 0 {
         return Ok(0);
     }
-    let bytes = packed_size(n, w);
+    let bytes = packed_size(n, w).ok_or(DecodeError::CountOverflow { claimed: n as u64 })?;
     let payload = buf.get(..bytes).ok_or(DecodeError::Truncated)?;
     out.reserve(n);
     let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
     let mut word_idx = 0usize;
-    let mut acc = read_word(payload, 0);
+    let mut acc = read_word_exact(payload, 0);
     let mut avail: u32 = 64;
     for _ in 0..n {
         let v = if avail >= w {
@@ -93,7 +98,7 @@ pub fn unpack_words(buf: &[u8], n: usize, w: u32, out: &mut Vec<u64>) -> DecodeR
             // Straddle: combine the tail of this word with the next.
             let low = acc;
             word_idx += 1;
-            acc = read_word(payload, word_idx);
+            acc = read_word_exact(payload, word_idx);
             let v = (low | (acc << avail)) & mask;
             let high_bits = w - avail;
             acc = if high_bits == 64 { 0 } else { acc >> high_bits };
@@ -104,7 +109,7 @@ pub fn unpack_words(buf: &[u8], n: usize, w: u32, out: &mut Vec<u64>) -> DecodeR
         if avail == 0 {
             word_idx += 1;
             if word_idx * 8 < payload.len() {
-                acc = read_word(payload, word_idx);
+                acc = read_word_exact(payload, word_idx);
             }
             avail = 64;
         }
@@ -112,13 +117,22 @@ pub fn unpack_words(buf: &[u8], n: usize, w: u32, out: &mut Vec<u64>) -> DecodeR
     Ok(bytes)
 }
 
+/// Reads word `idx` from a payload the caller has already validated to hold
+/// it (via [`packed_size`]). A short read here would mean a decoder bug, so
+/// rather than silently yielding 0 (which would mask it as wrong data) this
+/// asserts in debug builds and lets the slice index panic surface in the
+/// worst case.
 #[inline]
-fn read_word(payload: &[u8], idx: usize) -> u64 {
+pub(crate) fn read_word_exact(payload: &[u8], idx: usize) -> u64 {
     let start = idx * 8;
-    match payload.get(start..start + 8).map(<[u8; 8]>::try_from) {
-        Some(Ok(b)) => u64::from_le_bytes(b),
-        _ => 0,
-    }
+    debug_assert!(
+        start + 8 <= payload.len(),
+        "read_word_exact past validated payload: word {idx} of {} bytes",
+        payload.len()
+    );
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&payload[start..start + 8]); // lint:allow(no-indexing): caller validated the payload length via packed_size
+    u64::from_le_bytes(word)
 }
 
 #[cfg(test)]
@@ -128,7 +142,7 @@ mod tests {
     fn roundtrip(values: &[u64], w: u32) {
         let mut buf = Vec::new();
         let written = pack_words(values, w, &mut buf);
-        assert_eq!(written, packed_size(values.len(), w));
+        assert_eq!(Some(written), packed_size(values.len(), w));
         let mut out = Vec::new();
         let consumed = unpack_words(&buf, values.len(), w, &mut out).expect("unpack");
         assert_eq!(consumed, written);
@@ -185,5 +199,24 @@ mod tests {
     #[test]
     fn max_width_values() {
         roundtrip(&[u64::MAX, 0, u64::MAX, 1, u64::MAX - 1], 64);
+    }
+
+    #[test]
+    fn packed_size_overflow_is_none() {
+        assert_eq!(packed_size(usize::MAX, 64), None);
+        assert_eq!(packed_size(usize::MAX / 2, 3), None);
+        assert_eq!(packed_size(usize::MAX, 0), Some(0));
+        assert_eq!(packed_size(64, 7), Some(56));
+    }
+
+    #[test]
+    fn overflowing_count_is_typed_error() {
+        let mut out = Vec::new();
+        assert_eq!(
+            unpack_words(&[], usize::MAX, 64, &mut out),
+            Err(DecodeError::CountOverflow {
+                claimed: usize::MAX as u64
+            })
+        );
     }
 }

@@ -10,6 +10,9 @@
 //! * [`pack`] — fixed-width packing of `u64` slices (classic bit-packing).
 //! * [`kernels`] — word-at-a-time pack/unpack kernels for the hot
 //!   uniform-width paths.
+//! * [`unrolled`] — width-specialized fully unrolled lane kernels plus
+//!   fused frame-of-reference pack/unpack, bit-identical to [`kernels`]
+//!   and dispatched through a `[fn; 65]` width table (DESIGN.md §8).
 //! * [`bitmap`] — the `0` / `10` / `11` outlier-position bitmap of Figure 2.
 //! * [`simple8b`] — the word-aligned Simple8b codec used to store PFOR
 //!   exception streams (stand-in for Simple16; see DESIGN.md §2).
@@ -29,6 +32,7 @@ pub mod error;
 pub mod kernels;
 pub mod pack;
 pub mod simple8b;
+pub mod unrolled;
 pub mod width;
 pub mod zigzag;
 

@@ -2,6 +2,9 @@
 
 use bitpack::bits::{BitReader, BitWriter};
 use bitpack::kernels::{pack_words, packed_size, unpack_words};
+use bitpack::unrolled::{
+    pack_words_for, pack_words_unrolled, unpack_words_for, unpack_words_unrolled,
+};
 use bitpack::bitmap::{OutlierBitmap, Part};
 use bitpack::pack::{bp_decode, bp_encode, bp_encoded_size};
 use bitpack::simple8b;
@@ -34,11 +37,53 @@ proptest! {
         let values: Vec<u64> = values.iter().map(|&v| v & mask).collect();
         let mut buf = Vec::new();
         let written = pack_words(&values, w, &mut buf);
-        prop_assert_eq!(written, packed_size(values.len(), w));
+        prop_assert_eq!(Some(written), packed_size(values.len(), w));
         let mut out = Vec::new();
         let consumed = unpack_words(&buf, values.len(), w, &mut out);
         prop_assert_eq!(consumed, Ok(written));
         prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn unrolled_bit_identical_any_width(values in prop::collection::vec(any::<u64>(), 0..300), w in 0u32..=64) {
+        let mask = if w == 0 { 0 } else if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let values: Vec<u64> = values.iter().map(|&v| v & mask).collect();
+        let mut generic = Vec::new();
+        pack_words(&values, w, &mut generic);
+        let mut fast = Vec::new();
+        let written = pack_words_unrolled(&values, w, &mut fast);
+        prop_assert_eq!(&fast, &generic);
+        prop_assert_eq!(Some(written), packed_size(values.len(), w));
+        let mut out = Vec::new();
+        let consumed = unpack_words_unrolled(&generic, values.len(), w, &mut out);
+        prop_assert_eq!(consumed, Ok(written));
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn fused_for_equals_unpack_then_add(
+        values in prop::collection::vec(any::<u64>(), 0..300),
+        w in 0u32..=64,
+        reference in any::<i64>(),
+    ) {
+        // pack_words_for must produce the exact bytes of mask-then-pack,
+        // and unpack_words_for the exact values of unpack-then-wrapping-add.
+        let mask = if w == 0 { 0 } else if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let deltas: Vec<u64> = values.iter().map(|&v| v & mask).collect();
+        let originals: Vec<i64> = deltas.iter().map(|&d| reference.wrapping_add(d as i64)).collect();
+        let mut fused = Vec::new();
+        pack_words_for(&originals, reference, w, &mut fused);
+        let mut two_pass = Vec::new();
+        pack_words(&deltas, w, &mut two_pass);
+        prop_assert_eq!(&fused, &two_pass);
+        let mut raw = Vec::new();
+        unpack_words(&fused, deltas.len(), w, &mut raw).unwrap();
+        let expected: Vec<i64> = raw.iter().map(|&d| reference.wrapping_add(d as i64)).collect();
+        let mut out = Vec::new();
+        let consumed = unpack_words_for(&fused, deltas.len(), w, reference, &mut out);
+        prop_assert_eq!(consumed, Ok(fused.len()));
+        prop_assert_eq!(&out, &expected);
+        prop_assert_eq!(&out, &originals);
     }
 
     #[test]
@@ -190,5 +235,35 @@ proptest! {
     fn range_u64_matches_i128(lo in any::<i64>(), hi in any::<i64>()) {
         let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
         prop_assert_eq!(range_u64(lo, hi) as u128, (hi as i128 - lo as i128) as u128);
+    }
+}
+
+/// Deterministic exhaustive sweep: every width 0..=64 at every lane
+/// boundary count, with max-width values, byte-identical to the generic
+/// kernels (the proptests above sample; this leaves no width/count gap).
+#[test]
+fn unrolled_exhaustive_widths_and_boundary_counts() {
+    for w in 0..=64u32 {
+        let mask = if w == 0 {
+            0
+        } else if w == 64 {
+            u64::MAX
+        } else {
+            (1u64 << w) - 1
+        };
+        for n in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            // Include the maximum representable value at this width.
+            let values: Vec<u64> = (0..n as u64)
+                .map(|i| if i % 7 == 0 { mask } else { i.wrapping_mul(0x9E3779B97F4A7C15) & mask })
+                .collect();
+            let mut generic = Vec::new();
+            pack_words(&values, w, &mut generic);
+            let mut fast = Vec::new();
+            pack_words_unrolled(&values, w, &mut fast);
+            assert_eq!(fast, generic, "pack mismatch at w = {w}, n = {n}");
+            let mut out = Vec::new();
+            unpack_words_unrolled(&generic, n, w, &mut out).expect("unpack");
+            assert_eq!(out, values, "unpack mismatch at w = {w}, n = {n}");
+        }
     }
 }

@@ -4,20 +4,33 @@
 //!
 //! ```text
 //! varint n · mode byte
-//! mode 0 (plain BP):  zigzag xmin · width byte · n×w bit payload
+//! mode 0 (plain BP):  zigzag xmin · width byte ·
+//!                     word-packed payload (`packed_size(n, w)` bytes)
 //! mode 1 (separated): varint nl · varint nu
 //!                     zigzag xmin
 //!                     varint (min Xc − xmin)   [present iff nc > 0]
 //!                     varint (min Xu − xmin)   [present iff nu > 0]
 //!                     bytes α β γ
-//!                     position bitmap (Fig. 2: 0 / 10 / 11, n+nl+nu bits)
-//!                     payload in ORIGINAL order, each value packed with its
-//!                     part's width after subtracting its part's base
+//!                     position bitmap (Fig. 2: 0 / 10 / 11, n+nl+nu bits,
+//!                     padded to a whole byte)
+//!                     word-packed lower sub-stream  (nl values @ α bits)
+//!                     word-packed center sub-stream (nc values @ β bits)
+//!                     word-packed upper sub-stream  (nu values @ γ bits)
 //! ```
 //!
 //! Matching the paper: lower outliers store `ξ(l) = x − xmin` in `α` bits,
 //! center values `ξ(c) = x − min Xc` in `β` bits, upper outliers
 //! `ξ(u) = x − min Xu` in `γ` bits, and decompression is a single scan.
+//!
+//! The three sub-streams are separate word-packed regions (each in the
+//! exact `pack_words` layout, produced and consumed by the fused
+//! frame-of-reference kernels in `bitpack::unrolled`) rather than one
+//! value-interleaved bit stream: uniform-width runs are what the unrolled
+//! kernels accelerate, and each region rounds up to whole 64-bit words.
+//! The solver still decides plain-vs-separated on the *bit-exact* cost
+//! model of Definition 5 (`Evaluation::cost_bits`); the stored form pays
+//! at most ~7 bytes of padding per region on top of that, which
+//! [`separated_payload_bytes`] accounts for exactly.
 
 use crate::cost::{Evaluation, Solution, SortedBlock};
 #[cfg(test)]
@@ -26,6 +39,8 @@ use crate::solver::Solver;
 use bitpack::bitmap::{OutlierBitmap, Part};
 use bitpack::bits::{BitReader, BitWriter};
 use bitpack::error::{DecodeError, DecodeResult};
+use bitpack::kernels::{packed_size, unpack_words};
+use bitpack::unrolled::{pack_words_for, unpack_words_for};
 use bitpack::width::{range_u64, width};
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
@@ -57,6 +72,27 @@ pub fn encode_block_with_solution(values: &[i64], solution: &Solution, out: &mut
     }
 }
 
+/// Exact stored payload size of a separated block (bitmap region plus the
+/// three word-packed sub-streams), or `None` on arithmetic overflow.
+/// Shared by the encoder (as a self-check), [`peek_block`], and the
+/// decoder's truncation pre-check.
+fn separated_payload_bytes(
+    n: usize,
+    nl: usize,
+    nu: usize,
+    nc: usize,
+    alpha: u32,
+    beta: u32,
+    gamma: u32,
+) -> Option<usize> {
+    let bitmap = OutlierBitmap::size_bits(n, nl, nu).div_ceil(8);
+    let mut total = bitmap;
+    for (count, w) in [(nl, alpha), (nc, beta), (nu, gamma)] {
+        total = total.checked_add(packed_size(count, w)?)?;
+    }
+    Some(total)
+}
+
 fn encode_plain(values: &[i64], out: &mut Vec<u8>) {
     out.push(MODE_PLAIN);
     let xmin = values.iter().copied().min().unwrap_or(0);
@@ -64,11 +100,7 @@ fn encode_plain(values: &[i64], out: &mut Vec<u8>) {
     let w = width(range_u64(xmin, xmax));
     write_varint_i64(out, xmin);
     out.push(w as u8);
-    let mut bw = BitWriter::with_capacity_bits(values.len() * w as usize);
-    for &v in values {
-        bw.write_bits(range_u64(xmin, v), w);
-    }
-    out.extend_from_slice(&bw.into_bytes());
+    pack_words_for(values, xmin, w, out);
 }
 
 fn encode_separated(values: &[i64], block: &SortedBlock, eval: &Evaluation, out: &mut Vec<u8>) {
@@ -94,36 +126,49 @@ fn encode_separated(values: &[i64], block: &SortedBlock, eval: &Evaluation, out:
     let min_xc = eval.min_xc.unwrap_or(xmin);
     let min_xu = eval.min_xu.unwrap_or(xmin);
 
-    let mut bits =
-        BitWriter::with_capacity_bits(eval.cost_bits as usize + values.len());
-    // Bitmap first (Fig. 7: bit indicators precede the value payload).
+    let mut parts = Vec::with_capacity(values.len());
+    let mut lower = Vec::with_capacity(eval.nl);
+    let mut center = Vec::with_capacity(eval.nc);
+    let mut upper = Vec::with_capacity(eval.nu);
     for &x in values {
-        match part_of(x, lower_bound, upper_bound) {
-            Part::Center => bits.write_bit(false),
-            Part::Lower => {
-                bits.write_bit(true);
-                bits.write_bit(false);
-            }
-            Part::Upper => {
-                bits.write_bit(true);
-                bits.write_bit(true);
-            }
+        let p = part_of(x, lower_bound, upper_bound);
+        parts.push(p);
+        match p {
+            Part::Lower => lower.push(x),
+            Part::Center => center.push(x),
+            Part::Upper => upper.push(x),
         }
     }
-    // Payload in original order, one width per part.
-    for &x in values {
-        match part_of(x, lower_bound, upper_bound) {
-            Part::Lower => bits.write_bits(range_u64(xmin, x), eval.alpha),
-            Part::Center => bits.write_bits(range_u64(min_xc, x), eval.beta),
-            Part::Upper => bits.write_bits(range_u64(min_xu, x), eval.gamma),
-        }
-    }
-    debug_assert_eq!(
-        bits.len_bits() as u64,
-        eval.cost_bits,
-        "encoder bits must equal the cost model"
-    );
+    debug_assert_eq!((lower.len(), center.len(), upper.len()), (eval.nl, eval.nc, eval.nu));
+
+    let payload_start = out.len();
+    // Bitmap first (Fig. 7: bit indicators precede the value payload),
+    // padded to a whole byte so the sub-streams start byte-aligned.
+    let mut bits = BitWriter::with_capacity_bits(OutlierBitmap::size_bits(
+        values.len(),
+        eval.nl,
+        eval.nu,
+    ));
+    OutlierBitmap::encode(&parts, &mut bits);
     out.extend_from_slice(&bits.into_bytes());
+    // Three word-packed sub-streams, each via the fused subtract-and-pack
+    // kernel — no per-part delta vector is materialized.
+    pack_words_for(&lower, xmin, eval.alpha, out);
+    pack_words_for(&center, min_xc, eval.beta, out);
+    pack_words_for(&upper, min_xu, eval.gamma, out);
+    debug_assert_eq!(
+        Some(out.len() - payload_start),
+        separated_payload_bytes(
+            values.len(),
+            eval.nl,
+            eval.nu,
+            eval.nc,
+            eval.alpha,
+            eval.beta,
+            eval.gamma
+        ),
+        "encoder payload must equal the shared layout-size helper"
+    );
 }
 
 #[inline]
@@ -189,7 +234,8 @@ pub fn peek_block(buf: &[u8], pos: &mut usize) -> DecodeResult<BlockSummary> {
             if w > 64 {
                 return Err(DecodeError::WidthOverflow { width: w });
             }
-            let payload_bytes = (n * w as usize).div_ceil(8);
+            let payload_bytes =
+                packed_size(n, w).ok_or(DecodeError::CountOverflow { claimed: n as u64 })?;
             if buf.len() < *pos + payload_bytes {
                 return Err(DecodeError::Truncated);
             }
@@ -223,11 +269,8 @@ pub fn peek_block(buf: &[u8], pos: &mut usize) -> DecodeResult<BlockSummary> {
             } else {
                 bound_from(xmin, alpha)
             };
-            let total_bits = OutlierBitmap::size_bits(n, nl, nu)
-                + nl * alpha as usize
-                + nc * beta as usize
-                + nu * gamma as usize;
-            let payload_bytes = total_bits.div_ceil(8);
+            let payload_bytes = separated_payload_bytes(n, nl, nu, nc, alpha, beta, gamma)
+                .ok_or(DecodeError::CountOverflow { claimed: n as u64 })?;
             if buf.len() < *pos + payload_bytes {
                 return Err(DecodeError::Truncated);
             }
@@ -303,17 +346,52 @@ fn decode_plain(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -> De
     if w > 64 {
         return Err(DecodeError::WidthOverflow { width: w });
     }
-    let payload_bytes = (n * w as usize).div_ceil(8);
-    let payload = buf
-        .get(*pos..*pos + payload_bytes)
-        .ok_or(DecodeError::Truncated)?;
-    *pos += payload_bytes;
-    let mut reader = BitReader::new(payload);
-    out.reserve(n);
-    for _ in 0..n {
-        out.push(xmin.wrapping_add(reader.read_bits(w)? as i64));
-    }
+    let consumed =
+        unpack_words_for(buf.get(*pos..).ok_or(DecodeError::Truncated)?, n, w, xmin, out)?;
+    *pos += consumed;
     Ok(())
+}
+
+/// Decodes one word-packed sub-stream of `count` offsets at width `w` from
+/// `buf[*pos..]`, restoring `base + offset` values.
+///
+/// When `base + (2^w − 1)` fits in `i64` no decoded value can overflow, so
+/// the fused wrapping-add kernel is provably exact and we take it; a base
+/// close enough to `i64::MAX` for overflow to be *possible* (only
+/// reachable via corrupt or adversarial headers) falls back to a
+/// per-value checked add that surfaces [`DecodeError::ValueOverflow`].
+fn unpack_part(
+    buf: &[u8],
+    pos: &mut usize,
+    count: usize,
+    w: u32,
+    base: i64,
+) -> DecodeResult<Vec<i64>> {
+    let mut vals = Vec::with_capacity(count);
+    if count == 0 {
+        return Ok(vals);
+    }
+    let payload = buf.get(*pos..).ok_or(DecodeError::Truncated)?;
+    let max_off = if w == 0 {
+        0
+    } else if w == 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    };
+    if base.checked_add_unsigned(max_off).is_some() {
+        *pos += unpack_words_for(payload, count, w, base, &mut vals)?;
+    } else {
+        let mut raw = Vec::with_capacity(count);
+        *pos += unpack_words(payload, count, w, &mut raw)?;
+        for off in raw {
+            vals.push(
+                base.checked_add_unsigned(off)
+                    .ok_or(DecodeError::ValueOverflow)?,
+            );
+        }
+    }
+    Ok(vals)
 }
 
 fn decode_separated(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -> DecodeResult<()> {
@@ -331,19 +409,21 @@ fn decode_separated(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -
     };
     let (alpha, beta, gamma) = read_part_widths(buf, pos)?;
 
-    let total_bits = OutlierBitmap::size_bits(n, nl, nu)
-        + nl * alpha as usize
-        + nc * beta as usize
-        + nu * gamma as usize;
-    let payload_bytes = total_bits.div_ceil(8);
-    let payload = buf
-        .get(*pos..*pos + payload_bytes)
+    // Whole-payload truncation pre-check (also validates the size
+    // arithmetic), then the byte-aligned bitmap region.
+    let payload_bytes = separated_payload_bytes(n, nl, nu, nc, alpha, beta, gamma)
+        .ok_or(DecodeError::CountOverflow { claimed: n as u64 })?;
+    if buf.len() < *pos + payload_bytes {
+        return Err(DecodeError::Truncated);
+    }
+    let bitmap_bytes = OutlierBitmap::size_bits(n, nl, nu).div_ceil(8);
+    let bitmap_region = buf
+        .get(*pos..*pos + bitmap_bytes)
         .ok_or(DecodeError::Truncated)?;
-    *pos += payload_bytes;
-
-    let mut reader = BitReader::new(payload);
+    let mut reader = BitReader::new(bitmap_region);
     let mut parts = Vec::with_capacity(n);
     OutlierBitmap::decode(&mut reader, n, &mut parts)?;
+    *pos += bitmap_bytes;
     // Validate the counts the bitmap claims against the header.
     let seen_l = parts.iter().filter(|&&p| p == Part::Lower).count();
     let seen_u = parts.iter().filter(|&&p| p == Part::Upper).count();
@@ -356,14 +436,25 @@ fn decode_separated(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -
         });
     }
 
+    // The three sub-streams decode as contiguous uniform-width runs
+    // through the fused kernels, then scatter back to original order by
+    // walking the bitmap.
+    let lower = unpack_part(buf, pos, nl, alpha, xmin)?;
+    let center = unpack_part(buf, pos, nc, beta, min_xc)?;
+    let upper = unpack_part(buf, pos, nu, gamma, min_xu)?;
+    let mut lower = lower.into_iter();
+    let mut center = center.into_iter();
+    let mut upper = upper.into_iter();
     out.reserve(n);
     for &p in &parts {
         let v = match p {
-            Part::Lower => xmin.checked_add_unsigned(reader.read_bits(alpha)?),
-            Part::Center => min_xc.checked_add_unsigned(reader.read_bits(beta)?),
-            Part::Upper => min_xu.checked_add_unsigned(reader.read_bits(gamma)?),
+            Part::Lower => lower.next(),
+            Part::Center => center.next(),
+            Part::Upper => upper.next(),
         }
-        .ok_or(DecodeError::ValueOverflow)?;
+        // Unreachable: the bitmap counts were validated against the
+        // header counts each stream was sized by.
+        .ok_or(DecodeError::Truncated)?;
         out.push(v);
     }
     Ok(())
@@ -409,27 +500,31 @@ mod tests {
 
     #[test]
     fn separated_block_is_smaller_for_intro() {
-        // Plain: 4 bits × 8 = 32 payload bits; separated: 24 bits. The
-        // separated block (with its slightly larger header) must still be
-        // no larger, and its payload matches the cost model exactly
-        // (debug_assert inside the encoder).
+        // The paper's intro example: the solver's *bit* cost model picks
+        // separation (24 payload bits vs 32 for plain). The stored form
+        // word-pads each region, so the byte saving only shows once blocks
+        // amortize the padding — both facts are asserted here.
+        let solution = BitWidthSolver::new().solve_values(&INTRO);
+        let Solution::Separated { cost_bits, .. } = solution else {
+            panic!("intro example must separate");
+        };
+        assert_eq!(cost_bits, 24);
+        assert_eq!(SortedBlock::from_values(&INTRO).plain_cost_bits(), 32);
+        roundtrip_with(&INTRO, &BitWidthSolver::new());
+
+        // Same outlier shape at a realistic block size: separation must
+        // win on disk despite word padding.
+        let big: Vec<i64> = (0..4096)
+            .map(|i| if i % 512 == 7 { 1 << 40 } else { i % 6 })
+            .collect();
         let mut plain = Vec::new();
-        encode_block_with_solution(
-            &INTRO,
-            &Solution::Plain { cost_bits: 32 },
-            &mut plain,
-        );
-        let sep = roundtrip_with(&INTRO, &BitWidthSolver::new());
-        // Both decode identically. At n = 8 the richer separated header
-        // (nl, nu, part bases and three width bytes — 6 bytes more) still
-        // dominates, but the *payload* shrank from 4 bytes (32 bits) to
-        // 3 bytes (24 bits): total 13 vs 8. Headers amortize at real block
-        // sizes; what must hold structurally is the payload saving.
-        assert_eq!(plain.len(), 8);
-        assert_eq!(sep.len(), 13);
-        let plain_payload = plain.len() - 4; // n, mode, xmin, width
-        let sep_payload = sep.len() - 10; // n, mode, nl, nu, xmin, bases, α β γ
-        assert!(sep_payload < plain_payload);
+        let plain_cost = SortedBlock::from_values(&big).plain_cost_bits();
+        encode_block_with_solution(&big, &Solution::Plain { cost_bits: plain_cost }, &mut plain);
+        let sep = roundtrip_with(&big, &BitWidthSolver::new());
+        let mut pos = 0;
+        let summary = peek_block(&sep, &mut pos).expect("peek");
+        assert!(summary.separated, "solver must separate the outlier block");
+        assert!(sep.len() * 5 < plain.len(), "{} vs {}", sep.len(), plain.len());
     }
 
     #[test]

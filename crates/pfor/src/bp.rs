@@ -5,9 +5,10 @@
 //! RLE/SPRINTZ/TS2DIFF use by default in the paper's experiments
 //! ("RLE+BP" etc.).
 
-use crate::{for_restore, for_transform, Codec};
+use crate::Codec;
 use bitpack::error::{DecodeError, DecodeResult};
-use bitpack::kernels::{pack_words, packed_size, unpack_words};
+use bitpack::kernels::packed_size;
+use bitpack::unrolled::{pack_words_for, unpack_words_for};
 use bitpack::width::width;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
@@ -32,11 +33,18 @@ impl Codec for BpCodec {
         if values.is_empty() {
             return;
         }
-        let (min, shifted) = for_transform(values);
-        let w = width(shifted.iter().copied().max().unwrap_or(0));
+        // Single min/max pass; the FOR subtraction is fused into the packing
+        // kernel, so no shifted vector is ever materialized.
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let w = width(max.wrapping_sub(min) as u64);
         write_varint_i64(out, min);
         out.push(w as u8);
-        pack_words(&shifted, w, out);
+        pack_words_for(values, min, w, out);
     }
 
     fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
@@ -53,12 +61,10 @@ impl Codec for BpCodec {
         if w > 64 {
             return Err(DecodeError::WidthOverflow { width: w });
         }
-        let mut shifted = Vec::new();
-        let consumed = unpack_words(buf.get(*pos..).ok_or(DecodeError::Truncated)?, n, w, &mut shifted)?;
+        let consumed =
+            unpack_words_for(buf.get(*pos..).ok_or(DecodeError::Truncated)?, n, w, min, out)?;
         *pos += consumed;
-        debug_assert_eq!(consumed, packed_size(n, w));
-        out.reserve(n);
-        out.extend(shifted.into_iter().map(|v| for_restore(min, v)));
+        debug_assert_eq!(Some(consumed), packed_size(n, w));
         Ok(())
     }
 }

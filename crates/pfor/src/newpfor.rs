@@ -9,13 +9,14 @@
 //! `b` is chosen by the heuristic the paper attributes to NewPFOR:
 //! the smallest width that keeps exceptions at ≤ 10 % of the block.
 //!
-//! Layout: `varint n · zigzag min · w_full · b · n×b slot bits ·
+//! Layout: `varint n · zigzag min · w_full · b · word-packed n×b slot
+//! stream (`packed_size(n, b)` bytes, see `bitpack::unrolled`) ·
 //! simple8b positions · simple8b high bits`.
 
 use crate::{for_restore, for_transform, Codec};
-use bitpack::bits::{BitReader, BitWriter};
 use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::simple8b;
+use bitpack::unrolled::{pack_words_for, unpack_words_for};
 use bitpack::width::width;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
@@ -27,27 +28,29 @@ const MAX_HIGH_BITS: u32 = 60;
 /// NewPFOR (heuristic `b`) and OptPFOR (exact `b`).
 pub(crate) fn encode_pfd(values: &[i64], b: u32, out: &mut Vec<u8>) {
     debug_assert!(!values.is_empty());
-    let (min, shifted) = for_transform(values);
-    let w_full = width(shifted.iter().copied().max().unwrap_or(0));
+    let min = values.iter().copied().min().unwrap_or(0);
+    // One pass finds w_full and the exceptions; the slot stream itself is
+    // produced by the fused subtract-mask-pack kernel, which keeps only the
+    // low `b` bits of each delta — no shifted vector is materialized.
+    let mut w_full = 0u32;
+    let mut positions = Vec::new();
+    let mut highs = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        let d = v.wrapping_sub(min) as u64;
+        let wd = width(d);
+        w_full = w_full.max(wd);
+        if wd > b {
+            positions.push(i as u64);
+            highs.push(d >> b);
+        }
+    }
     debug_assert!(b <= w_full || w_full == 0);
     debug_assert!(w_full.saturating_sub(b) <= MAX_HIGH_BITS);
 
     write_varint_i64(out, min);
     out.push(w_full as u8);
     out.push(b as u8);
-
-    let mask = if b == 64 { u64::MAX } else { (1u64 << b) - 1 };
-    let mut positions = Vec::new();
-    let mut highs = Vec::new();
-    let mut bits = BitWriter::with_capacity_bits(shifted.len() * b as usize);
-    for (i, &v) in shifted.iter().enumerate() {
-        bits.write_bits(v & mask, b);
-        if width(v) > b {
-            positions.push(i as u64);
-            highs.push(v >> b);
-        }
-    }
-    out.extend_from_slice(&bits.into_bytes());
+    pack_words_for(values, min, b, out);
     simple8b::encode(&positions, out).expect("positions fit 60 bits"); // lint:allow(no-panic): encode-side invariant, i < MAX_BLOCK_VALUES < 2^60
     simple8b::encode(&highs, out).expect("high bits bounded by MAX_HIGH_BITS"); // lint:allow(no-panic): encode-side invariant, v >> b has <= MAX_HIGH_BITS <= 32 bits
 }
@@ -61,15 +64,9 @@ pub(crate) fn decode_pfd(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i6
     if w_full > 64 || b > 64 {
         return Err(DecodeError::WidthOverflow { width: w_full.max(b) });
     }
-    let bytes = (n * b as usize).div_ceil(8);
-    let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
-    *pos += bytes;
-    let mut reader = BitReader::new(payload);
     let start = out.len();
-    out.reserve(n);
-    for _ in 0..n {
-        out.push(for_restore(min, reader.read_bits(b)?));
-    }
+    let consumed = unpack_words_for(buf.get(*pos..).ok_or(DecodeError::Truncated)?, n, b, min, out)?;
+    *pos += consumed;
     let mut positions = Vec::new();
     simple8b::decode(buf, pos, &mut positions)?;
     let mut highs = Vec::new();

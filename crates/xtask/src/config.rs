@@ -20,6 +20,9 @@ pub struct Config {
     /// Crate source roots (e.g. `crates/bos`) whose public `encode_*`
     /// functions must have decode counterparts and roundtrip tests.
     pub pairing_crates: Vec<String>,
+    /// Files holding the width-dispatch kernel tables (`PACK_LANE` /
+    /// `UNPACK_LANE`), each required to list all 65 widths in order.
+    pub kernel_table_files: Vec<String>,
 }
 
 impl Config {
@@ -30,6 +33,7 @@ impl Config {
             "no-indexing",
             "no-narrowing-casts",
             "encode-decode-pairing",
+            "kernel-table-complete",
         ]
         .into();
         let mut config = Config::default();
@@ -95,6 +99,7 @@ impl Config {
                 "no-indexing" => config.no_indexing = values,
                 "no-narrowing-casts" => config.no_narrowing_casts = values,
                 "encode-decode-pairing" => config.pairing_crates = values,
+                "kernel-table-complete" => config.kernel_table_files = values,
                 _ => unreachable!("section validated above"),
             }
         }
@@ -132,12 +137,16 @@ files = []
 
 [encode-decode-pairing]
 crates = ["crates/bos"]
+
+[kernel-table-complete]
+files = ["k/unrolled.rs"]
 "#;
         let c = Config::parse(raw).expect("parses");
         assert_eq!(c.no_panic, vec!["a/b.rs", "c/d.rs"]);
         assert_eq!(c.no_indexing, vec!["a/b.rs"]);
         assert!(c.no_narrowing_casts.is_empty());
         assert_eq!(c.pairing_crates, vec!["crates/bos"]);
+        assert_eq!(c.kernel_table_files, vec!["k/unrolled.rs"]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! ```
 //!
 //! `lint` is the custom static-analysis gate for this repository. It reads
-//! `lint.toml` at the workspace root and enforces three rules over the
+//! `lint.toml` at the workspace root and enforces four rules over the
 //! files listed there (see DESIGN.md, "Correctness tooling"):
 //!
 //! 1. **no-panic / no-indexing** — decode modules must not contain
@@ -19,6 +19,11 @@
 //! 3. **encode-decode-pairing** — every `pub fn encode_*` needs a
 //!    matching `decode_*` (stems unify at `_` boundaries) and a test
 //!    that references both names.
+//! 4. **kernel-table-complete** — the `PACK_LANE` / `UNPACK_LANE`
+//!    width-dispatch tables in `bitpack::unrolled` must be explicit
+//!    65-entry literals naming `pack_w0..pack_w64` / `unpack_w0..
+//!    unpack_w64` in width order, so no width can silently route to the
+//!    wrong kernel.
 //!
 //! Opting a single line out requires a written justification:
 //!

@@ -1,4 +1,4 @@
-//! The three lint rules and the `lint:allow` opt-out machinery.
+//! The lint rules and the `lint:allow` opt-out machinery.
 //!
 //! All rules operate on [`crate::strip`]-preprocessed source: comments,
 //! strings, and char literals are blanked and the trailing `#[cfg(test)]`
@@ -33,6 +33,7 @@ pub fn run(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
         scan_file(root, rel, Rule::NarrowingCasts, &mut findings)?;
     }
     pairing(root, config, &mut findings)?;
+    kernel_tables(root, config, &mut findings)?;
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
 }
@@ -207,6 +208,97 @@ fn allow_on_line(src_lines: &[&str], line: usize, rule: &str) -> Allow {
     match after.strip_prefix(':') {
         Some(justification) if !justification.trim().is_empty() => Allow::Yes,
         _ => Allow::EmptyJustification,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// kernel-table-complete
+// ---------------------------------------------------------------------------
+
+/// The number of bit widths a kernel dispatch table must cover (0..=64).
+const KERNEL_WIDTHS: usize = 65;
+
+/// Rule: the width-dispatch tables in each configured file must name every
+/// specialized kernel, in width order. The tables are required to be plain
+/// 65-entry source literals (not macro-generated) precisely so this check
+/// can read them; a missing or reordered entry would silently route one
+/// width to the wrong kernel.
+fn kernel_tables(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Result<(), String> {
+    for rel in &config.kernel_table_files {
+        let path = root.join(rel);
+        let src = fs::read_to_string(&path)
+            .map_err(|e| format!("lint.toml lists {rel}, but it cannot be read: {e}"))?;
+        let stripped = strip::strip(&src);
+        for (table, prefix) in [("PACK_LANE", "pack_w"), ("UNPACK_LANE", "unpack_w")] {
+            check_kernel_table(rel, &stripped, table, prefix, findings);
+        }
+    }
+    Ok(())
+}
+
+fn check_kernel_table(
+    rel: &str,
+    stripped: &str,
+    table: &str,
+    prefix: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let rule = "kernel-table-complete";
+    let mut fail = |line: usize, message: String| {
+        findings.push(Finding {
+            file: rel.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+    let decl = format!("const {table}:");
+    let Some(start) = stripped.find(&decl) else {
+        fail(1, format!("no `const {table}:` dispatch table found"));
+        return;
+    };
+    let line = line_of(stripped.as_bytes(), start);
+    let after = &stripped[start..];
+    let Some(eq_rel) = after.find('=') else {
+        fail(line, format!("`{table}` has no initializer"));
+        return;
+    };
+    if !after[..eq_rel].contains(&format!("; {KERNEL_WIDTHS}]")) {
+        fail(
+            line,
+            format!("`{table}` must be declared with length {KERNEL_WIDTHS} (widths 0..=64)"),
+        );
+    }
+    let body_start = start + eq_rel + 1;
+    let Some(open_rel) = stripped[body_start..].find('[') else {
+        fail(line, format!("`{table}` initializer is not an array literal"));
+        return;
+    };
+    let Some(close_rel) = stripped[body_start + open_rel..].find(']') else {
+        fail(line, format!("`{table}` array literal is unterminated"));
+        return;
+    };
+    let body = &stripped[body_start + open_rel + 1..body_start + open_rel + close_rel];
+    let entries: Vec<&str> = body.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    if entries.len() != KERNEL_WIDTHS {
+        fail(
+            line,
+            format!(
+                "`{table}` covers {} widths, must cover all {KERNEL_WIDTHS} (0..=64)",
+                entries.len()
+            ),
+        );
+        return;
+    }
+    for (w, entry) in entries.iter().enumerate() {
+        let expected = format!("{prefix}{w}");
+        if *entry != expected {
+            fail(
+                line,
+                format!("`{table}` entry for width {w} is `{entry}`, expected `{expected}`"),
+            );
+            return;
+        }
     }
 }
 
@@ -428,6 +520,54 @@ mod tests {
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert_eq!(hits[0].0, 3);
         assert!(hits[0].1.contains("as u32"));
+    }
+
+    fn check_table_str(src: &str) -> Vec<String> {
+        let mut findings = Vec::new();
+        let stripped = strip::strip(src);
+        check_kernel_table("probe.rs", &stripped, "PACK_LANE", "pack_w", &mut findings);
+        findings.into_iter().map(|f| f.message).collect()
+    }
+
+    fn full_table(skip: Option<usize>, swap: bool) -> String {
+        let entries: Vec<String> = (0..65)
+            .filter(|w| Some(*w) != skip)
+            .map(|w| format!("pack_w{w}"))
+            .collect();
+        let mut entries = entries;
+        if swap {
+            entries.swap(3, 4);
+        }
+        format!(
+            "pub const PACK_LANE: [PackLaneFn; 65] = [\n    {},\n];\n",
+            entries.join(", ")
+        )
+    }
+
+    #[test]
+    fn kernel_table_complete_accepts_full_ordered_table() {
+        assert!(check_table_str(&full_table(None, false)).is_empty());
+    }
+
+    #[test]
+    fn kernel_table_complete_rejects_missing_entry() {
+        let hits = check_table_str(&full_table(Some(17), false));
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains("64 widths"), "{hits:?}");
+    }
+
+    #[test]
+    fn kernel_table_complete_rejects_misordered_entry() {
+        let hits = check_table_str(&full_table(None, true));
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains("width 3"), "{hits:?}");
+    }
+
+    #[test]
+    fn kernel_table_complete_rejects_missing_table() {
+        let hits = check_table_str("pub const OTHER: [u8; 2] = [1, 2];\n");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains("no `const PACK_LANE:`"), "{hits:?}");
     }
 
     #[test]

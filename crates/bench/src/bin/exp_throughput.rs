@@ -1,5 +1,5 @@
-//! Regenerates the throughput baseline implemented in
-//! `bos_bench::experiments::throughput` (writes `BENCH_PR2.json`).
+//! Regenerates the throughput artifact implemented in
+//! `bos_bench::experiments::throughput` (writes `BENCH_PR3.json`).
 
 fn main() {
     let cfg = bos_bench::harness::Config::from_env();

@@ -12,7 +12,6 @@ use bos::positions::{bitmap_bits, bitmap_crossover_fraction, index_list_bits};
 use bos::{BitWidthSolver, Solution, SortedBlock};
 use datasets::all_datasets;
 use encodings::ts2diff::Ts2DiffEncoding;
-use encodings::PforPacker;
 
 /// Block size matching the encoders' default.
 pub const BLOCK: usize = 1024;
@@ -32,7 +31,7 @@ pub struct PositionCosts {
 
 /// Measures both schemes on a series' delta blocks under BOS-B.
 pub fn measure(values: &[i64]) -> PositionCosts {
-    let deltas = Ts2DiffEncoding::<PforPacker<pfor::BpCodec>>::deltas(values);
+    let deltas = Ts2DiffEncoding::<pfor::BpCodec>::deltas(values);
     let solver = BitWidthSolver::new();
     let mut costs = PositionCosts::default();
     for block in deltas.chunks(BLOCK) {

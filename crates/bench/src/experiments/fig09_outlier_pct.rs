@@ -9,7 +9,6 @@ use bos::stats::{analyze_series, SeriesStats};
 use bos::ValueSolver;
 use datasets::all_datasets;
 use encodings::ts2diff::Ts2DiffEncoding;
-use encodings::PforPacker;
 
 /// Block size matching the encoders' default.
 pub const BLOCK: usize = 1024;
@@ -17,7 +16,7 @@ pub const BLOCK: usize = 1024;
 /// Measures the separated outlier fractions of a series under BOS-V,
 /// on the delta stream BOS actually sees inside TS2DIFF.
 pub fn measure(values: &[i64]) -> SeriesStats {
-    let deltas = Ts2DiffEncoding::<PforPacker<pfor::BpCodec>>::deltas(values);
+    let deltas = Ts2DiffEncoding::<pfor::BpCodec>::deltas(values);
     analyze_series(&ValueSolver::new(), &deltas, BLOCK)
 }
 

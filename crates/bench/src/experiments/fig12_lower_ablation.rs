@@ -4,12 +4,12 @@
 use crate::harness::{fmt_ratio, Config, Table};
 use bos::SolverKind;
 use datasets::all_datasets;
+use bos::BosCodec;
 use encodings::ts2diff::Ts2DiffEncoding;
-use encodings::BosPacker;
 
 /// Compression ratio of TS2DIFF with the given BOS solver kind.
 pub fn ratio(values: &[i64], kind: SolverKind) -> f64 {
-    let enc = Ts2DiffEncoding::new(BosPacker::new(kind));
+    let enc = Ts2DiffEncoding::new(BosCodec::new(kind));
     let mut buf = Vec::new();
     enc.encode(values, &mut buf);
     let mut out = Vec::new();

@@ -11,8 +11,8 @@
 use crate::harness::{fmt_ns, fmt_ratio, time_avg, Config, Table};
 use bos::SolverKind;
 use datasets::all_datasets;
+use bos::BosCodec;
 use encodings::ts2diff::Ts2DiffEncoding;
-use encodings::BosPacker;
 use gpcomp::{ByteCodec, InnerPacker, Lz4Like, LzmaLite, TransformCodec, TransformKind};
 
 /// One (method, with/without) measurement averaged over all datasets.
@@ -40,7 +40,7 @@ fn raw_bytes(values: &[i64]) -> Vec<u8> {
 
 fn measure_byte_method(codec: &dyn ByteCodec, cfg: &Config) -> GpResult {
     let sets = all_datasets(cfg.n);
-    let bos_enc = Ts2DiffEncoding::new(BosPacker::new(SolverKind::BitWidth));
+    let bos_enc = Ts2DiffEncoding::new(BosCodec::new(SolverKind::BitWidth));
     let (mut rp, mut rb, mut tp, mut tb) = (0.0, 0.0, 0.0, 0.0);
     for dataset in &sets {
         let ints = dataset.as_scaled_ints();

@@ -62,7 +62,7 @@ pub fn time_avg<T>(repeats: usize, mut f: impl FnMut() -> T) -> (T, f64) {
 ///
 /// Min-of-N is the standard low-noise estimator for short deterministic
 /// kernels (scheduler preemptions and cache-cold runs only ever add time),
-/// so throughput numbers recorded in `BENCH_PR2.json` stay reproducible
+/// so throughput numbers recorded in `BENCH_PR*.json` artifacts stay reproducible
 /// across runs at the same `BOS_REPEATS`.
 pub fn time_best_of<T>(repeats: usize, mut f: impl FnMut() -> T) -> (T, f64) {
     assert!(repeats >= 1);

@@ -1,0 +1,200 @@
+//! The unified block-codec trait and the shared multi-block encode driver.
+//!
+//! Every integer block codec in the workspace — the PFOR family in
+//! `crates/pfor`, BOS in `crates/bos` — implements [`BlockCodec`]. The
+//! trait lives here, in the leaf crate both depend on, so there is exactly
+//! one definition: `pfor` re-exports it as `pfor::Codec` and `encodings`
+//! as `encodings::IntPacker` for backwards-compatible paths.
+//!
+//! A codec works on one self-describing block; [`encode_blocks_parallel`]
+//! generalizes that to long series by segmenting into fixed-size blocks and
+//! fanning encode out over std threads. Blocks are independent, so the
+//! output is byte-identical to the sequential path and [`decode_blocks`]
+//! (or any incremental reader) works on either.
+
+use crate::error::DecodeResult;
+use crate::zigzag::{read_varint, write_varint};
+
+/// A self-describing integer block codec.
+///
+/// Implementations append length-prefixed blocks on encode and must fail
+/// with `Err(`[`DecodeError`](crate::DecodeError)`)` — never panic — on
+/// corrupt or truncated input.
+pub trait BlockCodec {
+    /// Method label used in experiment tables ("PFOR", "NEWPFOR", …).
+    ///
+    /// Labels must be unique across the workspace (bench tables key on
+    /// them); the `codec-label-unique` xtask lint enforces this.
+    fn name(&self) -> &'static str;
+
+    /// Appends one encoded block to `out`.
+    fn encode(&self, values: &[i64], out: &mut Vec<u8>);
+
+    /// Decodes one block from `buf[*pos..]`, appending values to `out`.
+    /// Fails with a [`DecodeError`](crate::DecodeError) on corrupt or
+    /// truncated input.
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()>;
+}
+
+impl<C: BlockCodec + ?Sized> BlockCodec for &C {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        (**self).encode(values, out)
+    }
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
+        (**self).decode(buf, pos, out)
+    }
+}
+
+impl<C: BlockCodec + ?Sized> BlockCodec for Box<C> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        (**self).encode(values, out)
+    }
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
+        (**self).decode(buf, pos, out)
+    }
+}
+
+/// Encodes `values` as `varint n_blocks` followed by the blocks, encoding
+/// block groups on up to `threads` worker threads and concatenating in
+/// order. The output is byte-identical to a sequential loop over
+/// `values.chunks(block_size)` (blocks are independent), so any
+/// incremental reader — [`decode_blocks`], `bos::stream::StreamDecoder` —
+/// works on either.
+///
+/// # Panics
+/// If `block_size` or `threads` is zero.
+pub fn encode_blocks_parallel<C: BlockCodec + Sync>(
+    codec: &C,
+    values: &[i64],
+    block_size: usize,
+    threads: usize,
+    out: &mut Vec<u8>,
+) {
+    assert!(block_size >= 1, "block_size must be >= 1");
+    assert!(threads >= 1, "threads must be >= 1");
+    let n_blocks = values.len().div_ceil(block_size);
+    write_varint(out, n_blocks as u64);
+    if threads == 1 || n_blocks <= 1 {
+        for block in values.chunks(block_size) {
+            codec.encode(block, out);
+        }
+        return;
+    }
+    let blocks: Vec<&[i64]> = values.chunks(block_size).collect();
+    let chunk = blocks.len().div_ceil(threads);
+    let mut parts: Vec<Vec<u8>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .chunks(chunk)
+            .map(|group| {
+                scope.spawn(move || {
+                    let mut buf = Vec::new();
+                    for block in group {
+                        codec.encode(block, &mut buf);
+                    }
+                    buf
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("worker panicked")); // lint:allow(no-panic): encode-side thread pool; re-raising a worker panic is the only sane option
+        }
+    });
+    for part in parts {
+        out.extend_from_slice(&part);
+    }
+}
+
+/// Decodes an [`encode_blocks_parallel`] stream back into one vector:
+/// `varint n_blocks` then that many `codec` blocks.
+pub fn decode_blocks<C: BlockCodec>(codec: &C, buf: &[u8]) -> DecodeResult<Vec<i64>> {
+    let mut pos = 0;
+    let n_blocks = read_varint(buf, &mut pos)?;
+    let mut out = Vec::new();
+    for _ in 0..n_blocks {
+        codec.decode(buf, &mut pos, &mut out)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DecodeError;
+    use crate::zigzag::{read_varint, zigzag_decode, zigzag_encode};
+
+    /// Toy codec: `varint n` then `n` zigzag varints.
+    struct Varints;
+
+    impl BlockCodec for Varints {
+        fn name(&self) -> &'static str {
+            "VARINTS-TEST"
+        }
+        fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+            write_varint(out, values.len() as u64);
+            for &v in values {
+                write_varint(out, zigzag_encode(v));
+            }
+        }
+        fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
+            let n = read_varint(buf, pos)?;
+            for _ in 0..n {
+                out.push(zigzag_decode(read_varint(buf, pos)?));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn parallel_encode_blocks_byte_identical_and_decode_blocks_roundtrips() {
+        let values: Vec<i64> = (0..10_000)
+            .map(|i| if i % 83 == 0 { -(1 << 40) } else { i % 700 })
+            .collect();
+        let mut seq = Vec::new();
+        encode_blocks_parallel(&Varints, &values, 512, 1, &mut seq);
+        for threads in [2, 3, 8] {
+            let mut par = Vec::new();
+            encode_blocks_parallel(&Varints, &values, 512, threads, &mut par);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+        assert_eq!(decode_blocks(&Varints, &seq), Ok(values));
+    }
+
+    #[test]
+    fn empty_series() {
+        let mut buf = Vec::new();
+        encode_blocks_parallel(&Varints, &[], 1024, 4, &mut buf);
+        assert_eq!(decode_blocks(&Varints, &buf), Ok(vec![]));
+    }
+
+    #[test]
+    fn truncated_stream_is_err() {
+        let values: Vec<i64> = (0..3000).collect();
+        let mut buf = Vec::new();
+        encode_blocks_parallel(&Varints, &values, 1000, 2, &mut buf);
+        assert_eq!(
+            decode_blocks(&Varints, &buf[..buf.len() / 2]),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn blanket_impls_forward() {
+        let boxed: Box<dyn BlockCodec> = Box::new(Varints);
+        assert_eq!(boxed.name(), "VARINTS-TEST");
+        let by_ref: &dyn BlockCodec = &Varints;
+        let mut buf = Vec::new();
+        by_ref.encode(&[1, -2, 3], &mut buf);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        boxed.decode(&buf, &mut pos, &mut out).expect("intact");
+        assert_eq!(out, [1, -2, 3]);
+        assert_eq!(pos, buf.len());
+    }
+}

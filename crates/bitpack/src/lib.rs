@@ -13,6 +13,9 @@
 //! * [`unrolled`] — width-specialized fully unrolled lane kernels plus
 //!   fused frame-of-reference pack/unpack, bit-identical to [`kernels`]
 //!   and dispatched through a `[fn; 65]` width table (DESIGN.md §8).
+//! * [`codec`] — the unified [`BlockCodec`] trait every integer block
+//!   codec in the workspace implements (re-exported by `pfor` and
+//!   `encodings`), plus the shared multi-block parallel encode driver.
 //! * [`bitmap`] — the `0` / `10` / `11` outlier-position bitmap of Figure 2.
 //! * [`simple8b`] — the word-aligned Simple8b codec used to store PFOR
 //!   exception streams (stand-in for Simple16; see DESIGN.md §2).
@@ -28,6 +31,7 @@
 
 pub mod bitmap;
 pub mod bits;
+pub mod codec;
 pub mod error;
 pub mod kernels;
 pub mod pack;
@@ -38,6 +42,7 @@ pub mod zigzag;
 
 pub use bitmap::{OutlierBitmap, Part};
 pub use bits::{BitReader, BitWriter};
+pub use codec::BlockCodec;
 pub use error::{DecodeError, DecodeResult};
 pub use width::{bit_width, width, width1};
 pub use zigzag::{zigzag_decode, zigzag_encode};

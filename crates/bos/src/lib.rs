@@ -87,14 +87,11 @@ impl BosCodec {
     }
 
     /// Name matching the paper's method labels ("BOS-V", "BOS-B", "BOS-M").
+    ///
+    /// Same as the [`bitpack::BlockCodec`] implementation, which holds the
+    /// actual label table.
     pub fn name(&self) -> &'static str {
-        match self.kind {
-            SolverKind::Value => "BOS-V",
-            SolverKind::BitWidth => "BOS-B",
-            SolverKind::Median => "BOS-M",
-            SolverKind::ValueUpperOnly => "BOS-V (upper only)",
-            SolverKind::BitWidthUpperOnly => "BOS-B (upper only)",
-        }
+        bitpack::BlockCodec::name(self)
     }
 
     /// Runs the solver on `values` (without encoding).
@@ -117,6 +114,34 @@ impl BosCodec {
     /// Decodes one block from `buf[*pos..]` into `out`. Identical to the
     /// free function [`decode`]; provided for symmetry.
     pub fn decode(
+        &self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<i64>,
+    ) -> bitpack::DecodeResult<()> {
+        format::decode_block(buf, pos, out)
+    }
+}
+
+/// BOS as a workspace block codec: plugs into the outer encoders of
+/// `encodings` and the shared parallel encode driver next to the PFOR
+/// family, with the paper's method labels.
+impl bitpack::BlockCodec for BosCodec {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            SolverKind::Value => "BOS-V",
+            SolverKind::BitWidth => "BOS-B",
+            SolverKind::Median => "BOS-M",
+            SolverKind::ValueUpperOnly => "BOS-V (upper only)",
+            SolverKind::BitWidthUpperOnly => "BOS-B (upper only)",
+        }
+    }
+
+    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+        BosCodec::encode(self, values, out)
+    }
+
+    fn decode(
         &self,
         buf: &[u8],
         pos: &mut usize,

@@ -62,40 +62,12 @@ impl StreamEncoder {
     /// `threads` worker threads and concatenated in order. The output is
     /// byte-identical to the sequential path (blocks are independent), so
     /// any reader works on either.
+    ///
+    /// Delegates to the shared driver
+    /// [`bitpack::codec::encode_blocks_parallel`], which works over any
+    /// [`bitpack::BlockCodec`] — the PFOR family gets the same treatment.
     pub fn encode_parallel(&self, values: &[i64], threads: usize, out: &mut Vec<u8>) { // lint:allow(encode-decode-pairing): byte-identical to `encode`, read back by `decode_all`; roundtrip covered by stream tests
-        assert!(threads >= 1);
-        let n_blocks = values.len().div_ceil(self.block_size);
-        write_varint(out, n_blocks as u64);
-        if threads == 1 || n_blocks <= 1 {
-            for block in values.chunks(self.block_size) {
-                self.codec.encode(block, out);
-            }
-            return;
-        }
-        let blocks: Vec<&[i64]> = values.chunks(self.block_size).collect();
-        let chunk = blocks.len().div_ceil(threads);
-        let codec = self.codec;
-        let mut parts: Vec<Vec<u8>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = blocks
-                .chunks(chunk)
-                .map(|group| {
-                    scope.spawn(move || {
-                        let mut buf = Vec::new();
-                        for block in group {
-                            codec.encode(block, &mut buf);
-                        }
-                        buf
-                    })
-                })
-                .collect();
-            for h in handles {
-                parts.push(h.join().expect("worker panicked")); // lint:allow(no-panic): encode-side thread pool; re-raising a worker panic is the only sane option
-            }
-        });
-        for part in parts {
-            out.extend_from_slice(&part);
-        }
+        bitpack::codec::encode_blocks_parallel(&self.codec, values, self.block_size, threads, out);
     }
 }
 

@@ -10,6 +10,39 @@
 /// mantissa for the magnitudes in the evaluation datasets).
 pub const MAX_PRECISION: u32 = 10;
 
+/// Why a float series cannot enter the scaled-integer pipeline — the
+/// encode-side counterpart of [`bitpack::DecodeError`], so
+/// `Pipeline::encode_f64` and `Pipeline::decode_f64` speak the same
+/// `Result` dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloatEncodeError {
+    /// No `p ≤ MAX_PRECISION` reproduces every value exactly
+    /// ([`infer_precision`] found nothing) — e.g. values using the full
+    /// binary mantissa.
+    NoExactScaling,
+    /// A value scaled by `10^p` leaves `i64`'s exactly-representable range
+    /// (or is non-finite).
+    Overflow {
+        /// The precision at which the scaling overflowed.
+        precision: u32,
+    },
+}
+
+impl std::fmt::Display for FloatEncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FloatEncodeError::NoExactScaling => {
+                write!(f, "no exact decimal scaling with p <= {MAX_PRECISION}")
+            }
+            FloatEncodeError::Overflow { precision } => {
+                write!(f, "scaled value exceeds i64 range at precision {precision}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FloatEncodeError {}
+
 /// `10^p` as f64.
 #[inline]
 fn pow10(p: u32) -> f64 {

@@ -7,8 +7,11 @@
 //! swapping the operator is the whole point of BOS being a drop-in
 //! replacement for bit-packing.
 //!
-//! * [`IntPacker`] — the operator interface; implemented by every
-//!   [`pfor::Codec`] and by [`BosPacker`].
+//! * [`IntPacker`] — the operator interface. This is the workspace-wide
+//!   [`bitpack::BlockCodec`](bitpack::codec::BlockCodec) re-exported under
+//!   its historical name here; every PFOR-family codec and
+//!   [`bos::BosCodec`] implements it directly, so codecs plug into the
+//!   outer encoders with no wrapper types.
 //! * [`rle::RleEncoding`] — hybrid run-length / literal-block encoding.
 //! * [`ts2diff::Ts2DiffEncoding`] — delta encoding (IoTDB TS2DIFF),
 //!   first- or second-order ([`diff`] holds the order-k transform).
@@ -31,96 +34,15 @@ pub mod ts2diff;
 
 pub use pipeline::{OuterKind, Pipeline};
 
-use bitpack::error::DecodeResult;
 use bos::{BosCodec, SolverKind};
 
 /// The inner bit-packing operator interface: a self-describing block codec
 /// over `i64` values.
-pub trait IntPacker {
-    /// Operator label used in experiment tables ("BP", "PFOR", "BOS-B", …).
-    fn name(&self) -> &'static str;
-
-    /// Appends one encoded block to `out`.
-    fn encode(&self, values: &[i64], out: &mut Vec<u8>);
-
-    /// Decodes one block from `buf[*pos..]`, appending values to `out`.
-    /// Fails with a [`bitpack::DecodeError`] on corrupt input.
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()>;
-}
-
-/// Boxed operators are operators (lets [`PackerKind::build`] results plug
-/// into the generic encoders directly).
-impl IntPacker for Box<dyn IntPacker> {
-    fn name(&self) -> &'static str {
-        self.as_ref().name()
-    }
-
-    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
-        self.as_ref().encode(values, out)
-    }
-
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
-        self.as_ref().decode(buf, pos, out)
-    }
-}
-
-/// Borrowed operators are operators.
-impl IntPacker for &dyn IntPacker {
-    fn name(&self) -> &'static str {
-        (**self).name()
-    }
-
-    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
-        (**self).encode(values, out)
-    }
-
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
-        (**self).decode(buf, pos, out)
-    }
-}
-
-/// Any PFOR-family codec as an operator.
-#[derive(Debug, Clone, Copy)]
-pub struct PforPacker<T: pfor::Codec>(pub T);
-
-impl<T: pfor::Codec> IntPacker for PforPacker<T> {
-    fn name(&self) -> &'static str {
-        self.0.name()
-    }
-
-    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
-        self.0.encode(values, out)
-    }
-
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
-        self.0.decode(buf, pos, out)
-    }
-}
-
-/// BOS as an operator (wraps [`bos::BosCodec`]).
-#[derive(Debug, Clone, Copy)]
-pub struct BosPacker(pub BosCodec);
-
-impl BosPacker {
-    /// BOS with the given solver.
-    pub fn new(kind: SolverKind) -> Self {
-        Self(BosCodec::new(kind))
-    }
-}
-
-impl IntPacker for BosPacker {
-    fn name(&self) -> &'static str {
-        self.0.name()
-    }
-
-    fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
-        self.0.encode(values, out)
-    }
-
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
-        self.0.decode(buf, pos, out)
-    }
-}
+///
+/// Defined once in [`bitpack::codec`](bitpack::codec) (blanket impls for
+/// `&C` and `Box<C>` included) and re-exported here under the name this
+/// crate has always used; `pfor::Codec` is the same trait.
+pub use bitpack::codec::BlockCodec as IntPacker;
 
 /// All inner operators of the Figure 10 grid, for experiment drivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,6 +57,8 @@ pub enum PackerKind {
     OptPfor,
     /// FastPFOR.
     FastPfor,
+    /// SimplePFOR.
+    SimplePfor,
     /// BOS with exact value separation (Algorithm 1).
     BosV,
     /// BOS with exact bit-width separation (Algorithm 2).
@@ -145,12 +69,13 @@ pub enum PackerKind {
 
 impl PackerKind {
     /// Every operator, in the paper's table order.
-    pub const ALL: [PackerKind; 8] = [
+    pub const ALL: [PackerKind; 9] = [
         PackerKind::Bp,
         PackerKind::Pfor,
         PackerKind::NewPfor,
         PackerKind::OptPfor,
         PackerKind::FastPfor,
+        PackerKind::SimplePfor,
         PackerKind::BosV,
         PackerKind::BosB,
         PackerKind::BosM,
@@ -159,14 +84,15 @@ impl PackerKind {
     /// Instantiates the operator.
     pub fn build(self) -> Box<dyn IntPacker> {
         match self {
-            PackerKind::Bp => Box::new(PforPacker(pfor::BpCodec::new())),
-            PackerKind::Pfor => Box::new(PforPacker(pfor::PforCodec::new())),
-            PackerKind::NewPfor => Box::new(PforPacker(pfor::NewPforCodec::new())),
-            PackerKind::OptPfor => Box::new(PforPacker(pfor::OptPforCodec::new())),
-            PackerKind::FastPfor => Box::new(PforPacker(pfor::FastPforCodec::new())),
-            PackerKind::BosV => Box::new(BosPacker::new(SolverKind::Value)),
-            PackerKind::BosB => Box::new(BosPacker::new(SolverKind::BitWidth)),
-            PackerKind::BosM => Box::new(BosPacker::new(SolverKind::Median)),
+            PackerKind::Bp => Box::new(pfor::BpCodec::new()),
+            PackerKind::Pfor => Box::new(pfor::PforCodec::new()),
+            PackerKind::NewPfor => Box::new(pfor::NewPforCodec::new()),
+            PackerKind::OptPfor => Box::new(pfor::OptPforCodec::new()),
+            PackerKind::FastPfor => Box::new(pfor::FastPforCodec::new()),
+            PackerKind::SimplePfor => Box::new(pfor::SimplePforCodec::new()),
+            PackerKind::BosV => Box::new(BosCodec::new(SolverKind::Value)),
+            PackerKind::BosB => Box::new(BosCodec::new(SolverKind::BitWidth)),
+            PackerKind::BosM => Box::new(BosCodec::new(SolverKind::Median)),
         }
     }
 
@@ -178,6 +104,7 @@ impl PackerKind {
             PackerKind::NewPfor => "NEWPFOR",
             PackerKind::OptPfor => "OPTPFOR",
             PackerKind::FastPfor => "FASTPFOR",
+            PackerKind::SimplePfor => "SIMPLEPFOR",
             PackerKind::BosV => "BOS-V",
             PackerKind::BosB => "BOS-B",
             PackerKind::BosM => "BOS-M",

@@ -117,14 +117,22 @@ impl Pipeline {
     }
 
     /// Encodes a float series via `×10^p` scaling. The precision byte is
-    /// stored in the stream. Returns `None` when the series has no exact
-    /// decimal scaling (see [`floatint::infer_precision`]).
-    pub fn encode_f64(&self, values: &[f64], out: &mut Vec<u8>) -> Option<()> {
-        let p = floatint::infer_precision(values)?;
-        let ints = floatint::floats_to_ints(values, p)?;
+    /// stored in the stream. Fails with a typed
+    /// [`FloatEncodeError`](floatint::FloatEncodeError) when the series has
+    /// no exact decimal scaling (see [`floatint::infer_precision`]) or the
+    /// scaled values overflow `i64`.
+    pub fn encode_f64(
+        &self,
+        values: &[f64],
+        out: &mut Vec<u8>,
+    ) -> Result<(), floatint::FloatEncodeError> {
+        let p = floatint::infer_precision(values)
+            .ok_or(floatint::FloatEncodeError::NoExactScaling)?;
+        let ints = floatint::floats_to_ints(values, p)
+            .ok_or(floatint::FloatEncodeError::Overflow { precision: p })?;
         out.push(p as u8);
         self.encode(&ints, out);
-        Some(())
+        Ok(())
     }
 
     /// Decodes a float series produced by [`encode_f64`](Self::encode_f64).
@@ -199,6 +207,10 @@ mod tests {
     fn unrepresentable_floats_are_rejected() {
         let p = Pipeline::new(OuterKind::Ts2Diff, PackerKind::Bp);
         let mut buf = Vec::new();
-        assert!(p.encode_f64(&[std::f64::consts::E], &mut buf).is_none());
+        assert_eq!(
+            p.encode_f64(&[std::f64::consts::E], &mut buf),
+            Err(floatint::FloatEncodeError::NoExactScaling)
+        );
+        assert!(buf.is_empty(), "failed encode must not emit bytes");
     }
 }

@@ -134,7 +134,7 @@ impl<P: IntPacker> Ts2DiffEncoding<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{PackerKind, PforPacker};
+    use crate::PackerKind;
 
     fn roundtrip_kind(values: &[i64], kind: PackerKind, block: usize) -> usize {
         roundtrip_order(values, kind, block, 1)
@@ -238,10 +238,10 @@ mod tests {
     #[test]
     fn deltas_helper_matches_figure8_definition() {
         assert_eq!(
-            Ts2DiffEncoding::<PforPacker<pfor::BpCodec>>::deltas(&[5, 8, 6, 6]),
+            Ts2DiffEncoding::<pfor::BpCodec>::deltas(&[5, 8, 6, 6]),
             vec![3, -2, 0]
         );
-        assert!(Ts2DiffEncoding::<PforPacker<pfor::BpCodec>>::deltas(&[42]).is_empty());
+        assert!(Ts2DiffEncoding::<pfor::BpCodec>::deltas(&[42]).is_empty());
     }
 
     #[test]

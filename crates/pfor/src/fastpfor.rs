@@ -4,19 +4,26 @@
 //! `b` by cost minimization; exception *high bits* (`v >> b`) are not kept
 //! per block but appended to shared per-width buffers ("FastPFOR
 //! classifies outliers according to the length of their high bits"), which
-//! are bit-packed once at the end of the stream. Exception positions are
+//! are packed once at the end of the stream. Exception positions are
 //! single bytes (< 128).
 //!
-//! Layout:
-//! `varint n · zigzag min ·
+//! Format v2 layout (word-packed, PR 3; the frozen v1 bit-serial layout
+//! lives in [`crate::v1`]):
+//! `varint n · u8 version(2) · zigzag min ·
 //!  per sub-block [u8 b · u8 maxbits · u8 n_exc · n_exc position bytes ·
-//!                 len×b slot bits] ·
-//!  per width w ∈ 1..=64 with data [u8 w · varint count · count×w bits] ·
+//!                 word-packed len×b slot stream] ·
+//!  per width w ∈ 1..=64 with data [u8 w · varint count · word-packed
+//!                 count×w page] ·
 //!  u8 0 terminator`.
+//! Every sub-stream is byte-aligned: slot streams go through the fused
+//! frame-of-reference lane kernels (`pack_words_for`, which masks each
+//! delta to its low `b` bits), exception pages through
+//! `pack_words_unrolled`. A non-`2` version byte (any v1 payload) is
+//! rejected with [`DecodeError::BadModeByte`].
 
-use crate::{for_restore, for_transform, Codec};
-use bitpack::bits::{BitReader, BitWriter};
+use crate::{for_restore, for_transform, Codec, FORMAT_V2};
 use bitpack::error::{DecodeError, DecodeResult};
+use bitpack::unrolled::{pack_words_for, pack_words_unrolled, unpack_words_for, unpack_words_unrolled};
 use bitpack::width::width;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
@@ -67,35 +74,32 @@ impl Codec for FastPforCodec {
         if values.is_empty() {
             return;
         }
+        out.push(FORMAT_V2);
         let (min, shifted) = for_transform(values);
         write_varint_i64(out, min);
 
         // Per-width exception buffers shared by all sub-blocks.
         let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); 65];
 
-        for block in shifted.chunks(SUB_BLOCK) {
-            let (b, maxbits) = Self::choose_b(block);
-            let mask = if b == 64 { u64::MAX } else { (1u64 << b) - 1 };
+        // `values` and `shifted` chunk in lockstep: widths and exception
+        // high bits come from the shifted block, the slot stream from the
+        // fused subtract-mask-pack kernel over the raw block.
+        for (vblock, sblock) in values.chunks(SUB_BLOCK).zip(shifted.chunks(SUB_BLOCK)) {
+            let (b, maxbits) = Self::choose_b(sblock);
             out.push(b as u8);
             out.push(maxbits as u8);
             let exc_at = out.len();
             out.push(0); // n_exc patched below
             let mut n_exc = 0u8;
-            for (i, &v) in block.iter().enumerate() {
+            for (i, &v) in sblock.iter().enumerate() {
                 if width(v) > b {
                     out.push(i as u8);
                     n_exc += 1;
-                }
-            }
-            out[exc_at] = n_exc;
-            let mut bits = BitWriter::with_capacity_bits(block.len() * b as usize);
-            for &v in block {
-                bits.write_bits(v & mask, b);
-                if width(v) > b {
                     buckets[(maxbits - b) as usize].push(v >> b);
                 }
             }
-            out.extend_from_slice(&bits.into_bytes());
+            out[exc_at] = n_exc;
+            pack_words_for(vblock, min, b, out);
         }
 
         // Exception pages: one per populated width.
@@ -105,11 +109,7 @@ impl Codec for FastPforCodec {
             }
             out.push(w as u8);
             write_varint(out, bucket.len() as u64);
-            let mut bits = BitWriter::with_capacity_bits(bucket.len() * w);
-            for &v in bucket {
-                bits.write_bits(v, w as u32);
-            }
-            out.extend_from_slice(&bits.into_bytes());
+            pack_words_unrolled(bucket, w as u32, out);
         }
         out.push(0); // terminator
     }
@@ -121,6 +121,11 @@ impl Codec for FastPforCodec {
         }
         if n > bitpack::MAX_BLOCK_VALUES {
             return Err(DecodeError::CountOverflow { claimed: n as u64 });
+        }
+        let ver = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        if ver != FORMAT_V2 {
+            return Err(DecodeError::BadModeByte { mode: ver });
         }
         let min = read_varint_i64(buf, pos)?;
         let start = out.len();
@@ -151,13 +156,14 @@ impl Codec for FastPforCodec {
                 }
                 pending.push((base + p, b, maxbits - b));
             }
-            let bytes = (len * b as usize).div_ceil(8);
-            let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
-            *pos += bytes;
-            let mut reader = BitReader::new(payload);
-            for _ in 0..len {
-                out.push(for_restore(min, reader.read_bits(b)?));
-            }
+            let consumed = unpack_words_for(
+                buf.get(*pos..).ok_or(DecodeError::Truncated)?,
+                len,
+                b,
+                min,
+                out,
+            )?;
+            *pos += consumed;
             base += len;
             remaining -= len;
         }
@@ -178,16 +184,18 @@ impl Codec for FastPforCodec {
             if count > n {
                 return Err(DecodeError::CountOverflow { claimed: count as u64 });
             }
-            let bytes = (count * w).div_ceil(8);
-            let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
-            *pos += bytes;
-            let mut reader = BitReader::new(payload);
+            let mut page = Vec::with_capacity(count);
+            let consumed = unpack_words_unrolled(
+                buf.get(*pos..).ok_or(DecodeError::Truncated)?,
+                count,
+                w as u32,
+                &mut page,
+            )?;
+            *pos += consumed;
             let queue = queues
                 .get_mut(w)
                 .ok_or(DecodeError::WidthOverflow { width: w as u32 })?;
-            for _ in 0..count {
-                queue.push_back(reader.read_bits(w as u32)?);
-            }
+            queue.extend(page);
         }
 
         // Patch in stream order: each exception pops from its width queue.
@@ -253,6 +261,19 @@ mod tests {
         let n = values.len();
         values[n - 1] = 1 << 30;
         roundtrip(&FastPforCodec::new(), &values);
+    }
+
+    #[test]
+    fn v1_payload_rejected() {
+        let values: Vec<i64> = (0..400).map(|i| if i % 37 == 0 { 1 << 41 } else { i % 9 }).collect();
+        let mut v1 = Vec::new();
+        crate::v1::encode_fastpfor_v1(&values, &mut v1);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        assert_eq!(
+            FastPforCodec::new().decode(&v1, &mut pos, &mut out),
+            Err(DecodeError::BadModeByte { mode: 0 })
+        );
     }
 
     #[test]

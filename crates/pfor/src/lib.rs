@@ -25,7 +25,13 @@
 //! and length-prefixed, and decoders fail (return
 //! `Err(bitpack::DecodeError)`) instead of panicking on corrupt input.
 //!
-//! Shared trait: [`Codec`].
+//! Since PR 3 every codec emits the word-packed format v2 ([`FORMAT_V2`])
+//! driven by the `bitpack::unrolled` lane kernels; the frozen bit-serial
+//! v1 reference implementations live in [`v1`] for benchmarking and
+//! rejection tests only.
+//!
+//! Shared trait: [`Codec`] (the workspace-wide
+//! [`bitpack::BlockCodec`](bitpack::codec::BlockCodec), re-exported).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,6 +42,7 @@ pub mod newpfor;
 pub mod optpfor;
 pub mod pfor;
 pub mod simplepfor;
+pub mod v1;
 
 pub use bp::BpCodec;
 pub use fastpfor::FastPforCodec;
@@ -44,27 +51,26 @@ pub use optpfor::OptPforCodec;
 pub use pfor::PforCodec;
 pub use simplepfor::SimplePforCodec;
 
-use bitpack::error::DecodeResult;
+/// The unified block-codec trait, defined once in
+/// [`bitpack::codec`](bitpack::codec) and re-exported here under the name
+/// this crate has always used.
+pub use bitpack::codec::BlockCodec as Codec;
 
-/// A self-describing integer block codec.
-pub trait Codec {
-    /// Method label used in experiment tables ("PFOR", "NEWPFOR", …).
-    fn name(&self) -> &'static str;
-
-    /// Appends one encoded block to `out`.
-    fn encode(&self, values: &[i64], out: &mut Vec<u8>);
-
-    /// Decodes one block from `buf[*pos..]`, appending values to `out`.
-    /// Fails with a [`bitpack::DecodeError`] on corrupt or truncated input.
-    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()>;
-}
+/// Format version byte written by the word-packed PFOR-family layouts
+/// (PR 3). Decoders reject any other value — in particular the v1
+/// bit-serial payloads of [`v1`] — with
+/// [`DecodeError::BadModeByte`](bitpack::DecodeError::BadModeByte).
+pub const FORMAT_V2: u8 = 2;
 
 /// Frame-of-reference transform: `(min, values − min)`.
 ///
 /// The subtraction is exact over the whole `i64` domain (wrapping cast to
-/// `u64`).
+/// `u64`). An empty slice has no minimum; it maps to `(0, [])` so callers
+/// that already wrote their `varint 0` count need no separate guard.
 pub(crate) fn for_transform(values: &[i64]) -> (i64, Vec<u64>) {
-    let min = values.iter().copied().min().expect("non-empty");
+    let Some(min) = values.iter().copied().min() else {
+        return (0, Vec::new());
+    };
     let shifted = values.iter().map(|&v| v.wrapping_sub(min) as u64).collect();
     (min, shifted)
 }
@@ -73,6 +79,25 @@ pub(crate) fn for_transform(values: &[i64]) -> (i64, Vec<u64>) {
 #[inline]
 pub(crate) fn for_restore(min: i64, v: u64) -> i64 {
     min.wrapping_add(v as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_transform_empty_slice_is_explicit() {
+        // Regression: this used to `.expect("non-empty")` and panic.
+        assert_eq!(for_transform(&[]), (0, Vec::new()));
+    }
+
+    #[test]
+    fn for_transform_roundtrips_via_restore() {
+        let values = [i64::MIN, -5, 0, 7, i64::MAX];
+        let (min, shifted) = for_transform(&values);
+        let back: Vec<i64> = shifted.iter().map(|&v| for_restore(min, v)).collect();
+        assert_eq!(back, values);
+    }
 }
 
 #[cfg(test)]

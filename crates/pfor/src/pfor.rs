@@ -9,12 +9,18 @@
 //! flaw the paper highlights ("this solution may introduce a large number
 //! of compulsory outliers").
 //!
-//! Layout: `varint n · zigzag min · w_full · b · varint n_exc ·
-//! [varint first_exc] · n×b slot bits · n_exc×w_full exception bits`.
+//! Format v2 layout (word-packed, PR 3; the frozen v1 bit-serial layout
+//! lives in [`crate::v1`]):
+//! `varint n · u8 version(2) · zigzag min · w_full · b · varint n_exc ·
+//! [varint first_exc] · word-packed n×b slot stream (`packed_size(n, b)`
+//! bytes, `bitpack::unrolled`) · word-packed n_exc×w_full exception
+//! stream`. Both sub-streams are byte-aligned and decoded with the
+//! unrolled lane kernels; a non-`2` version byte (any v1 payload) is
+//! rejected with [`DecodeError::BadModeByte`].
 
-use crate::{for_restore, for_transform, Codec};
-use bitpack::bits::{BitReader, BitWriter};
+use crate::{for_restore, for_transform, Codec, FORMAT_V2};
 use bitpack::error::{DecodeError, DecodeResult};
+use bitpack::unrolled::{pack_words_unrolled, unpack_words_for, unpack_words_unrolled};
 use bitpack::width::width;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
@@ -89,6 +95,7 @@ impl Codec for PforCodec {
         if values.is_empty() {
             return;
         }
+        out.push(FORMAT_V2);
         let (min, shifted) = for_transform(values);
         let w_full = width(shifted.iter().copied().max().unwrap_or(0));
         let b = Self::choose_b(&shifted, w_full);
@@ -102,12 +109,10 @@ impl Codec for PforCodec {
             write_varint(out, first as u64);
         }
 
-        let mut bits = BitWriter::with_capacity_bits(
-            shifted.len() * b as usize + exceptions.len() * w_full as usize,
-        );
-        // Slots: value, or offset-to-next-exception-minus-1 for exceptions.
+        // Slot stream: value, or offset-to-next-exception-minus-1 for
+        // exceptions, word-packed at width b.
+        let mut slots = Vec::with_capacity(shifted.len());
         let mut next_exc = exceptions.iter().copied().peekable();
-        let exc_iter = exceptions.iter().copied();
         for (i, &v) in shifted.iter().enumerate() {
             if next_exc.peek() == Some(&i) {
                 next_exc.next();
@@ -115,16 +120,16 @@ impl Codec for PforCodec {
                     Some(&nx) => (nx - i - 1) as u64,
                     None => 0,
                 };
-                bits.write_bits(gap, b);
+                slots.push(gap);
             } else {
-                bits.write_bits(v, b);
+                slots.push(v);
             }
         }
+        pack_words_unrolled(&slots, b, out);
+
         // Exception values at full width, in chain order.
-        for i in exc_iter {
-            bits.write_bits(shifted[i], w_full);
-        }
-        out.extend_from_slice(&bits.into_bytes());
+        let excs: Vec<u64> = exceptions.iter().map(|&i| shifted[i]).collect();
+        pack_words_unrolled(&excs, w_full, out);
     }
 
     fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
@@ -134,6 +139,11 @@ impl Codec for PforCodec {
         }
         if n > bitpack::MAX_BLOCK_VALUES {
             return Err(DecodeError::CountOverflow { claimed: n as u64 });
+        }
+        let ver = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        if ver != FORMAT_V2 {
+            return Err(DecodeError::BadModeByte { mode: ver });
         }
         let min = read_varint_i64(buf, pos)?;
         let w_full = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
@@ -155,20 +165,26 @@ impl Codec for PforCodec {
         } else {
             None
         };
-        let total_bits = n * b as usize + n_exc * w_full as usize;
-        let bytes = total_bits.div_ceil(8);
-        let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
-        *pos += bytes;
 
-        let mut reader = BitReader::new(payload);
+        // Slots restore straight to `min + slot`; exception slots hold a
+        // chain gap instead of a value and are patched below.
         let start = out.len();
-        out.reserve(n);
-        for _ in 0..n {
-            out.push(for_restore(min, reader.read_bits(b)?));
-        }
+        let consumed =
+            unpack_words_for(buf.get(*pos..).ok_or(DecodeError::Truncated)?, n, b, min, out)?;
+        *pos += consumed;
+
+        let mut excs = Vec::with_capacity(n_exc);
+        let consumed = unpack_words_unrolled(
+            buf.get(*pos..).ok_or(DecodeError::Truncated)?,
+            n_exc,
+            w_full,
+            &mut excs,
+        )?;
+        *pos += consumed;
+
         // Patch the exception chain.
         let mut cur = first_exc;
-        for patched in 0..n_exc {
+        for (patched, &value) in excs.iter().enumerate() {
             let i = cur.ok_or(DecodeError::LengthMismatch {
                 expected: n_exc,
                 got: patched,
@@ -176,11 +192,15 @@ impl Codec for PforCodec {
             let slot_ref = out
                 .get_mut(start + i)
                 .ok_or(DecodeError::CountOverflow { claimed: i as u64 })?;
-            let slot = (slot_ref.wrapping_sub(min)) as u64;
-            let value = reader.read_bits(w_full)?;
+            let gap = (slot_ref.wrapping_sub(min)) as u64;
             *slot_ref = for_restore(min, value);
-            let nxt = i + 1 + slot as usize;
-            cur = if nxt < n { Some(nxt) } else { None };
+            // i + 1 <= n, so only the gap addition can overflow; a
+            // too-large gap (corrupt input) just ends the chain and the
+            // next iteration reports LengthMismatch.
+            cur = match (i + 1).checked_add(gap as usize) {
+                Some(nxt) if nxt < n => Some(nxt),
+                _ => None,
+            };
         }
         Ok(())
     }
@@ -248,6 +268,34 @@ mod tests {
         let exc2 = PforCodec::exception_positions(&shifted, 2);
         // Gap 10 > 2^2 = 4: compulsory links appear.
         assert!(exc2.len() > 10);
+    }
+
+    #[test]
+    fn matches_v1_values() {
+        // Same data decodes to the same values through both formats.
+        let codec = PforCodec::new();
+        for case in standard_cases() {
+            let mut v1 = Vec::new();
+            crate::v1::encode_pfor_v1(&case, &mut v1);
+            let mut pos = 0;
+            let mut from_v1 = Vec::new();
+            crate::v1::decode_pfor_v1(&v1, &mut pos, &mut from_v1).expect("v1 intact");
+            roundtrip(&codec, &from_v1);
+        }
+    }
+
+    #[test]
+    fn v1_payload_rejected() {
+        // min = 0 so the v1 zigzag-min byte cannot alias the version byte.
+        let values: Vec<i64> = (0..500).map(|i| if i % 31 == 0 { 1 << 45 } else { i % 13 }).collect();
+        let mut v1 = Vec::new();
+        crate::v1::encode_pfor_v1(&values, &mut v1);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        assert_eq!(
+            PforCodec::new().decode(&v1, &mut pos, &mut out),
+            Err(DecodeError::BadModeByte { mode: 0 })
+        );
     }
 
     #[test]

@@ -5,14 +5,21 @@
 //! (paper §II-C). Same sub-block structure and width selection as
 //! FastPFOR, one shared Simple8b stream for all exception high bits.
 //!
-//! Layout: `varint n · zigzag min ·
-//! per sub-block [u8 b · u8 n_exc · n_exc position bytes · len×b bits] ·
-//! simple8b(all high bits, in stream order)`.
+//! Format v2 layout (word-packed, PR 3; the frozen v1 bit-serial layout
+//! lives in [`crate::v1`]):
+//! `varint n · u8 version(2) · zigzag min ·
+//! per sub-block [u8 b · u8 n_exc · n_exc position bytes · word-packed
+//! len×b slot stream] · simple8b(all high bits, in stream order)`.
+//! Slot streams are byte-aligned and go through the fused
+//! frame-of-reference lane kernels (`pack_words_for`, which masks each
+//! delta to its low `b` bits); Simple8b was already word-aligned. A
+//! non-`2` version byte (any v1 payload) is rejected with
+//! [`DecodeError::BadModeByte`].
 
-use crate::{for_restore, for_transform, Codec};
-use bitpack::bits::{BitReader, BitWriter};
+use crate::{for_restore, for_transform, Codec, FORMAT_V2};
 use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::simple8b;
+use bitpack::unrolled::{pack_words_for, unpack_words_for};
 use bitpack::width::width;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
@@ -71,17 +78,20 @@ impl Codec for SimplePforCodec {
         if values.is_empty() {
             return;
         }
+        out.push(FORMAT_V2);
         let (min, shifted) = for_transform(values);
         write_varint_i64(out, min);
         let mut highs = Vec::new();
-        for block in shifted.chunks(SUB_BLOCK) {
-            let b = Self::choose_b(block);
-            let mask = if b == 64 { u64::MAX } else { (1u64 << b) - 1 };
+        // `values` and `shifted` chunk in lockstep: widths and exception
+        // high bits come from the shifted block, the slot stream from the
+        // fused subtract-mask-pack kernel over the raw block.
+        for (vblock, sblock) in values.chunks(SUB_BLOCK).zip(shifted.chunks(SUB_BLOCK)) {
+            let b = Self::choose_b(sblock);
             out.push(b as u8);
             let exc_at = out.len();
             out.push(0);
             let mut n_exc = 0u8;
-            for (i, &v) in block.iter().enumerate() {
+            for (i, &v) in sblock.iter().enumerate() {
                 if width(v) > b {
                     out.push(i as u8);
                     n_exc += 1;
@@ -89,11 +99,7 @@ impl Codec for SimplePforCodec {
                 }
             }
             out[exc_at] = n_exc;
-            let mut bits = BitWriter::with_capacity_bits(block.len() * b as usize);
-            for &v in block {
-                bits.write_bits(v & mask, b);
-            }
-            out.extend_from_slice(&bits.into_bytes());
+            pack_words_for(vblock, min, b, out);
         }
         simple8b::encode(&highs, out).expect("high bits bounded by 60"); // lint:allow(no-panic): encode-side invariant, highs are (v >> b) < 2^60
     }
@@ -105,6 +111,11 @@ impl Codec for SimplePforCodec {
         }
         if n > bitpack::MAX_BLOCK_VALUES {
             return Err(DecodeError::CountOverflow { claimed: n as u64 });
+        }
+        let ver = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        if ver != FORMAT_V2 {
+            return Err(DecodeError::BadModeByte { mode: ver });
         }
         let min = read_varint_i64(buf, pos)?;
         let start = out.len();
@@ -131,13 +142,14 @@ impl Codec for SimplePforCodec {
                 }
                 pending.push((base + p, b));
             }
-            let bytes = (len * b as usize).div_ceil(8);
-            let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
-            *pos += bytes;
-            let mut reader = BitReader::new(payload);
-            for _ in 0..len {
-                out.push(for_restore(min, reader.read_bits(b)?));
-            }
+            let consumed = unpack_words_for(
+                buf.get(*pos..).ok_or(DecodeError::Truncated)?,
+                len,
+                b,
+                min,
+                out,
+            )?;
+            *pos += consumed;
             base += len;
             remaining -= len;
         }
@@ -205,6 +217,19 @@ mod tests {
             }
         }
         roundtrip(&SimplePforCodec::new(), &values);
+    }
+
+    #[test]
+    fn v1_payload_rejected() {
+        let values: Vec<i64> = (0..300).map(|i| if i % 29 == 0 { 1 << 33 } else { i % 7 }).collect();
+        let mut v1 = Vec::new();
+        crate::v1::encode_simplepfor_v1(&values, &mut v1);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        assert_eq!(
+            SimplePforCodec::new().decode(&v1, &mut pos, &mut out),
+            Err(DecodeError::BadModeByte { mode: 0 })
+        );
     }
 
     #[test]

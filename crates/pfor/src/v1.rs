@@ -1,0 +1,519 @@
+//! Frozen format v1 (bit-serial `BitReader`/`BitWriter`) reference
+//! implementations of the PFOR / FastPFOR / SimplePFOR payloads.
+//!
+//! PR 3 migrated the live codecs to the word-packed v2 layout; these are
+//! byte-for-byte copies of the pre-migration encode/decode paths, kept for
+//! two purposes only:
+//!
+//! * the `exp_throughput` migration benchmark decodes v1 payloads with
+//!   these functions to measure the live BitReader baseline the v2 kernels
+//!   are gated against (`BENCH_PR3.json`, ≥1.5× decode speedup), and
+//! * the adversarial tests feed v1 payloads to the v2 decoders to assert
+//!   they are rejected with a typed [`DecodeError`], not decoded as
+//!   garbage.
+//!
+//! Nothing here is reachable from the public codec API ([`crate::Codec`]
+//! implementations never emit or accept v1), and this module is
+//! intentionally self-contained: the width-selection helpers are frozen
+//! copies too, so future tuning of the live codecs cannot silently change
+//! the baseline.
+
+use crate::{for_restore, for_transform};
+use bitpack::bits::{BitReader, BitWriter};
+use bitpack::error::{DecodeError, DecodeResult};
+use bitpack::simple8b;
+use bitpack::width::width;
+use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
+
+/// Values per FastPFOR / SimplePFOR sub-block (frozen copy).
+const SUB_BLOCK: usize = 128;
+
+/// Simple8b payload limit for SimplePFOR high bits (frozen copy).
+const MAX_HIGH_BITS: u32 = 60;
+
+// ---------------------------------------------------------------------------
+// Classic PFOR
+// ---------------------------------------------------------------------------
+
+/// Frozen copy of `PforCodec::choose_b` as of format v1.
+fn pfor_choose_b(shifted: &[u64], w_full: u32) -> u32 {
+    let mut hist = [0usize; 65];
+    for &v in shifted {
+        hist[width(v) as usize] += 1;
+    }
+    let n = shifted.len();
+    let mut best_b = w_full;
+    let mut best_cost = n as u64 * w_full as u64;
+    let mut exceeding = 0usize;
+    for b in (0..w_full).rev() {
+        exceeding += hist[b as usize + 1];
+        if b == 0 && exceeding > 0 {
+            continue;
+        }
+        let cost = n as u64 * b as u64 + exceeding as u64 * w_full as u64;
+        if cost < best_cost {
+            best_cost = cost;
+            best_b = b;
+        }
+    }
+    best_b
+}
+
+/// Frozen copy of `PforCodec::exception_positions` as of format v1.
+fn pfor_exception_positions(shifted: &[u64], b: u32) -> Vec<usize> {
+    let max_gap = 1u128 << b;
+    let mut exceptions = Vec::new();
+    let mut last: Option<usize> = None;
+    for (i, &v) in shifted.iter().enumerate() {
+        if width(v) > b {
+            while let Some(l) = last {
+                if (i - l) as u128 <= max_gap {
+                    break;
+                }
+                let c = l + max_gap as usize;
+                exceptions.push(c);
+                last = Some(c);
+            }
+            exceptions.push(i);
+            last = Some(i);
+        }
+    }
+    exceptions
+}
+
+/// Encodes one classic-PFOR block in the frozen v1 bit-serial layout:
+/// `varint n · zigzag min · w_full · b · varint n_exc · [varint first_exc]
+/// · n×b slot bits · n_exc×w_full exception bits`.
+pub fn encode_pfor_v1(values: &[i64], out: &mut Vec<u8>) {
+    write_varint(out, values.len() as u64);
+    if values.is_empty() {
+        return;
+    }
+    let (min, shifted) = for_transform(values);
+    let w_full = width(shifted.iter().copied().max().unwrap_or(0));
+    let b = pfor_choose_b(&shifted, w_full);
+    let exceptions = pfor_exception_positions(&shifted, b);
+
+    write_varint_i64(out, min);
+    out.push(w_full as u8);
+    out.push(b as u8);
+    write_varint(out, exceptions.len() as u64);
+    if let Some(&first) = exceptions.first() {
+        write_varint(out, first as u64);
+    }
+
+    let mut bits = BitWriter::with_capacity_bits(
+        shifted.len() * b as usize + exceptions.len() * w_full as usize,
+    );
+    let mut next_exc = exceptions.iter().copied().peekable();
+    let exc_iter = exceptions.iter().copied();
+    for (i, &v) in shifted.iter().enumerate() {
+        if next_exc.peek() == Some(&i) {
+            next_exc.next();
+            let gap = match next_exc.peek() {
+                Some(&nx) => (nx - i - 1) as u64,
+                None => 0,
+            };
+            bits.write_bits(gap, b);
+        } else {
+            bits.write_bits(v, b);
+        }
+    }
+    for i in exc_iter {
+        bits.write_bits(shifted[i], w_full);
+    }
+    out.extend_from_slice(&bits.into_bytes());
+}
+
+/// Decodes the frozen v1 classic-PFOR layout of [`encode_pfor_v1`].
+pub fn decode_pfor_v1(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
+    let n = read_varint(buf, pos)? as usize;
+    if n == 0 {
+        return Ok(());
+    }
+    if n > bitpack::MAX_BLOCK_VALUES {
+        return Err(DecodeError::CountOverflow { claimed: n as u64 });
+    }
+    let min = read_varint_i64(buf, pos)?;
+    let w_full = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
+    let b = *buf.get(*pos + 1).ok_or(DecodeError::Truncated)? as u32;
+    *pos += 2;
+    if w_full > 64 || b > 64 {
+        return Err(DecodeError::WidthOverflow { width: w_full.max(b) });
+    }
+    let n_exc = read_varint(buf, pos)? as usize;
+    if n_exc > n {
+        return Err(DecodeError::CountOverflow { claimed: n_exc as u64 });
+    }
+    let first_exc = if n_exc > 0 {
+        let f = read_varint(buf, pos)? as usize;
+        if f >= n {
+            return Err(DecodeError::CountOverflow { claimed: f as u64 });
+        }
+        Some(f)
+    } else {
+        None
+    };
+    let total_bits = n * b as usize + n_exc * w_full as usize;
+    let bytes = total_bits.div_ceil(8);
+    let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
+    *pos += bytes;
+
+    let mut reader = BitReader::new(payload);
+    let start = out.len();
+    out.reserve(n);
+    for _ in 0..n {
+        out.push(for_restore(min, reader.read_bits(b)?));
+    }
+    let mut cur = first_exc;
+    for patched in 0..n_exc {
+        let i = cur.ok_or(DecodeError::LengthMismatch {
+            expected: n_exc,
+            got: patched,
+        })?;
+        let slot_ref = out
+            .get_mut(start + i)
+            .ok_or(DecodeError::CountOverflow { claimed: i as u64 })?;
+        let slot = (slot_ref.wrapping_sub(min)) as u64;
+        let value = reader.read_bits(w_full)?;
+        *slot_ref = for_restore(min, value);
+        let nxt = i + 1 + slot as usize;
+        cur = if nxt < n { Some(nxt) } else { None };
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// FastPFOR
+// ---------------------------------------------------------------------------
+
+/// Frozen copy of `FastPforCodec::choose_b` as of format v1.
+fn fastpfor_choose_b(block: &[u64]) -> (u32, u32) {
+    let maxbits = block.iter().map(|&v| width(v)).max().unwrap_or(0);
+    let mut hist = [0usize; 66];
+    for &v in block {
+        hist[width(v) as usize] += 1;
+    }
+    let mut best_b = maxbits;
+    let mut best_cost = block.len() as u64 * maxbits as u64;
+    let mut exceeding = 0usize;
+    for b in (0..maxbits).rev() {
+        exceeding += hist[b as usize + 1];
+        let cost =
+            block.len() as u64 * b as u64 + exceeding as u64 * ((maxbits - b) as u64 + 8);
+        if cost < best_cost {
+            best_cost = cost;
+            best_b = b;
+        }
+    }
+    (best_b, maxbits)
+}
+
+/// Encodes one FastPFOR block in the frozen v1 bit-serial layout:
+/// `varint n · zigzag min · per sub-block [u8 b · u8 maxbits · u8 n_exc ·
+/// pos bytes · len×b slot bits] · per width [u8 w · varint count ·
+/// count×w bits] · u8 0`.
+pub fn encode_fastpfor_v1(values: &[i64], out: &mut Vec<u8>) {
+    write_varint(out, values.len() as u64);
+    if values.is_empty() {
+        return;
+    }
+    let (min, shifted) = for_transform(values);
+    write_varint_i64(out, min);
+
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); 65];
+    for block in shifted.chunks(SUB_BLOCK) {
+        let (b, maxbits) = fastpfor_choose_b(block);
+        let mask = if b == 64 { u64::MAX } else { (1u64 << b) - 1 };
+        out.push(b as u8);
+        out.push(maxbits as u8);
+        let exc_at = out.len();
+        out.push(0);
+        let mut n_exc = 0u8;
+        for (i, &v) in block.iter().enumerate() {
+            if width(v) > b {
+                out.push(i as u8);
+                n_exc += 1;
+            }
+        }
+        out[exc_at] = n_exc;
+        let mut bits = BitWriter::with_capacity_bits(block.len() * b as usize);
+        for &v in block {
+            bits.write_bits(v & mask, b);
+            if width(v) > b {
+                buckets[(maxbits - b) as usize].push(v >> b);
+            }
+        }
+        out.extend_from_slice(&bits.into_bytes());
+    }
+
+    for (w, bucket) in buckets.iter().enumerate().skip(1) {
+        if bucket.is_empty() {
+            continue;
+        }
+        out.push(w as u8);
+        write_varint(out, bucket.len() as u64);
+        let mut bits = BitWriter::with_capacity_bits(bucket.len() * w);
+        for &v in bucket {
+            bits.write_bits(v, w as u32);
+        }
+        out.extend_from_slice(&bits.into_bytes());
+    }
+    out.push(0);
+}
+
+/// Decodes the frozen v1 FastPFOR layout of [`encode_fastpfor_v1`].
+pub fn decode_fastpfor_v1(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
+    let n = read_varint(buf, pos)? as usize;
+    if n == 0 {
+        return Ok(());
+    }
+    if n > bitpack::MAX_BLOCK_VALUES {
+        return Err(DecodeError::CountOverflow { claimed: n as u64 });
+    }
+    let min = read_varint_i64(buf, pos)?;
+    let start = out.len();
+    out.reserve(n);
+
+    let mut pending: Vec<(usize, u32, u32)> = Vec::new();
+    let mut remaining = n;
+    let mut base = 0usize;
+    while remaining > 0 {
+        let len = remaining.min(SUB_BLOCK);
+        let b = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
+        let maxbits = *buf.get(*pos + 1).ok_or(DecodeError::Truncated)? as u32;
+        let n_exc = *buf.get(*pos + 2).ok_or(DecodeError::Truncated)? as usize;
+        *pos += 3;
+        if b > 64 || maxbits > 64 {
+            return Err(DecodeError::WidthOverflow { width: b.max(maxbits) });
+        }
+        if maxbits < b || n_exc > len {
+            return Err(DecodeError::CountOverflow { claimed: n_exc as u64 });
+        }
+        for _ in 0..n_exc {
+            let p = *buf.get(*pos).ok_or(DecodeError::Truncated)? as usize;
+            *pos += 1;
+            if p >= len || b >= 64 {
+                return Err(DecodeError::CountOverflow { claimed: p as u64 });
+            }
+            pending.push((base + p, b, maxbits - b));
+        }
+        let bytes = (len * b as usize).div_ceil(8);
+        let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
+        *pos += bytes;
+        let mut reader = BitReader::new(payload);
+        for _ in 0..len {
+            out.push(for_restore(min, reader.read_bits(b)?));
+        }
+        base += len;
+        remaining -= len;
+    }
+
+    let mut queues: Vec<std::collections::VecDeque<u64>> =
+        (0..65).map(|_| std::collections::VecDeque::new()).collect();
+    loop {
+        let w = *buf.get(*pos).ok_or(DecodeError::Truncated)? as usize;
+        *pos += 1;
+        if w == 0 {
+            break;
+        }
+        if w > 64 {
+            return Err(DecodeError::WidthOverflow { width: w as u32 });
+        }
+        let count = read_varint(buf, pos)? as usize;
+        if count > n {
+            return Err(DecodeError::CountOverflow { claimed: count as u64 });
+        }
+        let bytes = (count * w).div_ceil(8);
+        let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
+        *pos += bytes;
+        let mut reader = BitReader::new(payload);
+        let queue = queues
+            .get_mut(w)
+            .ok_or(DecodeError::WidthOverflow { width: w as u32 })?;
+        for _ in 0..count {
+            queue.push_back(reader.read_bits(w as u32)?);
+        }
+    }
+
+    for (idx, b, w) in pending {
+        let h = queues
+            .get_mut(w as usize)
+            .and_then(|q| q.pop_front())
+            .ok_or(DecodeError::Truncated)?;
+        let slot = out
+            .get_mut(start + idx)
+            .ok_or(DecodeError::CountOverflow { claimed: idx as u64 })?;
+        let low = slot.wrapping_sub(min) as u64;
+        *slot = for_restore(min, low | (h << b));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// SimplePFOR
+// ---------------------------------------------------------------------------
+
+/// Frozen copy of `SimplePforCodec::choose_b` as of format v1.
+fn simplepfor_choose_b(block: &[u64]) -> u32 {
+    let maxbits = block.iter().map(|&v| width(v)).max().unwrap_or(0);
+    let mut hist = [0usize; 66];
+    for &v in block {
+        hist[width(v) as usize] += 1;
+    }
+    let b_min = maxbits.saturating_sub(MAX_HIGH_BITS);
+    let mut best_b = maxbits;
+    let mut best_cost = block.len() as u64 * maxbits as u64;
+    let mut exceeding = 0usize;
+    for b in (0..maxbits).rev() {
+        exceeding += hist[b as usize + 1];
+        if b < b_min {
+            break;
+        }
+        let cost =
+            block.len() as u64 * b as u64 + exceeding as u64 * ((maxbits - b) as u64 + 8);
+        if cost < best_cost {
+            best_cost = cost;
+            best_b = b;
+        }
+    }
+    best_b
+}
+
+/// Encodes one SimplePFOR block in the frozen v1 bit-serial layout:
+/// `varint n · zigzag min · per sub-block [u8 b · u8 n_exc · pos bytes ·
+/// len×b bits] · simple8b(high bits)`.
+pub fn encode_simplepfor_v1(values: &[i64], out: &mut Vec<u8>) {
+    write_varint(out, values.len() as u64);
+    if values.is_empty() {
+        return;
+    }
+    let (min, shifted) = for_transform(values);
+    write_varint_i64(out, min);
+    let mut highs = Vec::new();
+    for block in shifted.chunks(SUB_BLOCK) {
+        let b = simplepfor_choose_b(block);
+        let mask = if b == 64 { u64::MAX } else { (1u64 << b) - 1 };
+        out.push(b as u8);
+        let exc_at = out.len();
+        out.push(0);
+        let mut n_exc = 0u8;
+        for (i, &v) in block.iter().enumerate() {
+            if width(v) > b {
+                out.push(i as u8);
+                n_exc += 1;
+                highs.push(v >> b);
+            }
+        }
+        out[exc_at] = n_exc;
+        let mut bits = BitWriter::with_capacity_bits(block.len() * b as usize);
+        for &v in block {
+            bits.write_bits(v & mask, b);
+        }
+        out.extend_from_slice(&bits.into_bytes());
+    }
+    simple8b::encode(&highs, out).expect("high bits bounded by 60"); // lint:allow(no-panic): encode-side invariant, highs are (v >> b) < 2^60
+}
+
+/// Decodes the frozen v1 SimplePFOR layout of [`encode_simplepfor_v1`].
+pub fn decode_simplepfor_v1(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
+    let n = read_varint(buf, pos)? as usize;
+    if n == 0 {
+        return Ok(());
+    }
+    if n > bitpack::MAX_BLOCK_VALUES {
+        return Err(DecodeError::CountOverflow { claimed: n as u64 });
+    }
+    let min = read_varint_i64(buf, pos)?;
+    let start = out.len();
+    out.reserve(n);
+    let mut pending: Vec<(usize, u32)> = Vec::new();
+    let mut remaining = n;
+    let mut base = 0usize;
+    while remaining > 0 {
+        let len = remaining.min(SUB_BLOCK);
+        let b = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
+        let n_exc = *buf.get(*pos + 1).ok_or(DecodeError::Truncated)? as usize;
+        *pos += 2;
+        if b > 64 {
+            return Err(DecodeError::WidthOverflow { width: b });
+        }
+        if n_exc > len {
+            return Err(DecodeError::CountOverflow { claimed: n_exc as u64 });
+        }
+        for _ in 0..n_exc {
+            let p = *buf.get(*pos).ok_or(DecodeError::Truncated)? as usize;
+            *pos += 1;
+            if p >= len || b >= 64 {
+                return Err(DecodeError::CountOverflow { claimed: p as u64 });
+            }
+            pending.push((base + p, b));
+        }
+        let bytes = (len * b as usize).div_ceil(8);
+        let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
+        *pos += bytes;
+        let mut reader = BitReader::new(payload);
+        for _ in 0..len {
+            out.push(for_restore(min, reader.read_bits(b)?));
+        }
+        base += len;
+        remaining -= len;
+    }
+    let mut highs = Vec::new();
+    simple8b::decode(buf, pos, &mut highs)?;
+    if highs.len() != pending.len() {
+        return Err(DecodeError::LengthMismatch {
+            expected: pending.len(),
+            got: highs.len(),
+        });
+    }
+    for ((idx, b), h) in pending.into_iter().zip(highs) {
+        let slot = out
+            .get_mut(start + idx)
+            .ok_or(DecodeError::CountOverflow { claimed: idx as u64 })?;
+        let low = slot.wrapping_sub(min) as u64;
+        *slot = for_restore(min, low | (h << b));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::standard_cases;
+
+    fn v1_roundtrip(
+        enc: fn(&[i64], &mut Vec<u8>),
+        dec: fn(&[u8], &mut usize, &mut Vec<i64>) -> DecodeResult<()>,
+        values: &[i64],
+    ) {
+        let mut buf = Vec::new();
+        enc(values, &mut buf);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        dec(&buf, &mut pos, &mut out).expect("v1 intact");
+        assert_eq!(out, values);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn pfor_v1_roundtrips() {
+        for case in standard_cases() {
+            v1_roundtrip(encode_pfor_v1, decode_pfor_v1, &case);
+        }
+    }
+
+    #[test]
+    fn fastpfor_v1_roundtrips() {
+        for case in standard_cases() {
+            v1_roundtrip(encode_fastpfor_v1, decode_fastpfor_v1, &case);
+        }
+    }
+
+    #[test]
+    fn simplepfor_v1_roundtrips() {
+        for case in standard_cases() {
+            v1_roundtrip(encode_simplepfor_v1, decode_simplepfor_v1, &case);
+        }
+    }
+}

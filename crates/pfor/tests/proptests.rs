@@ -38,6 +38,28 @@ fn outlier_blocks() -> impl Strategy<Value = Vec<i64>> {
     )
 }
 
+/// The word-packed v2 payloads fill little-endian u64 words in 64-value
+/// lanes; these counts sit exactly on the seams (empty, single value, one
+/// below/at/above a lane, and a many-lane block).
+const LANE_BOUNDARY_COUNTS: [usize; 6] = [0, 1, 63, 64, 65, 8192];
+
+fn lane_boundary_blocks() -> impl Strategy<Value = Vec<i64>> {
+    (
+        prop::sample::select(LANE_BOUNDARY_COUNTS.to_vec()),
+        prop::collection::vec(
+            prop_oneof![
+                8 => -1_000i64..1_000,
+                1 => any::<i64>()
+            ],
+            8192..=8192,
+        ),
+    )
+        .prop_map(|(n, mut values)| {
+            values.truncate(n);
+            values
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -57,6 +79,13 @@ proptest! {
 
     #[test]
     fn roundtrip_tight_blocks(values in prop::collection::vec(-8i64..8, 0..300)) {
+        for codec in all_codecs() {
+            roundtrip(codec.as_ref(), &values);
+        }
+    }
+
+    #[test]
+    fn roundtrip_lane_boundary_counts(values in lane_boundary_blocks()) {
         for codec in all_codecs() {
             roundtrip(codec.as_ref(), &values);
         }

@@ -165,6 +165,9 @@ impl EncodingChoice {
             PackerKind::BosV => 5,
             PackerKind::BosB => 6,
             PackerKind::BosM => 7,
+            // Appended in PR 3: ids 0-7 are persisted in existing files
+            // and must not be renumbered.
+            PackerKind::SimplePfor => 8,
         }
     }
 
@@ -184,6 +187,7 @@ impl EncodingChoice {
             5 => PackerKind::BosV,
             6 => PackerKind::BosB,
             7 => PackerKind::BosM,
+            8 => PackerKind::SimplePfor,
             _ => return None,
         };
         Some(EncodingChoice { outer, packer })
@@ -325,7 +329,7 @@ impl TsFileWriter {
         self.check_name(&value_name)?;
         let mut payload = Vec::new();
         encodings::ts2diff::Ts2DiffEncoding::second_order(
-            encodings::BosPacker::new(bos::SolverKind::BitWidth),
+            bos::BosCodec::new(bos::SolverKind::BitWidth),
         )
         .encode(&times, &mut payload);
         // Timestamp chunks reuse the TS2DIFF+BOS-B encoding id; the order

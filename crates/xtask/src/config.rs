@@ -23,6 +23,10 @@ pub struct Config {
     /// Files holding the width-dispatch kernel tables (`PACK_LANE` /
     /// `UNPACK_LANE`), each required to list all 65 widths in order.
     pub kernel_table_files: Vec<String>,
+    /// Names of the block-codec trait (and its re-exports) whose `name()`
+    /// labels must be unique across the workspace — bench tables and
+    /// persisted artifacts key rows on them.
+    pub codec_label_traits: Vec<String>,
 }
 
 impl Config {
@@ -34,6 +38,7 @@ impl Config {
             "no-narrowing-casts",
             "encode-decode-pairing",
             "kernel-table-complete",
+            "codec-label-unique",
         ]
         .into();
         let mut config = Config::default();
@@ -57,6 +62,7 @@ impl Config {
             let key = key.trim();
             let expected_key = match section.as_str() {
                 "encode-decode-pairing" => "crates",
+                "codec-label-unique" => "traits",
                 _ => "files",
             };
             if section.is_empty() || key != expected_key {
@@ -100,6 +106,7 @@ impl Config {
                 "no-narrowing-casts" => config.no_narrowing_casts = values,
                 "encode-decode-pairing" => config.pairing_crates = values,
                 "kernel-table-complete" => config.kernel_table_files = values,
+                "codec-label-unique" => config.codec_label_traits = values,
                 _ => unreachable!("section validated above"),
             }
         }
@@ -140,6 +147,9 @@ crates = ["crates/bos"]
 
 [kernel-table-complete]
 files = ["k/unrolled.rs"]
+
+[codec-label-unique]
+traits = ["BlockCodec", "Codec"]
 "#;
         let c = Config::parse(raw).expect("parses");
         assert_eq!(c.no_panic, vec!["a/b.rs", "c/d.rs"]);
@@ -147,6 +157,13 @@ files = ["k/unrolled.rs"]
         assert!(c.no_narrowing_casts.is_empty());
         assert_eq!(c.pairing_crates, vec!["crates/bos"]);
         assert_eq!(c.kernel_table_files, vec!["k/unrolled.rs"]);
+        assert_eq!(c.codec_label_traits, vec!["BlockCodec", "Codec"]);
+    }
+
+    #[test]
+    fn codec_label_section_requires_traits_key() {
+        assert!(Config::parse("[codec-label-unique]\nfiles = []").is_err());
+        assert!(Config::parse("[codec-label-unique]\ntraits = [\"Codec\"]").is_ok());
     }
 
     #[test]

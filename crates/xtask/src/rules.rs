@@ -34,6 +34,7 @@ pub fn run(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
     }
     pairing(root, config, &mut findings)?;
     kernel_tables(root, config, &mut findings)?;
+    codec_labels(root, config, &mut findings)?;
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
 }
@@ -298,6 +299,192 @@ fn check_kernel_table(
                 format!("`{table}` entry for width {w} is `{entry}`, expected `{expected}`"),
             );
             return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// codec-label-unique
+// ---------------------------------------------------------------------------
+
+/// Rule: the `name()` labels across every impl of the configured block-codec
+/// traits must be pairwise distinct. Bench tables, BENCH_*.json artifacts,
+/// and tsfile metadata all key on these strings, so two codecs sharing a
+/// label would silently merge their rows.
+fn codec_labels(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Result<(), String> {
+    if config.codec_label_traits.is_empty() {
+        return Ok(());
+    }
+    let mut sources = Vec::new();
+    collect_rs(&root.join("crates"), &mut sources).map_err(|e| format!("walking crates/: {e}"))?;
+    sources.retain(|p| !p.components().any(|c| c.as_os_str() == "vendor"));
+    collect_rs(&root.join("src"), &mut sources).map_err(|e| format!("walking src/: {e}"))?;
+
+    let mut seen: std::collections::BTreeMap<String, (String, usize)> =
+        std::collections::BTreeMap::new();
+    let mut total = 0usize;
+    for path in &sources {
+        let src = fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let stripped = strip::strip(&src);
+        let end = strip::test_region_start(&stripped).unwrap_or(stripped.len());
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .into_owned();
+        for (pos, label) in name_labels(&stripped[..end], &src, &config.codec_label_traits) {
+            total += 1;
+            let line = line_of(stripped.as_bytes(), pos);
+            match seen.get(&label) {
+                Some((first_file, first_line)) => findings.push(Finding {
+                    file: rel.clone(),
+                    line,
+                    rule: "codec-label-unique",
+                    message: format!(
+                        "codec label {label:?} already used at {first_file}:{first_line}; \
+                         bench tables key on labels, so every `name()` must be distinct"
+                    ),
+                }),
+                None => {
+                    seen.insert(label, (rel.clone(), line));
+                }
+            }
+        }
+    }
+    if total == 0 {
+        findings.push(Finding {
+            file: "lint.toml".to_string(),
+            line: 1,
+            rule: "codec-label-unique",
+            message: format!(
+                "no `name()` labels found for traits {:?}; the scan is broken or the \
+                 config lists the wrong trait names",
+                config.codec_label_traits
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Extracts every string literal inside a `fn name` body of a trait impl
+/// whose trait path ends in one of `traits`, returning (byte offset, label).
+/// Labels are read from the *original* source at offsets located via the
+/// stripped text, because [`strip::strip`] blanks string contents (the
+/// quote bytes survive, which is what makes the literals findable).
+fn name_labels(region: &str, src: &str, traits: &[String]) -> Vec<(usize, String)> {
+    let b = region.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = find_from(b, b"impl", from) {
+        from = pos + 4;
+        // Word boundaries: don't fire inside `implement` or `Simple`.
+        if pos > 0 && is_ident(b[pos - 1]) {
+            continue;
+        }
+        if b.get(pos + 4).is_some_and(|&c| is_ident(c)) {
+            continue;
+        }
+        let Some(open_rel) = region.get(pos..).and_then(|s| s.find('{')) else {
+            break;
+        };
+        let open = pos + open_rel;
+        if !impl_header_matches(&region[pos..open], traits) {
+            continue;
+        }
+        let Some(close) = matching_brace(b, open) else {
+            continue;
+        };
+        from = close;
+        // Every `fn name` inside the impl body (there is at most one in
+        // real code, but scanning all keeps the rule simple and honest).
+        let mut f2 = open;
+        while let Some(fp) = find_from(b, b"fn name", f2) {
+            f2 = fp + 1;
+            if fp >= close {
+                break;
+            }
+            if fp > 0 && is_ident(b[fp - 1]) {
+                continue;
+            }
+            if b.get(fp + 7).is_some_and(|&c| is_ident(c)) {
+                continue;
+            }
+            let Some(fn_open_rel) = region.get(fp..close).and_then(|s| s.find('{')) else {
+                continue;
+            };
+            let fn_open = fp + fn_open_rel;
+            let Some(fn_close) = matching_brace(b, fn_open) else {
+                continue;
+            };
+            string_literals(b, src, fn_open, fn_close, &mut out);
+        }
+    }
+    out
+}
+
+/// True when the impl header (the text between `impl` and the opening
+/// brace) is a trait impl whose trait path ends in one of `names` — the
+/// final path segment immediately before ` for `, so `impl BosCodec {`
+/// (inherent) and `impl<C: Codec> Display for W<C>` (bound only) don't
+/// match.
+fn impl_header_matches(header: &str, names: &[String]) -> bool {
+    let norm = header.split_whitespace().collect::<Vec<_>>().join(" ");
+    let Some(for_idx) = norm.find(" for ") else {
+        return false;
+    };
+    let pre = &norm[..for_idx];
+    names.iter().any(|name| {
+        pre.ends_with(name.as_str()) && {
+            let start = pre.len() - name.len();
+            start == 0 || !is_ident(pre.as_bytes()[start - 1])
+        }
+    })
+}
+
+/// Byte offset of the `}` matching the `{` at `open`. Operates on stripped
+/// source, so braces inside strings and comments are already blanked.
+fn matching_brace(b: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Collects `"…"` literals between `start` and `end`, reading the contents
+/// from the original source (the stripped copy has them blanked).
+fn string_literals(
+    stripped: &[u8],
+    src: &str,
+    start: usize,
+    end: usize,
+    out: &mut Vec<(usize, String)>,
+) {
+    let mut i = start;
+    while i < end {
+        if stripped[i] == b'"' {
+            let mut j = i + 1;
+            while j < end && stripped[j] != b'"' {
+                j += 1;
+            }
+            if j < end {
+                if let Some(label) = src.get(i + 1..j) {
+                    out.push((i, label.to_string()));
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
         }
     }
 }
@@ -568,6 +755,121 @@ mod tests {
         let hits = check_table_str("pub const OTHER: [u8; 2] = [1, 2];\n");
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert!(hits[0].contains("no `const PACK_LANE:`"), "{hits:?}");
+    }
+
+    fn labels_of(src: &str, traits: &[&str]) -> Vec<String> {
+        let traits: Vec<String> = traits.iter().map(|s| s.to_string()).collect();
+        let stripped = strip::strip(src);
+        let end = strip::test_region_start(&stripped).unwrap_or(stripped.len());
+        name_labels(&stripped[..end], src, &traits)
+            .into_iter()
+            .map(|(_, l)| l)
+            .collect()
+    }
+
+    #[test]
+    fn codec_labels_extracts_simple_and_match_arm_labels() {
+        let src = "\
+impl BlockCodec for Bp {
+    fn name(&self) -> &'static str { \"BP\" }
+    fn encode(&self) { let _ = \"not a label\"; }
+}
+impl bitpack::BlockCodec for Bos {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            Kind::V => \"BOS-V\",
+            Kind::B => \"BOS-B\",
+        }
+    }
+}
+";
+        assert_eq!(
+            labels_of(src, &["BlockCodec"]),
+            vec!["BP", "BOS-V", "BOS-B"]
+        );
+    }
+
+    #[test]
+    fn codec_labels_skips_inherent_other_traits_and_tests() {
+        let src = "\
+impl Bp {
+    fn name(&self) -> &'static str { \"inherent\" }
+}
+impl Display for Bp {
+    fn name(&self) -> &'static str { \"display\" }
+}
+impl<C: BlockCodec> OtherTrait for Wrap<C> {
+    fn name(&self) -> &'static str { \"bound-only\" }
+}
+impl MyBlockCodec for Bp {
+    fn name(&self) -> &'static str { \"prefixed\" }
+}
+#[cfg(test)]
+mod tests {
+    impl BlockCodec for Toy {
+        fn name(&self) -> &'static str { \"TEST-ONLY\" }
+    }
+}
+";
+        assert!(labels_of(src, &["BlockCodec"]).is_empty(), "{src}");
+    }
+
+    #[test]
+    fn codec_labels_blanket_impls_contribute_nothing() {
+        let src = "\
+impl<C: BlockCodec + ?Sized> BlockCodec for Box<C> {
+    fn name(&self) -> &'static str { (**self).name() }
+}
+";
+        assert!(labels_of(src, &["BlockCodec"]).is_empty());
+    }
+
+    #[test]
+    fn codec_label_unique_flags_duplicates_across_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "xtask-codec-label-test-{}",
+            std::process::id()
+        ));
+        let crates = dir.join("crates").join("probe").join("src");
+        std::fs::create_dir_all(&crates).expect("mkdir");
+        std::fs::write(
+            crates.join("a.rs"),
+            "impl Codec for A { fn name(&self) -> &'static str { \"SAME\" } }\n",
+        )
+        .expect("write");
+        std::fs::write(
+            crates.join("b.rs"),
+            "impl Codec for B { fn name(&self) -> &'static str { \"SAME\" } }\n",
+        )
+        .expect("write");
+        let config = Config {
+            codec_label_traits: vec!["Codec".to_string()],
+            ..Config::default()
+        };
+        let mut findings = Vec::new();
+        codec_labels(&dir, &config, &mut findings).expect("scan");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("\"SAME\""), "{findings:?}");
+        assert!(findings[0].message.contains("a.rs"), "{findings:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn codec_label_unique_reports_empty_scan() {
+        let dir = std::env::temp_dir().join(format!(
+            "xtask-codec-label-empty-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(dir.join("crates")).expect("mkdir");
+        let config = Config {
+            codec_label_traits: vec!["NoSuchTrait".to_string()],
+            ..Config::default()
+        };
+        let mut findings = Vec::new();
+        codec_labels(&dir, &config, &mut findings).expect("scan");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no `name()` labels"), "{findings:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

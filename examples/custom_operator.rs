@@ -2,8 +2,9 @@
 //!
 //! The paper frames BOS as a drop-in replacement for the bit-packing
 //! *operator* inside existing encoders. This example shows the extension
-//! point from the other side: implement `encodings::IntPacker` for your
-//! own codec and run it inside TS2DIFF, next to BOS and BP.
+//! point from the other side: implement `encodings::IntPacker` (the
+//! workspace-wide `bitpack::BlockCodec`, re-exported) for your own codec
+//! and run it inside TS2DIFF, next to BOS and BP.
 //!
 //! The toy operator here is a varint coder — simple, byte-aligned, decent
 //! on small deltas, terrible on wide ones — which makes the comparison
@@ -14,8 +15,8 @@
 use bos_repro::bitpack::zigzag::{read_varint, write_varint, zigzag_decode, zigzag_encode};
 use bos_repro::datasets::generate;
 use bos_repro::encodings::ts2diff::Ts2DiffEncoding;
-use bos_repro::encodings::{BosPacker, IntPacker, PforPacker};
-use bos_repro::bos::SolverKind;
+use bos_repro::encodings::IntPacker;
+use bos_repro::bos::{BosCodec, SolverKind};
 
 /// A zigzag-varint operator: one LEB128 varint per value.
 struct VarintPacker;
@@ -67,9 +68,9 @@ fn main() {
     println!("TY-Transport, {} values, raw {} bytes\n", values.len(), raw);
     println!("{:<22} {:>10} {:>8}", "method", "bytes", "ratio");
     let rows = vec![
-        measure(PforPacker(pfor::BpCodec::new()), &values),
+        measure(pfor::BpCodec::new(), &values),
         measure(VarintPacker, &values),
-        measure(BosPacker::new(SolverKind::BitWidth), &values),
+        measure(BosCodec::new(SolverKind::BitWidth), &values),
     ];
     for (label, bytes) in rows {
         println!("{:<22} {:>10} {:>8.2}", label, bytes, raw as f64 / bytes as f64);

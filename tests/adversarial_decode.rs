@@ -8,11 +8,24 @@
 //! The `xtask lint` no-panic rule keeps the sources honest statically;
 //! these tests check the same promise dynamically.
 
-use bos_repro::bitpack::simple8b;
+use bos_repro::bitpack::{simple8b, DecodeError};
 use bos_repro::bos::format::{decode_block, encode_block};
 use bos_repro::bos::BitWidthSolver;
+use bos_repro::pfor::{self, Codec};
 use bos_repro::tsfile::{EncodingChoice, TsFileReader, TsFileWriter};
 use proptest::prelude::*;
+
+type V1Encode = fn(&[i64], &mut Vec<u8>);
+
+/// The three codecs migrated to the word-packed v2 layout, each paired
+/// with the frozen v1 encoder whose payloads v2 must *reject*.
+fn migrated_codecs() -> Vec<(Box<dyn Codec>, V1Encode)> {
+    vec![
+        (Box::new(pfor::PforCodec::new()), pfor::v1::encode_pfor_v1 as V1Encode),
+        (Box::new(pfor::FastPforCodec::new()), pfor::v1::encode_fastpfor_v1),
+        (Box::new(pfor::SimplePforCodec::new()), pfor::v1::encode_simplepfor_v1),
+    ]
+}
 
 /// Blocks with a tight center and rare large outliers — the shape that
 /// makes BOS choose the separated mode, whose decode path has the most
@@ -76,6 +89,77 @@ proptest! {
         // panicking is not.
         let _ = decode_block(&buf, &mut pos, &mut out);
         prop_assert!(pos <= buf.len());
+    }
+
+    // --- the word-packed v2 PFOR family ---------------------------------
+
+    #[test]
+    fn pfor_v2_survives_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        for (codec, _) in migrated_codecs() {
+            let mut out = Vec::new();
+            let mut pos = 0;
+            let _ = codec.decode(&bytes, &mut pos, &mut out);
+            prop_assert!(pos <= bytes.len());
+        }
+    }
+
+    #[test]
+    fn pfor_v2_errors_on_truncation(values in outlier_blocks(), frac in 0.0f64..1.0) {
+        for (codec, _) in migrated_codecs() {
+            let mut buf = Vec::new();
+            codec.encode(&values, &mut buf);
+            let mut out = Vec::new();
+            let mut pos = 0;
+            codec.decode(&buf, &mut pos, &mut out).expect("intact block");
+            prop_assert_eq!(&out, &values);
+            let cut = ((pos as f64) * frac) as usize; // strict prefix
+            let mut out = Vec::new();
+            let mut pos = 0;
+            prop_assert!(
+                codec.decode(&buf[..cut], &mut pos, &mut out).is_err(),
+                "{} accepted a truncated payload", codec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pfor_v2_survives_bit_flips(
+        values in outlier_blocks(),
+        at_frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        for (codec, _) in migrated_codecs() {
+            let mut buf = Vec::new();
+            codec.encode(&values, &mut buf);
+            let at = ((buf.len() as f64) * at_frac) as usize % buf.len();
+            buf[at] ^= 1u8 << bit;
+            let mut out = Vec::new();
+            let mut pos = 0;
+            // No checksums at this layer: success with wrong data is
+            // allowed, panicking is not.
+            let _ = codec.decode(&buf, &mut pos, &mut out);
+            prop_assert!(pos <= buf.len());
+        }
+    }
+
+    #[test]
+    fn pfor_v1_payloads_rejected_with_typed_error(values in outlier_blocks()) {
+        // Pin the minimum to 0 so the v1 header's zigzag-min byte is 0 and
+        // cannot alias the v2 version byte (zigzag(1) == 2 would).
+        let mut values = values;
+        values.push(0);
+        let values: Vec<i64> = values.iter().map(|v| v.abs()).collect();
+        for (codec, encode_v1) in migrated_codecs() {
+            let mut buf = Vec::new();
+            encode_v1(&values, &mut buf);
+            let mut out = Vec::new();
+            let mut pos = 0;
+            prop_assert_eq!(
+                codec.decode(&buf, &mut pos, &mut out),
+                Err(DecodeError::BadModeByte { mode: 0 }),
+                "{} must reject v1 bit-serial payloads", codec.name()
+            );
+        }
     }
 
     // --- bitpack::simple8b ---------------------------------------------

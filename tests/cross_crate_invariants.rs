@@ -9,7 +9,6 @@ use bos_repro::bos::{
 use bos_repro::bos::BosCodec;
 use bos_repro::datasets::all_datasets;
 use bos_repro::encodings::ts2diff::Ts2DiffEncoding;
-use bos_repro::encodings::PforPacker;
 
 const N: usize = 6_000;
 const BLOCK: usize = 512;
@@ -19,7 +18,7 @@ fn real_blocks() -> Vec<Vec<i64>> {
     let mut blocks = Vec::new();
     for dataset in all_datasets(N) {
         let ints = dataset.as_scaled_ints();
-        let deltas = Ts2DiffEncoding::<PforPacker<pfor::BpCodec>>::deltas(&ints);
+        let deltas = Ts2DiffEncoding::<pfor::BpCodec>::deltas(&ints);
         for chunk in deltas.chunks(BLOCK).take(4) {
             blocks.push(chunk.to_vec());
         }

@@ -70,7 +70,7 @@ fn float_scaling_pipeline_is_lossless_on_float_datasets() {
         let mut buf = Vec::new();
         pipeline
             .encode_f64(values, &mut buf)
-            .unwrap_or_else(|| panic!("{} has no exact decimal scaling", dataset.abbr));
+            .unwrap_or_else(|e| panic!("{} failed to scale: {e}", dataset.abbr));
         let mut out = Vec::new();
         let mut pos = 0;
         pipeline.decode_f64(&buf, &mut pos, &mut out).expect("decode");

@@ -1,29 +1,38 @@
-//! PR3 throughput — speed artifact for the PFOR-family word-layout
-//! migration.
+//! PR4 throughput — speed artifact extended with the `obs` metrics layer.
 //!
-//! Three layers are measured, all in values/second:
+//! Four layers are measured:
 //!
 //! * **Kernels**: `pack_words`/`unpack_words` (generic scalar) vs the
 //!   width-specialized unrolled kernels vs the fused frame-of-reference
 //!   variants, for every width 1..=64 on `BOS_N` uniformly-masked values.
 //! * **Operators**: every [`PackerKind`] (the PFOR family plus the three
 //!   BOS solvers) encoding/decoding the paper's datasets in 1024-value
-//!   blocks — the block size the paper's experiments use.
+//!   blocks — the block size the paper's experiments use. Since PR 4 each
+//!   row carries the full timing spread (min/mean/max/stddev), not just
+//!   the min point estimate.
 //! * **Migration**: the frozen v1 bit-serial PFOR/FastPFOR/SimplePFOR
 //!   baselines (`pfor::v1`, the PR 2 BitReader formats) against their v2
 //!   word-packed replacements, same datasets and block size. The v2 decode
 //!   must be at least [`MIGRATION_GATE`]× the v1 decode per codec.
+//! * **Metrics** (new in PR 4): the `obs` instrumentation itself —
+//!   per-solver candidate/prune tallies and the solver-search vs
+//!   payload-packing wall-time split from the span registry, plus an
+//!   obs-on/obs-off A/B overhead check. With metrics on, the kernel path
+//!   must stay within [`OBS_OVERHEAD_GATE`], and toggling the runtime
+//!   kill-switch must not change a single output byte.
 //!
-//! Results are written to `BENCH_PR3.json` at the workspace root so later
-//! PRs can diff their numbers against this artifact (`BENCH_PR2.json` from
-//! the previous PR is kept untouched). Timings use [`time_best_of`]
-//! (warmup + min-of-`BOS_REPEATS`) for reproducibility.
+//! Results are written to `BENCH_PR4.json` at the workspace root so later
+//! PRs can diff their numbers against this artifact (`BENCH_PR3.json` from
+//! the previous PR is kept untouched). Timings use [`time_best_of`] /
+//! [`time_stats`] (warmup + min-of-`BOS_REPEATS`) for reproducibility.
 
-use crate::harness::{time_best_of, Config, Table};
+use crate::harness::{time_best_of, time_stats, Config, Table, TimeStats};
+use bitpack::codec::encode_blocks_parallel;
 use bitpack::kernels::{pack_words, unpack_words};
 use bitpack::unrolled::{
     pack_words_for, pack_words_unrolled, unpack_words_for, unpack_words_unrolled,
 };
+use bos::{BosCodec, SolverKind};
 use datasets::all_datasets;
 use encodings::{IntPacker, PackerKind};
 use std::path::PathBuf;
@@ -57,6 +66,13 @@ const GATE_MIN_N: usize = 10_000;
 /// for each migrated codec.
 const MIGRATION_GATE: f64 = 1.5;
 
+/// Maximum obs-on / obs-off time ratio allowed on the kernel unpack path
+/// (the instrumentation never touches the kernels, so this documents that
+/// the layer is free where it matters most; ≤ 5% leaves room for timer
+/// noise). Enforced under the same release-build / `BOS_N` conditions as
+/// the other gates.
+const OBS_OVERHEAD_GATE: f64 = 1.05;
+
 struct KernelRow {
     width: u32,
     pack_generic: f64,
@@ -76,9 +92,49 @@ impl KernelRow {
 struct OperatorRow {
     name: &'static str,
     dataset: &'static str,
+    /// Encode throughput (values/s) from the fastest run.
     encode: f64,
+    /// Decode throughput (values/s) from the fastest run.
     decode: f64,
     ratio: f64,
+    /// Raw per-run encode timing spread (ns).
+    encode_ns: TimeStats,
+    /// Raw per-run decode timing spread (ns).
+    decode_ns: TimeStats,
+}
+
+/// Search-effort and search-vs-pack split for one BOS solver, read back
+/// from the `obs` registry after encoding one dataset.
+struct SolverMetricsRow {
+    name: &'static str,
+    blocks: u64,
+    candidates: u64,
+    prunes: u64,
+    search_ns: u64,
+    pack_ns: u64,
+}
+
+impl SolverMetricsRow {
+    /// Fraction of encode wall-time spent searching (vs packing).
+    fn search_share(&self) -> f64 {
+        let total = self.search_ns + self.pack_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.search_ns as f64 / total as f64
+        }
+    }
+}
+
+/// Obs-on vs obs-off A/B results.
+struct Overhead {
+    /// Kernel unpack time ratio (on/off) — gated at [`OBS_OVERHEAD_GATE`].
+    kernel_ratio: f64,
+    /// BOS-M driver encode time ratio (on/off) — reported, not gated (the
+    /// driver path *is* instrumented, but solver cost dominates).
+    driver_encode_ratio: f64,
+    /// Whether the obs-off encode produced byte-identical output.
+    byte_identical: bool,
 }
 
 struct MigrationRow {
@@ -180,7 +236,7 @@ fn operator_rows(cfg: &Config) -> Vec<OperatorRow> {
         for dataset in &sets {
             let ints = dataset.as_scaled_ints();
             let mut buf = Vec::new();
-            let (_, encode_ns) = time_best_of(cfg.repeats, || {
+            let (_, encode_ns) = time_stats(cfg.repeats, || {
                 buf.clear();
                 for block in ints.chunks(BLOCK) {
                     packer.encode(block, &mut buf);
@@ -188,7 +244,7 @@ fn operator_rows(cfg: &Config) -> Vec<OperatorRow> {
             });
             let blocks = ints.len().div_ceil(BLOCK).max(1);
             let mut out = Vec::new();
-            let (_, decode_ns) = time_best_of(cfg.repeats, || {
+            let (_, decode_ns) = time_stats(cfg.repeats, || {
                 out.clear();
                 let mut pos = 0;
                 for _ in 0..blocks {
@@ -199,9 +255,11 @@ fn operator_rows(cfg: &Config) -> Vec<OperatorRow> {
             rows.push(OperatorRow {
                 name: packer.name(),
                 dataset: dataset.abbr,
-                encode: vps(ints.len(), encode_ns),
-                decode: vps(ints.len(), decode_ns),
+                encode: vps(ints.len(), encode_ns.min),
+                decode: vps(ints.len(), decode_ns.min),
                 ratio: dataset.uncompressed_bytes() as f64 / buf.len() as f64,
+                encode_ns,
+                decode_ns,
             });
         }
     }
@@ -298,6 +356,118 @@ fn migration_summary(rows: &[MigrationRow]) -> Vec<(&'static str, f64)> {
     out
 }
 
+/// The three paper solvers driven through the shared parallel encode
+/// driver, with their `obs` metric label.
+const SOLVER_KINDS: [(SolverKind, &str); 3] = [
+    (SolverKind::Value, "BOS-V"),
+    (SolverKind::BitWidth, "BOS-B"),
+    (SolverKind::Median, "BOS-M"),
+];
+
+/// Encodes every dataset once per BOS solver and reads the search-effort
+/// tallies and the search/pack span split back from the `obs` registry.
+///
+/// Resets the registry per solver so the tallies are attributable; run
+/// this *after* anything whose metrics should survive. Empty when the
+/// `obs` feature is off.
+fn solver_metrics_rows(cfg: &Config) -> Vec<SolverMetricsRow> {
+    if !obs::enabled() {
+        return Vec::new();
+    }
+    let sets = all_datasets(cfg.n);
+    let mut rows = Vec::new();
+    for (kind, label) in SOLVER_KINDS {
+        obs::reset();
+        let codec = BosCodec::new(kind);
+        for dataset in &sets {
+            let ints = dataset.as_scaled_ints();
+            let mut buf = Vec::new();
+            // threads = 1 keeps the spans on this thread; the tallies are
+            // identical either way (the solver sees the same blocks).
+            encode_blocks_parallel(&codec, &ints, BLOCK, 1, &mut buf);
+        }
+        let snap = obs::snapshot();
+        rows.push(SolverMetricsRow {
+            name: label,
+            blocks: snap.counter(&format!("solver.{label}.blocks")),
+            candidates: snap.counter(&format!("solver.{label}.candidates")),
+            prunes: snap.counter(&format!("solver.{label}.prunes")),
+            search_ns: snap
+                .span(&format!("solver_search.{label}"))
+                .map_or(0, |s| s.total_ns),
+            pack_ns: snap
+                .span(&format!("pack_payload.{label}"))
+                .map_or(0, |s| s.total_ns),
+        });
+    }
+    rows
+}
+
+/// A/B comparison with the runtime kill-switch: kernel unpack and BOS-M
+/// driver encode timed obs-on vs obs-off, plus the byte-identity check.
+/// `None` when the `obs` feature is compiled out (nothing to toggle).
+fn overhead_check(cfg: &Config) -> Option<Overhead> {
+    if !obs::enabled() {
+        return None;
+    }
+    // Kernel path: width-13 unpack, the same shape the speedup gate times.
+    let deltas = masked_values(cfg.n, 13);
+    let mut packed = Vec::new();
+    pack_words_unrolled(&deltas, 13, &mut packed);
+    let mut out = Vec::new();
+    let mut time_unpack = |repeats| {
+        let (_, ns) = time_best_of(repeats, || {
+            out.clear();
+            unpack_words_unrolled(&packed, deltas.len(), 13, &mut out).expect("unpack");
+        });
+        ns
+    };
+    // Alternate on/off rounds and keep the per-state minimum: the paths
+    // under test run in hundreds of microseconds, so a single ordered
+    // A-then-B measurement confounds the toggle with scheduler/cache
+    // drift and can misreport the ratio by tens of percent.
+    let mut kernel_on = f64::MAX;
+    let mut kernel_off = f64::MAX;
+    for _ in 0..3 {
+        obs::set_enabled(true);
+        kernel_on = kernel_on.min(time_unpack(cfg.repeats));
+        obs::set_enabled(false);
+        kernel_off = kernel_off.min(time_unpack(cfg.repeats));
+    }
+    obs::set_enabled(true);
+
+    // Driver path: BOS-M through the instrumented parallel driver (single
+    // thread, so only the metering itself differs between runs).
+    let sets = all_datasets(cfg.n);
+    let ints = sets.first().expect("datasets nonempty").as_scaled_ints();
+    let codec = BosCodec::new(SolverKind::Median);
+    let mut buf_on = Vec::new();
+    let mut buf_off = Vec::new();
+    let mut driver_on = f64::MAX;
+    let mut driver_off = f64::MAX;
+    for _ in 0..3 {
+        obs::set_enabled(true);
+        let (_, ns) = time_best_of(cfg.repeats, || {
+            buf_on.clear();
+            encode_blocks_parallel(&codec, &ints, BLOCK, 1, &mut buf_on);
+        });
+        driver_on = driver_on.min(ns);
+        obs::set_enabled(false);
+        let (_, ns) = time_best_of(cfg.repeats, || {
+            buf_off.clear();
+            encode_blocks_parallel(&codec, &ints, BLOCK, 1, &mut buf_off);
+        });
+        driver_off = driver_off.min(ns);
+    }
+    obs::set_enabled(true);
+
+    Some(Overhead {
+        kernel_ratio: kernel_on / kernel_off.max(1.0),
+        driver_encode_ratio: driver_on / driver_off.max(1.0),
+        byte_identical: buf_on == buf_off,
+    })
+}
+
 fn fmt_mvps(v: f64) -> String {
     format!("{:.1}", v / 1e6)
 }
@@ -307,15 +477,26 @@ fn jnum(v: f64) -> String {
     format!("{v:.1}")
 }
 
+/// One JSON object for a [`TimeStats`] spread (integer ns — sub-ns
+/// resolution is below the timer's).
+fn jstats(t: &TimeStats) -> String {
+    format!(
+        "{{ \"min\": {:.0}, \"mean\": {:.0}, \"max\": {:.0}, \"stddev\": {:.0} }}",
+        t.min, t.mean, t.max, t.stddev
+    )
+}
+
 fn render_json(
     cfg: &Config,
     kernels: &[KernelRow],
     operators: &[OperatorRow],
     migration: &[MigrationRow],
+    metrics: &[SolverMetricsRow],
+    overhead: Option<&Overhead>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"bench\": \"PR3 throughput: PFOR-family word-layout migration\",\n");
+    s.push_str("  \"bench\": \"PR4 throughput: obs metrics layer over the PR3 speed artifact\",\n");
     s.push_str("  \"units\": \"values_per_second\",\n");
     s.push_str(&format!(
         "  \"config\": {{ \"n\": {}, \"repeats\": {}, \"block\": {} }},\n",
@@ -362,12 +543,14 @@ fn render_json(
     for (i, r) in operators.iter().enumerate() {
         s.push_str(&format!(
             "    {{ \"name\": \"{}\", \"dataset\": \"{}\", \"encode\": {}, \
-             \"decode\": {}, \"ratio\": {} }}{}\n",
+             \"decode\": {}, \"ratio\": {}, \"encode_ns\": {}, \"decode_ns\": {} }}{}\n",
             r.name,
             r.dataset,
             jnum(r.encode),
             jnum(r.decode),
             format_args!("{:.2}", r.ratio),
+            jstats(&r.encode_ns),
+            jstats(&r.decode_ns),
             if i + 1 < operators.len() { "," } else { "" }
         ));
     }
@@ -401,6 +584,34 @@ fn render_json(
             if i + 1 < summary.len() { "," } else { "" }
         ));
     }
+    s.push_str("  },\n");
+    s.push_str("  \"metrics\": {\n");
+    s.push_str(&format!("    \"obs_enabled\": {},\n", obs::enabled()));
+    s.push_str("    \"solvers\": [\n");
+    for (i, r) in metrics.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{ \"name\": \"{}\", \"blocks\": {}, \"candidates\": {}, \
+             \"prunes\": {}, \"solver_search_ns\": {}, \"pack_payload_ns\": {}, \
+             \"search_share\": {} }}{}\n",
+            r.name,
+            r.blocks,
+            r.candidates,
+            r.prunes,
+            r.search_ns,
+            r.pack_ns,
+            format_args!("{:.3}", r.search_share()),
+            if i + 1 < metrics.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("    ],\n");
+    match overhead {
+        Some(o) => s.push_str(&format!(
+            "    \"overhead\": {{ \"gate\": {OBS_OVERHEAD_GATE}, \"kernel_ratio\": {:.3}, \
+             \"driver_encode_ratio\": {:.3}, \"byte_identical_runtime_toggle\": {} }}\n",
+            o.kernel_ratio, o.driver_encode_ratio, o.byte_identical
+        )),
+        None => s.push_str("    \"overhead\": null\n"),
+    }
     s.push_str("  }\n");
     s.push_str("}\n");
     s
@@ -409,13 +620,13 @@ fn render_json(
 /// Workspace-root path for the artifact.
 fn output_path() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
-        .join("BENCH_PR3.json")
+        .join("BENCH_PR4.json")
 }
 
-/// Runs the experiment and writes `BENCH_PR3.json`.
+/// Runs the experiment and writes `BENCH_PR4.json`.
 pub fn run(cfg: &Config) {
     super::banner(
-        "PR3 throughput: kernels, operators, and v1->v2 migration (values/s)",
+        "PR4 throughput: kernels, operators, migration, and obs metrics (values/s)",
         cfg,
     );
 
@@ -487,15 +698,25 @@ pub fn run(cfg: &Config) {
     println!();
 
     let operators = operator_rows(cfg);
-    println!("Operator throughput (million values/s), 1024-value blocks:");
-    let mut table = Table::new(["operator", "dataset", "encode", "decode", "ratio"]);
+    println!(
+        "Operator throughput (million values/s, from fastest of {} runs), \
+         1024-value blocks; spread = decode stddev/mean:",
+        cfg.repeats
+    );
+    let mut table = Table::new(["operator", "dataset", "encode", "decode", "ratio", "spread"]);
     for r in &operators {
+        let spread = if r.decode_ns.mean > 0.0 {
+            r.decode_ns.stddev / r.decode_ns.mean
+        } else {
+            0.0
+        };
         table.row([
             r.name.to_string(),
             r.dataset.to_string(),
             fmt_mvps(r.encode),
             fmt_mvps(r.decode),
             format!("{:.2}", r.ratio),
+            format!("{:.1}%", spread * 100.0),
         ]);
     }
     table.print();
@@ -539,8 +760,60 @@ pub fn run(cfg: &Config) {
     }
     println!();
 
-    let json = render_json(cfg, &kernels, &operators, &migration);
+    // Overhead A/B first (it flips the kill-switch), then the solver
+    // metrics pass, which resets the registry per solver — order matters.
+    let overhead = overhead_check(cfg);
+    let metrics = solver_metrics_rows(cfg);
+    if metrics.is_empty() {
+        println!("obs feature off: metrics section empty");
+    } else {
+        println!("BOS solver search effort and search-vs-pack split (obs registry):");
+        let mut table = Table::new([
+            "solver",
+            "blocks",
+            "candidates",
+            "prunes",
+            "search ms",
+            "pack ms",
+            "search %",
+        ]);
+        for r in &metrics {
+            table.row([
+                r.name.to_string(),
+                r.blocks.to_string(),
+                r.candidates.to_string(),
+                r.prunes.to_string(),
+                format!("{:.2}", r.search_ns as f64 / 1e6),
+                format!("{:.2}", r.pack_ns as f64 / 1e6),
+                format!("{:.1}%", r.search_share() * 100.0),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    if let Some(o) = &overhead {
+        println!(
+            "obs overhead: kernel unpack on/off {:.3}x (gate: <= {OBS_OVERHEAD_GATE}x), \
+             BOS-M driver encode on/off {:.3}x, byte-identical across toggle: {}",
+            o.kernel_ratio, o.driver_encode_ratio, o.byte_identical
+        );
+        assert!(
+            o.byte_identical,
+            "toggling the obs kill-switch must not change encoded bytes"
+        );
+        if !cfg!(debug_assertions) && cfg.n >= GATE_MIN_N {
+            assert!(
+                o.kernel_ratio <= OBS_OVERHEAD_GATE,
+                "obs-on kernel unpack must stay within {OBS_OVERHEAD_GATE}x of obs-off, \
+                 got {:.3}x",
+                o.kernel_ratio
+            );
+        }
+        println!();
+    }
+
+    let json = render_json(cfg, &kernels, &operators, &migration, &metrics, overhead.as_ref());
     let path = output_path();
-    std::fs::write(&path, &json).expect("write BENCH_PR3.json");
+    std::fs::write(&path, &json).expect("write BENCH_PR4.json");
     println!("Wrote {}", path.display());
 }

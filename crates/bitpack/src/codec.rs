@@ -13,7 +13,130 @@
 //! (or any incremental reader) works on either.
 
 use crate::error::DecodeResult;
+use crate::width::{range_u64, width};
 use crate::zigzag::{read_varint, write_varint};
+use std::time::Instant;
+
+// Parallel-driver metrics: per-worker block counts and busy time expose
+// imbalance; join_wait_ns is how long the caller sat blocked collecting
+// results. All no-ops unless the `obs` feature is on and the runtime
+// switch is enabled.
+static PAR_JOBS: obs::CounterHandle = obs::CounterHandle::new("driver.parallel.jobs");
+static PAR_WORKERS: obs::CounterHandle = obs::CounterHandle::new("driver.parallel.workers");
+static PAR_JOIN_WAIT_NS: obs::CounterHandle = obs::CounterHandle::new("driver.parallel.join_wait_ns");
+static PAR_WORKER_BLOCKS: obs::HistogramHandle =
+    obs::HistogramHandle::new("driver.parallel.worker_blocks");
+static PAR_WORKER_NS: obs::HistogramHandle = obs::HistogramHandle::new("driver.parallel.worker_ns");
+
+/// Encode-side metric cells for one codec label, resolved once per batch
+/// (the registry lookup does the `format!`; recording is lock-free).
+#[derive(Clone, Copy)]
+struct EncodeMeter {
+    blocks: &'static obs::Counter,
+    values: &'static obs::Counter,
+    bytes: &'static obs::Counter,
+    widths: &'static obs::Histogram,
+}
+
+impl EncodeMeter {
+    /// `None` when instrumentation is off, so call sites skip both the
+    /// name composition and the per-block accounting.
+    fn new(label: &str) -> Option<Self> {
+        obs::enabled().then(|| Self {
+            blocks: obs::counter(&format!("codec.{label}.blocks_encoded")),
+            values: obs::counter(&format!("codec.{label}.values_encoded")),
+            bytes: obs::counter(&format!("codec.{label}.bytes_encoded")),
+            widths: obs::histogram(&format!("codec.{label}.block_width")),
+        })
+    }
+
+    fn record(&self, block: &[i64], bytes: usize) {
+        self.blocks.inc();
+        self.values.add(block.len() as u64);
+        self.bytes.add(bytes as u64);
+        let w = match (block.iter().min(), block.iter().max()) {
+            (Some(&lo), Some(&hi)) => width(range_u64(lo, hi)),
+            _ => 0,
+        };
+        self.widths.record(u64::from(w));
+    }
+}
+
+/// Decode-side metric cells for one codec label.
+#[derive(Clone, Copy)]
+struct DecodeMeter {
+    blocks: &'static obs::Counter,
+    values: &'static obs::Counter,
+    bytes: &'static obs::Counter,
+}
+
+impl DecodeMeter {
+    fn new(label: &str) -> Option<Self> {
+        obs::enabled().then(|| Self {
+            blocks: obs::counter(&format!("codec.{label}.blocks_decoded")),
+            values: obs::counter(&format!("codec.{label}.values_decoded")),
+            bytes: obs::counter(&format!("codec.{label}.bytes_decoded")),
+        })
+    }
+}
+
+fn encode_one<C: BlockCodec + ?Sized>(
+    codec: &C,
+    block: &[i64],
+    out: &mut Vec<u8>,
+    meter: Option<&EncodeMeter>,
+) {
+    let start = out.len();
+    codec.encode(block, out);
+    if let Some(m) = meter {
+        m.record(block, out.len().saturating_sub(start));
+    }
+}
+
+fn decode_one<C: BlockCodec + ?Sized>(
+    codec: &C,
+    buf: &[u8],
+    pos: &mut usize,
+    out: &mut Vec<i64>,
+    meter: Option<&DecodeMeter>,
+) -> DecodeResult<()> {
+    let values_before = out.len();
+    let pos_before = *pos;
+    codec.decode(buf, pos, out)?;
+    if let Some(m) = meter {
+        m.blocks.inc();
+        m.values.add(out.len().saturating_sub(values_before) as u64);
+        m.bytes.add(pos.saturating_sub(pos_before) as u64);
+    }
+    Ok(())
+}
+
+/// Encodes one block via `codec`, recording the per-label block/value/
+/// byte counters and the block-width histogram when instrumentation is
+/// enabled. Single-block counterpart of the accounting
+/// [`encode_blocks_parallel`] does internally, for callers that frame
+/// blocks themselves.
+pub fn encode_block_observed<C: BlockCodec + ?Sized>(codec: &C, values: &[i64], out: &mut Vec<u8>) {
+    let meter = EncodeMeter::new(codec.name());
+    encode_one(codec, values, out, meter.as_ref());
+}
+
+/// Decodes one block via `codec`, recording the per-label block/value/
+/// byte counters when instrumentation is enabled. Counterpart of
+/// [`encode_block_observed`].
+pub fn decode_block_observed<C: BlockCodec + ?Sized>(
+    codec: &C,
+    buf: &[u8],
+    pos: &mut usize,
+    out: &mut Vec<i64>,
+) -> DecodeResult<()> {
+    let meter = DecodeMeter::new(codec.name());
+    decode_one(codec, buf, pos, out, meter.as_ref())
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// A self-describing integer block codec.
 ///
@@ -79,10 +202,11 @@ pub fn encode_blocks_parallel<C: BlockCodec + Sync>(
     assert!(block_size >= 1, "block_size must be >= 1");
     assert!(threads >= 1, "threads must be >= 1");
     let n_blocks = values.len().div_ceil(block_size);
+    let meter = EncodeMeter::new(codec.name());
     write_varint(out, n_blocks as u64);
     if threads == 1 || n_blocks <= 1 {
         for block in values.chunks(block_size) {
-            codec.encode(block, out);
+            encode_one(codec, block, out, meter.as_ref());
         }
         return;
     }
@@ -94,16 +218,29 @@ pub fn encode_blocks_parallel<C: BlockCodec + Sync>(
             .chunks(chunk)
             .map(|group| {
                 scope.spawn(move || {
+                    let started = meter.map(|_| Instant::now());
                     let mut buf = Vec::new();
                     for block in group {
-                        codec.encode(block, &mut buf);
+                        encode_one(codec, block, &mut buf, meter.as_ref());
+                    }
+                    if let Some(t0) = started {
+                        PAR_WORKER_BLOCKS.record(group.len() as u64);
+                        PAR_WORKER_NS.record(elapsed_ns(t0));
                     }
                     buf
                 })
             })
             .collect();
+        if meter.is_some() {
+            PAR_JOBS.inc();
+            PAR_WORKERS.add(handles.len() as u64);
+        }
+        let join_started = meter.map(|_| Instant::now());
         for h in handles {
             parts.push(h.join().expect("worker panicked")); // lint:allow(no-panic): encode-side thread pool; re-raising a worker panic is the only sane option
+        }
+        if let Some(t0) = join_started {
+            PAR_JOIN_WAIT_NS.add(elapsed_ns(t0));
         }
     });
     for part in parts {
@@ -116,9 +253,10 @@ pub fn encode_blocks_parallel<C: BlockCodec + Sync>(
 pub fn decode_blocks<C: BlockCodec>(codec: &C, buf: &[u8]) -> DecodeResult<Vec<i64>> {
     let mut pos = 0;
     let n_blocks = read_varint(buf, &mut pos)?;
+    let meter = DecodeMeter::new(codec.name());
     let mut out = Vec::new();
     for _ in 0..n_blocks {
-        codec.decode(buf, &mut pos, &mut out)?;
+        decode_one(codec, buf, &mut pos, &mut out, meter.as_ref())?;
     }
     Ok(out)
 }
@@ -182,6 +320,53 @@ mod tests {
             decode_blocks(&Varints, &buf[..buf.len() / 2]),
             Err(DecodeError::Truncated)
         );
+    }
+
+    /// Same wire format as `Varints`, under its own label so the metric
+    /// deltas below cannot race with the other tests in this binary
+    /// (which drive "VARINTS-TEST" concurrently).
+    struct VarintsObs;
+
+    impl BlockCodec for VarintsObs {
+        fn name(&self) -> &'static str {
+            "VARINTS-OBS-TEST"
+        }
+        fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+            Varints.encode(values, out)
+        }
+        fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
+            Varints.decode(buf, pos, out)
+        }
+    }
+
+    #[test]
+    fn encode_block_observed_decode_block_observed_roundtrip_and_count() {
+        let values: Vec<i64> = (0..300).map(|i| i * 7 - 500).collect();
+        let label = "VARINTS-OBS-TEST";
+        let before = obs::snapshot();
+        let mut buf = Vec::new();
+        encode_block_observed(&VarintsObs, &values, &mut buf);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        decode_block_observed(&VarintsObs, &buf, &mut pos, &mut out).expect("intact block");
+        assert_eq!(out, values);
+        if obs::enabled() {
+            let after = obs::snapshot();
+            let delta = |name: &str| {
+                after.counter(&format!("codec.{label}.{name}"))
+                    - before.counter(&format!("codec.{label}.{name}"))
+            };
+            assert_eq!(delta("blocks_encoded"), 1);
+            assert_eq!(delta("blocks_decoded"), 1);
+            assert_eq!(delta("values_encoded"), values.len() as u64);
+            assert_eq!(delta("values_decoded"), values.len() as u64);
+            assert_eq!(delta("bytes_encoded"), buf.len() as u64);
+            assert_eq!(delta("bytes_decoded"), pos as u64);
+            let widths = after
+                .histogram(&format!("codec.{label}.block_width"))
+                .expect("width histogram registered");
+            assert!(widths.count >= 1);
+        }
     }
 
     #[test]

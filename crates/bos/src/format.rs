@@ -49,6 +49,19 @@ const MODE_PLAIN: u8 = 0;
 /// Mode byte: outlier separation.
 const MODE_SEPARATED: u8 = 1;
 
+// Separation shape metrics, recorded at encode time where the chosen
+// evaluation is already in hand (no recomputation). The histograms carry
+// the paper's per-block tuning story: chosen part widths (α/β/γ) and
+// part sizes (nl/nc/nu).
+static BLOCKS_PLAIN: obs::CounterHandle = obs::CounterHandle::new("bos.blocks_plain");
+static BLOCKS_SEPARATED: obs::CounterHandle = obs::CounterHandle::new("bos.blocks_separated");
+static WIDTH_ALPHA: obs::HistogramHandle = obs::HistogramHandle::new("bos.separated.alpha");
+static WIDTH_BETA: obs::HistogramHandle = obs::HistogramHandle::new("bos.separated.beta");
+static WIDTH_GAMMA: obs::HistogramHandle = obs::HistogramHandle::new("bos.separated.gamma");
+static PART_NL: obs::HistogramHandle = obs::HistogramHandle::new("bos.separated.nl");
+static PART_NC: obs::HistogramHandle = obs::HistogramHandle::new("bos.separated.nc");
+static PART_NU: obs::HistogramHandle = obs::HistogramHandle::new("bos.separated.nu");
+
 /// Encodes one block, choosing plain packing or separation with `solver`.
 pub fn encode_block<S: Solver + ?Sized>(values: &[i64], solver: &S, out: &mut Vec<u8>) {
     let solution = solver.solve_values(values);
@@ -94,6 +107,9 @@ fn separated_payload_bytes(
 }
 
 fn encode_plain(values: &[i64], out: &mut Vec<u8>) {
+    if obs::enabled() {
+        BLOCKS_PLAIN.inc();
+    }
     out.push(MODE_PLAIN);
     let xmin = values.iter().copied().min().unwrap_or(0);
     let xmax = values.iter().copied().max().unwrap_or(0);
@@ -104,6 +120,15 @@ fn encode_plain(values: &[i64], out: &mut Vec<u8>) {
 }
 
 fn encode_separated(values: &[i64], block: &SortedBlock, eval: &Evaluation, out: &mut Vec<u8>) {
+    if obs::enabled() {
+        BLOCKS_SEPARATED.inc();
+        WIDTH_ALPHA.record(u64::from(eval.alpha));
+        WIDTH_BETA.record(u64::from(eval.beta));
+        WIDTH_GAMMA.record(u64::from(eval.gamma));
+        PART_NL.record(eval.nl as u64);
+        PART_NC.record(eval.nc as u64);
+        PART_NU.record(eval.nu as u64);
+    }
     out.push(MODE_SEPARATED);
     let xmin = block.xmin();
     write_varint(out, eval.nl as u64);

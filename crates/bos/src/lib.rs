@@ -105,9 +105,31 @@ impl BosCodec {
         }
     }
 
+    /// Span names for the search/pack phases. Upper-only ablation
+    /// variants report under their base family (BOS-V / BOS-B): the
+    /// search they time is the same algorithm on a restricted candidate
+    /// set, and keeping the span cardinality at three keeps the
+    /// search-vs-pack split in `BENCH_PR*.json` readable.
+    fn span_names(&self) -> (&'static str, &'static str) {
+        match self.kind {
+            SolverKind::Value | SolverKind::ValueUpperOnly => {
+                ("solver_search.BOS-V", "pack_payload.BOS-V")
+            }
+            SolverKind::BitWidth | SolverKind::BitWidthUpperOnly => {
+                ("solver_search.BOS-B", "pack_payload.BOS-B")
+            }
+            SolverKind::Median => ("solver_search.BOS-M", "pack_payload.BOS-M"),
+        }
+    }
+
     /// Encodes one block of values into `out`.
     pub fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
-        let solution = self.solve(values);
+        let (search_span, pack_span) = self.span_names();
+        let solution = {
+            let _span = obs::span(search_span);
+            self.solve(values)
+        };
+        let _span = obs::span(pack_span);
         format::encode_block_with_solution(values, &solution, out);
     }
 

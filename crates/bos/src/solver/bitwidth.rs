@@ -23,6 +23,14 @@ use super::{Solver, SolverConfig};
 use crate::cost::{Separation, Solution, SortedBlock};
 use bitpack::width::{range_u64, width1};
 
+// Search-effort tallies: `candidates` counts xu candidates actually
+// costed (one binary search each), `prunes` counts early exits that cut
+// a candidate family short — an empty region above xl, or a Prop. 3
+// width that already reached down past xl.
+static CANDIDATES: obs::CounterHandle = obs::CounterHandle::new("solver.BOS-B.candidates");
+static PRUNES: obs::CounterHandle = obs::CounterHandle::new("solver.BOS-B.prunes");
+static BLOCKS: obs::CounterHandle = obs::CounterHandle::new("solver.BOS-B.blocks");
+
 /// The O(m log m) exact solver (BOS-B).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BitWidthSolver {
@@ -30,10 +38,13 @@ pub struct BitWidthSolver {
     pub config: SolverConfig,
 }
 
-/// Current best candidate during the search.
+/// Current best candidate during the search, plus search-effort tallies
+/// (flushed to the `solver.BOS-B.*` counters once per block).
 struct Best {
     cost: u64,
     sep: Option<Separation>,
+    candidates: u64,
+    prunes: u64,
 }
 
 impl BitWidthSolver {
@@ -68,6 +79,7 @@ impl BitWidthSolver {
         let m = vals.len();
         let n = block.n() as u64;
         if cidx >= m {
+            best.prunes += 1;
             return; // xl swallows the whole block; nothing above it
         }
         let min_xc = vals[cidx];
@@ -76,6 +88,7 @@ impl BitWidthSolver {
         // Evaluates candidate `xu` (as i128 so +2^β cannot overflow); an
         // xu above xmax means "no upper outliers".
         let try_xu = |xu: i128, best: &mut Best| {
+            best.candidates += 1;
             let (k, xu_opt) = if xu > xmax as i128 {
                 (m, None)
             } else {
@@ -132,6 +145,7 @@ impl BitWidthSolver {
         for gamma in 1..=64u32 {
             let xu = xmax as i128 - (1i128 << gamma) + 1;
             if xu <= xl_bound {
+                best.prunes += 1;
                 break;
             }
             try_xu(xu, best);
@@ -165,6 +179,8 @@ impl BitWidthSolver {
         let mut best = Best {
             cost: block.plain_cost_bits(),
             sep: None,
+            candidates: 0,
+            prunes: 0,
         };
         let vals = block.distinct();
         let cum = block.cumulative();
@@ -188,6 +204,11 @@ impl BitWidthSolver {
                     &mut best,
                 );
             }
+        }
+        if obs::enabled() {
+            BLOCKS.inc();
+            CANDIDATES.add(best.candidates);
+            PRUNES.add(best.prunes);
         }
         match best.sep {
             None => Solution::Plain {

@@ -16,6 +16,13 @@ use super::{Solver, SolverConfig};
 use crate::cost::{Separation, Solution};
 use bitpack::width::{range_u64, width, width1};
 
+// Search-effort tallies: `candidates` counts β windows costed, `prunes`
+// counts windows where neither absorbed bucket held values (the sweep
+// skips straight through them with no new outliers to account).
+static CANDIDATES: obs::CounterHandle = obs::CounterHandle::new("solver.BOS-M.candidates");
+static PRUNES: obs::CounterHandle = obs::CounterHandle::new("solver.BOS-M.prunes");
+static BLOCKS: obs::CounterHandle = obs::CounterHandle::new("solver.BOS-M.blocks");
+
 /// Per-bucket statistics: count plus min/max of the bucket's values.
 #[derive(Debug, Clone, Copy)]
 struct Bucket {
@@ -117,20 +124,29 @@ impl Solver for MedianSolver {
         let mut max_xl = i64::MIN; // largest lower outlier so far
         let mut min_xu = i64::MAX; // smallest upper outlier so far
 
+        let mut candidates = 0u64;
+        let mut prunes = 0u64;
         for beta in (1..=max_beta.min(63)).rev() {
+            candidates += 1;
             // Absorb bucket β+1 into the outlier sets. In upper-only mode
             // the lower side always stays in the center.
+            let mut absorbed = false;
             if !self.config.upper_only {
                 let lb = &low[beta as usize + 1];
                 if lb.count > 0 {
                     nl += lb.count;
                     max_xl = max_xl.max(lb.max);
+                    absorbed = true;
                 }
             }
             let hb = &high[beta as usize + 1];
             if hb.count > 0 {
                 nu += hb.count;
                 min_xu = min_xu.min(hb.min);
+                absorbed = true;
+            }
+            if !absorbed {
+                prunes += 1;
             }
 
             let nc = n - nl - nu;
@@ -191,6 +207,11 @@ impl Solver for MedianSolver {
                     cost_bits: cost,
                 };
             }
+        }
+        if obs::enabled() {
+            BLOCKS.inc();
+            CANDIDATES.add(candidates);
+            PRUNES.add(prunes);
         }
         best
     }

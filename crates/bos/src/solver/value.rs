@@ -11,6 +11,14 @@ use super::{Solver, SolverConfig};
 use crate::cost::{Separation, Solution, SortedBlock};
 use bitpack::width::{range_u64, width1};
 
+// Search-effort tallies: `candidates` counts (xl, xu) pairs costed via
+// Formula 7, `prunes` counts pairs skipped without costing (only the
+// all-plain pair for BOS-V — the quadratic baseline prunes nothing else,
+// which is exactly what these counters are meant to make visible).
+static CANDIDATES: obs::CounterHandle = obs::CounterHandle::new("solver.BOS-V.candidates");
+static PRUNES: obs::CounterHandle = obs::CounterHandle::new("solver.BOS-V.prunes");
+static BLOCKS: obs::CounterHandle = obs::CounterHandle::new("solver.BOS-V.blocks");
+
 /// The O(m²) exact solver (BOS-V).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ValueSolver {
@@ -68,6 +76,8 @@ impl ValueSolver {
 
         let mut best_cost = best.cost_bits();
         let mut best_pair: Option<(usize, usize)> = None; // (li, ui) encoding below
+        let mut candidates = 0u64;
+        let mut prunes = 0u64;
 
         // li = 0 encodes xl = None; li = k ≥ 1 encodes xl = vals[k−1].
         // ui = m encodes xu = None; ui < m encodes xu = vals[ui].
@@ -84,8 +94,10 @@ impl ValueSolver {
             let lower_term = nl * (alpha + 1);
             for ui in li..=m {
                 if li == 0 && ui == m {
+                    prunes += 1;
                     continue; // exactly the plain solution
                 }
+                candidates += 1;
                 let (nu, gamma) = if ui == m {
                     (0u64, 0u64)
                 } else {
@@ -105,6 +117,11 @@ impl ValueSolver {
                     best_pair = Some((li, ui));
                 }
             }
+        }
+        if obs::enabled() {
+            BLOCKS.inc();
+            CANDIDATES.add(candidates);
+            PRUNES.add(prunes);
         }
         if let Some((li, ui)) = best_pair {
             let sep = Separation {

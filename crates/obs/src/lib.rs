@@ -1,0 +1,54 @@
+//! Zero-dependency observability: counters, gauges, power-of-two-bucket
+//! histograms, and RAII span timers over a process-wide registry.
+//!
+//! Everything lives behind the `enabled` cargo feature. With it on, the
+//! registry is a lazily grown map of leaked atomic cells — recording a
+//! metric is one or two relaxed atomic RMWs, and spans cost two
+//! `Instant::now()` calls plus a thread-local stack push/pop. With it
+//! off, the *same* API compiles to inlinable no-ops: handles are
+//! name-only shells, lookups return shared zero-sized statics, and
+//! [`snapshot`] is always empty. Consumers therefore call `obs::` APIs
+//! unconditionally; no `#[cfg]` ever appears at an instrumentation site.
+//!
+//! Two usage idioms, by call-site temperature:
+//!
+//! * **Static handles** for hot paths with literal names:
+//!   `static BLOCKS: obs::CounterHandle = obs::CounterHandle::new("x.blocks");`
+//!   — the registry lookup happens once, on first use.
+//! * **Dynamic lookups** ([`counter`], [`gauge`], [`histogram`]) for
+//!   names composed at runtime (e.g. per codec label). Resolve once per
+//!   batch, not per element, and skip the `format!` entirely when
+//!   [`enabled`] is false.
+//!
+//! A runtime kill-switch ([`set_enabled`]) exists on top of the compile
+//! gate so benchmarks can A/B the instrumentation overhead in one
+//! process; when the feature is off it is inert and [`enabled`] is
+//! always `false`.
+//!
+//! Naming scheme (enforced unique by the `obs-label-unique` xtask lint):
+//! dot-separated `layer.subject[.detail]`, e.g. `solver.BOS-B.candidates`,
+//! `codec.BP.blocks_encoded`, `tsfile.crc_verified`, and span names
+//! `solver_search.BOS-M` / `pack_payload.BOS-M` / `tsfile.write_stream`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod snapshot;
+
+pub use snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
+
+#[cfg(feature = "enabled")]
+mod imp;
+#[cfg(feature = "enabled")]
+pub use imp::{
+    counter, enabled, gauge, histogram, report, reset, set_enabled, snapshot, span, Counter,
+    CounterHandle, Gauge, GaugeHandle, Histogram, HistogramHandle, SpanGuard,
+};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    counter, enabled, gauge, histogram, report, reset, set_enabled, snapshot, span, Counter,
+    CounterHandle, Gauge, GaugeHandle, Histogram, HistogramHandle, SpanGuard,
+};

@@ -1,0 +1,332 @@
+//! Plain-data snapshot types shared by the real and no-op builds, plus
+//! the JSON and table renderers. Keeping these outside the `#[cfg]`
+//! switch means consumers can hold and serialize a [`Snapshot`] without
+//! caring which build produced it.
+
+/// Point-in-time copy of one histogram's state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest recorded value (0 when `count == 0`).
+    pub min: u64,
+    /// Largest recorded value (0 when `count == 0`).
+    pub max: u64,
+    /// `(bucket_index, count)` for non-empty buckets only. Bucket `b`
+    /// holds values whose bit-width is `b`: bucket 0 is exactly zero,
+    /// bucket `b >= 1` covers `2^(b-1) ..= 2^b - 1`.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of one span's aggregate timings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Number of completed span instances.
+    pub count: u64,
+    /// Total wall time, children included, in nanoseconds.
+    pub total_ns: u64,
+    /// Total wall time *excluding* enclosed child spans, in nanoseconds.
+    pub self_ns: u64,
+    /// Shortest single instance (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Longest single instance (0 when `count == 0`).
+    pub max_ns: u64,
+}
+
+/// A full registry snapshot: every metric name paired with its value at
+/// the moment [`crate::snapshot`] was called. Names are sorted, so the
+/// JSON and table renderings are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `true` when produced by an instrumented (`enabled`-feature) build.
+    pub enabled: bool,
+    /// Counter name → value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram name → state.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Span name → aggregate timings.
+    pub spans: Vec<(String, SpanSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of a counter, or 0 if it was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Value of a gauge, or 0 if it was never registered.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// State of a histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Aggregate timings of a span, if any instance completed.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// True when no metric of any kind is present (always true for the
+    /// no-op build).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Renders the snapshot as a single JSON object (hand-built — this
+    /// crate has no dependencies). Keys are sorted; output is stable for
+    /// a given registry state.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\n  \"enabled\": ");
+        s.push_str(if self.enabled { "true" } else { "false" });
+        s.push_str(",\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    ");
+            push_json_str(&mut s, name);
+            s.push_str(&format!(": {v}"));
+        }
+        s.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    ");
+            push_json_str(&mut s, name);
+            s.push_str(&format!(": {v}"));
+        }
+        s.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    ");
+            push_json_str(&mut s, name);
+            s.push_str(&format!(
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": {{",
+                h.count, h.sum, h.min, h.max
+            ));
+            for (j, (b, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{b}\": {c}"));
+            }
+            s.push_str("}}");
+        }
+        s.push_str("\n  },\n  \"spans\": {");
+        for (i, (name, sp)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    ");
+            push_json_str(&mut s, name);
+            s.push_str(&format!(
+                ": {{\"count\": {}, \"total_ns\": {}, \"self_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                sp.count, sp.total_ns, sp.self_ns, sp.min_ns, sp.max_ns
+            ));
+        }
+        s.push_str("\n  }\n}");
+        s
+    }
+
+    /// Renders the snapshot as a human-readable table (the body of
+    /// [`crate::report`]).
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            return "obs: registry empty (nothing recorded, or no-op build)\n".to_string();
+        }
+        let mut s = String::new();
+        if !self.counters.is_empty() {
+            s.push_str("counters\n");
+            let w = self.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                s.push_str(&format!("  {name:<w$}  {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            s.push_str("gauges\n");
+            let w = self.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, v) in &self.gauges {
+                s.push_str(&format!("  {name:<w$}  {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            s.push_str("histograms (count / mean / min..max, buckets by bit-width)\n");
+            let w = self
+                .histograms
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(0);
+            for (name, h) in &self.histograms {
+                s.push_str(&format!(
+                    "  {name:<w$}  n={} mean={:.1} range={}..{}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .map(|(b, c)| format!("{b}:{c}"))
+                    .collect();
+                s.push_str(&format!("  [{}]\n", buckets.join(" ")));
+            }
+        }
+        if !self.spans.is_empty() {
+            s.push_str("spans (count / total / self / per-call min..max)\n");
+            let w = self.spans.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, sp) in &self.spans {
+                s.push_str(&format!(
+                    "  {name:<w$}  n={} total={} self={} call={}..{}\n",
+                    sp.count,
+                    fmt_ns(sp.total_ns),
+                    fmt_ns(sp.self_ns),
+                    fmt_ns(sp.min_ns),
+                    fmt_ns(sp.max_ns)
+                ));
+            }
+        }
+        s
+    }
+}
+
+/// Formats nanoseconds with a readable unit (ns/µs/ms/s).
+fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Appends `name` as a JSON string literal (quotes + minimal escaping;
+/// metric names are ASCII identifiers-with-dots in practice).
+fn push_json_str(out: &mut String, name: &str) {
+    out.push('"');
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_helpers_default_to_zero_or_none() {
+        let s = Snapshot::default();
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.gauge("missing"), 0);
+        assert!(s.histogram("missing").is_none());
+        assert!(s.span("missing").is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn json_is_valid_shape_and_escaped() {
+        let s = Snapshot {
+            enabled: true,
+            counters: vec![("a.b".to_string(), 3), ("weird\"name".to_string(), 1)],
+            gauges: vec![("g".to_string(), -2)],
+            histograms: vec![(
+                "h".to_string(),
+                HistogramSnapshot {
+                    count: 2,
+                    sum: 5,
+                    min: 1,
+                    max: 4,
+                    buckets: vec![(1, 1), (3, 1)],
+                },
+            )],
+            spans: vec![(
+                "sp".to_string(),
+                SpanSnapshot {
+                    count: 1,
+                    total_ns: 10,
+                    self_ns: 10,
+                    min_ns: 10,
+                    max_ns: 10,
+                },
+            )],
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"a.b\": 3"));
+        assert!(j.contains("\\\"name"));
+        assert!(j.contains("\"total_ns\": 10"));
+        assert!(j.contains("\"buckets\": {\"1\": 1, \"3\": 1}"));
+        // Balanced braces — cheap structural sanity without a parser.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced JSON: {j}"
+        );
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let s = Snapshot {
+            enabled: true,
+            counters: vec![("c".to_string(), 1)],
+            gauges: vec![("g".to_string(), 2)],
+            histograms: vec![("h".to_string(), HistogramSnapshot::default())],
+            spans: vec![("sp".to_string(), SpanSnapshot::default())],
+        };
+        let r = s.render();
+        for section in ["counters", "gauges", "histograms", "spans"] {
+            assert!(r.contains(section), "missing {section} in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(25_000), "25.0µs");
+        assert_eq!(fmt_ns(25_000_000), "25.0ms");
+        assert_eq!(fmt_ns(25_000_000_000), "25.00s");
+    }
+}

@@ -24,6 +24,12 @@ use bitpack::unrolled::{pack_words_unrolled, unpack_words_for, unpack_words_unro
 use bitpack::width::width;
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
+// Exception-rate metrics: the PFOR cost model targets ~10% exceptions
+// per block; the histogram shows the realized per-block distribution.
+static EXCEPTIONS: obs::CounterHandle = obs::CounterHandle::new("pfor.exceptions");
+static BLOCK_EXCEPTIONS: obs::HistogramHandle =
+    obs::HistogramHandle::new("pfor.block_exceptions");
+
 /// The original patched frame-of-reference codec.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PforCodec;
@@ -100,6 +106,10 @@ impl Codec for PforCodec {
         let w_full = width(shifted.iter().copied().max().unwrap_or(0));
         let b = Self::choose_b(&shifted, w_full);
         let exceptions = Self::exception_positions(&shifted, b);
+        if obs::enabled() {
+            EXCEPTIONS.add(exceptions.len() as u64);
+            BLOCK_EXCEPTIONS.record(exceptions.len() as u64);
+        }
 
         write_varint_i64(out, min);
         out.push(w_full as u8);

@@ -7,6 +7,10 @@
 //! boscli bench  <path.csv>                        compare operators on a CSV series
 //! boscli demo   <out.tsf>                         pack the 12 synthetic datasets
 //! ```
+//!
+//! Every command accepts `--metrics-json`: after the command succeeds, the
+//! full `obs` metrics snapshot (solver tallies, codec traffic, CRC checks,
+//! span timings) is printed to stdout as one JSON object.
 
 use datasets::csv;
 use encodings::{OuterKind, PackerKind, Pipeline};
@@ -15,7 +19,9 @@ use std::process::ExitCode;
 use tsfile::{EncodingChoice, TsFileReader, TsFileWriter};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let want_metrics = args.iter().any(|a| a == "--metrics-json");
+    args.retain(|a| a != "--metrics-json");
     let result = match args.first().map(String::as_str) {
         Some("pack") => cmd_pack(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
@@ -23,17 +29,23 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
-            eprintln!("usage: boscli <pack|info|unpack|bench|demo> ...");
+            eprintln!("usage: boscli <pack|info|unpack|bench|demo> [--metrics-json] ...");
             eprintln!("  pack   <out.tsf> <name=path.csv> [...]");
             eprintln!("  info   <file.tsf>");
             eprintln!("  unpack <file.tsf> <series> [out.csv]");
             eprintln!("  bench  <path.csv>");
             eprintln!("  demo   <out.tsf>");
+            eprintln!("  --metrics-json   print the obs metrics snapshot as JSON on success");
             return ExitCode::from(2);
         }
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if want_metrics {
+                println!("{}", obs::snapshot().to_json());
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("boscli: {e}");
             ExitCode::FAILURE

@@ -37,6 +37,16 @@ pub mod crc;
 use bitpack::error::DecodeError;
 use bitpack::zigzag::{read_varint, write_varint};
 use crc::crc32;
+
+// Container-level metrics: chunk traffic in both directions plus CRC
+// verification outcomes (footer and chunk checks both count — a mismatch
+// here is the storage stack's first line of corruption evidence).
+static CHUNKS_WRITTEN: obs::CounterHandle = obs::CounterHandle::new("tsfile.chunks_written");
+static CHUNK_BYTES_WRITTEN: obs::CounterHandle =
+    obs::CounterHandle::new("tsfile.chunk_bytes_written");
+static CHUNKS_READ: obs::CounterHandle = obs::CounterHandle::new("tsfile.chunks_read");
+static CRC_VERIFIED: obs::CounterHandle = obs::CounterHandle::new("tsfile.crc_verified");
+static CRC_MISMATCH: obs::CounterHandle = obs::CounterHandle::new("tsfile.crc_mismatch");
 use encodings::{OuterKind, PackerKind, Pipeline};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -259,6 +269,10 @@ impl TsFileWriter {
         write_varint(&mut self.body, payload.len() as u64);
         self.body.extend_from_slice(payload);
         self.body.extend_from_slice(&crc32(payload).to_le_bytes());
+        if obs::enabled() {
+            CHUNKS_WRITTEN.inc();
+            CHUNK_BYTES_WRITTEN.add(payload.len() as u64);
+        }
         self.index.push(IndexEntry {
             name: name.to_string(),
             offset,
@@ -350,6 +364,7 @@ impl TsFileWriter {
 
     /// Finalizes the file: footer index, footer CRC, trailer.
     pub fn finish(mut self) -> Vec<u8> {
+        let _span = obs::span("tsfile.write_stream");
         let footer_offset = self.body.len() as u64;
         let mut footer = Vec::new();
         write_varint(&mut footer, self.index.len() as u64);
@@ -424,9 +439,15 @@ impl<'a> TsFileReader<'a> {
             Err(_) => return Err(TsFileError::Corrupt("bad footer offset")),
         };
         if crc32(footer) != stored_crc {
+            if obs::enabled() {
+                CRC_MISMATCH.inc();
+            }
             return Err(TsFileError::ChecksumMismatch {
                 series: String::new(),
             });
+        }
+        if obs::enabled() {
+            CRC_VERIFIED.inc();
         }
         let mut pos = 0usize;
         let count = read_varint(footer, &mut pos)? as usize;
@@ -521,9 +542,16 @@ impl<'a> TsFileReader<'a> {
             Err(_) => return Err(corrupt),
         };
         if crc32(payload) != stored_crc {
+            if obs::enabled() {
+                CRC_MISMATCH.inc();
+            }
             return Err(TsFileError::ChecksumMismatch {
                 series: info.name.clone(),
             });
+        }
+        if obs::enabled() {
+            CRC_VERIFIED.inc();
+            CHUNKS_READ.inc();
         }
         let mut out = Vec::with_capacity(count);
         let mut ppos = 0;

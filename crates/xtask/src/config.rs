@@ -27,6 +27,11 @@ pub struct Config {
     /// labels must be unique across the workspace — bench tables and
     /// persisted artifacts key rows on them.
     pub codec_label_traits: Vec<String>,
+    /// Constructor patterns (`CounterHandle::new`, `obs::span`, ...) whose
+    /// string-literal arguments are `obs` metric names; every literal must
+    /// be unique across the workspace, or two call sites silently share
+    /// (and corrupt) one time series.
+    pub obs_label_patterns: Vec<String>,
 }
 
 impl Config {
@@ -39,6 +44,7 @@ impl Config {
             "encode-decode-pairing",
             "kernel-table-complete",
             "codec-label-unique",
+            "obs-label-unique",
         ]
         .into();
         let mut config = Config::default();
@@ -63,6 +69,7 @@ impl Config {
             let expected_key = match section.as_str() {
                 "encode-decode-pairing" => "crates",
                 "codec-label-unique" => "traits",
+                "obs-label-unique" => "patterns",
                 _ => "files",
             };
             if section.is_empty() || key != expected_key {
@@ -107,6 +114,7 @@ impl Config {
                 "encode-decode-pairing" => config.pairing_crates = values,
                 "kernel-table-complete" => config.kernel_table_files = values,
                 "codec-label-unique" => config.codec_label_traits = values,
+                "obs-label-unique" => config.obs_label_patterns = values,
                 _ => unreachable!("section validated above"),
             }
         }
@@ -150,6 +158,9 @@ files = ["k/unrolled.rs"]
 
 [codec-label-unique]
 traits = ["BlockCodec", "Codec"]
+
+[obs-label-unique]
+patterns = ["CounterHandle::new", "obs::span"]
 "#;
         let c = Config::parse(raw).expect("parses");
         assert_eq!(c.no_panic, vec!["a/b.rs", "c/d.rs"]);
@@ -158,12 +169,19 @@ traits = ["BlockCodec", "Codec"]
         assert_eq!(c.pairing_crates, vec!["crates/bos"]);
         assert_eq!(c.kernel_table_files, vec!["k/unrolled.rs"]);
         assert_eq!(c.codec_label_traits, vec!["BlockCodec", "Codec"]);
+        assert_eq!(c.obs_label_patterns, vec!["CounterHandle::new", "obs::span"]);
     }
 
     #[test]
     fn codec_label_section_requires_traits_key() {
         assert!(Config::parse("[codec-label-unique]\nfiles = []").is_err());
         assert!(Config::parse("[codec-label-unique]\ntraits = [\"Codec\"]").is_ok());
+    }
+
+    #[test]
+    fn obs_label_section_requires_patterns_key() {
+        assert!(Config::parse("[obs-label-unique]\nfiles = []").is_err());
+        assert!(Config::parse("[obs-label-unique]\npatterns = [\"obs::span\"]").is_ok());
     }
 
     #[test]

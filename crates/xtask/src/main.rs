@@ -5,7 +5,7 @@
 //! ```
 //!
 //! `lint` is the custom static-analysis gate for this repository. It reads
-//! `lint.toml` at the workspace root and enforces four rules over the
+//! `lint.toml` at the workspace root and enforces five rules over the
 //! files listed there (see DESIGN.md, "Correctness tooling"):
 //!
 //! 1. **no-panic / no-indexing** — decode modules must not contain
@@ -24,6 +24,11 @@
 //!    65-entry literals naming `pack_w0..pack_w64` / `unpack_w0..
 //!    unpack_w64` in width order, so no width can silently route to the
 //!    wrong kernel.
+//! 5. **codec-label-unique / obs-label-unique** — `name()` labels of the
+//!    block-codec traits and the string-literal metric names passed to the
+//!    `obs` handle constructors / `obs::span` must be pairwise distinct
+//!    across the workspace; bench artifacts and the metrics registry key
+//!    on these strings, so a shared label silently merges two series.
 //!
 //! Opting a single line out requires a written justification:
 //!

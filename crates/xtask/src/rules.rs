@@ -35,6 +35,7 @@ pub fn run(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
     pairing(root, config, &mut findings)?;
     kernel_tables(root, config, &mut findings)?;
     codec_labels(root, config, &mut findings)?;
+    obs_labels(root, config, &mut findings)?;
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
 }
@@ -490,6 +491,130 @@ fn string_literals(
 }
 
 // ---------------------------------------------------------------------------
+// obs-label-unique
+// ---------------------------------------------------------------------------
+
+/// Rule: the string-literal metric names passed to the configured `obs`
+/// constructor patterns (`CounterHandle::new`, `obs::span`, ...) must be
+/// pairwise distinct across the workspace. The registry keys series by
+/// name, so two call sites sharing a literal would silently merge their
+/// counts into one corrupted series. Non-literal arguments (names built at
+/// runtime, e.g. from a match) are skipped — uniqueness there is the call
+/// site's responsibility.
+fn obs_labels(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Result<(), String> {
+    if config.obs_label_patterns.is_empty() {
+        return Ok(());
+    }
+    let mut sources = Vec::new();
+    collect_rs(&root.join("crates"), &mut sources).map_err(|e| format!("walking crates/: {e}"))?;
+    sources.retain(|p| !p.components().any(|c| c.as_os_str() == "vendor"));
+    collect_rs(&root.join("src"), &mut sources).map_err(|e| format!("walking src/: {e}"))?;
+
+    let mut seen: std::collections::BTreeMap<String, (String, usize)> =
+        std::collections::BTreeMap::new();
+    let mut total = 0usize;
+    for path in &sources {
+        let src = fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let stripped = strip::strip(&src);
+        let end = strip::test_region_start(&stripped).unwrap_or(stripped.len());
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .into_owned();
+        for (pos, label) in
+            obs_label_literals(&stripped[..end], &src, &config.obs_label_patterns)
+        {
+            total += 1;
+            let line = line_of(stripped.as_bytes(), pos);
+            match seen.get(&label) {
+                Some((first_file, first_line)) => findings.push(Finding {
+                    file: rel.clone(),
+                    line,
+                    rule: "obs-label-unique",
+                    message: format!(
+                        "obs metric name {label:?} already registered at \
+                         {first_file}:{first_line}; the registry keys series by name, so \
+                         every literal must be distinct"
+                    ),
+                }),
+                None => {
+                    seen.insert(label, (rel.clone(), line));
+                }
+            }
+        }
+    }
+    if total == 0 {
+        findings.push(Finding {
+            file: "lint.toml".to_string(),
+            line: 1,
+            rule: "obs-label-unique",
+            message: format!(
+                "no obs metric literals found for patterns {:?}; the scan is broken or \
+                 the config lists the wrong constructor patterns",
+                config.obs_label_patterns
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Finds `<pattern>("literal")` call sites in stripped source and reads the
+/// literal back from the original text (same offset trick as
+/// [`name_labels`]: [`strip::strip`] blanks string *contents* but keeps the
+/// quote bytes). Calls whose first argument is not a string literal are
+/// skipped silently.
+fn obs_label_literals(region: &str, src: &str, patterns: &[String]) -> Vec<(usize, String)> {
+    let b = region.as_bytes();
+    let mut out = Vec::new();
+    for pattern in patterns {
+        let pb = pattern.as_bytes();
+        let mut from = 0usize;
+        while let Some(pos) = find_from(b, pb, from) {
+            from = pos + pb.len();
+            // Word boundaries: `obs::span` must not fire inside
+            // `my_obs::span_extra` (a path prefix like `obs::` on a
+            // qualified pattern is fine — it is still the same call).
+            if pos > 0 && is_ident(b[pos - 1]) {
+                continue;
+            }
+            if b.get(pos + pb.len()).is_some_and(|&c| is_ident(c)) {
+                continue;
+            }
+            // Expect `(` then a `"` (whitespace allowed) — anything else is
+            // a non-literal argument and out of scope for this rule.
+            let mut i = pos + pb.len();
+            while b.get(i).is_some_and(|c| c.is_ascii_whitespace()) {
+                i += 1;
+            }
+            if b.get(i) != Some(&b'(') {
+                continue;
+            }
+            i += 1;
+            while b.get(i).is_some_and(|c| c.is_ascii_whitespace()) {
+                i += 1;
+            }
+            if b.get(i) != Some(&b'"') {
+                continue;
+            }
+            let open = i;
+            let mut close = open + 1;
+            while close < b.len() && b[close] != b'"' {
+                close += 1;
+            }
+            if close >= b.len() {
+                continue;
+            }
+            if let Some(label) = src.get(open + 1..close) {
+                out.push((pos, label.to_string()));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // encode/decode pairing
 // ---------------------------------------------------------------------------
 
@@ -869,6 +994,92 @@ impl<C: BlockCodec + ?Sized> BlockCodec for Box<C> {
         codec_labels(&dir, &config, &mut findings).expect("scan");
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("no `name()` labels"), "{findings:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn obs_labels_of(src: &str, patterns: &[&str]) -> Vec<String> {
+        let patterns: Vec<String> = patterns.iter().map(|s| s.to_string()).collect();
+        let stripped = strip::strip(src);
+        let end = strip::test_region_start(&stripped).unwrap_or(stripped.len());
+        obs_label_literals(&stripped[..end], src, &patterns)
+            .into_iter()
+            .map(|(_, l)| l)
+            .collect()
+    }
+
+    #[test]
+    fn obs_labels_extracts_literals_and_skips_variables() {
+        let src = "\
+static A: obs::CounterHandle = obs::CounterHandle::new(\"solver.x.candidates\");
+static B: obs::HistogramHandle = obs::HistogramHandle::new( \"codec.x.width\" );
+fn f(name: &'static str) {
+    let _s = obs::span(name); // variable: out of scope
+    let _t = obs::span(\"tsfile.write_stream\");
+}
+";
+        assert_eq!(
+            obs_labels_of(
+                src,
+                &["CounterHandle::new", "HistogramHandle::new", "obs::span"]
+            ),
+            vec!["solver.x.candidates", "codec.x.width", "tsfile.write_stream"]
+        );
+    }
+
+    #[test]
+    fn obs_labels_respects_word_boundaries_comments_and_tests() {
+        let src = "\
+fn f() {
+    // obs::span(\"in-a-comment\")
+    let _ = my_obs::spandex(\"not-a-span\");
+}
+#[cfg(test)]
+mod tests {
+    static T: obs::CounterHandle = obs::CounterHandle::new(\"test-only\");
+}
+";
+        assert!(
+            obs_labels_of(src, &["CounterHandle::new", "obs::span"]).is_empty(),
+            "{src}"
+        );
+    }
+
+    #[test]
+    fn obs_label_unique_flags_duplicates_and_empty_scan() {
+        let dir = std::env::temp_dir().join(format!(
+            "xtask-obs-label-test-{}",
+            std::process::id()
+        ));
+        let crates = dir.join("crates").join("probe").join("src");
+        std::fs::create_dir_all(&crates).expect("mkdir");
+        std::fs::write(
+            crates.join("a.rs"),
+            "static A: obs::CounterHandle = obs::CounterHandle::new(\"dup.name\");\n",
+        )
+        .expect("write");
+        std::fs::write(
+            crates.join("b.rs"),
+            "static B: obs::CounterHandle = obs::CounterHandle::new(\"dup.name\");\n",
+        )
+        .expect("write");
+        let config = Config {
+            obs_label_patterns: vec!["CounterHandle::new".to_string()],
+            ..Config::default()
+        };
+        let mut findings = Vec::new();
+        obs_labels(&dir, &config, &mut findings).expect("scan");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("\"dup.name\""), "{findings:?}");
+        assert!(findings[0].message.contains("a.rs"), "{findings:?}");
+
+        let config = Config {
+            obs_label_patterns: vec!["NoSuchHandle::new".to_string()],
+            ..Config::default()
+        };
+        let mut findings = Vec::new();
+        obs_labels(&dir, &config, &mut findings).expect("scan");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no obs metric literals"), "{findings:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

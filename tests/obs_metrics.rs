@@ -1,0 +1,117 @@
+//! Property tests for the `obs` metrics layer (PR 4): the codec meters in
+//! the shared block driver must agree exactly with what was encoded.
+//!
+//! Everything lives in one `#[test]` because the metric assertions are
+//! snapshot *deltas* on shared labels — a second test driving the same
+//! codecs in a parallel thread would race the deltas. Integration-test
+//! files are separate processes, so other test binaries can't interfere.
+
+use bitpack::codec::{decode_blocks, encode_blocks_parallel};
+use bitpack::zigzag::write_varint;
+use bos::{BosCodec, SolverKind};
+use encodings::PackerKind;
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// Mixed-magnitude series: a tight center with sparse two-sided outliers,
+/// the regime where every codec in the grid takes a different layout path.
+fn series() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => 0i64..200,
+            1 => -1_000_000_000i64..1_000_000_000,
+        ],
+        0..600,
+    )
+}
+
+/// Counter/histogram deltas for one codec label between two snapshots.
+struct Delta {
+    blocks_encoded: u64,
+    values_encoded: u64,
+    bytes_encoded: u64,
+    blocks_decoded: u64,
+    values_decoded: u64,
+    bytes_decoded: u64,
+    width_samples: u64,
+}
+
+fn delta(before: &obs::Snapshot, after: &obs::Snapshot, label: &str) -> Delta {
+    let c = |field: &str| {
+        after.counter(&format!("codec.{label}.{field}"))
+            - before.counter(&format!("codec.{label}.{field}"))
+    };
+    let h = |snap: &obs::Snapshot| {
+        snap.histogram(&format!("codec.{label}.block_width"))
+            .map_or(0, |h| h.count)
+    };
+    Delta {
+        blocks_encoded: c("blocks_encoded"),
+        values_encoded: c("values_encoded"),
+        bytes_encoded: c("bytes_encoded"),
+        blocks_decoded: c("blocks_decoded"),
+        values_decoded: c("values_decoded"),
+        bytes_decoded: c("bytes_decoded"),
+        width_samples: h(after) - h(before),
+    }
+}
+
+/// Drives one concrete codec through the instrumented driver and checks
+/// the metric deltas against ground truth.
+fn check<C: bitpack::BlockCodec + Sync>(
+    codec: &C,
+    values: &[i64],
+    block: usize,
+) -> Result<(), TestCaseError> {
+    let label = codec.name();
+    let before = obs::snapshot();
+    let mut buf = Vec::new();
+    encode_blocks_parallel(codec, values, block, 2, &mut buf);
+    let decoded = decode_blocks(codec, &buf).expect("decode");
+    prop_assert_eq!(&decoded, values, "{} roundtrip", label);
+    let after = obs::snapshot();
+
+    let d = delta(&before, &after, label);
+    let n_blocks = values.len().div_ceil(block) as u64;
+    let mut header = Vec::new();
+    write_varint(&mut header, n_blocks);
+    let payload = (buf.len() - header.len()) as u64;
+
+    prop_assert_eq!(d.blocks_encoded, n_blocks, "{} blocks_encoded", label);
+    prop_assert_eq!(d.blocks_decoded, n_blocks, "{} blocks_decoded", label);
+    prop_assert_eq!(d.values_encoded, values.len() as u64, "{} values_encoded", label);
+    prop_assert_eq!(d.values_decoded, values.len() as u64, "{} values_decoded", label);
+    prop_assert_eq!(d.bytes_encoded, payload, "{} bytes_encoded", label);
+    prop_assert_eq!(d.bytes_decoded, payload, "{} bytes_decoded", label);
+    prop_assert_eq!(d.width_samples, n_blocks, "{} width histogram count", label);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn driver_meters_agree_with_ground_truth(
+        values in series(),
+        block in 64usize..=256,
+    ) {
+        if !obs::enabled() {
+            return Ok(()); // feature off: nothing to meter
+        }
+        for kind in PackerKind::ALL {
+            // `PackerKind::build` returns a non-Sync box; the parallel
+            // driver wants `Sync`, so dispatch to the concrete codecs.
+            match kind {
+                PackerKind::Bp => check(&pfor::BpCodec::new(), &values, block)?,
+                PackerKind::Pfor => check(&pfor::PforCodec::new(), &values, block)?,
+                PackerKind::NewPfor => check(&pfor::NewPforCodec::new(), &values, block)?,
+                PackerKind::OptPfor => check(&pfor::OptPforCodec::new(), &values, block)?,
+                PackerKind::FastPfor => check(&pfor::FastPforCodec::new(), &values, block)?,
+                PackerKind::SimplePfor => check(&pfor::SimplePforCodec::new(), &values, block)?,
+                PackerKind::BosV => check(&BosCodec::new(SolverKind::Value), &values, block)?,
+                PackerKind::BosB => check(&BosCodec::new(SolverKind::BitWidth), &values, block)?,
+                PackerKind::BosM => check(&BosCodec::new(SolverKind::Median), &values, block)?,
+            }
+        }
+    }
+}

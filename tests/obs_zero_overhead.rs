@@ -1,0 +1,108 @@
+//! Zero-overhead guarantees for the `obs` layer (PR 4).
+//!
+//! Two claims, one per build state:
+//!
+//! * obs **on**: flipping the runtime kill-switch must not change a single
+//!   encoded byte — instrumentation observes, it never participates.
+//! * obs **off** (`--no-default-features`): the registry is a no-op; a
+//!   full encode pass leaves the snapshot completely empty.
+//!
+//! The kill-switch is process-global, so the toggle test owns it alone in
+//! this binary (integration-test files are separate processes).
+
+use bitpack::codec::{decode_blocks, encode_blocks_parallel};
+use bos::{BosCodec, SolverKind};
+use encodings::{OuterKind, PackerKind, Pipeline};
+
+/// Deterministic mixed series: runs, drift, and two-sided outliers.
+fn series(n: usize) -> Vec<i64> {
+    (0..n as i64)
+        .map(|i| match i % 97 {
+            0 => 1 << 44,
+            1 => -(1 << 44),
+            k if k < 30 => 4000,
+            k => 4000 + (k % 17),
+        })
+        .collect()
+}
+
+/// Encodes through the instrumented driver, on then off, and demands
+/// byte-identical output plus identical decodes.
+fn assert_toggle_invariant<C: bitpack::BlockCodec + Sync>(codec: &C, values: &[i64]) {
+    let mut on = Vec::new();
+    obs::set_enabled(true);
+    encode_blocks_parallel(codec, values, 256, 2, &mut on);
+    let mut off = Vec::new();
+    obs::set_enabled(false);
+    encode_blocks_parallel(codec, values, 256, 2, &mut off);
+    obs::set_enabled(true);
+    assert_eq!(on, off, "{}: kill-switch changed encoded bytes", codec.name());
+    assert_eq!(
+        decode_blocks(codec, &on).expect("decode"),
+        values,
+        "{}: roundtrip",
+        codec.name()
+    );
+}
+
+#[test]
+fn runtime_toggle_never_changes_bytes() {
+    if !obs::enabled() {
+        return; // feature off: there is no switch to toggle
+    }
+    let values = series(3000);
+    for kind in PackerKind::ALL {
+        match kind {
+            PackerKind::Bp => assert_toggle_invariant(&pfor::BpCodec::new(), &values),
+            PackerKind::Pfor => assert_toggle_invariant(&pfor::PforCodec::new(), &values),
+            PackerKind::NewPfor => assert_toggle_invariant(&pfor::NewPforCodec::new(), &values),
+            PackerKind::OptPfor => assert_toggle_invariant(&pfor::OptPforCodec::new(), &values),
+            PackerKind::FastPfor => assert_toggle_invariant(&pfor::FastPforCodec::new(), &values),
+            PackerKind::SimplePfor => {
+                assert_toggle_invariant(&pfor::SimplePforCodec::new(), &values)
+            }
+            PackerKind::BosV => assert_toggle_invariant(&BosCodec::new(SolverKind::Value), &values),
+            PackerKind::BosB => {
+                assert_toggle_invariant(&BosCodec::new(SolverKind::BitWidth), &values)
+            }
+            PackerKind::BosM => {
+                assert_toggle_invariant(&BosCodec::new(SolverKind::Median), &values)
+            }
+        }
+    }
+
+    // Full pipelines too: outer encodings feed the same instrumented
+    // codecs, so the invariant must hold end to end.
+    for outer in OuterKind::ALL {
+        let p = Pipeline::new(outer, PackerKind::BosB);
+        let mut on = Vec::new();
+        obs::set_enabled(true);
+        p.encode(&values, &mut on);
+        let mut off = Vec::new();
+        obs::set_enabled(false);
+        p.encode(&values, &mut off);
+        obs::set_enabled(true);
+        assert_eq!(on, off, "{}: kill-switch changed encoded bytes", p.label());
+    }
+}
+
+#[test]
+fn feature_off_build_has_empty_registry() {
+    if obs::enabled() {
+        return; // covered by the toggle test in the obs-on build
+    }
+    let values = series(2000);
+    let codec = BosCodec::new(SolverKind::Median);
+    let mut buf = Vec::new();
+    encode_blocks_parallel(&codec, &values, 256, 2, &mut buf);
+    assert_eq!(decode_blocks(&codec, &buf).expect("decode"), values);
+    let snap = obs::snapshot();
+    assert!(
+        snap.is_empty(),
+        "no-op build must register nothing, got {} counters / {} histograms / {} spans",
+        snap.counters.len(),
+        snap.histograms.len(),
+        snap.spans.len()
+    );
+    assert!(!snap.enabled);
+}

@@ -1,0 +1,11 @@
+//! Regenerates the fault-injection artifact implemented in
+//! `bos_bench::experiments::faults` (writes `BENCH_PR5.json`).
+//!
+//! Pass `--quick` for the tier-1 configuration: fewer seeds per fault
+//! class and no JSON artifact.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = bos_bench::harness::Config::from_env();
+    bos_bench::experiments::faults::run(&cfg, quick);
+}

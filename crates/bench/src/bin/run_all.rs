@@ -20,5 +20,6 @@ fn main() {
     exp::ablation_positions::run(&cfg);
     exp::ext_query_skipping::run(&cfg);
     exp::throughput::run(&cfg);
+    exp::faults::run(&cfg, false);
     println!("\nAll experiments completed.");
 }

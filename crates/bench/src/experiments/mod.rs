@@ -4,6 +4,7 @@
 
 pub mod ablation_positions;
 pub mod ext_query_skipping;
+pub mod faults;
 pub mod fig08_distributions;
 pub mod fig09_outlier_pct;
 pub mod fig10a_ratio;

@@ -384,7 +384,7 @@ fn solver_metrics_rows(cfg: &Config) -> Vec<SolverMetricsRow> {
             let mut buf = Vec::new();
             // threads = 1 keeps the spans on this thread; the tallies are
             // identical either way (the solver sees the same blocks).
-            encode_blocks_parallel(&codec, &ints, BLOCK, 1, &mut buf);
+            encode_blocks_parallel(&codec, &ints, BLOCK, 1, &mut buf).expect("encode");
         }
         let snap = obs::snapshot();
         rows.push(SolverMetricsRow {
@@ -449,13 +449,13 @@ fn overhead_check(cfg: &Config) -> Option<Overhead> {
         obs::set_enabled(true);
         let (_, ns) = time_best_of(cfg.repeats, || {
             buf_on.clear();
-            encode_blocks_parallel(&codec, &ints, BLOCK, 1, &mut buf_on);
+            encode_blocks_parallel(&codec, &ints, BLOCK, 1, &mut buf_on).expect("encode");
         });
         driver_on = driver_on.min(ns);
         obs::set_enabled(false);
         let (_, ns) = time_best_of(cfg.repeats, || {
             buf_off.clear();
-            encode_blocks_parallel(&codec, &ints, BLOCK, 1, &mut buf_off);
+            encode_blocks_parallel(&codec, &ints, BLOCK, 1, &mut buf_off).expect("encode");
         });
         driver_off = driver_off.min(ns);
     }

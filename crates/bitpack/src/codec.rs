@@ -12,18 +12,22 @@
 //! output is byte-identical to the sequential path and [`decode_blocks`]
 //! (or any incremental reader) works on either.
 
-use crate::error::DecodeResult;
+use crate::error::{DecodeResult, EncodeError};
 use crate::width::{range_u64, width};
 use crate::zigzag::{read_varint, write_varint};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 // Parallel-driver metrics: per-worker block counts and busy time expose
 // imbalance; join_wait_ns is how long the caller sat blocked collecting
-// results. All no-ops unless the `obs` feature is on and the runtime
-// switch is enabled.
+// results; worker_panics counts contained codec panics (each one triggers
+// a sequential retry of the batch). All no-ops unless the `obs` feature is
+// on and the runtime switch is enabled.
 static PAR_JOBS: obs::CounterHandle = obs::CounterHandle::new("driver.parallel.jobs");
 static PAR_WORKERS: obs::CounterHandle = obs::CounterHandle::new("driver.parallel.workers");
 static PAR_JOIN_WAIT_NS: obs::CounterHandle = obs::CounterHandle::new("driver.parallel.join_wait_ns");
+static PAR_WORKER_PANICS: obs::CounterHandle =
+    obs::CounterHandle::new("driver.parallel.worker_panics");
 static PAR_WORKER_BLOCKS: obs::HistogramHandle =
     obs::HistogramHandle::new("driver.parallel.worker_blocks");
 static PAR_WORKER_NS: obs::HistogramHandle = obs::HistogramHandle::new("driver.parallel.worker_ns");
@@ -134,6 +138,45 @@ pub fn decode_block_observed<C: BlockCodec + ?Sized>(
     decode_one(codec, buf, pos, out, meter.as_ref())
 }
 
+/// [`encode_one`] with the codec's panic contained: on panic the payload is
+/// swallowed, `out` is rolled back to its entry length (the codec may have
+/// pushed a partial block), and `Err(())` is returned.
+fn encode_one_caught<C: BlockCodec + ?Sized>(
+    codec: &C,
+    block: &[i64],
+    out: &mut Vec<u8>,
+    meter: Option<&EncodeMeter>,
+) -> Result<(), ()> {
+    let len_before = out.len();
+    match catch_unwind(AssertUnwindSafe(|| encode_one(codec, block, out, meter))) {
+        Ok(()) => Ok(()),
+        Err(_payload) => {
+            out.truncate(len_before);
+            Err(())
+        }
+    }
+}
+
+/// Sequential panic-contained block loop shared by the single-thread path
+/// and the post-panic retry: the first block whose encode still panics
+/// rolls `out` back to `restore` and surfaces as a typed error.
+fn encode_blocks_caught<C: BlockCodec + ?Sized>(
+    codec: &C,
+    values: &[i64],
+    block_size: usize,
+    out: &mut Vec<u8>,
+    meter: Option<&EncodeMeter>,
+    restore: usize,
+) -> Result<(), EncodeError> {
+    for (i, block) in values.chunks(block_size).enumerate() {
+        if encode_one_caught(codec, block, out, meter).is_err() {
+            out.truncate(restore);
+            return Err(EncodeError::WorkerPanicked { block: i });
+        }
+    }
+    Ok(())
+}
+
 fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
@@ -190,6 +233,14 @@ impl<C: BlockCodec + ?Sized> BlockCodec for Box<C> {
 /// incremental reader — [`decode_blocks`], `bos::stream::StreamDecoder` —
 /// works on either.
 ///
+/// A codec panic is contained rather than propagated: each block encode
+/// runs under `catch_unwind`, and if any worker trips, the whole batch is
+/// retried sequentially with per-block containment (so a *transient* panic
+/// still completes the encode). A block that panics deterministically
+/// surfaces as [`EncodeError::WorkerPanicked`] carrying the first failing
+/// block index, with `out` rolled back to exactly its entry state — the
+/// caller's buffer is never left holding a half-written stream.
+///
 /// # Panics
 /// If `block_size` or `threads` is zero.
 pub fn encode_blocks_parallel<C: BlockCodec + Sync>(
@@ -198,36 +249,35 @@ pub fn encode_blocks_parallel<C: BlockCodec + Sync>(
     block_size: usize,
     threads: usize,
     out: &mut Vec<u8>,
-) {
+) -> Result<(), EncodeError> {
     assert!(block_size >= 1, "block_size must be >= 1");
     assert!(threads >= 1, "threads must be >= 1");
     let n_blocks = values.len().div_ceil(block_size);
     let meter = EncodeMeter::new(codec.name());
+    let restore = out.len();
     write_varint(out, n_blocks as u64);
     if threads == 1 || n_blocks <= 1 {
-        for block in values.chunks(block_size) {
-            encode_one(codec, block, out, meter.as_ref());
-        }
-        return;
+        return encode_blocks_caught(codec, values, block_size, out, meter.as_ref(), restore);
     }
     let blocks: Vec<&[i64]> = values.chunks(block_size).collect();
     let chunk = blocks.len().div_ceil(threads);
     let mut parts: Vec<Vec<u8>> = Vec::new();
+    let mut panicked = false;
     std::thread::scope(|scope| {
         let handles: Vec<_> = blocks
             .chunks(chunk)
             .map(|group| {
-                scope.spawn(move || {
+                scope.spawn(move || -> Result<Vec<u8>, ()> {
                     let started = meter.map(|_| Instant::now());
                     let mut buf = Vec::new();
                     for block in group {
-                        encode_one(codec, block, &mut buf, meter.as_ref());
+                        encode_one_caught(codec, block, &mut buf, meter.as_ref())?;
                     }
                     if let Some(t0) = started {
                         PAR_WORKER_BLOCKS.record(group.len() as u64);
                         PAR_WORKER_NS.record(elapsed_ns(t0));
                     }
-                    buf
+                    Ok(buf)
                 })
             })
             .collect();
@@ -237,15 +287,33 @@ pub fn encode_blocks_parallel<C: BlockCodec + Sync>(
         }
         let join_started = meter.map(|_| Instant::now());
         for h in handles {
-            parts.push(h.join().expect("worker panicked")); // lint:allow(no-panic): encode-side thread pool; re-raising a worker panic is the only sane option
+            match h.join() {
+                Ok(Ok(part)) => parts.push(part),
+                // Worker reported a contained panic, or (second arm) the
+                // panic escaped containment entirely — possible only for
+                // panics raised between blocks, not by the codec itself.
+                Ok(Err(())) | Err(_) => panicked = true,
+            }
         }
         if let Some(t0) = join_started {
             PAR_JOIN_WAIT_NS.add(elapsed_ns(t0));
         }
     });
-    for part in parts {
-        out.extend_from_slice(&part);
+    if !panicked {
+        for part in parts {
+            out.extend_from_slice(&part);
+        }
+        return Ok(());
     }
+    // A worker panicked. Retry the batch sequentially with per-block
+    // containment: transient panics complete on retry; a deterministic
+    // panic identifies its block index and rolls `out` back.
+    if meter.is_some() {
+        PAR_WORKER_PANICS.inc();
+    }
+    out.truncate(restore);
+    write_varint(out, n_blocks as u64);
+    encode_blocks_caught(codec, values, block_size, out, meter.as_ref(), restore)
 }
 
 /// Decodes an [`encode_blocks_parallel`] stream back into one vector:
@@ -295,10 +363,11 @@ mod tests {
             .map(|i| if i % 83 == 0 { -(1 << 40) } else { i % 700 })
             .collect();
         let mut seq = Vec::new();
-        encode_blocks_parallel(&Varints, &values, 512, 1, &mut seq);
+        encode_blocks_parallel(&Varints, &values, 512, 1, &mut seq).expect("sequential encode");
         for threads in [2, 3, 8] {
             let mut par = Vec::new();
-            encode_blocks_parallel(&Varints, &values, 512, threads, &mut par);
+            encode_blocks_parallel(&Varints, &values, 512, threads, &mut par)
+                .expect("parallel encode");
             assert_eq!(par, seq, "threads = {threads}");
         }
         assert_eq!(decode_blocks(&Varints, &seq), Ok(values));
@@ -307,7 +376,7 @@ mod tests {
     #[test]
     fn empty_series() {
         let mut buf = Vec::new();
-        encode_blocks_parallel(&Varints, &[], 1024, 4, &mut buf);
+        encode_blocks_parallel(&Varints, &[], 1024, 4, &mut buf).expect("empty encode");
         assert_eq!(decode_blocks(&Varints, &buf), Ok(vec![]));
     }
 
@@ -315,7 +384,7 @@ mod tests {
     fn truncated_stream_is_err() {
         let values: Vec<i64> = (0..3000).collect();
         let mut buf = Vec::new();
-        encode_blocks_parallel(&Varints, &values, 1000, 2, &mut buf);
+        encode_blocks_parallel(&Varints, &values, 1000, 2, &mut buf).expect("encode");
         assert_eq!(
             decode_blocks(&Varints, &buf[..buf.len() / 2]),
             Err(DecodeError::Truncated)
@@ -367,6 +436,42 @@ mod tests {
                 .expect("width histogram registered");
             assert!(widths.count >= 1);
         }
+    }
+
+    /// Deliberately-panicking mock codec: encodes like `Varints` but
+    /// panics on any block containing the poison value.
+    struct PanicOn(i64);
+
+    impl BlockCodec for PanicOn {
+        fn name(&self) -> &'static str {
+            "PANIC-MOCK-TEST"
+        }
+        fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
+            assert!(!values.contains(&self.0), "poison value reached the encoder");
+            Varints.encode(values, out)
+        }
+        fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
+            Varints.decode(buf, pos, out)
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_contained_as_typed_error_with_rollback() {
+        let mut values: Vec<i64> = (0..4000).collect();
+        values[2500] = -7777; // poisons block 2500 / 512 = 4
+        let codec = PanicOn(-7777);
+        for threads in [1, 2, 4, 16] {
+            let mut out = vec![0xAB, 0xCD, 0xEF];
+            let err = encode_blocks_parallel(&codec, &values, 512, threads, &mut out)
+                .expect_err("poisoned block must fail");
+            assert_eq!(err, crate::EncodeError::WorkerPanicked { block: 4 }, "threads={threads}");
+            assert_eq!(out, vec![0xAB, 0xCD, 0xEF], "output must roll back (threads={threads})");
+        }
+        // The same codec still encodes clean input, and the stream decodes.
+        let clean: Vec<i64> = (0..4000).collect();
+        let mut out = Vec::new();
+        encode_blocks_parallel(&codec, &clean, 512, 4, &mut out).expect("clean input");
+        assert_eq!(decode_blocks(&codec, &out), Ok(clean));
     }
 
     #[test]

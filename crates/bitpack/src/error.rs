@@ -57,6 +57,17 @@ pub enum DecodeError {
         /// Size actually produced or consumed.
         got: usize,
     },
+    /// A varint-claimed length exceeds what its context can possibly hold
+    /// (bytes remaining in the buffer, values remaining in the block, …).
+    /// Raised by [`crate::zigzag::read_len_bounded`] before any allocation
+    /// is sized from the claim, so a corrupt 8-byte varint can never drive
+    /// a multi-gigabyte `Vec` reservation.
+    LengthOverrun {
+        /// The length as read from the stream.
+        claimed: u64,
+        /// The largest length the surrounding context allows.
+        bound: u64,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -91,6 +102,9 @@ impl fmt::Display for DecodeError {
             DecodeError::LengthMismatch { expected, got } => {
                 write!(f, "section length mismatch: header says {expected}, got {got}")
             }
+            DecodeError::LengthOverrun { claimed, bound } => {
+                write!(f, "length field {claimed} exceeds its context bound {bound}")
+            }
         }
     }
 }
@@ -99,6 +113,34 @@ impl std::error::Error for DecodeError {}
 
 /// Shorthand for decode results throughout the workspace.
 pub type DecodeResult<T> = Result<T, DecodeError>;
+
+/// Why an encode failed. Encoders see trusted in-memory values, so the only
+/// failure class today is infrastructure: a worker thread (or the codec it
+/// ran) panicking inside the parallel block driver. The driver contains the
+/// panic with `catch_unwind` and reports it as a value instead of poisoning
+/// the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodeError {
+    /// A codec panicked while encoding the given block index. The output
+    /// buffer is left exactly as it was on entry.
+    WorkerPanicked {
+        /// Zero-based index of the first block whose encode panicked.
+        block: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EncodeError::WorkerPanicked { block } => {
+                write!(f, "codec panicked while encoding block {block}; output rolled back")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
 
 #[cfg(test)]
 mod tests {
@@ -125,6 +167,10 @@ mod tests {
         assert!(DecodeError::LengthMismatch { expected: 9, got: 7 }
             .to_string()
             .contains('9'));
+        let s = DecodeError::LengthOverrun { claimed: 1 << 50, bound: 4096 }.to_string();
+        assert!(s.contains(&(1u64 << 50).to_string()) && s.contains("4096"), "{s}");
+        let s = EncodeError::WorkerPanicked { block: 17 }.to_string();
+        assert!(s.contains("17"), "{s}");
     }
 
     #[test]

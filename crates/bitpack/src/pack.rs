@@ -7,7 +7,7 @@
 use crate::bits::{BitReader, BitWriter};
 use crate::error::{DecodeError, DecodeResult};
 use crate::width::width;
-use crate::zigzag::{read_varint, write_varint};
+use crate::zigzag::{read_len_bounded, read_varint, write_varint};
 
 /// Packs each value with exactly `w` bits into `out`.
 ///
@@ -57,12 +57,9 @@ pub fn bp_encode(values: &[u64], out: &mut Vec<u8>) {
 
 /// Decodes a [`bp_encode`] block from `buf[*pos..]`, advancing `pos`.
 pub fn bp_decode(buf: &[u8], pos: &mut usize, out: &mut Vec<u64>) -> DecodeResult<()> {
-    let n = read_varint(buf, pos)? as usize;
+    let n = read_len_bounded(buf, pos, crate::MAX_BLOCK_VALUES)?;
     if n == 0 {
         return Ok(());
-    }
-    if n > crate::MAX_BLOCK_VALUES {
-        return Err(DecodeError::CountOverflow { claimed: n as u64 });
     }
     let min = read_varint(buf, pos)?;
     let w = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;

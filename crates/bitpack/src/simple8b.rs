@@ -11,7 +11,7 @@
 
 use crate::error::{DecodeError, DecodeResult};
 use crate::width::width;
-use crate::zigzag::{read_varint, write_varint};
+use crate::zigzag::{read_len_bounded, write_varint};
 
 /// `(values per word, bits per value)` for each 4-bit selector.
 ///
@@ -96,10 +96,7 @@ fn pack_one_word(rest: &[u64]) -> Result<(u64, usize), Simple8bError> {
 /// Decodes a stream produced by [`encode`] from `buf[*pos..]`, advancing
 /// `pos`.
 pub fn decode(buf: &[u8], pos: &mut usize, out: &mut Vec<u64>) -> DecodeResult<()> {
-    let n = read_varint(buf, pos)? as usize;
-    if n > crate::MAX_BLOCK_VALUES {
-        return Err(DecodeError::CountOverflow { claimed: n as u64 });
-    }
+    let n = read_len_bounded(buf, pos, crate::MAX_BLOCK_VALUES)?;
     out.reserve(n);
     let mut remaining = n;
     while remaining > 0 {

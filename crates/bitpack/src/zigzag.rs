@@ -59,6 +59,28 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> DecodeResult<u64> {
     }
 }
 
+/// Reads a varint-encoded *length* and checks it against the largest value
+/// its context can possibly hold before anything is allocated from it.
+///
+/// Every length field a decoder reads from untrusted bytes (element counts,
+/// name lengths, payload sizes, footer entry counts) must come through here
+/// rather than `read_varint(..)? as usize`: a corrupt 8-byte varint would
+/// otherwise size a multi-gigabyte `Vec` reservation from ten bytes of
+/// garbage. The `xtask lint` rule `len-read-bounded` holds the decode
+/// modules to this.
+///
+/// `bound` is inclusive. Fails with [`DecodeError::LengthOverrun`] when the
+/// claim exceeds it (and propagates `Truncated`/`VarintOverflow` from the
+/// underlying varint read).
+#[inline]
+pub fn read_len_bounded(buf: &[u8], pos: &mut usize, bound: usize) -> DecodeResult<usize> {
+    let claimed = read_varint(buf, pos)?;
+    if claimed > bound as u64 {
+        return Err(DecodeError::LengthOverrun { claimed, bound: bound as u64 });
+    }
+    Ok(claimed as usize)
+}
+
 /// Appends a signed value as zigzag varint.
 #[inline]
 pub fn write_varint_i64(out: &mut Vec<u8>, v: i64) {
@@ -144,6 +166,50 @@ mod tests {
         let buf = [0x80u8; 11];
         let mut pos = 0;
         assert_eq!(read_varint(&buf, &mut pos), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn len_bounded_accepts_up_to_the_bound() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 100);
+        let mut pos = 0;
+        assert_eq!(read_len_bounded(&buf, &mut pos, 100), Ok(100));
+        assert_eq!(pos, buf.len());
+        let mut pos = 0;
+        assert_eq!(read_len_bounded(&buf, &mut pos, usize::MAX), Ok(100));
+    }
+
+    #[test]
+    fn len_bounded_rejects_overrun_before_allocation() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX - 3);
+        let mut pos = 0;
+        assert_eq!(
+            read_len_bounded(&buf, &mut pos, 1 << 20),
+            Err(DecodeError::LengthOverrun { claimed: u64::MAX - 3, bound: 1 << 20 })
+        );
+        // Off-by-one: bound is inclusive.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 101);
+        let mut pos = 0;
+        assert_eq!(
+            read_len_bounded(&buf, &mut pos, 100),
+            Err(DecodeError::LengthOverrun { claimed: 101, bound: 100 })
+        );
+    }
+
+    #[test]
+    fn len_bounded_propagates_varint_errors() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(read_len_bounded(&buf[..4], &mut pos, 10), Err(DecodeError::Truncated));
+        let overlong = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(
+            read_len_bounded(&overlong, &mut pos, 10),
+            Err(DecodeError::VarintOverflow)
+        );
     }
 
     #[test]

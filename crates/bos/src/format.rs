@@ -42,7 +42,7 @@ use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::kernels::{packed_size, unpack_words};
 use bitpack::unrolled::{pack_words_for, unpack_words_for};
 use bitpack::width::{range_u64, width};
-use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
+use bitpack::zigzag::{read_len_bounded, read_varint, read_varint_i64, write_varint, write_varint_i64};
 
 /// Mode byte: plain frame-of-reference bit-packing.
 const MODE_PLAIN: u8 = 0;
@@ -237,7 +237,7 @@ fn bound_from(base: i64, w: u32) -> i64 {
 /// Fails with a [`DecodeError`] on corruption or truncation.
 pub fn peek_block(buf: &[u8], pos: &mut usize) -> DecodeResult<BlockSummary> {
     let start = *pos;
-    let n = read_varint(buf, pos)? as usize;
+    let n = read_len_bounded(buf, pos, bitpack::MAX_BLOCK_VALUES)?;
     if n == 0 {
         return Ok(BlockSummary {
             n: 0,
@@ -245,9 +245,6 @@ pub fn peek_block(buf: &[u8], pos: &mut usize) -> DecodeResult<BlockSummary> {
             separated: false,
             encoded_len: *pos - start,
         });
-    }
-    if n > bitpack::MAX_BLOCK_VALUES {
-        return Err(DecodeError::CountOverflow { claimed: n as u64 });
     }
     let mode = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
     *pos += 1;
@@ -314,14 +311,9 @@ pub fn peek_block(buf: &[u8], pos: &mut usize) -> DecodeResult<BlockSummary> {
 /// Reads the `nl`/`nu` header varints and derives `nc`, rejecting counts
 /// that do not sum to `n`.
 fn read_part_counts(buf: &[u8], pos: &mut usize, n: usize) -> DecodeResult<(usize, usize, usize)> {
-    let nl = read_varint(buf, pos)? as usize;
-    let nu = read_varint(buf, pos)? as usize;
-    let outliers = nl
-        .checked_add(nu)
-        .ok_or(DecodeError::CountOverflow { claimed: u64::MAX })?;
-    let nc = n
-        .checked_sub(outliers)
-        .ok_or(DecodeError::CountOverflow { claimed: outliers as u64 })?;
+    let nl = read_len_bounded(buf, pos, n)?;
+    let nu = read_len_bounded(buf, pos, n - nl)?;
+    let nc = n - nl - nu;
     Ok((nl, nu, nc))
 }
 
@@ -348,12 +340,9 @@ fn read_part_widths(buf: &[u8], pos: &mut usize) -> DecodeResult<(u32, u32, u32)
 /// Decodes one block from `buf[*pos..]`, appending the values to `out`.
 /// Fails with a [`DecodeError`] on any structural corruption or truncation.
 pub fn decode_block(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
-    let n = read_varint(buf, pos)? as usize;
+    let n = read_len_bounded(buf, pos, bitpack::MAX_BLOCK_VALUES)?;
     if n == 0 {
         return Ok(());
-    }
-    if n > bitpack::MAX_BLOCK_VALUES {
-        return Err(DecodeError::CountOverflow { claimed: n as u64 });
     }
     let mode = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
     *pos += 1;

@@ -66,8 +66,15 @@ impl StreamEncoder {
     /// Delegates to the shared driver
     /// [`bitpack::codec::encode_blocks_parallel`], which works over any
     /// [`bitpack::BlockCodec`] — the PFOR family gets the same treatment.
-    pub fn encode_parallel(&self, values: &[i64], threads: usize, out: &mut Vec<u8>) { // lint:allow(encode-decode-pairing): byte-identical to `encode`, read back by `decode_all`; roundtrip covered by stream tests
-        bitpack::codec::encode_blocks_parallel(&self.codec, values, self.block_size, threads, out);
+    /// A panic inside a worker is contained there and surfaces as
+    /// [`bitpack::EncodeError::WorkerPanicked`] with `out` rolled back.
+    pub fn encode_parallel( // lint:allow(encode-decode-pairing): byte-identical to `encode`, read back by `decode_all`; roundtrip covered by stream tests
+        &self,
+        values: &[i64],
+        threads: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), bitpack::EncodeError> {
+        bitpack::codec::encode_blocks_parallel(&self.codec, values, self.block_size, threads, out)
     }
 }
 
@@ -168,7 +175,7 @@ mod tests {
         enc.encode(&values, &mut seq);
         for threads in [1, 2, 3, 8] {
             let mut par = Vec::new();
-            enc.encode_parallel(&values, threads, &mut par);
+            enc.encode_parallel(&values, threads, &mut par).expect("parallel encode");
             assert_eq!(par, seq, "threads = {threads}");
         }
         assert_eq!(StreamDecoder::decode_all(&seq), Ok(values));

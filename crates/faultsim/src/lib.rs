@@ -1,0 +1,373 @@
+//! Deterministic fault injection for storage-stack robustness testing.
+//!
+//! A [`FaultPlan`] is an ordered list of [`Fault`]s. Applying a plan to a
+//! byte buffer with a `u64` seed corrupts the buffer *reproducibly*: the
+//! same `(plan, seed, input)` triple always yields the same corrupted bytes
+//! and the same [`FaultRecord`]s, on every platform. Tests and benches use
+//! this to sweep thousands of distinct corruptions while keeping every
+//! failure replayable from two integers.
+//!
+//! The fault taxonomy mirrors what real storage actually does to files:
+//!
+//! * [`Fault::FlipBits`] — media bit rot, single or multi-bit.
+//! * [`Fault::GarbageBytes`] / [`Fault::GarbageRange`] — misdirected or
+//!   scribbled writes.
+//! * [`Fault::Truncate`] — lost tail after a crash before flush.
+//! * [`Fault::TornTail`] — a torn write: the tail is cut *and* replaced by
+//!   bytes from a half-completed write.
+//! * [`Fault::DropRange`] — a hole spliced out of the middle (lost extent).
+//! * [`Fault::DestroyTail`] — trailing metadata (e.g. a file footer)
+//!   overwritten with garbage while the body survives.
+//!
+//! Faults can be confined to a sub-range of the buffer with
+//! [`FaultPlan::apply_in`], which is how "corrupt exactly one chunk" test
+//! scenarios are built.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+pub mod rng;
+
+pub use rng::SplitMix64;
+
+/// One corruption primitive. See the crate docs for the physical failure
+/// each variant models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// Flip `count` independently-chosen bits (draws may collide, so the
+    /// net number of differing bits can be lower).
+    FlipBits {
+        /// Number of bit-flip draws.
+        count: usize,
+    },
+    /// Overwrite `count` independently-chosen bytes with random values.
+    GarbageBytes {
+        /// Number of byte-overwrite draws.
+        count: usize,
+    },
+    /// Overwrite one contiguous run of 1..=`max_len` bytes with garbage.
+    GarbageRange {
+        /// Upper bound on the run length (clamped to the target extent).
+        max_len: usize,
+    },
+    /// Cut the buffer at a position chosen inside the target extent; every
+    /// byte from the cut to the end of the *buffer* is removed.
+    Truncate,
+    /// Torn write: [`Fault::Truncate`], then append 0..=`max_tail` garbage
+    /// bytes standing in for the half-completed write that replaced the tail.
+    TornTail {
+        /// Upper bound on the appended garbage tail.
+        max_tail: usize,
+    },
+    /// Splice out one contiguous run of 1..=`max_len` bytes; the buffer
+    /// shrinks and everything after the hole shifts down.
+    DropRange {
+        /// Upper bound on the dropped run length (clamped to the extent).
+        max_len: usize,
+    },
+    /// Overwrite the trailing `count` bytes of the target extent with
+    /// garbage (footer destruction).
+    DestroyTail {
+        /// Number of trailing bytes to destroy (clamped to the extent).
+        count: usize,
+    },
+}
+
+/// What one applied [`Fault`] actually did to the buffer.
+///
+/// `touched` is expressed in the coordinates the buffer had *at the moment
+/// this fault was applied* (earlier faults in the same plan may already
+/// have moved bytes around). For splicing faults the range covers the
+/// removed bytes in pre-splice coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The fault as configured in the plan.
+    pub fault: Fault,
+    /// Byte range affected (empty when the fault degenerated to a no-op,
+    /// e.g. applied to an empty extent).
+    pub touched: Range<usize>,
+    /// Bytes removed from the buffer (truncation / drop).
+    pub removed: usize,
+    /// Bytes appended to the buffer (torn tail).
+    pub appended: usize,
+}
+
+/// An ordered, composable list of faults; see the crate docs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (applies no corruption).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A plan consisting of a single fault.
+    pub fn single(fault: Fault) -> Self {
+        Self { faults: vec![fault] }
+    }
+
+    /// Builder-style: append `fault` to the plan.
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The faults in application order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Apply every fault in order to the whole buffer, driving all random
+    /// choices from `seed`. Returns one record per fault.
+    pub fn apply(&self, data: &mut Vec<u8>, seed: u64) -> Vec<FaultRecord> {
+        let end = data.len();
+        self.apply_in(data, 0..end, seed)
+    }
+
+    /// Apply every fault in order, confining random placement to `region`
+    /// (clamped to the current buffer length before each fault, since
+    /// earlier faults may shrink or grow the buffer). Note that
+    /// [`Fault::Truncate`] and [`Fault::TornTail`] pick their cut point
+    /// inside `region` but, being truncations, remove everything from the
+    /// cut to the end of the buffer.
+    pub fn apply_in(&self, data: &mut Vec<u8>, region: Range<usize>, seed: u64) -> Vec<FaultRecord> {
+        let mut rng = SplitMix64::new(seed);
+        let mut records = Vec::with_capacity(self.faults.len());
+        for &fault in &self.faults {
+            let lo = region.start.min(data.len());
+            let hi = region.end.min(data.len());
+            records.push(apply_one(fault, data, lo..hi, &mut rng));
+        }
+        records
+    }
+}
+
+/// Apply one fault inside the (already clamped, possibly empty) extent.
+fn apply_one(fault: Fault, data: &mut Vec<u8>, extent: Range<usize>, rng: &mut SplitMix64) -> FaultRecord {
+    let (lo, hi) = (extent.start, extent.end);
+    let noop = FaultRecord { fault, touched: lo..lo, removed: 0, appended: 0 };
+    if lo >= hi {
+        return noop;
+    }
+    let span = hi - lo;
+    match fault {
+        Fault::FlipBits { count } => {
+            if count == 0 {
+                return noop;
+            }
+            let mut first = usize::MAX;
+            let mut last = 0usize;
+            for _ in 0..count {
+                let pos = lo + rng.below(span);
+                let bit = rng.below(8) as u32;
+                data[pos] ^= 1u8 << bit;
+                first = first.min(pos);
+                last = last.max(pos);
+            }
+            FaultRecord { fault, touched: first..last + 1, removed: 0, appended: 0 }
+        }
+        Fault::GarbageBytes { count } => {
+            if count == 0 {
+                return noop;
+            }
+            let mut first = usize::MAX;
+            let mut last = 0usize;
+            for _ in 0..count {
+                let pos = lo + rng.below(span);
+                data[pos] = rng.byte();
+                first = first.min(pos);
+                last = last.max(pos);
+            }
+            FaultRecord { fault, touched: first..last + 1, removed: 0, appended: 0 }
+        }
+        Fault::GarbageRange { max_len } => {
+            if max_len == 0 {
+                return noop;
+            }
+            let len = 1 + rng.below(max_len.min(span));
+            let start = lo + rng.below(span - len + 1);
+            for b in &mut data[start..start + len] {
+                *b = rng.byte();
+            }
+            FaultRecord { fault, touched: start..start + len, removed: 0, appended: 0 }
+        }
+        Fault::Truncate => {
+            let cut = lo + rng.below(span);
+            let removed = data.len() - cut;
+            data.truncate(cut);
+            FaultRecord { fault, touched: cut..cut + removed, removed, appended: 0 }
+        }
+        Fault::TornTail { max_tail } => {
+            let cut = lo + rng.below(span);
+            let removed = data.len() - cut;
+            data.truncate(cut);
+            let tail = rng.below(max_tail + 1);
+            for _ in 0..tail {
+                let b = rng.byte();
+                data.push(b);
+            }
+            FaultRecord { fault, touched: cut..cut + removed.max(tail), removed, appended: tail }
+        }
+        Fault::DropRange { max_len } => {
+            if max_len == 0 {
+                return noop;
+            }
+            let len = 1 + rng.below(max_len.min(span));
+            let start = lo + rng.below(span - len + 1);
+            data.drain(start..start + len);
+            FaultRecord { fault, touched: start..start + len, removed: len, appended: 0 }
+        }
+        Fault::DestroyTail { count } => {
+            if count == 0 {
+                return noop;
+            }
+            let len = count.min(span);
+            let start = hi - len;
+            for b in &mut data[start..hi] {
+                *b = rng.byte();
+            }
+            FaultRecord { fault, touched: start..hi, removed: 0, appended: 0 }
+        }
+    }
+}
+
+/// Drop exactly the byte range `range` from `data` (clamped to the buffer).
+/// Deterministic convenience for "this whole chunk never hit the disk"
+/// scenarios where the caller, not the PRNG, picks the victim.
+pub fn drop_exact(data: &mut Vec<u8>, range: Range<usize>) -> FaultRecord {
+    let lo = range.start.min(data.len());
+    let hi = range.end.min(data.len());
+    data.drain(lo..hi);
+    FaultRecord {
+        fault: Fault::DropRange { max_len: hi - lo },
+        touched: lo..hi,
+        removed: hi - lo,
+        appended: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    fn full_plan() -> FaultPlan {
+        FaultPlan::new()
+            .with(Fault::FlipBits { count: 3 })
+            .with(Fault::GarbageBytes { count: 2 })
+            .with(Fault::GarbageRange { max_len: 9 })
+            .with(Fault::DropRange { max_len: 5 })
+            .with(Fault::TornTail { max_tail: 7 })
+    }
+
+    #[test]
+    fn apply_is_deterministic_per_seed() {
+        let plan = full_plan();
+        let (mut a, mut b, mut c) = (buf(300), buf(300), buf(300));
+        let ra = plan.apply(&mut a, 99);
+        let rb = plan.apply(&mut b, 99);
+        let rc = plan.apply(&mut c, 100);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        assert!(a != c || ra != rc, "distinct seeds should corrupt differently");
+    }
+
+    #[test]
+    fn flip_one_bit_changes_exactly_one_bit() {
+        let plan = FaultPlan::single(Fault::FlipBits { count: 1 });
+        for seed in 0..64 {
+            let original = buf(128);
+            let mut data = original.clone();
+            let rec = plan.apply(&mut data, seed);
+            let diff: u32 = original
+                .iter()
+                .zip(&data)
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum();
+            assert_eq!(diff, 1);
+            assert_eq!(rec.len(), 1);
+            assert_eq!(rec[0].touched.len(), 1);
+        }
+    }
+
+    #[test]
+    fn truncate_and_torn_tail_resize_as_recorded() {
+        for seed in 0..32 {
+            let mut data = buf(200);
+            let rec = &FaultPlan::single(Fault::Truncate).apply(&mut data, seed)[0];
+            assert_eq!(data.len(), 200 - rec.removed);
+            assert!(rec.removed >= 1);
+
+            let mut data = buf(200);
+            let rec = &FaultPlan::single(Fault::TornTail { max_tail: 16 }).apply(&mut data, seed)[0];
+            assert_eq!(data.len(), 200 - rec.removed + rec.appended);
+            assert!(rec.appended <= 16);
+        }
+    }
+
+    #[test]
+    fn apply_in_confines_damage_to_the_region() {
+        // Non-splicing faults must leave every byte outside the region intact.
+        let plan = FaultPlan::new()
+            .with(Fault::FlipBits { count: 8 })
+            .with(Fault::GarbageBytes { count: 8 })
+            .with(Fault::GarbageRange { max_len: 20 })
+            .with(Fault::DestroyTail { count: 10 });
+        for seed in 0..32 {
+            let original = buf(300);
+            let mut data = original.clone();
+            plan.apply_in(&mut data, 100..180, seed);
+            assert_eq!(data.len(), original.len());
+            assert_eq!(&data[..100], &original[..100]);
+            assert_eq!(&data[180..], &original[180..]);
+            assert_ne!(&data[100..180], &original[100..180]);
+        }
+    }
+
+    #[test]
+    fn destroy_tail_hits_the_extent_tail() {
+        let mut data = buf(100);
+        let original = data.clone();
+        let rec = &FaultPlan::single(Fault::DestroyTail { count: 8 }).apply(&mut data, 5)[0];
+        assert_eq!(rec.touched, 92..100);
+        assert_eq!(&data[..92], &original[..92]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs_are_noops() {
+        let plan = full_plan().with(Fault::Truncate).with(Fault::DestroyTail { count: 4 });
+        let mut data: Vec<u8> = Vec::new();
+        let recs = plan.apply(&mut data, 1);
+        assert!(data.is_empty());
+        assert!(recs.iter().all(|r| r.touched.is_empty() && r.removed == 0 && r.appended == 0));
+
+        // Region entirely out of bounds is also a no-op.
+        let mut data = buf(10);
+        let recs = plan.apply_in(&mut data, 50..60, 1);
+        assert_eq!(data, buf(10));
+        assert!(recs.iter().all(|r| r.touched.is_empty()));
+    }
+
+    #[test]
+    fn drop_exact_splices_the_named_range() {
+        let mut data = buf(50);
+        let rec = drop_exact(&mut data, 10..20);
+        assert_eq!(rec.removed, 10);
+        assert_eq!(data.len(), 40);
+        assert_eq!(&data[..10], &buf(50)[..10]);
+        assert_eq!(&data[10..], &buf(50)[20..]);
+        // Out-of-bounds tail is clamped.
+        let rec = drop_exact(&mut data, 35..90);
+        assert_eq!(rec.removed, 5);
+        assert_eq!(data.len(), 35);
+    }
+}

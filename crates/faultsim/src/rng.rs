@@ -1,0 +1,83 @@
+//! SplitMix64: the seeding PRNG from Vigna's xoshiro reference code.
+//!
+//! Chosen here as the *primary* generator (not just a seeder) because fault
+//! injection needs exactly two properties: full determinism from a `u64`
+//! seed, and decent bit diffusion so nearby seeds produce unrelated fault
+//! placements. SplitMix64 gives both in five lines with no state beyond a
+//! single word, which keeps fault plans trivially reproducible across
+//! platforms and releases.
+
+/// Deterministic 64-bit generator; the sequence is a pure function of the
+/// seed passed to [`SplitMix64::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator whose entire output sequence is determined by
+    /// `seed`. Any value (including 0) is a valid seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..n` (simple modulo; the at-most 2^-32 bias on
+    /// the buffer sizes seen here is irrelevant for fault placement).
+    /// Returns 0 when `n == 0` so callers can pass empty extents safely.
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// One pseudo-random byte.
+    pub fn byte(&mut self) -> u8 {
+        (self.next_u64() & 0xFF) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SplitMix64;
+
+    #[test]
+    fn matches_reference_vector_for_seed_zero() {
+        // First outputs of Vigna's splitmix64 reference seeded with 0.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn sequences_are_deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let mut c = SplitMix64::new(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn below_handles_degenerate_bounds() {
+        let mut rng = SplitMix64::new(7);
+        assert_eq!(rng.below(0), 0);
+        assert_eq!(rng.below(1), 0);
+        for _ in 0..100 {
+            assert!(rng.below(10) < 10);
+        }
+    }
+}

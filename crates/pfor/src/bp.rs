@@ -10,7 +10,7 @@ use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::kernels::packed_size;
 use bitpack::unrolled::{pack_words_for, unpack_words_for};
 use bitpack::width::width;
-use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
+use bitpack::zigzag::{read_len_bounded, read_varint_i64, write_varint, write_varint_i64};
 
 /// Plain bit-packing codec.
 #[derive(Debug, Clone, Copy, Default)]
@@ -48,12 +48,9 @@ impl Codec for BpCodec {
     }
 
     fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
-        let n = read_varint(buf, pos)? as usize;
+        let n = read_len_bounded(buf, pos, bitpack::MAX_BLOCK_VALUES)?;
         if n == 0 {
             return Ok(());
-        }
-        if n > bitpack::MAX_BLOCK_VALUES {
-            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         let min = read_varint_i64(buf, pos)?;
         let w = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;

@@ -25,7 +25,7 @@ use crate::{for_restore, for_transform, Codec, FORMAT_V2};
 use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::unrolled::{pack_words_for, pack_words_unrolled, unpack_words_for, unpack_words_unrolled};
 use bitpack::width::width;
-use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
+use bitpack::zigzag::{read_len_bounded, read_varint_i64, write_varint, write_varint_i64};
 
 /// Values per sub-block, as in the original.
 pub const SUB_BLOCK: usize = 128;
@@ -115,12 +115,9 @@ impl Codec for FastPforCodec {
     }
 
     fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
-        let n = read_varint(buf, pos)? as usize;
+        let n = read_len_bounded(buf, pos, bitpack::MAX_BLOCK_VALUES)?;
         if n == 0 {
             return Ok(());
-        }
-        if n > bitpack::MAX_BLOCK_VALUES {
-            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         let ver = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
         *pos += 1;
@@ -180,10 +177,7 @@ impl Codec for FastPforCodec {
             if w > 64 {
                 return Err(DecodeError::WidthOverflow { width: w as u32 });
             }
-            let count = read_varint(buf, pos)? as usize;
-            if count > n {
-                return Err(DecodeError::CountOverflow { claimed: count as u64 });
-            }
+            let count = read_len_bounded(buf, pos, n)?;
             let mut page = Vec::with_capacity(count);
             let consumed = unpack_words_unrolled(
                 buf.get(*pos..).ok_or(DecodeError::Truncated)?,

@@ -18,7 +18,7 @@ use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::simple8b;
 use bitpack::unrolled::{pack_words_for, unpack_words_for};
 use bitpack::width::width;
-use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
+use bitpack::zigzag::{read_len_bounded, read_varint_i64, write_varint, write_varint_i64};
 
 /// Simple8b payload limit: high bits wider than this cannot be stored, so
 /// candidate `b` must satisfy `w_full − b ≤ 60`.
@@ -151,12 +151,9 @@ impl Codec for NewPforCodec {
     }
 
     fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
-        let n = read_varint(buf, pos)? as usize;
+        let n = read_len_bounded(buf, pos, bitpack::MAX_BLOCK_VALUES)?;
         if n == 0 {
             return Ok(());
-        }
-        if n > bitpack::MAX_BLOCK_VALUES {
-            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         decode_pfd(buf, pos, n, out)
     }

@@ -8,9 +8,9 @@
 
 use crate::newpfor::{decode_pfd, encode_pfd, exceeding_counts};
 use crate::{for_transform, Codec};
-use bitpack::error::{DecodeError, DecodeResult};
+use bitpack::error::DecodeResult;
 use bitpack::width::width;
-use bitpack::zigzag::{read_varint, write_varint};
+use bitpack::zigzag::{read_len_bounded, write_varint};
 
 /// Simple8b payload limit for exception high bits (see `newpfor`).
 const MAX_HIGH_BITS: u32 = 60;
@@ -64,12 +64,9 @@ impl Codec for OptPforCodec {
     }
 
     fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
-        let n = read_varint(buf, pos)? as usize;
+        let n = read_len_bounded(buf, pos, bitpack::MAX_BLOCK_VALUES)?;
         if n == 0 {
             return Ok(());
-        }
-        if n > bitpack::MAX_BLOCK_VALUES {
-            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         decode_pfd(buf, pos, n, out)
     }

@@ -22,7 +22,7 @@ use crate::{for_restore, for_transform, Codec, FORMAT_V2};
 use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::unrolled::{pack_words_unrolled, unpack_words_for, unpack_words_unrolled};
 use bitpack::width::width;
-use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
+use bitpack::zigzag::{read_len_bounded, read_varint_i64, write_varint, write_varint_i64};
 
 // Exception-rate metrics: the PFOR cost model targets ~10% exceptions
 // per block; the histogram shows the realized per-block distribution.
@@ -143,12 +143,9 @@ impl Codec for PforCodec {
     }
 
     fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
-        let n = read_varint(buf, pos)? as usize;
+        let n = read_len_bounded(buf, pos, bitpack::MAX_BLOCK_VALUES)?;
         if n == 0 {
             return Ok(());
-        }
-        if n > bitpack::MAX_BLOCK_VALUES {
-            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         let ver = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
         *pos += 1;
@@ -162,16 +159,10 @@ impl Codec for PforCodec {
         if w_full > 64 || b > 64 {
             return Err(DecodeError::WidthOverflow { width: w_full.max(b) });
         }
-        let n_exc = read_varint(buf, pos)? as usize;
-        if n_exc > n {
-            return Err(DecodeError::CountOverflow { claimed: n_exc as u64 });
-        }
+        let n_exc = read_len_bounded(buf, pos, n)?;
         let first_exc = if n_exc > 0 {
-            let f = read_varint(buf, pos)? as usize;
-            if f >= n {
-                return Err(DecodeError::CountOverflow { claimed: f as u64 });
-            }
-            Some(f)
+            // First chain index must land inside the block: bound n - 1.
+            Some(read_len_bounded(buf, pos, n - 1)?)
         } else {
             None
         };

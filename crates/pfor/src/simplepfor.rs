@@ -21,7 +21,7 @@ use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::simple8b;
 use bitpack::unrolled::{pack_words_for, unpack_words_for};
 use bitpack::width::width;
-use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
+use bitpack::zigzag::{read_len_bounded, read_varint_i64, write_varint, write_varint_i64};
 
 /// Values per sub-block, as in FastPFOR.
 pub const SUB_BLOCK: usize = 128;
@@ -105,12 +105,9 @@ impl Codec for SimplePforCodec {
     }
 
     fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
-        let n = read_varint(buf, pos)? as usize;
+        let n = read_len_bounded(buf, pos, bitpack::MAX_BLOCK_VALUES)?;
         if n == 0 {
             return Ok(());
-        }
-        if n > bitpack::MAX_BLOCK_VALUES {
-            return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         let ver = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
         *pos += 1;

@@ -35,7 +35,7 @@
 pub mod crc;
 
 use bitpack::error::DecodeError;
-use bitpack::zigzag::{read_varint, write_varint};
+use bitpack::zigzag::{read_len_bounded, read_varint, write_varint};
 use crc::crc32;
 
 // Container-level metrics: chunk traffic in both directions plus CRC
@@ -47,9 +47,20 @@ static CHUNK_BYTES_WRITTEN: obs::CounterHandle =
 static CHUNKS_READ: obs::CounterHandle = obs::CounterHandle::new("tsfile.chunks_read");
 static CRC_VERIFIED: obs::CounterHandle = obs::CounterHandle::new("tsfile.crc_verified");
 static CRC_MISMATCH: obs::CounterHandle = obs::CounterHandle::new("tsfile.crc_mismatch");
+// Salvage metrics: how many chunks the forward scan recovered vs skipped,
+// and how often a file's footer had to be rebuilt from the body scan.
+// `chunks_skipped` counts skip *events* (scan-time and per-series read
+// discoveries both record here).
+static SALVAGE_RECOVERED: obs::CounterHandle =
+    obs::CounterHandle::new("tsfile.salvage.chunks_recovered");
+static SALVAGE_SKIPPED: obs::CounterHandle =
+    obs::CounterHandle::new("tsfile.salvage.chunks_skipped");
+static SALVAGE_FOOTER_REBUILT: obs::CounterHandle =
+    obs::CounterHandle::new("tsfile.salvage.footer_rebuilt");
 use encodings::{OuterKind, PackerKind, Pipeline};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::ops::Range;
 
 /// File magic, 8 bytes (version byte last).
 pub const MAGIC: &[u8; 8] = b"BOSTSF\x00\x01";
@@ -401,6 +412,163 @@ pub struct SeriesInfo {
     pub offset: u64,
 }
 
+/// Why the salvage path could not recover a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SkipReason {
+    /// The payload bytes did not match the stored CRC-32.
+    CrcMismatch,
+    /// The chunk extends past the end of the readable bytes.
+    Truncated,
+    /// The chunk header failed structural validation, or a CRC-valid
+    /// payload failed to decode.
+    BadHeader,
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CrcMismatch => write!(f, "crc-mismatch"),
+            Self::Truncated => write!(f, "truncated"),
+            Self::BadHeader => write!(f, "bad-header"),
+        }
+    }
+}
+
+/// One chunk the salvage path saw but could not recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedChunk {
+    /// The series the chunk claimed to belong to.
+    pub series: String,
+    /// Best-effort byte range of the damaged chunk in the file.
+    pub range: Range<usize>,
+    /// Why it was skipped.
+    pub reason: SkipReason,
+}
+
+/// Result of a partial-recovery read: everything that decoded, plus a
+/// record of what did not (empty on full recovery).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SalvageOutcome<T> {
+    /// Values recovered from intact chunks, in file order.
+    pub values: Vec<T>,
+    /// Chunks that could not be recovered.
+    pub skipped: Vec<SkippedChunk>,
+}
+
+/// What [`TsFileReader::open_salvage`] found while building the file view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// True when the footer was missing or corrupt and the index was
+    /// rebuilt by forward-scanning the body for chunk markers.
+    pub footer_rebuilt: bool,
+    /// Chunks the body scan saw but could not verify as intact. Empty
+    /// when the footer was trusted (damage then surfaces per series via
+    /// [`TsFileReader::read_ints_salvage`]).
+    pub skipped: Vec<SkippedChunk>,
+}
+
+/// Parsed fixed fields of one chunk header plus its byte geometry.
+struct ChunkHeader<'a> {
+    name: &'a [u8],
+    decimals: Option<u8>,
+    encoding: EncodingChoice,
+    count: usize,
+    /// File offset of the first payload byte.
+    payload_start: usize,
+    payload_len: usize,
+}
+
+impl ChunkHeader<'_> {
+    /// File offset one past the chunk's trailing CRC.
+    fn end(&self) -> usize {
+        self.payload_start + self.payload_len + 4
+    }
+}
+
+/// Parses the chunk header starting at `start`, validating every field
+/// but touching neither the payload nor the CRC.
+fn parse_chunk_header(data: &[u8], start: usize) -> Result<ChunkHeader<'_>, TsFileError> {
+    let mut pos = start;
+    let corrupt = TsFileError::Corrupt("chunk header");
+    if *data.get(pos).ok_or(corrupt.clone())? != CHUNK_TAG {
+        return Err(corrupt);
+    }
+    pos += 1;
+    // Lengths come from potentially corrupt bytes: bound each against the
+    // bytes actually left so a flipped varint cannot demand gigabytes.
+    let remaining = data.len() - pos;
+    let nlen = read_len_bounded(data, &mut pos, remaining)?;
+    let name = data.get(pos..pos + nlen).ok_or(corrupt.clone())?;
+    pos += nlen;
+    let vtype = *data.get(pos).ok_or(corrupt.clone())?;
+    pos += 1;
+    if vtype != TYPE_INT && vtype != TYPE_FLOAT {
+        return Err(TsFileError::Corrupt("value type"));
+    }
+    let decimals = if vtype == TYPE_FLOAT {
+        let d = *data.get(pos).ok_or(corrupt.clone())?;
+        pos += 1;
+        Some(d)
+    } else {
+        None
+    };
+    let outer = *data.get(pos).ok_or(corrupt.clone())?;
+    let packer = *data.get(pos + 1).ok_or(corrupt)?;
+    pos += 2;
+    let encoding =
+        EncodingChoice::from_ids(outer, packer).ok_or(TsFileError::Corrupt("encoding id"))?;
+    let count = read_len_bounded(data, &mut pos, bitpack::MAX_BLOCK_VALUES)?;
+    let remaining = data.len() - pos;
+    let payload_len = read_len_bounded(data, &mut pos, remaining)?;
+    Ok(ChunkHeader {
+        name,
+        decimals,
+        encoding,
+        count,
+        payload_start: pos,
+        payload_len,
+    })
+}
+
+/// Extracts the payload slice of a parsed chunk and checks its CRC.
+/// Returns `Corrupt("chunk truncated")` when payload or CRC bytes are
+/// missing, otherwise the payload and whether the CRC matched.
+fn chunk_payload<'d>(data: &'d [u8], header: &ChunkHeader<'_>) -> Result<(&'d [u8], bool), TsFileError> {
+    let truncated = TsFileError::Corrupt("chunk truncated");
+    let payload = data
+        .get(header.payload_start..header.payload_start + header.payload_len)
+        .ok_or(truncated.clone())?;
+    let crc_pos = header.payload_start + header.payload_len;
+    let stored = data.get(crc_pos..crc_pos + 4).ok_or(truncated.clone())?;
+    let stored_crc = match <[u8; 4]>::try_from(stored) {
+        Ok(b) => u32::from_le_bytes(b),
+        Err(_) => return Err(truncated),
+    };
+    Ok((payload, crc32(payload) == stored_crc))
+}
+
+/// Decodes a CRC-verified payload and checks the decoded count.
+fn decode_chunk_values(header: &ChunkHeader<'_>, payload: &[u8]) -> Result<Vec<i64>, TsFileError> {
+    let mut out = Vec::with_capacity(header.count);
+    let mut ppos = 0;
+    header.encoding.pipeline().decode(payload, &mut ppos, &mut out)?;
+    if out.len() != header.count {
+        return Err(TsFileError::Corrupt("value count mismatch"));
+    }
+    Ok(out)
+}
+
+/// Maps a chunk-read failure onto the salvage skip taxonomy.
+fn skip_reason(e: &TsFileError) -> SkipReason {
+    match e {
+        TsFileError::ChecksumMismatch { .. } => SkipReason::CrcMismatch,
+        TsFileError::Decode(DecodeError::Truncated)
+        | TsFileError::Corrupt("chunk truncated") => SkipReason::Truncated,
+        _ => SkipReason::BadHeader,
+    }
+}
+
 /// Reads a TsFile from a byte buffer.
 pub struct TsFileReader<'a> {
     data: &'a [u8],
@@ -450,13 +618,13 @@ impl<'a> TsFileReader<'a> {
             CRC_VERIFIED.inc();
         }
         let mut pos = 0usize;
-        let count = read_varint(footer, &mut pos)? as usize;
-        if count > 1 << 20 {
-            return Err(TsFileError::Corrupt("footer count"));
-        }
+        // Entry counts and name lengths are attacker-controlled on a
+        // corrupt file: bound them before use (decode-bomb guard).
+        let count = read_len_bounded(footer, &mut pos, 1 << 20)?;
         let mut series = Vec::with_capacity(count);
         for _ in 0..count {
-            let nlen = read_varint(footer, &mut pos)? as usize;
+            let remaining = footer.len() - pos;
+            let nlen = read_len_bounded(footer, &mut pos, remaining)?;
             let name_bytes = footer
                 .get(pos..pos + nlen)
                 .ok_or(TsFileError::Corrupt("name bytes"))?;
@@ -500,48 +668,12 @@ impl<'a> TsFileReader<'a> {
     /// Parses a chunk at `info.offset`, verifying its CRC. Returns the
     /// decimals (floats only) and decoded integers.
     fn read_chunk(&self, info: &SeriesInfo) -> Result<(Option<u8>, Vec<i64>), TsFileError> {
-        let data = self.data;
-        let mut pos = info.offset as usize;
-        let corrupt = TsFileError::Corrupt("chunk header");
-        if *data.get(pos).ok_or(corrupt.clone())? != CHUNK_TAG {
-            return Err(corrupt);
-        }
-        pos += 1;
-        let nlen = read_varint(data, &mut pos)? as usize;
-        let name = data.get(pos..pos + nlen).ok_or(corrupt.clone())?;
-        pos += nlen;
-        if name != info.name.as_bytes() {
+        let header = parse_chunk_header(self.data, info.offset as usize)?;
+        if header.name != info.name.as_bytes() {
             return Err(TsFileError::Corrupt("index/chunk name mismatch"));
         }
-        let vtype = *data.get(pos).ok_or(corrupt.clone())?;
-        pos += 1;
-        let decimals = if vtype == TYPE_FLOAT {
-            let d = *data.get(pos).ok_or(corrupt.clone())?;
-            pos += 1;
-            Some(d)
-        } else {
-            None
-        };
-        let outer = *data.get(pos).ok_or(corrupt.clone())?;
-        let packer = *data.get(pos + 1).ok_or(corrupt.clone())?;
-        pos += 2;
-        let encoding =
-            EncodingChoice::from_ids(outer, packer).ok_or(TsFileError::Corrupt("encoding id"))?;
-        let count = read_varint(data, &mut pos)? as usize;
-        if count > bitpack::MAX_BLOCK_VALUES {
-            return Err(TsFileError::Decode(DecodeError::CountOverflow {
-                claimed: count as u64,
-            }));
-        }
-        let plen = read_varint(data, &mut pos)? as usize;
-        let payload = data.get(pos..pos + plen).ok_or(corrupt.clone())?;
-        pos += plen;
-        let stored = data.get(pos..pos + 4).ok_or(corrupt.clone())?;
-        let stored_crc = match <[u8; 4]>::try_from(stored) {
-            Ok(b) => u32::from_le_bytes(b),
-            Err(_) => return Err(corrupt),
-        };
-        if crc32(payload) != stored_crc {
+        let (payload, crc_ok) = chunk_payload(self.data, &header)?;
+        if !crc_ok {
             if obs::enabled() {
                 CRC_MISMATCH.inc();
             }
@@ -553,13 +685,203 @@ impl<'a> TsFileReader<'a> {
             CRC_VERIFIED.inc();
             CHUNKS_READ.inc();
         }
-        let mut out = Vec::with_capacity(count);
-        let mut ppos = 0;
-        encoding.pipeline().decode(payload, &mut ppos, &mut out)?;
-        if out.len() != count {
-            return Err(TsFileError::Corrupt("value count mismatch"));
+        let values = decode_chunk_values(&header, payload)?;
+        Ok((header.decimals, values))
+    }
+
+    /// Best-effort byte extent of a series' chunk, clamped to the file.
+    fn chunk_extent(&self, info: &SeriesInfo) -> Range<usize> {
+        let start = info.offset as usize;
+        match parse_chunk_header(self.data, start) {
+            Ok(h) => start..h.end().min(self.data.len()),
+            Err(_) => start..self.data.len(),
         }
-        Ok((decimals, out))
+    }
+
+    /// Byte ranges of the named series' chunk: the whole chunk (tag
+    /// through CRC) and the payload-only subrange. Fault-injection
+    /// harnesses use this to aim corruption at one chunk precisely.
+    pub fn chunk_ranges(&self, name: &str) -> Result<(Range<usize>, Range<usize>), TsFileError> {
+        let info = self.info(name)?;
+        let start = info.offset as usize;
+        let header = parse_chunk_header(self.data, start)?;
+        let payload = header.payload_start..header.payload_start + header.payload_len;
+        Ok((start..header.end(), payload))
+    }
+
+    /// Opens a possibly damaged file, degrading gracefully instead of
+    /// refusing it.
+    ///
+    /// When [`open`](Self::open) succeeds the footer index is trusted
+    /// verbatim and the report is empty — the happy path is unchanged.
+    /// Otherwise the body is forward-scanned for chunk markers; every
+    /// candidate header is re-validated and its payload checked against
+    /// the chunk CRC before it is admitted to the rebuilt index. Chunks
+    /// that parse but fail verification are still indexed (so per-series
+    /// reads can report them) and recorded in the report.
+    ///
+    /// The scan stops at the footer offset when the tail trailer still
+    /// looks sane, else at the end of the buffer.
+    pub fn open_salvage(data: &'a [u8]) -> (Self, SalvageReport) {
+        let _span = obs::span("tsfile.open_salvage");
+        if let Ok(reader) = Self::open(data) {
+            return (
+                reader,
+                SalvageReport { footer_rebuilt: false, skipped: Vec::new() },
+            );
+        }
+        if obs::enabled() {
+            SALVAGE_FOOTER_REBUILT.inc();
+        }
+        // The footer (or envelope) is untrusted. If the tail trailer still
+        // parses to a plausible footer offset, stop the scan there so
+        // footer bytes cannot masquerade as chunks; otherwise scan it all.
+        let mut scan_end = data.len();
+        if data.len() >= MAGIC.len() * 2 + 12
+            && data.get(data.len() - 8..).is_some_and(|m| m == MAGIC)
+        {
+            let tail = data.len() - 8;
+            if let Some(Ok(b)) = data.get(tail - 8..tail).map(<[u8; 8]>::try_from) {
+                let off = u64::from_le_bytes(b) as usize;
+                if off >= MAGIC.len() && off <= tail - 12 {
+                    scan_end = off;
+                }
+            }
+        }
+        let start = if data.get(..MAGIC.len()).is_some_and(|m| m == MAGIC) {
+            MAGIC.len()
+        } else {
+            0
+        };
+        // (info, damaged) in file order; by_name maps to the entry index.
+        let mut entries: Vec<(SeriesInfo, bool)> = Vec::new();
+        let mut by_name: BTreeMap<String, usize> = BTreeMap::new();
+        let mut skipped = Vec::new();
+        let mut pos = start;
+        while pos < scan_end {
+            if data.get(pos) != Some(&CHUNK_TAG) {
+                pos += 1;
+                continue;
+            }
+            let Ok(header) = parse_chunk_header(data, pos) else {
+                pos += 1;
+                continue;
+            };
+            let Ok(name) = std::str::from_utf8(header.name) else {
+                pos += 1;
+                continue;
+            };
+            let info = SeriesInfo {
+                name: name.to_string(),
+                count: header.count as u64,
+                is_float: header.decimals.is_some(),
+                encoding: header.encoding,
+                offset: pos as u64,
+            };
+            match chunk_payload(data, &header) {
+                Ok((_, true)) => {
+                    // Verified chunk: index it, replacing an earlier
+                    // damaged claimant of the same name (first verified
+                    // occurrence wins otherwise).
+                    match by_name.get(name) {
+                        Some(&i) => {
+                            if let Some(entry) = entries.get_mut(i) {
+                                if entry.1 {
+                                    *entry = (info, false);
+                                }
+                            }
+                        }
+                        None => {
+                            by_name.insert(name.to_string(), entries.len());
+                            entries.push((info, false));
+                        }
+                    }
+                    if obs::enabled() {
+                        SALVAGE_RECOVERED.inc();
+                    }
+                    pos = header.end();
+                }
+                payload_result => {
+                    // Parsed but unverifiable: remember it (a later clean
+                    // copy may replace it), report it, and keep scanning
+                    // from the next byte — the claimed extent itself may
+                    // be part of the damage.
+                    let reason = match payload_result {
+                        Ok(_) => SkipReason::CrcMismatch,
+                        Err(_) => SkipReason::Truncated,
+                    };
+                    if !by_name.contains_key(name) {
+                        by_name.insert(name.to_string(), entries.len());
+                        entries.push((info, true));
+                    }
+                    skipped.push(SkippedChunk {
+                        series: name.to_string(),
+                        range: pos..header.end().min(data.len()),
+                        reason,
+                    });
+                    if obs::enabled() {
+                        SALVAGE_SKIPPED.inc();
+                    }
+                    pos += 1;
+                }
+            }
+        }
+        let series = entries.into_iter().map(|(info, _)| info).collect();
+        (
+            Self { data, series },
+            SalvageReport { footer_rebuilt: true, skipped },
+        )
+    }
+
+    /// Partial-recovery read of an integer series: decodes what survives
+    /// and reports what does not, instead of failing the whole read.
+    ///
+    /// Errors only for lookup problems ([`TsFileError::NoSuchSeries`] /
+    /// [`TsFileError::WrongType`]); chunk damage is returned inside the
+    /// outcome.
+    pub fn read_ints_salvage(&self, name: &str) -> Result<SalvageOutcome<i64>, TsFileError> {
+        let info = self.info(name)?.clone();
+        if info.is_float {
+            return Err(TsFileError::WrongType(name.to_string()));
+        }
+        match self.read_chunk(&info) {
+            Ok((_, values)) => Ok(SalvageOutcome { values, skipped: Vec::new() }),
+            Err(e) => Ok(self.skip_outcome(&info, &e)),
+        }
+    }
+
+    /// Partial-recovery read of a float series; see
+    /// [`read_ints_salvage`](Self::read_ints_salvage).
+    pub fn read_floats_salvage(&self, name: &str) -> Result<SalvageOutcome<f64>, TsFileError> {
+        let info = self.info(name)?.clone();
+        if !info.is_float {
+            return Err(TsFileError::WrongType(name.to_string()));
+        }
+        match self.read_chunk(&info) {
+            Ok((decimals, ints)) => {
+                let p = decimals.ok_or(TsFileError::Corrupt("missing decimals"))? as u32;
+                Ok(SalvageOutcome {
+                    values: encodings::floatint::ints_to_floats(&ints, p),
+                    skipped: Vec::new(),
+                })
+            }
+            Err(e) => Ok(self.skip_outcome(&info, &e)),
+        }
+    }
+
+    /// Builds the all-skipped outcome for a chunk that failed to read.
+    fn skip_outcome<T>(&self, info: &SeriesInfo, e: &TsFileError) -> SalvageOutcome<T> {
+        if obs::enabled() {
+            SALVAGE_SKIPPED.inc();
+        }
+        SalvageOutcome {
+            values: Vec::new(),
+            skipped: vec![SkippedChunk {
+                series: info.name.clone(),
+                range: self.chunk_extent(info),
+                reason: skip_reason(e),
+            }],
+        }
     }
 
     /// Reads an integer series by name.
@@ -758,5 +1080,162 @@ mod tests {
         let bytes = TsFileWriter::new().finish();
         let r = TsFileReader::open(&bytes).unwrap();
         assert!(r.series().is_empty());
+    }
+
+    /// Three int series with payloads big enough to aim corruption at.
+    fn salvage_fixture() -> (Vec<u8>, Vec<Vec<i64>>) {
+        let mut w = TsFileWriter::new();
+        let series: Vec<Vec<i64>> = (0..3)
+            .map(|s| (0..1500).map(|i| (i * i * 31 + s * 7) % 9973).collect())
+            .collect();
+        for (s, values) in series.iter().enumerate() {
+            w.add_int_series(&format!("s{s}"), values, EncodingChoice::TS2DIFF_BOS)
+                .unwrap();
+        }
+        (w.finish(), series)
+    }
+
+    #[test]
+    fn salvage_on_intact_file_is_invisible() {
+        let (bytes, series) = salvage_fixture();
+        let (r, report) = TsFileReader::open_salvage(&bytes);
+        assert!(!report.footer_rebuilt);
+        assert!(report.skipped.is_empty());
+        for (s, values) in series.iter().enumerate() {
+            let out = r.read_ints_salvage(&format!("s{s}")).unwrap();
+            assert_eq!(&out.values, values);
+            assert!(out.skipped.is_empty());
+        }
+    }
+
+    #[test]
+    fn salvage_rebuilds_index_after_footer_destruction() {
+        let (mut bytes, series) = salvage_fixture();
+        let footer_start = {
+            let tail = bytes.len() - 8;
+            u64::from_le_bytes(bytes[tail - 8..tail].try_into().unwrap()) as usize
+        };
+        // Obliterate footer, trailer and magic alike.
+        for b in &mut bytes[footer_start..] {
+            *b = 0x5A;
+        }
+        assert!(TsFileReader::open(&bytes).is_err());
+        let (r, report) = TsFileReader::open_salvage(&bytes);
+        assert!(report.footer_rebuilt);
+        assert!(report.skipped.is_empty());
+        assert_eq!(r.series().len(), series.len());
+        for (s, values) in series.iter().enumerate() {
+            assert_eq!(r.read_ints(&format!("s{s}")).unwrap(), *values);
+        }
+    }
+
+    #[test]
+    fn salvage_reports_corrupt_chunk_and_recovers_the_rest() {
+        let (mut bytes, series) = salvage_fixture();
+        let (chunk, payload) = {
+            let r = TsFileReader::open(&bytes).unwrap();
+            r.chunk_ranges("s1").unwrap()
+        };
+        assert!(payload.start >= chunk.start && payload.end + 4 <= chunk.end);
+        bytes[payload.start + payload.len() / 2] ^= 0x10;
+        let (r, report) = TsFileReader::open_salvage(&bytes);
+        assert!(!report.footer_rebuilt, "footer untouched");
+        let bad = r.read_ints_salvage("s1").unwrap();
+        assert!(bad.values.is_empty());
+        assert_eq!(bad.skipped.len(), 1);
+        assert_eq!(bad.skipped[0].series, "s1");
+        assert_eq!(bad.skipped[0].reason, SkipReason::CrcMismatch);
+        assert_eq!(bad.skipped[0].range, chunk);
+        for s in [0usize, 2] {
+            let out = r.read_ints_salvage(&format!("s{s}")).unwrap();
+            assert_eq!(out.values, series[s]);
+            assert!(out.skipped.is_empty());
+        }
+    }
+
+    #[test]
+    fn salvage_scan_indexes_damaged_chunks() {
+        // Footer gone AND one chunk corrupted: the scan must still index
+        // the damaged chunk (reporting it) and verify the others.
+        let (mut bytes, series) = salvage_fixture();
+        let (_, payload) = {
+            let r = TsFileReader::open(&bytes).unwrap();
+            r.chunk_ranges("s0").unwrap()
+        };
+        bytes[payload.start + 3] ^= 0xFF;
+        let cut = {
+            let tail = bytes.len() - 8;
+            u64::from_le_bytes(bytes[tail - 8..tail].try_into().unwrap()) as usize
+        };
+        bytes.truncate(cut);
+        let (r, report) = TsFileReader::open_salvage(&bytes);
+        assert!(report.footer_rebuilt);
+        assert!(report.skipped.iter().any(|s| s.series == "s0"
+            && s.reason == SkipReason::CrcMismatch));
+        let bad = r.read_ints_salvage("s0").unwrap();
+        assert!(bad.values.is_empty());
+        assert_eq!(bad.skipped[0].reason, SkipReason::CrcMismatch);
+        for s in [1usize, 2] {
+            assert_eq!(r.read_ints(&format!("s{s}")).unwrap(), series[s]);
+        }
+    }
+
+    #[test]
+    fn salvage_of_truncated_file_keeps_full_prefix() {
+        let (mut bytes, series) = salvage_fixture();
+        let (chunk2, _) = {
+            let r = TsFileReader::open(&bytes).unwrap();
+            r.chunk_ranges("s2").unwrap()
+        };
+        // Cut mid-way through the last chunk: s0/s1 survive whole.
+        bytes.truncate(chunk2.start + (chunk2.end - chunk2.start) / 2);
+        let (r, report) = TsFileReader::open_salvage(&bytes);
+        assert!(report.footer_rebuilt);
+        assert_eq!(r.read_ints("s0").unwrap(), series[0]);
+        assert_eq!(r.read_ints("s1").unwrap(), series[1]);
+        // The torn tail chunk is either reported truncated or invisible,
+        // depending on where the cut landed.
+        if let Ok(out) = r.read_ints_salvage("s2") {
+            assert!(out.values.is_empty());
+            assert_eq!(out.skipped[0].reason, SkipReason::Truncated);
+        }
+        let _ = report;
+    }
+
+    #[test]
+    fn salvage_float_series() {
+        let mut w = TsFileWriter::new();
+        let vals: Vec<f64> = (0..800).map(|i| (i % 113) as f64 / 100.0).collect();
+        w.add_float_series("f", &vals, EncodingChoice::TS2DIFF_BOS).unwrap();
+        w.add_int_series("i", &[7; 64], EncodingChoice::TS2DIFF_BP).unwrap();
+        let mut bytes = w.finish();
+        let (_, payload) = {
+            let r = TsFileReader::open(&bytes).unwrap();
+            r.chunk_ranges("f").unwrap()
+        };
+        bytes[payload.start] ^= 0x01;
+        let (r, _) = TsFileReader::open_salvage(&bytes);
+        let out = r.read_floats_salvage("f").unwrap();
+        assert!(out.values.is_empty());
+        assert_eq!(out.skipped[0].reason, SkipReason::CrcMismatch);
+        assert_eq!(r.read_ints_salvage("i").unwrap().values, vec![7; 64]);
+        // Type guards still apply.
+        assert!(matches!(
+            r.read_ints_salvage("f"),
+            Err(TsFileError::WrongType(_))
+        ));
+        assert!(matches!(
+            r.read_floats_salvage("missing"),
+            Err(TsFileError::NoSuchSeries(_))
+        ));
+    }
+
+    #[test]
+    fn salvage_of_garbage_never_panics() {
+        for len in [0usize, 1, 7, 8, 64, 300] {
+            let junk: Vec<u8> = (0..len).map(|i| (i * 37 % 251) as u8).collect();
+            let (r, report) = TsFileReader::open_salvage(&junk);
+            assert!(r.series().is_empty() || report.footer_rebuilt);
+        }
     }
 }

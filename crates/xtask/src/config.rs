@@ -17,6 +17,10 @@ pub struct Config {
     pub no_indexing: Vec<String>,
     /// Files whose shipping code must be free of narrowing `as` casts.
     pub no_narrowing_casts: Vec<String>,
+    /// Files whose shipping code must read varint length fields through
+    /// `read_len_bounded` — a bare `read_varint(..) as usize` used as a
+    /// length lets ten corrupt bytes size a multi-gigabyte allocation.
+    pub len_read_bounded: Vec<String>,
     /// Crate source roots (e.g. `crates/bos`) whose public `encode_*`
     /// functions must have decode counterparts and roundtrip tests.
     pub pairing_crates: Vec<String>,
@@ -41,6 +45,7 @@ impl Config {
             "no-panic",
             "no-indexing",
             "no-narrowing-casts",
+            "len-read-bounded",
             "encode-decode-pairing",
             "kernel-table-complete",
             "codec-label-unique",
@@ -111,6 +116,7 @@ impl Config {
                 "no-panic" => config.no_panic = values,
                 "no-indexing" => config.no_indexing = values,
                 "no-narrowing-casts" => config.no_narrowing_casts = values,
+                "len-read-bounded" => config.len_read_bounded = values,
                 "encode-decode-pairing" => config.pairing_crates = values,
                 "kernel-table-complete" => config.kernel_table_files = values,
                 "codec-label-unique" => config.codec_label_traits = values,

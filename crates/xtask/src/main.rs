@@ -5,7 +5,7 @@
 //! ```
 //!
 //! `lint` is the custom static-analysis gate for this repository. It reads
-//! `lint.toml` at the workspace root and enforces five rules over the
+//! `lint.toml` at the workspace root and enforces six rules over the
 //! files listed there (see DESIGN.md, "Correctness tooling"):
 //!
 //! 1. **no-panic / no-indexing** — decode modules must not contain
@@ -29,6 +29,10 @@
 //!    `obs` handle constructors / `obs::span` must be pairwise distinct
 //!    across the workspace; bench artifacts and the metrics registry key
 //!    on these strings, so a shared label silently merges two series.
+//! 6. **len-read-bounded** — decode modules must read varint *length*
+//!    fields through `bitpack::zigzag::read_len_bounded`; a bare
+//!    `read_varint(..) as usize` in one statement is a decode bomb (ten
+//!    corrupt bytes can size a multi-gigabyte allocation).
 //!
 //! Opting a single line out requires a written justification:
 //!

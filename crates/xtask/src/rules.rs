@@ -32,6 +32,9 @@ pub fn run(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
     for rel in &config.no_narrowing_casts {
         scan_file(root, rel, Rule::NarrowingCasts, &mut findings)?;
     }
+    for rel in &config.len_read_bounded {
+        scan_file(root, rel, Rule::LenReadBounded, &mut findings)?;
+    }
     pairing(root, config, &mut findings)?;
     kernel_tables(root, config, &mut findings)?;
     codec_labels(root, config, &mut findings)?;
@@ -45,6 +48,7 @@ enum Rule {
     Panic,
     Indexing,
     NarrowingCasts,
+    LenReadBounded,
 }
 
 impl Rule {
@@ -53,6 +57,7 @@ impl Rule {
             Rule::Panic => "no-panic",
             Rule::Indexing => "no-indexing",
             Rule::NarrowingCasts => "no-narrowing-casts",
+            Rule::LenReadBounded => "len-read-bounded",
         }
     }
 }
@@ -116,6 +121,37 @@ fn scan_file(
                         pos,
                         "unchecked indexing in a decode module; use `.get(..)` and map \
                          `None` to `DecodeError`"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        Rule::LenReadBounded => {
+            // A `read_varint` call whose statement casts the result with
+            // `as usize` is (almost always) a length about to size an
+            // allocation from untrusted bytes. The statement is the span
+            // from the call token to the next `;` — `read_varint_i64` is
+            // excluded by the right word boundary, and `read_len_bounded`
+            // itself reads the raw varint in a statement with no cast.
+            let mut from = 0usize;
+            while let Some(pos) = find_from(region, b"read_varint", from) {
+                from = pos + 1;
+                if pos > 0 && is_ident(region[pos - 1]) {
+                    continue;
+                }
+                if region
+                    .get(pos + "read_varint".len())
+                    .is_some_and(|&c| is_ident(c))
+                {
+                    continue;
+                }
+                let stmt_end = find_from(region, b";", pos).unwrap_or(region.len());
+                if find_from(&region[..stmt_end], b"as usize", pos).is_some() {
+                    hits.push((
+                        pos,
+                        "`read_varint(..) as usize` used as a length; read it via \
+                         `read_len_bounded` so a corrupt varint cannot size an \
+                         allocation"
                             .to_string(),
                     ));
                 }
@@ -832,6 +868,32 @@ mod tests {
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert_eq!(hits[0].0, 3);
         assert!(hits[0].1.contains("as u32"));
+    }
+
+    #[test]
+    fn len_read_bounded_flags_cast_lengths_only() {
+        let src = "\
+fn f(buf: &[u8], pos: &mut usize) -> DecodeResult<()> {
+    let n = read_varint(buf, pos)? as usize;
+    let v = read_varint(buf, pos)?;
+    let s = read_varint_i64(buf, pos)? as usize;
+    let k = read_len_bounded(buf, pos, 64)?;
+    let _ = (n, v, s, k);
+    Ok(())
+}
+";
+        let hits = scan_str(src, Rule::LenReadBounded);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 2);
+        assert!(hits[0].1.contains("read_len_bounded"), "{hits:?}");
+    }
+
+    #[test]
+    fn len_read_bounded_respects_allow_and_tests() {
+        let allowed = "fn f(b: &[u8], p: &mut usize) {\n    let n = read_varint(b, p).unwrap_or(0) as usize; // lint:allow(len-read-bounded): trusted self-built buffer\n    let _ = n;\n}\n";
+        assert!(scan_str(allowed, Rule::LenReadBounded).is_empty());
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn g(b: &[u8], p: &mut usize) { let _ = read_varint(b, p).unwrap() as usize; }\n}\n";
+        assert!(scan_str(test_only, Rule::LenReadBounded).is_empty());
     }
 
     fn check_table_str(src: &str) -> Vec<String> {

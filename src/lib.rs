@@ -15,6 +15,8 @@
 //! * [`datasets`] — the twelve synthetic evaluation datasets.
 //! * [`tsfile`] — TsFile-lite columnar container (paper §VII deployment).
 //! * [`query`] — scan/aggregate engine with compressed-block skipping.
+//! * [`faultsim`] — deterministic fault-injection engine (seeded bit
+//!   flips, truncation, torn writes) driving the robustness suite.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,6 +25,7 @@ pub use bitpack;
 pub use bos;
 pub use datasets;
 pub use encodings;
+pub use faultsim;
 pub use floatcodec;
 pub use gpcomp;
 pub use pfor;

@@ -1,0 +1,164 @@
+//! Property tests for the salvage read path, driven by `faultsim`.
+//!
+//! Three contracts, each over every `PackerKind` operator:
+//!
+//! 1. Corruption confined to one chunk's payload leaves every *other*
+//!    chunk bit-exact under salvage, and the damaged chunk is reported
+//!    with its byte range and a `CrcMismatch` reason.
+//! 2. Destroying the footer of a fully-written file loses zero chunks:
+//!    the rebuilt index covers every series with exact values.
+//! 3. No fault plan at any seed panics any decoder — the whole-file
+//!    randomized sweep that subsumes the old ad-hoc corruption loops.
+
+use bos_repro::encodings::PackerKind;
+use bos_repro::faultsim::{drop_exact, Fault, FaultPlan};
+use bos_repro::tsfile::{EncodingChoice, SkipReason, TsFileReader, TsFileWriter};
+use proptest::prelude::*;
+
+/// Series shaped like telemetry with rare large outliers: the layout that
+/// exercises BOS's separated storage and the PFOR exception paths.
+fn series_values(n: usize, salt: i64) -> Vec<i64> {
+    (0..n as i64)
+        .map(|i| {
+            if (i + salt) % 97 == 0 {
+                1 << 33
+            } else {
+                (i * 31 + salt) % 256
+            }
+        })
+        .collect()
+}
+
+/// Builds a three-series file with the given operator; returns the bytes
+/// and the expected values per series.
+fn build_file(packer: PackerKind) -> (Vec<u8>, Vec<Vec<i64>>) {
+    let encoding = EncodingChoice { outer: bos_repro::encodings::OuterKind::Ts2Diff, packer };
+    let mut w = TsFileWriter::new();
+    let expected: Vec<Vec<i64>> = (0..3).map(|s| series_values(1200, s * 13 + 5)).collect();
+    for (s, values) in expected.iter().enumerate() {
+        w.add_int_series(&format!("s{s}"), values, encoding).expect("write series");
+    }
+    (w.finish(), expected)
+}
+
+fn packer_strategy() -> impl Strategy<Value = PackerKind> {
+    prop::sample::select(PackerKind::ALL.to_vec())
+}
+
+/// Whole-file fault plans for the no-panic sweep.
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    prop::sample::select(vec![
+        FaultPlan::single(Fault::FlipBits { count: 1 }),
+        FaultPlan::single(Fault::FlipBits { count: 16 }),
+        FaultPlan::single(Fault::GarbageBytes { count: 8 }),
+        FaultPlan::single(Fault::GarbageRange { max_len: 128 }),
+        FaultPlan::single(Fault::Truncate),
+        FaultPlan::single(Fault::TornTail { max_tail: 64 }),
+        FaultPlan::single(Fault::DropRange { max_len: 96 }),
+        FaultPlan::single(Fault::DestroyTail { count: 40 }),
+        FaultPlan::new()
+            .with(Fault::FlipBits { count: 4 })
+            .with(Fault::GarbageBytes { count: 2 })
+            .with(Fault::TornTail { max_tail: 24 }),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // (1) Single-chunk corruption: everything else salvages bit-exact.
+    #[test]
+    fn corrupting_one_chunk_leaves_the_rest_bit_exact(
+        packer in packer_strategy(),
+        target in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let (bytes, expected) = build_file(packer);
+        let (chunk, payload) = {
+            let r = TsFileReader::open(&bytes).expect("intact file");
+            r.chunk_ranges(&format!("s{target}")).expect("chunk ranges")
+        };
+        let mut corrupt = bytes.clone();
+        FaultPlan::single(Fault::FlipBits { count: 3 })
+            .apply_in(&mut corrupt, payload.clone(), seed);
+        prop_assume!(corrupt != bytes); // seed drew a no-op flip pattern
+
+        let (r, report) = TsFileReader::open_salvage(&corrupt);
+        prop_assert!(!report.footer_rebuilt, "footer was never touched");
+        for (s, values) in expected.iter().enumerate() {
+            let out = r.read_ints_salvage(&format!("s{s}")).expect("lookup");
+            if s == target {
+                prop_assert!(out.values.is_empty());
+                prop_assert_eq!(out.skipped.len(), 1);
+                prop_assert_eq!(out.skipped[0].reason, SkipReason::CrcMismatch);
+                let want_name = format!("s{target}");
+                prop_assert_eq!(out.skipped[0].series.as_str(), want_name.as_str());
+                prop_assert_eq!(out.skipped[0].range.clone(), chunk.clone());
+            } else {
+                prop_assert_eq!(&out.values, values, "series s{} must be bit-exact", s);
+                prop_assert!(out.skipped.is_empty());
+            }
+        }
+    }
+
+    // (2) Footer destruction after a completed finish loses zero chunks.
+    #[test]
+    fn footer_destruction_loses_no_chunks(
+        packer in packer_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let (bytes, expected) = build_file(packer);
+        let footer_start = {
+            let tail = bytes.len() - 8;
+            let off: [u8; 8] = bytes[tail - 8..tail].try_into().expect("trailer");
+            u64::from_le_bytes(off) as usize
+        };
+        let mut corrupt = bytes.clone();
+        // Garbage the whole footer + trailer region, then tear part of it
+        // off — the body chunks are untouched.
+        FaultPlan::single(Fault::GarbageRange { max_len: corrupt.len() })
+            .apply_in(&mut corrupt, footer_start..bytes.len(), seed);
+        let end = corrupt.len();
+        drop_exact(&mut corrupt, footer_start + (seed as usize % 8)..end);
+
+        let (r, report) = TsFileReader::open_salvage(&corrupt);
+        prop_assert!(report.footer_rebuilt);
+        prop_assert_eq!(r.series().len(), expected.len(), "every chunk reindexed");
+        for (s, values) in expected.iter().enumerate() {
+            let out = r.read_ints_salvage(&format!("s{s}")).expect("lookup");
+            prop_assert_eq!(&out.values, values);
+            prop_assert!(out.skipped.is_empty());
+        }
+    }
+
+    // (3) No fault plan at any seed panics any decoder.
+    #[test]
+    fn no_fault_plan_panics_any_decoder(
+        packer in packer_strategy(),
+        plan in plan_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let (bytes, _) = build_file(packer);
+        let mut corrupt = bytes.clone();
+        plan.apply(&mut corrupt, seed);
+        // Strict open must fail cleanly or read cleanly...
+        if let Ok(r) = TsFileReader::open(&corrupt) {
+            for info in r.series().to_vec() {
+                let _ = r.read_ints(&info.name);
+                let _ = r.read_floats(&info.name);
+            }
+        }
+        // ...and salvage must degrade, never panic, on the same bytes.
+        let (r, _report) = TsFileReader::open_salvage(&corrupt);
+        for info in r.series().to_vec() {
+            if info.is_float {
+                let _ = r.read_floats_salvage(&info.name);
+            } else {
+                let out = r.read_ints_salvage(&info.name).expect("lookup by index");
+                for skip in &out.skipped {
+                    prop_assert!(skip.range.start <= skip.range.end);
+                }
+            }
+        }
+    }
+}

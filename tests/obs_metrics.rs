@@ -66,7 +66,7 @@ fn check<C: bitpack::BlockCodec + Sync>(
     let label = codec.name();
     let before = obs::snapshot();
     let mut buf = Vec::new();
-    encode_blocks_parallel(codec, values, block, 2, &mut buf);
+    encode_blocks_parallel(codec, values, block, 2, &mut buf).expect("encode");
     let decoded = decode_blocks(codec, &buf).expect("decode");
     prop_assert_eq!(&decoded, values, "{} roundtrip", label);
     let after = obs::snapshot();

@@ -31,10 +31,10 @@ fn series(n: usize) -> Vec<i64> {
 fn assert_toggle_invariant<C: bitpack::BlockCodec + Sync>(codec: &C, values: &[i64]) {
     let mut on = Vec::new();
     obs::set_enabled(true);
-    encode_blocks_parallel(codec, values, 256, 2, &mut on);
+    encode_blocks_parallel(codec, values, 256, 2, &mut on).expect("encode");
     let mut off = Vec::new();
     obs::set_enabled(false);
-    encode_blocks_parallel(codec, values, 256, 2, &mut off);
+    encode_blocks_parallel(codec, values, 256, 2, &mut off).expect("encode");
     obs::set_enabled(true);
     assert_eq!(on, off, "{}: kill-switch changed encoded bytes", codec.name());
     assert_eq!(
@@ -94,7 +94,7 @@ fn feature_off_build_has_empty_registry() {
     let values = series(2000);
     let codec = BosCodec::new(SolverKind::Median);
     let mut buf = Vec::new();
-    encode_blocks_parallel(&codec, &values, 256, 2, &mut buf);
+    encode_blocks_parallel(&codec, &values, 256, 2, &mut buf).expect("encode");
     assert_eq!(decode_blocks(&codec, &buf).expect("decode"), values);
     let snap = obs::snapshot();
     assert!(

@@ -92,7 +92,7 @@ fn parallel_and_sequential_streams_are_interchangeable() {
     let mut seq = Vec::new();
     enc.encode(&ints, &mut seq);
     let mut par = Vec::new();
-    enc.encode_parallel(&ints, 4, &mut par);
+    enc.encode_parallel(&ints, 4, &mut par).expect("encode");
     assert_eq!(seq, par);
     let scanner = Scanner::open(&par).unwrap();
     assert_eq!(scanner.materialize().unwrap(), ints);

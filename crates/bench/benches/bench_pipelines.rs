@@ -11,7 +11,12 @@ fn bench_pipelines(c: &mut Criterion) {
     group.throughput(Throughput::Elements(ints.len() as u64));
     group.sample_size(20);
     for outer in OuterKind::ALL {
-        for packer in [PackerKind::Bp, PackerKind::FastPfor, PackerKind::BosB, PackerKind::BosM] {
+        for packer in [
+            PackerKind::Bp,
+            PackerKind::FastPfor,
+            PackerKind::BosB,
+            PackerKind::BosM,
+        ] {
             let pipeline = Pipeline::new(outer, packer);
             group.bench_function(format!("encode/{}", pipeline.label()), |b| {
                 let mut buf = Vec::new();

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use datasets::generate;
 
 fn delta_block(size: usize) -> Vec<i64> {
-    let ints = generate("CS", size * 4 + 1).expect("dataset").as_scaled_ints();
+    let ints = generate("CS", size * 4 + 1)
+        .expect("dataset")
+        .as_scaled_ints();
     ints.windows(2).map(|w| w[1] - w[0]).take(size).collect()
 }
 

@@ -18,10 +18,7 @@ pub const BLOCK: usize = 1024;
 
 /// Runs the experiment.
 pub fn run(cfg: &Config) {
-    super::banner(
-        "Extension: zone-map block skipping during range scans",
-        cfg,
-    );
+    super::banner("Extension: zone-map block skipping during range scans", cfg);
     let mut table = Table::new([
         "dataset",
         "blocks",
@@ -41,8 +38,9 @@ pub fn run(cfg: &Config) {
         let hi_all = ints.iter().copied().max().unwrap_or(0);
         let hi = lo + (hi_all.saturating_sub(lo)) / 10;
 
-        let ((count, stats), scan_ns) =
-            time_avg(cfg.repeats, || scanner.count_in_range_with_stats(lo, hi).unwrap());
+        let ((count, stats), scan_ns) = time_avg(cfg.repeats, || {
+            scanner.count_in_range_with_stats(lo, hi).unwrap()
+        });
         let (_, full_ns) = time_avg(cfg.repeats, || scanner.sum().unwrap());
         let expected = ints.iter().filter(|&&v| v >= lo && v <= hi).count();
         assert_eq!(count, expected, "{}", dataset.abbr);

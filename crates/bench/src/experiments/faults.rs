@@ -119,7 +119,10 @@ fn series_name(s: usize) -> String {
 
 fn build_fixture(ds: &Dataset, packer: PackerKind, per: usize) -> Fixture {
     let ints = ds.as_scaled_ints();
-    let encoding = EncodingChoice { outer: OuterKind::Ts2Diff, packer };
+    let encoding = EncodingChoice {
+        outer: OuterKind::Ts2Diff,
+        packer,
+    };
     let mut w = TsFileWriter::new();
     let expected: Vec<Vec<i64>> = (0..SERIES)
         .map(|s| {
@@ -129,8 +132,12 @@ fn build_fixture(ds: &Dataset, packer: PackerKind, per: usize) -> Fixture {
         })
         .collect();
     for (s, values) in expected.iter().enumerate() {
-        assert!(!values.is_empty(), "dataset too small for {SERIES}x{per} fixture");
-        w.add_int_series(&series_name(s), values, encoding).expect("write series");
+        assert!(
+            !values.is_empty(),
+            "dataset too small for {SERIES}x{per} fixture"
+        );
+        w.add_int_series(&series_name(s), values, encoding)
+            .expect("write series");
     }
     let bytes = w.finish();
     let (chunks, payloads) = {
@@ -146,7 +153,13 @@ fn build_fixture(ds: &Dataset, packer: PackerKind, per: usize) -> Fixture {
     };
     let tail = bytes.len() - 8;
     let off: [u8; 8] = bytes[tail - 8..tail].try_into().expect("trailer");
-    Fixture { bytes, expected, chunks, payloads, footer_start: u64::from_le_bytes(off) as usize }
+    Fixture {
+        bytes,
+        expected,
+        chunks,
+        payloads,
+        footer_start: u64::from_le_bytes(off) as usize,
+    }
 }
 
 /// What one corrupted-file trial observed.
@@ -187,8 +200,11 @@ fn run_trial(fx: &Fixture, class: FaultClass, seed: u64) -> Trial {
             // A single bit flip inside the payload: a CRC-32 detects every
             // 1-bit error, so the gate below can demand detection.
             let t = (seed as usize) % SERIES;
-            FaultPlan::single(Fault::FlipBits { count: 1 })
-                .apply_in(&mut data, fx.payloads[t].clone(), seed);
+            FaultPlan::single(Fault::FlipBits { count: 1 }).apply_in(
+                &mut data,
+                fx.payloads[t].clone(),
+                seed,
+            );
         }
         FaultClass::ChunkDrop => {
             let t = (seed as usize) % SERIES;
@@ -208,7 +224,9 @@ fn run_trial(fx: &Fixture, class: FaultClass, seed: u64) -> Trial {
             // lucky identical draw.
             let end = data.len();
             FaultPlan::new()
-                .with(Fault::GarbageRange { max_len: end - fx.footer_start })
+                .with(Fault::GarbageRange {
+                    max_len: end - fx.footer_start,
+                })
                 .with(Fault::DestroyTail { count: 24 })
                 .apply_in(&mut data, fx.footer_start..end, seed);
         }
@@ -367,8 +385,10 @@ fn sweep_dataset(abbr: &'static str, cfg: &Config, seeds: u64) -> DatasetResult 
     let ds = generate(abbr, SERIES * per).expect("known dataset");
     let before = obs::snapshot();
 
-    let mut per_class: Vec<(&'static str, Agg)> =
-        classes().iter().map(|c| (c.name(), Agg::default())).collect();
+    let mut per_class: Vec<(&'static str, Agg)> = classes()
+        .iter()
+        .map(|c| (c.name(), Agg::default()))
+        .collect();
     let mut per_codec: Vec<(&'static str, Agg)> = Vec::new();
     for kind in PackerKind::ALL {
         let fx = build_fixture(&ds, kind, per);
@@ -411,7 +431,12 @@ fn sweep_dataset(abbr: &'static str, cfg: &Config, seeds: u64) -> DatasetResult 
         obs::counter(&format!("tsfile.salvage.dataset.{abbr}.{suffix}")).add(delta);
         salvage_counters.push((suffix, delta));
     }
-    DatasetResult { abbr, per_class, per_codec, salvage_counters }
+    DatasetResult {
+        abbr,
+        per_class,
+        per_codec,
+        salvage_counters,
+    }
 }
 
 fn jrate(v: f64) -> String {
@@ -421,7 +446,9 @@ fn jrate(v: f64) -> String {
 fn render_json(cfg: &Config, seeds: u64, results: &[DatasetResult]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"bench\": \"PR5 fault injection: salvage reader survival and recovery rates\",\n");
+    s.push_str(
+        "  \"bench\": \"PR5 fault injection: salvage reader survival and recovery rates\",\n",
+    );
     let plans_per_codec = seeds as usize * classes().len() * results.len();
     s.push_str(&format!(
         "  \"config\": {{ \"n\": {}, \"series\": {}, \"seeds_per_class\": {}, \
@@ -435,7 +462,11 @@ fn render_json(cfg: &Config, seeds: u64, results: &[DatasetResult]) -> String {
         for (i, (suffix, v)) in r.salvage_counters.iter().enumerate() {
             s.push_str(&format!(
                 "\"{suffix}\": {v}{}",
-                if i + 1 < r.salvage_counters.len() { ", " } else { "" }
+                if i + 1 < r.salvage_counters.len() {
+                    ", "
+                } else {
+                    ""
+                }
             ));
         }
         s.push_str(" },\n");
@@ -472,7 +503,10 @@ fn render_json(cfg: &Config, seeds: u64, results: &[DatasetResult]) -> String {
             ));
         }
         s.push_str("      ]\n");
-        s.push_str(&format!("    }}{}\n", if di + 1 < results.len() { "," } else { "" }));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if di + 1 < results.len() { "," } else { "" }
+        ));
     }
     s.push_str("  ]\n");
     s.push_str("}\n");
@@ -487,7 +521,10 @@ fn output_path() -> PathBuf {
 /// Runs the sweep; `quick` shrinks the seed count and skips the JSON
 /// artifact (the tier-1 configuration).
 pub fn run(cfg: &Config, quick: bool) {
-    super::banner("PR5 fault injection: salvage survival/recovery across the stack", cfg);
+    super::banner(
+        "PR5 fault injection: salvage survival/recovery across the stack",
+        cfg,
+    );
     let seeds = if quick { SEEDS_QUICK } else { SEEDS_FULL };
     let plans_per_codec = seeds as usize * classes().len() * DATASETS.len();
     println!(
@@ -500,22 +537,17 @@ pub fn run(cfg: &Config, quick: bool) {
     );
     println!();
 
-    let results: Vec<DatasetResult> =
-        DATASETS.iter().map(|abbr| sweep_dataset(abbr, cfg, seeds)).collect();
+    let results: Vec<DatasetResult> = DATASETS
+        .iter()
+        .map(|abbr| sweep_dataset(abbr, cfg, seeds))
+        .collect();
 
     let mut total_trials = 0usize;
     let mut total_panics = 0usize;
     for r in &results {
         println!("Dataset {} — per fault class:", r.abbr);
         let mut table = crate::harness::Table::new([
-            "class",
-            "trials",
-            "panics",
-            "open ok",
-            "exact",
-            "skipped",
-            "mismatch",
-            "recovery",
+            "class", "trials", "panics", "open ok", "exact", "skipped", "mismatch", "recovery",
         ]);
         for (name, a) in &r.per_class {
             total_trials += a.trials;
@@ -557,7 +589,10 @@ pub fn run(cfg: &Config, quick: bool) {
     table.print();
     println!();
 
-    assert_eq!(total_panics, 0, "fault sweep must be panic-free ({total_trials} trials)");
+    assert_eq!(
+        total_panics, 0,
+        "fault sweep must be panic-free ({total_trials} trials)"
+    );
     println!("{total_trials} trials, 0 panics; all class gates held.");
 
     if quick {

@@ -26,9 +26,18 @@ pub fn ascii_histogram(values: &[i64], buckets: usize) -> String {
 
 /// Runs the experiment.
 pub fn run(cfg: &Config) {
-    super::banner("Figure 8: value distribution of all datasets after TS2DIFF", cfg);
+    super::banner(
+        "Figure 8: value distribution of all datasets after TS2DIFF",
+        cfg,
+    );
     let mut table = crate::harness::Table::new([
-        "dataset", "mean", "std", "skew", "%zero", "min", "max",
+        "dataset",
+        "mean",
+        "std",
+        "skew",
+        "%zero",
+        "min",
+        "max",
         "histogram (±3σ)",
     ]);
     for dataset in all_datasets(cfg.n) {

@@ -30,15 +30,15 @@ pub fn run(cfg: &Config) {
                     .chain((0..ncols).map(|_| String::new())),
             );
         }
-        table.row(std::iter::once(row.name.clone()).chain(
-            row.cells.iter().enumerate().map(|(i, c)| {
+        table.row(
+            std::iter::once(row.name.clone()).chain(row.cells.iter().enumerate().map(|(i, c)| {
                 if (c.ratio - best[i]).abs() < 1e-9 {
                     format!("*{}", fmt_ratio(c.ratio))
                 } else {
                     fmt_ratio(c.ratio)
                 }
-            }),
-        ));
+            })),
+        );
     }
     table.print();
     println!();

@@ -6,7 +6,10 @@ use crate::harness::{fmt_ns, Config, Table};
 
 /// Runs the experiment.
 pub fn run(cfg: &Config) {
-    super::banner("Figure 10c: compression and decompression time (ns/point)", cfg);
+    super::banner(
+        "Figure 10c: compression and decompression time (ns/point)",
+        cfg,
+    );
     let (abbrs, rows) = grid::compute(cfg);
 
     for (title, pick) in [
@@ -26,9 +29,13 @@ pub fn run(cfg: &Config) {
                         .chain((0..abbrs.len()).map(|_| String::new())),
                 );
             }
-            table.row(std::iter::once(row.name.clone()).chain(row.cells.iter().map(|c| {
-                fmt_ns(if pick == 0 { c.comp_ns } else { c.decomp_ns })
-            })));
+            table.row(
+                std::iter::once(row.name.clone()).chain(
+                    row.cells
+                        .iter()
+                        .map(|c| fmt_ns(if pick == 0 { c.comp_ns } else { c.decomp_ns })),
+                ),
+            );
         }
         table.print();
         println!();

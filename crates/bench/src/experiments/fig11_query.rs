@@ -71,7 +71,10 @@ pub fn measure(cfg: &Config) -> Vec<OperatorCost> {
 
 /// Runs the experiment.
 pub fn run(cfg: &Config) {
-    super::banner("Figure 11: storage and query cost by operator in TS2DIFF", cfg);
+    super::banner(
+        "Figure 11: storage and query cost by operator in TS2DIFF",
+        cfg,
+    );
     let costs = measure(cfg);
     let mut table = Table::new([
         "operator",

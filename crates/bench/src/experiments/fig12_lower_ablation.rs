@@ -2,9 +2,9 @@
 //! ("terminating the loop early without enumerating lower outliers").
 
 use crate::harness::{fmt_ratio, Config, Table};
+use bos::BosCodec;
 use bos::SolverKind;
 use datasets::all_datasets;
-use bos::BosCodec;
 use encodings::ts2diff::Ts2DiffEncoding;
 
 /// Compression ratio of TS2DIFF with the given BOS solver kind.

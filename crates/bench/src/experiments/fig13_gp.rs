@@ -9,9 +9,9 @@
 //!   plain BP ("without") or BOS-B ("with").
 
 use crate::harness::{fmt_ns, fmt_ratio, time_avg, Config, Table};
+use bos::BosCodec;
 use bos::SolverKind;
 use datasets::all_datasets;
-use bos::BosCodec;
 use encodings::ts2diff::Ts2DiffEncoding;
 use gpcomp::{ByteCodec, InnerPacker, Lz4Like, LzmaLite, TransformCodec, TransformKind};
 
@@ -66,17 +66,25 @@ fn measure_byte_method(codec: &dyn ByteCodec, cfg: &Config) -> GpResult {
         // Verify the full chain decodes.
         let mut mid = Vec::new();
         let mut pos = 0;
-        codec.decompress(&buf2, &mut pos, &mut mid).expect("byte layer");
+        codec
+            .decompress(&buf2, &mut pos, &mut mid)
+            .expect("byte layer");
         let mut out = Vec::new();
         let mut pos2 = 0;
-        bos_enc.decode(&mid, &mut pos2, &mut out).expect("bos layer");
+        bos_enc
+            .decode(&mid, &mut pos2, &mut out)
+            .expect("bos layer");
         assert_eq!(out, ints);
         rb += raw.len() as f64 / buf2.len() as f64;
         tb += ns2 / n;
     }
     let k = sets.len() as f64;
     GpResult {
-        method: if codec.name().starts_with("7-Zip") { "7-Zip" } else { "LZ4" },
+        method: if codec.name().starts_with("7-Zip") {
+            "7-Zip"
+        } else {
+            "LZ4"
+        },
         ratio_plain: rp / k,
         ratio_bos: rb / k,
         ns_plain: tp / k,
@@ -91,11 +99,12 @@ fn measure_transform(kind: TransformKind, cfg: &Config) -> GpResult {
         let ints = dataset.as_scaled_ints();
         let raw = (ints.len() * 8) as f64;
         let n = ints.len() as f64;
-        for (with_bos, r, t) in [
-            (false, &mut rp, &mut tp),
-            (true, &mut rb, &mut tb),
-        ] {
-            let packer = if with_bos { InnerPacker::BosB } else { InnerPacker::Bp };
+        for (with_bos, r, t) in [(false, &mut rp, &mut tp), (true, &mut rb, &mut tb)] {
+            let packer = if with_bos {
+                InnerPacker::BosB
+            } else {
+                InnerPacker::Bp
+            };
             let codec = TransformCodec::new(kind, packer);
             let mut buf = Vec::new();
             let (_, ns) = time_avg(cfg.repeats, || {

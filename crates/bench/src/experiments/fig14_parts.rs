@@ -4,9 +4,9 @@
 //! delta pipeline and reports average ratio and compression time per k.
 
 use crate::harness::{fmt_ns, fmt_ratio, time_avg, Config, Table};
+use bitpack::zigzag::read_varint_i64;
 use bitpack::zigzag::write_varint_i64;
 use bos::kpart::{decode_kpart, encode_kpart};
-use bitpack::zigzag::read_varint_i64;
 use datasets::all_datasets;
 
 /// Block size matching the other encoders.

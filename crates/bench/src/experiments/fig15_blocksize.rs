@@ -55,7 +55,10 @@ pub fn run(cfg: &Config) {
         ("BOS-B", SolverKind::BitWidth),
         ("BOS-M", SolverKind::Median),
     ];
-    for (title, pick) in [("Compression (ns/block)", 0usize), ("Decompression (ns/block)", 1)] {
+    for (title, pick) in [
+        ("Compression (ns/block)", 0usize),
+        ("Decompression (ns/block)", 1),
+    ] {
         println!("{title}:");
         let mut headers = vec!["block".to_string()];
         headers.extend(kinds.iter().map(|(n, _)| n.to_string()));
@@ -69,8 +72,7 @@ pub fn run(cfg: &Config) {
             }
             rows.push(row.clone());
             table.row(
-                std::iter::once(size.to_string())
-                    .chain(row.iter().map(|v| format!("{v:.0}"))),
+                std::iter::once(size.to_string()).chain(row.iter().map(|v| format!("{v:.0}"))),
             );
         }
         table.print();

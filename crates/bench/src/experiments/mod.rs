@@ -23,6 +23,9 @@ pub mod throughput;
 pub fn banner(title: &str, cfg: &crate::harness::Config) {
     println!();
     println!("=== {title} ===");
-    println!("(BOS_N = {} values/dataset, BOS_REPEATS = {})", cfg.n, cfg.repeats);
+    println!(
+        "(BOS_N = {} values/dataset, BOS_REPEATS = {})",
+        cfg.n, cfg.repeats
+    );
     println!();
 }

@@ -38,7 +38,18 @@ pub fn run(cfg: &Config) {
     );
     let mut table = Table::new(["σ", "worst ρ", "bound", "within bound"]);
     let mut all_ok = true;
-    for sigma in [0.5, 1.0, 5.0 / 3.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0, 1024.0] {
+    for sigma in [
+        0.5,
+        1.0,
+        5.0 / 3.0,
+        2.0,
+        4.0,
+        8.0,
+        16.0,
+        64.0,
+        256.0,
+        1024.0,
+    ] {
         let rho = measure_rho(sigma, 1024, 20, 0xB05);
         let b = bound(sigma);
         let ok = rho <= b + 1e-9;
@@ -47,7 +58,11 @@ pub fn run(cfg: &Config) {
             format!("{sigma:.2}"),
             format!("{rho:.3}"),
             format!("{b:.0}"),
-            if ok { "yes".to_string() } else { "NO".to_string() },
+            if ok {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     table.print();

@@ -323,7 +323,9 @@ fn migration_rows(cfg: &Config) -> Vec<MigrationRow> {
                 out.clear();
                 let mut pos = 0;
                 for _ in 0..blocks {
-                    codec.decode(&buf_v2, &mut pos, &mut out).expect("v2 decode");
+                    codec
+                        .decode(&buf_v2, &mut pos, &mut out)
+                        .expect("v2 decode");
                 }
             });
             assert_eq!(out, ints, "{name} v2 roundtrip on {}", dataset.abbr);
@@ -528,12 +530,8 @@ fn render_json(
         .iter()
         .map(|r| r.unpack_speedup())
         .fold(f64::INFINITY, f64::min);
-    let geomean = (gate
-        .iter()
-        .map(|r| r.unpack_speedup().ln())
-        .sum::<f64>()
-        / gate.len() as f64)
-        .exp();
+    let geomean =
+        (gate.iter().map(|r| r.unpack_speedup().ln()).sum::<f64>() / gate.len() as f64).exp();
     s.push_str(&format!(
         "  \"kernel_summary\": {{ \"gate_widths\": \"1..=20\", \
          \"min_unpack_speedup\": {:.2}, \"geomean_unpack_speedup\": {:.2} }},\n",
@@ -574,9 +572,7 @@ fn render_json(
     s.push_str("  ],\n");
     let summary = migration_summary(migration);
     s.push_str("  \"migration_summary\": {\n");
-    s.push_str(&format!(
-        "    \"gate\": {MIGRATION_GATE},\n"
-    ));
+    s.push_str(&format!("    \"gate\": {MIGRATION_GATE},\n"));
     for (i, (name, geomean)) in summary.iter().enumerate() {
         s.push_str(&format!(
             "    \"{name}\": {:.2}{}\n",
@@ -619,8 +615,7 @@ fn render_json(
 
 /// Workspace-root path for the artifact.
 fn output_path() -> PathBuf {
-    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
-        .join("BENCH_PR4.json")
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join("BENCH_PR4.json")
 }
 
 /// Runs the experiment and writes `BENCH_PR4.json`.
@@ -665,12 +660,8 @@ pub fn run(cfg: &Config) {
         .iter()
         .map(|r| r.unpack_speedup())
         .fold(f64::INFINITY, f64::min);
-    let geomean_speedup = (gate
-        .iter()
-        .map(|r| r.unpack_speedup().ln())
-        .sum::<f64>()
-        / gate.len() as f64)
-        .exp();
+    let geomean_speedup =
+        (gate.iter().map(|r| r.unpack_speedup().ln()).sum::<f64>() / gate.len() as f64).exp();
     println!(
         "Unpack speedup over widths {}..={}: geomean {geomean_speedup:.2}x \
          (gate: >= {GATE_SPEEDUP}x), min {min_speedup:.2}x (floor: >= {GATE_WIDTH_FLOOR}x)",
@@ -747,9 +738,7 @@ pub fn run(cfg: &Config) {
     table.print();
     println!();
     for (name, geomean) in migration_summary(&migration) {
-        println!(
-            "{name}: geomean v2/v1 decode speedup {geomean:.2}x (gate: >= {MIGRATION_GATE}x)"
-        );
+        println!("{name}: geomean v2/v1 decode speedup {geomean:.2}x (gate: >= {MIGRATION_GATE}x)");
         if cfg!(debug_assertions) || cfg.n < GATE_MIN_N {
             continue; // same noise rationale as the kernel gate above
         }
@@ -812,7 +801,14 @@ pub fn run(cfg: &Config) {
         println!();
     }
 
-    let json = render_json(cfg, &kernels, &operators, &migration, &metrics, overhead.as_ref());
+    let json = render_json(
+        cfg,
+        &kernels,
+        &operators,
+        &migration,
+        &metrics,
+        overhead.as_ref(),
+    );
     let path = output_path();
     std::fs::write(&path, &json).expect("write BENCH_PR4.json");
     println!("Wrote {}", path.display());

@@ -29,8 +29,11 @@ impl Config {
     /// whole experiment at the wrong size.
     pub fn from_env() -> Self {
         let (n, n_warn) = parse_env_usize("BOS_N", std::env::var("BOS_N").ok().as_deref(), 30_000);
-        let (repeats, r_warn) =
-            parse_env_usize("BOS_REPEATS", std::env::var("BOS_REPEATS").ok().as_deref(), 3);
+        let (repeats, r_warn) = parse_env_usize(
+            "BOS_REPEATS",
+            std::env::var("BOS_REPEATS").ok().as_deref(),
+            3,
+        );
         for warn in [n_warn, r_warn].into_iter().flatten() {
             eprintln!("{warn}");
         }
@@ -130,7 +133,11 @@ impl TimeStats {
             sum += s;
         }
         let mean = sum / n;
-        let var = samples.iter().map(|&s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|&s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n;
         Self {
             min,
             mean,
@@ -155,7 +162,10 @@ pub fn time_stats<T>(repeats: usize, mut f: impl FnMut() -> T) -> (T, TimeStats)
         samples.push(ns);
         last = Some(out);
     }
-    (last.expect("repeats >= 1"), TimeStats::from_samples(&samples))
+    (
+        last.expect("repeats >= 1"),
+        TimeStats::from_samples(&samples),
+    )
 }
 
 /// A simple fixed-width table printer for experiment output.
@@ -281,8 +291,14 @@ mod tests {
             let (v, warn) = parse_env_usize("BOS_REPEATS", Some(bad), 3);
             assert_eq!(v, 3, "bad value {bad:?} must fall back to the default");
             let warn = warn.expect("bad value must produce a warning");
-            assert!(warn.contains("BOS_REPEATS"), "warning names the variable: {warn}");
-            assert!(warn.contains(bad), "warning quotes the bad value {bad:?}: {warn}");
+            assert!(
+                warn.contains("BOS_REPEATS"),
+                "warning names the variable: {warn}"
+            );
+            assert!(
+                warn.contains(bad),
+                "warning quotes the bad value {bad:?}: {warn}"
+            );
         }
     }
 

@@ -175,7 +175,11 @@ impl<'a> BitReader<'a> {
             let avail = 8 - bit_pos;
             let take = avail.min(remaining);
             let chunk = ((byte << bit_pos) >> (8 - take)) as u64;
-            out = if take == 64 { chunk } else { (out << take) | chunk };
+            out = if take == 64 {
+                chunk
+            } else {
+                (out << take) | chunk
+            };
             self.pos_bits += take as usize;
             remaining -= take;
         }

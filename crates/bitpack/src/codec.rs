@@ -25,7 +25,8 @@ use std::time::Instant;
 // on and the runtime switch is enabled.
 static PAR_JOBS: obs::CounterHandle = obs::CounterHandle::new("driver.parallel.jobs");
 static PAR_WORKERS: obs::CounterHandle = obs::CounterHandle::new("driver.parallel.workers");
-static PAR_JOIN_WAIT_NS: obs::CounterHandle = obs::CounterHandle::new("driver.parallel.join_wait_ns");
+static PAR_JOIN_WAIT_NS: obs::CounterHandle =
+    obs::CounterHandle::new("driver.parallel.join_wait_ns");
 static PAR_WORKER_PANICS: obs::CounterHandle =
     obs::CounterHandle::new("driver.parallel.worker_panics");
 static PAR_WORKER_BLOCKS: obs::HistogramHandle =
@@ -447,7 +448,10 @@ mod tests {
             "PANIC-MOCK-TEST"
         }
         fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
-            assert!(!values.contains(&self.0), "poison value reached the encoder");
+            assert!(
+                !values.contains(&self.0),
+                "poison value reached the encoder"
+            );
             Varints.encode(values, out)
         }
         fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
@@ -464,8 +468,16 @@ mod tests {
             let mut out = vec![0xAB, 0xCD, 0xEF];
             let err = encode_blocks_parallel(&codec, &values, 512, threads, &mut out)
                 .expect_err("poisoned block must fail");
-            assert_eq!(err, crate::EncodeError::WorkerPanicked { block: 4 }, "threads={threads}");
-            assert_eq!(out, vec![0xAB, 0xCD, 0xEF], "output must roll back (threads={threads})");
+            assert_eq!(
+                err,
+                crate::EncodeError::WorkerPanicked { block: 4 },
+                "threads={threads}"
+            );
+            assert_eq!(
+                out,
+                vec![0xAB, 0xCD, 0xEF],
+                "output must roll back (threads={threads})"
+            );
         }
         // The same codec still encodes clean input, and the stream decodes.
         let clean: Vec<i64> = (0..4000).collect();

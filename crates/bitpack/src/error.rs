@@ -100,10 +100,16 @@ impl fmt::Display for DecodeError {
                 write!(f, "reconstructed value overflows its integer type")
             }
             DecodeError::LengthMismatch { expected, got } => {
-                write!(f, "section length mismatch: header says {expected}, got {got}")
+                write!(
+                    f,
+                    "section length mismatch: header says {expected}, got {got}"
+                )
             }
             DecodeError::LengthOverrun { claimed, bound } => {
-                write!(f, "length field {claimed} exceeds its context bound {bound}")
+                write!(
+                    f,
+                    "length field {claimed} exceeds its context bound {bound}"
+                )
             }
         }
     }
@@ -134,7 +140,10 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             EncodeError::WorkerPanicked { block } => {
-                write!(f, "codec panicked while encoding block {block}; output rolled back")
+                write!(
+                    f,
+                    "codec panicked while encoding block {block}; output rolled back"
+                )
             }
         }
     }
@@ -148,9 +157,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(DecodeError::Truncated.to_string(), "input truncated mid-field");
-        assert!(DecodeError::BadModeByte { mode: 0xAB }.to_string().contains("0xab"));
-        assert!(DecodeError::WidthOverflow { width: 65 }.to_string().contains("65"));
+        assert_eq!(
+            DecodeError::Truncated.to_string(),
+            "input truncated mid-field"
+        );
+        assert!(DecodeError::BadModeByte { mode: 0xAB }
+            .to_string()
+            .contains("0xab"));
+        assert!(DecodeError::WidthOverflow { width: 65 }
+            .to_string()
+            .contains("65"));
         assert!(DecodeError::CountOverflow { claimed: 1 << 40 }
             .to_string()
             .contains(&(1u64 << 40).to_string()));
@@ -164,11 +180,21 @@ mod tests {
         for part in ["1", "2", "3", "4"] {
             assert!(s.contains(part), "{s} missing {part}");
         }
-        assert!(DecodeError::LengthMismatch { expected: 9, got: 7 }
-            .to_string()
-            .contains('9'));
-        let s = DecodeError::LengthOverrun { claimed: 1 << 50, bound: 4096 }.to_string();
-        assert!(s.contains(&(1u64 << 50).to_string()) && s.contains("4096"), "{s}");
+        assert!(DecodeError::LengthMismatch {
+            expected: 9,
+            got: 7
+        }
+        .to_string()
+        .contains('9'));
+        let s = DecodeError::LengthOverrun {
+            claimed: 1 << 50,
+            bound: 4096,
+        }
+        .to_string();
+        assert!(
+            s.contains(&(1u64 << 50).to_string()) && s.contains("4096"),
+            "{s}"
+        );
         let s = EncodeError::WorkerPanicked { block: 17 }.to_string();
         assert!(s.contains("17"), "{s}");
     }

@@ -48,7 +48,7 @@ pub fn bp_encode(values: &[u64], out: &mut Vec<u8>) {
     let w = width(max - min);
     write_varint(out, min);
     out.push(w as u8);
-    let mut bw = BitWriter::with_capacity_bits(values.len() * w as usize);
+    let mut bw = BitWriter::with_capacity_bits(values.len().saturating_mul(w as usize));
     for &v in values {
         bw.write_bits(v - min, w);
     }
@@ -68,10 +68,11 @@ pub fn bp_decode(buf: &[u8], pos: &mut usize, out: &mut Vec<u64>) -> DecodeResul
         return Err(DecodeError::WidthOverflow { width: w });
     }
     let payload_bytes = (n * w as usize).div_ceil(8);
-    let payload = buf
-        .get(*pos..*pos + payload_bytes)
+    let payload_end = pos
+        .checked_add(payload_bytes)
         .ok_or(DecodeError::Truncated)?;
-    *pos += payload_bytes;
+    let payload = buf.get(*pos..payload_end).ok_or(DecodeError::Truncated)?;
+    *pos = payload_end;
     let mut reader = BitReader::new(payload);
     out.reserve(n);
     for _ in 0..n {
@@ -94,7 +95,12 @@ pub fn bp_encoded_size(values: &[u64]) -> usize {
     let min = values.iter().copied().min().unwrap_or(0);
     let max = values.iter().copied().max().unwrap_or(0);
     write_varint(&mut header, min);
-    header.len() + 1 + (values.len() * width(max - min) as usize).div_ceil(8)
+    header.len()
+        + 1
+        + values
+            .len()
+            .saturating_mul(width(max - min) as usize)
+            .div_ceil(8)
 }
 
 #[cfg(test)]
@@ -119,6 +125,23 @@ mod tests {
         roundtrip(&[42]);
         roundtrip(&[7; 100]); // constant block: zero payload bits
         roundtrip(&[0, u64::MAX]);
+    }
+
+    #[test]
+    fn overflowing_min_plus_offset_is_value_overflow() {
+        // Hand-built block claiming min = u64::MAX with a one-bit payload
+        // of 1: min + 1 must surface as ValueOverflow, never wrap.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1); // n = 1
+        write_varint(&mut buf, u64::MAX); // min
+        buf.push(1); // w = 1
+        buf.push(0xFF); // the single offset bit is set
+        let mut pos = 0;
+        let mut out = Vec::new();
+        assert_eq!(
+            bp_decode(&buf, &mut pos, &mut out),
+            Err(DecodeError::ValueOverflow)
+        );
     }
 
     #[test]

@@ -158,7 +158,9 @@ mod tests {
 
     #[test]
     fn mixed_widths() {
-        let values: Vec<u64> = (0..256).map(|i| if i % 17 == 0 { 1 << 40 } else { i }).collect();
+        let values: Vec<u64> = (0..256)
+            .map(|i| if i % 17 == 0 { 1 << 40 } else { i })
+            .collect();
         roundtrip(&values);
     }
 

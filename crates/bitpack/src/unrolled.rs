@@ -277,7 +277,12 @@ pub fn pack_words_unrolled(values: &[u64], w: u32, out: &mut Vec<u8>) -> usize {
 /// [`unpack_words`](crate::kernels::unpack_words), dispatching full lanes
 /// through the unrolled kernel table. Returns the bytes consumed; fails
 /// with [`DecodeError::Truncated`] on a short buffer.
-pub fn unpack_words_unrolled(buf: &[u8], n: usize, w: u32, out: &mut Vec<u64>) -> DecodeResult<usize> {
+pub fn unpack_words_unrolled(
+    buf: &[u8],
+    n: usize,
+    w: u32,
+    out: &mut Vec<u64>,
+) -> DecodeResult<usize> {
     if w == 0 {
         out.extend(std::iter::repeat_n(0, n));
         return Ok(0);

@@ -76,7 +76,10 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> DecodeResult<u64> {
 pub fn read_len_bounded(buf: &[u8], pos: &mut usize, bound: usize) -> DecodeResult<usize> {
     let claimed = read_varint(buf, pos)?;
     if claimed > bound as u64 {
-        return Err(DecodeError::LengthOverrun { claimed, bound: bound as u64 });
+        return Err(DecodeError::LengthOverrun {
+            claimed,
+            bound: bound as u64,
+        });
     }
     Ok(claimed as usize)
 }
@@ -157,7 +160,10 @@ mod tests {
         let mut buf = Vec::new();
         write_varint(&mut buf, u64::MAX);
         let mut pos = 0;
-        assert_eq!(read_varint(&buf[..5], &mut pos), Err(DecodeError::Truncated));
+        assert_eq!(
+            read_varint(&buf[..5], &mut pos),
+            Err(DecodeError::Truncated)
+        );
     }
 
     #[test]
@@ -165,7 +171,10 @@ mod tests {
         // 11 continuation bytes can never be a valid u64 varint.
         let buf = [0x80u8; 11];
         let mut pos = 0;
-        assert_eq!(read_varint(&buf, &mut pos), Err(DecodeError::VarintOverflow));
+        assert_eq!(
+            read_varint(&buf, &mut pos),
+            Err(DecodeError::VarintOverflow)
+        );
     }
 
     #[test]
@@ -186,7 +195,10 @@ mod tests {
         let mut pos = 0;
         assert_eq!(
             read_len_bounded(&buf, &mut pos, 1 << 20),
-            Err(DecodeError::LengthOverrun { claimed: u64::MAX - 3, bound: 1 << 20 })
+            Err(DecodeError::LengthOverrun {
+                claimed: u64::MAX - 3,
+                bound: 1 << 20
+            })
         );
         // Off-by-one: bound is inclusive.
         let mut buf = Vec::new();
@@ -194,7 +206,10 @@ mod tests {
         let mut pos = 0;
         assert_eq!(
             read_len_bounded(&buf, &mut pos, 100),
-            Err(DecodeError::LengthOverrun { claimed: 101, bound: 100 })
+            Err(DecodeError::LengthOverrun {
+                claimed: 101,
+                bound: 100
+            })
         );
     }
 
@@ -203,7 +218,10 @@ mod tests {
         let mut buf = Vec::new();
         write_varint(&mut buf, u64::MAX);
         let mut pos = 0;
-        assert_eq!(read_len_bounded(&buf[..4], &mut pos, 10), Err(DecodeError::Truncated));
+        assert_eq!(
+            read_len_bounded(&buf[..4], &mut pos, 10),
+            Err(DecodeError::Truncated)
+        );
         let overlong = [0x80u8; 11];
         let mut pos = 0;
         assert_eq!(

@@ -1,13 +1,13 @@
 //! Property-based tests for the bit-level substrate.
 
+use bitpack::bitmap::{OutlierBitmap, Part};
 use bitpack::bits::{BitReader, BitWriter};
 use bitpack::kernels::{pack_words, packed_size, unpack_words};
+use bitpack::pack::{bp_decode, bp_encode, bp_encoded_size};
+use bitpack::simple8b;
 use bitpack::unrolled::{
     pack_words_for, pack_words_unrolled, unpack_words_for, unpack_words_unrolled,
 };
-use bitpack::bitmap::{OutlierBitmap, Part};
-use bitpack::pack::{bp_decode, bp_encode, bp_encoded_size};
-use bitpack::simple8b;
 use bitpack::width::{range_u64, width, width1};
 use bitpack::zigzag::{
     read_varint, read_varint_i64, write_varint, write_varint_i64, zigzag_decode, zigzag_encode,
@@ -254,7 +254,13 @@ fn unrolled_exhaustive_widths_and_boundary_counts() {
         for n in [0usize, 1, 63, 64, 65, 127, 128, 129] {
             // Include the maximum representable value at this width.
             let values: Vec<u64> = (0..n as u64)
-                .map(|i| if i % 7 == 0 { mask } else { i.wrapping_mul(0x9E3779B97F4A7C15) & mask })
+                .map(|i| {
+                    if i % 7 == 0 {
+                        mask
+                    } else {
+                        i.wrapping_mul(0x9E3779B97F4A7C15) & mask
+                    }
+                })
                 .collect();
             let mut generic = Vec::new();
             pack_words(&values, w, &mut generic);

@@ -201,12 +201,16 @@ impl SortedBlock {
 
     /// Smallest distinct value `≥ v`, if any.
     pub fn min_ge(&self, v: i64) -> Option<i64> {
-        self.vals.get(self.vals.partition_point(|&x| x < v)).copied()
+        self.vals
+            .get(self.vals.partition_point(|&x| x < v))
+            .copied()
     }
 
     /// Smallest distinct value `> v`, if any.
     pub fn min_gt(&self, v: i64) -> Option<i64> {
-        self.vals.get(self.vals.partition_point(|&x| x <= v)).copied()
+        self.vals
+            .get(self.vals.partition_point(|&x| x <= v))
+            .copied()
     }
 
     /// Largest distinct value `< v`, if any.
@@ -278,8 +282,14 @@ impl SortedBlock {
         // one bit per value — the special cases spelled out after Def. 5.
         debug_assert_eq!(nl + nc + nu, n, "parts must partition the block");
         debug_assert!(alpha <= 64 && beta <= 64 && gamma <= 64);
-        debug_assert!(max_xl != Some(xmin) || alpha == 1, "max Xl = xmin must give α = 1");
-        debug_assert!(min_xu != Some(xmax) || gamma == 1, "min Xu = xmax must give γ = 1");
+        debug_assert!(
+            max_xl != Some(xmin) || alpha == 1,
+            "max Xl = xmin must give α = 1"
+        );
+        debug_assert!(
+            min_xu != Some(xmax) || gamma == 1,
+            "min Xu = xmax must give γ = 1"
+        );
         debug_assert!(
             nc == 0 || min_xc != max_xc || beta == 1,
             "a single-point center must give β = 1"
@@ -369,7 +379,7 @@ mod tests {
         assert_eq!(e.alpha, 1); // max Xl = xmin → width1(0) = 1
         assert_eq!(e.beta, 2); // width1(5 − 2) = 2
         assert_eq!(e.gamma, 1); // min Xu = xmax → width1(0) = 1
-        // nl(α+1) + nu(γ+1) + nc·β + n = 2 + 2 + 12 + 8 = 24 < 32 (plain).
+                                // nl(α+1) + nu(γ+1) + nc·β + n = 2 + 2 + 12 + 8 = 24 < 32 (plain).
         assert_eq!(e.cost_bits, 24);
         assert!(e.cost_bits < b.plain_cost_bits());
     }

@@ -32,9 +32,9 @@
 //! at most ~7 bytes of padding per region on top of that, which
 //! [`separated_payload_bytes`] accounts for exactly.
 
-use crate::cost::{Evaluation, Solution, SortedBlock};
 #[cfg(test)]
 use crate::cost::Separation;
+use crate::cost::{Evaluation, Solution, SortedBlock};
 use crate::solver::Solver;
 use bitpack::bitmap::{OutlierBitmap, Part};
 use bitpack::bits::{BitReader, BitWriter};
@@ -42,7 +42,9 @@ use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::kernels::{packed_size, unpack_words};
 use bitpack::unrolled::{pack_words_for, unpack_words_for};
 use bitpack::width::{range_u64, width};
-use bitpack::zigzag::{read_len_bounded, read_varint, read_varint_i64, write_varint, write_varint_i64};
+use bitpack::zigzag::{
+    read_len_bounded, read_varint, read_varint_i64, write_varint, write_varint_i64,
+};
 
 /// Mode byte: plain frame-of-reference bit-packing.
 const MODE_PLAIN: u8 = 0;
@@ -164,16 +166,16 @@ fn encode_separated(values: &[i64], block: &SortedBlock, eval: &Evaluation, out:
             Part::Upper => upper.push(x),
         }
     }
-    debug_assert_eq!((lower.len(), center.len(), upper.len()), (eval.nl, eval.nc, eval.nu));
+    debug_assert_eq!(
+        (lower.len(), center.len(), upper.len()),
+        (eval.nl, eval.nc, eval.nu)
+    );
 
     let payload_start = out.len();
     // Bitmap first (Fig. 7: bit indicators precede the value payload),
     // padded to a whole byte so the sub-streams start byte-aligned.
-    let mut bits = BitWriter::with_capacity_bits(OutlierBitmap::size_bits(
-        values.len(),
-        eval.nl,
-        eval.nu,
-    ));
+    let mut bits =
+        BitWriter::with_capacity_bits(OutlierBitmap::size_bits(values.len(), eval.nl, eval.nu));
     OutlierBitmap::encode(&parts, &mut bits);
     out.extend_from_slice(&bits.into_bytes());
     // Three word-packed sub-streams, each via the fused subtract-and-pack
@@ -258,10 +260,13 @@ pub fn peek_block(buf: &[u8], pos: &mut usize) -> DecodeResult<BlockSummary> {
             }
             let payload_bytes =
                 packed_size(n, w).ok_or(DecodeError::CountOverflow { claimed: n as u64 })?;
-            if buf.len() < *pos + payload_bytes {
+            let end = pos
+                .checked_add(payload_bytes)
+                .ok_or(DecodeError::Truncated)?;
+            if buf.len() < end {
                 return Err(DecodeError::Truncated);
             }
-            *pos += payload_bytes;
+            *pos = end;
             Ok(BlockSummary {
                 n,
                 bounds: Some((xmin, bound_from(xmin, w))),
@@ -293,10 +298,13 @@ pub fn peek_block(buf: &[u8], pos: &mut usize) -> DecodeResult<BlockSummary> {
             };
             let payload_bytes = separated_payload_bytes(n, nl, nu, nc, alpha, beta, gamma)
                 .ok_or(DecodeError::CountOverflow { claimed: n as u64 })?;
-            if buf.len() < *pos + payload_bytes {
+            let end = pos
+                .checked_add(payload_bytes)
+                .ok_or(DecodeError::Truncated)?;
+            if buf.len() < end {
                 return Err(DecodeError::Truncated);
             }
-            *pos += payload_bytes;
+            *pos = end;
             Ok(BlockSummary {
                 n,
                 bounds: Some((xmin, max_bound)),
@@ -360,8 +368,14 @@ fn decode_plain(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -> De
     if w > 64 {
         return Err(DecodeError::WidthOverflow { width: w });
     }
-    let consumed =
-        unpack_words_for(buf.get(*pos..).ok_or(DecodeError::Truncated)?, n, w, xmin, out)?;
+    let consumed = unpack_words_for(
+        buf.get(*pos..).ok_or(DecodeError::Truncated)?,
+        n,
+        w,
+        xmin,
+        out,
+    )?;
+    // lint:allow(unchecked-arith-in-decode): consumed <= buf.len() - *pos by the kernel's contract
     *pos += consumed;
     Ok(())
 }
@@ -394,9 +408,11 @@ fn unpack_part(
         (1u64 << w) - 1
     };
     if base.checked_add_unsigned(max_off).is_some() {
+        // lint:allow(unchecked-arith-in-decode): kernel returns at most payload.len() consumed bytes
         *pos += unpack_words_for(payload, count, w, base, &mut vals)?;
     } else {
         let mut raw = Vec::with_capacity(count);
+        // lint:allow(unchecked-arith-in-decode): kernel returns at most payload.len() consumed bytes
         *pos += unpack_words(payload, count, w, &mut raw)?;
         for off in raw {
             vals.push(
@@ -427,17 +443,21 @@ fn decode_separated(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -
     // arithmetic), then the byte-aligned bitmap region.
     let payload_bytes = separated_payload_bytes(n, nl, nu, nc, alpha, beta, gamma)
         .ok_or(DecodeError::CountOverflow { claimed: n as u64 })?;
-    if buf.len() < *pos + payload_bytes {
+    let payload_end = pos
+        .checked_add(payload_bytes)
+        .ok_or(DecodeError::Truncated)?;
+    if buf.len() < payload_end {
         return Err(DecodeError::Truncated);
     }
     let bitmap_bytes = OutlierBitmap::size_bits(n, nl, nu).div_ceil(8);
-    let bitmap_region = buf
-        .get(*pos..*pos + bitmap_bytes)
+    let bitmap_end = pos
+        .checked_add(bitmap_bytes)
         .ok_or(DecodeError::Truncated)?;
+    let bitmap_region = buf.get(*pos..bitmap_end).ok_or(DecodeError::Truncated)?;
     let mut reader = BitReader::new(bitmap_region);
     let mut parts = Vec::with_capacity(n);
     OutlierBitmap::decode(&mut reader, n, &mut parts)?;
-    *pos += bitmap_bytes;
+    *pos = bitmap_end;
     // Validate the counts the bitmap claims against the header.
     let seen_l = parts.iter().filter(|&&p| p == Part::Lower).count();
     let seen_u = parts.iter().filter(|&&p| p == Part::Upper).count();
@@ -502,7 +522,9 @@ mod tests {
             (0..300).collect(),
             vec![i64::MIN, -1, 0, 1, i64::MAX],
             vec![0, 1, 2, 3, 1 << 40, (1 << 40) + 1],
-            (0..256).map(|i| if i % 37 == 0 { -(1 << 30) } else { i % 17 }).collect(),
+            (0..256)
+                .map(|i| if i % 37 == 0 { -(1 << 30) } else { i % 17 })
+                .collect(),
         ];
         for case in &cases {
             roundtrip_with(case, &ValueSolver::new());
@@ -533,12 +555,23 @@ mod tests {
             .collect();
         let mut plain = Vec::new();
         let plain_cost = SortedBlock::from_values(&big).plain_cost_bits();
-        encode_block_with_solution(&big, &Solution::Plain { cost_bits: plain_cost }, &mut plain);
+        encode_block_with_solution(
+            &big,
+            &Solution::Plain {
+                cost_bits: plain_cost,
+            },
+            &mut plain,
+        );
         let sep = roundtrip_with(&big, &BitWidthSolver::new());
         let mut pos = 0;
         let summary = peek_block(&sep, &mut pos).expect("peek");
         assert!(summary.separated, "solver must separate the outlier block");
-        assert!(sep.len() * 5 < plain.len(), "{} vs {}", sep.len(), plain.len());
+        assert!(
+            sep.len() * 5 < plain.len(),
+            "{} vs {}",
+            sep.len(),
+            plain.len()
+        );
     }
 
     #[test]
@@ -546,14 +579,29 @@ mod tests {
         // Force an arbitrary valid separation, even a silly one.
         let values = [10i64, 20, 30, 40, 50];
         for sep in [
-            Separation { xl: Some(10), xu: Some(50) },
-            Separation { xl: Some(20), xu: None },
-            Separation { xl: None, xu: Some(30) },
-            Separation { xl: Some(30), xu: Some(40) },
+            Separation {
+                xl: Some(10),
+                xu: Some(50),
+            },
+            Separation {
+                xl: Some(20),
+                xu: None,
+            },
+            Separation {
+                xl: None,
+                xu: Some(30),
+            },
+            Separation {
+                xl: Some(30),
+                xu: Some(40),
+            },
         ] {
             let block = SortedBlock::from_values(&values);
             let eval = block.evaluate(sep);
-            let solution = Solution::Separated { sep, cost_bits: eval.cost_bits };
+            let solution = Solution::Separated {
+                sep,
+                cost_bits: eval.cost_bits,
+            };
             let mut buf = Vec::new();
             encode_block_with_solution(&values, &solution, &mut buf);
             let mut pos = 0;

@@ -308,7 +308,11 @@ pub fn decode_kpart(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeRe
     }
     let cw = code_width(p);
     for (idx, (&c, &w)) in counts.iter().zip(&widths).enumerate() {
-        let ind = if idx == median_part { 1 } else { 1 + cw as usize };
+        let ind = if idx == median_part {
+            1
+        } else {
+            1 + cw as usize
+        };
         total_bits += c * (ind + w as usize);
     }
     let bytes = total_bits.div_ceil(8);
@@ -324,10 +328,11 @@ pub fn decode_kpart(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeRe
     for _ in 0..n {
         let pi = if reader.read_bit()? {
             let code = reader.read_bits(cw)? as usize;
-            *code_to_part
-                .get(code)
-                .filter(|&&x| x != usize::MAX)
-                .ok_or(DecodeError::CountOverflow { claimed: code as u64 })?
+            *code_to_part.get(code).filter(|&&x| x != usize::MAX).ok_or(
+                DecodeError::CountOverflow {
+                    claimed: code as u64,
+                },
+            )?
         } else {
             median_part
         };

@@ -163,12 +163,7 @@ impl bitpack::BlockCodec for BosCodec {
         BosCodec::encode(self, values, out)
     }
 
-    fn decode(
-        &self,
-        buf: &[u8],
-        pos: &mut usize,
-        out: &mut Vec<i64>,
-    ) -> bitpack::DecodeResult<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> bitpack::DecodeResult<()> {
         format::decode_block(buf, pos, out)
     }
 }

@@ -96,7 +96,11 @@ mod tests {
             let k_above = ((f * 2.0) * n as f64).ceil() as usize;
             assert_eq!(
                 cheaper(n, k_below / 2, k_below - k_below / 2),
-                if k_below == 0 { PositionScheme::Bitmap } else { PositionScheme::IndexList },
+                if k_below == 0 {
+                    PositionScheme::Bitmap
+                } else {
+                    PositionScheme::IndexList
+                },
                 "below crossover at n={n}"
             );
             assert_eq!(

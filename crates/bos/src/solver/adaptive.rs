@@ -60,20 +60,25 @@ impl Solver for AdaptiveSolver {
     }
 
     fn solve_values(&self, values: &[i64]) -> Solution {
-        let approx = MedianSolver { config: self.config }.solve_values(values);
+        let approx = MedianSolver {
+            config: self.config,
+        }
+        .solve_values(values);
         if values.is_empty() {
             return approx;
         }
         // Cheap plain cost: max/min scan only.
         let min = values.iter().copied().min().expect("non-empty");
         let max = values.iter().copied().max().expect("non-empty");
-        let plain = values.len() as u64
-            * bitpack::width(bitpack::width::range_u64(min, max) as u64) as u64;
+        let plain =
+            values.len() as u64 * bitpack::width(bitpack::width::range_u64(min, max) as u64) as u64;
         if plain == 0 || (approx.cost_bits() as f64) < self.escalate_below * plain as f64 {
             return approx;
         }
-        let exact = BitWidthSolver { config: self.config }
-            .solve(&SortedBlock::from_values(values));
+        let exact = BitWidthSolver {
+            config: self.config,
+        }
+        .solve(&SortedBlock::from_values(values));
         if exact.cost_bits() < approx.cost_bits() {
             exact
         } else {
@@ -91,9 +96,19 @@ mod tests {
     fn sandwiched_between_exact_and_approx() {
         let cases: Vec<Vec<i64>> = vec![
             (0..512).map(|i| (i % 37) - 18).collect(),
-            (0..512).map(|i| if i % 50 == 0 { 1 << 30 } else { i % 8 }).collect(),
+            (0..512)
+                .map(|i| if i % 50 == 0 { 1 << 30 } else { i % 8 })
+                .collect(),
             // Skewed, BOS-M's hard case: cluster of low outliers.
-            (0..512).map(|i| if i % 9 == 0 { -(1000 + i) } else { 5000 + (i % 4) }).collect(),
+            (0..512)
+                .map(|i| {
+                    if i % 9 == 0 {
+                        -(1000 + i)
+                    } else {
+                        5000 + (i % 4)
+                    }
+                })
+                .collect(),
             vec![],
             vec![7; 64],
         ];
@@ -111,7 +126,9 @@ mod tests {
 
     #[test]
     fn threshold_extremes() {
-        let values: Vec<i64> = (0..256).map(|i| if i % 9 == 0 { -9999 } else { 800 + i % 3 }).collect();
+        let values: Vec<i64> = (0..256)
+            .map(|i| if i % 9 == 0 { -9999 } else { 800 + i % 3 })
+            .collect();
         // 0.0: the early-return never fires → always escalate → exact.
         let always = AdaptiveSolver::with_threshold(0.0).solve_values(&values);
         // 1.0: BOS-M saved something here, so no escalation → approx.
@@ -135,7 +152,9 @@ mod tests {
 
     #[test]
     fn roundtrips_through_the_codec_format() {
-        let values: Vec<i64> = (0..700).map(|i| if i % 31 == 0 { 1 << 35 } else { i % 13 }).collect();
+        let values: Vec<i64> = (0..700)
+            .map(|i| if i % 31 == 0 { 1 << 35 } else { i % 13 })
+            .collect();
         let sol = AdaptiveSolver::new().solve_values(&values);
         let mut buf = Vec::new();
         crate::format::encode_block_with_solution(&values, &sol, &mut buf);

@@ -69,8 +69,16 @@ impl Solver for BruteForceSolver {
                     continue; // plain packing, already the baseline
                 }
                 let sep = Separation {
-                    xl: if xl < xmin as i128 { None } else { Some(xl as i64) },
-                    xu: if xu > xmax as i128 { None } else { Some(xu as i64) },
+                    xl: if xl < xmin as i128 {
+                        None
+                    } else {
+                        Some(xl as i64)
+                    },
+                    xu: if xu > xmax as i128 {
+                        None
+                    } else {
+                        Some(xu as i64)
+                    },
                 };
                 let eval = block.evaluate(sep);
                 if eval.cost_bits < best.cost_bits() {

@@ -157,7 +157,11 @@ impl Solver for MedianSolver {
             } else {
                 (i64::MAX, i64::MIN)
             };
-            let low_limit = if self.config.upper_only { 64 } else { beta as usize };
+            let low_limit = if self.config.upper_only {
+                64
+            } else {
+                beta as usize
+            };
             for bucket in low.iter().take(low_limit + 1).skip(1) {
                 if bucket.count > 0 {
                     cmin = cmin.min(bucket.min);
@@ -264,7 +268,9 @@ mod tests {
             (0..200).collect(),
             vec![0, 1, 2, 3, 1 << 40, (1 << 40) + 1],
             vec![i64::MIN, 0, i64::MAX],
-            (0..128).map(|i| if i % 31 == 0 { 100_000 } else { i }).collect(),
+            (0..128)
+                .map(|i| if i % 31 == 0 { 100_000 } else { i })
+                .collect(),
         ];
         let opt = BitWidthSolver::new();
         for case in cases {
@@ -278,8 +284,14 @@ mod tests {
                 block.plain_cost_bits()
             };
             let _ = n;
-            assert!(m.cost_bits() >= o.cost_bits(), "approx beat optimal on {case:?}");
-            assert!(m.cost_bits() <= plain, "approx worse than plain on {case:?}");
+            assert!(
+                m.cost_bits() >= o.cost_bits(),
+                "approx beat optimal on {case:?}"
+            );
+            assert!(
+                m.cost_bits() <= plain,
+                "approx worse than plain on {case:?}"
+            );
         }
     }
 

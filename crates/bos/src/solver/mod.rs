@@ -61,11 +61,7 @@ pub trait Solver {
 /// Retained as the reference implementation the optimized solver inner
 /// loops are tested against.
 #[cfg(test)]
-pub(crate) fn consider(
-    block: &SortedBlock,
-    sep: crate::cost::Separation,
-    best: &mut Solution,
-) {
+pub(crate) fn consider(block: &SortedBlock, sep: crate::cost::Separation, best: &mut Solution) {
     if !sep.is_valid() {
         return;
     }

@@ -46,7 +46,11 @@ impl BlockStats {
 /// Analyzes one block with the given solver.
 pub fn analyze<S: Solver + ?Sized>(solver: &S, values: &[i64]) -> BlockStats {
     let block = SortedBlock::from_values(values);
-    let plain_bits = if values.is_empty() { 0 } else { block.plain_cost_bits() };
+    let plain_bits = if values.is_empty() {
+        0
+    } else {
+        block.plain_cost_bits()
+    };
     match solver.solve_values(values) {
         Solution::Plain { cost_bits } => BlockStats {
             n: values.len(),
@@ -177,7 +181,9 @@ mod tests {
 
     #[test]
     fn fractions_sum_below_one() {
-        let values: Vec<i64> = (0..1000).map(|i| if i % 9 == 0 { -5000 } else { i % 20 }).collect();
+        let values: Vec<i64> = (0..1000)
+            .map(|i| if i % 9 == 0 { -5000 } else { i % 20 })
+            .collect();
         let agg = analyze_series(&BitWidthSolver::new(), &values, 256);
         assert!(agg.lower_frac() + agg.upper_frac() < 1.0);
         assert!(agg.lower_frac() > 0.0);

@@ -68,7 +68,8 @@ impl StreamEncoder {
     /// [`bitpack::BlockCodec`] — the PFOR family gets the same treatment.
     /// A panic inside a worker is contained there and surfaces as
     /// [`bitpack::EncodeError::WorkerPanicked`] with `out` rolled back.
-    pub fn encode_parallel( // lint:allow(encode-decode-pairing): byte-identical to `encode`, read back by `decode_all`; roundtrip covered by stream tests
+    // lint:allow(encode-decode-pairing): byte-identical to `encode`, read back by `decode_all`; roundtrip covered by stream tests
+    pub fn encode_parallel(
         &self,
         values: &[i64],
         threads: usize,
@@ -175,7 +176,8 @@ mod tests {
         enc.encode(&values, &mut seq);
         for threads in [1, 2, 3, 8] {
             let mut par = Vec::new();
-            enc.encode_parallel(&values, threads, &mut par).expect("parallel encode");
+            enc.encode_parallel(&values, threads, &mut par)
+                .expect("parallel encode");
             assert_eq!(par, seq, "threads = {threads}");
         }
         assert_eq!(StreamDecoder::decode_all(&seq), Ok(values));

@@ -71,7 +71,9 @@ mod tests {
         // LCG, so the test needs no RNG dependency.
         let mut state = 0x1234_5678_9ABC_DEF0u64;
         let mut next_uniform = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for sigma in [1.0f64, 4.0, 32.0, 256.0] {
@@ -81,7 +83,10 @@ mod tests {
                     (z * sigma).round() as i64
                 })
                 .collect();
-            let opt = BitWidthSolver::new().solve_values(&values).cost_bits().max(1);
+            let opt = BitWidthSolver::new()
+                .solve_values(&values)
+                .cost_bits()
+                .max(1);
             let approx = MedianSolver::new().solve_values(&values).cost_bits();
             let rho = approx as f64 / opt as f64;
             assert!(

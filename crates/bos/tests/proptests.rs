@@ -33,7 +33,10 @@ fn arbitrary_blocks() -> impl Strategy<Value = Vec<i64>> {
 }
 
 fn small_domain_blocks() -> impl Strategy<Value = Vec<i64>> {
-    prop::collection::vec(prop::sample::select(vec![0i64, 1, 2, 7, 8, 100, -100, 1 << 30]), 0..40)
+    prop::collection::vec(
+        prop::sample::select(vec![0i64, 1, 2, 7, 8, 100, -100, 1 << 30]),
+        0..40,
+    )
 }
 
 proptest! {

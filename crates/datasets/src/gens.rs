@@ -294,10 +294,7 @@ mod tests {
     #[test]
     fn cs_sensors_deltas_spike_at_zero() {
         let values = cs_sensors(50_000, 1);
-        let zeros = values
-            .windows(2)
-            .filter(|w| w[1] == w[0])
-            .count();
+        let zeros = values.windows(2).filter(|w| w[1] == w[0]).count();
         assert!(
             zeros as f64 > 0.7 * (values.len() - 1) as f64,
             "only {zeros} zero deltas"

@@ -118,18 +118,102 @@ struct Spec {
 /// Registry in the column order of Figure 10a (integer sets first).
 fn registry() -> Vec<Spec> {
     vec![
-        Spec { name: "EPM-Education", abbr: "EE", kind: DataType::Integer, decimals: 0, gen_int: Some(gens::epm_education), gen_float: None },
-        Spec { name: "Metro-Traffic", abbr: "MT", kind: DataType::Integer, decimals: 0, gen_int: Some(gens::metro_traffic), gen_float: None },
-        Spec { name: "Vehicle-Charge", abbr: "VC", kind: DataType::Integer, decimals: 0, gen_int: Some(gens::vehicle_charge), gen_float: None },
-        Spec { name: "CS-Sensors", abbr: "CS", kind: DataType::Integer, decimals: 0, gen_int: Some(gens::cs_sensors), gen_float: None },
-        Spec { name: "TH-Climate", abbr: "TC", kind: DataType::Integer, decimals: 0, gen_int: Some(gens::th_climate), gen_float: None },
-        Spec { name: "TY-Transport", abbr: "TT", kind: DataType::Integer, decimals: 0, gen_int: Some(gens::ty_transport), gen_float: None },
-        Spec { name: "YZ-Electricity", abbr: "YE", kind: DataType::Float, decimals: 1, gen_int: None, gen_float: Some(gens::yz_electricity) },
-        Spec { name: "GW-Magnetic", abbr: "GM", kind: DataType::Float, decimals: 2, gen_int: None, gen_float: Some(gens::gw_magnetic) },
-        Spec { name: "USGS-Earthquakes", abbr: "UE", kind: DataType::Float, decimals: 1, gen_int: None, gen_float: Some(gens::usgs_earthquakes) },
-        Spec { name: "Cyber-Vehicle", abbr: "CV", kind: DataType::Integer, decimals: 0, gen_int: Some(gens::cyber_vehicle), gen_float: None },
-        Spec { name: "TY-Fuel", abbr: "TF", kind: DataType::Integer, decimals: 0, gen_int: Some(gens::ty_fuel), gen_float: None },
-        Spec { name: "Nifty-Stocks", abbr: "NS", kind: DataType::Float, decimals: 2, gen_int: None, gen_float: Some(gens::nifty_stocks) },
+        Spec {
+            name: "EPM-Education",
+            abbr: "EE",
+            kind: DataType::Integer,
+            decimals: 0,
+            gen_int: Some(gens::epm_education),
+            gen_float: None,
+        },
+        Spec {
+            name: "Metro-Traffic",
+            abbr: "MT",
+            kind: DataType::Integer,
+            decimals: 0,
+            gen_int: Some(gens::metro_traffic),
+            gen_float: None,
+        },
+        Spec {
+            name: "Vehicle-Charge",
+            abbr: "VC",
+            kind: DataType::Integer,
+            decimals: 0,
+            gen_int: Some(gens::vehicle_charge),
+            gen_float: None,
+        },
+        Spec {
+            name: "CS-Sensors",
+            abbr: "CS",
+            kind: DataType::Integer,
+            decimals: 0,
+            gen_int: Some(gens::cs_sensors),
+            gen_float: None,
+        },
+        Spec {
+            name: "TH-Climate",
+            abbr: "TC",
+            kind: DataType::Integer,
+            decimals: 0,
+            gen_int: Some(gens::th_climate),
+            gen_float: None,
+        },
+        Spec {
+            name: "TY-Transport",
+            abbr: "TT",
+            kind: DataType::Integer,
+            decimals: 0,
+            gen_int: Some(gens::ty_transport),
+            gen_float: None,
+        },
+        Spec {
+            name: "YZ-Electricity",
+            abbr: "YE",
+            kind: DataType::Float,
+            decimals: 1,
+            gen_int: None,
+            gen_float: Some(gens::yz_electricity),
+        },
+        Spec {
+            name: "GW-Magnetic",
+            abbr: "GM",
+            kind: DataType::Float,
+            decimals: 2,
+            gen_int: None,
+            gen_float: Some(gens::gw_magnetic),
+        },
+        Spec {
+            name: "USGS-Earthquakes",
+            abbr: "UE",
+            kind: DataType::Float,
+            decimals: 1,
+            gen_int: None,
+            gen_float: Some(gens::usgs_earthquakes),
+        },
+        Spec {
+            name: "Cyber-Vehicle",
+            abbr: "CV",
+            kind: DataType::Integer,
+            decimals: 0,
+            gen_int: Some(gens::cyber_vehicle),
+            gen_float: None,
+        },
+        Spec {
+            name: "TY-Fuel",
+            abbr: "TF",
+            kind: DataType::Integer,
+            decimals: 0,
+            gen_int: Some(gens::ty_fuel),
+            gen_float: None,
+        },
+        Spec {
+            name: "Nifty-Stocks",
+            abbr: "NS",
+            kind: DataType::Float,
+            decimals: 2,
+            gen_int: None,
+            gen_float: Some(gens::nifty_stocks),
+        },
     ]
 }
 
@@ -143,9 +227,10 @@ pub const ABBREVIATIONS: [&str; 12] = [
 /// reproducible. Returns `None` for unknown abbreviations.
 pub fn generate(abbr: &str, n: usize) -> Option<Dataset> {
     let spec = registry().into_iter().find(|s| s.abbr == abbr)?;
-    let seed = 0xB05_u64
-        .wrapping_mul(31)
-        .wrapping_add(abbr.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64)));
+    let seed = 0xB05_u64.wrapping_mul(31).wrapping_add(
+        abbr.bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64)),
+    );
     // Vehicle-Charge keeps its original tiny size (Table III: 3 396 rows).
     let n = if abbr == "VC" { n.min(3_396) } else { n };
     let data = match spec.kind {

@@ -140,7 +140,9 @@ mod tests {
     #[test]
     fn normal_samples_match_theory() {
         let mut s = Synth::new(5);
-        let values: Vec<i64> = (0..200_000).map(|_| s.gaussian(100.0, 25.0).round() as i64).collect();
+        let values: Vec<i64> = (0..200_000)
+            .map(|_| s.gaussian(100.0, 25.0).round() as i64)
+            .collect();
         let m = moments(&values).unwrap();
         assert!((m.mean - 100.0).abs() < 0.5, "mean {}", m.mean);
         assert!((m.std - 25.0).abs() < 0.5, "std {}", m.std);

@@ -136,9 +136,14 @@ mod tests {
     #[test]
     fn generated_fixed_precision_data_roundtrips() {
         // Values quantized to 3 decimals, like the synthetic datasets.
-        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 7.001).round() / 1000.0 * 8.0).collect();
+        let values: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 7.001).round() / 1000.0 * 8.0)
+            .collect();
         // Quantize to exactly 3 decimals first.
-        let values: Vec<f64> = values.iter().map(|v| (v * 1000.0).round() / 1000.0).collect();
+        let values: Vec<f64> = values
+            .iter()
+            .map(|v| (v * 1000.0).round() / 1000.0)
+            .collect();
         let p = infer_precision(&values).expect("3-decimal data is representable");
         let ints = floats_to_ints(&values, p).unwrap();
         assert_eq!(ints_to_floats(&ints, p), values);

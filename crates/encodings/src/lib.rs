@@ -127,7 +127,8 @@ mod tests {
             packer.encode(&values, &mut buf);
             let mut pos = 0;
             let mut out = Vec::new();
-            packer.decode(&buf, &mut pos, &mut out)
+            packer
+                .decode(&buf, &mut pos, &mut out)
                 .unwrap_or_else(|e| panic!("{} decode failed: {e}", packer.name()));
             assert_eq!(out, values, "{}", packer.name());
             assert_eq!(kind.label(), packer.name());

@@ -5,11 +5,11 @@
 //! `floatint` module, producing exactly the method grid of
 //! Figure 10 ("RLE+BOS-B", "TS2DIFF+FASTPFOR", …).
 
-use bitpack::error::{DecodeError, DecodeResult};
 use crate::rle::RleEncoding;
 use crate::sprintz::SprintzEncoding;
 use crate::ts2diff::Ts2DiffEncoding;
 use crate::{floatint, IntPacker, PackerKind};
+use bitpack::error::{DecodeError, DecodeResult};
 
 /// The outer transform of a pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,16 +85,13 @@ impl Pipeline {
     fn encode_with(&self, packer: &dyn IntPacker, values: &[i64], out: &mut Vec<u8>) {
         match self.outer {
             OuterKind::Rle => {
-                RleEncoding::with_block_size(packer, self.block_size)
-                    .encode(values, out);
+                RleEncoding::with_block_size(packer, self.block_size).encode(values, out);
             }
             OuterKind::Ts2Diff => {
-                Ts2DiffEncoding::with_block_size(packer, self.block_size)
-                    .encode(values, out);
+                Ts2DiffEncoding::with_block_size(packer, self.block_size).encode(values, out);
             }
             OuterKind::Sprintz => {
-                SprintzEncoding::with_block_size(packer, self.block_size)
-                    .encode(values, out);
+                SprintzEncoding::with_block_size(packer, self.block_size).encode(values, out);
             }
         }
     }
@@ -103,8 +100,9 @@ impl Pipeline {
     pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         let packer = self.packer_kind.build();
         match self.outer {
-            OuterKind::Rle => RleEncoding::with_block_size(packer.as_ref(), self.block_size)
-                .decode(buf, pos, out),
+            OuterKind::Rle => {
+                RleEncoding::with_block_size(packer.as_ref(), self.block_size).decode(buf, pos, out)
+            }
             OuterKind::Ts2Diff => {
                 Ts2DiffEncoding::with_block_size(packer.as_ref(), self.block_size)
                     .decode(buf, pos, out)
@@ -126,8 +124,8 @@ impl Pipeline {
         values: &[f64],
         out: &mut Vec<u8>,
     ) -> Result<(), floatint::FloatEncodeError> {
-        let p = floatint::infer_precision(values)
-            .ok_or(floatint::FloatEncodeError::NoExactScaling)?;
+        let p =
+            floatint::infer_precision(values).ok_or(floatint::FloatEncodeError::NoExactScaling)?;
         let ints = floatint::floats_to_ints(values, p)
             .ok_or(floatint::FloatEncodeError::Overflow { precision: p })?;
         out.push(p as u8);

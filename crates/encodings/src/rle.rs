@@ -10,8 +10,8 @@
 //! `varint (len << 1 | is_run)` followed by `zigzag value` for runs or an
 //! operator block for literals.
 
-use bitpack::error::{DecodeError, DecodeResult};
 use crate::IntPacker;
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
 /// Minimum repetition count that becomes a run segment. Shorter
@@ -91,7 +91,8 @@ impl<P: IntPacker> RleEncoding<P> {
             if is_run {
                 write_varint_i64(out, values.get(start).copied().unwrap_or(0));
             } else {
-                self.packer.encode(values.get(start..start + len).unwrap_or(&[]), out);
+                self.packer
+                    .encode(values.get(start..start + len).unwrap_or(&[]), out);
             }
         }
     }
@@ -118,7 +119,9 @@ impl<P: IntPacker> RleEncoding<P> {
             let len = (head >> 1) as usize;
             let is_run = head & 1 == 1;
             if produced + len > n {
-                return Err(DecodeError::CountOverflow { claimed: len as u64 });
+                return Err(DecodeError::CountOverflow {
+                    claimed: len as u64,
+                });
             }
             if is_run {
                 let v = read_varint_i64(buf, pos)?;
@@ -181,8 +184,8 @@ mod tests {
     fn roundtrip_all_operators() {
         let values: Vec<i64> = (0..3000)
             .map(|i| match (i / 100) % 3 {
-                0 => 7,                                   // runs
-                1 => i % 50,                              // literals
+                0 => 7,      // runs
+                1 => i % 50, // literals
                 _ => i % 50 + if i % 33 == 0 { 100_000 } else { 0 },
             })
             .collect();
@@ -204,10 +207,10 @@ mod tests {
         for values in [
             vec![],
             vec![1],
-            vec![1; 7],                                 // below MIN_RUN
-            vec![1; 8],                                 // exactly MIN_RUN
+            vec![1; 7], // below MIN_RUN
+            vec![1; 8], // exactly MIN_RUN
             vec![i64::MIN; 100],
-            (0..100).collect::<Vec<i64>>(),             // no runs at all
+            (0..100).collect::<Vec<i64>>(), // no runs at all
         ] {
             roundtrip_kind(&values, PackerKind::Bp);
             roundtrip_kind(&values, PackerKind::BosB);

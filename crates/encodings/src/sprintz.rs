@@ -12,8 +12,8 @@
 //! operator block(residuals)`), tag = k > 0: k consecutive all-constant
 //! blocks (values equal to the running predictor).
 
-use bitpack::error::{DecodeError, DecodeResult};
 use crate::IntPacker;
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
 /// Delta-predictive encoding with zero-block skipping.
@@ -99,7 +99,9 @@ impl<P: IntPacker> SprintzEncoding<P> {
                 for _ in 0..tag {
                     let len = self.block_size.min(n - produced);
                     if len == 0 {
-                        return Err(DecodeError::CountOverflow { claimed: tag as u64 });
+                        return Err(DecodeError::CountOverflow {
+                            claimed: tag as u64,
+                        });
                     }
                     out.extend(std::iter::repeat_n(p, len));
                     produced += len;

@@ -12,9 +12,9 @@
 //! is a single `varint 0`. The order is in the stream, so any
 //! `Ts2DiffEncoding` decodes any other's output.
 
-use bitpack::error::{DecodeError, DecodeResult};
 use crate::diff::{diff_in_place, undiff_in_place};
 use crate::IntPacker;
+use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::zigzag::{read_varint, read_varint_i64, write_varint, write_varint_i64};
 
 /// Highest differencing order the format accepts.
@@ -124,10 +124,7 @@ impl<P: IntPacker> Ts2DiffEncoding<P> {
 
     /// The delta (intermediate) series the paper histograms in Figure 8.
     pub fn deltas(values: &[i64]) -> Vec<i64> {
-        values
-            .windows(2)
-            .map(|w| w[1].wrapping_sub(w[0]))
-            .collect()
+        values.windows(2).map(|w| w[1].wrapping_sub(w[0])).collect()
     }
 }
 
@@ -199,9 +196,7 @@ mod tests {
         // frame-of-reference; second order pays off when the slope itself
         // drifts (acceleration), because first-order deltas then span a
         // wide range within each block while second-order ones are tiny.
-        let values: Vec<i64> = (0..20_000i64)
-            .map(|i| i * i / 2 + (i % 3) - 1)
-            .collect();
+        let values: Vec<i64> = (0..20_000i64).map(|i| i * i / 2 + (i % 3) - 1).collect();
         let first = roundtrip_order(&values, PackerKind::Bp, 1024, 1);
         let second = roundtrip_order(&values, PackerKind::Bp, 1024, 2);
         assert!(second * 2 < first, "order2 {second} vs order1 {first}");

@@ -108,7 +108,9 @@ impl FaultPlan {
 
     /// A plan consisting of a single fault.
     pub fn single(fault: Fault) -> Self {
-        Self { faults: vec![fault] }
+        Self {
+            faults: vec![fault],
+        }
     }
 
     /// Builder-style: append `fault` to the plan.
@@ -136,7 +138,12 @@ impl FaultPlan {
     /// [`Fault::Truncate`] and [`Fault::TornTail`] pick their cut point
     /// inside `region` but, being truncations, remove everything from the
     /// cut to the end of the buffer.
-    pub fn apply_in(&self, data: &mut Vec<u8>, region: Range<usize>, seed: u64) -> Vec<FaultRecord> {
+    pub fn apply_in(
+        &self,
+        data: &mut Vec<u8>,
+        region: Range<usize>,
+        seed: u64,
+    ) -> Vec<FaultRecord> {
         let mut rng = SplitMix64::new(seed);
         let mut records = Vec::with_capacity(self.faults.len());
         for &fault in &self.faults {
@@ -149,9 +156,19 @@ impl FaultPlan {
 }
 
 /// Apply one fault inside the (already clamped, possibly empty) extent.
-fn apply_one(fault: Fault, data: &mut Vec<u8>, extent: Range<usize>, rng: &mut SplitMix64) -> FaultRecord {
+fn apply_one(
+    fault: Fault,
+    data: &mut Vec<u8>,
+    extent: Range<usize>,
+    rng: &mut SplitMix64,
+) -> FaultRecord {
     let (lo, hi) = (extent.start, extent.end);
-    let noop = FaultRecord { fault, touched: lo..lo, removed: 0, appended: 0 };
+    let noop = FaultRecord {
+        fault,
+        touched: lo..lo,
+        removed: 0,
+        appended: 0,
+    };
     if lo >= hi {
         return noop;
     }
@@ -170,7 +187,12 @@ fn apply_one(fault: Fault, data: &mut Vec<u8>, extent: Range<usize>, rng: &mut S
                 first = first.min(pos);
                 last = last.max(pos);
             }
-            FaultRecord { fault, touched: first..last + 1, removed: 0, appended: 0 }
+            FaultRecord {
+                fault,
+                touched: first..last + 1,
+                removed: 0,
+                appended: 0,
+            }
         }
         Fault::GarbageBytes { count } => {
             if count == 0 {
@@ -184,7 +206,12 @@ fn apply_one(fault: Fault, data: &mut Vec<u8>, extent: Range<usize>, rng: &mut S
                 first = first.min(pos);
                 last = last.max(pos);
             }
-            FaultRecord { fault, touched: first..last + 1, removed: 0, appended: 0 }
+            FaultRecord {
+                fault,
+                touched: first..last + 1,
+                removed: 0,
+                appended: 0,
+            }
         }
         Fault::GarbageRange { max_len } => {
             if max_len == 0 {
@@ -195,13 +222,23 @@ fn apply_one(fault: Fault, data: &mut Vec<u8>, extent: Range<usize>, rng: &mut S
             for b in &mut data[start..start + len] {
                 *b = rng.byte();
             }
-            FaultRecord { fault, touched: start..start + len, removed: 0, appended: 0 }
+            FaultRecord {
+                fault,
+                touched: start..start + len,
+                removed: 0,
+                appended: 0,
+            }
         }
         Fault::Truncate => {
             let cut = lo + rng.below(span);
             let removed = data.len() - cut;
             data.truncate(cut);
-            FaultRecord { fault, touched: cut..cut + removed, removed, appended: 0 }
+            FaultRecord {
+                fault,
+                touched: cut..cut + removed,
+                removed,
+                appended: 0,
+            }
         }
         Fault::TornTail { max_tail } => {
             let cut = lo + rng.below(span);
@@ -212,7 +249,12 @@ fn apply_one(fault: Fault, data: &mut Vec<u8>, extent: Range<usize>, rng: &mut S
                 let b = rng.byte();
                 data.push(b);
             }
-            FaultRecord { fault, touched: cut..cut + removed.max(tail), removed, appended: tail }
+            FaultRecord {
+                fault,
+                touched: cut..cut + removed.max(tail),
+                removed,
+                appended: tail,
+            }
         }
         Fault::DropRange { max_len } => {
             if max_len == 0 {
@@ -221,7 +263,12 @@ fn apply_one(fault: Fault, data: &mut Vec<u8>, extent: Range<usize>, rng: &mut S
             let len = 1 + rng.below(max_len.min(span));
             let start = lo + rng.below(span - len + 1);
             data.drain(start..start + len);
-            FaultRecord { fault, touched: start..start + len, removed: len, appended: 0 }
+            FaultRecord {
+                fault,
+                touched: start..start + len,
+                removed: len,
+                appended: 0,
+            }
         }
         Fault::DestroyTail { count } => {
             if count == 0 {
@@ -232,7 +279,12 @@ fn apply_one(fault: Fault, data: &mut Vec<u8>, extent: Range<usize>, rng: &mut S
             for b in &mut data[start..hi] {
                 *b = rng.byte();
             }
-            FaultRecord { fault, touched: start..hi, removed: 0, appended: 0 }
+            FaultRecord {
+                fault,
+                touched: start..hi,
+                removed: 0,
+                appended: 0,
+            }
         }
     }
 }
@@ -278,7 +330,10 @@ mod tests {
         let rc = plan.apply(&mut c, 100);
         assert_eq!(a, b);
         assert_eq!(ra, rb);
-        assert!(a != c || ra != rc, "distinct seeds should corrupt differently");
+        assert!(
+            a != c || ra != rc,
+            "distinct seeds should corrupt differently"
+        );
     }
 
     #[test]
@@ -308,7 +363,8 @@ mod tests {
             assert!(rec.removed >= 1);
 
             let mut data = buf(200);
-            let rec = &FaultPlan::single(Fault::TornTail { max_tail: 16 }).apply(&mut data, seed)[0];
+            let rec =
+                &FaultPlan::single(Fault::TornTail { max_tail: 16 }).apply(&mut data, seed)[0];
             assert_eq!(data.len(), 200 - rec.removed + rec.appended);
             assert!(rec.appended <= 16);
         }
@@ -344,11 +400,15 @@ mod tests {
 
     #[test]
     fn empty_and_degenerate_inputs_are_noops() {
-        let plan = full_plan().with(Fault::Truncate).with(Fault::DestroyTail { count: 4 });
+        let plan = full_plan()
+            .with(Fault::Truncate)
+            .with(Fault::DestroyTail { count: 4 });
         let mut data: Vec<u8> = Vec::new();
         let recs = plan.apply(&mut data, 1);
         assert!(data.is_empty());
-        assert!(recs.iter().all(|r| r.touched.is_empty() && r.removed == 0 && r.appended == 0));
+        assert!(recs
+            .iter()
+            .all(|r| r.touched.is_empty() && r.removed == 0 && r.appended == 0));
 
         // Region entirely out of bounds is also a no-op.
         let mut data = buf(10);

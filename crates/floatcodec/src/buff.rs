@@ -121,12 +121,7 @@ impl FloatCodec for BuffCodec {
         out.extend_from_slice(&bits.into_bytes());
     }
 
-    fn decode(
-        &self,
-        buf: &[u8],
-        pos: &mut usize,
-        out: &mut Vec<f64>,
-    ) -> DecodeResult<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
             return Ok(());
@@ -140,9 +135,7 @@ impl FloatCodec for BuffCodec {
             0 => {
                 out.reserve(n);
                 for _ in 0..n {
-                    let bytes = buf
-                        .get(*pos..*pos + 8)
-                        .ok_or(DecodeError::Truncated)?;
+                    let bytes = buf.get(*pos..*pos + 8).ok_or(DecodeError::Truncated)?;
                     *pos += 8;
                     let word = match <[u8; 8]>::try_from(bytes) {
                         Ok(b) => u64::from_le_bytes(b),
@@ -170,10 +163,11 @@ impl FloatCodec for BuffCodec {
                 }
                 let n_out = read_varint(buf, pos)? as usize;
                 if n_out > n {
-                    return Err(DecodeError::CountOverflow { claimed: n_out as u64 });
+                    return Err(DecodeError::CountOverflow {
+                        claimed: n_out as u64,
+                    });
                 }
-                let total_bits =
-                    n + (n - n_out) * w_normal as usize + n_out * w_full as usize;
+                let total_bits = n + (n - n_out) * w_normal as usize + n_out * w_full as usize;
                 let payload = buf
                     .get(*pos..*pos + total_bits.div_ceil(8))
                     .ok_or(DecodeError::Truncated)?;
@@ -233,7 +227,9 @@ mod tests {
     #[test]
     fn fixed_point_path_is_compact() {
         // 1-decimal values in a narrow band: ~11 bits/value, not 64.
-        let values: Vec<f64> = (0..4096).map(|i| 100.0 + ((i % 100) as f64) / 10.0).collect();
+        let values: Vec<f64> = (0..4096)
+            .map(|i| 100.0 + ((i % 100) as f64) / 10.0)
+            .collect();
         let size = roundtrip(&BuffCodec::new(), &values);
         assert!(size < 4096 * 3, "got {size}");
     }

@@ -91,12 +91,7 @@ impl FloatCodec for ChimpCodec {
         out.extend_from_slice(&bits.into_bytes());
     }
 
-    fn decode(
-        &self,
-        buf: &[u8],
-        pos: &mut usize,
-        out: &mut Vec<f64>,
-    ) -> DecodeResult<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
             return Ok(());
@@ -119,7 +114,9 @@ impl FloatCodec for ChimpCodec {
                     let center = reader.read_bits(6)? as u32;
                     let lead_r = level_width(level);
                     if center == 0 || lead_r + center > 64 {
-                        return Err(DecodeError::WidthOverflow { width: lead_r + center });
+                        return Err(DecodeError::WidthOverflow {
+                            width: lead_r + center,
+                        });
                     }
                     let trail = 64 - lead_r - center;
                     prev_level = level;

@@ -104,7 +104,8 @@ impl FloatCodec for Chimp128Codec {
             let key = (b & ((1 << KEY_BITS) - 1)) as usize;
             let prev = ring_get(&ring, i - 1);
 
-            let in_window = |cand: usize| cand != usize::MAX && cand < i && i - cand <= WINDOW.min(i);
+            let in_window =
+                |cand: usize| cand != usize::MAX && cand < i && i - cand <= WINDOW.min(i);
             // Prefer an exact repeat; fall back to the low-bit candidate.
             let ecand = exact.get(hash64(b)).copied().unwrap_or(usize::MAX);
             let cand = if in_window(ecand) && ring_get(&ring, ecand) == b {
@@ -164,12 +165,7 @@ impl FloatCodec for Chimp128Codec {
         out.extend_from_slice(&bits.into_bytes());
     }
 
-    fn decode(
-        &self,
-        buf: &[u8],
-        pos: &mut usize,
-        out: &mut Vec<f64>,
-    ) -> DecodeResult<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
             return Ok(());
@@ -201,7 +197,9 @@ impl FloatCodec for Chimp128Codec {
                     let center = reader.read_bits(6)? as u32;
                     let lead_r = level_width(level);
                     if center == 0 || lead_r + center > 64 {
-                        return Err(DecodeError::WidthOverflow { width: lead_r + center });
+                        return Err(DecodeError::WidthOverflow {
+                            width: lead_r + center,
+                        });
                     }
                     let trail = 64 - lead_r - center;
                     prev_level = level;
@@ -262,7 +260,11 @@ mod tests {
         // Repeats spaced just over the window: indexed refs must expire.
         let mut values = Vec::new();
         for i in 0..2000 {
-            values.push(if i % (WINDOW + 3) == 0 { 777.125 } else { i as f64 * 0.5 });
+            values.push(if i % (WINDOW + 3) == 0 {
+                777.125
+            } else {
+                i as f64 * 0.5
+            });
         }
         roundtrip(&Chimp128Codec::new(), &values);
     }

@@ -105,12 +105,7 @@ impl FloatCodec for ElfCodec {
         out.extend_from_slice(&bits.into_bytes());
     }
 
-    fn decode(
-        &self,
-        buf: &[u8],
-        pos: &mut usize,
-        out: &mut Vec<f64>,
-    ) -> DecodeResult<()> {
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
             return Ok(());

@@ -41,12 +41,7 @@ pub trait FloatCodec {
     /// Decodes one block from `buf[*pos..]`, appending values to `out`.
     /// Returns `Err(`[`bitpack::DecodeError`]`)` on corrupt/truncated input;
     /// never panics.
-    fn decode(
-        &self,
-        buf: &[u8],
-        pos: &mut usize,
-        out: &mut Vec<f64>,
-    ) -> bitpack::DecodeResult<()>;
+    fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> bitpack::DecodeResult<()>;
 }
 
 /// All four float codecs for the experiment grid.
@@ -96,7 +91,9 @@ pub(crate) mod testutil {
             (0..500).map(|i| i as f64 * 0.25).collect(),
             (0..500).map(|i| (i as f64 * 0.7).sin() * 1e4).collect(),
             vec![f64::MIN_POSITIVE, f64::MAX, f64::EPSILON],
-            (0..300).map(|i| ((i * i) as f64).sqrt().round() / 8.0).collect(),
+            (0..300)
+                .map(|i| ((i * i) as f64).sqrt().round() / 8.0)
+                .collect(),
             // Sensor-like: 2 decimals, slowly varying, rare spikes.
             (0..1000)
                 .map(|i| {

@@ -136,12 +136,7 @@ impl ByteCodec for Lz4Like {
         }
     }
 
-    fn decompress(
-        &self,
-        buf: &[u8],
-        pos: &mut usize,
-        out: &mut Vec<u8>,
-    ) -> DecodeResult<()> {
+    fn decompress(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
             return Ok(());
@@ -185,7 +180,9 @@ impl ByteCodec for Lz4Like {
             mlen += MIN_MATCH;
             if offset == 0 || offset > out.len() - start {
                 // A match may not reach back before this frame's output.
-                return Err(DecodeError::CountOverflow { claimed: offset as u64 });
+                return Err(DecodeError::CountOverflow {
+                    claimed: offset as u64,
+                });
             }
             if out.len() - start + mlen > n {
                 return Err(DecodeError::LengthMismatch {

@@ -277,12 +277,7 @@ impl ByteCodec for LzmaLite {
         out.extend_from_slice(&payload);
     }
 
-    fn decompress(
-        &self,
-        buf: &[u8],
-        pos: &mut usize,
-        out: &mut Vec<u8>,
-    ) -> DecodeResult<()> {
+    fn decompress(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n == 0 {
             return Ok(());
@@ -291,9 +286,7 @@ impl ByteCodec for LzmaLite {
             return Err(DecodeError::CountOverflow { claimed: n as u64 });
         }
         let plen = read_varint(buf, pos)? as usize;
-        let payload = buf
-            .get(*pos..*pos + plen)
-            .ok_or(DecodeError::Truncated)?;
+        let payload = buf.get(*pos..*pos + plen).ok_or(DecodeError::Truncated)?;
         *pos += plen;
         let mut model = Model::new();
         let mut dec = RangeDecoder::new(payload)?;
@@ -305,7 +298,9 @@ impl ByteCodec for LzmaLite {
                 let mlen = model.len.decode(&mut dec) as usize;
                 let mdist = model.dist.decode(&mut dec) as usize;
                 if mlen < MIN_MATCH || mdist == 0 || mdist > out.len() - start {
-                    return Err(DecodeError::CountOverflow { claimed: mdist as u64 });
+                    return Err(DecodeError::CountOverflow {
+                        claimed: mdist as u64,
+                    });
                 }
                 if out.len() - start + mlen > n {
                     return Err(DecodeError::LengthMismatch {
@@ -377,7 +372,9 @@ mod tests {
     #[test]
     fn adaptive_probabilities_converge() {
         // Alternating pattern should approach ~0 bits per symbol pair.
-        let data: Vec<u8> = (0..40_000).map(|i| if i % 2 == 0 { 1 } else { 2 }).collect();
+        let data: Vec<u8> = (0..40_000)
+            .map(|i| if i % 2 == 0 { 1 } else { 2 })
+            .collect();
         let size = roundtrip_bytes(&LzmaLite::new(), &data);
         assert!(size < 800, "got {size}");
     }

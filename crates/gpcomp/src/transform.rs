@@ -100,7 +100,10 @@ impl TransformCodec {
                 TransformKind::Dct => dct2(&signal),
                 TransformKind::Fft => rfft(&signal),
             };
-            let quantized: Vec<i64> = coeffs.iter().map(|&c| (c / Q_STEP).round() as i64).collect();
+            let quantized: Vec<i64> = coeffs
+                .iter()
+                .map(|&c| (c / Q_STEP).round() as i64)
+                .collect();
             let recon = self.reconstruct(&quantized, block.len());
             let residuals: Vec<i64> = block
                 .iter()
@@ -122,12 +125,7 @@ impl TransformCodec {
     }
 
     /// Decodes a series.
-    pub fn decode(
-        &self,
-        buf: &[u8],
-        pos: &mut usize,
-        out: &mut Vec<i64>,
-    ) -> DecodeResult<()> {
+    pub fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         let n = read_varint(buf, pos)? as usize;
         if n > bitpack::MAX_BLOCK_VALUES {
             return Err(DecodeError::CountOverflow { claimed: n as u64 });

@@ -49,7 +49,9 @@ pub struct Counter {
 
 impl Counter {
     const fn zero() -> Self {
-        Self { v: AtomicU64::new(0) }
+        Self {
+            v: AtomicU64::new(0),
+        }
     }
 
     /// Adds `n` events.
@@ -82,7 +84,9 @@ pub struct Gauge {
 
 impl Gauge {
     const fn zero() -> Self {
-        Self { v: AtomicI64::new(0) }
+        Self {
+            v: AtomicI64::new(0),
+        }
     }
 
     /// Sets the level.
@@ -166,7 +170,11 @@ impl Histogram {
         HistogramSnapshot {
             count,
             sum: self.sum.load(Ordering::Relaxed),
-            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
             max: self.max.load(Ordering::Relaxed),
             buckets,
         }
@@ -218,7 +226,11 @@ impl SpanStat {
             count,
             total_ns: self.total_ns.load(Ordering::Relaxed),
             self_ns: self.self_ns.load(Ordering::Relaxed),
-            min_ns: if count == 0 { 0 } else { self.min_ns.load(Ordering::Relaxed) },
+            min_ns: if count == 0 {
+                0
+            } else {
+                self.min_ns.load(Ordering::Relaxed)
+            },
             max_ns: self.max_ns.load(Ordering::Relaxed),
         }
     }
@@ -299,7 +311,10 @@ pub struct CounterHandle {
 impl CounterHandle {
     /// Binds `name`; place the result in a `static`.
     pub const fn new(name: &'static str) -> Self {
-        Self { name, slot: OnceLock::new() }
+        Self {
+            name,
+            slot: OnceLock::new(),
+        }
     }
 
     #[inline]
@@ -340,7 +355,10 @@ pub struct GaugeHandle {
 impl GaugeHandle {
     /// Binds `name`; place the result in a `static`.
     pub const fn new(name: &'static str) -> Self {
-        Self { name, slot: OnceLock::new() }
+        Self {
+            name,
+            slot: OnceLock::new(),
+        }
     }
 
     #[inline]
@@ -381,7 +399,10 @@ pub struct HistogramHandle {
 impl HistogramHandle {
     /// Binds `name`; place the result in a `static`.
     pub const fn new(name: &'static str) -> Self {
-        Self { name, slot: OnceLock::new() }
+        Self {
+            name,
+            slot: OnceLock::new(),
+        }
     }
 
     #[inline]
@@ -429,14 +450,24 @@ pub struct SpanGuard {
 /// `self_ns` excludes its children's totals.
 pub fn span(name: &'static str) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { depth: 0, _not_send: PhantomData };
+        return SpanGuard {
+            depth: 0,
+            _not_send: PhantomData,
+        };
     }
     let depth = SPAN_STACK.with(|s| {
         let mut stack = s.borrow_mut();
-        stack.push(Frame { name, start: Instant::now(), child_ns: 0 });
+        stack.push(Frame {
+            name,
+            start: Instant::now(),
+            child_ns: 0,
+        });
         stack.len()
     });
-    SpanGuard { depth, _not_send: PhantomData }
+    SpanGuard {
+        depth,
+        _not_send: PhantomData,
+    }
 }
 
 impl Drop for SpanGuard {
@@ -560,7 +591,12 @@ mod tests {
         assert_eq!(H.get(), 3);
         static HIST: HistogramHandle = HistogramHandle::new("test.imp.handle_hist");
         HIST.record(9);
-        assert_eq!(snapshot().histogram("test.imp.handle_hist").map(|h| h.count), Some(1));
+        assert_eq!(
+            snapshot()
+                .histogram("test.imp.handle_hist")
+                .map(|h| h.count),
+            Some(1)
+        );
         static G: GaugeHandle = GaugeHandle::new("test.imp.handle_gauge");
         G.set(11);
         assert_eq!(G.get(), 11);
@@ -603,7 +639,9 @@ mod tests {
         reset();
         let snap = snapshot();
         assert_eq!(snap.counter("test.imp.reset_counter"), 0);
-        let hs = snap.histogram("test.imp.reset_hist").expect("name survives reset");
+        let hs = snap
+            .histogram("test.imp.reset_hist")
+            .expect("name survives reset");
         assert_eq!((hs.count, hs.sum, hs.min, hs.max), (0, 0, 0, 0));
     }
 

@@ -82,7 +82,10 @@ impl Snapshot {
 
     /// State of a histogram, if registered.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
-        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
     }
 
     /// Aggregate timings of a span, if any instance completed.
@@ -168,7 +171,12 @@ impl Snapshot {
         let mut s = String::new();
         if !self.counters.is_empty() {
             s.push_str("counters\n");
-            let w = self.counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            let w = self
+                .counters
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(0);
             for (name, v) in &self.counters {
                 s.push_str(&format!("  {name:<w$}  {v}\n"));
             }
@@ -196,11 +204,8 @@ impl Snapshot {
                     h.min,
                     h.max
                 ));
-                let buckets: Vec<String> = h
-                    .buckets
-                    .iter()
-                    .map(|(b, c)| format!("{b}:{c}"))
-                    .collect();
+                let buckets: Vec<String> =
+                    h.buckets.iter().map(|(b, c)| format!("{b}:{c}")).collect();
                 s.push_str(&format!("  [{}]\n", buckets.join(" ")));
             }
         }

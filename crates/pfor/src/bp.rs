@@ -58,8 +58,13 @@ impl Codec for BpCodec {
         if w > 64 {
             return Err(DecodeError::WidthOverflow { width: w });
         }
-        let consumed =
-            unpack_words_for(buf.get(*pos..).ok_or(DecodeError::Truncated)?, n, w, min, out)?;
+        let consumed = unpack_words_for(
+            buf.get(*pos..).ok_or(DecodeError::Truncated)?,
+            n,
+            w,
+            min,
+            out,
+        )?;
         *pos += consumed;
         debug_assert_eq!(Some(consumed), packed_size(n, w));
         Ok(())

@@ -23,7 +23,9 @@
 
 use crate::{for_restore, for_transform, Codec, FORMAT_V2};
 use bitpack::error::{DecodeError, DecodeResult};
-use bitpack::unrolled::{pack_words_for, pack_words_unrolled, unpack_words_for, unpack_words_unrolled};
+use bitpack::unrolled::{
+    pack_words_for, pack_words_unrolled, unpack_words_for, unpack_words_unrolled,
+};
 use bitpack::width::width;
 use bitpack::zigzag::{read_len_bounded, read_varint_i64, write_varint, write_varint_i64};
 
@@ -53,8 +55,8 @@ impl FastPforCodec {
         let mut exceeding = 0usize;
         for b in (0..maxbits).rev() {
             exceeding += hist[b as usize + 1];
-            let cost = block.len() as u64 * b as u64
-                + exceeding as u64 * ((maxbits - b) as u64 + 8);
+            let cost =
+                block.len() as u64 * b as u64 + exceeding as u64 * ((maxbits - b) as u64 + 8);
             if cost < best_cost {
                 best_cost = cost;
                 best_b = b;
@@ -140,10 +142,14 @@ impl Codec for FastPforCodec {
             let n_exc = *buf.get(*pos + 2).ok_or(DecodeError::Truncated)? as usize;
             *pos += 3;
             if b > 64 || maxbits > 64 {
-                return Err(DecodeError::WidthOverflow { width: b.max(maxbits) });
+                return Err(DecodeError::WidthOverflow {
+                    width: b.max(maxbits),
+                });
             }
             if maxbits < b || n_exc > len {
-                return Err(DecodeError::CountOverflow { claimed: n_exc as u64 });
+                return Err(DecodeError::CountOverflow {
+                    claimed: n_exc as u64,
+                });
             }
             for _ in 0..n_exc {
                 let p = *buf.get(*pos).ok_or(DecodeError::Truncated)? as usize;
@@ -198,9 +204,9 @@ impl Codec for FastPforCodec {
                 .get_mut(w as usize)
                 .and_then(|q| q.pop_front())
                 .ok_or(DecodeError::Truncated)?;
-            let slot = out
-                .get_mut(start + idx)
-                .ok_or(DecodeError::CountOverflow { claimed: idx as u64 })?;
+            let slot = out.get_mut(start + idx).ok_or(DecodeError::CountOverflow {
+                claimed: idx as u64,
+            })?;
             let low = slot.wrapping_sub(min) as u64;
             *slot = for_restore(min, low | (h << b));
         }
@@ -259,7 +265,9 @@ mod tests {
 
     #[test]
     fn v1_payload_rejected() {
-        let values: Vec<i64> = (0..400).map(|i| if i % 37 == 0 { 1 << 41 } else { i % 9 }).collect();
+        let values: Vec<i64> = (0..400)
+            .map(|i| if i % 37 == 0 { 1 << 41 } else { i % 9 })
+            .collect();
         let mut v1 = Vec::new();
         crate::v1::encode_fastpfor_v1(&values, &mut v1);
         let mut pos = 0;
@@ -273,7 +281,9 @@ mod tests {
     #[test]
     fn truncation_fails_cleanly() {
         let codec = FastPforCodec::new();
-        let values: Vec<i64> = (0..400).map(|i| if i % 37 == 0 { 1 << 41 } else { i % 9 }).collect();
+        let values: Vec<i64> = (0..400)
+            .map(|i| if i % 37 == 0 { 1 << 41 } else { i % 9 })
+            .collect();
         let mut buf = Vec::new();
         codec.encode(&values, &mut buf);
         for cut in 0..buf.len() {

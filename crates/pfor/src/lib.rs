@@ -127,7 +127,9 @@ pub(crate) mod testutil {
             vec![3, 2, 4, 5, 3, 2, 0, 8],
             (0..1000).collect(),
             (0..1000).map(|i| i % 7).collect(),
-            (0..500).map(|i| if i % 31 == 0 { 1 << 45 } else { i % 13 }).collect(),
+            (0..500)
+                .map(|i| if i % 31 == 0 { 1 << 45 } else { i % 13 })
+                .collect(),
             vec![i64::MIN, 0, i64::MAX],
             vec![i64::MIN; 10],
             (0..300).map(|i| -i * 1_000_003).collect(),

@@ -56,16 +56,29 @@ pub(crate) fn encode_pfd(values: &[i64], b: u32, out: &mut Vec<u8>) {
 }
 
 /// Decodes the shared NewPFD layout.
-pub(crate) fn decode_pfd(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<i64>) -> DecodeResult<()> {
+pub(crate) fn decode_pfd(
+    buf: &[u8],
+    pos: &mut usize,
+    n: usize,
+    out: &mut Vec<i64>,
+) -> DecodeResult<()> {
     let min = read_varint_i64(buf, pos)?;
     let w_full = *buf.get(*pos).ok_or(DecodeError::Truncated)? as u32;
     let b = *buf.get(*pos + 1).ok_or(DecodeError::Truncated)? as u32;
     *pos += 2;
     if w_full > 64 || b > 64 {
-        return Err(DecodeError::WidthOverflow { width: w_full.max(b) });
+        return Err(DecodeError::WidthOverflow {
+            width: w_full.max(b),
+        });
     }
     let start = out.len();
-    let consumed = unpack_words_for(buf.get(*pos..).ok_or(DecodeError::Truncated)?, n, b, min, out)?;
+    let consumed = unpack_words_for(
+        buf.get(*pos..).ok_or(DecodeError::Truncated)?,
+        n,
+        b,
+        min,
+        out,
+    )?;
     *pos += consumed;
     let mut positions = Vec::new();
     simple8b::decode(buf, pos, &mut positions)?;
@@ -211,7 +224,9 @@ mod tests {
     #[test]
     fn truncation_fails_cleanly() {
         let codec = NewPforCodec::new();
-        let values: Vec<i64> = (0..300).map(|i| if i % 30 == 0 { 1 << 40 } else { i }).collect();
+        let values: Vec<i64> = (0..300)
+            .map(|i| if i % 30 == 0 { 1 << 40 } else { i })
+            .collect();
         let mut buf = Vec::new();
         codec.encode(&values, &mut buf);
         for cut in 0..buf.len() {

@@ -91,8 +91,12 @@ mod tests {
         // OptPFOR explores every b, so it can only match or beat the 10 %
         // heuristic (identical layout).
         let cases: Vec<Vec<i64>> = vec![
-            (0..2000).map(|i| if i % 20 == 0 { 1 << 42 } else { i % 32 }).collect(),
-            (0..512).map(|i| if i % 3 == 0 { 1 << 20 } else { i % 8 }).collect(),
+            (0..2000)
+                .map(|i| if i % 20 == 0 { 1 << 42 } else { i % 32 })
+                .collect(),
+            (0..512)
+                .map(|i| if i % 3 == 0 { 1 << 20 } else { i % 8 })
+                .collect(),
             (0..100).collect(),
             vec![5; 100],
         ];
@@ -116,12 +120,16 @@ mod tests {
     #[test]
     fn interoperable_with_newpfor_decoder() {
         // Same wire layout: NewPFOR's decoder must read OptPFOR blocks.
-        let values: Vec<i64> = (0..700).map(|i| if i % 9 == 0 { 1 << 33 } else { i }).collect();
+        let values: Vec<i64> = (0..700)
+            .map(|i| if i % 9 == 0 { 1 << 33 } else { i })
+            .collect();
         let mut buf = Vec::new();
         OptPforCodec::new().encode(&values, &mut buf);
         let mut pos = 0;
         let mut out = Vec::new();
-        NewPforCodec::new().decode(&buf, &mut pos, &mut out).unwrap();
+        NewPforCodec::new()
+            .decode(&buf, &mut pos, &mut out)
+            .unwrap();
         assert_eq!(out, values);
     }
 }

@@ -27,8 +27,7 @@ use bitpack::zigzag::{read_len_bounded, read_varint_i64, write_varint, write_var
 // Exception-rate metrics: the PFOR cost model targets ~10% exceptions
 // per block; the histogram shows the realized per-block distribution.
 static EXCEPTIONS: obs::CounterHandle = obs::CounterHandle::new("pfor.exceptions");
-static BLOCK_EXCEPTIONS: obs::HistogramHandle =
-    obs::HistogramHandle::new("pfor.block_exceptions");
+static BLOCK_EXCEPTIONS: obs::HistogramHandle = obs::HistogramHandle::new("pfor.block_exceptions");
 
 /// The original patched frame-of-reference codec.
 #[derive(Debug, Clone, Copy, Default)]
@@ -157,7 +156,9 @@ impl Codec for PforCodec {
         let b = *buf.get(*pos + 1).ok_or(DecodeError::Truncated)? as u32;
         *pos += 2;
         if w_full > 64 || b > 64 {
-            return Err(DecodeError::WidthOverflow { width: w_full.max(b) });
+            return Err(DecodeError::WidthOverflow {
+                width: w_full.max(b),
+            });
         }
         let n_exc = read_len_bounded(buf, pos, n)?;
         let first_exc = if n_exc > 0 {
@@ -170,8 +171,13 @@ impl Codec for PforCodec {
         // Slots restore straight to `min + slot`; exception slots hold a
         // chain gap instead of a value and are patched below.
         let start = out.len();
-        let consumed =
-            unpack_words_for(buf.get(*pos..).ok_or(DecodeError::Truncated)?, n, b, min, out)?;
+        let consumed = unpack_words_for(
+            buf.get(*pos..).ok_or(DecodeError::Truncated)?,
+            n,
+            b,
+            min,
+            out,
+        )?;
         *pos += consumed;
 
         let mut excs = Vec::with_capacity(n_exc);
@@ -288,7 +294,9 @@ mod tests {
     #[test]
     fn v1_payload_rejected() {
         // min = 0 so the v1 zigzag-min byte cannot alias the version byte.
-        let values: Vec<i64> = (0..500).map(|i| if i % 31 == 0 { 1 << 45 } else { i % 13 }).collect();
+        let values: Vec<i64> = (0..500)
+            .map(|i| if i % 31 == 0 { 1 << 45 } else { i % 13 })
+            .collect();
         let mut v1 = Vec::new();
         crate::v1::encode_pfor_v1(&values, &mut v1);
         let mut pos = 0;
@@ -302,7 +310,9 @@ mod tests {
     #[test]
     fn truncation_fails_cleanly() {
         let codec = PforCodec::new();
-        let values: Vec<i64> = (0..500).map(|i| if i % 31 == 0 { 1 << 45 } else { i % 13 }).collect();
+        let values: Vec<i64> = (0..500)
+            .map(|i| if i % 31 == 0 { 1 << 45 } else { i % 13 })
+            .collect();
         let mut buf = Vec::new();
         codec.encode(&values, &mut buf);
         for cut in 0..buf.len() {

@@ -57,8 +57,8 @@ impl SimplePforCodec {
             if b < b_min {
                 break;
             }
-            let cost = block.len() as u64 * b as u64
-                + exceeding as u64 * ((maxbits - b) as u64 + 8);
+            let cost =
+                block.len() as u64 * b as u64 + exceeding as u64 * ((maxbits - b) as u64 + 8);
             if cost < best_cost {
                 best_cost = cost;
                 best_b = b;
@@ -129,7 +129,9 @@ impl Codec for SimplePforCodec {
                 return Err(DecodeError::WidthOverflow { width: b });
             }
             if n_exc > len {
-                return Err(DecodeError::CountOverflow { claimed: n_exc as u64 });
+                return Err(DecodeError::CountOverflow {
+                    claimed: n_exc as u64,
+                });
             }
             for _ in 0..n_exc {
                 let p = *buf.get(*pos).ok_or(DecodeError::Truncated)? as usize;
@@ -159,9 +161,9 @@ impl Codec for SimplePforCodec {
             });
         }
         for ((idx, b), h) in pending.into_iter().zip(highs) {
-            let slot = out
-                .get_mut(start + idx)
-                .ok_or(DecodeError::CountOverflow { claimed: idx as u64 })?;
+            let slot = out.get_mut(start + idx).ok_or(DecodeError::CountOverflow {
+                claimed: idx as u64,
+            })?;
             let low = slot.wrapping_sub(min) as u64;
             *slot = for_restore(min, low | (h << b));
         }
@@ -218,7 +220,9 @@ mod tests {
 
     #[test]
     fn v1_payload_rejected() {
-        let values: Vec<i64> = (0..300).map(|i| if i % 29 == 0 { 1 << 33 } else { i % 7 }).collect();
+        let values: Vec<i64> = (0..300)
+            .map(|i| if i % 29 == 0 { 1 << 33 } else { i % 7 })
+            .collect();
         let mut v1 = Vec::new();
         crate::v1::encode_simplepfor_v1(&values, &mut v1);
         let mut pos = 0;
@@ -232,7 +236,9 @@ mod tests {
     #[test]
     fn truncation_fails_cleanly() {
         let codec = SimplePforCodec::new();
-        let values: Vec<i64> = (0..300).map(|i| if i % 29 == 0 { 1 << 33 } else { i % 7 }).collect();
+        let values: Vec<i64> = (0..300)
+            .map(|i| if i % 29 == 0 { 1 << 33 } else { i % 7 })
+            .collect();
         let mut buf = Vec::new();
         codec.encode(&values, &mut buf);
         for cut in 0..buf.len() {

@@ -139,11 +139,15 @@ pub fn decode_pfor_v1(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Decode
     let b = *buf.get(*pos + 1).ok_or(DecodeError::Truncated)? as u32;
     *pos += 2;
     if w_full > 64 || b > 64 {
-        return Err(DecodeError::WidthOverflow { width: w_full.max(b) });
+        return Err(DecodeError::WidthOverflow {
+            width: w_full.max(b),
+        });
     }
     let n_exc = read_varint(buf, pos)? as usize;
     if n_exc > n {
-        return Err(DecodeError::CountOverflow { claimed: n_exc as u64 });
+        return Err(DecodeError::CountOverflow {
+            claimed: n_exc as u64,
+        });
     }
     let first_exc = if n_exc > 0 {
         let f = read_varint(buf, pos)? as usize;
@@ -199,8 +203,7 @@ fn fastpfor_choose_b(block: &[u64]) -> (u32, u32) {
     let mut exceeding = 0usize;
     for b in (0..maxbits).rev() {
         exceeding += hist[b as usize + 1];
-        let cost =
-            block.len() as u64 * b as u64 + exceeding as u64 * ((maxbits - b) as u64 + 8);
+        let cost = block.len() as u64 * b as u64 + exceeding as u64 * ((maxbits - b) as u64 + 8);
         if cost < best_cost {
             best_cost = cost;
             best_b = b;
@@ -285,10 +288,14 @@ pub fn decode_fastpfor_v1(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> De
         let n_exc = *buf.get(*pos + 2).ok_or(DecodeError::Truncated)? as usize;
         *pos += 3;
         if b > 64 || maxbits > 64 {
-            return Err(DecodeError::WidthOverflow { width: b.max(maxbits) });
+            return Err(DecodeError::WidthOverflow {
+                width: b.max(maxbits),
+            });
         }
         if maxbits < b || n_exc > len {
-            return Err(DecodeError::CountOverflow { claimed: n_exc as u64 });
+            return Err(DecodeError::CountOverflow {
+                claimed: n_exc as u64,
+            });
         }
         for _ in 0..n_exc {
             let p = *buf.get(*pos).ok_or(DecodeError::Truncated)? as usize;
@@ -322,7 +329,9 @@ pub fn decode_fastpfor_v1(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> De
         }
         let count = read_varint(buf, pos)? as usize;
         if count > n {
-            return Err(DecodeError::CountOverflow { claimed: count as u64 });
+            return Err(DecodeError::CountOverflow {
+                claimed: count as u64,
+            });
         }
         let bytes = (count * w).div_ceil(8);
         let payload = buf.get(*pos..*pos + bytes).ok_or(DecodeError::Truncated)?;
@@ -341,9 +350,9 @@ pub fn decode_fastpfor_v1(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> De
             .get_mut(w as usize)
             .and_then(|q| q.pop_front())
             .ok_or(DecodeError::Truncated)?;
-        let slot = out
-            .get_mut(start + idx)
-            .ok_or(DecodeError::CountOverflow { claimed: idx as u64 })?;
+        let slot = out.get_mut(start + idx).ok_or(DecodeError::CountOverflow {
+            claimed: idx as u64,
+        })?;
         let low = slot.wrapping_sub(min) as u64;
         *slot = for_restore(min, low | (h << b));
     }
@@ -370,8 +379,7 @@ fn simplepfor_choose_b(block: &[u64]) -> u32 {
         if b < b_min {
             break;
         }
-        let cost =
-            block.len() as u64 * b as u64 + exceeding as u64 * ((maxbits - b) as u64 + 8);
+        let cost = block.len() as u64 * b as u64 + exceeding as u64 * ((maxbits - b) as u64 + 8);
         if cost < best_cost {
             best_cost = cost;
             best_b = b;
@@ -439,7 +447,9 @@ pub fn decode_simplepfor_v1(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> 
             return Err(DecodeError::WidthOverflow { width: b });
         }
         if n_exc > len {
-            return Err(DecodeError::CountOverflow { claimed: n_exc as u64 });
+            return Err(DecodeError::CountOverflow {
+                claimed: n_exc as u64,
+            });
         }
         for _ in 0..n_exc {
             let p = *buf.get(*pos).ok_or(DecodeError::Truncated)? as usize;
@@ -468,9 +478,9 @@ pub fn decode_simplepfor_v1(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> 
         });
     }
     for ((idx, b), h) in pending.into_iter().zip(highs) {
-        let slot = out
-            .get_mut(start + idx)
-            .ok_or(DecodeError::CountOverflow { claimed: idx as u64 })?;
+        let slot = out.get_mut(start + idx).ok_or(DecodeError::CountOverflow {
+            claimed: idx as u64,
+        })?;
         let low = slot.wrapping_sub(min) as u64;
         *slot = for_restore(min, low | (h << b));
     }

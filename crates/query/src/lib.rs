@@ -92,7 +92,10 @@ impl<'a> Scanner<'a> {
             let summary = peek_block(stream, &mut pos)?;
             zones.push(Zone { summary, offset });
         }
-        Ok(Self { data: stream, zones })
+        Ok(Self {
+            data: stream,
+            zones,
+        })
     }
 
     /// Number of blocks in the stream.
@@ -201,14 +204,14 @@ impl<'a> Scanner<'a> {
             }
             // Fully contained: bound inside [lo, hi] proves every value is.
             if zmin >= lo && zmax_bound <= hi {
-                count += zone.summary.n;
+                count = count.saturating_add(zone.summary.n);
                 stats.blocks_skipped += 1;
                 continue;
             }
             scratch.clear();
             self.decode_zone(zone, &mut scratch)?;
             stats.blocks_decoded += 1;
-            count += scratch.iter().filter(|&&v| v >= lo && v <= hi).count();
+            count = count.saturating_add(scratch.iter().filter(|&&v| v >= lo && v <= hi).count());
         }
         Ok((count, stats))
     }
@@ -274,9 +277,19 @@ mod tests {
         let values = clustered();
         let stream = stream_of(&values, 1024);
         let scanner = Scanner::open(&stream).unwrap();
-        for (lo, hi) in [(0, 400), (25_000, 45_000), (i64::MIN, i64::MAX), (7, 7), (99, 3)] {
+        for (lo, hi) in [
+            (0, 400),
+            (25_000, 45_000),
+            (i64::MIN, i64::MAX),
+            (7, 7),
+            (99, 3),
+        ] {
             let expected = values.iter().filter(|&&v| v >= lo && v <= hi).count();
-            assert_eq!(scanner.count_in_range(lo, hi).unwrap(), expected, "[{lo}, {hi}]");
+            assert_eq!(
+                scanner.count_in_range(lo, hi).unwrap(),
+                expected,
+                "[{lo}, {hi}]"
+            );
         }
     }
 
@@ -285,7 +298,9 @@ mod tests {
         let values = clustered();
         let stream = stream_of(&values, 1000);
         let scanner = Scanner::open(&stream).unwrap();
-        let (count, stats) = scanner.count_in_range_with_stats(1_000_000, 2_000_000).unwrap();
+        let (count, stats) = scanner
+            .count_in_range_with_stats(1_000_000, 2_000_000)
+            .unwrap();
         assert_eq!(count, 0);
         assert_eq!(stats.blocks_decoded, 0);
         assert_eq!(stats.blocks_skipped, scanner.num_blocks());
@@ -321,7 +336,11 @@ mod tests {
         let scanner = Scanner::open(&stream).unwrap();
         let (max, stats) = scanner.max().unwrap();
         assert_eq!(max, Some(*values.iter().max().unwrap()));
-        assert!(stats.blocks_decoded <= 2, "decoded {}", stats.blocks_decoded);
+        assert!(
+            stats.blocks_decoded <= 2,
+            "decoded {}",
+            stats.blocks_decoded
+        );
     }
 
     #[test]
@@ -376,7 +395,10 @@ mod tests {
             let scanner = Scanner::open(&stream).unwrap();
             assert_eq!(
                 scanner.count_in_range(0, 10_000).unwrap(),
-                values.iter().filter(|&&v| (0..=10_000).contains(&v)).count()
+                values
+                    .iter()
+                    .filter(|&&v| (0..=10_000).contains(&v))
+                    .count()
             );
         }
     }

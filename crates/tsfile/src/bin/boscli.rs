@@ -85,7 +85,11 @@ fn cmd_pack(args: &[String]) -> CliResult {
             (Some(ints), _) => {
                 raw_total += ints.len() * 8;
                 let choice = EncodingChoice::auto_for(&ints);
-                println!("{name}: {} integers, encoding {}", ints.len(), choice.label());
+                println!(
+                    "{name}: {} integers, encoding {}",
+                    ints.len(),
+                    choice.label()
+                );
                 writer
                     .add_int_series(name, &ints, choice)
                     .map_err(|e| e.to_string())?;
@@ -121,8 +125,15 @@ fn cmd_info(args: &[String]) -> CliResult {
     };
     let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     let reader = TsFileReader::open(&data).map_err(|e| e.to_string())?;
-    println!("{path}: {} bytes, {} series", data.len(), reader.series().len());
-    println!("{:<28} {:>10} {:>7} {:<18} {:>10}", "series", "values", "type", "encoding", "offset");
+    println!(
+        "{path}: {} bytes, {} series",
+        data.len(),
+        reader.series().len()
+    );
+    println!(
+        "{:<28} {:>10} {:>7} {:<18} {:>10}",
+        "series", "values", "type", "encoding", "offset"
+    );
     for s in reader.series() {
         println!(
             "{:<28} {:>10} {:>7} {:<18} {:>10}",
@@ -197,7 +208,12 @@ fn cmd_bench(args: &[String]) -> CliResult {
     );
     println!("{:<20} {:>8} {:>12}", "method", "ratio", "bytes");
     for outer in OuterKind::ALL {
-        for packer in [PackerKind::Bp, PackerKind::FastPfor, PackerKind::BosB, PackerKind::BosM] {
+        for packer in [
+            PackerKind::Bp,
+            PackerKind::FastPfor,
+            PackerKind::BosB,
+            PackerKind::BosM,
+        ] {
             let pipeline = Pipeline::new(outer, packer);
             let mut buf = Vec::new();
             pipeline.encode(&ints, &mut buf);

@@ -144,11 +144,20 @@ impl EncodingChoice {
     /// Tries a small portfolio (TS2DIFF/RLE/SPRINTZ × BOS-B) and keeps
     /// whichever encodes `values` smallest — a pragmatic "auto" mode.
     pub fn auto_for(values: &[i64]) -> EncodingChoice {
-        let default = EncodingChoice { outer: OuterKind::Ts2Diff, packer: PackerKind::BosB };
+        let default = EncodingChoice {
+            outer: OuterKind::Ts2Diff,
+            packer: PackerKind::BosB,
+        };
         let candidates = [
             default,
-            EncodingChoice { outer: OuterKind::Rle, packer: PackerKind::BosB },
-            EncodingChoice { outer: OuterKind::Sprintz, packer: PackerKind::BosB },
+            EncodingChoice {
+                outer: OuterKind::Rle,
+                packer: PackerKind::BosB,
+            },
+            EncodingChoice {
+                outer: OuterKind::Sprintz,
+                packer: PackerKind::BosB,
+            },
         ];
         let mut best = default;
         let mut best_size = usize::MAX;
@@ -353,9 +362,9 @@ impl TsFileWriter {
         self.check_name(&time_name)?;
         self.check_name(&value_name)?;
         let mut payload = Vec::new();
-        encodings::ts2diff::Ts2DiffEncoding::second_order(
-            bos::BosCodec::new(bos::SolverKind::BitWidth),
-        )
+        encodings::ts2diff::Ts2DiffEncoding::second_order(bos::BosCodec::new(
+            bos::SolverKind::BitWidth,
+        ))
         .encode(&times, &mut payload);
         // Timestamp chunks reuse the TS2DIFF+BOS-B encoding id; the order
         // byte inside the payload makes the stream self-describing.
@@ -369,7 +378,14 @@ impl TsFileWriter {
         );
         let mut vpayload = Vec::new();
         encoding.pipeline().encode(&values, &mut vpayload);
-        self.add_chunk(&value_name, TYPE_INT, None, encoding, values.len(), &vpayload);
+        self.add_chunk(
+            &value_name,
+            TYPE_INT,
+            None,
+            encoding,
+            values.len(),
+            &vpayload,
+        );
         Ok(())
     }
 
@@ -482,6 +498,7 @@ struct ChunkHeader<'a> {
 impl ChunkHeader<'_> {
     /// File offset one past the chunk's trailing CRC.
     fn end(&self) -> usize {
+        // lint:allow(unchecked-arith-in-decode): both fields bounded by data.len() in parse_chunk_header
         self.payload_start + self.payload_len + 4
     }
 }
@@ -499,8 +516,9 @@ fn parse_chunk_header(data: &[u8], start: usize) -> Result<ChunkHeader<'_>, TsFi
     // bytes actually left so a flipped varint cannot demand gigabytes.
     let remaining = data.len() - pos;
     let nlen = read_len_bounded(data, &mut pos, remaining)?;
-    let name = data.get(pos..pos + nlen).ok_or(corrupt.clone())?;
-    pos += nlen;
+    let name_end = pos.checked_add(nlen).ok_or(corrupt.clone())?;
+    let name = data.get(pos..name_end).ok_or(corrupt.clone())?;
+    pos = name_end;
     let vtype = *data.get(pos).ok_or(corrupt.clone())?;
     pos += 1;
     if vtype != TYPE_INT && vtype != TYPE_FLOAT {
@@ -534,12 +552,18 @@ fn parse_chunk_header(data: &[u8], start: usize) -> Result<ChunkHeader<'_>, TsFi
 /// Extracts the payload slice of a parsed chunk and checks its CRC.
 /// Returns `Corrupt("chunk truncated")` when payload or CRC bytes are
 /// missing, otherwise the payload and whether the CRC matched.
-fn chunk_payload<'d>(data: &'d [u8], header: &ChunkHeader<'_>) -> Result<(&'d [u8], bool), TsFileError> {
+fn chunk_payload<'d>(
+    data: &'d [u8],
+    header: &ChunkHeader<'_>,
+) -> Result<(&'d [u8], bool), TsFileError> {
     let truncated = TsFileError::Corrupt("chunk truncated");
-    let payload = data
-        .get(header.payload_start..header.payload_start + header.payload_len)
+    let crc_pos = header
+        .payload_start
+        .checked_add(header.payload_len)
         .ok_or(truncated.clone())?;
-    let crc_pos = header.payload_start + header.payload_len;
+    let payload = data
+        .get(header.payload_start..crc_pos)
+        .ok_or(truncated.clone())?;
     let stored = data.get(crc_pos..crc_pos + 4).ok_or(truncated.clone())?;
     let stored_crc = match <[u8; 4]>::try_from(stored) {
         Ok(b) => u32::from_le_bytes(b),
@@ -552,7 +576,10 @@ fn chunk_payload<'d>(data: &'d [u8], header: &ChunkHeader<'_>) -> Result<(&'d [u
 fn decode_chunk_values(header: &ChunkHeader<'_>, payload: &[u8]) -> Result<Vec<i64>, TsFileError> {
     let mut out = Vec::with_capacity(header.count);
     let mut ppos = 0;
-    header.encoding.pipeline().decode(payload, &mut ppos, &mut out)?;
+    header
+        .encoding
+        .pipeline()
+        .decode(payload, &mut ppos, &mut out)?;
     if out.len() != header.count {
         return Err(TsFileError::Corrupt("value count mismatch"));
     }
@@ -563,8 +590,9 @@ fn decode_chunk_values(header: &ChunkHeader<'_>, payload: &[u8]) -> Result<Vec<i
 fn skip_reason(e: &TsFileError) -> SkipReason {
     match e {
         TsFileError::ChecksumMismatch { .. } => SkipReason::CrcMismatch,
-        TsFileError::Decode(DecodeError::Truncated)
-        | TsFileError::Corrupt("chunk truncated") => SkipReason::Truncated,
+        TsFileError::Decode(DecodeError::Truncated) | TsFileError::Corrupt("chunk truncated") => {
+            SkipReason::Truncated
+        }
         _ => SkipReason::BadHeader,
     }
 }
@@ -578,6 +606,7 @@ pub struct TsFileReader<'a> {
 impl<'a> TsFileReader<'a> {
     /// Parses the footer index and validates the envelope.
     pub fn open(data: &'a [u8]) -> Result<Self, TsFileError> {
+        // lint:allow(unchecked-arith-in-decode): MAGIC.len() is the constant 8
         let min = MAGIC.len() * 2 + 12;
         if data.len() < min
             || data.get(..8).is_none_or(|m| m != MAGIC)
@@ -625,10 +654,13 @@ impl<'a> TsFileReader<'a> {
         for _ in 0..count {
             let remaining = footer.len() - pos;
             let nlen = read_len_bounded(footer, &mut pos, remaining)?;
-            let name_bytes = footer
-                .get(pos..pos + nlen)
+            let name_end = pos
+                .checked_add(nlen)
                 .ok_or(TsFileError::Corrupt("name bytes"))?;
-            pos += nlen;
+            let name_bytes = footer
+                .get(pos..name_end)
+                .ok_or(TsFileError::Corrupt("name bytes"))?;
+            pos = name_end;
             let name = std::str::from_utf8(name_bytes)
                 .map_err(|_| TsFileError::Corrupt("name utf8"))?
                 .to_string();
@@ -705,6 +737,7 @@ impl<'a> TsFileReader<'a> {
         let info = self.info(name)?;
         let start = info.offset as usize;
         let header = parse_chunk_header(self.data, start)?;
+        // lint:allow(unchecked-arith-in-decode): both fields bounded by data.len() in parse_chunk_header
         let payload = header.payload_start..header.payload_start + header.payload_len;
         Ok((start..header.end(), payload))
     }
@@ -727,7 +760,10 @@ impl<'a> TsFileReader<'a> {
         if let Ok(reader) = Self::open(data) {
             return (
                 reader,
-                SalvageReport { footer_rebuilt: false, skipped: Vec::new() },
+                SalvageReport {
+                    footer_rebuilt: false,
+                    skipped: Vec::new(),
+                },
             );
         }
         if obs::enabled() {
@@ -737,6 +773,7 @@ impl<'a> TsFileReader<'a> {
         // parses to a plausible footer offset, stop the scan there so
         // footer bytes cannot masquerade as chunks; otherwise scan it all.
         let mut scan_end = data.len();
+        // lint:allow(unchecked-arith-in-decode): MAGIC.len() is the constant 8
         if data.len() >= MAGIC.len() * 2 + 12
             && data.get(data.len() - 8..).is_some_and(|m| m == MAGIC)
         {
@@ -829,7 +866,10 @@ impl<'a> TsFileReader<'a> {
         let series = entries.into_iter().map(|(info, _)| info).collect();
         (
             Self { data, series },
-            SalvageReport { footer_rebuilt: true, skipped },
+            SalvageReport {
+                footer_rebuilt: true,
+                skipped,
+            },
         )
     }
 
@@ -845,7 +885,10 @@ impl<'a> TsFileReader<'a> {
             return Err(TsFileError::WrongType(name.to_string()));
         }
         match self.read_chunk(&info) {
-            Ok((_, values)) => Ok(SalvageOutcome { values, skipped: Vec::new() }),
+            Ok((_, values)) => Ok(SalvageOutcome {
+                values,
+                skipped: Vec::new(),
+            }),
             Err(e) => Ok(self.skip_outcome(&info, &e)),
         }
     }
@@ -1004,7 +1047,8 @@ mod tests {
         assert!(TsFileReader::open(b"").is_err());
         assert!(TsFileReader::open(b"not a tsfile at all").is_err());
         let mut w = TsFileWriter::new();
-        w.add_int_series("s", &[1], EncodingChoice::TS2DIFF_BP).unwrap();
+        w.add_int_series("s", &[1], EncodingChoice::TS2DIFF_BP)
+            .unwrap();
         let bytes = w.finish();
         for cut in 0..bytes.len() {
             let _ = TsFileReader::open(&bytes[..cut]); // must not panic
@@ -1031,13 +1075,17 @@ mod tests {
         let tinfo = r.info("engine.rpm/time").unwrap();
         let vinfo = r.info("engine.rpm/value").unwrap();
         let time_bytes = (vinfo.offset - tinfo.offset) as usize;
-        assert!(time_bytes < points.len() / 2, "time column {time_bytes} bytes");
+        assert!(
+            time_bytes < points.len() / 2,
+            "time column {time_bytes} bytes"
+        );
     }
 
     #[test]
     fn timed_series_name_collisions() {
         let mut w = TsFileWriter::new();
-        w.add_int_series("a/time", &[1], EncodingChoice::TS2DIFF_BP).unwrap();
+        w.add_int_series("a/time", &[1], EncodingChoice::TS2DIFF_BP)
+            .unwrap();
         assert!(matches!(
             w.add_timed_series("a", &[(1, 2)], EncodingChoice::TS2DIFF_BOS),
             Err(TsFileError::DuplicateSeries(_))
@@ -1064,15 +1112,20 @@ mod tests {
         }
         let size_with = {
             let mut w = TsFileWriter::new();
-            w.add_int_series("s", &values, EncodingChoice::TS2DIFF_BOS).unwrap();
+            w.add_int_series("s", &values, EncodingChoice::TS2DIFF_BOS)
+                .unwrap();
             w.finish().len()
         };
         let size_without = {
             let mut w = TsFileWriter::new();
-            w.add_int_series("s", &values, EncodingChoice::TS2DIFF_BP).unwrap();
+            w.add_int_series("s", &values, EncodingChoice::TS2DIFF_BP)
+                .unwrap();
             w.finish().len()
         };
-        assert!(size_with * 2 < size_without, "{size_with} vs {size_without}");
+        assert!(
+            size_with * 2 < size_without,
+            "{size_with} vs {size_without}"
+        );
     }
 
     #[test]
@@ -1154,6 +1207,27 @@ mod tests {
     }
 
     #[test]
+    fn salvage_reports_bad_header_when_chunk_tag_is_corrupt() {
+        let (mut bytes, series) = salvage_fixture();
+        let (chunk, _) = {
+            let r = TsFileReader::open(&bytes).unwrap();
+            r.chunk_ranges("s1").unwrap()
+        };
+        // Flip the chunk tag itself: the header no longer parses, which
+        // is neither a CRC mismatch nor a truncation.
+        bytes[chunk.start] ^= 0xFF;
+        let (r, _report) = TsFileReader::open_salvage(&bytes);
+        let bad = r.read_ints_salvage("s1").unwrap();
+        assert!(bad.values.is_empty());
+        assert_eq!(bad.skipped.len(), 1);
+        assert_eq!(bad.skipped[0].reason, SkipReason::BadHeader);
+        for s in [0usize, 2] {
+            let out = r.read_ints_salvage(&format!("s{s}")).unwrap();
+            assert_eq!(out.values, series[s]);
+        }
+    }
+
+    #[test]
     fn salvage_scan_indexes_damaged_chunks() {
         // Footer gone AND one chunk corrupted: the scan must still index
         // the damaged chunk (reporting it) and verify the others.
@@ -1170,8 +1244,10 @@ mod tests {
         bytes.truncate(cut);
         let (r, report) = TsFileReader::open_salvage(&bytes);
         assert!(report.footer_rebuilt);
-        assert!(report.skipped.iter().any(|s| s.series == "s0"
-            && s.reason == SkipReason::CrcMismatch));
+        assert!(report
+            .skipped
+            .iter()
+            .any(|s| s.series == "s0" && s.reason == SkipReason::CrcMismatch));
         let bad = r.read_ints_salvage("s0").unwrap();
         assert!(bad.values.is_empty());
         assert_eq!(bad.skipped[0].reason, SkipReason::CrcMismatch);
@@ -1206,8 +1282,10 @@ mod tests {
     fn salvage_float_series() {
         let mut w = TsFileWriter::new();
         let vals: Vec<f64> = (0..800).map(|i| (i % 113) as f64 / 100.0).collect();
-        w.add_float_series("f", &vals, EncodingChoice::TS2DIFF_BOS).unwrap();
-        w.add_int_series("i", &[7; 64], EncodingChoice::TS2DIFF_BP).unwrap();
+        w.add_float_series("f", &vals, EncodingChoice::TS2DIFF_BOS)
+            .unwrap();
+        w.add_int_series("i", &[7; 64], EncodingChoice::TS2DIFF_BP)
+            .unwrap();
         let mut bytes = w.finish();
         let (_, payload) = {
             let r = TsFileReader::open(&bytes).unwrap();

@@ -18,15 +18,25 @@ fn tmpdir(name: &str) -> PathBuf {
 fn pack_info_unpack_roundtrip() {
     let dir = tmpdir("roundtrip");
     let csv = dir.join("temps.csv");
-    let values: Vec<i64> = (0..5000).map(|i| 200 + (i % 17) + if i % 97 == 0 { 9000 } else { 0 }).collect();
+    let values: Vec<i64> = (0..5000)
+        .map(|i| 200 + (i % 17) + if i % 97 == 0 { 9000 } else { 0 })
+        .collect();
     datasets::csv::save_ints(&csv, &values).unwrap();
 
     let tsf = dir.join("out.tsf");
     let out = boscli()
-        .args(["pack", tsf.to_str().unwrap(), &format!("temps={}", csv.display())])
+        .args([
+            "pack",
+            tsf.to_str().unwrap(),
+            &format!("temps={}", csv.display()),
+        ])
         .output()
         .expect("run pack");
-    assert!(out.status.success(), "pack failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "pack failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = boscli()
         .args(["info", tsf.to_str().unwrap()])
@@ -39,10 +49,19 @@ fn pack_info_unpack_roundtrip() {
 
     let back = dir.join("back.csv");
     let out = boscli()
-        .args(["unpack", tsf.to_str().unwrap(), "temps", back.to_str().unwrap()])
+        .args([
+            "unpack",
+            tsf.to_str().unwrap(),
+            "temps",
+            back.to_str().unwrap(),
+        ])
         .output()
         .expect("run unpack");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(datasets::csv::load_ints(&back).unwrap(), values);
 }
 
@@ -70,10 +89,18 @@ fn float_csv_is_packed_losslessly() {
     datasets::csv::save_floats(&csv, &values).unwrap();
     let tsf = dir.join("f.tsf");
     let out = boscli()
-        .args(["pack", tsf.to_str().unwrap(), &format!("load={}", csv.display())])
+        .args([
+            "pack",
+            tsf.to_str().unwrap(),
+            &format!("load={}", csv.display()),
+        ])
         .output()
         .expect("run pack");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let data = std::fs::read(&tsf).unwrap();
     let reader = tsfile::TsFileReader::open(&data).unwrap();
     assert_eq!(reader.read_floats("load").unwrap(), values);
@@ -82,6 +109,11 @@ fn float_csv_is_packed_losslessly() {
 #[test]
 fn bad_usage_exits_nonzero() {
     assert!(!boscli().output().unwrap().status.success());
-    assert!(!boscli().args(["info", "/nonexistent/file.tsf"]).output().unwrap().status.success());
+    assert!(!boscli()
+        .args(["info", "/nonexistent/file.tsf"])
+        .output()
+        .unwrap()
+        .status
+        .success());
     assert!(!boscli().args(["unpack"]).output().unwrap().status.success());
 }

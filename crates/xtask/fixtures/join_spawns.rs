@@ -1,0 +1,32 @@
+//! Fixture for the `join-all-spawns` negative test.
+
+use std::thread;
+
+pub fn detached_worker() {
+    // Flagged: the handle is dropped, the thread outlives this function.
+    thread::spawn(|| {
+        let _ = 1 + 1;
+    });
+}
+
+pub fn joined_worker() {
+    let handle = thread::spawn(|| 42);
+    let _ = handle.join();
+}
+
+pub fn scoped_workers(values: &[u64]) -> u64 {
+    let mut total = 0;
+    thread::scope(|scope| {
+        let h = scope.spawn(|| values.iter().sum::<u64>());
+        total = h.join().unwrap_or(0);
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawns_in_tests_are_exempt() {
+        std::thread::spawn(|| ());
+    }
+}

@@ -1,0 +1,201 @@
+//! Fixture: a deliberately broken copy of `crates/obs/src/noop.rs` used by
+//! the `obs-feature-parity` negative test. Two mutations relative to the
+//! real no-op module:
+//!   1. `Counter::add` takes `u32` instead of `u64` (signature mismatch).
+//!   2. `reset` is missing entirely (missing twin).
+//! The test asserts the parity rule reports both.
+
+use crate::snapshot::Snapshot;
+
+/// Always `false`: instrumentation is compiled out.
+#[inline]
+pub const fn enabled() -> bool {
+    false
+}
+
+/// Inert without the `enabled` feature.
+#[inline]
+pub fn set_enabled(_on: bool) {}
+
+/// Monotone event tally (no-op build: records nothing).
+#[derive(Debug)]
+pub struct Counter;
+
+impl Counter {
+    /// No-op. MUTATION: takes u32, the real twin takes u64.
+    #[inline]
+    pub fn add(&self, _n: u32) {}
+
+    /// No-op.
+    #[inline]
+    pub fn inc(&self) {}
+
+    /// Always 0.
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Last-write-wins signed level (no-op build: records nothing).
+#[derive(Debug)]
+pub struct Gauge;
+
+impl Gauge {
+    /// No-op.
+    #[inline]
+    pub fn set(&self, _v: i64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn add(&self, _delta: i64) {}
+
+    /// Always 0.
+    pub fn get(&self) -> i64 {
+        0
+    }
+}
+
+/// Power-of-two-bucket histogram (no-op build: records nothing).
+#[derive(Debug)]
+pub struct Histogram;
+
+impl Histogram {
+    /// No-op.
+    #[inline]
+    pub fn record(&self, _v: u64) {}
+
+    /// Always 0.
+    pub fn count(&self) -> u64 {
+        0
+    }
+}
+
+static NOOP_COUNTER: Counter = Counter;
+static NOOP_GAUGE: Gauge = Gauge;
+static NOOP_HISTOGRAM: Histogram = Histogram;
+
+/// Returns the shared no-op counter; nothing is registered.
+#[inline]
+pub fn counter(_name: &str) -> &'static Counter {
+    &NOOP_COUNTER
+}
+
+/// Returns the shared no-op gauge; nothing is registered.
+#[inline]
+pub fn gauge(_name: &str) -> &'static Gauge {
+    &NOOP_GAUGE
+}
+
+/// Returns the shared no-op histogram; nothing is registered.
+#[inline]
+pub fn histogram(_name: &str) -> &'static Histogram {
+    &NOOP_HISTOGRAM
+}
+
+/// Const-constructible counter handle (no-op build: name-only shell).
+#[derive(Debug)]
+pub struct CounterHandle {
+    name: &'static str,
+}
+
+impl CounterHandle {
+    /// Binds `name`; place the result in a `static`.
+    pub const fn new(name: &'static str) -> Self {
+        Self { name }
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn add(&self, _n: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn inc(&self) {}
+
+    /// Always 0.
+    pub fn get(&self) -> u64 {
+        0
+    }
+
+    /// The bound metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Const-constructible gauge handle (no-op build: name-only shell).
+#[derive(Debug)]
+pub struct GaugeHandle {
+    name: &'static str,
+}
+
+impl GaugeHandle {
+    /// Binds `name`; place the result in a `static`.
+    pub const fn new(name: &'static str) -> Self {
+        Self { name }
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn set(&self, _v: i64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn add(&self, _delta: i64) {}
+
+    /// Always 0.
+    pub fn get(&self) -> i64 {
+        0
+    }
+
+    /// The bound metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Const-constructible histogram handle (no-op build: name-only shell).
+#[derive(Debug)]
+pub struct HistogramHandle {
+    name: &'static str,
+}
+
+impl HistogramHandle {
+    /// Binds `name`; place the result in a `static`.
+    pub const fn new(name: &'static str) -> Self {
+        Self { name }
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn record(&self, _v: u64) {}
+
+    /// The bound metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Inert guard returned by [`span`] (no-op build: nothing is timed).
+#[derive(Debug)]
+pub struct SpanGuard {
+    _priv: (),
+}
+
+/// Returns an inert guard; no clock is read.
+#[inline]
+pub fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard { _priv: () }
+}
+
+/// Always the empty snapshot.
+pub fn snapshot() -> Snapshot {
+    Snapshot::default()
+}
+
+// MUTATION: `pub fn reset()` deleted.
+
+/// States that instrumentation is compiled out.
+pub fn report() -> String {
+    "obs: disabled build (enable the `obs` feature for metrics)\n".to_string()
+}

@@ -1,0 +1,28 @@
+//! Fixture for the `unchecked-arith-in-decode` negative test. Lines are
+//! referenced by number from the test — renumber both together.
+
+pub fn bad_sites(buf: &[u8], pos: &mut usize, count: usize) -> usize {
+    let payload_bytes = count * 8; // line 5: flagged `*`
+    let end = *pos + payload_bytes; // line 6: flagged `+`
+    *pos += payload_bytes; // line 7: flagged `+=`
+    let bits = count << 3; // line 8: flagged `<<`
+    let stepped = *pos + 1; // line 9: NOT flagged (+ literal)
+    let product = buf.len() * 2; // line 10: flagged `*` (len hint via len())
+    end + bits + stepped + product
+}
+
+pub fn deref_is_not_multiplication(data: &[u8], pos: usize) -> u8 {
+    // A deref after `if` must not read as binary `*`.
+    if *data.get(pos).unwrap_or(&0) != 0 {
+        return 1;
+    }
+    0
+}
+
+pub fn allowed_site(pos: usize, nlen: usize) -> usize {
+    pos + nlen // lint:allow(unchecked-arith-in-decode): nlen bounded by caller
+}
+
+pub fn no_len_hints(a: usize, b: usize) -> usize {
+    a * b // NOT flagged: no length-ish operand names
+}

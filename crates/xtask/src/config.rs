@@ -36,6 +36,21 @@ pub struct Config {
     /// be unique across the workspace, or two call sites silently share
     /// (and corrupt) one time series.
     pub obs_label_patterns: Vec<String>,
+    /// Decode-path files whose shipping code must not use raw `+`/`*`/`<<`
+    /// on length/offset expressions — checked/saturating helpers only.
+    pub unchecked_arith: Vec<String>,
+    /// Exactly two files: the obs implementation module and its no-op
+    /// twin, whose public APIs must be signature-identical.
+    pub obs_parity_files: Vec<String>,
+    /// Error enums whose every variant must be constructed in shipping
+    /// code and referenced by at least one test.
+    pub error_variant_enums: Vec<String>,
+    /// Directory prefixes whose shipping functions must join every thread
+    /// handle they spawn.
+    pub join_spawn_dirs: Vec<String>,
+    /// Files under `crates/` deliberately *not* opted into `[no-panic]`
+    /// (bench mains, CLI glue). Everything else must be covered.
+    pub uncovered_ok: Vec<String>,
 }
 
 impl Config {
@@ -50,6 +65,11 @@ impl Config {
             "kernel-table-complete",
             "codec-label-unique",
             "obs-label-unique",
+            "unchecked-arith-in-decode",
+            "obs-feature-parity",
+            "error-variant-coverage",
+            "join-all-spawns",
+            "uncovered-ok",
         ]
         .into();
         let mut config = Config::default();
@@ -75,6 +95,8 @@ impl Config {
                 "encode-decode-pairing" => "crates",
                 "codec-label-unique" => "traits",
                 "obs-label-unique" => "patterns",
+                "error-variant-coverage" => "enums",
+                "join-all-spawns" => "dirs",
                 _ => "files",
             };
             if section.is_empty() || key != expected_key {
@@ -109,7 +131,9 @@ impl Config {
                 let v = item
                     .strip_prefix('"')
                     .and_then(|s| s.strip_suffix('"'))
-                    .ok_or_else(|| format!("line {}: expected quoted string, got {item:?}", lno + 1))?;
+                    .ok_or_else(|| {
+                        format!("line {}: expected quoted string, got {item:?}", lno + 1)
+                    })?;
                 values.push(v.to_string());
             }
             match section.as_str() {
@@ -121,7 +145,14 @@ impl Config {
                 "kernel-table-complete" => config.kernel_table_files = values,
                 "codec-label-unique" => config.codec_label_traits = values,
                 "obs-label-unique" => config.obs_label_patterns = values,
-                _ => unreachable!("section validated above"),
+                "unchecked-arith-in-decode" => config.unchecked_arith = values,
+                "obs-feature-parity" => config.obs_parity_files = values,
+                "error-variant-coverage" => config.error_variant_enums = values,
+                "join-all-spawns" => config.join_spawn_dirs = values,
+                "uncovered-ok" => config.uncovered_ok = values,
+                // The section set was validated at the header; an unknown
+                // name here means the two lists drifted apart.
+                other => return Err(format!("line {}: unhandled section [{other}]", lno + 1)),
             }
         }
         Ok(config)
@@ -175,7 +206,10 @@ patterns = ["CounterHandle::new", "obs::span"]
         assert_eq!(c.pairing_crates, vec!["crates/bos"]);
         assert_eq!(c.kernel_table_files, vec!["k/unrolled.rs"]);
         assert_eq!(c.codec_label_traits, vec!["BlockCodec", "Codec"]);
-        assert_eq!(c.obs_label_patterns, vec!["CounterHandle::new", "obs::span"]);
+        assert_eq!(
+            c.obs_label_patterns,
+            vec!["CounterHandle::new", "obs::span"]
+        );
     }
 
     #[test]
@@ -188,6 +222,41 @@ patterns = ["CounterHandle::new", "obs::span"]
     fn obs_label_section_requires_patterns_key() {
         assert!(Config::parse("[obs-label-unique]\nfiles = []").is_err());
         assert!(Config::parse("[obs-label-unique]\npatterns = [\"obs::span\"]").is_ok());
+    }
+
+    #[test]
+    fn new_sections_parse_with_their_keys() {
+        let raw = r#"
+[unchecked-arith-in-decode]
+files = ["crates/bitpack/src/pack.rs"]
+
+[obs-feature-parity]
+files = ["crates/obs/src/imp.rs", "crates/obs/src/noop.rs"]
+
+[error-variant-coverage]
+enums = ["DecodeError", "SkipReason"]
+
+[join-all-spawns]
+dirs = ["crates", "src"]
+
+[uncovered-ok]
+files = ["crates/bench/src/main.rs"]
+"#;
+        let c = Config::parse(raw).expect("parses");
+        assert_eq!(c.unchecked_arith, vec!["crates/bitpack/src/pack.rs"]);
+        assert_eq!(c.obs_parity_files.len(), 2);
+        assert_eq!(c.error_variant_enums, vec!["DecodeError", "SkipReason"]);
+        assert_eq!(c.join_spawn_dirs, vec!["crates", "src"]);
+        assert_eq!(c.uncovered_ok, vec!["crates/bench/src/main.rs"]);
+    }
+
+    #[test]
+    fn new_sections_reject_wrong_keys() {
+        assert!(Config::parse("[error-variant-coverage]\nfiles = []").is_err());
+        assert!(Config::parse("[error-variant-coverage]\nenums = [\"E\"]").is_ok());
+        assert!(Config::parse("[join-all-spawns]\nfiles = []").is_err());
+        assert!(Config::parse("[join-all-spawns]\ndirs = [\"crates\"]").is_ok());
+        assert!(Config::parse("[obs-feature-parity]\npaths = []").is_err());
     }
 
     #[test]

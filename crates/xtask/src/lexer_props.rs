@@ -1,0 +1,159 @@
+//! Property tests for [`crate::lexer`]: totality and span fidelity on
+//! adversarial generated source, using the vendored shrink-free proptest.
+//!
+//! The properties hold for *any* input string, so the generators do not
+//! need to produce valid Rust — they deliberately splice fragments with
+//! empty separators to create pathological adjacencies (`0xFF"s"`,
+//! `r#"a"#'b'`, comment openers inside strings, ...).
+
+use proptest::prelude::*;
+
+use crate::lexer::lex;
+
+/// Source fragments covering every lexer state: identifiers, lifetimes,
+/// char/byte/raw strings, nested comments, numbers, glued punctuation.
+fn fragment() -> impl Strategy<Value = String> {
+    prop::sample::select(
+        [
+            "fn",
+            "mod",
+            "impl",
+            "let",
+            "match",
+            "x",
+            "r#type",
+            "_ab1",
+            "'a",
+            "'static",
+            "'x'",
+            "'\\n'",
+            "'\\''",
+            "b'q'",
+            "\"str with ] and [\"",
+            "\"esc \\\" quote\"",
+            "r\"raw\"",
+            "r#\"nested \" quote\"#",
+            "b\"bytes\"",
+            "br#\"raw bytes\"#",
+            "// line comment",
+            "/* block */",
+            "/* nested /* deeper */ end */",
+            "/// doc with .unwrap()",
+            "0",
+            "1_000u64",
+            "0xFF",
+            "0b101",
+            "1.5e3",
+            "0..64",
+            "+",
+            "-",
+            "*",
+            "/",
+            "<<",
+            ">>",
+            "::",
+            "=>",
+            "->",
+            "==",
+            "#[cfg(test)]",
+            "{",
+            "}",
+            "(",
+            ")",
+            "[",
+            "]",
+            ";",
+            ",",
+            "&",
+            "|",
+            "#",
+            "!",
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect(),
+    )
+}
+
+/// Separators, including the empty string to force fragment adjacency.
+fn separator() -> impl Strategy<Value = String> {
+    prop::sample::select(
+        ["", " ", "  ", "\t", "\n", "\n\n", " \n ", "\r\n"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+    )
+}
+
+/// Recomputes a token's 1-based line/col directly from the source bytes.
+fn expected_position(src: &str, start: usize) -> (u32, u32) {
+    let before = &src.as_bytes()[..start];
+    let line = 1 + before.iter().filter(|&&b| b == b'\n').count();
+    let line_start = before
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |i| i + 1);
+    let col = 1 + (start - line_start);
+    (
+        u32::try_from(line).unwrap_or(u32::MAX),
+        u32::try_from(col).unwrap_or(u32::MAX),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexing_generated_source_preserves_spans(
+        parts in prop::collection::vec((fragment(), separator()), 0..48)
+    ) {
+        let src: String = parts
+            .iter()
+            .flat_map(|(f, s)| [f.as_str(), s.as_str()])
+            .collect();
+        let tokens = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            // Spans are in-bounds, non-empty, ordered, and non-overlapping.
+            prop_assert!(t.start < t.end, "empty span at {}", t.start);
+            prop_assert!(t.end <= src.len(), "span past EOF: {}..{}", t.start, t.end);
+            prop_assert!(t.start >= prev_end, "overlapping spans at {}", t.start);
+            prev_end = t.end;
+            // Spans sit on char boundaries, so text() never slices mid-char.
+            prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            // line:col agrees with a direct recount over the raw bytes.
+            let (line, col) = expected_position(&src, t.start);
+            prop_assert_eq!(t.line, line, "line drift at byte {}", t.start);
+            prop_assert_eq!(t.col, col, "col drift at byte {}", t.start);
+        }
+    }
+
+    #[test]
+    fn lexing_arbitrary_bytes_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Truncated literals, lone quotes, half-open comments: whatever the
+        // bytes decode to, the lexer must terminate with in-bounds spans.
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&src);
+        for t in &tokens {
+            prop_assert!(t.start < t.end && t.end <= src.len());
+            prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        }
+    }
+
+    #[test]
+    fn unterminated_literals_never_lex_past_eof(
+        prefix in prop::sample::select(
+            ["\"abc", "r#\"abc", "'", "b\"x", "/* open /* deeper", "//", "r###\"y"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+        ),
+        tail in prop::collection::vec(any::<u8>(), 0..32)
+    ) {
+        let mut src = prefix;
+        src.push_str(&String::from_utf8_lossy(&tail));
+        for t in lex(&src) {
+            prop_assert!(t.end <= src.len());
+        }
+    }
+}

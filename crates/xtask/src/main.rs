@@ -1,38 +1,28 @@
 //! Workspace task runner. Currently one task: `lint`.
 //!
 //! ```text
-//! cargo run -p xtask -- lint
+//! cargo run -p xtask -- lint [--format text|json]
+//!                            [--baseline FILE] [--write-baseline FILE]
 //! ```
 //!
-//! `lint` is the custom static-analysis gate for this repository. It reads
-//! `lint.toml` at the workspace root and enforces six rules over the
-//! files listed there (see DESIGN.md, "Correctness tooling"):
+//! `lint` is the custom static-analysis gate for this repository. It
+//! lexes every workspace source into a spanned token stream
+//! ([`lexer`]), builds a brace-matched item tree with structural
+//! `#[cfg(test)]` detection ([`tree`]), and enforces the rule catalog
+//! configured in `lint.toml` (see DESIGN.md §7 for the full catalog):
 //!
-//! 1. **no-panic / no-indexing** — decode modules must not contain
-//!    `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!`,
-//!    `unimplemented!`, or unchecked slice/array indexing outside
-//!    `#[cfg(test)]` code. Decoders see untrusted bytes; every failure
-//!    must surface as `Err(DecodeError)`, never as a panic.
-//! 2. **no-narrowing-casts** — width/cost arithmetic must not use bare
-//!    `as` casts to narrower integer types (`as u8/u16/u32/i8/i16/i32`);
-//!    a silently truncated bit-width corrupts the cost model.
-//! 3. **encode-decode-pairing** — every `pub fn encode_*` needs a
-//!    matching `decode_*` (stems unify at `_` boundaries) and a test
-//!    that references both names.
-//! 4. **kernel-table-complete** — the `PACK_LANE` / `UNPACK_LANE`
-//!    width-dispatch tables in `bitpack::unrolled` must be explicit
-//!    65-entry literals naming `pack_w0..pack_w64` / `unpack_w0..
-//!    unpack_w64` in width order, so no width can silently route to the
-//!    wrong kernel.
-//! 5. **codec-label-unique / obs-label-unique** — `name()` labels of the
-//!    block-codec traits and the string-literal metric names passed to the
-//!    `obs` handle constructors / `obs::span` must be pairwise distinct
-//!    across the workspace; bench artifacts and the metrics registry key
-//!    on these strings, so a shared label silently merges two series.
-//! 6. **len-read-bounded** — decode modules must read varint *length*
-//!    fields through `bitpack::zigzag::read_len_bounded`; a bare
-//!    `read_varint(..) as usize` in one statement is a decode bomb (ten
-//!    corrupt bytes can size a multi-gigabyte allocation).
+//! - **no-panic / no-indexing / no-narrowing-casts / len-read-bounded /
+//!   unchecked-arith-in-decode** — per-file decode-path hardening rules.
+//! - **encode-decode-pairing / kernel-table-complete /
+//!   codec-label-unique / obs-label-unique** — cross-file structural
+//!   invariants of the codec and obs layers.
+//! - **obs-feature-parity / error-variant-coverage / join-all-spawns** —
+//!   semantic rules over the item tree (API twin-ness, dead error
+//!   variants, detached threads).
+//! - **lint-config-hygiene / no-panic-coverage** — `lint.toml`
+//!   self-checks: listed files must exist, and every shipping file under
+//!   `crates/` is either in `[no-panic]` or allow-listed in
+//!   `[uncovered-ok]`.
 //!
 //! Opting a single line out requires a written justification:
 //!
@@ -40,12 +30,23 @@
 //! foo[i] // lint:allow(no-indexing): i < len established two lines up
 //! ```
 //!
-//! An empty justification is itself an error. Exit status: 0 clean,
-//! 1 findings, 2 configuration/IO problems.
+//! An empty justification is itself an error.
+//!
+//! `--format json` prints a stable machine-readable report (schema
+//! `bos-xtask-lint/1`) to stdout. `--baseline FILE` suppresses findings
+//! recorded in FILE (for incremental adoption of a new rule);
+//! `--write-baseline FILE` records the current findings and exits 0.
+//! Exit status: 0 clean, 1 findings, 2 configuration/IO problems.
 
 mod config;
+mod lexer;
+#[cfg(test)]
+mod lexer_props;
+mod report;
 mod rules;
+#[cfg(test)]
 mod strip;
+mod tree;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -63,19 +64,64 @@ fn workspace_root() -> PathBuf {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => match LintArgs::parse(args.get(1..).unwrap_or(&[])) {
+            Ok(opts) => lint(&opts),
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                eprintln!("{USAGE}");
+                ExitCode::from(2)
+            }
+        },
         Some(other) => {
             eprintln!("unknown task {other:?}; available tasks: lint");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }
 }
 
-fn lint() -> ExitCode {
+const USAGE: &str = "usage: cargo run -p xtask -- lint [--format text|json] \
+                     [--baseline FILE] [--write-baseline FILE]";
+
+#[derive(Default)]
+struct LintArgs {
+    json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+impl LintArgs {
+    fn parse(args: &[String]) -> Result<LintArgs, String> {
+        let mut opts = LintArgs::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--format" => match it.next().map(String::as_str) {
+                    Some("text") => opts.json = false,
+                    Some("json") => opts.json = true,
+                    other => {
+                        return Err(format!("--format expects `text` or `json`, got {other:?}"))
+                    }
+                },
+                "--baseline" => {
+                    let v = it.next().ok_or("--baseline expects a file path")?;
+                    opts.baseline = Some(PathBuf::from(v));
+                }
+                "--write-baseline" => {
+                    let v = it.next().ok_or("--write-baseline expects a file path")?;
+                    opts.write_baseline = Some(PathBuf::from(v));
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn lint(opts: &LintArgs) -> ExitCode {
     let root = workspace_root();
     let config_path = root.join("lint.toml");
     let raw = match std::fs::read_to_string(&config_path) {
@@ -92,21 +138,58 @@ fn lint() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match rules::run(&root, &config) {
-        Ok(findings) if findings.is_empty() => {
-            println!("xtask lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
-            }
-            println!("xtask lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
-        }
+    let report = match rules::run(&root, &config) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("xtask lint: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+
+    if let Some(path) = &opts.write_baseline {
+        let contents = report::write_baseline(&report.findings);
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "xtask lint: wrote {} finding(s) to baseline {}",
+            report.findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let (findings, suppressed) = match &opts.baseline {
+        Some(path) => {
+            let raw = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let keys = match report::parse_baseline(&raw) {
+                Ok(k) => k,
+                Err(e) => {
+                    eprintln!("baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            report::apply_baseline(report.findings, &keys)
+        }
+        None => (report.findings, 0),
+    };
+
+    let rendered = if opts.json {
+        report::render_json(&findings, &report.coverage, suppressed)
+    } else {
+        report::render_text(&findings, &report.coverage, suppressed)
+    };
+    print!("{rendered}");
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,273 @@
+//! Finding type, text/JSON rendering, and the baseline suppression file.
+//!
+//! The JSON shape is a stable machine-readable contract (schema
+//! `bos-xtask-lint/1`): findings sorted by (file, line, col, rule), a
+//! `coverage` block mirroring the `lint.toml` hygiene report, and a
+//! `suppressed` count when a baseline is in play. The tier-1 recipe
+//! archives it as `lint_report.json`.
+//!
+//! A baseline file records findings to tolerate during incremental
+//! adoption of a new rule: one record per line, `rule<TAB>file<TAB>message`.
+//! Line numbers are deliberately *not* part of the key, so unrelated edits
+//! shifting a file do not invalidate the baseline; any change to the
+//! finding's message (which embeds the offending expression) does.
+
+use std::fmt::Write as _;
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column (0 when the finding has no precise column,
+    /// e.g. configuration hygiene findings).
+    pub col: usize,
+    /// Rule name as listed in `lint.toml` / DESIGN.md.
+    pub rule: &'static str,
+    /// Human-readable explanation; part of the baseline key.
+    pub message: String,
+}
+
+impl Finding {
+    /// The baseline key: everything except the line/col position.
+    fn key(&self) -> String {
+        format!("{}\t{}\t{}", self.rule, self.file, self.message)
+    }
+}
+
+/// Coverage numbers for the `lint.toml` hygiene report.
+#[derive(Debug, Default, Clone)]
+pub struct Coverage {
+    /// `.rs` files under `crates/` eligible for `no-panic` coverage
+    /// (shipping sources; `tests/`, `benches/`, vendored code excluded).
+    pub eligible: usize,
+    /// Of those, files opted into `[no-panic]`.
+    pub covered: usize,
+    /// Files explicitly allow-listed in `[uncovered-ok]`.
+    pub uncovered_ok: usize,
+}
+
+impl Coverage {
+    /// One-line human-readable summary.
+    pub fn render(&self) -> String {
+        let gap = self
+            .eligible
+            .saturating_sub(self.covered)
+            .saturating_sub(self.uncovered_ok);
+        format!(
+            "coverage: {} shipping .rs files under crates/, {} in [no-panic], \
+             {} in [uncovered-ok], {} uncovered",
+            self.eligible, self.covered, self.uncovered_ok, gap
+        )
+    }
+}
+
+/// Renders findings as the classic `file:line:col: [rule] message` lines.
+pub fn render_text(findings: &[Finding], coverage: &Coverage, suppressed: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: [{}] {}",
+            f.file, f.line, f.col, f.rule, f.message
+        );
+    }
+    let _ = writeln!(out, "{}", coverage.render());
+    if suppressed > 0 {
+        let _ = writeln!(out, "baseline: {suppressed} finding(s) suppressed");
+    }
+    match findings.len() {
+        0 => {
+            let _ = writeln!(out, "xtask lint: clean");
+        }
+        n => {
+            let _ = writeln!(out, "xtask lint: {n} finding(s)");
+        }
+    }
+    out
+}
+
+/// Renders the stable JSON report.
+pub fn render_json(findings: &[Finding], coverage: &Coverage, suppressed: usize) -> String {
+    let mut out = String::from("{\n  \"schema\": \"bos-xtask-lint/1\",\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}}}",
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(f.rule),
+            json_str(&f.message)
+        );
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    let _ = write!(
+        out,
+        "],\n  \"total\": {},\n  \"suppressed\": {},\n  \"coverage\": {{\"eligible\": {}, \"no_panic\": {}, \"uncovered_ok\": {}}}\n}}\n",
+        findings.len(),
+        suppressed,
+        coverage.eligible,
+        coverage.covered,
+        coverage.uncovered_ok
+    );
+    out
+}
+
+/// Minimal JSON string escaping (std-only, findings are ASCII-ish).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serializes findings into baseline file contents.
+pub fn write_baseline(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# xtask lint baseline v1 — one tolerated finding per line:\n\
+         # rule<TAB>file<TAB>message. Delete lines as the findings are fixed.\n",
+    );
+    for f in findings {
+        let _ = writeln!(out, "{}", f.key());
+    }
+    out
+}
+
+/// Parses a baseline file; returns the set of tolerated keys.
+pub fn parse_baseline(raw: &str) -> Result<std::collections::BTreeSet<String>, String> {
+    let mut keys = std::collections::BTreeSet::new();
+    for (lno, line) in raw.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.split('\t').count() != 3 {
+            return Err(format!(
+                "baseline line {}: expected `rule<TAB>file<TAB>message`",
+                lno + 1
+            ));
+        }
+        keys.insert(line.to_string());
+    }
+    Ok(keys)
+}
+
+/// Splits findings into (kept, suppressed-count) under a baseline.
+pub fn apply_baseline(
+    findings: Vec<Finding>,
+    baseline: &std::collections::BTreeSet<String>,
+) -> (Vec<Finding>, usize) {
+    let before = findings.len();
+    let kept: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| !baseline.contains(&f.key()))
+        .collect();
+    let suppressed = before - kept.len();
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe() -> Vec<Finding> {
+        vec![
+            Finding {
+                file: "a.rs".into(),
+                line: 3,
+                col: 7,
+                rule: "no-panic",
+                message: "forbidden: `.unwrap()`".into(),
+            },
+            Finding {
+                file: "b.rs".into(),
+                line: 1,
+                col: 1,
+                rule: "no-indexing",
+                message: "unchecked indexing".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn text_render_includes_positions_and_summary() {
+        let t = render_text(&probe(), &Coverage::default(), 0);
+        assert!(t.contains("a.rs:3:7: [no-panic]"));
+        assert!(t.contains("2 finding(s)"));
+        let clean = render_text(&[], &Coverage::default(), 2);
+        assert!(clean.contains("clean"));
+        assert!(clean.contains("2 finding(s) suppressed"));
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut f = probe();
+        f[0].message = "weird \"quote\"\nand\ttab".into();
+        let j = render_json(
+            &f,
+            &Coverage {
+                eligible: 10,
+                covered: 6,
+                uncovered_ok: 4,
+            },
+            1,
+        );
+        assert!(j.contains("\"schema\": \"bos-xtask-lint/1\""));
+        assert!(j.contains("\\\"quote\\\"\\nand\\ttab"));
+        assert!(j.contains("\"total\": 2"));
+        assert!(j.contains("\"suppressed\": 1"));
+        assert!(j.contains("\"eligible\": 10"));
+        // Empty report still well-formed.
+        let empty = render_json(&[], &Coverage::default(), 0);
+        assert!(empty.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn baseline_roundtrip_suppresses_everything() {
+        let findings = probe();
+        let file = write_baseline(&findings);
+        let keys = parse_baseline(&file).expect("parses");
+        assert_eq!(keys.len(), 2);
+        let (kept, suppressed) = apply_baseline(findings, &keys);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 2);
+    }
+
+    #[test]
+    fn baseline_survives_line_shifts_but_not_message_edits() {
+        let mut findings = probe();
+        let keys = parse_baseline(&write_baseline(&findings)).expect("parses");
+        findings[0].line = 99; // file shifted underneath the baseline
+        let (kept, _) = apply_baseline(findings.clone(), &keys);
+        assert!(kept.is_empty());
+        findings[0].message = "different".into();
+        let (kept, suppressed) = apply_baseline(findings, &keys);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse_baseline("just-one-field\n").is_err());
+        assert!(parse_baseline("# comment\n\n").expect("ok").is_empty());
+    }
+}

@@ -1,224 +1,240 @@
-//! The lint rules and the `lint:allow` opt-out machinery.
+//! The lint rules, built on the spanned token stream from
+//! [`crate::lexer`] and the item tree from [`crate::tree`].
 //!
-//! All rules operate on [`crate::strip`]-preprocessed source: comments,
-//! strings, and char literals are blanked and the trailing `#[cfg(test)]`
-//! region is exempt, so findings can only come from shipping code.
+//! Every rule sees real tokens with exact `line:col` spans, and test code
+//! is excluded *structurally*: any item carrying `#[cfg(test)]` is masked
+//! out wherever it sits in the file (the old line-oriented scanner only
+//! exempted a trailing test module). Per-line opt-outs use
+//! `// lint:allow(rule): justification` on the finding's line; an empty
+//! justification is itself a finding.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::config::Config;
-use crate::strip;
+use crate::lexer::{self, Token, TokenKind};
+use crate::report::{Coverage, Finding};
+use crate::tree::{self, Item, ItemKind};
 
-/// One diagnostic, printed as `{file}:{line}: [{rule}] {message}`.
-#[derive(Debug)]
-pub struct Finding {
-    pub file: String,
-    pub line: usize,
-    pub rule: &'static str,
-    pub message: String,
+/// Everything one lint run produces.
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub coverage: Coverage,
 }
 
-/// Runs every configured rule; findings are sorted by file and line.
-pub fn run(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
+/// A lexed and item-parsed source file, shared by every rule reading it.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    pub src: String,
+    pub tokens: Vec<Token>,
+    pub items: Vec<Item>,
+    /// Per-token: `true` when the token is shipping (non-`#[cfg(test)]`)
+    /// code.
+    pub shipping: Vec<bool>,
+    /// True when the file lives under a `tests/` or `benches/` directory —
+    /// the whole file is test corpus, whatever its attributes say.
+    pub is_test_file: bool,
+    /// Byte span of each 1-based line (for `lint:allow` lookups).
+    line_spans: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    pub fn from_source(rel: &str, src: String) -> SourceFile {
+        let tokens = lexer::lex(&src);
+        let items = tree::parse(&src, &tokens);
+        let shipping = tree::shipping_mask(&tokens, &items);
+        let mut line_spans = Vec::new();
+        let mut start = 0usize;
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_spans.push((start, i));
+                start = i + 1;
+            }
+        }
+        line_spans.push((start, src.len()));
+        let is_test_file = rel.split('/').any(|c| c == "tests" || c == "benches");
+        SourceFile {
+            rel: rel.to_string(),
+            src,
+            tokens,
+            items,
+            shipping,
+            is_test_file,
+            line_spans,
+        }
+    }
+
+    fn tok(&self, i: usize) -> Option<&Token> {
+        self.tokens.get(i)
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.tok(i).map_or("", |t| t.text(&self.src))
+    }
+
+    fn is_shipping(&self, i: usize) -> bool {
+        !self.is_test_file && self.shipping.get(i).copied().unwrap_or(false)
+    }
+
+    fn is_punct(&self, i: usize, c: u8) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn is_ident(&self, i: usize, ident: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.is_ident(&self.src, ident))
+    }
+
+    /// True when tokens `i` and `i + 1` are the glued two-byte operator
+    /// `ab` (e.g. `::`, `<<`, `=>`).
+    fn glued_pair(&self, i: usize, a: u8, b: u8) -> bool {
+        match (self.tok(i), self.tok(i + 1)) {
+            (Some(x), Some(y)) => x.is_punct(a) && y.is_punct(b) && x.glued(y),
+            _ => false,
+        }
+    }
+
+    fn line_text(&self, line: usize) -> &str {
+        self.line_spans
+            .get(line.saturating_sub(1))
+            .and_then(|&(s, e)| self.src.get(s..e))
+            .unwrap_or("")
+    }
+
+    fn position(&self, tok_idx: usize) -> (usize, usize) {
+        self.tok(tok_idx)
+            .map_or((1, 0), |t| (t.line as usize, t.col as usize))
+    }
+}
+
+/// The workspace's Rust sources, loaded once and shared by all rules.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    by_rel: BTreeMap<String, usize>,
+}
+
+impl Workspace {
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut paths = Vec::new();
+        for dir in ["crates", "src", "tests", "examples"] {
+            collect_rs(&root.join(dir), &mut paths).map_err(|e| format!("walking {dir}/: {e}"))?;
+        }
+        // Vendored crates are third-party; `fixtures/` holds deliberately
+        // bad lint-test snippets that must never count as workspace code.
+        paths.retain(|p| {
+            !p.components()
+                .any(|c| c.as_os_str() == "vendor" || c.as_os_str() == "fixtures")
+        });
+        let mut files = Vec::new();
+        for path in paths {
+            let src = fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            files.push(SourceFile::from_source(&rel, src));
+        }
+        Ok(Workspace::from_files(files))
+    }
+
+    /// Builds a workspace from in-memory files (used by tests).
+    pub fn from_files(mut files: Vec<SourceFile>) -> Workspace {
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        let by_rel = files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.rel.clone(), i))
+            .collect();
+        Workspace { files, by_rel }
+    }
+
+    pub fn get(&self, rel: &str) -> Option<&SourceFile> {
+        self.by_rel.get(rel).and_then(|&i| self.files.get(i))
+    }
+}
+
+/// Runs every configured rule; findings are sorted by file and position.
+pub fn run(root: &Path, config: &Config) -> Result<Report, String> {
+    let ws = Workspace::load(root)?;
     let mut findings = Vec::new();
+    let coverage = hygiene(root, config, &ws, &mut findings);
+
+    for (rel, rule, scan) in per_file_rules(config) {
+        if let Some(f) = ws.get(&rel) {
+            push_hits(f, rule, scan(f), &mut findings);
+        }
+    }
+    pairing(root, &ws, config, &mut findings)?;
+    kernel_tables(&ws, config, &mut findings);
+    codec_labels(&ws, config, &mut findings);
+    obs_labels(&ws, config, &mut findings);
+    obs_parity(&ws, config, &mut findings);
+    error_variants(&ws, config, &mut findings);
+    join_all_spawns(&ws, config, &mut findings);
+
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(Report { findings, coverage })
+}
+
+type ScanFn = fn(&SourceFile) -> Vec<(usize, String)>;
+
+/// The configured (file, rule, scanner) triples for the per-file rules.
+fn per_file_rules(config: &Config) -> Vec<(String, &'static str, ScanFn)> {
+    let mut out: Vec<(String, &'static str, ScanFn)> = Vec::new();
     for rel in &config.no_panic {
-        scan_file(root, rel, Rule::Panic, &mut findings)?;
+        out.push((rel.clone(), "no-panic", panic_hits));
     }
     for rel in &config.no_indexing {
-        scan_file(root, rel, Rule::Indexing, &mut findings)?;
+        out.push((rel.clone(), "no-indexing", indexing_hits));
     }
     for rel in &config.no_narrowing_casts {
-        scan_file(root, rel, Rule::NarrowingCasts, &mut findings)?;
+        out.push((rel.clone(), "no-narrowing-casts", narrowing_hits));
     }
     for rel in &config.len_read_bounded {
-        scan_file(root, rel, Rule::LenReadBounded, &mut findings)?;
+        out.push((rel.clone(), "len-read-bounded", len_read_hits));
     }
-    pairing(root, config, &mut findings)?;
-    kernel_tables(root, config, &mut findings)?;
-    codec_labels(root, config, &mut findings)?;
-    obs_labels(root, config, &mut findings)?;
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(findings)
-}
-
-#[derive(Clone, Copy)]
-enum Rule {
-    Panic,
-    Indexing,
-    NarrowingCasts,
-    LenReadBounded,
-}
-
-impl Rule {
-    fn name(self) -> &'static str {
-        match self {
-            Rule::Panic => "no-panic",
-            Rule::Indexing => "no-indexing",
-            Rule::NarrowingCasts => "no-narrowing-casts",
-            Rule::LenReadBounded => "len-read-bounded",
-        }
+    for rel in &config.unchecked_arith {
+        out.push((
+            rel.clone(),
+            "unchecked-arith-in-decode",
+            unchecked_arith_hits,
+        ));
     }
+    out
 }
 
-/// Tokens forbidden by `no-panic`. `.unwrap()` is matched with its parens
-/// so `unwrap_or` / `unwrap_or_else` stay legal; macros get a word-boundary
-/// check so `debug_assert!` never trips on nothing.
-const PANIC_TOKENS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!",
-    "unreachable!",
-    "todo!",
-    "unimplemented!",
-];
-
-const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
-
-fn is_ident(c: u8) -> bool {
-    c.is_ascii_alphanumeric() || c == b'_'
-}
-
-fn scan_file(
-    root: &Path,
-    rel: &str,
-    rule: Rule,
+/// Converts raw rule hits into findings, applying the `lint:allow`
+/// opt-out on each hit's line.
+fn push_hits(
+    f: &SourceFile,
+    rule: &'static str,
+    hits: Vec<(usize, String)>,
     findings: &mut Vec<Finding>,
-) -> Result<(), String> {
-    let path = root.join(rel);
-    let src = fs::read_to_string(&path)
-        .map_err(|e| format!("lint.toml lists {rel}, but it cannot be read: {e}"))?;
-    let stripped = strip::strip(&src);
-    let end = strip::test_region_start(&stripped).unwrap_or(stripped.len());
-    let region = &stripped.as_bytes()[..end];
-    let src_lines: Vec<&str> = src.lines().collect();
-
-    let mut hits: Vec<(usize, String)> = Vec::new(); // (byte offset, message)
-    match rule {
-        Rule::Panic => {
-            for token in PANIC_TOKENS {
-                let tb = token.as_bytes();
-                let mut from = 0usize;
-                while let Some(pos) = find_from(region, tb, from) {
-                    from = pos + 1;
-                    // Word boundary on the left for macro names.
-                    if !token.starts_with('.') && pos > 0 && is_ident(region[pos - 1]) {
-                        continue;
-                    }
-                    hits.push((pos, format!("forbidden in decode modules: `{token}`")));
-                }
-            }
-        }
-        Rule::Indexing => {
-            for (pos, &c) in region.iter().enumerate() {
-                if c != b'[' || pos == 0 {
-                    continue;
-                }
-                let prev = region[pos - 1];
-                if is_ident(prev) || prev == b')' || prev == b']' {
-                    hits.push((
-                        pos,
-                        "unchecked indexing in a decode module; use `.get(..)` and map \
-                         `None` to `DecodeError`"
-                            .to_string(),
-                    ));
-                }
-            }
-        }
-        Rule::LenReadBounded => {
-            // A `read_varint` call whose statement casts the result with
-            // `as usize` is (almost always) a length about to size an
-            // allocation from untrusted bytes. The statement is the span
-            // from the call token to the next `;` — `read_varint_i64` is
-            // excluded by the right word boundary, and `read_len_bounded`
-            // itself reads the raw varint in a statement with no cast.
-            let mut from = 0usize;
-            while let Some(pos) = find_from(region, b"read_varint", from) {
-                from = pos + 1;
-                if pos > 0 && is_ident(region[pos - 1]) {
-                    continue;
-                }
-                if region
-                    .get(pos + "read_varint".len())
-                    .is_some_and(|&c| is_ident(c))
-                {
-                    continue;
-                }
-                let stmt_end = find_from(region, b";", pos).unwrap_or(region.len());
-                if find_from(&region[..stmt_end], b"as usize", pos).is_some() {
-                    hits.push((
-                        pos,
-                        "`read_varint(..) as usize` used as a length; read it via \
-                         `read_len_bounded` so a corrupt varint cannot size an \
-                         allocation"
-                            .to_string(),
-                    ));
-                }
-            }
-        }
-        Rule::NarrowingCasts => {
-            let mut from = 0usize;
-            while let Some(pos) = find_from(region, b"as", from) {
-                from = pos + 2;
-                let left_ok = pos == 0 || !is_ident(region[pos - 1]);
-                let right = &region[pos + 2..];
-                if !left_ok || right.first() != Some(&b' ') {
-                    continue;
-                }
-                let word_start = right.iter().position(|&c| c != b' ').unwrap_or(0);
-                let word = &right[word_start..];
-                for target in NARROW_TARGETS {
-                    let tb = target.as_bytes();
-                    if word.starts_with(tb)
-                        && word.get(tb.len()).is_none_or(|&c| !is_ident(c))
-                    {
-                        hits.push((
-                            pos,
-                            format!(
-                                "bare narrowing cast `as {target}`; use `try_from` or a \
-                                 checked helper so width arithmetic cannot truncate"
-                            ),
-                        ));
-                    }
-                }
-            }
-        }
-    }
-
-    for (pos, message) in hits {
-        let line = line_of(region, pos);
-        match allow_on_line(&src_lines, line, rule.name()) {
+) {
+    for (tok_idx, message) in hits {
+        let (line, col) = f.position(tok_idx);
+        match allow_on_line(f, line, rule) {
             Allow::Yes => {}
             Allow::EmptyJustification => findings.push(Finding {
-                file: rel.to_string(),
+                file: f.rel.clone(),
                 line,
-                rule: rule.name(),
+                col,
+                rule,
                 message: "lint:allow requires a non-empty justification".to_string(),
             }),
             Allow::No => findings.push(Finding {
-                file: rel.to_string(),
+                file: f.rel.clone(),
                 line,
-                rule: rule.name(),
+                col,
+                rule,
                 message,
             }),
         }
     }
-    Ok(())
-}
-
-fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
-    if from >= haystack.len() || needle.is_empty() {
-        return None;
-    }
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
-}
-
-fn line_of(region: &[u8], pos: usize) -> usize {
-    1 + region.iter().take(pos).filter(|&&c| c == b'\n').count()
 }
 
 enum Allow {
@@ -227,26 +243,452 @@ enum Allow {
     EmptyJustification,
 }
 
-/// Checks the *original* source line for `// lint:allow(rule): reason`.
-fn allow_on_line(src_lines: &[&str], line: usize, rule: &str) -> Allow {
-    let Some(text) = src_lines.get(line.saturating_sub(1)) else {
-        return Allow::No;
-    };
+/// Checks for `// lint:allow(rule): reason` — trailing on the *original*
+/// source line of the finding, or as a standalone comment on the line
+/// directly above (rustfmt wraps long trailing comments onto their own
+/// line, and the opt-out must survive reformatting).
+fn allow_on_line(f: &SourceFile, line: usize, rule: &str) -> Allow {
+    match allow_in_text(f.line_text(line), rule) {
+        Allow::No => {}
+        verdict => return verdict,
+    }
+    if line >= 2 {
+        let prev = f.line_text(line - 1);
+        if prev.trim_start().starts_with("//") {
+            return allow_in_text(prev, rule);
+        }
+    }
+    Allow::No
+}
+
+fn allow_in_text(text: &str, rule: &str) -> Allow {
     let Some(idx) = text.find("lint:allow(") else {
         return Allow::No;
     };
-    let rest = &text[idx + "lint:allow(".len()..];
+    let rest = text.get(idx + "lint:allow(".len()..).unwrap_or("");
     let Some(close) = rest.find(')') else {
         return Allow::No;
     };
-    if rest[..close].trim() != rule {
+    if rest.get(..close).unwrap_or("").trim() != rule {
         return Allow::No;
     }
-    let after = rest[close + 1..].trim_start();
+    let after = rest.get(close + 1..).unwrap_or("").trim_start();
     match after.strip_prefix(':') {
         Some(justification) if !justification.trim().is_empty() => Allow::Yes,
         _ => Allow::EmptyJustification,
     }
+}
+
+// ---------------------------------------------------------------------------
+// lint.toml hygiene + no-panic coverage
+// ---------------------------------------------------------------------------
+
+/// Self-check on `lint.toml`: every listed file must exist, and every
+/// shipping `.rs` file under `crates/` must be either in `[no-panic]` or
+/// explicitly allow-listed in `[uncovered-ok]` (which must stay minimal:
+/// stale or redundant entries are findings too).
+fn hygiene(root: &Path, config: &Config, ws: &Workspace, findings: &mut Vec<Finding>) -> Coverage {
+    let lists: &[(&str, &Vec<String>)] = &[
+        ("no-panic", &config.no_panic),
+        ("no-indexing", &config.no_indexing),
+        ("no-narrowing-casts", &config.no_narrowing_casts),
+        ("len-read-bounded", &config.len_read_bounded),
+        ("kernel-table-complete", &config.kernel_table_files),
+        ("unchecked-arith-in-decode", &config.unchecked_arith),
+        ("obs-feature-parity", &config.obs_parity_files),
+        ("uncovered-ok", &config.uncovered_ok),
+    ];
+    for (section, list) in lists {
+        for rel in list.iter() {
+            if !root.join(rel).is_file() {
+                findings.push(Finding {
+                    file: "lint.toml".to_string(),
+                    line: 1,
+                    col: 0,
+                    rule: "lint-config-hygiene",
+                    message: format!("[{section}] lists {rel}, which does not exist"),
+                });
+            }
+        }
+    }
+
+    let no_panic: BTreeSet<&str> = config.no_panic.iter().map(String::as_str).collect();
+    let uncovered_ok: BTreeSet<&str> = config.uncovered_ok.iter().map(String::as_str).collect();
+    for rel in &uncovered_ok {
+        if no_panic.contains(rel) {
+            findings.push(Finding {
+                file: "lint.toml".to_string(),
+                line: 1,
+                col: 0,
+                rule: "lint-config-hygiene",
+                message: format!(
+                    "[uncovered-ok] lists {rel}, which is already covered by [no-panic]; \
+                     remove the stale entry"
+                ),
+            });
+        }
+    }
+
+    let mut coverage = Coverage::default();
+    for f in &ws.files {
+        if !f.rel.starts_with("crates/") || f.is_test_file {
+            continue;
+        }
+        coverage.eligible += 1;
+        if no_panic.contains(f.rel.as_str()) {
+            coverage.covered += 1;
+        } else if uncovered_ok.contains(f.rel.as_str()) {
+            coverage.uncovered_ok += 1;
+        } else {
+            findings.push(Finding {
+                file: f.rel.clone(),
+                line: 1,
+                col: 0,
+                rule: "no-panic-coverage",
+                message: "shipping file is not opted into [no-panic]; add it, or \
+                          allow-list it under [uncovered-ok] in lint.toml"
+                    .to_string(),
+            });
+        }
+    }
+    coverage
+}
+
+// ---------------------------------------------------------------------------
+// Per-file token rules
+// ---------------------------------------------------------------------------
+
+/// `no-panic`: `.unwrap()`, `.expect(`, and the panic-family macros are
+/// forbidden in shipping code of opted-in files.
+pub(crate) fn panic_hits(f: &SourceFile) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    for i in 0..f.tokens.len() {
+        if !f.is_shipping(i) || f.tok(i).map(|t| t.kind) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let rendered = match f.text(i) {
+            "unwrap"
+                if i > 0
+                    && f.is_punct(i - 1, b'.')
+                    && f.is_punct(i + 1, b'(')
+                    && f.is_punct(i + 2, b')') =>
+            {
+                ".unwrap()"
+            }
+            "expect" if i > 0 && f.is_punct(i - 1, b'.') && f.is_punct(i + 1, b'(') => ".expect(",
+            "panic" if f.is_punct(i + 1, b'!') => "panic!",
+            "unreachable" if f.is_punct(i + 1, b'!') => "unreachable!",
+            "todo" if f.is_punct(i + 1, b'!') => "todo!",
+            "unimplemented" if f.is_punct(i + 1, b'!') => "unimplemented!",
+            _ => continue,
+        };
+        hits.push((i, format!("forbidden in decode modules: `{rendered}`")));
+    }
+    hits
+}
+
+/// `no-indexing`: a `[` glued to an identifier, `)`, or `]` is a subscript
+/// (array types `[u8; 4]`, attributes `#[...]`, and `vec![...]` are not).
+pub(crate) fn indexing_hits(f: &SourceFile) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    for i in 1..f.tokens.len() {
+        if !f.is_shipping(i) || !f.is_punct(i, b'[') {
+            continue;
+        }
+        let (Some(prev), Some(cur)) = (f.tok(i - 1), f.tok(i)) else {
+            continue;
+        };
+        let indexable = prev.kind == TokenKind::Ident || prev.is_punct(b')') || prev.is_punct(b']');
+        if indexable && prev.glued(cur) {
+            hits.push((
+                i,
+                "unchecked indexing in a decode module; use `.get(..)` and map `None` \
+                 to `DecodeError`"
+                    .to_string(),
+            ));
+        }
+    }
+    hits
+}
+
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// `no-narrowing-casts`: a bare `as u8`-family cast can silently truncate.
+pub(crate) fn narrowing_hits(f: &SourceFile) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    for i in 0..f.tokens.len() {
+        if !f.is_shipping(i) || !f.is_ident(i, "as") {
+            continue;
+        }
+        let target = f.text(i + 1);
+        if f.tok(i + 1).map(|t| t.kind) == Some(TokenKind::Ident)
+            && NARROW_TARGETS.contains(&target)
+        {
+            hits.push((
+                i,
+                format!(
+                    "bare narrowing cast `as {target}`; use `try_from` or a checked \
+                     helper so width arithmetic cannot truncate"
+                ),
+            ));
+        }
+    }
+    hits
+}
+
+/// `len-read-bounded`: a `read_varint` whose statement casts the result
+/// with `as usize` is a length about to size an allocation from untrusted
+/// bytes; it must go through `read_len_bounded`.
+pub(crate) fn len_read_hits(f: &SourceFile) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    for i in 0..f.tokens.len() {
+        if !f.is_shipping(i) || !f.is_ident(i, "read_varint") {
+            continue;
+        }
+        let mut j = i;
+        while j < f.tokens.len() && !f.is_punct(j, b';') {
+            if f.is_ident(j, "as") && f.is_ident(j + 1, "usize") {
+                hits.push((
+                    i,
+                    "`read_varint(..) as usize` used as a length; read it via \
+                     `read_len_bounded` so a corrupt varint cannot size an allocation"
+                        .to_string(),
+                ));
+                break;
+            }
+            j += 1;
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-arith-in-decode
+// ---------------------------------------------------------------------------
+
+/// Identifier fragments that mark a value as a length/offset — the values
+/// decode paths compute from untrusted bytes.
+const LEN_HINTS: &[&str] = &[
+    "len", "size", "count", "bytes", "offset", "pos", "idx", "limit",
+];
+
+fn has_len_hint(idents: &[String]) -> bool {
+    idents.iter().any(|id| {
+        let lower = id.to_ascii_lowercase();
+        LEN_HINTS.iter().any(|h| lower.contains(h))
+    })
+}
+
+/// One operand of a binary op: the identifiers on its dotted/qualified
+/// path, and whether it is a bare numeric literal.
+#[derive(Default)]
+struct Operand {
+    idents: Vec<String>,
+    is_literal: bool,
+}
+
+/// `unchecked-arith-in-decode`: a raw `+`, `*`, or `<<` (including the
+/// compound-assign forms) whose operands mention a length/offset-ish
+/// identifier must be a `checked_*`/`saturating_*` call instead — on
+/// corrupt input these expressions overflow before any bounds check runs.
+/// `+` with a numeric-literal operand is exempt (stepping a cursor by a
+/// constant is bounded by the existing slice length); `*` and `<<` are
+/// not, because `count * 8` is exactly the decode-bomb shape.
+pub(crate) fn unchecked_arith_hits(f: &SourceFile) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    for i in 0..f.tokens.len() {
+        if !f.is_shipping(i) {
+            continue;
+        }
+        let (op, rhs_from) = if f.is_punct(i, b'+') && !f.glued_pair(i, b'+', b'+') {
+            ("+", i + 1)
+        } else if f.is_punct(i, b'*') {
+            ("*", i + 1)
+        } else if f.glued_pair(i, b'<', b'<') && !(i > 0 && f.glued_pair(i - 1, b'<', b'<')) {
+            ("<<", i + 2)
+        } else {
+            continue;
+        };
+        // Binary only when a value ends right before the operator —
+        // otherwise it is unary (deref `*x`, `&*`) or type syntax.
+        if i == 0 || !token_ends_value(f, i - 1) {
+            continue;
+        }
+        let left = operand_left(f, i);
+        // Compound assignment: `+=`, `*=`, `<<=`.
+        let rhs_from = if f.is_punct(rhs_from, b'=') && !f.glued_pair(rhs_from, b'=', b'=') {
+            rhs_from + 1
+        } else {
+            rhs_from
+        };
+        let right = operand_right(f, rhs_from);
+        if op == "+" && (left.is_literal || right.is_literal) {
+            continue;
+        }
+        let mut idents = left.idents;
+        idents.extend(right.idents);
+        if !has_len_hint(&idents) {
+            continue;
+        }
+        idents.sort();
+        idents.dedup();
+        hits.push((
+            i,
+            format!(
+                "unchecked `{op}` on length/offset expression (operands mention {}); \
+                 use checked_*/saturating_* arithmetic so corrupt input cannot \
+                 overflow, or lint:allow with a bound argument",
+                idents.join(", ")
+            ),
+        ));
+    }
+    hits
+}
+
+/// Keywords that lex as `Ident` but never end a value expression — after
+/// `if` or `return`, a `*` is a deref and a `&` a borrow, not arithmetic.
+const VALUE_BREAK_KEYWORDS: [&str; 16] = [
+    "if", "else", "match", "return", "while", "for", "loop", "in", "let", "mut", "ref", "move",
+    "break", "continue", "unsafe", "as",
+];
+
+/// True when token `i` can end a value expression (so a following `+`,
+/// `*`, or `<<` is a binary operator, not a prefix or type position).
+fn token_ends_value(f: &SourceFile, i: usize) -> bool {
+    match f.tok(i) {
+        Some(t) => match t.kind {
+            TokenKind::Ident => {
+                let text = t.text(&f.src);
+                !VALUE_BREAK_KEYWORDS.contains(&text)
+            }
+            TokenKind::NumLit => true,
+            _ => t.is_punct(b')') || t.is_punct(b']'),
+        },
+        None => false,
+    }
+}
+
+/// Walks left from the operator collecting the operand's identifier path
+/// (`self.header.count` → [self, header, count]; `buf.len()` → the call
+/// name and its receiver chain).
+fn operand_left(f: &SourceFile, op: usize) -> Operand {
+    let mut out = Operand::default();
+    let mut j = op.checked_sub(1);
+    let mut steps = 0usize;
+    while let Some(k) = j {
+        steps += 1;
+        if steps > 32 {
+            break;
+        }
+        let Some(t) = f.tok(k) else { break };
+        if t.is_punct(b')') || t.is_punct(b']') {
+            // Skip the group backwards; collect idents inside (call args /
+            // index expressions can carry the length-ish name).
+            let (open_c, close_c) = if t.is_punct(b')') {
+                (b'(', b')')
+            } else {
+                (b'[', b']')
+            };
+            let mut depth = 1usize;
+            let mut m = k;
+            while depth > 0 {
+                let Some(p) = m.checked_sub(1) else { break };
+                m = p;
+                let Some(pt) = f.tok(m) else { break };
+                if pt.is_punct(close_c) {
+                    depth += 1;
+                } else if pt.is_punct(open_c) {
+                    depth -= 1;
+                } else if pt.kind == TokenKind::Ident && out.idents.len() < 8 {
+                    out.idents.push(pt.text(&f.src).to_string());
+                }
+            }
+            j = m.checked_sub(1);
+            continue;
+        }
+        if t.kind == TokenKind::Ident {
+            if out.idents.len() < 8 {
+                out.idents.push(t.text(&f.src).to_string());
+            }
+            // Continue through `.` and `::` path links.
+            match k.checked_sub(1) {
+                Some(p) if f.is_punct(p, b'.') => j = p.checked_sub(1),
+                Some(p) if p >= 1 && f.glued_pair(p - 1, b':', b':') => j = (p - 1).checked_sub(1),
+                _ => break,
+            }
+            continue;
+        }
+        if t.kind == TokenKind::NumLit {
+            out.is_literal = out.idents.is_empty();
+            break;
+        }
+        break;
+    }
+    out
+}
+
+/// Walks right from `start` collecting the operand's identifier path,
+/// skipping leading derefs/borrows and following `.`/`::` chains through
+/// call parentheses.
+fn operand_right(f: &SourceFile, start: usize) -> Operand {
+    let mut out = Operand::default();
+    let mut j = start;
+    // Prefix operators on the right operand.
+    while f.is_punct(j, b'*') || f.is_punct(j, b'&') || f.is_punct(j, b'-') {
+        j += 1;
+    }
+    if f.tok(j).map(|t| t.kind) == Some(TokenKind::NumLit) {
+        out.is_literal = true;
+        return out;
+    }
+    let mut steps = 0usize;
+    while let Some(t) = f.tok(j) {
+        steps += 1;
+        if steps > 32 {
+            break;
+        }
+        if t.is_punct(b'(') || t.is_punct(b'[') {
+            let (open_c, close_c) = if t.is_punct(b'(') {
+                (b'(', b')')
+            } else {
+                (b'[', b']')
+            };
+            let close = tree::matching(&f.tokens, j, f.tokens.len(), open_c, close_c);
+            let Some(close) = close else { break };
+            for m in j + 1..close {
+                if f.tok(m).map(|t| t.kind) == Some(TokenKind::Ident) && out.idents.len() < 8 {
+                    out.idents.push(f.text(m).to_string());
+                }
+            }
+            j = close + 1;
+            // A call/index can chain further: `a.b(..).c`.
+            if f.is_punct(j, b'.') {
+                j += 1;
+                continue;
+            }
+            break;
+        }
+        if t.kind == TokenKind::Ident {
+            if out.idents.len() < 8 {
+                out.idents.push(t.text(&f.src).to_string());
+            }
+            j += 1;
+            if f.is_punct(j, b'.') {
+                j += 1;
+                continue;
+            }
+            if f.glued_pair(j, b':', b':') {
+                j += 2;
+                continue;
+            }
+            if f.is_punct(j, b'(') || f.is_punct(j, b'[') {
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -261,66 +703,72 @@ const KERNEL_WIDTHS: usize = 65;
 /// 65-entry source literals (not macro-generated) precisely so this check
 /// can read them; a missing or reordered entry would silently route one
 /// width to the wrong kernel.
-fn kernel_tables(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Result<(), String> {
+fn kernel_tables(ws: &Workspace, config: &Config, findings: &mut Vec<Finding>) {
     for rel in &config.kernel_table_files {
-        let path = root.join(rel);
-        let src = fs::read_to_string(&path)
-            .map_err(|e| format!("lint.toml lists {rel}, but it cannot be read: {e}"))?;
-        let stripped = strip::strip(&src);
+        let Some(f) = ws.get(rel) else { continue };
         for (table, prefix) in [("PACK_LANE", "pack_w"), ("UNPACK_LANE", "unpack_w")] {
-            check_kernel_table(rel, &stripped, table, prefix, findings);
+            check_kernel_table(f, table, prefix, findings);
         }
     }
-    Ok(())
 }
 
-fn check_kernel_table(
-    rel: &str,
-    stripped: &str,
-    table: &str,
-    prefix: &str,
-    findings: &mut Vec<Finding>,
-) {
+fn check_kernel_table(f: &SourceFile, table: &str, prefix: &str, findings: &mut Vec<Finding>) {
     let rule = "kernel-table-complete";
-    let mut fail = |line: usize, message: String| {
+    let mut fail = |line: usize, col: usize, message: String| {
         findings.push(Finding {
-            file: rel.to_string(),
+            file: f.rel.clone(),
             line,
+            col,
             rule,
             message,
         });
     };
-    let decl = format!("const {table}:");
-    let Some(start) = stripped.find(&decl) else {
-        fail(1, format!("no `const {table}:` dispatch table found"));
+    let decl = (0..f.tokens.len())
+        .find(|&i| f.is_ident(i, "const") && f.is_ident(i + 1, table) && f.is_punct(i + 2, b':'));
+    let Some(decl) = decl else {
+        fail(1, 0, format!("no `const {table}:` dispatch table found"));
         return;
     };
-    let line = line_of(stripped.as_bytes(), start);
-    let after = &stripped[start..];
-    let Some(eq_rel) = after.find('=') else {
-        fail(line, format!("`{table}` has no initializer"));
+    let (line, col) = f.position(decl);
+    // Type: `[Fn; 65]` — the length literal sits right before the `]`.
+    let ty_open = decl + 3;
+    let ty_close = tree::matching(&f.tokens, ty_open, f.tokens.len(), b'[', b']');
+    let Some(ty_close) = ty_close else {
+        fail(line, col, format!("`{table}` is not typed as an array"));
         return;
     };
-    if !after[..eq_rel].contains(&format!("; {KERNEL_WIDTHS}]")) {
+    let len_ok = ty_close > 0
+        && f.tok(ty_close - 1).map(|t| t.kind) == Some(TokenKind::NumLit)
+        && f.text(ty_close - 1) == "65";
+    if !len_ok {
         fail(
             line,
+            col,
             format!("`{table}` must be declared with length {KERNEL_WIDTHS} (widths 0..=64)"),
         );
     }
-    let body_start = start + eq_rel + 1;
-    let Some(open_rel) = stripped[body_start..].find('[') else {
-        fail(line, format!("`{table}` initializer is not an array literal"));
+    if !f.is_punct(ty_close + 1, b'=') {
+        fail(line, col, format!("`{table}` has no initializer"));
+        return;
+    }
+    let body_open = ty_close + 2;
+    let body_close = tree::matching(&f.tokens, body_open, f.tokens.len(), b'[', b']');
+    let Some(body_close) = body_close else {
+        fail(
+            line,
+            col,
+            format!("`{table}` initializer is not an array literal"),
+        );
         return;
     };
-    let Some(close_rel) = stripped[body_start + open_rel..].find(']') else {
-        fail(line, format!("`{table}` array literal is unterminated"));
-        return;
-    };
-    let body = &stripped[body_start + open_rel + 1..body_start + open_rel + close_rel];
-    let entries: Vec<&str> = body.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let entries: Vec<&str> = (body_open + 1..body_close)
+        .filter(|&i| f.tok(i).map(|t| t.kind) == Some(TokenKind::Ident))
+        .map(|i| f.text(i))
+        .collect();
     if entries.len() != KERNEL_WIDTHS {
         fail(
             line,
+            col,
             format!(
                 "`{table}` covers {} widths, must cover all {KERNEL_WIDTHS} (0..=64)",
                 entries.len()
@@ -333,11 +781,80 @@ fn check_kernel_table(
         if *entry != expected {
             fail(
                 line,
+                col,
                 format!("`{table}` entry for width {w} is `{entry}`, expected `{expected}`"),
             );
             return;
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// impl-header helpers (shared by codec-label-unique and obs-feature-parity)
+// ---------------------------------------------------------------------------
+
+/// For an `impl` item: the final segment of the *trait* path (`None` for
+/// inherent impls). `impl bitpack::BlockCodec for Bos` → `BlockCodec`;
+/// `impl<C: Codec> Display for W<C>` → `Display`; `impl From<u8> for X`
+/// → `From`.
+fn impl_trait_segment(f: &SourceFile, item: &Item) -> Option<String> {
+    let (start, end) = item.header;
+    // Find `for` at angle-bracket depth zero (skipping the generics of
+    // `impl<...>` and of the trait path itself).
+    let mut depth = 0usize;
+    let mut for_idx = None;
+    for i in start..end {
+        let Some(t) = f.tok(i) else { break };
+        if t.is_punct(b'<') {
+            depth += 1;
+        } else if t.is_punct(b'>') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_ident(&f.src, "for") {
+            for_idx = Some(i);
+            break;
+        }
+    }
+    let for_idx = for_idx?;
+    segment_before(f, start, for_idx)
+}
+
+/// For an *inherent* `impl` item: the final segment of the type path.
+fn impl_type_segment(f: &SourceFile, item: &Item) -> Option<String> {
+    let (start, end) = item.header;
+    segment_before(f, start, end)
+}
+
+/// The last path-segment identifier strictly before token `end`, skipping
+/// one trailing generic-argument group (`Foo<T>` → `Foo`).
+fn segment_before(f: &SourceFile, start: usize, end: usize) -> Option<String> {
+    let mut k = end.checked_sub(1)?;
+    if f.is_punct(k, b'>') {
+        let mut depth = 1usize;
+        while depth > 0 {
+            k = k.checked_sub(1)?;
+            if k < start {
+                return None;
+            }
+            if f.is_punct(k, b'>') {
+                depth += 1;
+            } else if f.is_punct(k, b'<') {
+                depth -= 1;
+            }
+        }
+        k = k.checked_sub(1)?;
+    }
+    (k >= start && f.tok(k).map(|t| t.kind) == Some(TokenKind::Ident))
+        .then(|| f.text(k).to_string())
+}
+
+/// All items in a file, flattened, excluding test code.
+fn shipping_items(f: &SourceFile) -> Vec<&Item> {
+    let mut all = Vec::new();
+    tree::walk_items(&f.items, &mut all, false);
+    all.into_iter()
+        .filter(|(_, in_test)| !in_test)
+        .map(|(i, _)| i)
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -348,35 +865,24 @@ fn check_kernel_table(
 /// traits must be pairwise distinct. Bench tables, BENCH_*.json artifacts,
 /// and tsfile metadata all key on these strings, so two codecs sharing a
 /// label would silently merge their rows.
-fn codec_labels(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Result<(), String> {
+fn codec_labels(ws: &Workspace, config: &Config, findings: &mut Vec<Finding>) {
     if config.codec_label_traits.is_empty() {
-        return Ok(());
+        return;
     }
-    let mut sources = Vec::new();
-    collect_rs(&root.join("crates"), &mut sources).map_err(|e| format!("walking crates/: {e}"))?;
-    sources.retain(|p| !p.components().any(|c| c.as_os_str() == "vendor"));
-    collect_rs(&root.join("src"), &mut sources).map_err(|e| format!("walking src/: {e}"))?;
-
-    let mut seen: std::collections::BTreeMap<String, (String, usize)> =
-        std::collections::BTreeMap::new();
+    let mut seen: BTreeMap<String, (String, usize)> = BTreeMap::new();
     let mut total = 0usize;
-    for path in &sources {
-        let src = fs::read_to_string(path)
-            .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let stripped = strip::strip(&src);
-        let end = strip::test_region_start(&stripped).unwrap_or(stripped.len());
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .into_owned();
-        for (pos, label) in name_labels(&stripped[..end], &src, &config.codec_label_traits) {
+    for f in &ws.files {
+        if f.is_test_file {
+            continue;
+        }
+        for (tok_idx, label) in name_labels(f, &config.codec_label_traits) {
             total += 1;
-            let line = line_of(stripped.as_bytes(), pos);
+            let (line, col) = f.position(tok_idx);
             match seen.get(&label) {
                 Some((first_file, first_line)) => findings.push(Finding {
-                    file: rel.clone(),
+                    file: f.rel.clone(),
                     line,
+                    col,
                     rule: "codec-label-unique",
                     message: format!(
                         "codec label {label:?} already used at {first_file}:{first_line}; \
@@ -384,7 +890,7 @@ fn codec_labels(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Re
                     ),
                 }),
                 None => {
-                    seen.insert(label, (rel.clone(), line));
+                    seen.insert(label, (f.rel.clone(), line));
                 }
             }
         }
@@ -393,6 +899,7 @@ fn codec_labels(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Re
         findings.push(Finding {
             file: "lint.toml".to_string(),
             line: 1,
+            col: 0,
             rule: "codec-label-unique",
             message: format!(
                 "no `name()` labels found for traits {:?}; the scan is broken or the \
@@ -401,129 +908,38 @@ fn codec_labels(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Re
             ),
         });
     }
-    Ok(())
 }
 
-/// Extracts every string literal inside a `fn name` body of a trait impl
-/// whose trait path ends in one of `traits`, returning (byte offset, label).
-/// Labels are read from the *original* source at offsets located via the
-/// stripped text, because [`strip::strip`] blanks string contents (the
-/// quote bytes survive, which is what makes the literals findable).
-fn name_labels(region: &str, src: &str, traits: &[String]) -> Vec<(usize, String)> {
-    let b = region.as_bytes();
+/// Every string literal inside a `fn name` body of an impl of one of
+/// `traits`, as (token index, label text).
+pub(crate) fn name_labels(f: &SourceFile, traits: &[String]) -> Vec<(usize, String)> {
     let mut out = Vec::new();
-    let mut from = 0usize;
-    while let Some(pos) = find_from(b, b"impl", from) {
-        from = pos + 4;
-        // Word boundaries: don't fire inside `implement` or `Simple`.
-        if pos > 0 && is_ident(b[pos - 1]) {
+    for item in shipping_items(f) {
+        if item.kind != ItemKind::Impl {
             continue;
         }
-        if b.get(pos + 4).is_some_and(|&c| is_ident(c)) {
-            continue;
-        }
-        let Some(open_rel) = region.get(pos..).and_then(|s| s.find('{')) else {
-            break;
-        };
-        let open = pos + open_rel;
-        if !impl_header_matches(&region[pos..open], traits) {
-            continue;
-        }
-        let Some(close) = matching_brace(b, open) else {
+        let Some(seg) = impl_trait_segment(f, item) else {
             continue;
         };
-        from = close;
-        // Every `fn name` inside the impl body (there is at most one in
-        // real code, but scanning all keeps the rule simple and honest).
-        let mut f2 = open;
-        while let Some(fp) = find_from(b, b"fn name", f2) {
-            f2 = fp + 1;
-            if fp >= close {
-                break;
-            }
-            if fp > 0 && is_ident(b[fp - 1]) {
+        if !traits.contains(&seg) {
+            continue;
+        }
+        for child in &item.children {
+            if child.kind != ItemKind::Fn || child.name.as_deref() != Some("name") {
                 continue;
             }
-            if b.get(fp + 7).is_some_and(|&c| is_ident(c)) {
-                continue;
+            let Some((b0, b1)) = child.body else { continue };
+            for i in b0..b1 {
+                let Some(t) = f.tok(i) else { break };
+                if t.kind == TokenKind::StrLit {
+                    if let Some(label) = t.str_content(&f.src) {
+                        out.push((i, label.to_string()));
+                    }
+                }
             }
-            let Some(fn_open_rel) = region.get(fp..close).and_then(|s| s.find('{')) else {
-                continue;
-            };
-            let fn_open = fp + fn_open_rel;
-            let Some(fn_close) = matching_brace(b, fn_open) else {
-                continue;
-            };
-            string_literals(b, src, fn_open, fn_close, &mut out);
         }
     }
     out
-}
-
-/// True when the impl header (the text between `impl` and the opening
-/// brace) is a trait impl whose trait path ends in one of `names` — the
-/// final path segment immediately before ` for `, so `impl BosCodec {`
-/// (inherent) and `impl<C: Codec> Display for W<C>` (bound only) don't
-/// match.
-fn impl_header_matches(header: &str, names: &[String]) -> bool {
-    let norm = header.split_whitespace().collect::<Vec<_>>().join(" ");
-    let Some(for_idx) = norm.find(" for ") else {
-        return false;
-    };
-    let pre = &norm[..for_idx];
-    names.iter().any(|name| {
-        pre.ends_with(name.as_str()) && {
-            let start = pre.len() - name.len();
-            start == 0 || !is_ident(pre.as_bytes()[start - 1])
-        }
-    })
-}
-
-/// Byte offset of the `}` matching the `{` at `open`. Operates on stripped
-/// source, so braces inside strings and comments are already blanked.
-fn matching_brace(b: &[u8], open: usize) -> Option<usize> {
-    let mut depth = 0usize;
-    for (i, &c) in b.iter().enumerate().skip(open) {
-        match c {
-            b'{' => depth += 1,
-            b'}' => {
-                depth = depth.checked_sub(1)?;
-                if depth == 0 {
-                    return Some(i);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Collects `"…"` literals between `start` and `end`, reading the contents
-/// from the original source (the stripped copy has them blanked).
-fn string_literals(
-    stripped: &[u8],
-    src: &str,
-    start: usize,
-    end: usize,
-    out: &mut Vec<(usize, String)>,
-) {
-    let mut i = start;
-    while i < end {
-        if stripped[i] == b'"' {
-            let mut j = i + 1;
-            while j < end && stripped[j] != b'"' {
-                j += 1;
-            }
-            if j < end {
-                if let Some(label) = src.get(i + 1..j) {
-                    out.push((i, label.to_string()));
-                }
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -537,37 +953,24 @@ fn string_literals(
 /// counts into one corrupted series. Non-literal arguments (names built at
 /// runtime, e.g. from a match) are skipped — uniqueness there is the call
 /// site's responsibility.
-fn obs_labels(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Result<(), String> {
+fn obs_labels(ws: &Workspace, config: &Config, findings: &mut Vec<Finding>) {
     if config.obs_label_patterns.is_empty() {
-        return Ok(());
+        return;
     }
-    let mut sources = Vec::new();
-    collect_rs(&root.join("crates"), &mut sources).map_err(|e| format!("walking crates/: {e}"))?;
-    sources.retain(|p| !p.components().any(|c| c.as_os_str() == "vendor"));
-    collect_rs(&root.join("src"), &mut sources).map_err(|e| format!("walking src/: {e}"))?;
-
-    let mut seen: std::collections::BTreeMap<String, (String, usize)> =
-        std::collections::BTreeMap::new();
+    let mut seen: BTreeMap<String, (String, usize)> = BTreeMap::new();
     let mut total = 0usize;
-    for path in &sources {
-        let src = fs::read_to_string(path)
-            .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let stripped = strip::strip(&src);
-        let end = strip::test_region_start(&stripped).unwrap_or(stripped.len());
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .into_owned();
-        for (pos, label) in
-            obs_label_literals(&stripped[..end], &src, &config.obs_label_patterns)
-        {
+    for f in &ws.files {
+        if f.is_test_file {
+            continue;
+        }
+        for (tok_idx, label) in obs_label_literals(f, &config.obs_label_patterns) {
             total += 1;
-            let line = line_of(stripped.as_bytes(), pos);
+            let (line, col) = f.position(tok_idx);
             match seen.get(&label) {
                 Some((first_file, first_line)) => findings.push(Finding {
-                    file: rel.clone(),
+                    file: f.rel.clone(),
                     line,
+                    col,
                     rule: "obs-label-unique",
                     message: format!(
                         "obs metric name {label:?} already registered at \
@@ -576,7 +979,7 @@ fn obs_labels(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Resu
                     ),
                 }),
                 None => {
-                    seen.insert(label, (rel.clone(), line));
+                    seen.insert(label, (f.rel.clone(), line));
                 }
             }
         }
@@ -585,6 +988,7 @@ fn obs_labels(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Resu
         findings.push(Finding {
             file: "lint.toml".to_string(),
             line: 1,
+            col: 0,
             rule: "obs-label-unique",
             message: format!(
                 "no obs metric literals found for patterns {:?}; the scan is broken or \
@@ -593,57 +997,42 @@ fn obs_labels(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Resu
             ),
         });
     }
-    Ok(())
 }
 
-/// Finds `<pattern>("literal")` call sites in stripped source and reads the
-/// literal back from the original text (same offset trick as
-/// [`name_labels`]: [`strip::strip`] blanks string *contents* but keeps the
-/// quote bytes). Calls whose first argument is not a string literal are
-/// skipped silently.
-fn obs_label_literals(region: &str, src: &str, patterns: &[String]) -> Vec<(usize, String)> {
-    let b = region.as_bytes();
+/// Finds `<pattern>("literal")` call sites in shipping code and returns
+/// (token index of the pattern's first segment, label). A pattern is a
+/// `::`-separated path suffix; extra leading segments at the call site
+/// (`obs::CounterHandle::new`) still match.
+pub(crate) fn obs_label_literals(f: &SourceFile, patterns: &[String]) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     for pattern in patterns {
-        let pb = pattern.as_bytes();
-        let mut from = 0usize;
-        while let Some(pos) = find_from(b, pb, from) {
-            from = pos + pb.len();
-            // Word boundaries: `obs::span` must not fire inside
-            // `my_obs::span_extra` (a path prefix like `obs::` on a
-            // qualified pattern is fine — it is still the same call).
-            if pos > 0 && is_ident(b[pos - 1]) {
+        let segs: Vec<&str> = pattern.split("::").collect();
+        let Some((first, rest)) = segs.split_first() else {
+            continue;
+        };
+        for i in 0..f.tokens.len() {
+            if !f.is_shipping(i) || !f.is_ident(i, first) {
                 continue;
             }
-            if b.get(pos + pb.len()).is_some_and(|&c| is_ident(c)) {
+            let mut j = i + 1;
+            let mut matched = true;
+            for seg in rest {
+                if f.glued_pair(j, b':', b':') && f.is_ident(j + 2, seg) {
+                    j += 3;
+                } else {
+                    matched = false;
+                    break;
+                }
+            }
+            if !matched || !f.is_punct(j, b'(') {
                 continue;
             }
-            // Expect `(` then a `"` (whitespace allowed) — anything else is
-            // a non-literal argument and out of scope for this rule.
-            let mut i = pos + pb.len();
-            while b.get(i).is_some_and(|c| c.is_ascii_whitespace()) {
-                i += 1;
+            let Some(arg) = f.tok(j + 1) else { continue };
+            if arg.kind != TokenKind::StrLit {
+                continue; // runtime-built name: out of scope
             }
-            if b.get(i) != Some(&b'(') {
-                continue;
-            }
-            i += 1;
-            while b.get(i).is_some_and(|c| c.is_ascii_whitespace()) {
-                i += 1;
-            }
-            if b.get(i) != Some(&b'"') {
-                continue;
-            }
-            let open = i;
-            let mut close = open + 1;
-            while close < b.len() && b[close] != b'"' {
-                close += 1;
-            }
-            if close >= b.len() {
-                continue;
-            }
-            if let Some(label) = src.get(open + 1..close) {
-                out.push((pos, label.to_string()));
+            if let Some(label) = arg.str_content(&f.src) {
+                out.push((i, label.to_string()));
             }
         }
     }
@@ -651,75 +1040,475 @@ fn obs_label_literals(region: &str, src: &str, patterns: &[String]) -> Vec<(usiz
 }
 
 // ---------------------------------------------------------------------------
+// obs-feature-parity
+// ---------------------------------------------------------------------------
+
+/// One side of the obs public API: display key → (normalized signature,
+/// anchor line).
+type Api = BTreeMap<String, (String, usize)>;
+
+/// Rule: every public item in the obs implementation module has a
+/// signature-identical twin in the no-op module (and vice versa). The
+/// obs-off byte-identity gate depends on the two modules being drop-in
+/// replacements; a method added to one side only compiles fine until the
+/// other feature configuration breaks.
+fn obs_parity(ws: &Workspace, config: &Config, findings: &mut Vec<Finding>) {
+    let [imp_rel, noop_rel] = config.obs_parity_files.as_slice() else {
+        if !config.obs_parity_files.is_empty() {
+            findings.push(Finding {
+                file: "lint.toml".to_string(),
+                line: 1,
+                col: 0,
+                rule: "obs-feature-parity",
+                message: "[obs-feature-parity] must list exactly two files: the \
+                          implementation module, then the no-op module"
+                    .to_string(),
+            });
+        }
+        return;
+    };
+    let (Some(imp), Some(noop)) = (ws.get(imp_rel), ws.get(noop_rel)) else {
+        return; // hygiene already reported the missing file
+    };
+    check_obs_parity(imp, noop, findings);
+}
+
+/// The parity comparison itself, separated so fixture tests can drive it.
+pub(crate) fn check_obs_parity(imp: &SourceFile, noop: &SourceFile, findings: &mut Vec<Finding>) {
+    let rule = "obs-feature-parity";
+    let api_imp = public_api(imp);
+    let api_noop = public_api(noop);
+    for (key, (sig, line)) in &api_imp {
+        match api_noop.get(key) {
+            None => push_hit_at_line(
+                imp,
+                *line,
+                rule,
+                format!("public `{key}` has no twin in {}", noop.rel),
+                findings,
+            ),
+            Some((other, _)) if other != sig => push_hit_at_line(
+                imp,
+                *line,
+                rule,
+                format!(
+                    "signature mismatch for `{key}`: this side has `{sig}`, {} has \
+                     `{other}`",
+                    noop.rel
+                ),
+                findings,
+            ),
+            Some(_) => {}
+        }
+    }
+    for (key, (_, line)) in &api_noop {
+        if !api_imp.contains_key(key) {
+            push_hit_at_line(
+                noop,
+                *line,
+                rule,
+                format!("public `{key}` has no twin in {}", imp.rel),
+                findings,
+            );
+        }
+    }
+}
+
+/// A line-anchored finding that still honors `lint:allow` on that line.
+fn push_hit_at_line(
+    f: &SourceFile,
+    line: usize,
+    rule: &'static str,
+    message: String,
+    findings: &mut Vec<Finding>,
+) {
+    match allow_on_line(f, line, rule) {
+        Allow::Yes => {}
+        Allow::EmptyJustification => findings.push(Finding {
+            file: f.rel.clone(),
+            line,
+            col: 0,
+            rule,
+            message: "lint:allow requires a non-empty justification".to_string(),
+        }),
+        Allow::No => findings.push(Finding {
+            file: f.rel.clone(),
+            line,
+            col: 0,
+            rule,
+            message,
+        }),
+    }
+}
+
+/// Collects the public API of a module file: top-level `pub fn`s, `pub`
+/// types, and `pub` methods of inherent impls. Trait impls are skipped
+/// (both sides implement different trait sets legitimately — e.g. `Drop`).
+fn public_api(f: &SourceFile) -> Api {
+    let mut api = Api::new();
+    for item in &f.items {
+        if item.cfg_test {
+            continue;
+        }
+        let line = f.position(item.header.0).0;
+        match item.kind {
+            ItemKind::Fn if item.is_pub => {
+                if let Some(name) = &item.name {
+                    api.insert(format!("fn {name}"), (fn_signature(f, item), line));
+                }
+            }
+            ItemKind::Struct | ItemKind::Enum if item.is_pub => {
+                if let Some(name) = &item.name {
+                    api.insert(format!("type {name}"), ("type".to_string(), line));
+                }
+            }
+            ItemKind::Impl if impl_trait_segment(f, item).is_none() => {
+                let Some(ty) = impl_type_segment(f, item) else {
+                    continue;
+                };
+                for child in &item.children {
+                    if child.kind == ItemKind::Fn && child.is_pub && !child.cfg_test {
+                        if let Some(name) = &child.name {
+                            let line = f.position(child.header.0).0;
+                            api.insert(format!("{ty}::{name}"), (fn_signature(f, child), line));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    api
+}
+
+/// Normalizes a fn header into a comparable signature: parameter *types*
+/// only (`n: u64` and `_n: u64` agree), `self` canonicalized, `const` and
+/// other modifiers dropped, return type included. Both sides are rendered
+/// by the same code, so plain text equality is a faithful comparison.
+fn fn_signature(f: &SourceFile, item: &Item) -> String {
+    let (start, end) = item.header;
+    let fn_idx = (start..end).find(|&i| f.is_ident(i, "fn"));
+    let Some(fn_idx) = fn_idx else {
+        return String::new();
+    };
+    let open = (fn_idx..end).find(|&i| f.is_punct(i, b'('));
+    let Some(open) = open else {
+        return String::new();
+    };
+    let Some(close) = tree::matching(&f.tokens, open, end, b'(', b')') else {
+        return String::new();
+    };
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut param_start = open + 1;
+    for i in open + 1..=close {
+        let Some(t) = f.tok(i) else { break };
+        if t.is_punct(b'(') || t.is_punct(b'[') || t.is_punct(b'{') || t.is_punct(b'<') {
+            depth += 1;
+        } else if t.is_punct(b')') || t.is_punct(b']') || t.is_punct(b'}') || t.is_punct(b'>') {
+            if i == close && depth == 0 {
+                if i > param_start {
+                    params.push(render_param(f, param_start, i));
+                }
+                break;
+            }
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(b',') && depth == 0 {
+            params.push(render_param(f, param_start, i));
+            param_start = i + 1;
+        }
+    }
+    let ret = if f.is_punct(close + 1, b'-') && f.is_punct(close + 2, b'>') {
+        let body: Vec<&str> = (close + 3..end).map(|i| f.text(i)).collect();
+        body.join(" ")
+    } else {
+        "()".to_string()
+    };
+    format!("fn({}) -> {ret}", params.join(", "))
+}
+
+/// Renders one parameter from its token range: `self` forms verbatim
+/// (minus `mut`), everything else as its type text only.
+fn render_param(f: &SourceFile, start: usize, end: usize) -> String {
+    let has_self = (start..end).any(|i| f.is_ident(i, "self"));
+    if has_self {
+        let parts: Vec<&str> = (start..end)
+            .map(|i| f.text(i))
+            .filter(|t| *t != "mut")
+            .collect();
+        return parts.join(" ");
+    }
+    // The separating `:` is the first single colon (not part of `::`).
+    let sep = (start..end).find(|&i| {
+        f.is_punct(i, b':')
+            && !f.glued_pair(i, b':', b':')
+            && !(i > start && f.glued_pair(i - 1, b':', b':'))
+    });
+    let ty_start = sep.map_or(start, |s| s + 1);
+    let parts: Vec<&str> = (ty_start..end).map(|i| f.text(i)).collect();
+    parts.join(" ")
+}
+
+// ---------------------------------------------------------------------------
+// error-variant-coverage
+// ---------------------------------------------------------------------------
+
+/// Rule: every variant of the configured error enums must be constructed
+/// somewhere in shipping code (a variant nothing can produce documents a
+/// failure path that does not exist) and referenced by at least one test
+/// (an unexercised failure path is one refactor away from misfiring).
+/// Construction is any qualified `Enum::Variant` reference in shipping
+/// code that is not a match-arm pattern; test references count wherever
+/// they appear in test code.
+fn error_variants(ws: &Workspace, config: &Config, findings: &mut Vec<Finding>) {
+    for enum_name in &config.error_variant_enums {
+        let mut def: Option<(&SourceFile, &Item)> = None;
+        for f in &ws.files {
+            if f.is_test_file {
+                continue;
+            }
+            for item in shipping_items(f) {
+                if item.kind == ItemKind::Enum && item.name.as_deref() == Some(enum_name) {
+                    def = Some((f, item));
+                }
+            }
+        }
+        let Some((def_file, def_item)) = def else {
+            findings.push(Finding {
+                file: "lint.toml".to_string(),
+                line: 1,
+                col: 0,
+                rule: "error-variant-coverage",
+                message: format!(
+                    "[error-variant-coverage] lists enum `{enum_name}`, which was not \
+                     found in the workspace"
+                ),
+            });
+            continue;
+        };
+        let variants = enum_variants(def_file, def_item);
+        let names: BTreeSet<&str> = variants.iter().map(|(n, _)| n.as_str()).collect();
+        let mut constructed: BTreeSet<String> = BTreeSet::new();
+        let mut tested: BTreeSet<String> = BTreeSet::new();
+        for f in &ws.files {
+            for i in 0..f.tokens.len() {
+                if !f.is_ident(i, enum_name) || !f.glued_pair(i + 1, b':', b':') {
+                    continue;
+                }
+                let vname = f.text(i + 3);
+                if !names.contains(vname) {
+                    continue;
+                }
+                if f.is_test_file || !f.shipping.get(i).copied().unwrap_or(false) {
+                    tested.insert(vname.to_string());
+                } else if !reference_is_pattern(f, i + 3) {
+                    constructed.insert(vname.to_string());
+                }
+            }
+        }
+        for (vname, tok_idx) in &variants {
+            let mut msgs = Vec::new();
+            if !constructed.contains(vname) {
+                msgs.push(format!(
+                    "`{enum_name}::{vname}` is never constructed in shipping code; a \
+                     variant nothing produces documents a failure path that does not \
+                     exist (remove it, or lint:allow with the reason it is reserved)"
+                ));
+            }
+            if !tested.contains(vname) {
+                msgs.push(format!(
+                    "`{enum_name}::{vname}` is never referenced in any test; add a \
+                     test that exercises this failure path"
+                ));
+            }
+            for message in msgs {
+                let hits = vec![(*tok_idx, message)];
+                push_hits(def_file, "error-variant-coverage", hits, findings);
+            }
+        }
+    }
+}
+
+/// The variants of an enum item, as (name, token index of the name).
+fn enum_variants(f: &SourceFile, item: &Item) -> Vec<(String, usize)> {
+    let Some((b0, b1)) = item.body else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut j = b0;
+    while j < b1 {
+        // Variant attributes.
+        while f.is_punct(j, b'#') && f.is_punct(j + 1, b'[') {
+            match tree::matching(&f.tokens, j + 1, b1, b'[', b']') {
+                Some(close) => j = close + 1,
+                None => return out,
+            }
+        }
+        if f.tok(j).map(|t| t.kind) == Some(TokenKind::Ident) {
+            out.push((f.text(j).to_string(), j));
+            j += 1;
+            // Payload: tuple or struct fields.
+            if f.is_punct(j, b'(') {
+                j = tree::matching(&f.tokens, j, b1, b'(', b')').map_or(b1, |c| c + 1);
+            } else if f.is_punct(j, b'{') {
+                j = tree::matching(&f.tokens, j, b1, b'{', b'}').map_or(b1, |c| c + 1);
+            }
+            // Discriminant: `= expr` up to the comma.
+            while j < b1 && !f.is_punct(j, b',') {
+                j += 1;
+            }
+            j += 1; // the comma
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// True when the qualified reference whose variant name sits at `v_idx`
+/// is a match-arm pattern: the next token after the (optional) payload is
+/// `=>` or `|`.
+fn reference_is_pattern(f: &SourceFile, v_idx: usize) -> bool {
+    let mut j = v_idx + 1;
+    if f.is_punct(j, b'(') {
+        j = tree::matching(&f.tokens, j, f.tokens.len(), b'(', b')').map_or(j, |c| c + 1);
+    } else if f.is_punct(j, b'{') {
+        j = tree::matching(&f.tokens, j, f.tokens.len(), b'{', b'}').map_or(j, |c| c + 1);
+    }
+    f.glued_pair(j, b'=', b'>') || f.is_punct(j, b'|')
+}
+
+// ---------------------------------------------------------------------------
+// join-all-spawns
+// ---------------------------------------------------------------------------
+
+/// Rule: every `spawn(..)` call in shipping code must be in a function
+/// that also `join`s — a detached thread can outlive the encoder and drop
+/// its result (or its panic) on the floor. The check is per innermost
+/// containing function, so `std::thread::scope` blocks with explicit
+/// join loops pass naturally.
+fn join_all_spawns(ws: &Workspace, config: &Config, findings: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if f.is_test_file
+            || !config
+                .join_spawn_dirs
+                .iter()
+                .any(|d| f.rel.starts_with(&format!("{d}/")))
+        {
+            continue;
+        }
+        push_hits(f, "join-all-spawns", join_spawn_hits(f), findings);
+    }
+}
+
+pub(crate) fn join_spawn_hits(f: &SourceFile) -> Vec<(usize, String)> {
+    // Function bodies, innermost-first lookup by smallest containing span.
+    let mut fns: Vec<(usize, usize)> = shipping_items(f)
+        .into_iter()
+        .filter(|i| i.kind == ItemKind::Fn)
+        .filter_map(|i| i.body)
+        .collect();
+    fns.sort_by_key(|&(b0, b1)| b1 - b0);
+    let mut hits = Vec::new();
+    for i in 0..f.tokens.len() {
+        if !f.is_shipping(i) || !f.is_ident(i, "spawn") || !f.is_punct(i + 1, b'(') {
+            continue;
+        }
+        let called =
+            (i > 0 && f.is_punct(i - 1, b'.')) || (i >= 2 && f.glued_pair(i - 2, b':', b':'));
+        if !called {
+            continue;
+        }
+        let Some(&(b0, b1)) = fns.iter().find(|&&(b0, b1)| b0 <= i && i < b1) else {
+            continue;
+        };
+        let joined = (b0..b1).any(|j| f.is_ident(j, "join"));
+        if !joined {
+            hits.push((
+                i,
+                "thread handle from `spawn` is never `join`ed in this function; a \
+                 detached thread can outlive the caller and drop its result (join \
+                 the handle, or lint:allow with the handoff explained)"
+                    .to_string(),
+            ));
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
 // encode/decode pairing
 // ---------------------------------------------------------------------------
 
-struct PubFn {
-    name: String,
-    file: String,
-    line: usize,
-    allow: Allow,
-}
-
-/// Rule 3: every `pub fn encode_*` in a configured crate needs a decode
+/// Rule: every `pub fn encode_*` in a configured crate needs a decode
 /// counterpart (stems unify at `_` boundaries, so `encode_block_with_solution`
 /// pairs with `decode_block`) and a `#[test]` that references both names.
-fn pairing(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Result<(), String> {
+fn pairing(
+    root: &Path,
+    ws: &Workspace,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) -> Result<(), String> {
     for crate_rel in &config.pairing_crates {
-        let crate_dir = root.join(crate_rel);
-        let mut sources = Vec::new();
-        collect_rs(&crate_dir, &mut sources)
-            .map_err(|e| format!("walking {crate_rel}: {e}"))?;
-        if sources.is_empty() {
+        let prefix = format!("{crate_rel}/");
+        let sources: Vec<&SourceFile> = ws
+            .files
+            .iter()
+            .filter(|f| f.rel.starts_with(&prefix))
+            .collect();
+        if sources.is_empty() && !root.join(crate_rel).is_dir() {
             return Err(format!(
                 "lint.toml pairing crate {crate_rel} has no Rust sources"
             ));
         }
         // Test corpus: the crate's own files plus the workspace-level tests/.
-        let mut corpus = sources.clone();
-        let _ = collect_rs(&root.join("tests"), &mut corpus);
+        let corpus: Vec<&SourceFile> = ws
+            .files
+            .iter()
+            .filter(|f| f.rel.starts_with(&prefix) || f.rel.starts_with("tests/"))
+            .collect();
 
+        struct PubFn<'a> {
+            name: String,
+            file: &'a SourceFile,
+            line: usize,
+            col: usize,
+        }
         let mut encodes: Vec<PubFn> = Vec::new();
         let mut decodes: BTreeSet<String> = BTreeSet::new();
-        for path in &sources {
-            let src = fs::read_to_string(path)
-                .map_err(|e| format!("reading {}: {e}", path.display()))?;
-            let stripped = strip::strip(&src);
-            let end = strip::test_region_start(&stripped).unwrap_or(stripped.len());
-            let region = &stripped[..end];
-            let rel = path
-                .strip_prefix(root)
-                .unwrap_or(path)
-                .to_string_lossy()
-                .into_owned();
-            let src_lines: Vec<&str> = src.lines().collect();
-            for (name, pos) in pub_fns(region, "encode_") {
-                let line = line_of(region.as_bytes(), pos);
-                let allow = allow_on_line(&src_lines, line, "encode-decode-pairing");
-                encodes.push(PubFn {
-                    name,
-                    file: rel.clone(),
-                    line,
-                    allow,
-                });
+        for f in &sources {
+            if f.is_test_file {
+                continue;
             }
-            for (name, _) in pub_fns(region, "decode_") {
-                decodes.insert(name);
+            for item in shipping_items(f) {
+                if item.kind != ItemKind::Fn || !item.is_pub {
+                    continue;
+                }
+                let Some(name) = item.name.clone() else {
+                    continue;
+                };
+                let (line, col) = f.position(item.header.0);
+                if name.starts_with("encode_") {
+                    encodes.push(PubFn {
+                        name,
+                        file: f,
+                        line,
+                        col,
+                    });
+                } else if name.starts_with("decode_") {
+                    decodes.insert(name);
+                }
             }
         }
 
-        let corpus_text: Vec<String> = corpus
-            .iter()
-            .filter_map(|p| fs::read_to_string(p).ok())
-            .collect();
-
         for e in &encodes {
-            match e.allow {
+            match allow_on_line(e.file, e.line, "encode-decode-pairing") {
                 Allow::Yes => continue,
                 Allow::EmptyJustification => {
                     findings.push(Finding {
-                        file: e.file.clone(),
+                        file: e.file.rel.clone(),
                         line: e.line,
+                        col: e.col,
                         rule: "encode-decode-pairing",
                         message: "lint:allow requires a non-empty justification".to_string(),
                     });
@@ -736,8 +1525,9 @@ fn pairing(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Result<
             });
             let Some(partner) = partner else {
                 findings.push(Finding {
-                    file: e.file.clone(),
+                    file: e.file.rel.clone(),
                     line: e.line,
+                    col: e.col,
                     rule: "encode-decode-pairing",
                     message: format!(
                         "`{}` has no matching `decode_{stem}` in {crate_rel}",
@@ -746,13 +1536,14 @@ fn pairing(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Result<
                 });
                 continue;
             };
-            let tested = corpus_text.iter().any(|text| {
-                text.contains("#[test]") && text.contains(&e.name) && text.contains(partner)
+            let tested = corpus.iter().any(|f| {
+                f.src.contains("#[test]") && f.src.contains(&e.name) && f.src.contains(partner)
             });
             if !tested {
                 findings.push(Finding {
-                    file: e.file.clone(),
+                    file: e.file.rel.clone(),
                     line: e.line,
+                    col: e.col,
                     rule: "encode-decode-pairing",
                     message: format!(
                         "no roundtrip test references both `{}` and `{partner}`",
@@ -763,31 +1554,6 @@ fn pairing(root: &Path, config: &Config, findings: &mut Vec<Finding>) -> Result<
         }
     }
     Ok(())
-}
-
-/// Finds `pub fn <prefix>*` declarations, returning (name, byte offset).
-/// `pub(crate)` and friends are declared internal API and are not required
-/// to pair.
-fn pub_fns(region: &str, prefix: &str) -> Vec<(String, usize)> {
-    let b = region.as_bytes();
-    let mut out = Vec::new();
-    let mut from = 0usize;
-    while let Some(pos) = find_from(b, b"pub fn ", from) {
-        from = pos + 1;
-        if pos > 0 && is_ident(b[pos - 1]) {
-            continue;
-        }
-        let name_start = pos + "pub fn ".len();
-        let name_end = b[name_start..]
-            .iter()
-            .position(|&c| !is_ident(c))
-            .map_or(b.len(), |p| name_start + p);
-        let name = &region[name_start..name_end];
-        if name.starts_with(prefix) {
-            out.push((name.to_string(), pos));
-        }
-    }
-    out
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -812,347 +1578,498 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::{apply_baseline, parse_baseline, write_baseline};
+    use crate::strip;
 
-    fn scan_str(src: &str, rule: Rule) -> Vec<(usize, String)> {
-        // Mirror scan_file on an in-memory source.
-        let dir = std::env::temp_dir().join(format!(
-            "xtask-rule-test-{}-{}",
-            std::process::id(),
-            src.len()
-        ));
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        let file = dir.join("probe.rs");
-        std::fs::write(&file, src).expect("write");
-        let mut findings = Vec::new();
-        scan_file(&dir, "probe.rs", rule, &mut findings).expect("scan");
-        findings.into_iter().map(|f| (f.line, f.message)).collect()
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(rel, src.to_string())
+    }
+
+    fn hit_lines(f: &SourceFile, hits: Vec<(usize, String)>) -> Vec<usize> {
+        hits.iter().map(|(i, _)| f.position(*i).0).collect()
+    }
+
+    fn workspace_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    // -- migrated per-file rules ------------------------------------------
+
+    #[test]
+    fn panic_hits_cover_the_family_and_skip_tests() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   fn g() { panic!(\"boom\"); }\n\
+                   fn h(r: Result<u8, ()>) -> u8 { r.expect(\"checked\") }\n\
+                   fn k() { unreachable!() }\n\
+                   fn ok(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n\
+                   /// doc: call .unwrap() here\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn t(x: Option<u8>) { x.unwrap(); } }\n";
+        let f = file("crates/x/src/lib.rs", src);
+        assert_eq!(hit_lines(&f, panic_hits(&f)), vec![1, 2, 3, 4]);
     }
 
     #[test]
-    fn no_panic_flags_unwrap_but_not_unwrap_or() {
-        let src = "fn f(x: Option<u8>) -> u8 {\n    let _ = x.unwrap();\n    x.unwrap_or(0)\n}\n";
-        let hits = scan_str(src, Rule::Panic);
-        assert_eq!(hits.len(), 1, "{hits:?}");
-        assert_eq!(hits[0].0, 2);
+    fn cfg_test_fn_outside_test_module_is_masked() {
+        // The old strip-based scanner only exempted a trailing test module;
+        // the token engine masks any #[cfg(test)] item structurally.
+        let src = "#[cfg(test)]\nfn helper(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   fn shipping(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let f = file("crates/x/src/lib.rs", src);
+        assert_eq!(hit_lines(&f, panic_hits(&f)), vec![3]);
     }
 
     #[test]
-    fn no_panic_ignores_tests_comments_and_debug_assert() {
-        let src = "fn f() { debug_assert!(true); } // x.unwrap()\n\
-                   #[cfg(test)]\nmod tests { fn g() { panic!(); } }\n";
-        assert!(scan_str(src, Rule::Panic).is_empty());
+    fn indexing_hits_subscripts_not_types_or_macros() {
+        let src = "fn f(v: &[u8], i: usize) -> u8 { v[i] }\n\
+                   fn g() -> [u8; 4] { [0u8; 4] }\n\
+                   #[derive(Debug)]\n\
+                   struct S;\n\
+                   fn h(v: &[u8]) -> Vec<u8> { vec![v.len() as u8] }\n\
+                   fn k(v: &[&[u8]]) -> u8 { (v[0])[1] }\n";
+        let f = file("crates/x/src/lib.rs", src);
+        // Line 1: `v[i]`; line 6: both `v[0]` and `)[1]`.
+        assert_eq!(hit_lines(&f, indexing_hits(&f)), vec![1, 6, 6]);
     }
 
     #[test]
-    fn allow_comment_needs_justification() {
-        let ok = "fn f(v: &[u8]) { let _ = v.first().expect(\"x\"); // lint:allow(no-panic): len checked above\n}\n";
-        assert!(scan_str(ok, Rule::Panic).is_empty());
-        let empty = "fn f(v: &[u8]) { let _ = v.first().expect(\"x\"); // lint:allow(no-panic):\n}\n";
-        let hits = scan_str(empty, Rule::Panic);
-        assert_eq!(hits.len(), 1);
-        assert!(hits[0].1.contains("justification"), "{hits:?}");
+    fn narrowing_hits_only_narrow_targets() {
+        let src = "fn f(x: u64) -> u8 { x as u8 }\n\
+                   fn g(x: u32) -> u64 { x as u64 }\n\
+                   fn h(x: u64) -> u16 { x as u16 }\n\
+                   fn k(x: u8) -> usize { x as usize }\n";
+        let f = file("crates/x/src/lib.rs", src);
+        assert_eq!(hit_lines(&f, narrowing_hits(&f)), vec![1, 3]);
     }
 
     #[test]
-    fn no_indexing_flags_subscripts_not_types() {
-        let src = "fn f(v: &[u8], a: [u8; 4]) -> u8 {\n    let _t: Vec<[u8; 2]> = vec![];\n    v[0]\n}\n";
-        let hits = scan_str(src, Rule::Indexing);
-        assert_eq!(hits.len(), 1, "{hits:?}");
-        assert_eq!(hits[0].0, 3);
+    fn len_read_hits_flag_the_usize_cast_statement() {
+        let src = "fn f(b: &[u8], p: &mut usize) -> usize {\n\
+                   let n = read_varint(b, p).unwrap_or(0) as usize;\n\
+                   n\n\
+                   }\n\
+                   fn g(b: &[u8], p: &mut usize) -> u64 {\n\
+                   let v = read_varint(b, p).unwrap_or(0);\n\
+                   v\n\
+                   }\n";
+        let f = file("crates/x/src/lib.rs", src);
+        assert_eq!(hit_lines(&f, len_read_hits(&f)), vec![2]);
     }
 
-    #[test]
-    fn narrowing_casts_flagged_widening_allowed() {
-        let src = "fn f(x: u64) -> u32 {\n    let _w = x as u128;\n    x as u32\n}\n";
-        let hits = scan_str(src, Rule::NarrowingCasts);
-        assert_eq!(hits.len(), 1, "{hits:?}");
-        assert_eq!(hits[0].0, 3);
-        assert!(hits[0].1.contains("as u32"));
-    }
+    // -- lint:allow handling ----------------------------------------------
 
     #[test]
-    fn len_read_bounded_flags_cast_lengths_only() {
+    fn lint_allow_trailing_preceding_empty_and_wrong_rule() {
         let src = "\
-fn f(buf: &[u8], pos: &mut usize) -> DecodeResult<()> {
-    let n = read_varint(buf, pos)? as usize;
-    let v = read_varint(buf, pos)?;
-    let s = read_varint_i64(buf, pos)? as usize;
-    let k = read_len_bounded(buf, pos, 64)?;
-    let _ = (n, v, s, k);
+fn a(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(no-panic): proven Some by caller
+// lint:allow(no-panic): the preceding-line form survives rustfmt wrapping
+fn b(x: Option<u8>) -> u8 { x.unwrap() }
+fn c(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(no-panic)
+fn d(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(no-indexing): wrong rule
+";
+        let f = file("crates/x/src/lib.rs", src);
+        let mut findings = Vec::new();
+        push_hits(&f, "no-panic", panic_hits(&f), &mut findings);
+        let lines: Vec<usize> = findings.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![4, 5]);
+        assert!(findings[0].message.contains("non-empty justification"));
+        assert!(findings[1].message.contains("forbidden"));
+    }
+
+    // -- unchecked-arith-in-decode (fixture) ------------------------------
+
+    #[test]
+    fn unchecked_arith_fixture_flags_exactly_the_marked_lines() {
+        let f = file(
+            "crates/x/src/decode.rs",
+            include_str!("../fixtures/unchecked_arith.rs"),
+        );
+        // Raw hits include line 23, which carries a lint:allow.
+        assert_eq!(
+            hit_lines(&f, unchecked_arith_hits(&f)),
+            vec![5, 6, 7, 8, 10, 23]
+        );
+        let mut findings = Vec::new();
+        push_hits(
+            &f,
+            "unchecked-arith-in-decode",
+            unchecked_arith_hits(&f),
+            &mut findings,
+        );
+        let lines: Vec<usize> = findings.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![5, 6, 7, 8, 10]);
+    }
+
+    // -- join-all-spawns (fixture) ----------------------------------------
+
+    #[test]
+    fn join_spawns_fixture_flags_only_the_detached_worker() {
+        let f = file(
+            "crates/x/src/par.rs",
+            include_str!("../fixtures/join_spawns.rs"),
+        );
+        assert_eq!(hit_lines(&f, join_spawn_hits(&f)), vec![7]);
+    }
+
+    // -- obs-feature-parity -----------------------------------------------
+
+    #[test]
+    fn obs_parity_real_modules_are_clean() {
+        let imp = file(
+            "crates/obs/src/imp.rs",
+            include_str!("../../obs/src/imp.rs"),
+        );
+        let noop = file(
+            "crates/obs/src/noop.rs",
+            include_str!("../../obs/src/noop.rs"),
+        );
+        let mut findings = Vec::new();
+        check_obs_parity(&imp, &noop, &mut findings);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn obs_parity_detects_signature_drift_and_missing_twin() {
+        let imp = file(
+            "crates/obs/src/imp.rs",
+            include_str!("../../obs/src/imp.rs"),
+        );
+        let noop = file(
+            "crates/obs/src/noop.rs",
+            include_str!("../fixtures/obs_noop_mutated.rs"),
+        );
+        let mut findings = Vec::new();
+        check_obs_parity(&imp, &noop, &mut findings);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("signature mismatch for `Counter::add`")),
+            "{findings:#?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("`fn reset` has no twin")),
+            "{findings:#?}"
+        );
+    }
+
+    // -- error-variant-coverage -------------------------------------------
+
+    #[test]
+    fn error_variant_coverage_reports_unconstructed_and_untested() {
+        let src = "\
+pub enum DecodeError { Truncated, BadMagic, ValueOverflow, Reserved }
+pub fn decode(b: &[u8]) -> Result<(), DecodeError> {
+    if b.is_empty() { return Err(DecodeError::Truncated); }
+    if b.first() == Some(&9) { return Err(DecodeError::BadMagic); }
     Ok(())
 }
+fn classify(e: &DecodeError) -> u8 { match e { DecodeError::ValueOverflow => 1, _ => 0 } }
+#[cfg(test)]
+mod tests { fn t() { let _ = DecodeError::Truncated; } }
 ";
-        let hits = scan_str(src, Rule::LenReadBounded);
-        assert_eq!(hits.len(), 1, "{hits:?}");
-        assert_eq!(hits[0].0, 2);
-        assert!(hits[0].1.contains("read_len_bounded"), "{hits:?}");
+        let ws = Workspace::from_files(vec![file("crates/x/src/lib.rs", src)]);
+        let config = Config {
+            error_variant_enums: vec!["DecodeError".to_string()],
+            ..Config::default()
+        };
+        let mut findings = Vec::new();
+        error_variants(&ws, &config, &mut findings);
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        // Truncated: constructed + tested, clean. BadMagic: untested only.
+        // ValueOverflow: match-arm pattern is not a construction; untested.
+        // Reserved: neither.
+        assert_eq!(findings.len(), 5, "{msgs:#?}");
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("`DecodeError::BadMagic` is never referenced")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("`DecodeError::ValueOverflow` is never constructed")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("`DecodeError::Reserved` is never constructed")));
+        assert!(!msgs.iter().any(|m| m.contains("Truncated")));
     }
 
     #[test]
-    fn len_read_bounded_respects_allow_and_tests() {
-        let allowed = "fn f(b: &[u8], p: &mut usize) {\n    let n = read_varint(b, p).unwrap_or(0) as usize; // lint:allow(len-read-bounded): trusted self-built buffer\n    let _ = n;\n}\n";
-        assert!(scan_str(allowed, Rule::LenReadBounded).is_empty());
-        let test_only = "#[cfg(test)]\nmod tests {\n    fn g(b: &[u8], p: &mut usize) { let _ = read_varint(b, p).unwrap() as usize; }\n}\n";
-        assert!(scan_str(test_only, Rule::LenReadBounded).is_empty());
-    }
-
-    fn check_table_str(src: &str) -> Vec<String> {
+    fn error_variant_coverage_reports_missing_enum() {
+        let ws = Workspace::from_files(vec![file("crates/x/src/lib.rs", "fn f() {}")]);
+        let config = Config {
+            error_variant_enums: vec!["NoSuchError".to_string()],
+            ..Config::default()
+        };
         let mut findings = Vec::new();
-        let stripped = strip::strip(src);
-        check_kernel_table("probe.rs", &stripped, "PACK_LANE", "pack_w", &mut findings);
-        findings.into_iter().map(|f| f.message).collect()
+        error_variants(&ws, &config, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("was not found"));
     }
 
-    fn full_table(skip: Option<usize>, swap: bool) -> String {
-        let entries: Vec<String> = (0..65)
-            .filter(|w| Some(*w) != skip)
-            .map(|w| format!("pack_w{w}"))
-            .collect();
-        let mut entries = entries;
-        if swap {
-            entries.swap(3, 4);
-        }
+    // -- kernel-table-complete --------------------------------------------
+
+    fn table_src(n: usize, prefix: &str) -> String {
+        let entries: Vec<String> = (0..n).map(|w| format!("{prefix}{w}")).collect();
         format!(
-            "pub const PACK_LANE: [PackLaneFn; 65] = [\n    {},\n];\n",
+            "pub const PACK_LANE: [PackFn; 65] = [{}];\n",
             entries.join(", ")
         )
     }
 
     #[test]
-    fn kernel_table_complete_accepts_full_ordered_table() {
-        assert!(check_table_str(&full_table(None, false)).is_empty());
+    fn kernel_table_full_passes_short_and_swapped_fail() {
+        let mut findings = Vec::new();
+        let good = file("crates/x/src/k.rs", &table_src(65, "pack_w"));
+        check_kernel_table(&good, "PACK_LANE", "pack_w", &mut findings);
+        assert!(findings.is_empty(), "{findings:#?}");
+
+        let short = file("crates/x/src/k.rs", &table_src(64, "pack_w"));
+        check_kernel_table(&short, "PACK_LANE", "pack_w", &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("covers 64 widths"));
+
+        findings.clear();
+        let swapped_src = table_src(65, "pack_w").replace("pack_w7, pack_w8", "pack_w8, pack_w7");
+        let swapped = file("crates/x/src/k.rs", &swapped_src);
+        check_kernel_table(&swapped, "PACK_LANE", "pack_w", &mut findings);
+        assert!(findings[0].message.contains("width 7"));
     }
+
+    // -- codec-label-unique / obs-label-unique ----------------------------
 
     #[test]
-    fn kernel_table_complete_rejects_missing_entry() {
-        let hits = check_table_str(&full_table(Some(17), false));
-        assert_eq!(hits.len(), 1, "{hits:?}");
-        assert!(hits[0].contains("64 widths"), "{hits:?}");
-    }
-
-    #[test]
-    fn kernel_table_complete_rejects_misordered_entry() {
-        let hits = check_table_str(&full_table(None, true));
-        assert_eq!(hits.len(), 1, "{hits:?}");
-        assert!(hits[0].contains("width 3"), "{hits:?}");
-    }
-
-    #[test]
-    fn kernel_table_complete_rejects_missing_table() {
-        let hits = check_table_str("pub const OTHER: [u8; 2] = [1, 2];\n");
-        assert_eq!(hits.len(), 1, "{hits:?}");
-        assert!(hits[0].contains("no `const PACK_LANE:`"), "{hits:?}");
-    }
-
-    fn labels_of(src: &str, traits: &[&str]) -> Vec<String> {
-        let traits: Vec<String> = traits.iter().map(|s| s.to_string()).collect();
-        let stripped = strip::strip(src);
-        let end = strip::test_region_start(&stripped).unwrap_or(stripped.len());
-        name_labels(&stripped[..end], src, &traits)
-            .into_iter()
-            .map(|(_, l)| l)
-            .collect()
-    }
-
-    #[test]
-    fn codec_labels_extracts_simple_and_match_arm_labels() {
-        let src = "\
-impl BlockCodec for Bp {
-    fn name(&self) -> &'static str { \"BP\" }
-    fn encode(&self) { let _ = \"not a label\"; }
-}
-impl bitpack::BlockCodec for Bos {
-    fn name(&self) -> &'static str {
-        match self.kind {
-            Kind::V => \"BOS-V\",
-            Kind::B => \"BOS-B\",
-        }
-    }
-}
-";
-        assert_eq!(
-            labels_of(src, &["BlockCodec"]),
-            vec!["BP", "BOS-V", "BOS-B"]
+    fn codec_label_duplicates_and_empty_scan_are_findings() {
+        let a = file(
+            "crates/a/src/lib.rs",
+            "pub struct A;\nimpl BlockCodec for A { fn name(&self) -> &'static str { \"bp\" } }\n",
         );
-    }
-
-    #[test]
-    fn codec_labels_skips_inherent_other_traits_and_tests() {
-        let src = "\
-impl Bp {
-    fn name(&self) -> &'static str { \"inherent\" }
-}
-impl Display for Bp {
-    fn name(&self) -> &'static str { \"display\" }
-}
-impl<C: BlockCodec> OtherTrait for Wrap<C> {
-    fn name(&self) -> &'static str { \"bound-only\" }
-}
-impl MyBlockCodec for Bp {
-    fn name(&self) -> &'static str { \"prefixed\" }
-}
-#[cfg(test)]
-mod tests {
-    impl BlockCodec for Toy {
-        fn name(&self) -> &'static str { \"TEST-ONLY\" }
-    }
-}
-";
-        assert!(labels_of(src, &["BlockCodec"]).is_empty(), "{src}");
-    }
-
-    #[test]
-    fn codec_labels_blanket_impls_contribute_nothing() {
-        let src = "\
-impl<C: BlockCodec + ?Sized> BlockCodec for Box<C> {
-    fn name(&self) -> &'static str { (**self).name() }
-}
-";
-        assert!(labels_of(src, &["BlockCodec"]).is_empty());
-    }
-
-    #[test]
-    fn codec_label_unique_flags_duplicates_across_files() {
-        let dir = std::env::temp_dir().join(format!(
-            "xtask-codec-label-test-{}",
-            std::process::id()
-        ));
-        let crates = dir.join("crates").join("probe").join("src");
-        std::fs::create_dir_all(&crates).expect("mkdir");
-        std::fs::write(
-            crates.join("a.rs"),
-            "impl Codec for A { fn name(&self) -> &'static str { \"SAME\" } }\n",
-        )
-        .expect("write");
-        std::fs::write(
-            crates.join("b.rs"),
-            "impl Codec for B { fn name(&self) -> &'static str { \"SAME\" } }\n",
-        )
-        .expect("write");
+        let b = file(
+            "crates/b/src/lib.rs",
+            "pub struct B;\nimpl BlockCodec for B { fn name(&self) -> &'static str { \"bp\" } }\n",
+        );
         let config = Config {
-            codec_label_traits: vec!["Codec".to_string()],
+            codec_label_traits: vec!["BlockCodec".to_string()],
             ..Config::default()
         };
         let mut findings = Vec::new();
-        codec_labels(&dir, &config, &mut findings).expect("scan");
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert!(findings[0].message.contains("\"SAME\""), "{findings:?}");
-        assert!(findings[0].message.contains("a.rs"), "{findings:?}");
-        std::fs::remove_dir_all(&dir).ok();
+        codec_labels(&Workspace::from_files(vec![a, b]), &config, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0]
+            .message
+            .contains("already used at crates/a/src/lib.rs:2"));
+
+        let empty = Workspace::from_files(vec![file("crates/a/src/lib.rs", "fn f() {}")]);
+        findings.clear();
+        codec_labels(&empty, &config, &mut findings);
+        assert!(findings[0].message.contains("no `name()` labels found"));
     }
 
     #[test]
-    fn codec_label_unique_reports_empty_scan() {
-        let dir = std::env::temp_dir().join(format!(
-            "xtask-codec-label-empty-{}",
-            std::process::id()
-        ));
-        std::fs::create_dir_all(dir.join("crates")).expect("mkdir");
-        let config = Config {
-            codec_label_traits: vec!["NoSuchTrait".to_string()],
-            ..Config::default()
-        };
-        let mut findings = Vec::new();
-        codec_labels(&dir, &config, &mut findings).expect("scan");
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert!(findings[0].message.contains("no `name()` labels"), "{findings:?}");
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    fn obs_labels_of(src: &str, patterns: &[&str]) -> Vec<String> {
-        let patterns: Vec<String> = patterns.iter().map(|s| s.to_string()).collect();
-        let stripped = strip::strip(src);
-        let end = strip::test_region_start(&stripped).unwrap_or(stripped.len());
-        obs_label_literals(&stripped[..end], src, &patterns)
-            .into_iter()
-            .map(|(_, l)| l)
-            .collect()
-    }
-
-    #[test]
-    fn obs_labels_extracts_literals_and_skips_variables() {
+    fn obs_label_duplicates_are_findings_and_runtime_names_skipped() {
         let src = "\
-static A: obs::CounterHandle = obs::CounterHandle::new(\"solver.x.candidates\");
-static B: obs::HistogramHandle = obs::HistogramHandle::new( \"codec.x.width\" );
-fn f(name: &'static str) {
-    let _s = obs::span(name); // variable: out of scope
-    let _t = obs::span(\"tsfile.write_stream\");
-}
+static C1: CounterHandle = CounterHandle::new(\"enc.blocks\");
+static C2: CounterHandle = obs::CounterHandle::new(\"enc.blocks\");
+fn dynamic(name: &'static str) { let _ = CounterHandle::new(name); }
 ";
-        assert_eq!(
-            obs_labels_of(
-                src,
-                &["CounterHandle::new", "HistogramHandle::new", "obs::span"]
-            ),
-            vec!["solver.x.candidates", "codec.x.width", "tsfile.write_stream"]
-        );
-    }
-
-    #[test]
-    fn obs_labels_respects_word_boundaries_comments_and_tests() {
-        let src = "\
-fn f() {
-    // obs::span(\"in-a-comment\")
-    let _ = my_obs::spandex(\"not-a-span\");
-}
-#[cfg(test)]
-mod tests {
-    static T: obs::CounterHandle = obs::CounterHandle::new(\"test-only\");
-}
-";
-        assert!(
-            obs_labels_of(src, &["CounterHandle::new", "obs::span"]).is_empty(),
-            "{src}"
-        );
-    }
-
-    #[test]
-    fn obs_label_unique_flags_duplicates_and_empty_scan() {
-        let dir = std::env::temp_dir().join(format!(
-            "xtask-obs-label-test-{}",
-            std::process::id()
-        ));
-        let crates = dir.join("crates").join("probe").join("src");
-        std::fs::create_dir_all(&crates).expect("mkdir");
-        std::fs::write(
-            crates.join("a.rs"),
-            "static A: obs::CounterHandle = obs::CounterHandle::new(\"dup.name\");\n",
-        )
-        .expect("write");
-        std::fs::write(
-            crates.join("b.rs"),
-            "static B: obs::CounterHandle = obs::CounterHandle::new(\"dup.name\");\n",
-        )
-        .expect("write");
+        let ws = Workspace::from_files(vec![file("crates/a/src/lib.rs", src)]);
         let config = Config {
             obs_label_patterns: vec!["CounterHandle::new".to_string()],
             ..Config::default()
         };
         let mut findings = Vec::new();
-        obs_labels(&dir, &config, &mut findings).expect("scan");
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert!(findings[0].message.contains("\"dup.name\""), "{findings:?}");
-        assert!(findings[0].message.contains("a.rs"), "{findings:?}");
+        obs_labels(&ws, &config, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("already registered"));
+    }
 
+    // -- lint.toml hygiene ------------------------------------------------
+
+    #[test]
+    fn hygiene_reports_missing_files_and_coverage_gaps() {
+        let ws = Workspace::from_files(vec![
+            file("crates/a/src/lib.rs", "fn f() {}"),
+            file("crates/a/src/extra.rs", "fn g() {}"),
+            file("crates/a/tests/t.rs", "fn t() {}"),
+        ]);
         let config = Config {
-            obs_label_patterns: vec!["NoSuchHandle::new".to_string()],
+            no_panic: vec!["crates/a/src/lib.rs".to_string()],
             ..Config::default()
         };
         let mut findings = Vec::new();
-        obs_labels(&dir, &config, &mut findings).expect("scan");
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert!(findings[0].message.contains("no obs metric literals"), "{findings:?}");
-        std::fs::remove_dir_all(&dir).ok();
+        let coverage = hygiene(Path::new("/nonexistent-root"), &config, &ws, &mut findings);
+        assert_eq!(coverage.eligible, 2, "tests/ files are not eligible");
+        assert_eq!(coverage.covered, 1);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "lint-config-hygiene" && f.message.contains("does not exist")));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "no-panic-coverage" && f.file == "crates/a/src/extra.rs"));
     }
 
     #[test]
-    fn pub_fn_extraction() {
-        let region = "pub fn encode_block(x: u8) {}\nfn decode_block() {}\npub fn decode_block2() {}\n";
-        let enc = pub_fns(region, "encode_");
-        assert_eq!(enc.len(), 1);
-        assert_eq!(enc[0].0, "encode_block");
-        let dec = pub_fns(region, "decode_");
-        assert_eq!(dec.len(), 1);
-        assert_eq!(dec[0].0, "decode_block2");
+    fn hygiene_flags_redundant_uncovered_ok_entries() {
+        let ws = Workspace::from_files(vec![file("crates/a/src/lib.rs", "fn f() {}")]);
+        let config = Config {
+            no_panic: vec!["crates/a/src/lib.rs".to_string()],
+            uncovered_ok: vec!["crates/a/src/lib.rs".to_string()],
+            ..Config::default()
+        };
+        let mut findings = Vec::new();
+        hygiene(Path::new("/nonexistent-root"), &config, &ws, &mut findings);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("already covered")));
+    }
+
+    // -- baseline round-trip with engine findings -------------------------
+
+    #[test]
+    fn baseline_roundtrips_engine_findings() {
+        let f = file(
+            "crates/x/src/decode.rs",
+            include_str!("../fixtures/unchecked_arith.rs"),
+        );
+        let mut findings = Vec::new();
+        push_hits(
+            &f,
+            "unchecked-arith-in-decode",
+            unchecked_arith_hits(&f),
+            &mut findings,
+        );
+        assert!(!findings.is_empty());
+        let baseline = parse_baseline(&write_baseline(&findings)).expect("baseline parses");
+        let total = findings.len();
+        let (kept, suppressed) = apply_baseline(findings, &baseline);
+        assert!(kept.is_empty(), "{kept:#?}");
+        assert_eq!(suppressed, total);
+    }
+
+    // -- whole-workspace checks -------------------------------------------
+
+    #[test]
+    fn the_workspace_is_lint_clean() {
+        let root = workspace_root();
+        let raw = fs::read_to_string(root.join("lint.toml")).expect("lint.toml readable");
+        let config = Config::parse(&raw).expect("lint.toml parses");
+        let report = run(&root, &config).expect("engine runs");
+        assert!(report.findings.is_empty(), "{:#?}", report.findings);
+        let c = &report.coverage;
+        assert_eq!(c.eligible, c.covered + c.uncovered_ok, "coverage gap");
+    }
+
+    /// The retired strip-based panic scanner, kept as a differential
+    /// oracle: substring search over blanked text before the trailing
+    /// test module, with word-boundary checks for the macro names.
+    fn old_panic_hit_offsets(src: &str) -> Vec<usize> {
+        let stripped = strip::strip(src);
+        let limit = strip::test_region_start(&stripped).unwrap_or(stripped.len());
+        let hay = &stripped[..limit];
+        let mut out = Vec::new();
+        for pat in [
+            ".unwrap()",
+            ".expect(",
+            "panic!",
+            "unreachable!",
+            "todo!",
+            "unimplemented!",
+        ] {
+            let mut from = 0usize;
+            while let Some(i) = hay[from..].find(pat) {
+                let at = from + i;
+                from = at + 1;
+                if !pat.starts_with('.') {
+                    let prev = at.checked_sub(1).map(|p| hay.as_bytes()[p]);
+                    if prev.is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                        continue;
+                    }
+                }
+                out.push(at);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The retired strip-based indexing scanner: a `[` directly preceded
+    /// by an identifier byte, `)`, or `]` (skipping lifetimes).
+    fn old_indexing_hit_offsets(src: &str) -> Vec<usize> {
+        let stripped = strip::strip(src);
+        let limit = strip::test_region_start(&stripped).unwrap_or(stripped.len());
+        let b = stripped.as_bytes();
+        let mut out = Vec::new();
+        for i in 1..limit {
+            if b[i] != b'[' {
+                continue;
+            }
+            let prev = b[i - 1];
+            if !(prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']') {
+                continue;
+            }
+            // `&'a[u8]`: the run before the bracket is a lifetime, not an
+            // indexable value.
+            let mut j = i - 1;
+            while j > 0 && (b[j - 1].is_ascii_alphanumeric() || b[j - 1] == b'_') {
+                j -= 1;
+            }
+            if j > 0 && b[j - 1] == b'\'' {
+                continue;
+            }
+            out.push(i);
+        }
+        out
+    }
+
+    #[test]
+    fn token_engine_finds_superset_of_strip_engine() {
+        let ws = Workspace::load(&workspace_root()).expect("workspace loads");
+        let mut files_checked = 0usize;
+        let mut old_total = 0usize;
+        for f in &ws.files {
+            if f.is_test_file || !f.rel.starts_with("crates/") {
+                continue;
+            }
+            files_checked += 1;
+            let new_panic: BTreeSet<usize> = panic_hits(f)
+                .iter()
+                .map(|(i, _)| f.position(*i).0)
+                .collect();
+            let new_index: BTreeSet<usize> = indexing_hits(f)
+                .iter()
+                .map(|(i, _)| f.position(*i).0)
+                .collect();
+            let scans = [
+                (old_panic_hit_offsets(&f.src), &new_panic, "panic"),
+                (old_indexing_hit_offsets(&f.src), &new_index, "indexing"),
+            ];
+            for (offsets, new_lines, what) in scans {
+                for at in offsets {
+                    let Some(idx) = f.tokens.iter().position(|t| t.start <= at && at < t.end)
+                    else {
+                        continue;
+                    };
+                    // The old engine could not see item-level #[cfg(test)];
+                    // compare only on tokens both engines call shipping.
+                    if !f.is_shipping(idx) {
+                        continue;
+                    }
+                    old_total += 1;
+                    let line = f.tok(idx).map_or(0, |t| t.line as usize);
+                    assert!(
+                        new_lines.contains(&line),
+                        "{what}: old-engine hit at {}:{line} missing from token engine",
+                        f.rel
+                    );
+                }
+            }
+        }
+        assert!(
+            files_checked > 50,
+            "only {files_checked} shipping files checked"
+        );
+        assert!(
+            old_total > 0,
+            "differential oracle found nothing — oracle broken?"
+        );
     }
 }

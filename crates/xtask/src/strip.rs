@@ -1,9 +1,12 @@
-//! Source preprocessing for the lint rules.
+//! The old strip-based preprocessor, kept (test-only) as the reference
+//! implementation for the differential test in [`crate::rules`].
 //!
-//! The rules are textual, so they must not fire inside comments, string
-//! literals, or `#[cfg(test)]` code. [`strip`] blanks comments and
-//! literals (preserving byte offsets and line structure), and
-//! [`test_region_start`] finds where the trailing test module begins.
+//! The shipping rules now run on the spanned token stream from
+//! [`crate::lexer`] with structural `#[cfg(test)]` detection from
+//! [`crate::tree`]. [`strip`] blanks comments and literals (preserving
+//! byte offsets and line structure), and [`test_region_start`] finds
+//! where the trailing test module begins — the differential test uses
+//! both to prove the token engine finds a superset of the old findings.
 
 /// Replaces comments, string literals, char literals, and raw strings
 /// with spaces, byte for byte (newlines are kept so line numbers survive).
@@ -153,13 +156,18 @@ pub fn test_region_start(stripped: &str) -> Option<usize> {
         let start = from + rel;
         from = start + ATTR.len();
         let mut j = from;
-        // Skip whitespace and any further attributes between the cfg and
-        // the item it guards.
+        // Skip whitespace, comments (doc comments included — on raw
+        // input they sit between the cfg and its `mod`), and any further
+        // attributes between the cfg and the item it guards.
         loop {
             while j < b.len() && b[j].is_ascii_whitespace() {
                 j += 1;
             }
-            if b.get(j) == Some(&b'#') && b.get(j + 1) == Some(&b'[') {
+            if b.get(j) == Some(&b'/') && b.get(j + 1) == Some(&b'/') {
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+            } else if b.get(j) == Some(&b'#') && b.get(j + 1) == Some(&b'[') {
                 while j < b.len() && b[j] != b']' {
                     j += 1;
                 }
@@ -238,6 +246,44 @@ mod tests {
         // Extra attributes between cfg and mod still count.
         let src2 = "fn a() {}\n#[cfg(test)]\n#[allow(dead_code)]\nmod tests {}\n";
         assert!(test_region_start(src2).is_some());
+    }
+
+    #[test]
+    fn doc_comments_between_cfg_and_mod_do_not_hide_the_region() {
+        // Regression: the old skip loop only handled whitespace and
+        // attributes, so a doc comment between `#[cfg(test)]` and `mod`
+        // made the region invisible.
+        let src = "\
+fn a() {}\n\
+#[cfg(test)]\n\
+/// Doc comment between the cfg and the mod.\n\
+/// Another one.\n\
+#[allow(dead_code)]\n\
+mod tests { fn t() {} }\n";
+        let start = test_region_start(src).expect("region found despite doc comments");
+        assert!(src[..start].contains("fn a"));
+        assert!(!src[..start].contains("mod tests"));
+    }
+
+    #[test]
+    fn old_region_agrees_with_structural_test_mod_start() {
+        // The structural path (tree::test_mod_start) subsumes this
+        // function; on every shape the old scanner handles, both must
+        // point at the same byte.
+        let cases = [
+            "fn a() {}\n#[cfg(test)]\nmod tests {}\n",
+            "fn a() {}\n#[cfg(test)]\n#[allow(dead_code)]\nmod tests {}\n",
+            "fn a() {}\n#[cfg(test)]\n/// doc\n/// doc\nmod tests { fn t() {} }\n",
+            "fn b() {}\n",
+            "#[cfg(test)]\nuse std::fmt;\nfn s() {}\n#[cfg(test)]\nmod tests {}\n",
+        ];
+        for src in cases {
+            let old = test_region_start(&strip(src));
+            let tokens = crate::lexer::lex(src);
+            let items = crate::tree::parse(src, &tokens);
+            let new = crate::tree::test_mod_start(&tokens, &items);
+            assert_eq!(old, new, "old and structural disagree on {src:?}");
+        }
     }
 
     #[test]

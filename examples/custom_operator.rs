@@ -13,10 +13,10 @@
 //! Run with: `cargo run --release --example custom_operator`
 
 use bos_repro::bitpack::zigzag::{read_varint, write_varint, zigzag_decode, zigzag_encode};
+use bos_repro::bos::{BosCodec, SolverKind};
 use bos_repro::datasets::generate;
 use bos_repro::encodings::ts2diff::Ts2DiffEncoding;
 use bos_repro::encodings::IntPacker;
-use bos_repro::bos::{BosCodec, SolverKind};
 
 /// A zigzag-varint operator: one LEB128 varint per value.
 struct VarintPacker;
@@ -73,7 +73,12 @@ fn main() {
         measure(BosCodec::new(SolverKind::BitWidth), &values),
     ];
     for (label, bytes) in rows {
-        println!("{:<22} {:>10} {:>8.2}", label, bytes, raw as f64 / bytes as f64);
+        println!(
+            "{:<22} {:>10} {:>8.2}",
+            label,
+            bytes,
+            raw as f64 / bytes as f64
+        );
     }
     println!("\nAny `IntPacker` slots into RLE/TS2DIFF/SPRINTZ unchanged —");
     println!("exactly how BOS replaced bit-packing in Apache IoTDB.");

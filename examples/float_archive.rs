@@ -40,7 +40,9 @@ fn main() {
                 .expect("datasets are generated with fixed decimal precision");
             let mut out = Vec::new();
             let mut pos = 0;
-            pipeline.decode_f64(&buf, &mut pos, &mut out).expect("decode");
+            pipeline
+                .decode_f64(&buf, &mut pos, &mut out)
+                .expect("decode");
             assert_eq!(&out, values, "{} lossy!", pipeline.label());
             println!("  {:<22} {:>8.2}", pipeline.label(), raw / buf.len() as f64);
         }

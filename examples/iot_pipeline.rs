@@ -40,7 +40,11 @@ fn main() {
             PackerKind::BosM,
         ] {
             let pipeline = Pipeline::new(OuterKind::Ts2Diff, packer);
-            println!("  {:<22} {:>8.2}", pipeline.label(), ratio(&pipeline, &dataset));
+            println!(
+                "  {:<22} {:>8.2}",
+                pipeline.label(),
+                ratio(&pipeline, &dataset)
+            );
         }
     }
 

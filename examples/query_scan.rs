@@ -23,12 +23,19 @@ fn main() {
     );
 
     let scanner = Scanner::open(&stream).expect("valid stream");
-    println!("zone map: {} blocks (built from headers only)\n", scanner.num_blocks());
+    println!(
+        "zone map: {} blocks (built from headers only)\n",
+        scanner.num_blocks()
+    );
 
     // Header-only aggregates.
     let t = Instant::now();
     let min = scanner.min().unwrap();
-    println!("MIN  = {:?}  ({:.1} µs, zero blocks decoded)", min.unwrap(), t.elapsed().as_micros());
+    println!(
+        "MIN  = {:?}  ({:.1} µs, zero blocks decoded)",
+        min.unwrap(),
+        t.elapsed().as_micros()
+    );
 
     let t = Instant::now();
     let (max, stats) = scanner.max().unwrap();

@@ -38,7 +38,12 @@ fn main() {
         let codec = BosCodec::new(kind);
         match codec.solve(&values) {
             Solution::Plain { cost_bits } => {
-                println!("{:<8} {:>10} {:>10} (plain, {cost_bits} bits)", codec.name(), "-", "-");
+                println!(
+                    "{:<8} {:>10} {:>10} (plain, {cost_bits} bits)",
+                    codec.name(),
+                    "-",
+                    "-"
+                );
             }
             Solution::Separated { sep, cost_bits } => {
                 let e = block.evaluate(sep);
@@ -61,7 +66,9 @@ fn main() {
 
     // BOS-V and BOS-B must agree bit-for-bit (Propositions 2 & 3).
     let v = BosCodec::new(SolverKind::Value).solve(&values).cost_bits();
-    let b = BosCodec::new(SolverKind::BitWidth).solve(&values).cost_bits();
+    let b = BosCodec::new(SolverKind::BitWidth)
+        .solve(&values)
+        .cost_bits();
     assert_eq!(v, b, "exact solvers disagree");
     println!("\nBOS-V == BOS-B: {v} bits (optimality cross-check passed)");
 

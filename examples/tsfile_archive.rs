@@ -45,7 +45,11 @@ fn main() {
     let mut bp_writer = TsFileWriter::new();
     for dataset in &sets {
         bp_writer
-            .add_int_series(dataset.name, &dataset.as_scaled_ints(), EncodingChoice::TS2DIFF_BP)
+            .add_int_series(
+                dataset.name,
+                &dataset.as_scaled_ints(),
+                EncodingChoice::TS2DIFF_BP,
+            )
             .expect("unique names");
     }
     let bp_file = bp_writer.finish();

@@ -21,9 +21,18 @@ type V1Encode = fn(&[i64], &mut Vec<u8>);
 /// with the frozen v1 encoder whose payloads v2 must *reject*.
 fn migrated_codecs() -> Vec<(Box<dyn Codec>, V1Encode)> {
     vec![
-        (Box::new(pfor::PforCodec::new()), pfor::v1::encode_pfor_v1 as V1Encode),
-        (Box::new(pfor::FastPforCodec::new()), pfor::v1::encode_fastpfor_v1),
-        (Box::new(pfor::SimplePforCodec::new()), pfor::v1::encode_simplepfor_v1),
+        (
+            Box::new(pfor::PforCodec::new()),
+            pfor::v1::encode_pfor_v1 as V1Encode,
+        ),
+        (
+            Box::new(pfor::FastPforCodec::new()),
+            pfor::v1::encode_fastpfor_v1,
+        ),
+        (
+            Box::new(pfor::SimplePforCodec::new()),
+            pfor::v1::encode_simplepfor_v1,
+        ),
     ]
 }
 

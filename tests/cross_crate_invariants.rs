@@ -3,10 +3,10 @@
 //! and the ablations order correctly.
 
 use bos_repro::bos::kpart::solve_kpart;
+use bos_repro::bos::BosCodec;
 use bos_repro::bos::{
     BitWidthSolver, MedianSolver, Solution, Solver, SolverKind, SortedBlock, ValueSolver,
 };
-use bos_repro::bos::BosCodec;
 use bos_repro::datasets::all_datasets;
 use bos_repro::encodings::ts2diff::Ts2DiffEncoding;
 
@@ -47,7 +47,10 @@ fn median_is_sandwiched_on_all_dataset_blocks() {
         let opt = b.solve_values(&block).cost_bits();
         let med = m.solve_values(&block).cost_bits();
         let plain = SortedBlock::from_values(&block).plain_cost_bits();
-        assert!(opt <= med && med <= plain, "opt {opt} med {med} plain {plain}");
+        assert!(
+            opt <= med && med <= plain,
+            "opt {opt} med {med} plain {plain}"
+        );
     }
 }
 

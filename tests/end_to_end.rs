@@ -51,7 +51,13 @@ fn float_codecs_roundtrip_float_datasets_bit_exactly() {
                 .unwrap_or_else(|_e| panic!("{} on {}", codec.name(), dataset.abbr));
             assert_eq!(out.len(), values.len());
             for (a, b) in values.iter().zip(&out) {
-                assert_eq!(a.to_bits(), b.to_bits(), "{} on {}", codec.name(), dataset.abbr);
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} on {}",
+                    codec.name(),
+                    dataset.abbr
+                );
             }
         }
     }
@@ -73,7 +79,9 @@ fn float_scaling_pipeline_is_lossless_on_float_datasets() {
             .unwrap_or_else(|e| panic!("{} failed to scale: {e}", dataset.abbr));
         let mut out = Vec::new();
         let mut pos = 0;
-        pipeline.decode_f64(&buf, &mut pos, &mut out).expect("decode");
+        pipeline
+            .decode_f64(&buf, &mut pos, &mut out)
+            .expect("decode");
         assert_eq!(&out, values, "{}", dataset.abbr);
     }
 }

@@ -37,7 +37,12 @@ const SEEDS: u64 = 8;
 fn pipelines_survive_faults_without_panicking() {
     let ints = generate("MT", 4_000).expect("dataset").as_scaled_ints();
     for outer in OuterKind::ALL {
-        for packer in [PackerKind::Bp, PackerKind::FastPfor, PackerKind::BosB, PackerKind::BosM] {
+        for packer in [
+            PackerKind::Bp,
+            PackerKind::FastPfor,
+            PackerKind::BosB,
+            PackerKind::BosM,
+        ] {
             let pipeline = Pipeline::new(outer, packer);
             let mut buf = Vec::new();
             pipeline.encode(&ints, &mut buf);
@@ -66,7 +71,10 @@ fn float_codecs_survive_faults() {
         for (p, plan) in fault_plans().iter().enumerate() {
             for seed in 0..SEEDS {
                 let mut corrupt = buf.clone();
-                plan.apply(&mut corrupt, seed.wrapping_mul(0x9E37).wrapping_add(p as u64));
+                plan.apply(
+                    &mut corrupt,
+                    seed.wrapping_mul(0x9E37).wrapping_add(p as u64),
+                );
                 let mut out = Vec::new();
                 let mut pos = 0;
                 let _ = codec.decode(&corrupt, &mut pos, &mut out);
@@ -77,7 +85,9 @@ fn float_codecs_survive_faults() {
 
 #[test]
 fn byte_codecs_survive_faults() {
-    let data: Vec<u8> = (0..20_000u32).flat_map(|i| (i % 300).to_le_bytes()).collect();
+    let data: Vec<u8> = (0..20_000u32)
+        .flat_map(|i| (i % 300).to_le_bytes())
+        .collect();
     let codecs: Vec<Box<dyn ByteCodec>> = vec![Box::new(Lz4Like::new()), Box::new(LzmaLite::new())];
     for codec in codecs {
         let mut buf = Vec::new();
@@ -101,7 +111,8 @@ fn tsfile_detects_every_payload_fault() {
     // wrong data.
     let ints = generate("CS", 5_000).expect("dataset").as_scaled_ints();
     let mut w = TsFileWriter::new();
-    w.add_int_series("s", &ints, EncodingChoice::TS2DIFF_BOS).unwrap();
+    w.add_int_series("s", &ints, EncodingChoice::TS2DIFF_BOS)
+        .unwrap();
     let bytes = w.finish();
     let payload = {
         let r = TsFileReader::open(&bytes).unwrap();
@@ -120,9 +131,9 @@ fn tsfile_detects_every_payload_fault() {
             if corrupt == bytes {
                 continue; // the draw was a no-op (e.g. flip of an equal bit)
             }
-            assert!(records.iter().all(|r| {
-                r.touched.start >= payload.start && r.touched.end <= payload.end
-            }));
+            assert!(records
+                .iter()
+                .all(|r| { r.touched.start >= payload.start && r.touched.end <= payload.end }));
             match TsFileReader::open(&corrupt) {
                 Err(_) => {}
                 Ok(r) => match r.read_ints("s") {
@@ -136,7 +147,10 @@ fn tsfile_detects_every_payload_fault() {
             }
         }
     }
-    assert_eq!(silent_corruptions, 0, "corruption returned wrong data silently");
+    assert_eq!(
+        silent_corruptions, 0,
+        "corruption returned wrong data silently"
+    );
 }
 
 #[test]

@@ -32,11 +32,15 @@ fn series_values(n: usize, salt: i64) -> Vec<i64> {
 /// Builds a three-series file with the given operator; returns the bytes
 /// and the expected values per series.
 fn build_file(packer: PackerKind) -> (Vec<u8>, Vec<Vec<i64>>) {
-    let encoding = EncodingChoice { outer: bos_repro::encodings::OuterKind::Ts2Diff, packer };
+    let encoding = EncodingChoice {
+        outer: bos_repro::encodings::OuterKind::Ts2Diff,
+        packer,
+    };
     let mut w = TsFileWriter::new();
     let expected: Vec<Vec<i64>> = (0..3).map(|s| series_values(1200, s * 13 + 5)).collect();
     for (s, values) in expected.iter().enumerate() {
-        w.add_int_series(&format!("s{s}"), values, encoding).expect("write series");
+        w.add_int_series(&format!("s{s}"), values, encoding)
+            .expect("write series");
     }
     (w.finish(), expected)
 }

@@ -79,8 +79,18 @@ fn check<C: bitpack::BlockCodec + Sync>(
 
     prop_assert_eq!(d.blocks_encoded, n_blocks, "{} blocks_encoded", label);
     prop_assert_eq!(d.blocks_decoded, n_blocks, "{} blocks_decoded", label);
-    prop_assert_eq!(d.values_encoded, values.len() as u64, "{} values_encoded", label);
-    prop_assert_eq!(d.values_decoded, values.len() as u64, "{} values_decoded", label);
+    prop_assert_eq!(
+        d.values_encoded,
+        values.len() as u64,
+        "{} values_encoded",
+        label
+    );
+    prop_assert_eq!(
+        d.values_decoded,
+        values.len() as u64,
+        "{} values_decoded",
+        label
+    );
     prop_assert_eq!(d.bytes_encoded, payload, "{} bytes_encoded", label);
     prop_assert_eq!(d.bytes_decoded, payload, "{} bytes_decoded", label);
     prop_assert_eq!(d.width_samples, n_blocks, "{} width histogram count", label);

@@ -36,7 +36,12 @@ fn assert_toggle_invariant<C: bitpack::BlockCodec + Sync>(codec: &C, values: &[i
     obs::set_enabled(false);
     encode_blocks_parallel(codec, values, 256, 2, &mut off).expect("encode");
     obs::set_enabled(true);
-    assert_eq!(on, off, "{}: kill-switch changed encoded bytes", codec.name());
+    assert_eq!(
+        on,
+        off,
+        "{}: kill-switch changed encoded bytes",
+        codec.name()
+    );
     assert_eq!(
         decode_blocks(codec, &on).expect("decode"),
         values,

@@ -13,17 +13,30 @@ fn archive_all_datasets_and_read_back() {
     let sets = all_datasets(6_000);
     let mut w = TsFileWriter::new();
     for d in &sets {
-        w.add_int_series(d.name, &d.as_scaled_ints(), EncodingChoice::auto_for(&d.as_scaled_ints()))
-            .unwrap();
+        w.add_int_series(
+            d.name,
+            &d.as_scaled_ints(),
+            EncodingChoice::auto_for(&d.as_scaled_ints()),
+        )
+        .unwrap();
     }
     let bytes = w.finish();
     let raw: usize = sets.iter().map(|d| d.uncompressed_bytes()).sum();
-    assert!(bytes.len() * 3 < raw, "archive {} vs raw {raw}", bytes.len());
+    assert!(
+        bytes.len() * 3 < raw,
+        "archive {} vs raw {raw}",
+        bytes.len()
+    );
 
     let r = TsFileReader::open(&bytes).unwrap();
     assert_eq!(r.series().len(), sets.len());
     for d in &sets {
-        assert_eq!(r.read_ints(d.name).unwrap(), d.as_scaled_ints(), "{}", d.abbr);
+        assert_eq!(
+            r.read_ints(d.name).unwrap(),
+            d.as_scaled_ints(),
+            "{}",
+            d.abbr
+        );
     }
 }
 
@@ -65,8 +78,18 @@ fn scanner_answers_match_bruteforce_on_every_dataset() {
         let mut stream = Vec::new();
         StreamEncoder::new(SolverKind::BitWidth, 1024).encode(&ints, &mut stream);
         let scanner = Scanner::open(&stream).unwrap();
-        assert_eq!(scanner.min().unwrap(), ints.iter().copied().min(), "{}", d.abbr);
-        assert_eq!(scanner.max().unwrap().0, ints.iter().copied().max(), "{}", d.abbr);
+        assert_eq!(
+            scanner.min().unwrap(),
+            ints.iter().copied().min(),
+            "{}",
+            d.abbr
+        );
+        assert_eq!(
+            scanner.max().unwrap().0,
+            ints.iter().copied().max(),
+            "{}",
+            d.abbr
+        );
         assert_eq!(
             scanner.sum().unwrap(),
             ints.iter().map(|&v| v as i128).sum::<i128>(),

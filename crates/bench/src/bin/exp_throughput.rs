@@ -1,7 +1,18 @@
-//! Regenerates the throughput artifact implemented in
-//! `bos_bench::experiments::throughput` (writes `BENCH_PR3.json`).
+//! Regenerates the throughput artifacts implemented in
+//! `bos_bench::experiments::throughput` (writes `BENCH_PR4.json` and
+//! `BENCH_PR8.json`).
+//!
+//! Pass `--quick` for the tier-1 configuration: only the PR 8 solver
+//! section (encode sessions + the frozen-reference speedup gate), which
+//! writes `BENCH_PR8.json` and skips the kernel/operator/migration
+//! sweeps.
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let cfg = bos_bench::harness::Config::from_env();
-    bos_bench::experiments::throughput::run(&cfg);
+    if quick {
+        bos_bench::experiments::throughput::run_quick(&cfg);
+    } else {
+        bos_bench::experiments::throughput::run(&cfg);
+    }
 }

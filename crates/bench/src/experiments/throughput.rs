@@ -21,10 +21,19 @@
 //!   must stay within [`OBS_OVERHEAD_GATE`], and toggling the runtime
 //!   kill-switch must not change a single output byte.
 //!
+//! * **Solvers** (new in PR 8): every [`SolverKind`] encoding the gate
+//!   dataset through a scratch-reusing [`bitpack::EncodeSession`], plus
+//!   the PR 8 acceptance gate — the overhauled BOS-B search must be at
+//!   least [`SOLVER_SPEEDUP_GATE`]× the frozen pre-overhaul reference
+//!   (`bos::solver::reference`) while returning bit-identical
+//!   `Solution`s block for block. This section also runs alone under
+//!   `--quick` as part of the tier-1 recipe.
+//!
 //! Results are written to `BENCH_PR4.json` at the workspace root so later
 //! PRs can diff their numbers against this artifact (`BENCH_PR3.json` from
-//! the previous PR is kept untouched). Timings use [`time_best_of`] /
-//! [`time_stats`] (warmup + min-of-`BOS_REPEATS`) for reproducibility.
+//! the previous PR is kept untouched); the solver section writes its own
+//! `BENCH_PR8.json`. Timings use [`time_best_of`] / [`time_stats`]
+//! (warmup + min-of-`BOS_REPEATS`) for reproducibility.
 
 use crate::harness::{time_best_of, time_stats, Config, Table, TimeStats};
 use bitpack::codec::encode_blocks_parallel;
@@ -32,7 +41,9 @@ use bitpack::kernels::{pack_words, unpack_words};
 use bitpack::unrolled::{
     pack_words_for, pack_words_unrolled, unpack_words_for, unpack_words_unrolled,
 };
-use bos::{BosCodec, SolverKind};
+use bitpack::BlockCodec;
+use bos::solver::reference;
+use bos::{BitWidthSolver, BosCodec, Solver, SolverConfig, SolverKind, SolverScratch, ValueSolver};
 use datasets::all_datasets;
 use encodings::{IntPacker, PackerKind};
 use std::path::PathBuf;
@@ -65,6 +76,14 @@ const GATE_MIN_N: usize = 10_000;
 /// Required minimum v2-over-v1 decode speedup (geomean across datasets)
 /// for each migrated codec.
 const MIGRATION_GATE: f64 = 1.5;
+
+/// Required BOS-B search speedup over the frozen pre-overhaul reference
+/// (`bos::solver::reference::bitwidth_solve`) on the gate dataset — the
+/// PR 8 acceptance bar for the seeded-pruning / family-jump overhaul.
+const SOLVER_SPEEDUP_GATE: f64 = 10.0;
+
+/// Outlier share of the solver gate dataset: 1 value in 50 (2%).
+const OUTLIER_DIVISOR: u64 = 50;
 
 /// Maximum obs-on / obs-off time ratio allowed on the kernel unpack path
 /// (the instrumentation never touches the kernels, so this documents that
@@ -358,12 +377,13 @@ fn migration_summary(rows: &[MigrationRow]) -> Vec<(&'static str, f64)> {
     out
 }
 
-/// The three paper solvers driven through the shared parallel encode
-/// driver, with their `obs` metric label.
-const SOLVER_KINDS: [(SolverKind, &str); 3] = [
+/// The paper solvers (plus the PR 8 adaptive ladder) driven through the
+/// shared parallel encode driver, with their `obs` metric label.
+const SOLVER_KINDS: [(SolverKind, &str); 4] = [
     (SolverKind::Value, "BOS-V"),
     (SolverKind::BitWidth, "BOS-B"),
     (SolverKind::Median, "BOS-M"),
+    (SolverKind::Adaptive, "BOS-A"),
 ];
 
 /// Encodes every dataset once per BOS solver and reads the search-effort
@@ -403,6 +423,267 @@ fn solver_metrics_rows(cfg: &Config) -> Vec<SolverMetricsRow> {
         });
     }
     rows
+}
+
+/// Encode throughput for one solver kind on the gate dataset.
+struct SolverEncodeRow {
+    name: &'static str,
+    /// Encode throughput (values/s) through a scratch-reusing session.
+    encode: f64,
+    bytes: usize,
+}
+
+/// Frozen-reference vs overhauled search timing for one solver.
+struct SolverSpeedupRow {
+    name: &'static str,
+    /// Per-pass wall time of the frozen pre-overhaul search (ns).
+    reference_ns: f64,
+    /// Per-pass wall time of the overhauled search (ns).
+    new_ns: f64,
+}
+
+impl SolverSpeedupRow {
+    fn speedup(&self) -> f64 {
+        self.reference_ns / self.new_ns.max(1.0)
+    }
+}
+
+/// Deterministic solver gate dataset: tight center (uniform `[0, 200)`)
+/// with 2% outliers near ±2⁴⁰ — the distribution BOS targets, and the one
+/// whose candidate ladders the PR 8 pruning cuts hardest. A fixed LCG
+/// keeps the artifact reproducible run to run.
+fn outlier_series(n: usize) -> Vec<i64> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let r = state >> 33;
+            if r.is_multiple_of(OUTLIER_DIVISOR) {
+                let magnitude = (1i64 << 40) + (r % 1000) as i64;
+                if r & 2 == 0 {
+                    magnitude
+                } else {
+                    -magnitude
+                }
+            } else {
+                (r % 200) as i64
+            }
+        })
+        .collect()
+}
+
+/// Times every [`SolverKind`] encoding the gate dataset through a
+/// scratch-reusing [`bitpack::EncodeSession`] (the PR 8 encode path), and
+/// verifies each stream decodes back to the input.
+fn solver_encode_rows(cfg: &Config, series: &[i64]) -> Vec<SolverEncodeRow> {
+    let mut rows = Vec::new();
+    for kind in SolverKind::ALL {
+        let codec = BosCodec::new(kind);
+        let mut buf = Vec::new();
+        let (_, ns) = time_best_of(cfg.repeats, || {
+            buf.clear();
+            let mut session = codec.encode_session();
+            for block in series.chunks(BLOCK) {
+                session.encode_block(block, &mut buf);
+            }
+        });
+        let mut pos = 0;
+        let mut out = Vec::new();
+        while pos < buf.len() {
+            bos::decode(&buf, &mut pos, &mut out).expect("decode");
+        }
+        assert_eq!(
+            out,
+            series,
+            "{} roundtrip on the gate dataset",
+            kind.label()
+        );
+        rows.push(SolverEncodeRow {
+            name: kind.label(),
+            encode: vps(series.len(), ns),
+            bytes: buf.len(),
+        });
+    }
+    rows
+}
+
+/// Times the frozen pre-overhaul searches against the overhauled solvers
+/// on the gate dataset, block by block, asserting the `Solution`s stay
+/// bit-identical — the same-run comparison that carries the PR 8 claim
+/// (both sides see the same machine, build, and data).
+fn solver_speedup_rows(cfg: &Config, series: &[i64]) -> Vec<SolverSpeedupRow> {
+    let full = SolverConfig::default();
+    let mut rows = Vec::new();
+
+    let mut expected = Vec::new();
+    let (_, reference_ns) = time_best_of(cfg.repeats, || {
+        expected.clear();
+        for block in series.chunks(BLOCK) {
+            expected.push(reference::bitwidth_solve(full, block));
+        }
+    });
+    let mut got = Vec::new();
+    let mut solver = BitWidthSolver::new();
+    let mut scratch = SolverScratch::new();
+    let (_, new_ns) = time_best_of(cfg.repeats, || {
+        got.clear();
+        for block in series.chunks(BLOCK) {
+            got.push(solver.solve_into(block, &mut scratch));
+        }
+    });
+    assert_eq!(
+        got, expected,
+        "overhauled BOS-B must stay bit-identical to the frozen reference"
+    );
+    rows.push(SolverSpeedupRow {
+        name: "BOS-B",
+        reference_ns,
+        new_ns,
+    });
+
+    let mut expected = Vec::new();
+    let (_, reference_ns) = time_best_of(cfg.repeats, || {
+        expected.clear();
+        for block in series.chunks(BLOCK) {
+            expected.push(reference::value_solve(full, block));
+        }
+    });
+    let mut got = Vec::new();
+    let mut solver = ValueSolver::new();
+    let mut scratch = SolverScratch::new();
+    let (_, new_ns) = time_best_of(cfg.repeats, || {
+        got.clear();
+        for block in series.chunks(BLOCK) {
+            got.push(solver.solve_into(block, &mut scratch));
+        }
+    });
+    assert_eq!(
+        got, expected,
+        "overhauled BOS-V must stay bit-identical to the frozen reference"
+    );
+    rows.push(SolverSpeedupRow {
+        name: "BOS-V",
+        reference_ns,
+        new_ns,
+    });
+
+    rows
+}
+
+/// Renders the PR 8 solver artifact.
+fn render_pr8_json(
+    cfg: &Config,
+    encode_rows: &[SolverEncodeRow],
+    speedup_rows: &[SolverSpeedupRow],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(
+        "  \"bench\": \"PR8 solver-search overhaul: scratch-reusing sessions, \
+         seeded pruning, adaptive ladder\",\n",
+    );
+    s.push_str(&format!(
+        "  \"config\": {{ \"n\": {}, \"repeats\": {}, \"block\": {}, \
+         \"outlier_pct\": {:.1} }},\n",
+        cfg.n,
+        cfg.repeats,
+        BLOCK,
+        100.0 / OUTLIER_DIVISOR as f64
+    ));
+    s.push_str("  \"solver_encode\": [\n");
+    for (i, r) in encode_rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"encode\": {}, \"bytes\": {} }}{}\n",
+            r.name,
+            jnum(r.encode),
+            r.bytes,
+            if i + 1 < encode_rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"solver_speedup\": [\n");
+    for (i, r) in speedup_rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"reference_ns\": {:.0}, \"new_ns\": {:.0}, \
+             \"speedup\": {:.2}, \"bit_identical\": true }}{}\n",
+            r.name,
+            r.reference_ns,
+            r.new_ns,
+            r.speedup(),
+            if i + 1 < speedup_rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"gate\": {{ \"solver\": \"BOS-B\", \"min_speedup\": {SOLVER_SPEEDUP_GATE} }}\n"
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Workspace-root path for the PR 8 solver artifact.
+fn pr8_output_path() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join("BENCH_PR8.json")
+}
+
+/// Runs the PR 8 solver section: per-solver encode throughput through
+/// scratch-reusing sessions, then the frozen-reference speedup gate.
+/// Writes `BENCH_PR8.json`.
+fn solver_section(cfg: &Config) {
+    let series = outlier_series(cfg.n);
+
+    let encode_rows = solver_encode_rows(cfg, &series);
+    println!(
+        "Solver encode throughput (million values/s, scratch-reusing \
+         sessions, 2% outlier dataset):"
+    );
+    let mut table = Table::new(["solver", "encode", "bytes"]);
+    for r in &encode_rows {
+        table.row([r.name.to_string(), fmt_mvps(r.encode), r.bytes.to_string()]);
+    }
+    table.print();
+    println!();
+
+    let speedup_rows = solver_speedup_rows(cfg, &series);
+    println!("Solver search vs frozen pre-overhaul reference (bit-identical solutions):");
+    let mut table = Table::new(["solver", "reference ms", "new ms", "speedup"]);
+    for r in &speedup_rows {
+        table.row([
+            r.name.to_string(),
+            format!("{:.2}", r.reference_ns / 1e6),
+            format!("{:.2}", r.new_ns / 1e6),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    table.print();
+    let bosb = speedup_rows
+        .iter()
+        .find(|r| r.name == "BOS-B")
+        .expect("BOS-B row present");
+    println!(
+        "BOS-B search speedup: {:.2}x (gate: >= {SOLVER_SPEEDUP_GATE}x)",
+        bosb.speedup()
+    );
+    if cfg!(debug_assertions) {
+        println!("(debug build: solver speedup gate reported but not enforced)");
+    } else if cfg.n < GATE_MIN_N {
+        println!("(BOS_N < {GATE_MIN_N}: solver speedup gate reported but not enforced)");
+    } else {
+        assert!(
+            bosb.speedup() >= SOLVER_SPEEDUP_GATE,
+            "overhauled BOS-B search must be >= {SOLVER_SPEEDUP_GATE}x the frozen \
+             reference, got {:.2}x",
+            bosb.speedup()
+        );
+    }
+    println!();
+
+    let json = render_pr8_json(cfg, &encode_rows, &speedup_rows);
+    let path = pr8_output_path();
+    std::fs::write(&path, &json).expect("write BENCH_PR8.json");
+    println!("Wrote {}", path.display());
 }
 
 /// A/B comparison with the runtime kill-switch: kernel unpack and BOS-M
@@ -618,7 +899,18 @@ fn output_path() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join("BENCH_PR4.json")
 }
 
-/// Runs the experiment and writes `BENCH_PR4.json`.
+/// Runs only the PR 8 solver section (the tier-1 `--quick` recipe):
+/// per-solver encode throughput, the frozen-reference speedup gate, and
+/// `BENCH_PR8.json` — skipping the kernel/operator/migration sweeps.
+pub fn run_quick(cfg: &Config) {
+    super::banner(
+        "PR8 solver throughput (quick): sessions, pruning gate (values/s)",
+        cfg,
+    );
+    solver_section(cfg);
+}
+
+/// Runs the experiment and writes `BENCH_PR4.json` + `BENCH_PR8.json`.
 pub fn run(cfg: &Config) {
     super::banner(
         "PR4 throughput: kernels, operators, migration, and obs metrics (values/s)",
@@ -812,4 +1104,7 @@ pub fn run(cfg: &Config) {
     let path = output_path();
     std::fs::write(&path, &json).expect("write BENCH_PR4.json");
     println!("Wrote {}", path.display());
+    println!();
+
+    solver_section(cfg);
 }

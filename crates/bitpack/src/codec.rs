@@ -85,14 +85,14 @@ impl DecodeMeter {
     }
 }
 
-fn encode_one<C: BlockCodec + ?Sized>(
-    codec: &C,
+fn encode_one(
+    session: &mut (dyn EncodeSession + '_),
     block: &[i64],
     out: &mut Vec<u8>,
     meter: Option<&EncodeMeter>,
 ) {
     let start = out.len();
-    codec.encode(block, out);
+    session.encode_block(block, out);
     if let Some(m) = meter {
         m.record(block, out.len().saturating_sub(start));
     }
@@ -123,7 +123,8 @@ fn decode_one<C: BlockCodec + ?Sized>(
 /// blocks themselves.
 pub fn encode_block_observed<C: BlockCodec + ?Sized>(codec: &C, values: &[i64], out: &mut Vec<u8>) {
     let meter = EncodeMeter::new(codec.name());
-    encode_one(codec, values, out, meter.as_ref());
+    let mut session = codec.encode_session();
+    encode_one(session.as_mut(), values, out, meter.as_ref());
 }
 
 /// Decodes one block via `codec`, recording the per-label block/value/
@@ -142,14 +143,14 @@ pub fn decode_block_observed<C: BlockCodec + ?Sized>(
 /// [`encode_one`] with the codec's panic contained: on panic the payload is
 /// swallowed, `out` is rolled back to its entry length (the codec may have
 /// pushed a partial block), and `Err(())` is returned.
-fn encode_one_caught<C: BlockCodec + ?Sized>(
-    codec: &C,
+fn encode_one_caught(
+    session: &mut (dyn EncodeSession + '_),
     block: &[i64],
     out: &mut Vec<u8>,
     meter: Option<&EncodeMeter>,
 ) -> Result<(), ()> {
     let len_before = out.len();
-    match catch_unwind(AssertUnwindSafe(|| encode_one(codec, block, out, meter))) {
+    match catch_unwind(AssertUnwindSafe(|| encode_one(session, block, out, meter))) {
         Ok(()) => Ok(()),
         Err(_payload) => {
             out.truncate(len_before);
@@ -169,8 +170,9 @@ fn encode_blocks_caught<C: BlockCodec + ?Sized>(
     meter: Option<&EncodeMeter>,
     restore: usize,
 ) -> Result<(), EncodeError> {
+    let mut session = codec.encode_session();
     for (i, block) in values.chunks(block_size).enumerate() {
-        if encode_one_caught(codec, block, out, meter).is_err() {
+        if encode_one_caught(session.as_mut(), block, out, meter).is_err() {
             out.truncate(restore);
             return Err(EncodeError::WorkerPanicked { block: i });
         }
@@ -201,6 +203,39 @@ pub trait BlockCodec {
     /// Fails with a [`DecodeError`](crate::DecodeError) on corrupt or
     /// truncated input.
     fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()>;
+
+    /// Creates per-thread encode state for a run of blocks.
+    ///
+    /// The multi-block drivers ([`encode_blocks_parallel`] and friends)
+    /// create one session per worker and feed every block of that worker
+    /// through it, so a codec with reusable working memory (e.g. a BOS
+    /// solver scratch) can amortize its allocations across blocks. The
+    /// default session is stateless and simply forwards to
+    /// [`BlockCodec::encode`]; overriding must not change the bytes
+    /// produced — sessions are a performance surface, not a format one.
+    fn encode_session(&self) -> Box<dyn EncodeSession + '_> {
+        Box::new(StatelessSession(self))
+    }
+}
+
+/// Per-worker encode state produced by [`BlockCodec::encode_session`].
+///
+/// `encode_block` must append exactly the bytes [`BlockCodec::encode`]
+/// would for the same block: state carried between blocks may only make
+/// encoding faster, never different.
+pub trait EncodeSession {
+    /// Appends one encoded block to `out`.
+    fn encode_block(&mut self, values: &[i64], out: &mut Vec<u8>);
+}
+
+/// Default [`EncodeSession`]: no reusable state, forwards each block to
+/// [`BlockCodec::encode`].
+struct StatelessSession<'a, C: ?Sized>(&'a C);
+
+impl<C: BlockCodec + ?Sized> EncodeSession for StatelessSession<'_, C> {
+    fn encode_block(&mut self, values: &[i64], out: &mut Vec<u8>) {
+        self.0.encode(values, out)
+    }
 }
 
 impl<C: BlockCodec + ?Sized> BlockCodec for &C {
@@ -213,6 +248,9 @@ impl<C: BlockCodec + ?Sized> BlockCodec for &C {
     fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         (**self).decode(buf, pos, out)
     }
+    fn encode_session(&self) -> Box<dyn EncodeSession + '_> {
+        (**self).encode_session()
+    }
 }
 
 impl<C: BlockCodec + ?Sized> BlockCodec for Box<C> {
@@ -224,6 +262,9 @@ impl<C: BlockCodec + ?Sized> BlockCodec for Box<C> {
     }
     fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> DecodeResult<()> {
         (**self).decode(buf, pos, out)
+    }
+    fn encode_session(&self) -> Box<dyn EncodeSession + '_> {
+        (**self).encode_session()
     }
 }
 
@@ -270,9 +311,10 @@ pub fn encode_blocks_parallel<C: BlockCodec + Sync>(
             .map(|group| {
                 scope.spawn(move || -> Result<Vec<u8>, ()> {
                     let started = meter.map(|_| Instant::now());
+                    let mut session = codec.encode_session();
                     let mut buf = Vec::new();
                     for block in group {
-                        encode_one_caught(codec, block, &mut buf, meter.as_ref())?;
+                        encode_one_caught(session.as_mut(), block, &mut buf, meter.as_ref())?;
                     }
                     if let Some(t0) = started {
                         PAR_WORKER_BLOCKS.record(group.len() as u64);

@@ -42,7 +42,7 @@ pub mod zigzag;
 
 pub use bitmap::{OutlierBitmap, Part};
 pub use bits::{BitReader, BitWriter};
-pub use codec::BlockCodec;
+pub use codec::{BlockCodec, EncodeSession};
 pub use error::{DecodeError, DecodeResult, EncodeError};
 pub use width::{bit_width, width, width1};
 pub use zigzag::{zigzag_decode, zigzag_encode};

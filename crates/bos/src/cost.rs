@@ -103,7 +103,11 @@ impl Solution {
 }
 
 /// Sorted distinct values of a block with cumulative counts (Definition 6).
-#[derive(Debug, Clone)]
+///
+/// The `Default` value is the empty block; [`SortedBlock::rebuild`] refills
+/// it in place so solver scratch space can reuse the allocations across
+/// adjacent blocks.
+#[derive(Debug, Clone, Default)]
 pub struct SortedBlock {
     /// Sorted distinct values.
     vals: Vec<i64>,
@@ -116,27 +120,35 @@ pub struct SortedBlock {
 impl SortedBlock {
     /// Builds the summary in `O(n log n)` (sort + dedup + prefix sums).
     pub fn from_values(values: &[i64]) -> Self {
-        let mut sorted: Vec<i64> = values.to_vec();
-        sorted.sort_unstable();
-        let mut vals = Vec::new();
-        let mut cum = Vec::new();
+        let mut block = SortedBlock::default();
+        block.rebuild(values, &mut Vec::new());
+        block
+    }
+
+    /// Rebuilds the summary in place from `values`, reusing this block's
+    /// internal allocations and the caller's sort buffer. Equivalent to
+    /// `*self = SortedBlock::from_values(values)`, but after warm-up no
+    /// allocation happens on blocks no larger than the previous ones —
+    /// the amortization that [`crate::solver::SolverScratch`] rides on.
+    pub fn rebuild(&mut self, values: &[i64], sort_buf: &mut Vec<i64>) {
+        sort_buf.clear();
+        sort_buf.extend_from_slice(values);
+        sort_buf.sort_unstable();
+        self.vals.clear();
+        self.cum.clear();
+        self.n = values.len();
         let mut running = 0usize;
         let mut i = 0;
-        while i < sorted.len() {
-            let v = sorted[i];
+        while i < sort_buf.len() {
+            let v = sort_buf[i];
             let mut j = i;
-            while j < sorted.len() && sorted[j] == v {
+            while j < sort_buf.len() && sort_buf[j] == v {
                 j += 1;
             }
             running += j - i;
-            vals.push(v);
-            cum.push(running);
+            self.vals.push(v);
+            self.cum.push(running);
             i = j;
-        }
-        Self {
-            vals,
-            cum,
-            n: values.len(),
         }
     }
 

@@ -65,7 +65,7 @@ static PART_NC: obs::HistogramHandle = obs::HistogramHandle::new("bos.separated.
 static PART_NU: obs::HistogramHandle = obs::HistogramHandle::new("bos.separated.nu");
 
 /// Encodes one block, choosing plain packing or separation with `solver`.
-pub fn encode_block<S: Solver + ?Sized>(values: &[i64], solver: &S, out: &mut Vec<u8>) {
+pub fn encode_block<S: Solver + Clone>(values: &[i64], solver: &S, out: &mut Vec<u8>) {
     let solution = solver.solve_values(values);
     encode_block_with_solution(values, &solution, out);
 }
@@ -501,7 +501,7 @@ mod tests {
 
     const INTRO: [i64; 8] = [3, 2, 4, 5, 3, 2, 0, 8];
 
-    fn roundtrip_with<S: Solver>(values: &[i64], solver: &S) -> Vec<u8> {
+    fn roundtrip_with<S: Solver + Clone>(values: &[i64], solver: &S) -> Vec<u8> {
         let mut buf = Vec::new();
         encode_block(values, solver, &mut buf);
         let mut pos = 0;

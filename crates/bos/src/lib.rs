@@ -48,9 +48,16 @@ pub mod theory;
 
 pub use cost::{Evaluation, Separation, Solution, SortedBlock};
 pub use format::{decode_block as decode, encode_block_with_solution};
-pub use solver::{BitWidthSolver, MedianSolver, Solver, SolverConfig, ValueSolver};
+pub use solver::{
+    AdaptiveSolver, BitWidthSolver, MedianSolver, Solver, SolverConfig, SolverScratch, ValueSolver,
+};
 
 /// Which separation solver a [`BosCodec`] uses.
+///
+/// This is the single solver-selection surface of the workspace: the CLI,
+/// [`stream`], the experiment harness and the adaptive ladder all pick
+/// solvers through it (mirroring how `PackerKind` selects packing
+/// operators), so a new solver shows up everywhere by adding one variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SolverKind {
     /// BOS-V: exact, O(n²) search over value pairs (Algorithm 1).
@@ -59,10 +66,78 @@ pub enum SolverKind {
     BitWidth,
     /// BOS-M: approximate, O(n) median/bucket search (Algorithm 3).
     Median,
+    /// BOS-A: BOS-M always, escalating to BOS-B when the Proposition 4
+    /// bound says the remaining gap can pay for the exact search.
+    Adaptive,
     /// BOS-V restricted to upper outliers (Figure 12 ablation).
     ValueUpperOnly,
     /// BOS-B restricted to upper outliers (Figure 12 ablation).
     BitWidthUpperOnly,
+}
+
+impl SolverKind {
+    /// Every solver, in the paper's table order (ablations last).
+    pub const ALL: [SolverKind; 6] = [
+        SolverKind::Value,
+        SolverKind::BitWidth,
+        SolverKind::Median,
+        SolverKind::Adaptive,
+        SolverKind::ValueUpperOnly,
+        SolverKind::BitWidthUpperOnly,
+    ];
+
+    /// Method label matching the paper's tables ("BOS-V", "BOS-B", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverKind::Value => "BOS-V",
+            SolverKind::BitWidth => "BOS-B",
+            SolverKind::Median => "BOS-M",
+            SolverKind::Adaptive => "BOS-A",
+            SolverKind::ValueUpperOnly => "BOS-V (upper only)",
+            SolverKind::BitWidthUpperOnly => "BOS-B (upper only)",
+        }
+    }
+
+    /// Instantiates the solver behind this kind.
+    pub fn build(self) -> Box<dyn Solver> {
+        match self {
+            SolverKind::Value => Box::new(ValueSolver::new()),
+            SolverKind::BitWidth => Box::new(BitWidthSolver::new()),
+            SolverKind::Median => Box::new(MedianSolver::new()),
+            SolverKind::Adaptive => Box::new(AdaptiveSolver::new()),
+            SolverKind::ValueUpperOnly => Box::new(ValueSolver::upper_only()),
+            SolverKind::BitWidthUpperOnly => Box::new(BitWidthSolver::upper_only()),
+        }
+    }
+}
+
+impl std::fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for SolverKind {
+    type Err = String;
+
+    /// Parses a paper label ("BOS-B") or a plain alias ("bitwidth", "b"),
+    /// case-insensitively; ablations use a "-upper" suffix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "bos-v" | "v" | "value" => Ok(SolverKind::Value),
+            "bos-b" | "b" | "bitwidth" => Ok(SolverKind::BitWidth),
+            "bos-m" | "m" | "median" => Ok(SolverKind::Median),
+            "bos-a" | "a" | "adaptive" => Ok(SolverKind::Adaptive),
+            "bos-v-upper" | "value-upper" | "bos-v (upper only)" => Ok(SolverKind::ValueUpperOnly),
+            "bos-b-upper" | "bitwidth-upper" | "bos-b (upper only)" => {
+                Ok(SolverKind::BitWidthUpperOnly)
+            }
+            other => Err(format!(
+                "unknown solver '{other}' (expected one of: bos-v, bos-b, bos-m, bos-a, \
+                 bos-v-upper, bos-b-upper)"
+            )),
+        }
+    }
 }
 
 /// A block codec: runs the chosen solver and writes the Section-VII layout.
@@ -88,21 +163,20 @@ impl BosCodec {
 
     /// Name matching the paper's method labels ("BOS-V", "BOS-B", "BOS-M").
     ///
-    /// Same as the [`bitpack::BlockCodec`] implementation, which holds the
-    /// actual label table.
+    /// Same as [`SolverKind::label`], which holds the actual label table.
     pub fn name(&self) -> &'static str {
-        bitpack::BlockCodec::name(self)
+        self.kind.label()
     }
 
-    /// Runs the solver on `values` (without encoding).
+    /// Runs the solver on `values` (without encoding). One-shot: builds a
+    /// throwaway solver and scratch. Encode paths that run over many
+    /// blocks should use [`BosCodec::encode_session`] (or hold a solver
+    /// plus [`SolverScratch`] themselves) so the working memory survives
+    /// from block to block.
     pub fn solve(&self, values: &[i64]) -> Solution {
-        match self.kind {
-            SolverKind::Value => ValueSolver::new().solve_values(values),
-            SolverKind::BitWidth => BitWidthSolver::new().solve_values(values),
-            SolverKind::Median => MedianSolver::new().solve_values(values),
-            SolverKind::ValueUpperOnly => ValueSolver::upper_only().solve_values(values),
-            SolverKind::BitWidthUpperOnly => BitWidthSolver::upper_only().solve_values(values),
-        }
+        self.kind
+            .build()
+            .solve_into(values, &mut SolverScratch::new())
     }
 
     /// Span names for the search/pack phases. Upper-only ablation
@@ -119,6 +193,7 @@ impl BosCodec {
                 ("solver_search.BOS-B", "pack_payload.BOS-B")
             }
             SolverKind::Median => ("solver_search.BOS-M", "pack_payload.BOS-M"),
+            SolverKind::Adaptive => ("solver_search.BOS-A", "pack_payload.BOS-A"),
         }
     }
 
@@ -150,13 +225,7 @@ impl BosCodec {
 /// family, with the paper's method labels.
 impl bitpack::BlockCodec for BosCodec {
     fn name(&self) -> &'static str {
-        match self.kind {
-            SolverKind::Value => "BOS-V",
-            SolverKind::BitWidth => "BOS-B",
-            SolverKind::Median => "BOS-M",
-            SolverKind::ValueUpperOnly => "BOS-V (upper only)",
-            SolverKind::BitWidthUpperOnly => "BOS-B (upper only)",
-        }
+        self.kind.label()
     }
 
     fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
@@ -165,6 +234,38 @@ impl bitpack::BlockCodec for BosCodec {
 
     fn decode(&self, buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> bitpack::DecodeResult<()> {
         format::decode_block(buf, pos, out)
+    }
+
+    fn encode_session(&self) -> Box<dyn bitpack::EncodeSession + '_> {
+        let solver = self.kind.build();
+        let scratch = solver.scratch();
+        Box::new(BosSession {
+            codec: *self,
+            solver,
+            scratch,
+        })
+    }
+}
+
+/// Scratch-reusing encode session for [`BosCodec`]: one solver and one
+/// [`SolverScratch`] per worker thread, fed every block of that worker in
+/// order, so steady-state encode reuses the same working memory from
+/// block to block instead of re-allocating it per block.
+struct BosSession {
+    codec: BosCodec,
+    solver: Box<dyn Solver>,
+    scratch: SolverScratch,
+}
+
+impl bitpack::EncodeSession for BosSession {
+    fn encode_block(&mut self, values: &[i64], out: &mut Vec<u8>) {
+        let (search_span, pack_span) = self.codec.span_names();
+        let solution = {
+            let _span = obs::span(search_span);
+            self.solver.solve_into(values, &mut self.scratch)
+        };
+        let _span = obs::span(pack_span);
+        format::encode_block_with_solution(values, &solution, out);
     }
 }
 
@@ -181,13 +282,7 @@ mod tests {
                 _ => 500 + (i % 21),
             })
             .collect();
-        for kind in [
-            SolverKind::Value,
-            SolverKind::BitWidth,
-            SolverKind::Median,
-            SolverKind::ValueUpperOnly,
-            SolverKind::BitWidthUpperOnly,
-        ] {
+        for kind in SolverKind::ALL {
             let codec = BosCodec::new(kind);
             let mut buf = Vec::new();
             codec.encode(&values, &mut buf);
@@ -233,5 +328,17 @@ mod tests {
         assert_eq!(BosCodec::new(SolverKind::Value).name(), "BOS-V");
         assert_eq!(BosCodec::new(SolverKind::BitWidth).name(), "BOS-B");
         assert_eq!(BosCodec::new(SolverKind::Median).name(), "BOS-M");
+        assert_eq!(BosCodec::new(SolverKind::Adaptive).name(), "BOS-A");
+    }
+
+    #[test]
+    fn kind_parse_display_roundtrip() {
+        for kind in SolverKind::ALL {
+            let label = kind.to_string();
+            assert_eq!(label.parse::<SolverKind>(), Ok(kind), "{label}");
+        }
+        assert_eq!("bitwidth".parse::<SolverKind>(), Ok(SolverKind::BitWidth));
+        assert_eq!("A".parse::<SolverKind>(), Ok(SolverKind::Adaptive));
+        assert!("pfor".parse::<SolverKind>().is_err());
     }
 }

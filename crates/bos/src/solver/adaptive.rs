@@ -5,24 +5,38 @@
 //! Most blocks don't need it — BOS-M is near-optimal on the near-normal
 //! deltas of Figure 8 (Proposition 4) — but skewed blocks (TH-Climate
 //! style) lose real bits. This solver runs BOS-M first and escalates to
-//! BOS-B only when the approximate solution left obvious money on the
-//! table, measured against the only free lower bound available:
-//! `n · width(…)` of the center after removing the found outliers is not
-//! available cheaply, so the escalation trigger is the *savings ratio*:
-//! if BOS-M saved less than `escalate_below` of the plain cost, the block
-//! is either incompressible (exact search won't help) or mis-separated
-//! (it will) — and telling those apart is exactly one BOS-B call.
+//! BOS-B only when two tests agree the gap is worth CPU:
+//!
+//! 1. **Savings ratio** — BOS-M saved less than `1 − escalate_below` of
+//!    the plain cost, so the block is either incompressible (exact search
+//!    won't help) or mis-separated (it will).
+//! 2. **Proposition 4 headroom** — with `ρ = median_approx_bound(σ̂)` the
+//!    approximation guarantee bounds the exact optimum from below by
+//!    `approx / ρ`, so BOS-B can recover at most `approx · (1 − 1/ρ)`
+//!    bits. Escalation is skipped when that ceiling is under `2n` bits
+//!    (roughly the price of one extra bitmap) — the bound says the gap
+//!    cannot pay for the search.
+//!
+//! When it does escalate, BOS-M's cost seeds BOS-B's pruning cut
+//! ([`BitWidthSolver::solve_seeded`]), so the exact pass is itself cheap.
 
-use super::{BitWidthSolver, MedianSolver, Solver, SolverConfig};
-use crate::cost::{Solution, SortedBlock};
+use super::{median, BitWidthSolver, Solver, SolverConfig, SolverScratch};
+use crate::cost::Solution;
+use crate::theory;
+
+// Ladder-policy tallies: how often the Prop. 4 gate actually sends a
+// block to the exact solver.
+static BLOCKS: obs::CounterHandle = obs::CounterHandle::new("solver.BOS-A.blocks");
+static ESCALATIONS: obs::CounterHandle = obs::CounterHandle::new("solver.BOS-A.escalations");
 
 /// BOS-M with BOS-B escalation.
 #[derive(Debug, Clone, Copy)]
 pub struct AdaptiveSolver {
     /// Escalate when BOS-M's cost is at least this fraction of the plain
     /// cost (default 0.8: escalate when BOS-M saved less than 20 %).
-    /// 0.0 always escalates (pure BOS-B plus a wasted BOS-M pass);
-    /// values > 1.0 would never escalate.
+    /// 0.0 always passes the ratio test (pure BOS-B plus a wasted BOS-M
+    /// pass, modulo the Prop. 4 gate); values ≥ 1.0 only escalate when
+    /// BOS-M saved nothing at all.
     pub escalate_below: f64,
     /// Shared configuration, forwarded to both inner solvers.
     pub config: SolverConfig,
@@ -43,10 +57,15 @@ impl AdaptiveSolver {
         Self::default()
     }
 
-    /// Creates the solver with a custom threshold in `[0, 1]` (see the
-    /// field docs for the semantics of the extremes).
+    /// Creates the solver with a custom threshold, clamped into `[0, 1]`
+    /// (see the field docs for the semantics of the extremes). A NaN
+    /// threshold falls back to the default.
     pub fn with_threshold(escalate_below: f64) -> Self {
-        assert!((0.0..=1.0).contains(&escalate_below));
+        let escalate_below = if escalate_below.is_nan() {
+            Self::default().escalate_below
+        } else {
+            escalate_below.clamp(0.0, 1.0)
+        };
         Self {
             escalate_below,
             ..Self::default()
@@ -59,26 +78,49 @@ impl Solver for AdaptiveSolver {
         "BOS-A"
     }
 
-    fn solve_values(&self, values: &[i64]) -> Solution {
-        let approx = MedianSolver {
-            config: self.config,
-        }
-        .solve_values(values);
+    fn solve_into(&mut self, values: &[i64], scratch: &mut SolverScratch) -> Solution {
+        let (approx, _, _) = median::search(self.config, values, &mut scratch.buf);
         if values.is_empty() {
             return approx;
         }
-        // Cheap plain cost: max/min scan only.
-        let min = values.iter().copied().min().expect("non-empty");
-        let max = values.iter().copied().max().expect("non-empty");
+        if obs::enabled() {
+            BLOCKS.inc();
+        }
+        // Cheap plain cost: min/max scan only.
+        let (min, max) = values
+            .iter()
+            .fold((i64::MAX, i64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
         let plain =
             values.len() as u64 * bitpack::width(bitpack::width::range_u64(min, max) as u64) as u64;
         if plain == 0 || (approx.cost_bits() as f64) < self.escalate_below * plain as f64 {
             return approx;
         }
+        // Proposition 4: approx ≤ ρ · OPT, so the recoverable gap is at
+        // most approx · (1 − 1/ρ). σ̂ comes from one streaming pass; if it
+        // degenerates to zero (catastrophic f64 cancellation on extreme
+        // magnitudes) the bound is unusable and we escalate to be safe.
+        let n_f = values.len() as f64;
+        let (sum, sumsq) = values.iter().fold((0.0f64, 0.0f64), |(s, q), &v| {
+            let v = v as f64;
+            (s + v, q + v * v)
+        });
+        let mean = sum / n_f;
+        let sigma = (sumsq / n_f - mean * mean).max(0.0).sqrt();
+        if sigma > 0.0 {
+            let rho = theory::median_approx_bound(sigma);
+            let ceiling = approx.cost_bits() as f64 * (1.0 - 1.0 / rho);
+            if ceiling < 2.0 * n_f {
+                return approx;
+            }
+        }
+        if obs::enabled() {
+            ESCALATIONS.inc();
+        }
+        scratch.block.rebuild(values, &mut scratch.buf);
         let exact = BitWidthSolver {
             config: self.config,
         }
-        .solve(&SortedBlock::from_values(values));
+        .solve_seeded(&scratch.block, approx.cost_bits());
         if exact.cost_bits() < approx.cost_bits() {
             exact
         } else {
@@ -129,7 +171,8 @@ mod tests {
         let values: Vec<i64> = (0..256)
             .map(|i| if i % 9 == 0 { -9999 } else { 800 + i % 3 })
             .collect();
-        // 0.0: the early-return never fires → always escalate → exact.
+        // 0.0: the ratio test always passes and the Prop. 4 headroom is
+        // ample here → always escalate → exact.
         let always = AdaptiveSolver::with_threshold(0.0).solve_values(&values);
         // 1.0: BOS-M saved something here, so no escalation → approx.
         let never = AdaptiveSolver::with_threshold(1.0).solve_values(&values);
@@ -148,6 +191,19 @@ mod tests {
         let a = AdaptiveSolver::new().solve_values(&values).cost_bits();
         let b = BitWidthSolver::new().solve_values(&values).cost_bits();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threshold_is_clamped_not_asserted() {
+        // Out-of-range and NaN inputs are tamed instead of panicking, so
+        // a CLI flag can never take the encoder down.
+        assert_eq!(AdaptiveSolver::with_threshold(-3.0).escalate_below, 0.0);
+        assert_eq!(AdaptiveSolver::with_threshold(7.5).escalate_below, 1.0);
+        assert_eq!(
+            AdaptiveSolver::with_threshold(f64::NAN).escalate_below,
+            AdaptiveSolver::default().escalate_below
+        );
+        assert_eq!(AdaptiveSolver::with_threshold(0.4).escalate_below, 0.4);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! test oracle — O(range²·log n) — and deliberately not exported through
 //! [`SolverKind`](crate::SolverKind).
 
-use super::{Solver, SolverConfig};
-use crate::cost::{Separation, Solution, SortedBlock};
+use super::{Solver, SolverConfig, SolverScratch};
+use crate::cost::{Separation, Solution};
 
 /// The exhaustive-domain oracle solver.
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,8 +35,9 @@ impl Solver for BruteForceSolver {
         "BOS (brute force oracle)"
     }
 
-    fn solve_values(&self, values: &[i64]) -> Solution {
-        let block = SortedBlock::from_values(values);
+    fn solve_into(&mut self, values: &[i64], scratch: &mut SolverScratch) -> Solution {
+        scratch.block.rebuild(values, &mut scratch.buf);
+        let block = &scratch.block;
         if block.is_empty() {
             return Solution::Plain { cost_bits: 0 };
         }

@@ -12,7 +12,7 @@
 //! bounds the gap for normal data (checked by the `exp_prop4_approx`
 //! experiment).
 
-use super::{Solver, SolverConfig};
+use super::{Solver, SolverConfig, SolverScratch};
 use crate::cost::{Separation, Solution};
 use bitpack::width::{range_u64, width, width1};
 
@@ -77,148 +77,159 @@ impl Solver for MedianSolver {
         }
     }
 
-    fn solve_values(&self, values: &[i64]) -> Solution {
-        let n = values.len();
-        if n == 0 {
-            return Solution::Plain { cost_bits: 0 };
-        }
-
-        // Median via quickselect — O(n) expected, no full sort (line 1 of
-        // Algorithm 3; std's select_nth_unstable is introselect).
-        let mut scratch: Vec<i64> = values.to_vec();
-        let mid = n / 2;
-        let (_, &mut median, _) = scratch.select_nth_unstable(mid);
-
-        // Bucket counts h(±β) of Definition 7, with min/max (lines 2–10).
-        // low[β] holds {x : median − 2^β < x ≤ median − 2^(β−1)}, i.e.
-        // β = width(median − x); high[β] symmetrically.
-        let mut low = [Bucket::EMPTY; 65];
-        let mut high = [Bucket::EMPTY; 65];
-        let mut h0 = 0usize;
-        let mut xmin = i64::MAX;
-        let mut xmax = i64::MIN;
-        for &x in values {
-            xmin = xmin.min(x);
-            xmax = xmax.max(x);
-            match x.cmp(&median) {
-                std::cmp::Ordering::Less => {
-                    low[width(range_u64(x, median)) as usize].add(x);
-                }
-                std::cmp::Ordering::Greater => {
-                    high[width(range_u64(median, x)) as usize].add(x);
-                }
-                std::cmp::Ordering::Equal => h0 += 1,
-            }
-        }
-
-        let plain = n as u64 * width(range_u64(xmin, xmax)) as u64;
-        let mut best = Solution::Plain { cost_bits: plain };
-
-        // Suffix aggregates over buckets: for candidate β the lower
-        // outliers are buckets β+1..=64 (values ≤ median − 2^β) and
-        // likewise above. Walking β from wide to narrow (line 12) keeps
-        // them incremental.
-        let max_beta = width1(range_u64(xmin, xmax));
-        let mut nl = 0usize;
-        let mut nu = 0usize;
-        let mut max_xl = i64::MIN; // largest lower outlier so far
-        let mut min_xu = i64::MAX; // smallest upper outlier so far
-
-        let mut candidates = 0u64;
-        let mut prunes = 0u64;
-        for beta in (1..=max_beta.min(63)).rev() {
-            candidates += 1;
-            // Absorb bucket β+1 into the outlier sets. In upper-only mode
-            // the lower side always stays in the center.
-            let mut absorbed = false;
-            if !self.config.upper_only {
-                let lb = &low[beta as usize + 1];
-                if lb.count > 0 {
-                    nl += lb.count;
-                    max_xl = max_xl.max(lb.max);
-                    absorbed = true;
-                }
-            }
-            let hb = &high[beta as usize + 1];
-            if hb.count > 0 {
-                nu += hb.count;
-                min_xu = min_xu.min(hb.min);
-                absorbed = true;
-            }
-            if !absorbed {
-                prunes += 1;
-            }
-
-            let nc = n - nl - nu;
-            // Center bounds: innermost values of buckets 1..=β plus the
-            // median itself (in upper-only mode, every lower bucket).
-            let (mut cmin, mut cmax) = if h0 > 0 {
-                (median, median)
-            } else {
-                (i64::MAX, i64::MIN)
-            };
-            let low_limit = if self.config.upper_only {
-                64
-            } else {
-                beta as usize
-            };
-            for bucket in low.iter().take(low_limit + 1).skip(1) {
-                if bucket.count > 0 {
-                    cmin = cmin.min(bucket.min);
-                    cmax = cmax.max(bucket.max);
-                }
-            }
-            for bucket in high.iter().take(beta as usize + 1).skip(1) {
-                if bucket.count > 0 {
-                    cmin = cmin.min(bucket.min);
-                    cmax = cmax.max(bucket.max);
-                }
-            }
-
-            let alpha = if nl > 0 {
-                width1(range_u64(xmin, max_xl))
-            } else {
-                0
-            };
-            let gamma = if nu > 0 {
-                width1(range_u64(min_xu, xmax))
-            } else {
-                0
-            };
-            let bw = if nc > 0 {
-                width1(range_u64(cmin, cmax))
-            } else {
-                0
-            };
-            let cost = nl as u64 * (alpha as u64 + 1)
-                + nu as u64 * (gamma as u64 + 1)
-                + nc as u64 * bw as u64
-                + n as u64;
-
-            if (nl > 0 || nu > 0) && cost < best.cost_bits() {
-                let xl = if nl > 0 {
-                    Some((median as i128 - (1i128 << beta)).max(i64::MIN as i128) as i64)
-                } else {
-                    None
-                };
-                let xu = if nu > 0 {
-                    Some((median as i128 + (1i128 << beta)).min(i64::MAX as i128) as i64)
-                } else {
-                    None
-                };
-                best = Solution::Separated {
-                    sep: Separation { xl, xu },
-                    cost_bits: cost,
-                };
-            }
-        }
-        if obs::enabled() {
+    fn solve_into(&mut self, values: &[i64], scratch: &mut SolverScratch) -> Solution {
+        let (best, candidates, prunes) = search(self.config, values, &mut scratch.buf);
+        if !values.is_empty() && obs::enabled() {
             BLOCKS.inc();
             CANDIDATES.add(candidates);
             PRUNES.add(prunes);
         }
         best
     }
+}
+
+/// The BOS-M search proper, counter-free: returns the solution plus the
+/// `(candidates, prunes)` tallies. `pub(super)` so BOS-B can seed its
+/// pruning from the BOS-M cost without polluting the `solver.BOS-M.*`
+/// counters (the seed pass is BOS-B effort, not a BOS-M block).
+pub(super) fn search(
+    config: SolverConfig,
+    values: &[i64],
+    buf: &mut Vec<i64>,
+) -> (Solution, u64, u64) {
+    let n = values.len();
+    if n == 0 {
+        return (Solution::Plain { cost_bits: 0 }, 0, 0);
+    }
+
+    // Median via quickselect — O(n) expected, no full sort (line 1 of
+    // Algorithm 3; std's select_nth_unstable is introselect). The scratch
+    // buffer is fully overwritten, so a dirty one cannot leak state.
+    buf.clear();
+    buf.extend_from_slice(values);
+    let mid = n / 2;
+    let (_, &mut median, _) = buf.select_nth_unstable(mid);
+
+    // Bucket counts h(±β) of Definition 7, with min/max (lines 2–10).
+    // low[β] holds {x : median − 2^β < x ≤ median − 2^(β−1)}, i.e.
+    // β = width(median − x); high[β] symmetrically.
+    let mut low = [Bucket::EMPTY; 65];
+    let mut high = [Bucket::EMPTY; 65];
+    let mut h0 = 0usize;
+    let mut xmin = i64::MAX;
+    let mut xmax = i64::MIN;
+    for &x in values {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        match x.cmp(&median) {
+            std::cmp::Ordering::Less => {
+                low[width(range_u64(x, median)) as usize].add(x);
+            }
+            std::cmp::Ordering::Greater => {
+                high[width(range_u64(median, x)) as usize].add(x);
+            }
+            std::cmp::Ordering::Equal => h0 += 1,
+        }
+    }
+
+    let plain = n as u64 * width(range_u64(xmin, xmax)) as u64;
+    let mut best = Solution::Plain { cost_bits: plain };
+
+    // Suffix aggregates over buckets: for candidate β the lower
+    // outliers are buckets β+1..=64 (values ≤ median − 2^β) and
+    // likewise above. Walking β from wide to narrow (line 12) keeps
+    // them incremental.
+    let max_beta = width1(range_u64(xmin, xmax));
+    let mut nl = 0usize;
+    let mut nu = 0usize;
+    let mut max_xl = i64::MIN; // largest lower outlier so far
+    let mut min_xu = i64::MAX; // smallest upper outlier so far
+
+    let mut candidates = 0u64;
+    let mut prunes = 0u64;
+    for beta in (1..=max_beta.min(63)).rev() {
+        candidates += 1;
+        // Absorb bucket β+1 into the outlier sets. In upper-only mode
+        // the lower side always stays in the center.
+        let mut absorbed = false;
+        if !config.upper_only {
+            let lb = &low[beta as usize + 1];
+            if lb.count > 0 {
+                nl += lb.count;
+                max_xl = max_xl.max(lb.max);
+                absorbed = true;
+            }
+        }
+        let hb = &high[beta as usize + 1];
+        if hb.count > 0 {
+            nu += hb.count;
+            min_xu = min_xu.min(hb.min);
+            absorbed = true;
+        }
+        if !absorbed {
+            prunes += 1;
+        }
+
+        let nc = n - nl - nu;
+        // Center bounds: innermost values of buckets 1..=β plus the
+        // median itself (in upper-only mode, every lower bucket).
+        let (mut cmin, mut cmax) = if h0 > 0 {
+            (median, median)
+        } else {
+            (i64::MAX, i64::MIN)
+        };
+        let low_limit = if config.upper_only { 64 } else { beta as usize };
+        for bucket in low.iter().take(low_limit + 1).skip(1) {
+            if bucket.count > 0 {
+                cmin = cmin.min(bucket.min);
+                cmax = cmax.max(bucket.max);
+            }
+        }
+        for bucket in high.iter().take(beta as usize + 1).skip(1) {
+            if bucket.count > 0 {
+                cmin = cmin.min(bucket.min);
+                cmax = cmax.max(bucket.max);
+            }
+        }
+
+        let alpha = if nl > 0 {
+            width1(range_u64(xmin, max_xl))
+        } else {
+            0
+        };
+        let gamma = if nu > 0 {
+            width1(range_u64(min_xu, xmax))
+        } else {
+            0
+        };
+        let bw = if nc > 0 {
+            width1(range_u64(cmin, cmax))
+        } else {
+            0
+        };
+        let cost = nl as u64 * (alpha as u64 + 1)
+            + nu as u64 * (gamma as u64 + 1)
+            + nc as u64 * bw as u64
+            + n as u64;
+
+        if (nl > 0 || nu > 0) && cost < best.cost_bits() {
+            let xl = if nl > 0 {
+                Some((median as i128 - (1i128 << beta)).max(i64::MIN as i128) as i64)
+            } else {
+                None
+            };
+            let xu = if nu > 0 {
+                Some((median as i128 + (1i128 << beta)).min(i64::MAX as i128) as i64)
+            } else {
+                None
+            };
+            best = Solution::Separated {
+                sep: Separation { xl, xu },
+                cost_bits: cost,
+            };
+        }
+    }
+    (best, candidates, prunes)
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ mod adaptive;
 mod bitwidth;
 mod bruteforce;
 mod median;
+pub mod reference;
 mod value;
 
 pub use adaptive::AdaptiveSolver;
@@ -28,9 +29,7 @@ pub use bruteforce::BruteForceSolver;
 pub use median::MedianSolver;
 pub use value::ValueSolver;
 
-use crate::cost::Solution;
-#[cfg(test)]
-use crate::cost::SortedBlock;
+use crate::cost::{Solution, SortedBlock};
 
 /// Shared solver configuration.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -41,20 +40,72 @@ pub struct SolverConfig {
     pub upper_only: bool,
 }
 
+/// Reusable solver working memory, persisted across adjacent blocks.
+///
+/// Rebuilding a [`SortedBlock`] per block costs two allocations plus the
+/// sort; on a long stream those allocations dominate once the search itself
+/// is pruned down. A scratch holds the summary and an untyped `i64` buffer
+/// (quickselect workspace, sort staging) whose capacity survives from block
+/// to block, so steady-state encode allocates nothing.
+///
+/// A scratch carries **no** information between blocks semantically: every
+/// solver fully overwrites the parts it reads, so a dirty scratch and a
+/// fresh one produce bit-identical `Solution`s (pinned by the
+/// `dirty_scratch_never_leaks` test).
+#[derive(Debug, Default)]
+pub struct SolverScratch {
+    /// Reusable sorted-distinct summary of the current block.
+    pub(crate) block: SortedBlock,
+    /// Reusable value buffer (sort staging / quickselect workspace).
+    pub(crate) buf: Vec<i64>,
+}
+
+impl SolverScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A strategy for choosing the separation thresholds of one block.
 ///
 /// The entry point takes raw values, not a pre-built
 /// [`SortedBlock`](crate::cost::SortedBlock):
 /// BOS-M's whole point is running in O(n) *without* sorting, so building the
 /// summary is part of each solver's own budget (and of its measured time in
-/// the Figure 10c / 15 experiments).
+/// the Figure 10c / 15 experiments). What the [`SolverScratch`] amortizes is
+/// the *allocations* behind that build, not the work itself.
+///
+/// The object-safe surface is [`Solver::solve_into`]; the
+/// [`Solver::solve_values`] convenience shim is excluded from trait objects
+/// (`Self: Sized`), so `Box<dyn Solver>` callers hold a scratch themselves.
 pub trait Solver {
     /// Human-readable name used in experiment output ("BOS-V", …).
     fn name(&self) -> &'static str;
 
-    /// Chooses a solution for the block. Must return `Solution::Plain` with
-    /// zero cost for empty blocks.
-    fn solve_values(&self, values: &[i64]) -> Solution;
+    /// Chooses a solution for the block, using (and dirtying) `scratch`.
+    /// Must return `Solution::Plain` with zero cost for empty blocks, and
+    /// must not let scratch contents from a previous block influence the
+    /// result.
+    fn solve_into(&mut self, values: &[i64], scratch: &mut SolverScratch) -> Solution;
+
+    /// Creates a scratch suited to this solver. The default empty scratch
+    /// fits every shipping solver; the hook exists so future solvers can
+    /// pre-size theirs.
+    fn scratch(&self) -> SolverScratch {
+        SolverScratch::new()
+    }
+
+    /// Convenience wrapper: one-shot solve with a throwaway scratch.
+    ///
+    /// Takes `&self` (the pre-overhaul signature) by cloning, so existing
+    /// call sites that only solve occasionally keep working unchanged.
+    fn solve_values(&self, values: &[i64]) -> Solution
+    where
+        Self: Sized + Clone,
+    {
+        self.clone().solve_into(values, &mut SolverScratch::new())
+    }
 }
 
 /// Picks the cheaper of the current best and a candidate separation.

@@ -7,9 +7,25 @@
 //! baseline, kept (a) as the ground truth that BOS-B is verified against
 //! and (b) for the Figure 10/15 timing comparisons.
 
-use super::{Solver, SolverConfig};
+use super::{Solver, SolverConfig, SolverScratch};
 use crate::cost::{Separation, Solution, SortedBlock};
 use bitpack::width::{range_u64, width1};
+
+/// Minimum number of distinct values before the O(m²) enumeration is
+/// worth splitting across threads (below this the spawn/join overhead
+/// dominates the search itself).
+const PARALLEL_MIN_DISTINCT: usize = 2048;
+
+/// Cap on worker threads for the intra-block search.
+const PARALLEL_MAX_THREADS: usize = 8;
+
+/// Chunk-local result of scanning a contiguous `li` range.
+struct RangeBest {
+    cost: u64,
+    pair: Option<(usize, usize)>,
+    candidates: u64,
+    prunes: u64,
+}
 
 // Search-effort tallies: `candidates` counts (xl, xu) pairs costed via
 // Formula 7, `prunes` counts pairs skipped without costing (only the
@@ -49,9 +65,97 @@ impl Solver for ValueSolver {
         }
     }
 
-    fn solve_values(&self, values: &[i64]) -> Solution {
-        self.solve(&SortedBlock::from_values(values))
+    fn solve_into(&mut self, values: &[i64], scratch: &mut SolverScratch) -> Solution {
+        scratch.block.rebuild(values, &mut scratch.buf);
+        self.solve(&scratch.block)
     }
+}
+
+/// Scans the contiguous family range `li ∈ [lo, hi)` of the O(m²)
+/// enumeration and returns the chunk-local best (seeded with the plain
+/// cost so an empty or fruitless chunk reports `pair: None`).
+///
+/// Candidate order inside the chunk is identical to the sequential loop,
+/// and the chunk-local update uses strict `<`, so merging chunk results
+/// in `li` order with strict `<` reproduces the sequential
+/// first-attainer tie-breaking bit for bit.
+fn search_range(block: &SortedBlock, lo: usize, hi: usize) -> RangeBest {
+    let vals = block.distinct();
+    let cum = block.cumulative();
+    let n = block.n() as u64;
+    let m = vals.len();
+    let xmin = vals[0];
+    let xmax = vals[m - 1];
+
+    let mut best = RangeBest {
+        cost: block.plain_cost_bits(),
+        pair: None,
+        candidates: 0,
+        prunes: 0,
+    };
+
+    // li = 0 encodes xl = None; li = k ≥ 1 encodes xl = vals[k−1].
+    // ui = m encodes xu = None; ui < m encodes xu = vals[ui].
+    for li in lo..hi {
+        let (nl, alpha) = if li == 0 {
+            (0u64, 0u64)
+        } else {
+            (
+                cum[li - 1] as u64,
+                width1(range_u64(xmin, vals[li - 1])) as u64,
+            )
+        };
+        let lower_term = nl * (alpha + 1);
+        for ui in li..=m {
+            if li == 0 && ui == m {
+                best.prunes += 1;
+                continue; // exactly the plain solution
+            }
+            best.candidates += 1;
+            let (nu, gamma) = if ui == m {
+                (0u64, 0u64)
+            } else {
+                // count of values < vals[ui] is cum[ui−1] (0 when ui = 0).
+                let lt = if ui == 0 { 0 } else { cum[ui - 1] } as u64;
+                (n - lt, width1(range_u64(vals[ui], xmax)) as u64)
+            };
+            let nc = n - nl - nu;
+            let beta = if nc > 0 {
+                width1(range_u64(vals[li], vals[ui - 1])) as u64
+            } else {
+                0
+            };
+            let cost = lower_term + nu * (gamma + 1) + nc * beta + n;
+            if cost < best.cost {
+                best.cost = cost;
+                best.pair = Some((li, ui));
+            }
+        }
+    }
+    best
+}
+
+/// Splits `0..=m` into up to `threads` contiguous `li` ranges with
+/// roughly equal *work* (family `li` costs `m − li + 1` candidate
+/// evaluations, so early ranges must be shorter than late ones).
+fn balanced_ranges(m: usize, threads: usize) -> Vec<(usize, usize)> {
+    let total: u64 = ((m as u64 + 1) * (m as u64 + 2)) / 2;
+    let target = total / threads as u64;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut lo = 0usize;
+    let mut acc = 0u64;
+    for li in 0..=m {
+        acc += (m - li + 1) as u64;
+        if acc >= target && ranges.len() + 1 < threads {
+            ranges.push((lo, li + 1));
+            lo = li + 1;
+            acc = 0;
+        }
+    }
+    if lo <= m {
+        ranges.push((lo, m + 1));
+    }
+    ranges
 }
 
 impl ValueSolver {
@@ -68,62 +172,25 @@ impl ValueSolver {
             return best;
         }
         let vals = block.distinct();
-        let cum = block.cumulative();
-        let n = block.n() as u64;
         let m = vals.len();
-        let xmin = vals[0];
-        let xmax = vals[m - 1];
 
-        let mut best_cost = best.cost_bits();
-        let mut best_pair: Option<(usize, usize)> = None; // (li, ui) encoding below
-        let mut candidates = 0u64;
-        let mut prunes = 0u64;
+        let li_end = if self.config.upper_only { 1 } else { m + 1 };
+        let threads = std::thread::available_parallelism()
+            .map_or(1, usize::from)
+            .min(PARALLEL_MAX_THREADS);
+        let merged = if li_end > PARALLEL_MIN_DISTINCT && threads > 1 {
+            Self::solve_parallel(block, li_end - 1, threads)
+        } else {
+            search_range(block, 0, li_end)
+        };
 
-        // li = 0 encodes xl = None; li = k ≥ 1 encodes xl = vals[k−1].
-        // ui = m encodes xu = None; ui < m encodes xu = vals[ui].
-        let lower_candidates = if self.config.upper_only { 0..=0 } else { 0..=m };
-        for li in lower_candidates {
-            let (nl, alpha) = if li == 0 {
-                (0u64, 0u64)
-            } else {
-                (
-                    cum[li - 1] as u64,
-                    width1(range_u64(xmin, vals[li - 1])) as u64,
-                )
-            };
-            let lower_term = nl * (alpha + 1);
-            for ui in li..=m {
-                if li == 0 && ui == m {
-                    prunes += 1;
-                    continue; // exactly the plain solution
-                }
-                candidates += 1;
-                let (nu, gamma) = if ui == m {
-                    (0u64, 0u64)
-                } else {
-                    // count of values < vals[ui] is cum[ui−1] (0 when ui = 0).
-                    let lt = if ui == 0 { 0 } else { cum[ui - 1] } as u64;
-                    (n - lt, width1(range_u64(vals[ui], xmax)) as u64)
-                };
-                let nc = n - nl - nu;
-                let beta = if nc > 0 {
-                    width1(range_u64(vals[li], vals[ui - 1])) as u64
-                } else {
-                    0
-                };
-                let cost = lower_term + nu * (gamma + 1) + nc * beta + n;
-                if cost < best_cost {
-                    best_cost = cost;
-                    best_pair = Some((li, ui));
-                }
-            }
-        }
         if obs::enabled() {
             BLOCKS.inc();
-            CANDIDATES.add(candidates);
-            PRUNES.add(prunes);
+            CANDIDATES.add(merged.candidates);
+            PRUNES.add(merged.prunes);
         }
-        if let Some((li, ui)) = best_pair {
+        let best_cost = merged.cost;
+        if let Some((li, ui)) = merged.pair {
             let sep = Separation {
                 xl: if li == 0 { None } else { Some(vals[li - 1]) },
                 xu: if ui == m { None } else { Some(vals[ui]) },
@@ -135,6 +202,42 @@ impl ValueSolver {
             };
         }
         best
+    }
+
+    /// Fans the `li` families of the O(m²) enumeration out over scoped
+    /// threads. Each worker scans a contiguous, work-balanced range with
+    /// [`search_range`]; merging the chunk bests in `li` order with strict
+    /// `<` keeps the result bit-identical to the sequential scan.
+    fn solve_parallel(block: &SortedBlock, m: usize, threads: usize) -> RangeBest {
+        let ranges = balanced_ranges(m, threads);
+        let mut chunk_bests: Vec<Option<RangeBest>> = Vec::new();
+        chunk_bests.resize_with(ranges.len(), || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(ranges.len());
+            for (slot, &(lo, hi)) in chunk_bests.iter_mut().zip(&ranges) {
+                handles.push(scope.spawn(move || {
+                    *slot = Some(search_range(block, lo, hi));
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("solver worker panicked");
+            }
+        });
+        let mut merged = RangeBest {
+            cost: block.plain_cost_bits(),
+            pair: None,
+            candidates: 0,
+            prunes: 0,
+        };
+        for chunk in chunk_bests.into_iter().flatten() {
+            merged.candidates += chunk.candidates;
+            merged.prunes += chunk.prunes;
+            if chunk.cost < merged.cost {
+                merged.cost = chunk.cost;
+                merged.pair = chunk.pair;
+            }
+        }
+        merged
     }
 }
 

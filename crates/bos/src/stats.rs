@@ -7,7 +7,7 @@
 //! and [`SeriesStats`] aggregates it over a block-segmented series.
 
 use crate::cost::{Solution, SortedBlock};
-use crate::solver::Solver;
+use crate::solver::{Solver, SolverScratch};
 
 /// Decomposition of one block under a solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,14 +44,24 @@ impl BlockStats {
 }
 
 /// Analyzes one block with the given solver.
-pub fn analyze<S: Solver + ?Sized>(solver: &S, values: &[i64]) -> BlockStats {
+pub fn analyze<S: Solver + Clone>(solver: &S, values: &[i64]) -> BlockStats {
+    analyze_into(&mut solver.clone(), values, &mut SolverScratch::new())
+}
+
+/// Scratch-reusing workhorse behind [`analyze`] / [`analyze_series`].
+fn analyze_into<S: Solver + ?Sized>(
+    solver: &mut S,
+    values: &[i64],
+    scratch: &mut SolverScratch,
+) -> BlockStats {
+    let solution = solver.solve_into(values, scratch);
     let block = SortedBlock::from_values(values);
     let plain_bits = if values.is_empty() {
         0
     } else {
         block.plain_cost_bits()
     };
-    match solver.solve_values(values) {
+    match solution {
         Solution::Plain { cost_bits } => BlockStats {
             n: values.len(),
             nl: 0,
@@ -111,15 +121,28 @@ impl SeriesStats {
 }
 
 /// Analyzes a series in blocks of `block_size`.
-pub fn analyze_series<S: Solver + ?Sized>(
+pub fn analyze_series<S: Solver + Clone>(
     solver: &S,
     values: &[i64],
     block_size: usize,
 ) -> SeriesStats {
+    analyze_series_dyn(&mut solver.clone(), values, block_size)
+}
+
+/// Object-safe variant of [`analyze_series`] for callers that pick the
+/// solver at runtime (e.g. `boscli stats` going through
+/// [`SolverKind::build`](crate::SolverKind::build)). One scratch spans
+/// all blocks.
+pub fn analyze_series_dyn(
+    solver: &mut dyn Solver,
+    values: &[i64],
+    block_size: usize,
+) -> SeriesStats {
     assert!(block_size >= 1);
+    let mut scratch = solver.scratch();
     let mut agg = SeriesStats::default();
     for chunk in values.chunks(block_size) {
-        let s = analyze(solver, chunk);
+        let s = analyze_into(solver, chunk, &mut scratch);
         agg.n += s.n;
         agg.nl += s.nl;
         agg.nu += s.nu;

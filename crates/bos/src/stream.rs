@@ -26,6 +26,7 @@ use crate::BosCodec;
 use crate::SolverKind;
 use bitpack::error::{DecodeError, DecodeResult};
 use bitpack::zigzag::{read_varint, write_varint};
+use bitpack::BlockCodec;
 
 /// Splits a series into blocks and encodes each with a BOS solver.
 #[derive(Debug, Clone, Copy)]
@@ -50,11 +51,16 @@ impl StreamEncoder {
     }
 
     /// Encodes the whole series: `varint n_blocks` then the blocks.
+    ///
+    /// One [`bitpack::EncodeSession`] spans all blocks, so the solver's
+    /// scratch memory is reused from block to block instead of being
+    /// re-allocated per block.
     pub fn encode(&self, values: &[i64], out: &mut Vec<u8>) {
         let n_blocks = values.len().div_ceil(self.block_size);
         write_varint(out, n_blocks as u64);
+        let mut session = self.codec.encode_session();
         for block in values.chunks(self.block_size) {
-            self.codec.encode(block, out);
+            session.encode_block(block, out);
         }
     }
 

@@ -101,13 +101,7 @@ proptest! {
 
     #[test]
     fn roundtrip_all_kinds(values in outlier_blocks()) {
-        for kind in [
-            SolverKind::Value,
-            SolverKind::BitWidth,
-            SolverKind::Median,
-            SolverKind::ValueUpperOnly,
-            SolverKind::BitWidthUpperOnly,
-        ] {
+        for kind in SolverKind::ALL {
             let codec = BosCodec::new(kind);
             let mut buf = Vec::new();
             codec.encode(&values, &mut buf);

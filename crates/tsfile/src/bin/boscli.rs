@@ -5,6 +5,7 @@
 //! boscli info   <file.tsf>                        list series, sizes, encodings
 //! boscli unpack <file.tsf> <series> [out.csv]     extract one series to CSV
 //! boscli bench  <path.csv>                        compare operators on a CSV series
+//! boscli stats  <path.csv> [solver] [block_size]  separation diagnostics per solver
 //! boscli demo   <out.tsf>                         pack the 12 synthetic datasets
 //! ```
 //!
@@ -12,6 +13,7 @@
 //! full `obs` metrics snapshot (solver tallies, codec traffic, CRC checks,
 //! span timings) is printed to stdout as one JSON object.
 
+use bos::SolverKind;
 use datasets::csv;
 use encodings::{OuterKind, PackerKind, Pipeline};
 use std::path::Path;
@@ -27,13 +29,15 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("unpack") => cmd_unpack(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
-            eprintln!("usage: boscli <pack|info|unpack|bench|demo> [--metrics-json] ...");
+            eprintln!("usage: boscli <pack|info|unpack|bench|stats|demo> [--metrics-json] ...");
             eprintln!("  pack   <out.tsf> <name=path.csv> [...]");
             eprintln!("  info   <file.tsf>");
             eprintln!("  unpack <file.tsf> <series> [out.csv]");
             eprintln!("  bench  <path.csv>");
+            eprintln!("  stats  <path.csv> [solver] [block_size]   solver: bos-v|bos-b|bos-m|bos-a|... or 'all'");
             eprintln!("  demo   <out.tsf>");
             eprintln!("  --metrics-json   print the obs metrics snapshot as JSON on success");
             return ExitCode::from(2);
@@ -224,6 +228,63 @@ fn cmd_bench(args: &[String]) -> CliResult {
                 buf.len()
             );
         }
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let (path, solver_arg, block_arg) = match args {
+        [p] => (p, None, None),
+        [p, s] => (p, Some(s.as_str()), None),
+        [p, s, b] => (p, Some(s.as_str()), Some(b.as_str())),
+        _ => return Err("stats needs <path.csv> [solver|all] [block_size]".into()),
+    };
+    let block_size: usize = match block_arg {
+        None => 1024,
+        Some(b) => b
+            .parse()
+            .ok()
+            .filter(|&b| b >= 1)
+            .ok_or_else(|| format!("bad block_size {b:?} (need an integer >= 1)"))?,
+    };
+    let kinds: Vec<SolverKind> = match solver_arg {
+        None | Some("all") => SolverKind::ALL.to_vec(),
+        Some(s) => vec![s.parse()?],
+    };
+    let (ints, floats) = load_series(Path::new(path))?;
+    let ints = match (ints, floats) {
+        (Some(i), _) => i,
+        (_, Some(f)) => {
+            let p = encodings::floatint::infer_precision(&f)
+                .ok_or("floats have no exact decimal scaling")?;
+            encodings::floatint::floats_to_ints(&f, p).ok_or("scaling overflow")?
+        }
+        _ => unreachable!(),
+    };
+    println!(
+        "{}: {} values, {} blocks of {}",
+        path,
+        ints.len(),
+        ints.len().div_ceil(block_size),
+        block_size
+    );
+    println!(
+        "{:<20} {:>11} {:>8} {:>8} {:>14} {:>9}",
+        "solver", "separated", "lower%", "upper%", "bits", "improve"
+    );
+    for kind in kinds {
+        let mut solver = kind.build();
+        let s = bos::stats::analyze_series_dyn(solver.as_mut(), &ints, block_size);
+        println!(
+            "{:<20} {:>5}/{:<5} {:>7.2}% {:>7.2}% {:>14} {:>8}x",
+            kind.label(),
+            s.separated_blocks,
+            s.blocks,
+            100.0 * s.lower_frac(),
+            100.0 * s.upper_frac(),
+            s.solution_bits,
+            format_ratio(s.improvement())
+        );
     }
     Ok(())
 }

@@ -48,6 +48,12 @@ pub struct Config {
     /// Directory prefixes whose shipping functions must join every thread
     /// handle they spawn.
     pub join_spawn_dirs: Vec<String>,
+    /// Solver implementation files: every shipping `impl Solver` there
+    /// must define the scratch-reusing `solve_into` entry point (and not
+    /// override the `solve_values` shim), and the file must not call
+    /// `SortedBlock::from_values` — solver working memory comes from the
+    /// scratch, not per-block allocations.
+    pub solver_entry_scratch: Vec<String>,
     /// Files under `crates/` deliberately *not* opted into `[no-panic]`
     /// (bench mains, CLI glue). Everything else must be covered.
     pub uncovered_ok: Vec<String>,
@@ -69,6 +75,7 @@ impl Config {
             "obs-feature-parity",
             "error-variant-coverage",
             "join-all-spawns",
+            "solver-entry-scratch",
             "uncovered-ok",
         ]
         .into();
@@ -149,6 +156,7 @@ impl Config {
                 "obs-feature-parity" => config.obs_parity_files = values,
                 "error-variant-coverage" => config.error_variant_enums = values,
                 "join-all-spawns" => config.join_spawn_dirs = values,
+                "solver-entry-scratch" => config.solver_entry_scratch = values,
                 "uncovered-ok" => config.uncovered_ok = values,
                 // The section set was validated at the header; an unknown
                 // name here means the two lists drifted apart.
@@ -239,6 +247,9 @@ enums = ["DecodeError", "SkipReason"]
 [join-all-spawns]
 dirs = ["crates", "src"]
 
+[solver-entry-scratch]
+files = ["crates/bos/src/solver/value.rs"]
+
 [uncovered-ok]
 files = ["crates/bench/src/main.rs"]
 "#;
@@ -247,6 +258,10 @@ files = ["crates/bench/src/main.rs"]
         assert_eq!(c.obs_parity_files.len(), 2);
         assert_eq!(c.error_variant_enums, vec!["DecodeError", "SkipReason"]);
         assert_eq!(c.join_spawn_dirs, vec!["crates", "src"]);
+        assert_eq!(
+            c.solver_entry_scratch,
+            vec!["crates/bos/src/solver/value.rs"]
+        );
         assert_eq!(c.uncovered_ok, vec!["crates/bench/src/main.rs"]);
     }
 

@@ -174,6 +174,7 @@ pub fn run(root: &Path, config: &Config) -> Result<Report, String> {
     obs_parity(&ws, config, &mut findings);
     error_variants(&ws, config, &mut findings);
     join_all_spawns(&ws, config, &mut findings);
+    solver_entry_scratch(&ws, config, &mut findings);
 
     findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
@@ -1437,6 +1438,85 @@ pub(crate) fn join_spawn_hits(f: &SourceFile) -> Vec<(usize, String)> {
 }
 
 // ---------------------------------------------------------------------------
+// solver-entry-scratch
+// ---------------------------------------------------------------------------
+
+/// Rule: every shipping `impl Solver for …` in the configured solver
+/// files must route through the scratch-reusing entry point — the impl
+/// defines `fn solve_into` and does not override the `solve_values`
+/// convenience shim (overriding it would quietly reintroduce a one-shot,
+/// allocation-per-block path under the old name). The files must also not
+/// call `from_values` in shipping code: solver working memory is rebuilt
+/// into the scratch (`SortedBlock::rebuild`), never freshly allocated in
+/// the search loops.
+fn solver_entry_scratch(ws: &Workspace, config: &Config, findings: &mut Vec<Finding>) {
+    if config.solver_entry_scratch.is_empty() {
+        return;
+    }
+    let mut impls_seen = 0usize;
+    for rel in &config.solver_entry_scratch {
+        let Some(f) = ws.get(rel) else { continue };
+        if f.is_test_file {
+            continue;
+        }
+        let mut hits = Vec::new();
+        for item in shipping_items(f) {
+            if item.kind != ItemKind::Impl
+                || impl_trait_segment(f, item).as_deref() != Some("Solver")
+            {
+                continue;
+            }
+            impls_seen += 1;
+            let has_fn = |name: &str| {
+                item.children
+                    .iter()
+                    .any(|c| c.kind == ItemKind::Fn && c.name.as_deref() == Some(name))
+            };
+            if !has_fn("solve_into") {
+                hits.push((
+                    item.header.0,
+                    "`impl Solver` does not define `solve_into`; every shipping solver \
+                     must expose the scratch-reusing entry point"
+                        .to_string(),
+                ));
+            }
+            if has_fn("solve_values") {
+                hits.push((
+                    item.header.0,
+                    "`impl Solver` overrides the `solve_values` shim; solvers must \
+                     route through `solve_into` so drivers can reuse scratch memory"
+                        .to_string(),
+                ));
+            }
+        }
+        for i in 0..f.tokens.len() {
+            if f.is_shipping(i) && f.is_ident(i, "from_values") {
+                hits.push((
+                    i,
+                    "`from_values` allocates a fresh block summary; solver files must \
+                     rebuild into the scratch (`SortedBlock::rebuild`) instead"
+                        .to_string(),
+                ));
+            }
+        }
+        push_hits(f, "solver-entry-scratch", hits, findings);
+    }
+    if impls_seen == 0 {
+        findings.push(Finding {
+            file: "lint.toml".to_string(),
+            line: 1,
+            col: 0,
+            rule: "solver-entry-scratch",
+            message: format!(
+                "no `impl Solver` found for files {:?}; the scan is broken or the \
+                 config lists the wrong files",
+                config.solver_entry_scratch
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
 // encode/decode pairing
 // ---------------------------------------------------------------------------
 
@@ -1709,6 +1789,100 @@ fn d(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(no-indexing): wrong rule
             include_str!("../fixtures/join_spawns.rs"),
         );
         assert_eq!(hit_lines(&f, join_spawn_hits(&f)), vec![7]);
+    }
+
+    // -- solver-entry-scratch ---------------------------------------------
+
+    fn solver_config(files: &[&str]) -> Config {
+        Config {
+            solver_entry_scratch: files.iter().map(|s| s.to_string()).collect(),
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn solver_entry_scratch_accepts_a_compliant_impl() {
+        let src = "\
+impl Solver for ValueSolver {
+    fn name(&self) -> &'static str { \"BOS-V\" }
+    fn solve_into(&mut self, values: &[i64], scratch: &mut SolverScratch) -> Solution {
+        scratch.block.rebuild(values, &mut scratch.buf);
+        self.solve(&scratch.block)
+    }
+}
+#[cfg(test)]
+mod tests {
+    fn t() { let b = SortedBlock::from_values(&[1, 2]); }
+}
+";
+        let ws = Workspace::from_files(vec![file("crates/bos/src/solver/value.rs", src)]);
+        let mut findings = Vec::new();
+        solver_entry_scratch(
+            &ws,
+            &solver_config(&["crates/bos/src/solver/value.rs"]),
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn solver_entry_scratch_flags_missing_entry_override_and_from_values() {
+        let src = "\
+impl Solver for OldSolver {
+    fn name(&self) -> &'static str { \"old\" }
+    fn solve_values(&self, values: &[i64]) -> Solution {
+        let block = SortedBlock::from_values(values);
+        self.solve(&block)
+    }
+}
+";
+        let ws = Workspace::from_files(vec![file("crates/bos/src/solver/old.rs", src)]);
+        let mut findings = Vec::new();
+        solver_entry_scratch(
+            &ws,
+            &solver_config(&["crates/bos/src/solver/old.rs"]),
+            &mut findings,
+        );
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("does not define `solve_into`")),
+            "{findings:#?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("overrides the `solve_values` shim")),
+            "{findings:#?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("`from_values`")),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn solver_entry_scratch_empty_scan_is_itself_a_finding() {
+        let ws = Workspace::from_files(vec![file(
+            "crates/bos/src/solver/value.rs",
+            "fn helper() {}",
+        )]);
+        let mut findings = Vec::new();
+        solver_entry_scratch(
+            &ws,
+            &solver_config(&["crates/bos/src/solver/value.rs"]),
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].file, "lint.toml");
+        assert!(findings[0].message.contains("no `impl Solver` found"));
+    }
+
+    #[test]
+    fn solver_entry_scratch_unconfigured_is_silent() {
+        let ws = Workspace::from_files(vec![file("crates/x/src/lib.rs", "fn f() {}")]);
+        let mut findings = Vec::new();
+        solver_entry_scratch(&ws, &Config::default(), &mut findings);
+        assert!(findings.is_empty());
     }
 
     // -- obs-feature-parity -----------------------------------------------

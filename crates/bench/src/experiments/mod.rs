@@ -16,6 +16,7 @@ pub mod fig13_gp;
 pub mod fig14_parts;
 pub mod fig15_blocksize;
 pub mod grid;
+pub mod obs;
 pub mod prop4_approx;
 pub mod throughput;
 

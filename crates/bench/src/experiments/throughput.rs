@@ -176,7 +176,7 @@ fn vps(n: usize, ns: f64) -> f64 {
     n as f64 / (ns.max(1.0) / 1e9)
 }
 
-fn masked_values(n: usize, w: u32) -> Vec<u64> {
+pub(crate) fn masked_values(n: usize, w: u32) -> Vec<u64> {
     let mask = if w == 0 {
         0
     } else if w == 64 {
@@ -452,7 +452,7 @@ impl SolverSpeedupRow {
 /// with 2% outliers near ±2⁴⁰ — the distribution BOS targets, and the one
 /// whose candidate ladders the PR 8 pruning cuts hardest. A fixed LCG
 /// keeps the artifact reproducible run to run.
-fn outlier_series(n: usize) -> Vec<i64> {
+pub(crate) fn outlier_series(n: usize) -> Vec<i64> {
     let mut state = 0x2545_F491_4F6C_DD1Du64;
     (0..n)
         .map(|_| {

@@ -327,6 +327,10 @@ pub fn encode_blocks_parallel<C: BlockCodec + Sync>(
         if meter.is_some() {
             PAR_JOBS.inc();
             PAR_WORKERS.add(handles.len() as u64);
+            obs::trail::emit(obs::trail::Event::DriverDispatch {
+                blocks: n_blocks as u64,
+                workers: handles.len() as u64,
+            });
         }
         let join_started = meter.map(|_| Instant::now());
         for h in handles {
@@ -341,6 +345,12 @@ pub fn encode_blocks_parallel<C: BlockCodec + Sync>(
         if let Some(t0) = join_started {
             PAR_JOIN_WAIT_NS.add(elapsed_ns(t0));
         }
+        if meter.is_some() {
+            obs::trail::emit(obs::trail::Event::DriverJoin {
+                blocks: n_blocks as u64,
+                panicked,
+            });
+        }
     });
     if !panicked {
         for part in parts {
@@ -353,6 +363,9 @@ pub fn encode_blocks_parallel<C: BlockCodec + Sync>(
     // panic identifies its block index and rolls `out` back.
     if meter.is_some() {
         PAR_WORKER_PANICS.inc();
+        obs::trail::emit(obs::trail::Event::WorkerPanic {
+            blocks: n_blocks as u64,
+        });
     }
     out.truncate(restore);
     write_varint(out, n_blocks as u64);

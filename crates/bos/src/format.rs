@@ -109,13 +109,17 @@ fn separated_payload_bytes(
 }
 
 fn encode_plain(values: &[i64], out: &mut Vec<u8>) {
-    if obs::enabled() {
-        BLOCKS_PLAIN.inc();
-    }
     out.push(MODE_PLAIN);
     let xmin = values.iter().copied().min().unwrap_or(0);
     let xmax = values.iter().copied().max().unwrap_or(0);
     let w = width(range_u64(xmin, xmax));
+    if obs::enabled() {
+        BLOCKS_PLAIN.inc();
+        obs::trail::emit(obs::trail::Event::BlockPlain {
+            n: values.len() as u64,
+            width: w as u8,
+        });
+    }
     write_varint_i64(out, xmin);
     out.push(w as u8);
     pack_words_for(values, xmin, w, out);
@@ -130,6 +134,14 @@ fn encode_separated(values: &[i64], block: &SortedBlock, eval: &Evaluation, out:
         PART_NL.record(eval.nl as u64);
         PART_NC.record(eval.nc as u64);
         PART_NU.record(eval.nu as u64);
+        obs::trail::emit(obs::trail::Event::BlockSeparated {
+            alpha: eval.alpha as u8,
+            beta: eval.beta as u8,
+            gamma: eval.gamma as u8,
+            nl: eval.nl as u64,
+            nc: eval.nc as u64,
+            nu: eval.nu as u64,
+        });
     }
     out.push(MODE_SEPARATED);
     let xmin = block.xmin();

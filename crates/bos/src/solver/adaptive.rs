@@ -93,6 +93,15 @@ impl Solver for AdaptiveSolver {
         let plain =
             values.len() as u64 * bitpack::width(bitpack::width::range_u64(min, max) as u64) as u64;
         if plain == 0 || (approx.cost_bits() as f64) < self.escalate_below * plain as f64 {
+            // Ratio test passed: BOS-M saved enough, no exact pass.
+            if obs::enabled() {
+                obs::trail::emit(obs::trail::Event::AdaptiveVerdict {
+                    escalated: false,
+                    prop4_skip: false,
+                    approx_bits: approx.cost_bits(),
+                    headroom_bits: 0,
+                });
+            }
             return approx;
         }
         // Proposition 4: approx ≤ ρ · OPT, so the recoverable gap is at
@@ -106,15 +115,32 @@ impl Solver for AdaptiveSolver {
         });
         let mean = sum / n_f;
         let sigma = (sumsq / n_f - mean * mean).max(0.0).sqrt();
+        let mut headroom_bits = 0u64;
         if sigma > 0.0 {
             let rho = theory::median_approx_bound(sigma);
             let ceiling = approx.cost_bits() as f64 * (1.0 - 1.0 / rho);
+            headroom_bits = ceiling.max(0.0) as u64;
             if ceiling < 2.0 * n_f {
+                // Prop. 4: the recoverable gap cannot pay for the search.
+                if obs::enabled() {
+                    obs::trail::emit(obs::trail::Event::AdaptiveVerdict {
+                        escalated: false,
+                        prop4_skip: true,
+                        approx_bits: approx.cost_bits(),
+                        headroom_bits,
+                    });
+                }
                 return approx;
             }
         }
         if obs::enabled() {
             ESCALATIONS.inc();
+            obs::trail::emit(obs::trail::Event::AdaptiveVerdict {
+                escalated: true,
+                prop4_skip: false,
+                approx_bits: approx.cost_bits(),
+                headroom_bits,
+            });
         }
         scratch.block.rebuild(values, &mut scratch.buf);
         let exact = BitWidthSolver {

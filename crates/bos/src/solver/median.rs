@@ -83,6 +83,13 @@ impl Solver for MedianSolver {
             BLOCKS.inc();
             CANDIDATES.add(candidates);
             PRUNES.add(prunes);
+            obs::trail::emit(obs::trail::Event::BlockSolved {
+                solver: self.name(),
+                separated: best.separation().is_some(),
+                cost_bits: best.cost_bits(),
+                candidates,
+                prunes,
+            });
         }
         best
     }

@@ -188,6 +188,13 @@ impl ValueSolver {
             BLOCKS.inc();
             CANDIDATES.add(merged.candidates);
             PRUNES.add(merged.prunes);
+            obs::trail::emit(obs::trail::Event::BlockSolved {
+                solver: self.name(),
+                separated: merged.pair.is_some(),
+                cost_bits: merged.cost,
+                candidates: merged.candidates,
+                prunes: merged.prunes,
+            });
         }
         let best_cost = merged.cost;
         if let Some((li, ui)) = merged.pair {

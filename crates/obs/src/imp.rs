@@ -17,11 +17,12 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 use crate::snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
+use crate::trail::{Event, Trail, TrailEvent, SAMPLE_CLASSES};
 
 /// Runtime kill-switch on top of the compile-time feature gate. Starts
 /// `true`; benchmarks flip it to A/B instrumentation overhead in-process.
@@ -488,9 +489,234 @@ impl Drop for SpanGuard {
                     parent.child_ns = parent.child_ns.saturating_add(total);
                 }
                 span_stat(frame.name).record(total, selft);
+                // Mirror the completed span into the flight recorder so
+                // exported traces show time extents, not just instants.
+                if trail_recording() {
+                    let end = trail_now_ns();
+                    trail_emit(Event::Span {
+                        name: frame.name,
+                        start_ns: end.saturating_sub(total),
+                        dur_ns: total,
+                    });
+                }
             }
         });
     }
+}
+
+// --- trail recorder -------------------------------------------------------
+
+/// Default per-shard ring capacity, in events.
+const TRAIL_DEFAULT_CAPACITY: usize = 16 * 1024;
+
+/// Trail on/off switch, layered under the metric kill-switch: recording
+/// requires [`enabled`] *and* this flag.
+static TRAIL_ON: AtomicBool = AtomicBool::new(true);
+
+/// The 1-in-N sampling knob for block-scoped events (1 = record all).
+static TRAIL_SAMPLE_EVERY: AtomicU64 = AtomicU64::new(1);
+
+/// Ring capacity applied at push time, so changes take effect on every
+/// shard immediately.
+static TRAIL_CAPACITY: AtomicUsize = AtomicUsize::new(TRAIL_DEFAULT_CAPACITY);
+
+/// Per-category sampling tickets; zeroed by [`trail_set_sampling`] so a
+/// fixed workload records `ceil(emitted / N)` events per category.
+static TRAIL_TICKETS: [AtomicU64; SAMPLE_CLASSES] = {
+    #[allow(clippy::declare_interior_mutable_const)] // array-init seed, immediately moved
+    const Z: AtomicU64 = AtomicU64::new(0);
+    [Z; SAMPLE_CLASSES]
+};
+
+/// Shard ids are handed out once and never reused (shards themselves
+/// are, via the free list).
+static TRAIL_NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Fixed-capacity overwrite-oldest ring of `(ts_ns, event)` records.
+#[derive(Default)]
+struct TrailRing {
+    buf: Vec<(u64, Event)>,
+    /// Oldest slot once the ring has wrapped (next overwrite target).
+    next: usize,
+    dropped: u64,
+}
+
+impl TrailRing {
+    fn push(&mut self, cap: usize, ts_ns: u64, event: Event) {
+        if self.buf.len() < cap {
+            self.buf.push((ts_ns, event));
+            return;
+        }
+        // Full (or over-full after a capacity cut): overwrite the
+        // oldest record round-robin.
+        if self.next >= self.buf.len() {
+            self.next = 0;
+        }
+        if let Some(slot) = self.buf.get_mut(self.next) {
+            *slot = (ts_ns, event);
+            self.next += 1;
+            self.dropped += 1;
+        }
+    }
+
+    /// Empties the ring, returning its records oldest-first plus the
+    /// overwrite count since the last drain.
+    fn drain(&mut self) -> (Vec<(u64, Event)>, u64) {
+        let dropped = std::mem::take(&mut self.dropped);
+        let next = std::mem::take(&mut self.next);
+        let mut out = std::mem::take(&mut self.buf);
+        let len = out.len();
+        if len > 0 {
+            out.rotate_left(next % len);
+        }
+        (out, dropped)
+    }
+}
+
+/// One recording shard: a ring behind its own mutex. The lock is
+/// effectively uncontended — each shard is owned by one live thread,
+/// and [`trail_drain`] takes it only briefly.
+struct TrailShard {
+    tid: u64,
+    ring: Mutex<TrailRing>,
+}
+
+/// Every shard ever created (leaked, so drains can reach shards whose
+/// owning thread has exited).
+fn trail_shards() -> &'static Mutex<Vec<&'static TrailShard>> {
+    static S: OnceLock<Mutex<Vec<&'static TrailShard>>> = OnceLock::new();
+    S.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Shards released by exited threads, available for reuse — bounds the
+/// shard population by the peak number of concurrently recording
+/// threads instead of the total ever spawned.
+fn trail_free() -> &'static Mutex<Vec<&'static TrailShard>> {
+    static S: OnceLock<Mutex<Vec<&'static TrailShard>>> = OnceLock::new();
+    S.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Thread-local shard claim; `Drop` returns the shard to the free list
+/// when the thread exits.
+struct ShardHandle(&'static TrailShard);
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        lock(trail_free()).push(self.0);
+    }
+}
+
+thread_local! {
+    static TRAIL_LOCAL: RefCell<Option<ShardHandle>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the calling thread's shard, claiming one on first use.
+/// Events arriving during thread teardown (after the thread-local is
+/// destroyed) are silently discarded rather than panicking.
+fn with_shard(f: impl FnOnce(&TrailShard)) {
+    let _ = TRAIL_LOCAL.try_with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let handle = slot.get_or_insert_with(|| {
+            let reclaimed = lock(trail_free()).pop();
+            ShardHandle(reclaimed.unwrap_or_else(|| {
+                let shard: &'static TrailShard = Box::leak(Box::new(TrailShard {
+                    tid: TRAIL_NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                    ring: Mutex::new(TrailRing::default()),
+                }));
+                lock(trail_shards()).push(shard);
+                shard
+            }))
+        });
+        f(handle.0);
+    });
+}
+
+/// Monotonic nanoseconds since the recorder's process epoch (first use).
+fn trail_now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// True when the flight recorder is capturing: instrumentation is
+/// compiled in, the runtime kill-switch is on, and the trail switch is
+/// on. Call sites use this to skip event construction entirely.
+#[inline]
+pub fn trail_recording() -> bool {
+    enabled() && TRAIL_ON.load(Ordering::Relaxed)
+}
+
+/// Flips the trail switch (recording still requires [`enabled`]).
+pub fn trail_set_recording(on: bool) {
+    TRAIL_ON.store(on, Ordering::Relaxed);
+}
+
+/// Sets the 1-in-N sampling knob for block-scoped events: category
+/// ticket `t` is recorded when `t % every == 0`. Zero is clamped to 1
+/// (record everything, the default). Resets the ticket counters so a
+/// fixed workload records a deterministic `ceil(emitted / N)` per
+/// category regardless of thread interleaving.
+pub fn trail_set_sampling(every: u64) {
+    TRAIL_SAMPLE_EVERY.store(every.max(1), Ordering::Relaxed);
+    for ticket in &TRAIL_TICKETS {
+        ticket.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The current 1-in-N sampling setting.
+pub fn trail_sampling() -> u64 {
+    TRAIL_SAMPLE_EVERY.load(Ordering::Relaxed)
+}
+
+/// Sets the per-shard ring capacity, effective immediately on every
+/// shard (rings over the new capacity overwrite in place until the
+/// next drain). Clamped to at least 16 events.
+pub fn trail_set_capacity(cap: usize) {
+    TRAIL_CAPACITY.store(cap.max(16), Ordering::Relaxed);
+}
+
+/// Records `event` into the calling thread's shard: one relaxed load,
+/// an uncontended mutex lock, and a ring write — no allocation once the
+/// ring has grown to capacity. Block-scoped events are subject to the
+/// sampling knob; lifecycle events are always recorded.
+pub fn trail_emit(event: Event) {
+    if !trail_recording() {
+        return;
+    }
+    if let Some(class) = event.sample_class() {
+        let every = TRAIL_SAMPLE_EVERY.load(Ordering::Relaxed).max(1);
+        if every > 1 {
+            if let Some(ticket) = TRAIL_TICKETS.get(class) {
+                if ticket.fetch_add(1, Ordering::Relaxed) % every != 0 {
+                    return;
+                }
+            }
+        }
+    }
+    let ts_ns = trail_now_ns();
+    let cap = TRAIL_CAPACITY.load(Ordering::Relaxed);
+    with_shard(|shard| lock(&shard.ring).push(cap, ts_ns, event));
+}
+
+/// Empties every shard and merges the records into one [`Trail`]
+/// ordered by `(ts_ns, tid)` (stable, so in-shard order breaks ties).
+/// Draining is the only way records leave the recorder; benchmarks
+/// drain between rounds to isolate their event sets.
+pub fn trail_drain() -> Trail {
+    let shards: Vec<&'static TrailShard> = lock(trail_shards()).clone();
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    for shard in shards {
+        let (records, d) = lock(&shard.ring).drain();
+        dropped += d;
+        events.extend(records.into_iter().map(|(ts_ns, event)| TrailEvent {
+            ts_ns,
+            tid: shard.tid,
+            event,
+        }));
+    }
+    events.sort_by_key(|e| (e.ts_ns, e.tid));
+    Trail { events, dropped }
 }
 
 // --- snapshot / reset / report -------------------------------------------
@@ -650,5 +876,129 @@ mod tests {
         counter("test.imp.report_counter").inc();
         let r = report();
         assert!(r.contains("test.imp.report_counter"));
+    }
+
+    // Single test for all recorder behavior: drains are process-global,
+    // so two draining tests running in parallel would steal each
+    // other's events. Assertions filter on marker payloads unique to
+    // this test, because concurrent tests may emit their own events.
+    #[test]
+    fn trail_records_samples_and_drains() {
+        assert!(trail_recording(), "recorder must default to on");
+        assert_eq!(trail_sampling(), 1, "sampling must default to all");
+
+        // Emission and time-ordered drain.
+        trail_emit(Event::SalvageSkip {
+            reason: "test.imp.trail_marker",
+            offset: 1,
+        });
+        trail_emit(Event::SalvageSkip {
+            reason: "test.imp.trail_marker",
+            offset: 2,
+        });
+        let mine = |t: &Trail| -> Vec<TrailEvent> {
+            t.events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.event,
+                        Event::SalvageSkip {
+                            reason: "test.imp.trail_marker",
+                            ..
+                        }
+                    )
+                })
+                .copied()
+                .collect()
+        };
+        let drained = mine(&trail_drain());
+        assert_eq!(drained.len(), 2);
+        assert!(drained[0].ts_ns <= drained[1].ts_ns, "not time-ordered");
+        assert!(mine(&trail_drain()).is_empty(), "drain must empty shards");
+
+        // The recording switch gates emission without touching metrics.
+        trail_set_recording(false);
+        assert!(!trail_recording());
+        trail_emit(Event::SalvageSkip {
+            reason: "test.imp.trail_marker",
+            offset: 3,
+        });
+        trail_set_recording(true);
+        assert!(mine(&trail_drain()).is_empty(), "switch-off still recorded");
+
+        // 1-in-N sampling on a block-scoped category: 7 emits at N=3
+        // record tickets 0, 3, 6 — ceil(7/3) = 3 events.
+        trail_set_sampling(3);
+        for i in 0..7u64 {
+            trail_emit(Event::BlockSolved {
+                solver: "test.imp.trail_sample",
+                separated: false,
+                cost_bits: i,
+                candidates: 0,
+                prunes: 0,
+            });
+        }
+        trail_set_sampling(1);
+        let sampled: Vec<TrailEvent> = trail_drain()
+            .events
+            .into_iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    Event::BlockSolved {
+                        solver: "test.imp.trail_sample",
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(sampled.len(), 3, "ceil(7/3) block events expected");
+
+        // Capacity: after a drain the shard ring is empty, so pushing
+        // 40 marker events at capacity 16 keeps the newest 16 and
+        // counts the overwrites.
+        trail_set_capacity(16);
+        for i in 0..40u64 {
+            trail_emit(Event::SalvageSkip {
+                reason: "test.imp.trail_marker",
+                offset: 100 + i,
+            });
+        }
+        trail_set_capacity(TRAIL_DEFAULT_CAPACITY);
+        let full = trail_drain();
+        let kept = mine(&full);
+        assert_eq!(kept.len(), 16, "ring must cap at the set capacity");
+        let offsets: Vec<u64> = kept
+            .iter()
+            .map(|e| match e.event {
+                Event::SalvageSkip { offset, .. } => offset,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            offsets,
+            (124..140).collect::<Vec<u64>>(),
+            "oldest-first drain of the wrapped ring"
+        );
+        assert!(full.dropped >= 24, "overwrites must be counted");
+
+        // Spans are mirrored into the trail by the drop hook.
+        {
+            let _g = span("test.imp.trail_span");
+        }
+        let spans: Vec<TrailEvent> = trail_drain()
+            .events
+            .into_iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    Event::Span {
+                        name: "test.imp.trail_span",
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(spans.len(), 1, "span must be mirrored exactly once");
     }
 }

@@ -29,11 +29,18 @@
 //! dot-separated `layer.subject[.detail]`, e.g. `solver.BOS-B.candidates`,
 //! `codec.BP.blocks_encoded`, `tsfile.crc_verified`, and span names
 //! `solver_search.BOS-M` / `pack_payload.BOS-M` / `tsfile.write_stream`.
+//!
+//! Aggregates answer *how much*; the [`trail`] flight recorder answers
+//! *what happened*: per-block provenance events in per-thread ring
+//! buffers, drained into a time-ordered [`trail::Trail`] and exported
+//! as Chrome `trace_event` JSON or JSONL. Like everything else it
+//! compiles to no-ops without the feature.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod snapshot;
+pub mod trail;
 
 pub use snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
 

@@ -4,6 +4,7 @@
 //! nothing allocates. Compiled when the `enabled` feature is off.
 
 use crate::snapshot::Snapshot;
+use crate::trail::{Event, Trail};
 
 /// Always `false`: instrumentation is compiled out.
 #[inline]
@@ -191,6 +192,38 @@ pub fn snapshot() -> Snapshot {
     Snapshot::default()
 }
 
+/// Always `false`: the flight recorder is compiled out.
+#[inline]
+pub fn trail_recording() -> bool {
+    false
+}
+
+/// Inert without the `enabled` feature.
+#[inline]
+pub fn trail_set_recording(_on: bool) {}
+
+/// Inert without the `enabled` feature; nothing is ever recorded.
+#[inline]
+pub fn trail_emit(_event: Event) {}
+
+/// Inert without the `enabled` feature.
+#[inline]
+pub fn trail_set_sampling(_every: u64) {}
+
+/// Always 1 (the record-everything default).
+pub fn trail_sampling() -> u64 {
+    1
+}
+
+/// Inert without the `enabled` feature.
+#[inline]
+pub fn trail_set_capacity(_cap: usize) {}
+
+/// Always the empty trail.
+pub fn trail_drain() -> Trail {
+    Trail::default()
+}
+
 /// No-op.
 pub fn reset() {}
 
@@ -226,6 +259,13 @@ mod tests {
         {
             let _g = span("noop.span");
         }
+        trail_set_recording(true);
+        assert!(!trail_recording(), "trail must be inert when compiled out");
+        trail_emit(Event::BlockPlain { n: 1, width: 1 });
+        trail_set_sampling(4);
+        assert_eq!(trail_sampling(), 1);
+        trail_set_capacity(8);
+        assert!(trail_drain().is_empty(), "no-op trail must stay empty");
         let snap = snapshot();
         assert!(!snap.enabled);
         assert!(snap.is_empty(), "no-op build must register nothing");

@@ -29,6 +29,62 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated value at quantile `q` (clamped into `[0, 1]`), or 0.0
+    /// when empty. The target rank is located in the power-of-two
+    /// bucket sequence and interpolated linearly across that bucket's
+    /// value range; the estimate is then clamped to the observed
+    /// `min..=max`, which makes single-value distributions exact and
+    /// pins `q = 0` / `q = 1` to the true extremes.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for &(b, c) in &self.buckets {
+            let next = seen + c;
+            if next as f64 >= target {
+                let (lo, hi) = bucket_bounds(b);
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (target - seen as f64) / c as f64
+                };
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return v.clamp(self.min as f64, self.max as f64);
+            }
+            seen = next;
+        }
+        self.max as f64
+    }
+
+    /// Median estimate; see [`Self::percentile`].
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile estimate; see [`Self::percentile`].
+    pub fn p90(&self) -> f64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile estimate; see [`Self::percentile`].
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+}
+
+/// Inclusive value range of histogram bucket `b`: bucket 0 holds
+/// exactly zero, bucket `b >= 1` covers `2^(b-1) ..= 2^b - 1` (bucket
+/// 64's upper bound saturates at `u64::MAX`).
+fn bucket_bounds(b: u32) -> (u64, u64) {
+    if b == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (b - 1);
+        (lo, lo.wrapping_mul(2).wrapping_sub(1))
+    }
 }
 
 /// Point-in-time copy of one span's aggregate timings.
@@ -189,7 +245,9 @@ impl Snapshot {
             }
         }
         if !self.histograms.is_empty() {
-            s.push_str("histograms (count / mean / min..max, buckets by bit-width)\n");
+            s.push_str(
+                "histograms (count / mean / p50 p90 p99 / min..max, buckets by bit-width)\n",
+            );
             let w = self
                 .histograms
                 .iter()
@@ -198,9 +256,12 @@ impl Snapshot {
                 .unwrap_or(0);
             for (name, h) in &self.histograms {
                 s.push_str(&format!(
-                    "  {name:<w$}  n={} mean={:.1} range={}..{}",
+                    "  {name:<w$}  n={} mean={:.1} p50={:.1} p90={:.1} p99={:.1} range={}..{}",
                     h.count,
                     h.mean(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
                     h.min,
                     h.max
                 ));
@@ -241,8 +302,9 @@ fn fmt_ns(ns: u64) -> String {
 }
 
 /// Appends `name` as a JSON string literal (quotes + minimal escaping;
-/// metric names are ASCII identifiers-with-dots in practice).
-fn push_json_str(out: &mut String, name: &str) {
+/// metric names are ASCII identifiers-with-dots in practice). Shared
+/// with the trail exporters.
+pub(crate) fn push_json_str(out: &mut String, name: &str) {
     out.push('"');
     for c in name.chars() {
         match c {
@@ -325,6 +387,84 @@ mod tests {
         for section in ["counters", "gauges", "histograms", "spans"] {
             assert!(r.contains(section), "missing {section} in:\n{r}");
         }
+    }
+
+    #[test]
+    fn percentiles_exact_on_single_value_distribution() {
+        // Twenty 8s: every quantile must be exactly 8 (bucket 4 spans
+        // 8..=15, but the min/max clamp pins the estimate).
+        let h = HistogramSnapshot {
+            count: 20,
+            sum: 160,
+            min: 8,
+            max: 8,
+            buckets: vec![(4, 20)],
+        };
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 8.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentiles_interpolate_and_stay_monotonic() {
+        // 90 values in bucket 3 (4..=7), 10 in bucket 11 (1024..=2047).
+        let h = HistogramSnapshot {
+            count: 100,
+            sum: 90 * 5 + 10 * 1500,
+            min: 4,
+            max: 2000,
+            buckets: vec![(3, 90), (11, 10)],
+        };
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        assert!((4.0..=7.0).contains(&p50), "p50={p50}");
+        assert!((4.0..=7.0).contains(&p90), "p90={p90}");
+        assert!((1024.0..=2000.0).contains(&p99), "p99={p99}");
+        assert!(p50 <= p90 && p90 <= p99);
+        // The extremes pin to the observed min and max.
+        assert_eq!(h.percentile(0.0), 4.0);
+        assert_eq!(h.percentile(1.0), 2000.0);
+        // Out-of-range quantiles clamp instead of misbehaving.
+        assert_eq!(h.percentile(-1.0), 4.0);
+        assert_eq!(h.percentile(2.0), 2000.0);
+    }
+
+    #[test]
+    fn percentiles_on_empty_and_zero_heavy_distributions() {
+        assert_eq!(HistogramSnapshot::default().percentile(0.5), 0.0);
+        // 99 zeros and one large value: p50 is 0, p99+ reaches up.
+        let h = HistogramSnapshot {
+            count: 100,
+            sum: 4096,
+            min: 0,
+            max: 4096,
+            buckets: vec![(0, 99), (13, 1)],
+        };
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p90(), 0.0);
+        assert!(h.percentile(0.999) >= 2048.0);
+    }
+
+    #[test]
+    fn render_shows_percentiles() {
+        let s = Snapshot {
+            enabled: true,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: vec![(
+                "h".to_string(),
+                HistogramSnapshot {
+                    count: 4,
+                    sum: 32,
+                    min: 8,
+                    max: 8,
+                    buckets: vec![(4, 4)],
+                },
+            )],
+            spans: Vec::new(),
+        };
+        let r = s.render();
+        assert!(r.contains("p50=8.0"), "{r}");
+        assert!(r.contains("p90=8.0") && r.contains("p99=8.0"), "{r}");
     }
 
     #[test]

@@ -1,17 +1,22 @@
 //! `boscli` — command-line tool for TsFile-lite archives.
 //!
 //! ```text
-//! boscli pack   <out.tsf> <name=path.csv> [...]   pack CSV series (auto encoding)
-//! boscli info   <file.tsf>                        list series, sizes, encodings
-//! boscli unpack <file.tsf> <series> [out.csv]     extract one series to CSV
-//! boscli bench  <path.csv>                        compare operators on a CSV series
-//! boscli stats  <path.csv> [solver] [block_size]  separation diagnostics per solver
-//! boscli demo   <out.tsf>                         pack the 12 synthetic datasets
+//! boscli pack    <out.tsf> <name=path.csv> [...]   pack CSV series (auto encoding)
+//! boscli info    <file.tsf>                        list series, sizes, encodings
+//! boscli unpack  <file.tsf> <series> [out.csv]     extract one series to CSV
+//! boscli bench   <path.csv>                        compare operators on a CSV series
+//! boscli stats   <path.csv> [solver] [block_size]  separation diagnostics per solver
+//! boscli encode  <in.csv> <out.bin> [solver] [block_size]  raw block-codec encode
+//! boscli salvage <file.tsf>                        damage report for a broken archive
+//! boscli demo    <out.tsf>                         pack the 12 synthetic datasets
 //! ```
 //!
 //! Every command accepts `--metrics-json`: after the command succeeds, the
 //! full `obs` metrics snapshot (solver tallies, codec traffic, CRC checks,
-//! span timings) is printed to stdout as one JSON object.
+//! span timings) is printed to stdout as one JSON object. `--metrics-out
+//! <path>` writes the same snapshot to a file instead, and `--trace-out
+//! <path>` drains the flight-recorder trail into a chrome://tracing JSON
+//! file (load it via the "Load" button or `chrome://tracing`).
 
 use bos::SolverKind;
 use datasets::csv;
@@ -24,37 +29,96 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let want_metrics = args.iter().any(|a| a == "--metrics-json");
     args.retain(|a| a != "--metrics-json");
+    let (trace_out, metrics_out) = match (
+        take_flag_value(&mut args, "--trace-out"),
+        take_flag_value(&mut args, "--metrics-out"),
+    ) {
+        (Ok(t), Ok(m)) => (t, m),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("boscli: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("pack") => cmd_pack(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("unpack") => cmd_unpack(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("encode") => cmd_encode(&args[1..]),
+        Some("salvage") => cmd_salvage(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
-            eprintln!("usage: boscli <pack|info|unpack|bench|stats|demo> [--metrics-json] ...");
-            eprintln!("  pack   <out.tsf> <name=path.csv> [...]");
-            eprintln!("  info   <file.tsf>");
-            eprintln!("  unpack <file.tsf> <series> [out.csv]");
-            eprintln!("  bench  <path.csv>");
-            eprintln!("  stats  <path.csv> [solver] [block_size]   solver: bos-v|bos-b|bos-m|bos-a|... or 'all'");
-            eprintln!("  demo   <out.tsf>");
-            eprintln!("  --metrics-json   print the obs metrics snapshot as JSON on success");
+            eprintln!(
+                "usage: boscli <pack|info|unpack|bench|stats|encode|salvage|demo> [--metrics-json] [--metrics-out <path>] [--trace-out <path>] ..."
+            );
+            eprintln!("  pack    <out.tsf> <name=path.csv> [...]");
+            eprintln!("  info    <file.tsf>");
+            eprintln!("  unpack  <file.tsf> <series> [out.csv]");
+            eprintln!("  bench   <path.csv>");
+            eprintln!("  stats   <path.csv> [solver] [block_size]   solver: bos-v|bos-b|bos-m|bos-a|... or 'all'");
+            eprintln!("  encode  <in.csv> <out.bin> [solver] [block_size]");
+            eprintln!("  salvage <file.tsf>");
+            eprintln!("  demo    <out.tsf>");
+            eprintln!("  --metrics-json        print the obs metrics snapshot as JSON on success");
+            eprintln!("  --metrics-out <path>  write the obs metrics snapshot JSON to a file");
+            eprintln!(
+                "  --trace-out <path>    write the flight-recorder trail as chrome-trace JSON"
+            );
             return ExitCode::from(2);
         }
     };
+    let result = result.and_then(|()| {
+        write_observability(want_metrics, trace_out.as_deref(), metrics_out.as_deref())
+    });
     match result {
-        Ok(()) => {
-            if want_metrics {
-                println!("{}", obs::snapshot().to_json());
-            }
-            ExitCode::SUCCESS
-        }
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("boscli: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Removes `flag <value>` from `args` and returns the value. Errors when
+/// the flag is present but trailing (no value follows it).
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a <path> argument"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(value))
+}
+
+/// Emits the post-command observability artifacts: the stdout metrics
+/// dump, the metrics file, and the chrome-trace export of the trail.
+fn write_observability(
+    want_metrics: bool,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) -> CliResult {
+    if want_metrics {
+        println!("{}", obs::snapshot().to_json());
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, obs::snapshot().to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote metrics snapshot to {path}");
+    }
+    if let Some(path) = trace_out {
+        let trail = obs::trail::drain();
+        std::fs::write(path, obs::trail::to_chrome_trace(&trail))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote {} trace events to {path} ({} dropped by the ring)",
+            trail.len(),
+            trail.dropped
+        );
+    }
+    Ok(())
 }
 
 type CliResult = Result<(), String>;
@@ -286,6 +350,111 @@ fn cmd_stats(args: &[String]) -> CliResult {
             format_ratio(s.improvement())
         );
     }
+    Ok(())
+}
+
+fn cmd_encode(args: &[String]) -> CliResult {
+    let (input, out, solver_arg, block_arg) = match args {
+        [i, o] => (i, o, None, None),
+        [i, o, s] => (i, o, Some(s.as_str()), None),
+        [i, o, s, b] => (i, o, Some(s.as_str()), Some(b.as_str())),
+        _ => return Err("encode needs <in.csv> <out.bin> [solver] [block_size]".into()),
+    };
+    let block_size: usize = match block_arg {
+        None => 1024,
+        Some(b) => b
+            .parse()
+            .ok()
+            .filter(|&b| b >= 1)
+            .ok_or_else(|| format!("bad block_size {b:?} (need an integer >= 1)"))?,
+    };
+    let kind: SolverKind = solver_arg.unwrap_or("bos-a").parse()?;
+    let (ints, floats) = load_series(Path::new(input))?;
+    let ints = match (ints, floats) {
+        (Some(i), _) => i,
+        (_, Some(f)) => {
+            let p = encodings::floatint::infer_precision(&f)
+                .ok_or("floats have no exact decimal scaling")?;
+            encodings::floatint::floats_to_ints(&f, p).ok_or("scaling overflow")?
+        }
+        _ => unreachable!(),
+    };
+    // At least two workers so the flight recorder sees the parallel
+    // driver's dispatch/join provenance, capped to keep small inputs cheap.
+    let threads = std::thread::available_parallelism()
+        .map_or(2, usize::from)
+        .clamp(2, 8);
+    let codec = bos::BosCodec::new(kind);
+    let mut buf = Vec::new();
+    bitpack::codec::encode_blocks_parallel(&codec, &ints, block_size, threads, &mut buf)
+        .map_err(|e| e.to_string())?;
+    std::fs::write(out, &buf).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out}: {} bytes from {} values ({} blocks of {block_size}, {threads} threads, solver {}, {}x vs raw)",
+        buf.len(),
+        ints.len(),
+        ints.len().div_ceil(block_size),
+        kind.label(),
+        format_ratio(ints.len() as f64 * 8.0 / buf.len() as f64)
+    );
+    Ok(())
+}
+
+fn cmd_salvage(args: &[String]) -> CliResult {
+    let [path] = args else {
+        return Err("salvage needs <file.tsf>".into());
+    };
+    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let (reader, report) = TsFileReader::open_salvage(&data);
+    println!(
+        "{path}: {} bytes, {} series, footer {}",
+        data.len(),
+        reader.series().len(),
+        if report.footer_rebuilt {
+            "rebuilt from body scan"
+        } else {
+            "intact"
+        }
+    );
+    for s in &report.skipped {
+        println!(
+            "  scan skipped {} bytes {}..{}: {}",
+            s.series, s.range.start, s.range.end, s.reason
+        );
+    }
+    let mut damaged = 0usize;
+    for info in reader.series() {
+        let (recovered, skipped) = if info.is_float {
+            let o = reader
+                .read_floats_salvage(&info.name)
+                .map_err(|e| e.to_string())?;
+            (o.values.len(), o.skipped)
+        } else {
+            let o = reader
+                .read_ints_salvage(&info.name)
+                .map_err(|e| e.to_string())?;
+            (o.values.len(), o.skipped)
+        };
+        if skipped.is_empty() {
+            println!(
+                "  {:<28} {:>10}/{} values intact",
+                info.name, recovered, info.count
+            );
+        } else {
+            damaged += 1;
+            println!(
+                "  {:<28} {:>10}/{} values recovered",
+                info.name, recovered, info.count
+            );
+            for s in &skipped {
+                println!(
+                    "    lost chunk bytes {}..{}: {}",
+                    s.range.start, s.range.end, s.reason
+                );
+            }
+        }
+    }
+    println!("{} of {} series damaged", damaged, reader.series().len());
     Ok(())
 }
 

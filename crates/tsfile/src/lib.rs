@@ -288,10 +288,15 @@ impl TsFileWriter {
         write_varint(&mut self.body, count as u64);
         write_varint(&mut self.body, payload.len() as u64);
         self.body.extend_from_slice(payload);
-        self.body.extend_from_slice(&crc32(payload).to_le_bytes());
+        let crc = crc32(payload);
+        self.body.extend_from_slice(&crc.to_le_bytes());
         if obs::enabled() {
             CHUNKS_WRITTEN.inc();
             CHUNK_BYTES_WRITTEN.add(payload.len() as u64);
+            obs::trail::emit(obs::trail::Event::ChunkSealed {
+                bytes: payload.len() as u64,
+                crc,
+            });
         }
         self.index.push(IndexEntry {
             name: name.to_string(),
@@ -441,13 +446,21 @@ pub enum SkipReason {
     BadHeader,
 }
 
+impl SkipReason {
+    /// Static label matching the `Display` form, usable as a trail
+    /// event payload (which carries `&'static str`, not allocations).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::CrcMismatch => "crc-mismatch",
+            Self::Truncated => "truncated",
+            Self::BadHeader => "bad-header",
+        }
+    }
+}
+
 impl fmt::Display for SkipReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::CrcMismatch => write!(f, "crc-mismatch"),
-            Self::Truncated => write!(f, "truncated"),
-            Self::BadHeader => write!(f, "bad-header"),
-        }
+        f.write_str(self.label())
     }
 }
 
@@ -858,6 +871,10 @@ impl<'a> TsFileReader<'a> {
                     });
                     if obs::enabled() {
                         SALVAGE_SKIPPED.inc();
+                        obs::trail::emit(obs::trail::Event::SalvageSkip {
+                            reason: reason.label(),
+                            offset: pos as u64,
+                        });
                     }
                     pos += 1;
                 }
@@ -914,15 +931,20 @@ impl<'a> TsFileReader<'a> {
 
     /// Builds the all-skipped outcome for a chunk that failed to read.
     fn skip_outcome<T>(&self, info: &SeriesInfo, e: &TsFileError) -> SalvageOutcome<T> {
+        let reason = skip_reason(e);
         if obs::enabled() {
             SALVAGE_SKIPPED.inc();
+            obs::trail::emit(obs::trail::Event::SalvageSkip {
+                reason: reason.label(),
+                offset: info.offset,
+            });
         }
         SalvageOutcome {
             values: Vec::new(),
             skipped: vec![SkippedChunk {
                 series: info.name.clone(),
                 range: self.chunk_extent(info),
-                reason: skip_reason(e),
+                reason,
             }],
         }
     }

@@ -45,6 +45,11 @@ pub struct Config {
     /// Error enums whose every variant must be constructed in shipping
     /// code and referenced by at least one test.
     pub error_variant_enums: Vec<String>,
+    /// Flight-recorder event enums (e.g. `obs::trail::Event`): every
+    /// variant must be emitted from shipping code and referenced by at
+    /// least one test — a never-emitted event is dead provenance, and an
+    /// untested one can silently rot its payload.
+    pub trail_event_enums: Vec<String>,
     /// Directory prefixes whose shipping functions must join every thread
     /// handle they spawn.
     pub join_spawn_dirs: Vec<String>,
@@ -74,6 +79,7 @@ impl Config {
             "unchecked-arith-in-decode",
             "obs-feature-parity",
             "error-variant-coverage",
+            "trail-event-paired",
             "join-all-spawns",
             "solver-entry-scratch",
             "uncovered-ok",
@@ -103,6 +109,7 @@ impl Config {
                 "codec-label-unique" => "traits",
                 "obs-label-unique" => "patterns",
                 "error-variant-coverage" => "enums",
+                "trail-event-paired" => "enums",
                 "join-all-spawns" => "dirs",
                 _ => "files",
             };
@@ -155,6 +162,7 @@ impl Config {
                 "unchecked-arith-in-decode" => config.unchecked_arith = values,
                 "obs-feature-parity" => config.obs_parity_files = values,
                 "error-variant-coverage" => config.error_variant_enums = values,
+                "trail-event-paired" => config.trail_event_enums = values,
                 "join-all-spawns" => config.join_spawn_dirs = values,
                 "solver-entry-scratch" => config.solver_entry_scratch = values,
                 "uncovered-ok" => config.uncovered_ok = values,
@@ -244,6 +252,9 @@ files = ["crates/obs/src/imp.rs", "crates/obs/src/noop.rs"]
 [error-variant-coverage]
 enums = ["DecodeError", "SkipReason"]
 
+[trail-event-paired]
+enums = ["Event"]
+
 [join-all-spawns]
 dirs = ["crates", "src"]
 
@@ -257,6 +268,7 @@ files = ["crates/bench/src/main.rs"]
         assert_eq!(c.unchecked_arith, vec!["crates/bitpack/src/pack.rs"]);
         assert_eq!(c.obs_parity_files.len(), 2);
         assert_eq!(c.error_variant_enums, vec!["DecodeError", "SkipReason"]);
+        assert_eq!(c.trail_event_enums, vec!["Event"]);
         assert_eq!(c.join_spawn_dirs, vec!["crates", "src"]);
         assert_eq!(
             c.solver_entry_scratch,
@@ -269,6 +281,8 @@ files = ["crates/bench/src/main.rs"]
     fn new_sections_reject_wrong_keys() {
         assert!(Config::parse("[error-variant-coverage]\nfiles = []").is_err());
         assert!(Config::parse("[error-variant-coverage]\nenums = [\"E\"]").is_ok());
+        assert!(Config::parse("[trail-event-paired]\nfiles = []").is_err());
+        assert!(Config::parse("[trail-event-paired]\nenums = [\"Event\"]").is_ok());
         assert!(Config::parse("[join-all-spawns]\nfiles = []").is_err());
         assert!(Config::parse("[join-all-spawns]\ndirs = [\"crates\"]").is_ok());
         assert!(Config::parse("[obs-feature-parity]\npaths = []").is_err());

@@ -173,6 +173,7 @@ pub fn run(root: &Path, config: &Config) -> Result<Report, String> {
     obs_labels(&ws, config, &mut findings);
     obs_parity(&ws, config, &mut findings);
     error_variants(&ws, config, &mut findings);
+    trail_events(&ws, config, &mut findings);
     join_all_spawns(&ws, config, &mut findings);
     solver_entry_scratch(&ws, config, &mut findings);
 
@@ -1325,6 +1326,82 @@ fn error_variants(ws: &Workspace, config: &Config, findings: &mut Vec<Finding>) 
             for message in msgs {
                 let hits = vec![(*tok_idx, message)];
                 push_hits(def_file, "error-variant-coverage", hits, findings);
+            }
+        }
+    }
+}
+
+/// Rule: every variant of the configured flight-recorder event enums
+/// must be emitted (constructed) somewhere in shipping code — an event
+/// nothing emits is dead provenance cluttering the trace schema — and
+/// referenced by at least one test, so its payload shape can't rot
+/// silently. Mechanics mirror [`error_variants`]: construction is any
+/// qualified `Enum::Variant` reference in shipping code that is not a
+/// match-arm pattern.
+fn trail_events(ws: &Workspace, config: &Config, findings: &mut Vec<Finding>) {
+    for enum_name in &config.trail_event_enums {
+        let mut def: Option<(&SourceFile, &Item)> = None;
+        for f in &ws.files {
+            if f.is_test_file {
+                continue;
+            }
+            for item in shipping_items(f) {
+                if item.kind == ItemKind::Enum && item.name.as_deref() == Some(enum_name) {
+                    def = Some((f, item));
+                }
+            }
+        }
+        let Some((def_file, def_item)) = def else {
+            findings.push(Finding {
+                file: "lint.toml".to_string(),
+                line: 1,
+                col: 0,
+                rule: "trail-event-paired",
+                message: format!(
+                    "[trail-event-paired] lists enum `{enum_name}`, which was not \
+                     found in the workspace"
+                ),
+            });
+            continue;
+        };
+        let variants = enum_variants(def_file, def_item);
+        let names: BTreeSet<&str> = variants.iter().map(|(n, _)| n.as_str()).collect();
+        let mut emitted: BTreeSet<String> = BTreeSet::new();
+        let mut tested: BTreeSet<String> = BTreeSet::new();
+        for f in &ws.files {
+            for i in 0..f.tokens.len() {
+                if !f.is_ident(i, enum_name) || !f.glued_pair(i + 1, b':', b':') {
+                    continue;
+                }
+                let vname = f.text(i + 3);
+                if !names.contains(vname) {
+                    continue;
+                }
+                if f.is_test_file || !f.shipping.get(i).copied().unwrap_or(false) {
+                    tested.insert(vname.to_string());
+                } else if !reference_is_pattern(f, i + 3) {
+                    emitted.insert(vname.to_string());
+                }
+            }
+        }
+        for (vname, tok_idx) in &variants {
+            let mut msgs = Vec::new();
+            if !emitted.contains(vname) {
+                msgs.push(format!(
+                    "`{enum_name}::{vname}` is never emitted from shipping code; an \
+                     event nothing records is dead provenance (remove it, or \
+                     lint:allow with the reason it is reserved)"
+                ));
+            }
+            if !tested.contains(vname) {
+                msgs.push(format!(
+                    "`{enum_name}::{vname}` is never referenced in any test; add a \
+                     test constructing it so its payload shape cannot rot silently"
+                ));
+            }
+            for message in msgs {
+                let hits = vec![(*tok_idx, message)];
+                push_hits(def_file, "trail-event-paired", hits, findings);
             }
         }
     }

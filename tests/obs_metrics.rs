@@ -1,10 +1,11 @@
 //! Property tests for the `obs` metrics layer (PR 4): the codec meters in
 //! the shared block driver must agree exactly with what was encoded.
 //!
-//! Everything lives in one `#[test]` because the metric assertions are
-//! snapshot *deltas* on shared labels — a second test driving the same
-//! codecs in a parallel thread would race the deltas. Integration-test
-//! files are separate processes, so other test binaries can't interfere.
+//! The metric assertions are snapshot *deltas* on shared labels and the
+//! kill-switch test flips the global runtime toggle, so the tests in
+//! this binary serialize on [`OBS_STATE`] — a concurrent test would race
+//! the deltas or observe the switch mid-flip. Integration-test files are
+//! separate processes, so other test binaries can't interfere.
 
 use bitpack::codec::{decode_blocks, encode_blocks_parallel};
 use bitpack::zigzag::write_varint;
@@ -12,6 +13,93 @@ use bos::{BosCodec, SolverKind};
 use encodings::PackerKind;
 use proptest::prelude::*;
 use proptest::TestCaseError;
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary (see the module docs). The
+/// proptest below locks per case — each case's before/after snapshots
+/// happen entirely under one hold — and the kill-switch test locks once
+/// and restores `set_enabled(true)` before releasing.
+static OBS_STATE: Mutex<()> = Mutex::new(());
+
+/// Lock that survives a poisoned mutex (a prior panicking test must not
+/// mask this one's result).
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Completed-instance count for one span label (0 when never recorded).
+fn span_count(name: &str) -> u64 {
+    obs::snapshot().span(name).map_or(0, |s| s.count)
+}
+
+/// Satellite regression (PR 9): toggling the runtime kill-switch between
+/// span open and drop must not panic, corrupt self-time accounting, or
+/// leak thread-local stack frames.
+#[test]
+fn kill_switch_mid_span_keeps_accounting_sane() {
+    if !obs::enabled() {
+        return; // feature off: spans are compile-time inert
+    }
+    let _guard = obs_lock();
+    obs::set_enabled(true);
+
+    // Disable while a span is open: an inner guard opened during the off
+    // window is inert (it must not pop the outer frame on drop), and the
+    // outer span still records exactly once after re-enabling.
+    let outer_before = span_count("test.killswitch.outer");
+    {
+        let _outer = obs::span("test.killswitch.outer");
+        obs::set_enabled(false);
+        {
+            let _inner = obs::span("test.killswitch.inner");
+        }
+        obs::set_enabled(true);
+    }
+    assert_eq!(
+        span_count("test.killswitch.outer"),
+        outer_before + 1,
+        "outer span must record exactly once"
+    );
+    assert_eq!(
+        span_count("test.killswitch.inner"),
+        0,
+        "inner span opened while disabled must stay unrecorded"
+    );
+    let outer = obs::snapshot();
+    let outer = outer.span("test.killswitch.outer").expect("outer recorded");
+    assert_eq!(
+        outer.self_ns, outer.total_ns,
+        "the inert inner span must not siphon child time from the outer"
+    );
+
+    // Enabled at open, disabled at drop: the frame was pushed, so it must
+    // still be popped and recorded — otherwise it leaks on the stack and
+    // corrupts every later span's depth.
+    {
+        let _g = obs::span("test.killswitch.drop_disabled");
+        obs::set_enabled(false);
+    }
+    obs::set_enabled(true);
+    assert_eq!(
+        span_count("test.killswitch.drop_disabled"),
+        1,
+        "a frame pushed while enabled must be recorded on drop"
+    );
+
+    // The stack is back to level ground: a fresh span nests nothing and
+    // records once with self == total.
+    let fresh_before = span_count("test.killswitch.fresh");
+    {
+        let _g = obs::span("test.killswitch.fresh");
+    }
+    let snap = obs::snapshot();
+    let fresh = snap.span("test.killswitch.fresh").expect("fresh recorded");
+    assert_eq!(fresh.count, fresh_before + 1);
+    assert_eq!(
+        fresh.self_ns, fresh.total_ns,
+        "a leaked frame would show up as phantom child time here"
+    );
+}
 
 /// Mixed-magnitude series: a tight center with sparse two-sided outliers,
 /// the regime where every codec in the grid takes a different layout path.
@@ -108,6 +196,7 @@ proptest! {
         if !obs::enabled() {
             return Ok(()); // feature off: nothing to meter
         }
+        let _guard = obs_lock();
         for kind in PackerKind::ALL {
             // `PackerKind::build` returns a non-Sync box; the parallel
             // driver wants `Sync`, so dispatch to the concrete codecs.

@@ -1,0 +1,11 @@
+//! Regenerates the crash-consistency artifact implemented in
+//! `bos_bench::experiments::store` (writes `BENCH_PR10.json`).
+//!
+//! Pass `--quick` for the tier-1 configuration: fewer crash points and
+//! seeds per class, and no JSON artifact.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = bos_bench::harness::Config::from_env();
+    bos_bench::experiments::store::run(&cfg, quick);
+}

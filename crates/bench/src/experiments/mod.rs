@@ -18,6 +18,7 @@ pub mod fig15_blocksize;
 pub mod grid;
 pub mod obs;
 pub mod prop4_approx;
+pub mod store;
 pub mod throughput;
 
 /// Prints the standard experiment banner.

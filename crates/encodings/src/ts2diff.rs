@@ -73,15 +73,26 @@ impl<P: IntPacker> Ts2DiffEncoding<P> {
         out.push(self.order as u8);
         let mut scratch = Vec::with_capacity(self.block_size);
         for block in values.chunks(self.block_size) {
-            scratch.clear();
-            scratch.extend_from_slice(block);
-            diff_in_place(&mut scratch, self.order);
-            let heads = self.order.min(block.len());
-            for &h in &scratch[..heads] {
-                write_varint_i64(out, h);
-            }
-            self.packer.encode(&scratch[heads..], out);
+            self.encode_block_into(block, &mut scratch, out);
         }
+    }
+
+    /// Encodes one block's bytes — the `order × zigzag heads · operator
+    /// block` unit [`encode`](Self::encode) concatenates after the
+    /// stream header. Blocks are independent, so parallel drivers can
+    /// produce byte-identical streams by encoding groups of blocks on
+    /// worker threads and concatenating the results in block order
+    /// (see `Pipeline::encode_parallel`).
+    // lint:allow(encode-decode-pairing): emits a fragment of the `encode` stream, which the existing `decode` reads (pinned by `parallel_encode_is_byte_identical`)
+    pub fn encode_block_into(&self, block: &[i64], scratch: &mut Vec<i64>, out: &mut Vec<u8>) {
+        scratch.clear();
+        scratch.extend_from_slice(block);
+        diff_in_place(scratch, self.order);
+        let heads = self.order.min(block.len());
+        for &h in &scratch[..heads] {
+            write_varint_i64(out, h);
+        }
+        self.packer.encode(&scratch[heads..], out);
     }
 
     /// Decodes a series produced by [`encode`](Self::encode) (any order).

@@ -1,0 +1,263 @@
+//! Deterministic crash-point scheduling for store mutations.
+//!
+//! A [`CrashPoint`] names the `n`-th durable write of an operation and
+//! what happens to the bytes in flight when the simulated process dies
+//! there ([`CrashTear`]). A [`CrashSchedule`] is the stateful form a
+//! store threads through its mutations: every durable write calls
+//! [`CrashSchedule::on_write`] with the bytes it is about to persist,
+//! and the schedule either waves it through or fires — optionally
+//! mangling the buffer with the existing [`Fault::Truncate`] /
+//! [`Fault::TornTail`] primitives so a *partial* write lands — and
+//! stays dead for every later write, exactly like a killed process.
+//!
+//! Everything is driven by `(point, seed)`, so a failing sweep trial is
+//! replayable from two integers plus the tear class, matching the
+//! [`FaultPlan`] contract.
+
+use crate::{Fault, FaultPlan};
+
+/// What happens to the write the crash lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CrashTear {
+    /// The process dies before the write starts: nothing lands.
+    Before,
+    /// The write is cut short ([`Fault::Truncate`]): a clean prefix of
+    /// the buffer lands.
+    Truncate,
+    /// The write is torn ([`Fault::TornTail`]): a prefix plus up to
+    /// `max_tail` garbage bytes land.
+    TornTail {
+        /// Upper bound on the appended garbage tail.
+        max_tail: usize,
+    },
+    /// The write completes in full, then the process dies — later
+    /// steps of the same operation never run.
+    After,
+}
+
+impl CrashTear {
+    /// Every tear class, in sweep order.
+    pub const ALL: [CrashTear; 4] = [
+        CrashTear::Before,
+        CrashTear::Truncate,
+        CrashTear::TornTail { max_tail: 24 },
+        CrashTear::After,
+    ];
+
+    /// Stable label for tables and JSON artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashTear::Before => "before",
+            CrashTear::Truncate => "truncate",
+            CrashTear::TornTail { .. } => "torn-tail",
+            CrashTear::After => "after",
+        }
+    }
+}
+
+/// A deterministic crash point: die on durable write number
+/// `after_writes` (0-based), mangling it per `tear`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Durable writes that complete normally before the crash fires.
+    pub after_writes: usize,
+    /// What happens to the write the crash lands on.
+    pub tear: CrashTear,
+}
+
+/// What the caller must do with the write the schedule just saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub enum WriteOutcome {
+    /// No crash here: persist the buffer and continue.
+    Proceed,
+    /// Crash: persist the (possibly mangled) buffer, then abort the
+    /// operation without running any later step.
+    CrashAfterPersist,
+    /// Crash: persist nothing and abort immediately.
+    CrashDropWrite,
+}
+
+impl WriteOutcome {
+    /// True for both crash arms.
+    pub fn crashed(self) -> bool {
+        !matches!(self, WriteOutcome::Proceed)
+    }
+
+    /// True when the (possibly mangled) buffer still reaches the disk.
+    pub fn persists(self) -> bool {
+        !matches!(self, WriteOutcome::CrashDropWrite)
+    }
+}
+
+/// Stateful crash injector threaded through a store's mutations.
+///
+/// Disarmed schedules ([`CrashSchedule::disarmed`]) never fire, so
+/// production call sites pay one branch. Once armed and fired, the
+/// schedule reports every later write as [`WriteOutcome::CrashDropWrite`]
+/// — a dead process does not come back to finish its rename.
+#[derive(Debug, Clone)]
+pub struct CrashSchedule {
+    point: Option<CrashPoint>,
+    seed: u64,
+    writes_seen: usize,
+    crashed: bool,
+}
+
+impl CrashSchedule {
+    /// A schedule that never fires.
+    pub fn disarmed() -> Self {
+        Self {
+            point: None,
+            seed: 0,
+            writes_seen: 0,
+            crashed: false,
+        }
+    }
+
+    /// A schedule that fires at `point`, deriving any tear randomness
+    /// from `seed`.
+    pub fn armed(point: CrashPoint, seed: u64) -> Self {
+        Self {
+            point: Some(point),
+            seed,
+            writes_seen: 0,
+            crashed: false,
+        }
+    }
+
+    /// True once the crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Durable writes observed so far (including the one that crashed).
+    pub fn writes_seen(&self) -> usize {
+        self.writes_seen
+    }
+
+    /// Reports one imminent durable write. `bytes` is the full buffer
+    /// about to be persisted; on a tearing crash it is mangled in place
+    /// and the caller must still write it when the outcome
+    /// [`persists`](WriteOutcome::persists).
+    pub fn on_write(&mut self, bytes: &mut Vec<u8>) -> WriteOutcome {
+        if self.crashed {
+            return WriteOutcome::CrashDropWrite;
+        }
+        let Some(point) = self.point else {
+            return WriteOutcome::Proceed;
+        };
+        let index = self.writes_seen;
+        self.writes_seen += 1;
+        if index < point.after_writes {
+            return WriteOutcome::Proceed;
+        }
+        self.crashed = true;
+        // Decorrelate the tear from the sweep seed and the write index
+        // so two crash points in one trial never tear identically.
+        let tear_seed = self.seed ^ ((index as u64) << 17) ^ 0x9E37_79B9_7F4A_7C15;
+        match point.tear {
+            CrashTear::Before => WriteOutcome::CrashDropWrite,
+            CrashTear::After => WriteOutcome::CrashAfterPersist,
+            CrashTear::Truncate => {
+                FaultPlan::single(Fault::Truncate).apply(bytes, tear_seed);
+                WriteOutcome::CrashAfterPersist
+            }
+            CrashTear::TornTail { max_tail } => {
+                FaultPlan::single(Fault::TornTail { max_tail }).apply(bytes, tear_seed);
+                WriteOutcome::CrashAfterPersist
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload() -> Vec<u8> {
+        (0..100u8).collect()
+    }
+
+    #[test]
+    fn disarmed_schedule_never_fires() {
+        let mut s = CrashSchedule::disarmed();
+        for _ in 0..1000 {
+            let mut b = payload();
+            assert_eq!(s.on_write(&mut b), WriteOutcome::Proceed);
+            assert_eq!(b, payload());
+        }
+        assert!(!s.crashed());
+    }
+
+    #[test]
+    fn crash_fires_on_the_named_write_and_stays_dead() {
+        let point = CrashPoint {
+            after_writes: 3,
+            tear: CrashTear::After,
+        };
+        let mut s = CrashSchedule::armed(point, 7);
+        for i in 0..3 {
+            let mut b = payload();
+            assert_eq!(s.on_write(&mut b), WriteOutcome::Proceed, "write {i}");
+        }
+        let mut b = payload();
+        assert_eq!(s.on_write(&mut b), WriteOutcome::CrashAfterPersist);
+        assert_eq!(b, payload(), "CrashTear::After persists the full buffer");
+        assert!(s.crashed());
+        // A dead process never writes again.
+        let mut b = payload();
+        assert_eq!(s.on_write(&mut b), WriteOutcome::CrashDropWrite);
+    }
+
+    #[test]
+    fn tear_classes_mangle_as_advertised() {
+        let point = |tear| CrashPoint {
+            after_writes: 0,
+            tear,
+        };
+        for seed in 0..32 {
+            let mut b = payload();
+            let out = CrashSchedule::armed(point(CrashTear::Before), seed).on_write(&mut b);
+            assert_eq!(out, WriteOutcome::CrashDropWrite);
+            assert!(!out.persists() && out.crashed());
+            assert_eq!(b, payload(), "Before leaves the buffer untouched");
+
+            let mut b = payload();
+            let out = CrashSchedule::armed(point(CrashTear::Truncate), seed).on_write(&mut b);
+            assert!(out.persists() && out.crashed());
+            assert!(b.len() < payload().len());
+            assert_eq!(b[..], payload()[..b.len()], "clean prefix");
+
+            let mut b = payload();
+            let out = CrashSchedule::armed(point(CrashTear::TornTail { max_tail: 16 }), seed)
+                .on_write(&mut b);
+            assert!(out.persists() && out.crashed());
+            assert!(b.len() <= payload().len() + 16);
+        }
+    }
+
+    #[test]
+    fn tears_are_deterministic_per_seed_and_distinct_across_seeds() {
+        let point = CrashPoint {
+            after_writes: 0,
+            tear: CrashTear::TornTail { max_tail: 16 },
+        };
+        let tear = |seed| {
+            let mut b = payload();
+            let _ = CrashSchedule::armed(point, seed).on_write(&mut b);
+            b
+        };
+        assert_eq!(tear(5), tear(5));
+        let distinct = (0..16).map(tear).collect::<std::collections::BTreeSet<_>>();
+        assert!(distinct.len() > 8, "tears should vary with the seed");
+    }
+
+    #[test]
+    fn labels_cover_all_tear_classes() {
+        let labels: std::collections::BTreeSet<_> =
+            CrashTear::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), CrashTear::ALL.len());
+    }
+}

@@ -27,8 +27,10 @@
 
 use std::ops::Range;
 
+pub mod crash;
 pub mod rng;
 
+pub use crash::{CrashPoint, CrashSchedule, CrashTear, WriteOutcome};
 pub use rng::SplitMix64;
 
 /// One corruption primitive. See the crate docs for the physical failure

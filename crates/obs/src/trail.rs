@@ -143,6 +143,23 @@ pub enum Event {
         /// Byte offset of the damaged chunk in the file.
         offset: u64,
     },
+    /// The store durably committed a manifest update
+    /// (temp file → fsync → atomic rename).
+    ManifestCommit {
+        /// Manifest records after the commit.
+        records: u64,
+        /// Manifest bytes after the commit.
+        bytes: u64,
+    },
+    /// A store compaction crossed a phase boundary.
+    CompactionPhase {
+        /// Phase label (`begin`, `commit`, `abort`).
+        phase: &'static str,
+        /// Sealed input files being merged.
+        inputs: u64,
+        /// Id of the merged output file.
+        output: u64,
+    },
     /// One completed span, mirrored into the trail by the `SpanGuard`
     /// drop hook so exported traces show time extents, not just points.
     Span {
@@ -169,6 +186,8 @@ impl Event {
             Event::WorkerPanic { .. } => event_label("trail.worker_panic"),
             Event::ChunkSealed { .. } => event_label("trail.chunk_sealed"),
             Event::SalvageSkip { .. } => event_label("trail.salvage_skip"),
+            Event::ManifestCommit { .. } => event_label("trail.manifest_commit"),
+            Event::CompactionPhase { .. } => event_label("trail.compaction_phase"),
             Event::Span { .. } => event_label("trail.span"),
         }
     }
@@ -250,6 +269,18 @@ impl Event {
                 out.push_str("\"reason\": ");
                 push_json_str(out, reason);
                 out.push_str(&format!(", \"offset\": {offset}"));
+            }
+            Event::ManifestCommit { records, bytes } => {
+                out.push_str(&format!("\"records\": {records}, \"bytes\": {bytes}"));
+            }
+            Event::CompactionPhase {
+                phase,
+                inputs,
+                output,
+            } => {
+                out.push_str("\"phase\": ");
+                push_json_str(out, phase);
+                out.push_str(&format!(", \"inputs\": {inputs}, \"output\": {output}"));
             }
             Event::Span {
                 name,
@@ -415,6 +446,15 @@ mod tests {
                 reason: "crc-mismatch",
                 offset: 42,
             },
+            Event::ManifestCommit {
+                records: 7,
+                bytes: 350,
+            },
+            Event::CompactionPhase {
+                phase: "commit",
+                inputs: 3,
+                output: 9,
+            },
             Event::Span {
                 name: "test.trail.span",
                 start_ns: 10,
@@ -467,7 +507,7 @@ mod tests {
         events.push(Event::BlockPlain { n: 5, width: 2 });
         let trail = trail_of(events);
         let counts = trail.counts();
-        assert_eq!(trail.len(), 11);
+        assert_eq!(trail.len(), 13);
         assert!(!trail.is_empty());
         let plain = counts
             .iter()
@@ -487,13 +527,13 @@ mod tests {
         let json = to_chrome_trace(&trail);
         assert!(json.starts_with('[') && json.ends_with("]\n"), "{json}");
         assert_eq!(json.matches("\"ph\": \"X\"").count(), 1, "{json}");
-        assert_eq!(json.matches("\"ph\": \"i\"").count(), 9, "{json}");
+        assert_eq!(json.matches("\"ph\": \"i\"").count(), 11, "{json}");
         // Every element carries the full trace_event field set. (The
-        // span's `args` repeats `"name"`, hence 11 for that field.)
+        // span's `args` repeats `"name"`, hence 13 for that field.)
         for field in ["\"ph\": ", "\"ts\": ", "\"pid\": ", "\"tid\": "] {
-            assert_eq!(json.matches(field).count(), 10, "missing {field}: {json}");
+            assert_eq!(json.matches(field).count(), 12, "missing {field}: {json}");
         }
-        assert_eq!(json.matches("\"name\": ").count(), 11, "{json}");
+        assert_eq!(json.matches("\"name\": ").count(), 13, "{json}");
         // The span's ts is its start, rendered in microseconds.
         assert!(json.contains("\"ts\": 0.010, \"dur\": 0.025"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -9,6 +9,10 @@
 //! boscli encode  <in.csv> <out.bin> [solver] [block_size]  raw block-codec encode
 //! boscli salvage <file.tsf>                        damage report for a broken archive
 //! boscli demo    <out.tsf>                         pack the 12 synthetic datasets
+//! boscli store create  <dir>                       initialize a crash-consistent store
+//! boscli store append  <dir> <name=path.csv> [...] append + seal integer series
+//! boscli store compact <dir>                       merge small sealed files
+//! boscli store status  <dir>                       files, quarantine, recovery state
 //! ```
 //!
 //! Every command accepts `--metrics-json`: after the command succeeds, the
@@ -23,6 +27,7 @@ use datasets::csv;
 use encodings::{OuterKind, PackerKind, Pipeline};
 use std::path::Path;
 use std::process::ExitCode;
+use store::{Store, StoreOptions};
 use tsfile::{EncodingChoice, TsFileReader, TsFileWriter};
 
 fn main() -> ExitCode {
@@ -39,6 +44,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // `salvage` contributes a structured report to the metrics JSON.
+    let mut extra_json: Option<String> = None;
     let result = match args.first().map(String::as_str) {
         Some("pack") => cmd_pack(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
@@ -46,11 +53,12 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("encode") => cmd_encode(&args[1..]),
-        Some("salvage") => cmd_salvage(&args[1..]),
+        Some("salvage") => cmd_salvage(&args[1..], &mut extra_json),
         Some("demo") => cmd_demo(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         _ => {
             eprintln!(
-                "usage: boscli <pack|info|unpack|bench|stats|encode|salvage|demo> [--metrics-json] [--metrics-out <path>] [--trace-out <path>] ..."
+                "usage: boscli <pack|info|unpack|bench|stats|encode|salvage|demo|store> [--metrics-json] [--metrics-out <path>] [--trace-out <path>] ..."
             );
             eprintln!("  pack    <out.tsf> <name=path.csv> [...]");
             eprintln!("  info    <file.tsf>");
@@ -60,6 +68,10 @@ fn main() -> ExitCode {
             eprintln!("  encode  <in.csv> <out.bin> [solver] [block_size]");
             eprintln!("  salvage <file.tsf>");
             eprintln!("  demo    <out.tsf>");
+            eprintln!("  store   create  <dir>");
+            eprintln!("  store   append  <dir> <name=path.csv> [...]");
+            eprintln!("  store   compact <dir>");
+            eprintln!("  store   status  <dir>");
             eprintln!("  --metrics-json        print the obs metrics snapshot as JSON on success");
             eprintln!("  --metrics-out <path>  write the obs metrics snapshot JSON to a file");
             eprintln!(
@@ -69,7 +81,12 @@ fn main() -> ExitCode {
         }
     };
     let result = result.and_then(|()| {
-        write_observability(want_metrics, trace_out.as_deref(), metrics_out.as_deref())
+        write_observability(
+            want_metrics,
+            trace_out.as_deref(),
+            metrics_out.as_deref(),
+            extra_json.as_deref(),
+        )
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -100,16 +117,20 @@ fn write_observability(
     want_metrics: bool,
     trace_out: Option<&str>,
     metrics_out: Option<&str>,
+    extra_json: Option<&str>,
 ) -> CliResult {
     if want_metrics {
-        println!("{}", obs::snapshot().to_json());
+        println!("{}", merge_snapshot_json(extra_json));
     }
     if let Some(path) = metrics_out {
-        std::fs::write(path, obs::snapshot().to_json()).map_err(|e| format!("{path}: {e}"))?;
+        // lint:allow(durable-rename): per-run metrics report, regenerated by rerunning the command
+        std::fs::write(path, merge_snapshot_json(extra_json))
+            .map_err(|e| format!("{path}: {e}"))?;
         println!("wrote metrics snapshot to {path}");
     }
     if let Some(path) = trace_out {
         let trail = obs::trail::drain();
+        // lint:allow(durable-rename): per-run trace export, regenerated by rerunning the command
         std::fs::write(path, obs::trail::to_chrome_trace(&trail))
             .map_err(|e| format!("{path}: {e}"))?;
         println!(
@@ -122,6 +143,40 @@ fn write_observability(
 }
 
 type CliResult = Result<(), String>;
+
+/// Splices a command-specific JSON fragment (e.g. the salvage report)
+/// into the obs metrics snapshot object under a `"salvage"` key.
+fn merge_snapshot_json(extra: Option<&str>) -> String {
+    let mut json = obs::snapshot().to_json();
+    if let Some(extra) = extra {
+        if json.ends_with('}') {
+            json.pop();
+            json.push_str(", \"salvage\": ");
+            json.push_str(extra);
+            json.push('}');
+        }
+    }
+    json
+}
+
+/// Minimal JSON string escaping for series names and paths.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// A parsed CSV column: integer series when the parse succeeds, float
 /// series otherwise.
@@ -177,6 +232,7 @@ fn cmd_pack(args: &[String]) -> CliResult {
         }
     }
     let bytes = writer.finish();
+    // lint:allow(durable-rename): one-shot conversion output with no manifest claiming it; rerun regenerates
     std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
     println!(
         "wrote {out}: {} bytes ({}x vs raw {} bytes)",
@@ -388,6 +444,7 @@ fn cmd_encode(args: &[String]) -> CliResult {
     let mut buf = Vec::new();
     bitpack::codec::encode_blocks_parallel(&codec, &ints, block_size, threads, &mut buf)
         .map_err(|e| e.to_string())?;
+    // lint:allow(durable-rename): one-shot conversion output with no manifest claiming it; rerun regenerates
     std::fs::write(out, &buf).map_err(|e| format!("{out}: {e}"))?;
     println!(
         "wrote {out}: {} bytes from {} values ({} blocks of {block_size}, {threads} threads, solver {}, {}x vs raw)",
@@ -400,7 +457,7 @@ fn cmd_encode(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn cmd_salvage(args: &[String]) -> CliResult {
+fn cmd_salvage(args: &[String], extra_json: &mut Option<String>) -> CliResult {
     let [path] = args else {
         return Err("salvage needs <file.tsf>".into());
     };
@@ -422,7 +479,12 @@ fn cmd_salvage(args: &[String]) -> CliResult {
             s.series, s.range.start, s.range.end, s.reason
         );
     }
+    println!(
+        "{:<28} {:>6} {:>10} {:>10} {:>6} {:<10}",
+        "series", "type", "expected", "recovered", "lost", "status"
+    );
     let mut damaged = 0usize;
+    let mut rows = Vec::new();
     for info in reader.series() {
         let (recovered, skipped) = if info.is_float {
             let o = reader
@@ -435,27 +497,217 @@ fn cmd_salvage(args: &[String]) -> CliResult {
                 .map_err(|e| e.to_string())?;
             (o.values.len(), o.skipped)
         };
-        if skipped.is_empty() {
-            println!(
-                "  {:<28} {:>10}/{} values intact",
-                info.name, recovered, info.count
-            );
+        let status = if skipped.is_empty() {
+            "intact"
         } else {
             damaged += 1;
+            "damaged"
+        };
+        println!(
+            "{:<28} {:>6} {:>10} {:>10} {:>6} {:<10}",
+            info.name,
+            if info.is_float { "float" } else { "int" },
+            info.count,
+            recovered,
+            skipped.len(),
+            status
+        );
+        for s in &skipped {
             println!(
-                "  {:<28} {:>10}/{} values recovered",
-                info.name, recovered, info.count
+                "    lost chunk bytes {}..{}: {}",
+                s.range.start, s.range.end, s.reason
             );
-            for s in &skipped {
-                println!(
-                    "    lost chunk bytes {}..{}: {}",
-                    s.range.start, s.range.end, s.reason
-                );
-            }
         }
+        let chunk_rows: Vec<String> = skipped
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"range\": [{}, {}], \"reason\": {}}}",
+                    s.range.start,
+                    s.range.end,
+                    json_str(s.reason.label())
+                )
+            })
+            .collect();
+        rows.push(format!(
+            "{{\"name\": {}, \"type\": {}, \"expected\": {}, \"recovered\": {}, \"skipped\": [{}]}}",
+            json_str(&info.name),
+            json_str(if info.is_float { "float" } else { "int" }),
+            info.count,
+            recovered,
+            chunk_rows.join(", ")
+        ));
     }
     println!("{} of {} series damaged", damaged, reader.series().len());
+    let scan_rows: Vec<String> = report
+        .skipped
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"series\": {}, \"range\": [{}, {}], \"reason\": {}}}",
+                json_str(&s.series),
+                s.range.start,
+                s.range.end,
+                json_str(s.reason.label())
+            )
+        })
+        .collect();
+    *extra_json = Some(format!(
+        "{{\"file\": {}, \"bytes\": {}, \"footer_rebuilt\": {}, \"series_total\": {}, \
+         \"series_damaged\": {}, \"scan_skipped\": [{}], \"series\": [{}]}}",
+        json_str(path),
+        data.len(),
+        report.footer_rebuilt,
+        reader.series().len(),
+        damaged,
+        scan_rows.join(", "),
+        rows.join(", ")
+    ));
     Ok(())
+}
+
+fn cmd_store(args: &[String]) -> CliResult {
+    let usage = "store needs <create|append|compact|status> <dir> ...";
+    let [sub, dir, rest @ ..] = args else {
+        return Err(usage.into());
+    };
+    match (sub.as_str(), rest) {
+        ("create", []) => {
+            let store = Store::create(dir, StoreOptions::default()).map_err(|e| e.to_string())?;
+            println!("created store at {}", store.dir().display());
+            Ok(())
+        }
+        ("append", specs) if !specs.is_empty() => {
+            let (mut store, report) =
+                Store::open(dir, StoreOptions::default()).map_err(|e| e.to_string())?;
+            print_recovery(&report);
+            for spec in specs {
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad series spec {spec:?}, expected name=path.csv"))?;
+                let ints = match load_series(Path::new(path))? {
+                    (Some(ints), _) => ints,
+                    _ => return Err(format!("{path}: store append takes integer series only")),
+                };
+                println!("{name}: appending {} integers", ints.len());
+                if let Some(id) = store.append(name, &ints).map_err(|e| e.to_string())? {
+                    println!("  rotation sealed file {id:06}");
+                }
+            }
+            if let Some(id) = store.flush().map_err(|e| e.to_string())? {
+                println!("sealed file {id:06}");
+            }
+            Ok(())
+        }
+        ("compact", []) => {
+            let (mut store, report) =
+                Store::open(dir, StoreOptions::default()).map_err(|e| e.to_string())?;
+            print_recovery(&report);
+            match store.compact().map_err(|e| e.to_string())? {
+                Some(id) => println!("compacted into file {id:06}"),
+                None => println!(
+                    "nothing to compact (need {} small files)",
+                    store.options().compact_min_inputs
+                ),
+            }
+            Ok(())
+        }
+        ("status", []) => {
+            let (store, report) =
+                Store::open(dir, StoreOptions::default()).map_err(|e| e.to_string())?;
+            print_recovery(&report);
+            let status = store.status();
+            println!(
+                "{}: {} live files, {} quarantined, {} manifest records, next id {}",
+                store.dir().display(),
+                status.files.len(),
+                status.quarantined.len(),
+                status.manifest_records,
+                status.next_id
+            );
+            println!(
+                "{:<8} {:>8} {:>12} {:>12}",
+                "file", "order", "records", "bytes"
+            );
+            for f in &status.files {
+                println!(
+                    "{:0>6}   {:>8} {:>12} {:>12}",
+                    f.id, f.order, f.records, f.bytes
+                );
+            }
+            for q in &status.quarantined {
+                println!(
+                    "{:0>6}   quarantined ({}): {} values salvageable, {} chunks lost",
+                    q.id,
+                    q.reason.label(),
+                    q.recovered_values,
+                    q.skipped_chunks
+                );
+            }
+            for name in store.series_names().map_err(|e| e.to_string())? {
+                let scan = store.scan_series(&name).map_err(|e| e.to_string())?;
+                println!(
+                    "series {:<24} {:>10} live values{}",
+                    name,
+                    scan.values.len(),
+                    if scan.quarantined.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (+{} in quarantine)", scan.quarantined.len())
+                    }
+                );
+            }
+            Ok(())
+        }
+        _ => Err(usage.into()),
+    }
+}
+
+/// Prints what recovery did, if anything — operators should see every
+/// roll-forward, rollback, adoption, and quarantine decision.
+fn print_recovery(report: &store::RecoveryReport) {
+    if !report.acted() {
+        return;
+    }
+    println!("recovery acted on open:");
+    if report.torn_tail_truncated {
+        println!("  truncated a torn manifest tail");
+    }
+    if report.manifest_frames_skipped > 0 {
+        println!(
+            "  skipped {} corrupt manifest frames",
+            report.manifest_frames_skipped
+        );
+    }
+    if report.temps_deleted > 0 {
+        println!("  swept {} temp files", report.temps_deleted);
+    }
+    for id in &report.sealed_rolled_forward {
+        println!("  rolled file {id:06} forward to sealed");
+    }
+    for id in &report.uncommitted_deleted {
+        println!("  deleted uncommitted file {id:06}");
+    }
+    for id in &report.compactions_rolled_forward {
+        println!("  rolled compaction forward into {id:06}");
+    }
+    for id in &report.compactions_rolled_back {
+        println!("  rolled compaction back, dropped {id:06}");
+    }
+    for id in &report.orphans_adopted {
+        println!("  adopted orphan file {id:06}");
+    }
+    for id in &report.leftovers_deleted {
+        println!("  deleted retired leftover {id:06}");
+    }
+    for q in &report.quarantined {
+        println!(
+            "  quarantined file {:06} ({}): {} values salvageable",
+            q.id,
+            q.reason.label(),
+            q.recovered_values
+        );
+    }
 }
 
 fn cmd_demo(args: &[String]) -> CliResult {
@@ -479,6 +731,7 @@ fn cmd_demo(args: &[String]) -> CliResult {
             .map_err(|e| e.to_string())?;
     }
     let bytes = writer.finish();
+    // lint:allow(durable-rename): demo artifact with no manifest claiming it; rerun regenerates
     std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
     println!(
         "wrote {out}: {} bytes, ratio {} vs raw",

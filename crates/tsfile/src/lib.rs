@@ -321,6 +321,28 @@ impl TsFileWriter {
         Ok(())
     }
 
+    /// Adds an integer series compressed with `encoding`, fanning the
+    /// block encodes (and therefore the solver searches) across up to
+    /// `threads` worker threads via [`Pipeline::encode_parallel`]. The
+    /// chunk bytes are identical to [`add_int_series`](Self::add_int_series);
+    /// only the wall-clock differs. Store compaction uses this to
+    /// re-solve merged series without serializing on one core.
+    pub fn add_int_series_parallel(
+        &mut self,
+        name: &str,
+        values: &[i64],
+        encoding: EncodingChoice,
+        threads: usize,
+    ) -> Result<(), TsFileError> {
+        self.check_name(name)?;
+        let mut payload = Vec::new();
+        encoding
+            .pipeline()
+            .encode_parallel(values, threads, &mut payload);
+        self.add_chunk(name, TYPE_INT, None, encoding, values.len(), &payload);
+        Ok(())
+    }
+
     /// Adds a float series (must have an exact `×10^p` representation —
     /// fixed-decimal telemetry does; free-form doubles may not).
     pub fn add_float_series(
@@ -444,6 +466,10 @@ pub enum SkipReason {
     /// The chunk header failed structural validation, or a CRC-valid
     /// payload failed to decode.
     BadHeader,
+    /// The chunk never made it into the (possibly rebuilt) index — its
+    /// bytes are gone entirely, e.g. one column of a timestamped pair
+    /// lost to a truncation that consumed the whole chunk.
+    Missing,
 }
 
 impl SkipReason {
@@ -454,6 +480,7 @@ impl SkipReason {
             Self::CrcMismatch => "crc-mismatch",
             Self::Truncated => "truncated",
             Self::BadHeader => "bad-header",
+            Self::Missing => "missing",
         }
     }
 }
@@ -483,6 +510,45 @@ pub struct SalvageOutcome<T> {
     pub values: Vec<T>,
     /// Chunks that could not be recovered.
     pub skipped: Vec<SkippedChunk>,
+}
+
+/// Outcome of a salvage read of a timestamped (paired) series: the two
+/// columns are recovered independently, and the variant states exactly
+/// which sides survived so damage on one column can never surface as
+/// silently misaligned `(time, value)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TimedSalvage {
+    /// Both columns decoded and align: full points, as written.
+    Paired(Vec<(i64, i64)>),
+    /// The value column was lost; timestamps survive.
+    TimesOnly {
+        /// The recovered timestamp column.
+        times: Vec<i64>,
+        /// Why the value column was skipped.
+        skipped: Vec<SkippedChunk>,
+    },
+    /// The time column was lost; values survive (ordered, un-stamped).
+    ValuesOnly {
+        /// The recovered value column.
+        values: Vec<i64>,
+        /// Why the time column was skipped.
+        skipped: Vec<SkippedChunk>,
+    },
+    /// Both columns decoded but their lengths differ, so pairing them
+    /// up would misattribute timestamps; the columns are returned
+    /// unzipped for the caller to reconcile.
+    Misaligned {
+        /// The recovered timestamp column.
+        times: Vec<i64>,
+        /// The recovered value column.
+        values: Vec<i64>,
+    },
+    /// Neither column survived.
+    Unrecovered {
+        /// Why each column was skipped.
+        skipped: Vec<SkippedChunk>,
+    },
 }
 
 /// What [`TsFileReader::open_salvage`] found while building the file view.
@@ -972,6 +1038,63 @@ impl<'a> TsFileReader<'a> {
         Ok(payload_times.into_iter().zip(values).collect())
     }
 
+    /// Partial-recovery read of a timestamped series written by
+    /// [`TsFileWriter::add_timed_series`]: each column is salvaged
+    /// independently and the [`TimedSalvage`] variant states which
+    /// sides survived, so a skipped chunk on one side degrades to a
+    /// typed partial pair instead of misaligned columns.
+    ///
+    /// Errors only when *neither* column exists in the index under any
+    /// state ([`TsFileError::NoSuchSeries`]); a single missing column is
+    /// reported inside the outcome with [`SkipReason::Missing`].
+    pub fn read_timed_salvage(&self, name: &str) -> Result<TimedSalvage, TsFileError> {
+        let time_name = format!("{name}/time");
+        let value_name = format!("{name}/value");
+        let missing = |series: &str| SkippedChunk {
+            series: series.to_string(),
+            range: 0..0,
+            reason: SkipReason::Missing,
+        };
+        let column = |col: &str| -> Result<SalvageOutcome<i64>, TsFileError> {
+            match self.read_ints_salvage(col) {
+                Ok(out) => Ok(out),
+                Err(TsFileError::NoSuchSeries(_)) => Ok(SalvageOutcome {
+                    values: Vec::new(),
+                    skipped: vec![missing(col)],
+                }),
+                Err(e) => Err(e),
+            }
+        };
+        if self.info(&time_name).is_err() && self.info(&value_name).is_err() {
+            return Err(TsFileError::NoSuchSeries(name.to_string()));
+        }
+        let times = column(&time_name)?;
+        let values = column(&value_name)?;
+        let (t_ok, v_ok) = (times.skipped.is_empty(), values.skipped.is_empty());
+        Ok(match (t_ok, v_ok) {
+            (true, true) if times.values.len() == values.values.len() => {
+                TimedSalvage::Paired(times.values.into_iter().zip(values.values).collect())
+            }
+            (true, true) => TimedSalvage::Misaligned {
+                times: times.values,
+                values: values.values,
+            },
+            (true, false) => TimedSalvage::TimesOnly {
+                times: times.values,
+                skipped: values.skipped,
+            },
+            (false, true) => TimedSalvage::ValuesOnly {
+                values: values.values,
+                skipped: times.skipped,
+            },
+            (false, false) => {
+                let mut skipped = times.skipped;
+                skipped.extend(values.skipped);
+                TimedSalvage::Unrecovered { skipped }
+            }
+        })
+    }
+
     /// Reads a chunk as raw integers, decoding timestamp chunks with the
     /// self-describing TS2DIFF path.
     fn read_chunk_raw(&self, info: &SeriesInfo) -> Result<(Option<u8>, Vec<i64>), TsFileError> {
@@ -1328,6 +1451,140 @@ mod tests {
             r.read_floats_salvage("missing"),
             Err(TsFileError::NoSuchSeries(_))
         ));
+    }
+
+    /// One timed series plus byte ranges of its two column chunks.
+    #[allow(clippy::type_complexity)]
+    fn timed_fixture() -> (Vec<u8>, Vec<(i64, i64)>, Range<usize>, Range<usize>) {
+        let points: Vec<(i64, i64)> = (0..3000i64)
+            .map(|i| (1_700_000_000 + i * 100 + (i % 2), (i * i * 29) % 4093))
+            .collect();
+        let mut w = TsFileWriter::new();
+        w.add_timed_series("m", &points, EncodingChoice::TS2DIFF_BOS)
+            .unwrap();
+        let bytes = w.finish();
+        let r = TsFileReader::open(&bytes).unwrap();
+        let (_, tpay) = r.chunk_ranges("m/time").unwrap();
+        let (_, vpay) = r.chunk_ranges("m/value").unwrap();
+        (bytes, points, tpay, vpay)
+    }
+
+    #[test]
+    fn timed_salvage_pairs_when_intact() {
+        let (bytes, points, _, _) = timed_fixture();
+        let (r, _) = TsFileReader::open_salvage(&bytes);
+        assert_eq!(
+            r.read_timed_salvage("m").unwrap(),
+            TimedSalvage::Paired(points)
+        );
+        assert!(matches!(
+            r.read_timed_salvage("nope"),
+            Err(TsFileError::NoSuchSeries(_))
+        ));
+    }
+
+    #[test]
+    fn timed_salvage_keeps_times_when_values_die() {
+        let (mut bytes, points, _, vpay) = timed_fixture();
+        bytes[vpay.start + vpay.len() / 2] ^= 0x08;
+        let (r, _) = TsFileReader::open_salvage(&bytes);
+        match r.read_timed_salvage("m").unwrap() {
+            TimedSalvage::TimesOnly { times, skipped } => {
+                let want: Vec<i64> = points.iter().map(|&(t, _)| t).collect();
+                assert_eq!(times, want);
+                assert_eq!(skipped.len(), 1);
+                assert_eq!(skipped[0].series, "m/value");
+                assert_eq!(skipped[0].reason, SkipReason::CrcMismatch);
+            }
+            other => panic!("expected TimesOnly, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timed_salvage_keeps_values_when_times_die() {
+        let (mut bytes, points, tpay, _) = timed_fixture();
+        bytes[tpay.start + 1] ^= 0x20;
+        let (r, _) = TsFileReader::open_salvage(&bytes);
+        match r.read_timed_salvage("m").unwrap() {
+            TimedSalvage::ValuesOnly { values, skipped } => {
+                let want: Vec<i64> = points.iter().map(|&(_, v)| v).collect();
+                assert_eq!(values, want);
+                assert_eq!(skipped[0].series, "m/time");
+            }
+            other => panic!("expected ValuesOnly, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timed_salvage_reports_both_columns_lost() {
+        let (mut bytes, _, tpay, vpay) = timed_fixture();
+        bytes[tpay.start] ^= 0x04;
+        bytes[vpay.start] ^= 0x04;
+        let (r, _) = TsFileReader::open_salvage(&bytes);
+        match r.read_timed_salvage("m").unwrap() {
+            TimedSalvage::Unrecovered { skipped } => {
+                assert_eq!(skipped.len(), 2);
+                let names: Vec<&str> = skipped.iter().map(|s| s.series.as_str()).collect();
+                assert_eq!(names, ["m/time", "m/value"]);
+            }
+            other => panic!("expected Unrecovered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timed_salvage_types_a_fully_missing_column() {
+        // Only the value column exists: the time side is typed Missing,
+        // not conflated with in-file damage.
+        let mut w = TsFileWriter::new();
+        w.add_int_series("m/value", &[5, 6, 7], EncodingChoice::TS2DIFF_BP)
+            .unwrap();
+        let bytes = w.finish();
+        let r = TsFileReader::open(&bytes).unwrap();
+        match r.read_timed_salvage("m").unwrap() {
+            TimedSalvage::ValuesOnly { values, skipped } => {
+                assert_eq!(values, vec![5, 6, 7]);
+                assert_eq!(skipped[0].reason, SkipReason::Missing);
+                assert_eq!(SkipReason::Missing.label(), "missing");
+                assert!(skipped[0].range.is_empty());
+            }
+            other => panic!("expected ValuesOnly, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timed_salvage_detects_misaligned_columns() {
+        // Hand-build a pair whose columns decode to different lengths.
+        let mut w = TsFileWriter::new();
+        w.add_int_series("m/time", &[10, 20, 30], EncodingChoice::TS2DIFF_BP)
+            .unwrap();
+        w.add_int_series("m/value", &[1, 2], EncodingChoice::TS2DIFF_BP)
+            .unwrap();
+        let bytes = w.finish();
+        let r = TsFileReader::open(&bytes).unwrap();
+        assert_eq!(
+            r.read_timed_salvage("m").unwrap(),
+            TimedSalvage::Misaligned {
+                times: vec![10, 20, 30],
+                values: vec![1, 2],
+            }
+        );
+    }
+
+    #[test]
+    fn parallel_series_writer_is_byte_identical() {
+        let values: Vec<i64> = (0..9000)
+            .map(|i| i * 5 + (i % 17) + if i % 211 == 0 { 1 << 30 } else { 0 })
+            .collect();
+        let mut seq = TsFileWriter::new();
+        seq.add_int_series("s", &values, EncodingChoice::TS2DIFF_BOS)
+            .unwrap();
+        let seq_bytes = seq.finish();
+        for threads in [1, 2, 4] {
+            let mut par = TsFileWriter::new();
+            par.add_int_series_parallel("s", &values, EncodingChoice::TS2DIFF_BOS, threads)
+                .unwrap();
+            assert_eq!(par.finish(), seq_bytes, "threads={threads}");
+        }
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub struct Config {
     /// `SortedBlock::from_values` — solver working memory comes from the
     /// scratch, not per-block allocations.
     pub solver_entry_scratch: Vec<String>,
+    /// Storage-tier files whose shipping functions must pair every
+    /// `File::create` / `fs::write` with fsync + rename in the same
+    /// function (the temp-file → fsync → rename durability protocol).
+    pub durable_rename: Vec<String>,
     /// Files under `crates/` deliberately *not* opted into `[no-panic]`
     /// (bench mains, CLI glue). Everything else must be covered.
     pub uncovered_ok: Vec<String>,
@@ -82,6 +86,7 @@ impl Config {
             "trail-event-paired",
             "join-all-spawns",
             "solver-entry-scratch",
+            "durable-rename",
             "uncovered-ok",
         ]
         .into();
@@ -165,6 +170,7 @@ impl Config {
                 "trail-event-paired" => config.trail_event_enums = values,
                 "join-all-spawns" => config.join_spawn_dirs = values,
                 "solver-entry-scratch" => config.solver_entry_scratch = values,
+                "durable-rename" => config.durable_rename = values,
                 "uncovered-ok" => config.uncovered_ok = values,
                 // The section set was validated at the header; an unknown
                 // name here means the two lists drifted apart.
@@ -261,6 +267,9 @@ dirs = ["crates", "src"]
 [solver-entry-scratch]
 files = ["crates/bos/src/solver/value.rs"]
 
+[durable-rename]
+files = ["crates/store/src/lib.rs"]
+
 [uncovered-ok]
 files = ["crates/bench/src/main.rs"]
 "#;
@@ -274,6 +283,7 @@ files = ["crates/bench/src/main.rs"]
             c.solver_entry_scratch,
             vec!["crates/bos/src/solver/value.rs"]
         );
+        assert_eq!(c.durable_rename, vec!["crates/store/src/lib.rs"]);
         assert_eq!(c.uncovered_ok, vec!["crates/bench/src/main.rs"]);
     }
 
@@ -285,6 +295,8 @@ files = ["crates/bench/src/main.rs"]
         assert!(Config::parse("[trail-event-paired]\nenums = [\"Event\"]").is_ok());
         assert!(Config::parse("[join-all-spawns]\nfiles = []").is_err());
         assert!(Config::parse("[join-all-spawns]\ndirs = [\"crates\"]").is_ok());
+        assert!(Config::parse("[durable-rename]\ndirs = []").is_err());
+        assert!(Config::parse("[durable-rename]\nfiles = [\"a.rs\"]").is_ok());
         assert!(Config::parse("[obs-feature-parity]\npaths = []").is_err());
     }
 

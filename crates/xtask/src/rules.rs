@@ -176,6 +176,7 @@ pub fn run(root: &Path, config: &Config) -> Result<Report, String> {
     trail_events(&ws, config, &mut findings);
     join_all_spawns(&ws, config, &mut findings);
     solver_entry_scratch(&ws, config, &mut findings);
+    durable_rename(&ws, config, &mut findings);
 
     findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
@@ -1594,6 +1595,100 @@ fn solver_entry_scratch(ws: &Workspace, config: &Config, findings: &mut Vec<Find
 }
 
 // ---------------------------------------------------------------------------
+// durable-rename
+// ---------------------------------------------------------------------------
+
+/// Rule: in the configured storage files, any shipping function that
+/// creates or rewrites a file in place (`File::create` / `fs::write`)
+/// must make the write durable and atomic in the same function — the
+/// body must also fsync (`sync_all`/`sync_data`) and `rename`, the
+/// temp-file → fsync → rename protocol. A write that deliberately need
+/// not survive a crash (CLI report output) opts out per line with
+/// `lint:allow(durable-rename): reason`.
+fn durable_rename(ws: &Workspace, config: &Config, findings: &mut Vec<Finding>) {
+    if config.durable_rename.is_empty() {
+        return;
+    }
+    let mut sites_seen = 0usize;
+    for rel in &config.durable_rename {
+        let Some(f) = ws.get(rel) else { continue };
+        if f.is_test_file {
+            continue;
+        }
+        let (hits, sites) = durable_rename_hits(f);
+        sites_seen += sites;
+        push_hits(f, "durable-rename", hits, findings);
+    }
+    if sites_seen == 0 {
+        findings.push(Finding {
+            file: "lint.toml".to_string(),
+            line: 1,
+            col: 0,
+            rule: "durable-rename",
+            message: format!(
+                "no `File::create` / `fs::write` sites found in files {:?}; the scan \
+                 is broken or the config lists the wrong files",
+                config.durable_rename
+            ),
+        });
+    }
+}
+
+/// Returns `(hits, write_sites_seen)`; the site count feeds the
+/// empty-scan self-check above.
+pub(crate) fn durable_rename_hits(f: &SourceFile) -> (Vec<(usize, String)>, usize) {
+    let mut fns: Vec<(usize, usize)> = shipping_items(f)
+        .into_iter()
+        .filter(|i| i.kind == ItemKind::Fn)
+        .filter_map(|i| i.body)
+        .collect();
+    fns.sort_by_key(|&(b0, b1)| b1 - b0);
+    let mut hits = Vec::new();
+    let mut sites = 0usize;
+    for i in 0..f.tokens.len() {
+        if !f.is_shipping(i) || !f.is_punct(i + 1, b'(') || i < 3 {
+            continue;
+        }
+        // `File::create(` or `fs::write(` — both the bare and
+        // `std::fs::write` spellings put the module segment at i - 3.
+        let qualified = f.glued_pair(i - 2, b':', b':');
+        let site = if qualified && f.is_ident(i, "create") && f.is_ident(i - 3, "File") {
+            Some("File::create")
+        } else if qualified && f.is_ident(i, "write") && f.is_ident(i - 3, "fs") {
+            Some("fs::write")
+        } else {
+            None
+        };
+        let Some(site) = site else { continue };
+        sites += 1;
+        let Some(&(b0, b1)) = fns.iter().find(|&&(b0, b1)| b0 <= i && i < b1) else {
+            continue;
+        };
+        let synced = (b0..b1).any(|j| f.is_ident(j, "sync_all") || f.is_ident(j, "sync_data"));
+        let renamed = (b0..b1).any(|j| f.is_ident(j, "rename"));
+        if synced && renamed {
+            continue;
+        }
+        let missing = if !synced && !renamed {
+            "no fsync, no rename"
+        } else if synced {
+            "no rename"
+        } else {
+            "no fsync"
+        };
+        hits.push((
+            i,
+            format!(
+                "`{site}` writes without the temp-file → fsync → rename protocol in \
+                 this function ({missing}); route through a durable write helper, or \
+                 lint:allow with the reason this write need not survive a crash"
+            ),
+        ));
+    }
+    (hits, sites)
+}
+
+// ---------------------------------------------------------------------------
 // encode/decode pairing
 // ---------------------------------------------------------------------------
 
@@ -1866,6 +1961,57 @@ fn d(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(no-indexing): wrong rule
             include_str!("../fixtures/join_spawns.rs"),
         );
         assert_eq!(hit_lines(&f, join_spawn_hits(&f)), vec![7]);
+    }
+
+    // -- durable-rename ---------------------------------------------------
+
+    #[test]
+    fn durable_rename_requires_fsync_and_rename_in_the_writing_fn() {
+        let src = "\
+use std::fs::{self, File};
+fn atomic(p: &std::path::Path, b: &[u8]) {
+    let tmp = p.with_extension(\"tmp\");
+    let f = File::create(&tmp).unwrap();
+    f.sync_all().unwrap();
+    fs::rename(&tmp, p).unwrap();
+}
+fn bare(p: &std::path::Path, b: &[u8]) {
+    fs::write(p, b).unwrap();
+}
+fn synced_only(p: &std::path::Path) {
+    let f = File::create(p).unwrap();
+    f.sync_all().unwrap();
+}
+fn not_a_write(w: &mut impl std::io::Write, b: &[u8]) {
+    w.write(b).unwrap();
+}
+#[cfg(test)]
+mod tests { fn t(p: &std::path::Path) { std::fs::write(p, b\"x\").unwrap(); } }
+";
+        let f = file("crates/store/src/lib.rs", src);
+        let (hits, sites) = durable_rename_hits(&f);
+        // atomic, bare, synced_only — the `.write(` method call and the
+        // test-module write are not sites.
+        assert_eq!(sites, 3);
+        let lines: Vec<usize> = hits.iter().map(|&(i, _)| f.position(i).0).collect();
+        assert_eq!(lines, vec![9, 12]);
+        assert!(hits[0].1.contains("no fsync, no rename"));
+        assert!(hits[1].1.contains("no rename"));
+    }
+
+    #[test]
+    fn durable_rename_empty_scan_is_a_finding() {
+        let f = file("crates/store/src/lib.rs", "fn quiet() {}\n");
+        let ws = Workspace::from_files(vec![f]);
+        let config = Config {
+            durable_rename: vec!["crates/store/src/lib.rs".to_string()],
+            ..Config::default()
+        };
+        let mut findings = Vec::new();
+        durable_rename(&ws, &config, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "durable-rename");
+        assert!(findings[0].message.contains("scan is broken"));
     }
 
     // -- solver-entry-scratch ---------------------------------------------

@@ -14,6 +14,8 @@
 //! * [`gpcomp`] — LZ4-style, LZMA-lite, DCT/FFT comparators.
 //! * [`datasets`] — the twelve synthetic evaluation datasets.
 //! * [`tsfile`] — TsFile-lite columnar container (paper §VII deployment).
+//! * [`store`] — crash-consistent multi-TsFile store: durable manifest,
+//!   recovery-on-open, rotation and compaction.
 //! * [`query`] — scan/aggregate engine with compressed-block skipping.
 //! * [`faultsim`] — deterministic fault-injection engine (seeded bit
 //!   flips, truncation, torn writes) driving the robustness suite.
@@ -30,4 +32,5 @@ pub use floatcodec;
 pub use gpcomp;
 pub use pfor;
 pub use query;
+pub use store;
 pub use tsfile;

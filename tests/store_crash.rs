@@ -1,0 +1,115 @@
+//! Property tests for the store manifest decoder, driven by `faultsim`.
+//!
+//! The decoder is the first thing `Store::open` runs against bytes a
+//! crash may have mangled, so it must be *total*: any input yields a
+//! `DecodeOutcome`, never a panic. Three contracts:
+//!
+//! 1. Arbitrary bytes — with or without a valid magic — decode without
+//!    panicking, and the outcome's invariants hold (`valid_bytes` never
+//!    exceeds the input; a clean decode consumes every byte).
+//! 2. Encode/decode roundtrips exactly, and truncating the encoded log
+//!    at any byte recovers a strict prefix of the original records.
+//! 3. Bit flips lose only the frames they touch: the surviving records
+//!    are a subsequence of the original log (CRC resynchronization
+//!    skips over the damage), and re-decoding the file truncated at
+//!    `valid_bytes` reproduces the same records and skip count — the
+//!    normalization recovery writes back is stable.
+
+use bos_repro::faultsim::{Fault, FaultPlan};
+use bos_repro::store::manifest::{decode, encode, Record, MAGIC};
+use proptest::prelude::*;
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>()).prop_map(|(id, order)| Record::FileAdded { id, order }),
+        (any::<u64>(), any::<u64>()).prop_map(|(id, records)| Record::FileSealed { id, records }),
+        (prop::collection::vec(any::<u64>(), 0..6), any::<u64>())
+            .prop_map(|(inputs, output)| Record::CompactionBegin { inputs, output }),
+        (prop::collection::vec(any::<u64>(), 0..6), any::<u64>())
+            .prop_map(|(inputs, output)| Record::CompactionCommit { inputs, output }),
+        any::<u64>().prop_map(|id| Record::RetentionDelete { id }),
+    ]
+}
+
+fn log_strategy() -> impl Strategy<Value = Vec<Record>> {
+    prop::collection::vec(record_strategy(), 1..12)
+}
+
+/// True when `sub` appears in `log` in order (not necessarily
+/// contiguously) — the strongest claim resynchronization supports:
+/// damage drops frames but never reorders or invents them.
+fn is_subsequence(log: &[Record], sub: &[Record]) -> bool {
+    let mut it = log.iter();
+    sub.iter().all(|r| it.any(|l| l == r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // (1) Decode is total on arbitrary bytes.
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+        with_magic in any::<bool>(),
+    ) {
+        let mut input = Vec::new();
+        if with_magic {
+            input.extend_from_slice(MAGIC);
+        }
+        input.extend_from_slice(&bytes);
+        let out = decode(&input);
+        prop_assert!(out.valid_bytes <= input.len());
+        if !out.torn {
+            prop_assert_eq!(out.valid_bytes, input.len(), "clean decode consumes every byte");
+        }
+    }
+
+    // (2) Roundtrip, and truncation recovers a prefix.
+    #[test]
+    fn truncated_log_decodes_to_a_prefix(
+        log in log_strategy(),
+        cut in any::<u64>(),
+    ) {
+        let bytes = encode(&log);
+        let full = decode(&bytes);
+        prop_assert_eq!(&full.records, &log);
+        prop_assert!(!full.torn);
+        prop_assert_eq!(full.skipped_frames, 0);
+
+        let k = cut as usize % (bytes.len() + 1);
+        let cut_out = decode(&bytes[..k]);
+        prop_assert!(
+            log.starts_with(&cut_out.records),
+            "truncation at {} must recover a prefix, got {:?}",
+            k,
+            cut_out.records
+        );
+        prop_assert!(cut_out.valid_bytes <= k);
+    }
+
+    // (3) Bit flips cost only the frames they hit, and the decode is a
+    // fixpoint: re-decoding the valid prefix reproduces it.
+    #[test]
+    fn bit_flips_lose_only_damaged_frames(
+        log in log_strategy(),
+        count in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut bytes = encode(&log);
+        FaultPlan::single(Fault::FlipBits { count }).apply(&mut bytes, seed);
+        let out = decode(&bytes);
+        prop_assert!(
+            is_subsequence(&log, &out.records),
+            "recovered records must be an in-order subsequence of the log"
+        );
+
+        let again = decode(&bytes[..out.valid_bytes]);
+        prop_assert_eq!(&again.records, &out.records, "normalized decode must be stable");
+        prop_assert_eq!(again.skipped_frames, out.skipped_frames);
+        // valid_bytes == 0 means the magic itself was hit; there is no
+        // valid prefix to be un-torn about.
+        if out.valid_bytes > 0 {
+            prop_assert!(!again.torn, "the valid prefix has no torn tail");
+        }
+    }
+}
